@@ -1,0 +1,142 @@
+//! Criterion micro-benchmarks for the hot components, plus the §4.1
+//! memory-pool ablation (custom pool vs global allocator).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use abyss_common::rng::Xoshiro256;
+use abyss_common::zipf::ZipfGen;
+use abyss_common::{CcScheme, TsMethod};
+use abyss_core::{Database, EngineConfig, SharedTs};
+use abyss_storage::{row, Catalog, HashIndex, MemPool, Schema};
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zipf");
+    let zipf = ZipfGen::new(1_000_000, 0.8);
+    let mut rng = Xoshiro256::seed_from(7);
+    g.bench_function("draw_theta_0.8", |b| b.iter(|| black_box(zipf.next(&mut rng))));
+    let uniform = ZipfGen::new(1_000_000, 0.0);
+    g.bench_function("draw_uniform", |b| b.iter(|| black_box(uniform.next(&mut rng))));
+    g.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_index");
+    let idx = HashIndex::new(0, 1_000_000);
+    for k in 0..1_000_000u64 {
+        idx.insert(k, k).unwrap();
+    }
+    let mut rng = Xoshiro256::seed_from(9);
+    g.bench_function("probe_hit", |b| {
+        b.iter(|| black_box(idx.get(rng.next_below(1_000_000)).unwrap()))
+    });
+    g.bench_function("probe_miss", |b| {
+        b.iter(|| black_box(idx.find(1_000_000 + rng.next_below(1_000_000))))
+    });
+    g.finish();
+}
+
+fn bench_ts_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ts_alloc_real");
+    for method in [
+        TsMethod::Mutex,
+        TsMethod::Atomic,
+        TsMethod::Batched { batch: 16 },
+        TsMethod::Clock,
+    ] {
+        let shared = SharedTs::new(method);
+        let mut h = shared.handle(0);
+        g.bench_function(method.label(), |b| b.iter(|| black_box(h.alloc())));
+    }
+    g.finish();
+}
+
+/// The §4.1 ablation: per-thread pool vs the global allocator for the
+/// tuple-copy blocks that TIMESTAMP/OCC reads allocate.
+fn bench_mempool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("malloc_ablation");
+    let mut pool = MemPool::new();
+    g.bench_function("pool_alloc_free_1k", |b| {
+        b.iter(|| {
+            let blk = pool.alloc(1008);
+            black_box(&blk);
+            pool.free(blk);
+        })
+    });
+    g.bench_function("global_alloc_free_1k", |b| {
+        b.iter(|| {
+            // Write through the allocation so LLVM cannot elide it.
+            let mut v = vec![0u8; 1008];
+            v[black_box(7)] = 1;
+            black_box(v.as_ptr());
+            drop(v);
+        })
+    });
+    g.finish();
+}
+
+fn scheme_db(scheme: CcScheme) -> Arc<Database> {
+    let mut cat = Catalog::new();
+    cat.add_table("t", Schema::key_plus_payload(10, 100), 100_000);
+    let db = Database::new(EngineConfig::new(scheme, 1), cat).unwrap();
+    db.load_table(0, 0..100_000u64, |s, r, k| row::set_u64(s, r, 0, k)).unwrap();
+    db
+}
+
+/// Single-threaded commit path: 4 reads + 4 updates per transaction.
+fn bench_txn_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txn_commit_path");
+    g.sample_size(20);
+    for scheme in CcScheme::NON_PARTITIONED {
+        let db = scheme_db(scheme);
+        let mut ctx = db.worker(0);
+        let mut rng = Xoshiro256::seed_from(11);
+        g.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let base = rng.next_below(90_000);
+                ctx.run_txn(&[], |t| {
+                    for i in 0..4 {
+                        black_box(t.read(0, base + i)?);
+                    }
+                    for i in 4..8 {
+                        t.update(0, base + i, |s, d| {
+                            row::fetch_add_u64(s, d, 1, 1);
+                        })?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    use abyss_sim::kernel::{EventKind, EventQueue};
+    let mut g = c.benchmark_group("sim_kernel");
+    g.bench_function("push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(i * 7 % 997, (i % 64) as u32, EventKind::Step { epoch: i });
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_zipf,
+    bench_index,
+    bench_ts_alloc,
+    bench_mempool,
+    bench_txn_path,
+    bench_sim_kernel
+);
+criterion_main!(benches);

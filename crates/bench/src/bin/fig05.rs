@@ -1,0 +1,45 @@
+//! Fig. 5 — Waiting vs. aborting.
+//!
+//! DL_DETECT on high-contention YCSB (theta = 0.8) at 64 cores, sweeping
+//! the wait-timeout threshold from 0 (equivalent to NO_WAIT) to 100 ms.
+//! Short timeouts trade a high abort rate for reduced thrashing; the paper
+//! settles on 100 µs as its default.
+
+use abyss_bench::{fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_common::CcScheme;
+use abyss_sim::SimConfig;
+use abyss_workload::ycsb::YcsbConfig;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // (label, cycles at 1 GHz)
+    let timeouts: &[(&str, u64)] = if args.quick {
+        &[("0", 0), ("10us", 10_000), ("1ms", 1_000_000)]
+    } else {
+        &[
+            ("0", 0),
+            ("1us", 1_000),
+            ("10us", 10_000),
+            ("100us", 100_000),
+            ("1ms", 1_000_000),
+            ("10ms", 10_000_000),
+            ("100ms", 100_000_000),
+        ]
+    };
+
+    let ycsb_cfg = YcsbConfig::write_intensive(0.8);
+    let mut rep = Report::new(&["timeout", "Mtxn/s", "aborts/s(M)", "abort_rate"]);
+    for &(label, cycles) in timeouts {
+        let mut sim = SimConfig::new(CcScheme::DlDetect, 64);
+        sim.dl_timeout = Some(cycles);
+        let r = ycsb_point(sim, &ycsb_cfg, &args);
+        rep.row(vec![
+            label.to_string(),
+            fmt_m(r.txn_per_sec()),
+            fmt_m(r.aborts_per_sec()),
+            format!("{:.3}", r.stats.abort_rate()),
+        ]);
+    }
+    rep.print("Fig 5 — DL_DETECT timeout sweep, YCSB theta=0.8, 64 cores");
+    rep.write_csv("fig05");
+}

@@ -1,0 +1,47 @@
+//! Fig. 12 — Working-set size at 512 cores (theta = 0.6).
+//!
+//! Transactions of 1–16 accesses; the y-axis is *tuples* per second since
+//! short transactions commit more often. Short transactions expose the
+//! timestamp-allocation bottleneck of the T/O schemes (amortized over one
+//! access instead of sixteen); long transactions expose DL_DETECT's
+//! thrashing. Panel (b): breakdown at transaction length 1.
+
+use abyss_bench::{breakdown_cells, fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_common::CcScheme;
+use abyss_sim::SimConfig;
+use abyss_workload::ycsb::YcsbConfig;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let lengths: &[usize] = if args.quick { &[1, 8] } else { &[1, 2, 4, 8, 12, 16] };
+    let cores = if args.quick { 64 } else { 512 };
+
+    let mut headers = vec!["reqs/txn".to_string()];
+    headers.extend(CcScheme::NON_PARTITIONED.iter().map(|s| s.to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let mut rep = Report::new(&headers_ref);
+    for &len in lengths {
+        let ycsb_cfg =
+            YcsbConfig { reqs_per_txn: len, ..YcsbConfig::write_intensive(0.6) };
+        let mut row = vec![len.to_string()];
+        for scheme in CcScheme::NON_PARTITIONED {
+            let r = ycsb_point(SimConfig::new(scheme, cores), &ycsb_cfg, &args);
+            row.push(fmt_m(r.tuples_per_sec()));
+        }
+        rep.row(row);
+    }
+    rep.print(&format!("Fig 12a — tuples/s (M) vs transaction length, {cores} cores"));
+    rep.write_csv("fig12a");
+
+    let mut brk = Report::new(&["scheme", "useful", "abort", "ts_alloc", "index", "wait", "manager"]);
+    let one = YcsbConfig { reqs_per_txn: 1, ..YcsbConfig::write_intensive(0.6) };
+    for scheme in CcScheme::NON_PARTITIONED {
+        let r = ycsb_point(SimConfig::new(scheme, cores), &one, &args);
+        let mut row = vec![scheme.to_string()];
+        row.extend(breakdown_cells(&r));
+        brk.row(row);
+    }
+    brk.print("Fig 12b — time breakdown at transaction length 1 (fractions)");
+    brk.write_csv("fig12b");
+}

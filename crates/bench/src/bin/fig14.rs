@@ -1,0 +1,40 @@
+//! Fig. 14 — Database partitioning, single-partition transactions.
+//!
+//! Write-intensive uniform YCSB on a database hash-partitioned into as
+//! many partitions as cores. H-STORE's coarse partition locks beat every
+//! per-tuple scheme up to ~800 cores, then its timestamp allocation
+//! catches up with it.
+
+use abyss_bench::{fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_common::CcScheme;
+use abyss_sim::SimConfig;
+use abyss_workload::ycsb::YcsbConfig;
+
+fn main() {
+    let args = HarnessArgs::parse();
+
+    let mut headers = vec!["cores".to_string()];
+    headers.extend(CcScheme::ALL.iter().map(|s| s.to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let mut rep = Report::new(&headers_ref);
+    for &n in args.sweep() {
+        let mut row = vec![n.to_string()];
+        for scheme in CcScheme::ALL {
+            let ycsb_cfg = YcsbConfig {
+                parts: if scheme == CcScheme::HStore { n } else { 1 },
+                multi_part_pct: 0.0,
+                ..YcsbConfig::write_intensive(0.0)
+            };
+            let mut sim = SimConfig::new(scheme, n);
+            if scheme == CcScheme::HStore {
+                sim.hstore_parts = n;
+            }
+            let r = ycsb_point(sim, &ycsb_cfg, &args);
+            row.push(fmt_m(r.txn_per_sec()));
+        }
+        rep.row(row);
+    }
+    rep.print("Fig 14 — partitioned YCSB, single-partition txns (Mtxn/s)");
+    rep.write_csv("fig14");
+}

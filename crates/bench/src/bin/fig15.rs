@@ -1,0 +1,68 @@
+//! Fig. 15 — H-STORE multi-partition sensitivity.
+//!
+//! (a) 64 cores, sweeping the fraction of multi-partition transactions
+//! (read-only vs read-write — identical by design: partition locks do not
+//! distinguish); (b) 10% multi-partition transactions touching 1–16
+//! partitions across rising core counts.
+
+use abyss_bench::{fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_common::CcScheme;
+use abyss_sim::SimConfig;
+use abyss_workload::ycsb::YcsbConfig;
+
+fn main() {
+    let args = HarnessArgs::parse();
+
+    // Panel (a): multi-partition percentage at 64 cores.
+    let pcts: &[f64] = if args.quick {
+        &[0.0, 0.2, 1.0]
+    } else {
+        &[0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+    };
+    let mut rep_a = Report::new(&["mpt_pct", "readonly", "readwrite"]);
+    for &pct in pcts {
+        let mut row = vec![format!("{:.0}%", pct * 100.0)];
+        for read_only in [true, false] {
+            let ycsb_cfg = YcsbConfig {
+                parts: 64,
+                multi_part_pct: pct,
+                parts_per_txn: 2,
+                read_pct: if read_only { 1.0 } else { 0.5 },
+                ..YcsbConfig::write_intensive(0.0)
+            };
+            let mut sim = SimConfig::new(CcScheme::HStore, 64);
+            sim.hstore_parts = 64;
+            let r = ycsb_point(sim, &ycsb_cfg, &args);
+            row.push(fmt_m(r.txn_per_sec()));
+        }
+        rep_a.row(row);
+    }
+    rep_a.print("Fig 15a — multi-partition % at 64 cores, H-STORE (Mtxn/s)");
+    rep_a.write_csv("fig15a");
+
+    // Panel (b): partitions per transaction across core counts.
+    let ppt: &[u32] = if args.quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+    let mut headers = vec!["cores".to_string()];
+    headers.extend(ppt.iter().map(|p| format!("part={p}")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rep_b = Report::new(&headers_ref);
+    let sweep: Vec<u32> = args.sweep().iter().copied().filter(|&n| n >= 16).collect();
+    for &n in &sweep {
+        let mut row = vec![n.to_string()];
+        for &p in ppt {
+            let ycsb_cfg = YcsbConfig {
+                parts: n,
+                multi_part_pct: if p == 1 { 0.0 } else { 0.1 },
+                parts_per_txn: p.min(n),
+                ..YcsbConfig::write_intensive(0.0)
+            };
+            let mut sim = SimConfig::new(CcScheme::HStore, n);
+            sim.hstore_parts = n;
+            let r = ycsb_point(sim, &ycsb_cfg, &args);
+            row.push(fmt_m(r.txn_per_sec()));
+        }
+        rep_b.row(row);
+    }
+    rep_b.print("Fig 15b — partitions per txn (10% MPT), H-STORE (Mtxn/s)");
+    rep_b.write_csv("fig15b");
+}

@@ -1,0 +1,121 @@
+//! Abort and error taxonomy.
+//!
+//! The paper distinguishes aborts caused by the scheduler (conflicts,
+//! deadlocks, validation failures, timeouts) from aborts demanded by the
+//! transaction's own program logic (TPC-C NewOrder's 1% invalid-item rule).
+//! Keeping the reason on every abort lets the harness report abort *rates by
+//! cause*, which Figs. 5, 9 and 10 rely on.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Why a transaction aborted. Scheduler-induced aborts are retried by the
+/// workers; [`AbortReason::UserAbort`] is final.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// A lock request was denied and the scheme does not wait (NO_WAIT).
+    LockConflict,
+    /// The deadlock detector chose this transaction as the victim.
+    Deadlock,
+    /// Wait-die: a younger transaction requested a lock held by an older one.
+    WaitDieKilled,
+    /// The transaction waited longer than the configured timeout (Fig. 5).
+    WaitTimeout,
+    /// A timestamp-ordering rule was violated (read-too-late / write-too-late).
+    TsOrderViolation,
+    /// OCC validation found an overlapping conflict.
+    ValidationFail,
+    /// MVCC detected that a write would invalidate an already-served read.
+    MvccWriteConflict,
+    /// The transaction's own logic aborted (e.g. TPC-C invalid item).
+    UserAbort,
+}
+
+impl AbortReason {
+    /// Scheduler aborts are retried; user aborts are not.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, AbortReason::UserAbort)
+    }
+
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::LockConflict => "lock_conflict",
+            AbortReason::Deadlock => "deadlock",
+            AbortReason::WaitDieKilled => "wait_die_killed",
+            AbortReason::WaitTimeout => "wait_timeout",
+            AbortReason::TsOrderViolation => "ts_order",
+            AbortReason::ValidationFail => "validation",
+            AbortReason::MvccWriteConflict => "mvcc_write",
+            AbortReason::UserAbort => "user",
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Non-abort errors surfaced by the database API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The requested table does not exist in the catalog.
+    NoSuchTable(u32),
+    /// The requested key does not exist in the index.
+    KeyNotFound { table: u32, key: u64 },
+    /// A key was inserted twice.
+    DuplicateKey { table: u32, key: u64 },
+    /// A schema/row-layout mismatch (column out of range, wrong width).
+    SchemaViolation(String),
+    /// Operation not supported by the active concurrency-control scheme.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::KeyNotFound { table, key } => {
+                write!(f, "key {key} not found in table {table}")
+            }
+            DbError::DuplicateKey { table, key } => {
+                write!(f, "duplicate key {key} in table {table}")
+            }
+            DbError::SchemaViolation(msg) => write!(f, "schema violation: {msg}"),
+            DbError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_aborts_are_final() {
+        assert!(!AbortReason::UserAbort.is_retryable());
+        for r in [
+            AbortReason::LockConflict,
+            AbortReason::Deadlock,
+            AbortReason::WaitDieKilled,
+            AbortReason::WaitTimeout,
+            AbortReason::TsOrderViolation,
+            AbortReason::ValidationFail,
+            AbortReason::MvccWriteConflict,
+        ] {
+            assert!(r.is_retryable(), "{r} should be retryable");
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DbError::KeyNotFound { table: 3, key: 42 };
+        assert_eq!(e.to_string(), "key 42 not found in table 3");
+        assert_eq!(DbError::NoSuchTable(1).to_string(), "no such table: 1");
+    }
+}

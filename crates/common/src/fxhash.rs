@@ -1,0 +1,124 @@
+//! FxHash-style hashing for integer keys.
+//!
+//! The default SipHash is a measurable cost on the index probe path (the
+//! perf-book's "Hashing" chapter); rustc's Fx multiply-xor hash is the
+//! standard fast alternative for trusted integer keys. Implemented here
+//! (~20 lines) rather than adding a dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx word-at-a-time hasher used by rustc.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Hash a single `u64` — used by the hash index and the L2-slice hash.
+///
+/// Uses the SplitMix64 finalizer rather than the Fx multiply: bucket
+/// selection takes the *low* bits of the result, and a bare multiply leaves
+/// them badly mixed for sequential keys.
+#[inline]
+pub fn hash_u64(mut v: u64) -> u64 {
+    v = (v ^ (v >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    v = (v ^ (v >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    v ^ (v >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn hash_u64_spreads_sequential_keys() {
+        // Sequential keys must not collide in the low bits (bucket index).
+        let buckets = 1024u64;
+        let mut seen = FxHashSet::default();
+        for k in 0..buckets {
+            seen.insert(hash_u64(k) % buckets);
+        }
+        assert!(
+            seen.len() > (buckets as usize) / 2,
+            "only {} distinct buckets out of {buckets}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn hasher_handles_unaligned_tails() {
+        let mut h1 = FxHasher::default();
+        h1.write(b"hello world!!");
+        let mut h2 = FxHasher::default();
+        h2.write(b"hello world!?");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut h1 = FxHasher::default();
+        let mut h2 = FxHasher::default();
+        h1.write_u64(0xdead_beef);
+        h2.write_u64(0xdead_beef);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

@@ -1,0 +1,49 @@
+//! Identifier types shared across the workspace.
+//!
+//! These are plain aliases rather than newtypes: the hot paths of both the
+//! engine and the simulator move these by the billions, and the paper's own
+//! code (DBx1000) treats them as raw machine words. Where mixing ids up is a
+//! plausible bug we use distinct parameter names and debug assertions at the
+//! boundaries instead.
+
+/// Identifies a table within a database catalog.
+pub type TableId = u32;
+
+/// A primary-key value. Both YCSB and our TPC-C encoding pack composite keys
+/// into 64 bits (see `abyss-workload::tpcc::keys`).
+pub type Key = u64;
+
+/// Index of a row inside a table's storage arena.
+pub type RowIdx = u64;
+
+/// A transaction identifier, unique for the lifetime of a run.
+pub type TxnId = u64;
+
+/// A logical timestamp produced by one of the [`crate::scheme::TsMethod`]
+/// allocators. Timestamp zero is reserved to mean "none".
+pub type Ts = u64;
+
+/// A (simulated or real) core / worker-thread identifier.
+pub type CoreId = u32;
+
+/// A horizontal partition identifier (H-STORE scheme).
+pub type PartId = u32;
+
+/// Reserved timestamp meaning "no timestamp assigned yet".
+pub const TS_NONE: Ts = 0;
+
+/// Reserved transaction id meaning "no transaction".
+pub const TXN_NONE: TxnId = u64::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels_do_not_collide_with_plausible_values() {
+        let (ts_none, txn_none) = (TS_NONE, TXN_NONE);
+        assert_eq!(ts_none, 0);
+        assert_ne!(txn_none, 0);
+        assert!(txn_none > u64::MAX / 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # abyss-common
+//!
+//! Shared foundation for the **abyss** reproduction of *Staring into the
+//! Abyss: An Evaluation of Concurrency Control with One Thousand Cores*
+//! (Yu et al., VLDB 2014).
+//!
+//! This crate holds everything that the storage layer, the real
+//! multi-threaded engine (`abyss-core`), the many-core simulator
+//! (`abyss-sim`) and the workload generators (`abyss-workload`) need to
+//! agree on:
+//!
+//! * identifier types ([`ids`]),
+//! * the seven concurrency-control schemes and five timestamp-allocation
+//!   methods evaluated by the paper ([`scheme`]),
+//! * abort/error taxonomy ([`error`]),
+//! * the six-category time breakdown used throughout the paper's evaluation
+//!   plus run-level statistics ([`stats`]),
+//! * a deterministic, allocation-free RNG ([`rng`]) and the Gray et al.
+//!   Zipfian generator used by YCSB ([`zipf`]),
+//! * a fast FxHash-style hasher for integer keys ([`fxhash`]),
+//! * engine-agnostic transaction templates ([`txn`]) so that the same
+//!   generated workload runs unmodified on both the real engine and the
+//!   simulator.
+
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+pub mod rng;
+pub mod scheme;
+pub mod stats;
+pub mod txn;
+pub mod zipf;
+
+pub use error::{AbortReason, DbError};
+pub use ids::{CoreId, Key, PartId, RowIdx, TableId, Ts, TxnId};
+pub use scheme::{CcScheme, TsMethod};
+pub use stats::{Category, RunStats, TimeBreakdown};
+pub use txn::{AccessOp, AccessSpec, KeySpec, TxnTemplate};

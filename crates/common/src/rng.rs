@@ -1,0 +1,173 @@
+//! Deterministic, allocation-free pseudo-random number generators.
+//!
+//! The simulator must be bit-for-bit reproducible across runs and platforms,
+//! and the workload generators sit on the hot path (one Zipf draw per query).
+//! We therefore implement SplitMix64 (for seeding) and xoshiro256** (the
+//! workhorse) directly instead of pulling `rand`'s tower of traits into the
+//! inner loops.
+
+/// SplitMix64 — used to expand a single `u64` seed into generator state.
+/// Passes BigCrush when used as a stream; here it only seeds xoshiro.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a new stream from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna — fast, small, high quality.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed via SplitMix64 as recommended by the xoshiro authors.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // All-zero state is invalid; SplitMix64 cannot produce four zero
+        // outputs from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, bound)`. Uses the widening-multiply trick
+    /// (Lemire); slight modulo bias is irrelevant at our bounds (< 2^33).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[lo, hi]` inclusive.
+    #[inline]
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Xoshiro256::seed_from(42);
+        let mut b = Xoshiro256::seed_from(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256::seed_from(1);
+        let mut b = Xoshiro256::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "seeds 1 and 2 produced {same}/64 identical values");
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = Xoshiro256::seed_from(7);
+        for bound in [1u64, 2, 3, 10, 1000, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_range_inclusive() {
+        let mut r = Xoshiro256::seed_from(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.next_range(5, 8);
+            assert!((5..=8).contains(&v));
+            seen_lo |= v == 5;
+            seen_hi |= v == 8;
+        }
+        assert!(seen_lo && seen_hi, "range endpoints never drawn");
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = Xoshiro256::seed_from(11);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn chance_probability_is_calibrated() {
+        let mut r = Xoshiro256::seed_from(13);
+        let hits = (0..100_000).filter(|_| r.chance(0.2)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.2).abs() < 0.01, "p=0.2 measured {frac}");
+    }
+
+    #[test]
+    fn splitmix_known_progression_is_stable() {
+        // Golden values locked in so accidental algorithm changes fail loudly.
+        let mut sm = SplitMix64::new(0);
+        let first = sm.next_u64();
+        let second = sm.next_u64();
+        assert_eq!(first, 0xE220_A839_7B1D_CDAF);
+        assert_eq!(second, 0x6E78_9E6A_A1B9_65F4);
+    }
+}

@@ -1,0 +1,202 @@
+//! The concurrency-control schemes and timestamp-allocation methods
+//! evaluated by the paper (Tables 1 and Fig. 6).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The seven concurrency-control schemes of Table 1 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CcScheme {
+    /// 2PL with deadlock detection (partitioned waits-for graph).
+    DlDetect,
+    /// 2PL with non-waiting deadlock prevention: deny ⇒ abort.
+    NoWait,
+    /// 2PL with wait-die deadlock prevention: older waits, younger dies.
+    WaitDie,
+    /// Basic timestamp ordering with per-tuple read/write timestamps.
+    Timestamp,
+    /// Multi-version timestamp ordering (version chains per tuple).
+    Mvcc,
+    /// Optimistic concurrency control with per-tuple (distributed) validation.
+    Occ,
+    /// T/O with partition-level locking (H-Store / Smallbase model).
+    HStore,
+}
+
+impl CcScheme {
+    /// All schemes, in the order the paper lists them.
+    pub const ALL: [CcScheme; 7] = [
+        CcScheme::DlDetect,
+        CcScheme::NoWait,
+        CcScheme::WaitDie,
+        CcScheme::Timestamp,
+        CcScheme::Mvcc,
+        CcScheme::Occ,
+        CcScheme::HStore,
+    ];
+
+    /// The six schemes used in the non-partitioned experiments
+    /// (H-STORE is only introduced in §5.5).
+    pub const NON_PARTITIONED: [CcScheme; 6] = [
+        CcScheme::DlDetect,
+        CcScheme::NoWait,
+        CcScheme::WaitDie,
+        CcScheme::Timestamp,
+        CcScheme::Mvcc,
+        CcScheme::Occ,
+    ];
+
+    /// Is this scheme a two-phase-locking variant (vs timestamp ordering)?
+    pub fn is_two_phase_locking(self) -> bool {
+        matches!(self, CcScheme::DlDetect | CcScheme::NoWait | CcScheme::WaitDie)
+    }
+
+    /// Does the scheme require a timestamp at transaction start?
+    ///
+    /// Everything except DL_DETECT and NO_WAIT needs one; OCC needs a second
+    /// one before validation (handled by the engines).
+    pub fn needs_start_ts(self) -> bool {
+        !matches!(self, CcScheme::DlDetect | CcScheme::NoWait)
+    }
+
+    /// Number of timestamps allocated per (successful) transaction.
+    pub fn timestamps_per_txn(self) -> u32 {
+        match self {
+            CcScheme::DlDetect | CcScheme::NoWait => 0,
+            CcScheme::Occ => 2,
+            _ => 1,
+        }
+    }
+
+    /// The short upper-case name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcScheme::DlDetect => "DL_DETECT",
+            CcScheme::NoWait => "NO_WAIT",
+            CcScheme::WaitDie => "WAIT_DIE",
+            CcScheme::Timestamp => "TIMESTAMP",
+            CcScheme::Mvcc => "MVCC",
+            CcScheme::Occ => "OCC",
+            CcScheme::HStore => "HSTORE",
+        }
+    }
+}
+
+impl fmt::Display for CcScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for CcScheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.to_ascii_uppercase().replace('-', "_");
+        Self::ALL
+            .into_iter()
+            .find(|c| c.name() == norm || c.name().replace('_', "") == norm)
+            .ok_or_else(|| format!("unknown concurrency-control scheme: {s:?}"))
+    }
+}
+
+/// Timestamp-allocation methods from §4.3 / Fig. 6 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TsMethod {
+    /// A mutex around the counter — the naïve baseline.
+    Mutex,
+    /// A single atomic fetch-add; the cache line ping-pongs across the chip.
+    Atomic,
+    /// Atomic fetch-add that hands out `batch` timestamps at once (Silo).
+    Batched { batch: u32 },
+    /// Synchronized per-core clocks concatenated with the thread id.
+    Clock,
+    /// A hardware counter at the center of the chip, incremented remotely in
+    /// one cycle (simulator only; no shipping CPU has this).
+    Hardware,
+}
+
+impl TsMethod {
+    /// The methods plotted in Fig. 6, in its legend order.
+    pub const FIG6: [TsMethod; 6] = [
+        TsMethod::Clock,
+        TsMethod::Hardware,
+        TsMethod::Batched { batch: 16 },
+        TsMethod::Batched { batch: 8 },
+        TsMethod::Atomic,
+        TsMethod::Mutex,
+    ];
+
+    /// Short label as used in the paper's legends.
+    pub fn label(self) -> String {
+        match self {
+            TsMethod::Mutex => "Mutex".into(),
+            TsMethod::Atomic => "Atomic".into(),
+            TsMethod::Batched { batch } => format!("Atomic batch={batch}"),
+            TsMethod::Clock => "Clock".into(),
+            TsMethod::Hardware => "HW Counter".into(),
+        }
+    }
+
+    /// Whether a real (non-simulated) implementation exists on stock CPUs.
+    pub fn realizable_on_host(self) -> bool {
+        !matches!(self, TsMethod::Hardware)
+    }
+}
+
+impl fmt::Display for TsMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scheme_names() {
+        assert_eq!("DL_DETECT".parse::<CcScheme>().unwrap(), CcScheme::DlDetect);
+        assert_eq!("no_wait".parse::<CcScheme>().unwrap(), CcScheme::NoWait);
+        assert_eq!("wait-die".parse::<CcScheme>().unwrap(), CcScheme::WaitDie);
+        assert_eq!("MVCC".parse::<CcScheme>().unwrap(), CcScheme::Mvcc);
+        assert_eq!("hstore".parse::<CcScheme>().unwrap(), CcScheme::HStore);
+        assert!("lockfree".parse::<CcScheme>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in CcScheme::ALL {
+            assert_eq!(s.to_string().parse::<CcScheme>().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn classification_matches_table1() {
+        use CcScheme::*;
+        for s in [DlDetect, NoWait, WaitDie] {
+            assert!(s.is_two_phase_locking());
+        }
+        for s in [Timestamp, Mvcc, Occ, HStore] {
+            assert!(!s.is_two_phase_locking());
+        }
+    }
+
+    #[test]
+    fn timestamp_counts() {
+        assert_eq!(CcScheme::Occ.timestamps_per_txn(), 2);
+        assert_eq!(CcScheme::NoWait.timestamps_per_txn(), 0);
+        assert_eq!(CcScheme::Mvcc.timestamps_per_txn(), 1);
+        assert!(CcScheme::WaitDie.needs_start_ts());
+        assert!(!CcScheme::DlDetect.needs_start_ts());
+    }
+
+    #[test]
+    fn ts_method_labels() {
+        assert_eq!(TsMethod::Batched { batch: 8 }.label(), "Atomic batch=8");
+        assert!(TsMethod::Clock.realizable_on_host());
+        assert!(!TsMethod::Hardware.realizable_on_host());
+    }
+}

@@ -1,0 +1,297 @@
+//! Run statistics and the six-category time breakdown from §3.2 of the
+//! paper (USEFUL WORK, ABORT, TS ALLOCATION, INDEX, WAIT, MANAGER).
+//!
+//! Time units are deliberately abstract: the simulator accounts in cycles,
+//! the real engine in nanoseconds. Ratios (what the breakdown figures plot)
+//! are unit-free.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AbortReason;
+
+/// Where a slice of a worker's time went (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Executing application logic and operating on tuples.
+    UsefulWork,
+    /// Rolling back changes of aborted transactions (and re-done work).
+    Abort,
+    /// Acquiring a unique timestamp from the allocator.
+    TsAlloc,
+    /// Hash-index probes, including bucket latching.
+    Index,
+    /// Waiting for locks or for not-yet-ready tuple values.
+    Wait,
+    /// Lock-manager / timestamp-manager bookkeeping (excluding waits).
+    Manager,
+}
+
+impl Category {
+    /// All categories in the paper's legend order.
+    pub const ALL: [Category; 6] = [
+        Category::UsefulWork,
+        Category::Abort,
+        Category::TsAlloc,
+        Category::Index,
+        Category::Wait,
+        Category::Manager,
+    ];
+
+    /// Label as printed in the breakdown figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::UsefulWork => "Useful Work",
+            Category::Abort => "Abort",
+            Category::TsAlloc => "Ts Alloc.",
+            Category::Index => "Index",
+            Category::Wait => "Wait",
+            Category::Manager => "Manager",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Category::UsefulWork => 0,
+            Category::Abort => 1,
+            Category::TsAlloc => 2,
+            Category::Index => 3,
+            Category::Wait => 4,
+            Category::Manager => 5,
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulated time per [`Category`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    buckets: [u64; 6],
+}
+
+impl TimeBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `amount` time units to `cat`.
+    #[inline]
+    pub fn record(&mut self, cat: Category, amount: u64) {
+        self.buckets[cat.idx()] += amount;
+    }
+
+    /// Time accumulated in `cat`.
+    pub fn get(&self, cat: Category) -> u64 {
+        self.buckets[cat.idx()]
+    }
+
+    /// Total time across all categories.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of total time in `cat` (0 if the breakdown is empty).
+    pub fn fraction(&self, cat: Category) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(cat) as f64 / total as f64
+        }
+    }
+
+    /// Normalized fractions in [`Category::ALL`] order — what the stacked
+    /// bar charts (Figs 8b, 9b, 10b, 12b) plot.
+    pub fn fractions(&self) -> [f64; 6] {
+        let mut out = [0.0; 6];
+        for (i, c) in Category::ALL.into_iter().enumerate() {
+            out[i] = self.fraction(c);
+        }
+        out
+    }
+}
+
+impl Add for TimeBreakdown {
+    type Output = Self;
+
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for TimeBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        for (a, b) in self.buckets.iter_mut().zip(rhs.buckets) {
+            *a += b;
+        }
+    }
+}
+
+/// Statistics for one benchmark run (one worker, or merged over workers).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Commits per workload-defined transaction tag (TPC-C: 0 = Payment,
+    /// 1 = NewOrder). Figs 16–17 plot these separately.
+    pub commits_by_tag: [u64; 4],
+    /// Aborts, by cause. Index order follows [`RunStats::ABORT_ORDER`].
+    pub aborts: [u64; 8],
+    /// Tuples accessed by committed transactions (Fig. 12's y-axis).
+    pub tuples_committed: u64,
+    /// Elapsed time units (cycles or nanoseconds) covered by the run.
+    pub elapsed: u64,
+    /// Time breakdown across the six §3.2 categories.
+    pub breakdown: TimeBreakdown,
+    /// Timestamps allocated (for the Fig. 6 micro-benchmark).
+    pub ts_allocated: u64,
+}
+
+impl RunStats {
+    /// Order of the abort-reason buckets in [`RunStats::aborts`].
+    pub const ABORT_ORDER: [AbortReason; 8] = [
+        AbortReason::LockConflict,
+        AbortReason::Deadlock,
+        AbortReason::WaitDieKilled,
+        AbortReason::WaitTimeout,
+        AbortReason::TsOrderViolation,
+        AbortReason::ValidationFail,
+        AbortReason::MvccWriteConflict,
+        AbortReason::UserAbort,
+    ];
+
+    fn abort_idx(reason: AbortReason) -> usize {
+        Self::ABORT_ORDER
+            .iter()
+            .position(|r| *r == reason)
+            .expect("all abort reasons are in ABORT_ORDER")
+    }
+
+    /// Record one abort.
+    #[inline]
+    pub fn record_abort(&mut self, reason: AbortReason) {
+        self.aborts[Self::abort_idx(reason)] += 1;
+    }
+
+    /// Record one commit of a transaction with workload tag `tag`.
+    #[inline]
+    pub fn record_commit(&mut self, tag: u8) {
+        self.commits += 1;
+        self.commits_by_tag[(tag as usize).min(3)] += 1;
+    }
+
+    /// Aborts for one reason.
+    pub fn aborts_for(&self, reason: AbortReason) -> u64 {
+        self.aborts[Self::abort_idx(reason)]
+    }
+
+    /// Total aborts across all causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+
+    /// Abort rate: aborts / (aborts + commits). 0 for an empty run.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.total_aborts() + self.commits;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / attempts as f64
+        }
+    }
+
+    /// Throughput in transactions per time unit (caller scales by the unit).
+    pub fn throughput_per_unit(&self) -> f64 {
+        if self.elapsed == 0 {
+            0.0
+        } else {
+            self.commits as f64 / self.elapsed as f64
+        }
+    }
+
+    /// Merge per-worker stats into a run total. `elapsed` is the max (the
+    /// workers run concurrently), everything else sums.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.commits += other.commits;
+        for (a, b) in self.commits_by_tag.iter_mut().zip(other.commits_by_tag) {
+            *a += b;
+        }
+        for (a, b) in self.aborts.iter_mut().zip(other.aborts) {
+            *a += b;
+        }
+        self.tuples_committed += other.tuples_committed;
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.breakdown += other.breakdown;
+        self.ts_allocated += other.ts_allocated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let mut b = TimeBreakdown::new();
+        b.record(Category::UsefulWork, 60);
+        b.record(Category::Wait, 30);
+        b.record(Category::Index, 10);
+        let total: f64 = b.fractions().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((b.fraction(Category::UsefulWork) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_fraction_is_zero() {
+        let b = TimeBreakdown::new();
+        assert_eq!(b.fraction(Category::Wait), 0.0);
+        assert_eq!(b.total(), 0);
+    }
+
+    #[test]
+    fn breakdown_addition() {
+        let mut a = TimeBreakdown::new();
+        a.record(Category::Manager, 5);
+        let mut b = TimeBreakdown::new();
+        b.record(Category::Manager, 7);
+        b.record(Category::Abort, 3);
+        let c = a + b;
+        assert_eq!(c.get(Category::Manager), 12);
+        assert_eq!(c.get(Category::Abort), 3);
+    }
+
+    #[test]
+    fn abort_bookkeeping() {
+        let mut s = RunStats { commits: 90, ..Default::default() };
+        s.record_abort(AbortReason::Deadlock);
+        s.record_abort(AbortReason::Deadlock);
+        s.record_abort(AbortReason::ValidationFail);
+        assert_eq!(s.aborts_for(AbortReason::Deadlock), 2);
+        assert_eq!(s.total_aborts(), 3);
+        assert!((s.abort_rate() - 3.0 / 93.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_takes_max_elapsed_and_sums_counts() {
+        let mut a = RunStats { commits: 10, elapsed: 100, ..Default::default() };
+        let b = RunStats { commits: 20, elapsed: 80, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.commits, 30);
+        assert_eq!(a.elapsed, 100);
+    }
+
+    #[test]
+    fn throughput_handles_empty_run() {
+        let s = RunStats::default();
+        assert_eq!(s.throughput_per_unit(), 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Engine-agnostic transaction templates.
+//!
+//! The paper's test-bed feeds each worker a fixed-length queue of
+//! transactions (§3.2). We represent a queued transaction as a
+//! [`TxnTemplate`]: a list of tuple accesses plus enough structure for
+//! TPC-C's data-dependent inserts (the NewOrder order id comes from the
+//! `D_NEXT_O_ID` counter read earlier in the same transaction).
+//!
+//! Both the real engine (`abyss-core::executor`) and the simulator
+//! (`abyss-sim::exec`) interpret these templates, so a workload generated
+//! once drives both — exactly how Fig. 3 compares simulator and hardware.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Key, PartId, TableId};
+
+/// Maximum number of counter slots a template may use (TPC-C needs 1).
+pub const MAX_COUNTER_SLOTS: usize = 2;
+
+/// What an access does to its tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessOp {
+    /// Read the tuple.
+    Read,
+    /// Read-modify-write the tuple.
+    Update,
+    /// Read-modify-write a counter column; the *pre-increment* value is
+    /// captured into `slot` for later [`KeySpec::Derived`] keys.
+    /// (TPC-C: `UPDATE district SET d_next_o_id = d_next_o_id + 1`.)
+    UpdateCounter {
+        /// Which counter slot receives the read value.
+        slot: u8,
+    },
+    /// Insert a fresh tuple.
+    Insert,
+}
+
+impl AccessOp {
+    /// Does the operation write?
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessOp::Read)
+    }
+}
+
+/// How the key of an access is determined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeySpec {
+    /// A key fixed at generation time.
+    Fixed(Key),
+    /// `base + counter[slot] * scale` where the counter value was captured
+    /// by an earlier [`AccessOp::UpdateCounter`] in the same transaction.
+    /// Used for TPC-C ORDER / NEW-ORDER / ORDER-LINE inserts (the order id
+    /// comes from `D_NEXT_O_ID`; `scale` packs it into composite keys).
+    Derived {
+        /// Counter slot captured earlier in this transaction.
+        slot: u8,
+        /// Added to the scaled counter value (e.g. packed district key or
+        /// an order-line number).
+        base: Key,
+        /// Multiplier applied to the counter value (1 for plain offsets).
+        scale: u32,
+    },
+}
+
+impl KeySpec {
+    /// Resolve the key given the transaction's captured counter values.
+    #[inline]
+    pub fn resolve(self, counters: &[Key; MAX_COUNTER_SLOTS]) -> Key {
+        match self {
+            KeySpec::Fixed(k) => k,
+            KeySpec::Derived { slot, base, scale } => {
+                base + counters[slot as usize] * Key::from(scale)
+            }
+        }
+    }
+}
+
+/// One tuple access within a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessSpec {
+    /// Target table.
+    pub table: TableId,
+    /// Target key.
+    pub key: KeySpec,
+    /// Operation.
+    pub op: AccessOp,
+}
+
+impl AccessSpec {
+    /// Convenience constructor for a fixed-key access.
+    pub fn fixed(table: TableId, key: Key, op: AccessOp) -> Self {
+        Self { table, key: KeySpec::Fixed(key), op }
+    }
+}
+
+/// A complete queued transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnTemplate {
+    /// The tuple accesses, executed in order (queries run serially within a
+    /// transaction, §3.2).
+    pub accesses: Vec<AccessSpec>,
+    /// Partitions this transaction touches — required *a priori* by H-STORE
+    /// (§2.2) and ignored by the other schemes.
+    pub partitions: Vec<PartId>,
+    /// If true, the transaction aborts itself after executing all accesses
+    /// (TPC-C NewOrder invalid-item rule, §5.6). User aborts still roll back.
+    pub user_abort: bool,
+    /// Units of extra computation between queries, in abstract "logic ticks"
+    /// (YCSB performs none; TPC-C performs a little per query).
+    pub logic_per_query: u32,
+    /// Workload-defined transaction type (TPC-C: 0 = Payment, 1 = NewOrder).
+    /// Reported separately in per-type throughput figures (Figs 16–17).
+    pub tag: u8,
+}
+
+impl TxnTemplate {
+    /// A template over fixed-key accesses with no program logic.
+    pub fn new(accesses: Vec<AccessSpec>) -> Self {
+        Self { accesses, partitions: Vec::new(), user_abort: false, logic_per_query: 0, tag: 0 }
+    }
+
+    /// Number of accesses (the paper's "transaction length").
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True if the template performs no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Does the transaction perform any write?
+    pub fn is_read_only(&self) -> bool {
+        self.accesses.iter().all(|a| !a.op.is_write())
+    }
+
+    /// Is this a multi-partition transaction (H-STORE sense)?
+    pub fn is_multi_partition(&self) -> bool {
+        self.partitions.len() > 1
+    }
+
+    /// Validate internal consistency: derived keys must reference a counter
+    /// slot captured by an earlier access, slots must be in range.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut captured = [false; MAX_COUNTER_SLOTS];
+        for (i, a) in self.accesses.iter().enumerate() {
+            if let AccessOp::UpdateCounter { slot } = a.op {
+                let s = slot as usize;
+                if s >= MAX_COUNTER_SLOTS {
+                    return Err(format!("access {i}: counter slot {slot} out of range"));
+                }
+                captured[s] = true;
+            }
+            if let KeySpec::Derived { slot, .. } = a.key {
+                let s = slot as usize;
+                if s >= MAX_COUNTER_SLOTS {
+                    return Err(format!("access {i}: derived slot {slot} out of range"));
+                }
+                if !captured[s] {
+                    return Err(format!(
+                        "access {i}: derived key uses slot {slot} before any UpdateCounter"
+                    ));
+                }
+                if !matches!(a.op, AccessOp::Insert) {
+                    return Err(format!("access {i}: derived keys are only valid for inserts"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(table: TableId, key: Key) -> AccessSpec {
+        AccessSpec::fixed(table, key, AccessOp::Read)
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let t = TxnTemplate::new(vec![read(0, 1), read(0, 2)]);
+        assert!(t.is_read_only());
+        let mut t2 = t.clone();
+        t2.accesses.push(AccessSpec::fixed(0, 3, AccessOp::Update));
+        assert!(!t2.is_read_only());
+        assert_eq!(t2.len(), 3);
+    }
+
+    #[test]
+    fn multi_partition_detection() {
+        let mut t = TxnTemplate::new(vec![read(0, 1)]);
+        assert!(!t.is_multi_partition());
+        t.partitions = vec![0, 3];
+        assert!(t.is_multi_partition());
+    }
+
+    #[test]
+    fn validate_accepts_tpcc_shape() {
+        // district counter update, then order insert keyed off the counter.
+        let t = TxnTemplate::new(vec![
+            AccessSpec { table: 1, key: KeySpec::Fixed(7), op: AccessOp::UpdateCounter { slot: 0 } },
+            AccessSpec {
+                table: 2,
+                key: KeySpec::Derived { slot: 0, base: 1 << 32, scale: 1 },
+                op: AccessOp::Insert,
+            },
+        ]);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_uncaptured_slot() {
+        let t = TxnTemplate::new(vec![AccessSpec {
+            table: 2,
+            key: KeySpec::Derived { slot: 0, base: 0, scale: 1 },
+            op: AccessOp::Insert,
+        }]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_derived_read() {
+        let t = TxnTemplate::new(vec![
+            AccessSpec { table: 1, key: KeySpec::Fixed(7), op: AccessOp::UpdateCounter { slot: 0 } },
+            AccessSpec { table: 2, key: KeySpec::Derived { slot: 0, base: 0, scale: 1 }, op: AccessOp::Read },
+        ]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_slot() {
+        let t = TxnTemplate::new(vec![AccessSpec {
+            table: 1,
+            key: KeySpec::Fixed(7),
+            op: AccessOp::UpdateCounter { slot: 9 },
+        }]);
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Zipfian key-choice generator for YCSB, after Gray et al.,
+//! *Quickly Generating Billion-Record Synthetic Databases* (SIGMOD '94) —
+//! the same construction DBx1000 and the original YCSB use.
+//!
+//! `theta` (the paper's contention knob) is the Zipf exponent-like skew
+//! parameter: `theta = 0` is uniform; `theta = 0.6` routes ~40% of accesses
+//! to the hottest 10% of keys; `theta = 0.8` routes ~60% (§3.3).
+
+use crate::rng::Xoshiro256;
+
+/// Zipfian generator over `[0, n)` with skew `theta ∈ [0, 1)`.
+///
+/// Construction cost is O(n) for the zeta sum (done once; reused across
+/// clones), generation cost is O(1) per draw.
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    half_pow: f64,
+}
+
+impl ZipfGen {
+    /// Build a generator for `n` items with skew `theta`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `theta` is outside `[0, 1)` (theta = 1 diverges in this
+    /// construction; the paper sweeps 0..=0.9).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "ZipfGen needs at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1), got {theta}");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        let half_pow = 1.0 + 0.5f64.powf(theta);
+        Self { n, theta, alpha, zetan, eta, half_pow }
+    }
+
+    /// The generalized harmonic number `sum_{i=1..n} 1/i^theta`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // For paper-scale n (20M) this is a one-time ~100ms cost; callers
+        // cache the generator. An Euler–Maclaurin approximation would be
+        // faster but the exact sum keeps the distribution tests tight.
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw the next item in `[0, n)`; item 0 is the hottest.
+    #[inline]
+    pub fn next(&self, rng: &mut Xoshiro256) -> u64 {
+        if self.theta == 0.0 {
+            return rng.next_below(self.n);
+        }
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < self.half_pow {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hottest_fraction(theta: f64, hot_frac: f64) -> f64 {
+        // Measure what fraction of draws land in the hottest `hot_frac` of
+        // a 100k-item table.
+        let n = 100_000u64;
+        let g = ZipfGen::new(n, theta);
+        let mut rng = Xoshiro256::seed_from(99);
+        let cutoff = (n as f64 * hot_frac) as u64;
+        let draws = 200_000;
+        let hits = (0..draws).filter(|_| g.next(&mut rng) < cutoff).count();
+        hits as f64 / draws as f64
+    }
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let f = hottest_fraction(0.0, 0.10);
+        assert!((f - 0.10).abs() < 0.01, "theta=0 hottest-10% got {f}");
+    }
+
+    #[test]
+    fn medium_contention_matches_paper() {
+        // §3.3: theta=0.6 ⇒ hotspot of 10% of tuples gets ~40% of accesses.
+        let f = hottest_fraction(0.6, 0.10);
+        assert!((0.32..=0.48).contains(&f), "theta=0.6 hottest-10% got {f}");
+    }
+
+    #[test]
+    fn high_contention_matches_paper() {
+        // §3.3: theta=0.8 ⇒ hotspot of 10% of tuples gets ~60% of accesses.
+        let f = hottest_fraction(0.8, 0.10);
+        assert!((0.52..=0.70).contains(&f), "theta=0.8 hottest-10% got {f}");
+    }
+
+    #[test]
+    fn draws_stay_in_range() {
+        for theta in [0.0, 0.3, 0.6, 0.9] {
+            let g = ZipfGen::new(1000, theta);
+            let mut rng = Xoshiro256::seed_from(3);
+            for _ in 0..10_000 {
+                assert!(g.next(&mut rng) < 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn item_zero_is_hottest() {
+        let g = ZipfGen::new(10_000, 0.8);
+        let mut rng = Xoshiro256::seed_from(5);
+        let mut counts = [0u32; 4];
+        for _ in 0..100_000 {
+            let v = g.next(&mut rng);
+            if v < 4 {
+                counts[v as usize] += 1;
+            }
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+    }
+
+    #[test]
+    fn single_item_table() {
+        let g = ZipfGen::new(1, 0.6);
+        let mut rng = Xoshiro256::seed_from(1);
+        for _ in 0..100 {
+            assert_eq!(g.next(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn rejects_theta_one() {
+        let _ = ZipfGen::new(10, 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Engine configuration.
+
+use abyss_common::{CcScheme, TsMethod};
+
+/// Configuration for a [`crate::db::Database`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The concurrency-control scheme under test.
+    pub scheme: CcScheme,
+    /// Timestamp-allocation method (ignored by DL_DETECT / NO_WAIT).
+    pub ts_method: TsMethod,
+    /// Number of worker threads the database will serve. Sizes the
+    /// per-worker registries (waits-for slots, wakeup flags).
+    pub workers: u32,
+    /// DL_DETECT: abort a transaction after waiting this many microseconds
+    /// (the Fig. 5 knob; paper default 100 µs). `u64::MAX` disables.
+    pub dl_timeout_us: u64,
+    /// DL_DETECT: run a deadlock-detection pass after waiting this many
+    /// microseconds, then after every further such interval.
+    pub dl_detect_interval_us: u64,
+    /// Number of H-STORE partitions (usually = workers; 1 for the rest).
+    pub partitions: u32,
+    /// MVCC: maximum committed versions retained per tuple before the
+    /// oldest is garbage-collected.
+    pub mvcc_max_versions: usize,
+    /// Safety valve: abort any wait after this many microseconds regardless
+    /// of scheme, so a stuck experiment fails loudly instead of hanging.
+    pub wait_cap_us: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            scheme: CcScheme::NoWait,
+            ts_method: TsMethod::Atomic,
+            workers: 1,
+            dl_timeout_us: 100,
+            dl_detect_interval_us: 10,
+            partitions: 1,
+            mvcc_max_versions: 8,
+            wait_cap_us: 2_000_000,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config for `scheme` with `workers` threads and paper defaults.
+    pub fn new(scheme: CcScheme, workers: u32) -> Self {
+        let partitions = if scheme == CcScheme::HStore { workers } else { 1 };
+        Self { scheme, workers, partitions, ..Self::default() }
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be positive".into());
+        }
+        if self.workers > crate::txn::MAX_WORKERS as u32 {
+            return Err(format!("workers capped at {}", crate::txn::MAX_WORKERS));
+        }
+        if self.partitions == 0 {
+            return Err("partitions must be positive".into());
+        }
+        if self.scheme == CcScheme::HStore && self.partitions == 1 && self.workers > 1 {
+            return Err("H-STORE with one partition serializes everything".into());
+        }
+        if self.mvcc_max_versions < 2 {
+            return Err("mvcc_max_versions must be at least 2".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hstore_defaults_partitions_to_workers() {
+        let c = EngineConfig::new(CcScheme::HStore, 8);
+        assert_eq!(c.partitions, 8);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zero_workers() {
+        let mut c = EngineConfig::new(CcScheme::NoWait, 4);
+        c.workers = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_single_partition_hstore() {
+        let mut c = EngineConfig::new(CcScheme::HStore, 4);
+        c.partitions = 1;
+        assert!(c.validate().is_err());
+    }
+}

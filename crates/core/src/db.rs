@@ -1,0 +1,251 @@
+//! The database: catalog-driven tables, indexes, per-tuple CC metadata, and
+//! the shared machinery (timestamp allocator, park table, waits-for graph,
+//! partition locks) that the scheme implementations coordinate through.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use abyss_common::{CcScheme, DbError, Key, RowIdx, TableId};
+use abyss_storage::{Catalog, HashIndex, Schema, Table};
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::config::EngineConfig;
+use crate::meta::RowMeta;
+use crate::park::ParkTable;
+use crate::schemes::hstore::PartState;
+use crate::ts::SharedTs;
+use crate::waitsfor::WaitsFor;
+use crate::worker::WorkerCtx;
+
+/// A main-memory database running one concurrency-control scheme.
+///
+/// Construction allocates every table arena, hash index and per-tuple
+/// metadata array up front; [`Database::load_table`] populates rows;
+/// [`Database::worker`] creates per-thread contexts that execute
+/// transactions (see [`crate::worker::WorkerCtx`]).
+pub struct Database {
+    pub(crate) cfg: EngineConfig,
+    pub(crate) catalog: Catalog,
+    pub(crate) tables: Vec<Table>,
+    pub(crate) indexes: Vec<HashIndex>,
+    pub(crate) meta: Vec<Box<[RowMeta]>>,
+    pub(crate) ts: SharedTs,
+    pub(crate) park: ParkTable,
+    pub(crate) waits: WaitsFor,
+    pub(crate) parts: Box<[CachePadded<Mutex<PartState>>]>,
+    /// Global transaction counter — used only to seed txn-id sequences of
+    /// late-created workers; not on any hot path.
+    pub(crate) _epoch: AtomicU64,
+}
+
+impl Database {
+    /// Build a database for `catalog` under `cfg`.
+    pub fn new(cfg: EngineConfig, catalog: Catalog) -> Result<Arc<Self>, DbError> {
+        cfg.validate().map_err(DbError::SchemaViolation)?;
+        let mut tables = Vec::with_capacity(catalog.len());
+        let mut indexes = Vec::with_capacity(catalog.len());
+        let mut meta = Vec::with_capacity(catalog.len());
+        for def in catalog.tables() {
+            tables.push(Table::new(def.schema.clone(), def.capacity));
+            indexes.push(HashIndex::new(def.id, def.capacity));
+            let mut m = Vec::with_capacity(def.capacity as usize);
+            m.resize_with(def.capacity as usize, RowMeta::default);
+            meta.push(m.into_boxed_slice());
+        }
+        let parts_n = cfg.partitions as usize;
+        let mut parts = Vec::with_capacity(parts_n);
+        parts.resize_with(parts_n, || CachePadded::new(Mutex::new(PartState::default())));
+        Ok(Arc::new(Self {
+            ts: SharedTs::new(cfg.ts_method),
+            park: ParkTable::new(cfg.workers),
+            waits: WaitsFor::new(cfg.workers),
+            parts: parts.into_boxed_slice(),
+            catalog,
+            tables,
+            indexes,
+            meta,
+            cfg,
+            _epoch: AtomicU64::new(0),
+        }))
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The active concurrency-control scheme.
+    pub fn scheme(&self) -> CcScheme {
+        self.cfg.scheme
+    }
+
+    /// The catalog this database was built from.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Schema of `table`.
+    pub fn schema(&self, table: TableId) -> &Schema {
+        self.tables[table as usize].schema()
+    }
+
+    /// Number of row *slots* allocated in `table`. Aborted eager inserts
+    /// (2PL, H-STORE) leave unreachable slots behind, so this can exceed
+    /// [`Database::index_len`]; use the latter to count live rows.
+    pub fn table_len(&self, table: TableId) -> u64 {
+        self.tables[table as usize].len()
+    }
+
+    /// Number of live (indexed) rows in `table`. Walks the index buckets —
+    /// diagnostics and post-run checks, not for hot paths.
+    pub fn index_len(&self, table: TableId) -> u64 {
+        self.indexes[table as usize].len() as u64
+    }
+
+    /// Per-tuple metadata of a row.
+    #[inline]
+    pub(crate) fn row_meta(&self, table: TableId, row: RowIdx) -> &RowMeta {
+        &self.meta[table as usize][row as usize]
+    }
+
+    /// Index probe.
+    #[inline]
+    pub(crate) fn index_get(&self, table: TableId, key: Key) -> Result<RowIdx, DbError> {
+        self.indexes[table as usize].get(key)
+    }
+
+    /// Bulk-load rows into `table`. Not transactional; run before workers
+    /// start. `init` fills each freshly allocated row.
+    pub fn load_table(
+        &self,
+        table: TableId,
+        keys: impl IntoIterator<Item = Key>,
+        mut init: impl FnMut(&Schema, &mut [u8], Key),
+    ) -> Result<u64, DbError> {
+        let t = &self.tables[table as usize];
+        let idx = &self.indexes[table as usize];
+        let mut n = 0;
+        for key in keys {
+            let row = t.allocate_row()?;
+            // SAFETY: the row was just allocated and is not yet indexed, so
+            // no other thread can reach it.
+            let data = unsafe { t.row_mut(row) };
+            init(t.schema(), data, key);
+            idx.insert(key, row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Create the execution context for `worker` (one per thread).
+    pub fn worker(self: &Arc<Self>, worker: u32) -> WorkerCtx {
+        assert!(worker < self.cfg.workers, "worker id {worker} out of range");
+        WorkerCtx::new(Arc::clone(self), worker)
+    }
+
+    /// Direct unprotected read of a row by key — for tests and post-run
+    /// verification only (no concurrency control!).
+    pub fn peek(&self, table: TableId, key: Key) -> Result<Vec<u8>, DbError> {
+        let row = self.index_get(table, key)?;
+        let t = &self.tables[table as usize];
+        // For MVCC the table row may be stale (committed data lives in the
+        // version chain); return the newest version instead.
+        if self.cfg.scheme == CcScheme::Mvcc {
+            let meta = self.row_meta(table, row);
+            let chain = meta.mvcc_chain(|| {
+                // SAFETY: quiescent access (documented contract of peek).
+                unsafe { t.row(row).to_vec().into_boxed_slice() }
+            });
+            if let Some(v) = chain.versions.back() {
+                return Ok(v.data.to_vec());
+            }
+        }
+        // SAFETY: quiescent access (documented contract of peek).
+        Ok(unsafe { t.row(row).to_vec() })
+    }
+
+    /// Sum a `u64` column over all rows of `table` — post-run invariant
+    /// checks (no concurrency control; call when workers are stopped).
+    pub fn sum_column(&self, table: TableId, col: usize) -> u64 {
+        let t = &self.tables[table as usize];
+        let mut sum = 0u64;
+        for row in 0..t.len() {
+            if self.cfg.scheme == CcScheme::Mvcc {
+                let meta = self.row_meta(table, row);
+                let chain =
+                    meta.mvcc_chain(|| unsafe { t.row(row).to_vec().into_boxed_slice() });
+                if let Some(v) = chain.versions.back() {
+                    sum = sum.wrapping_add(abyss_storage::row::get_u64(t.schema(), &v.data, col));
+                    continue;
+                }
+            }
+            // SAFETY: quiescent access (documented contract).
+            let data = unsafe { t.row(row) };
+            sum = sum.wrapping_add(abyss_storage::row::get_u64(t.schema(), data, col));
+        }
+        sum
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("scheme", &self.cfg.scheme)
+            .field("workers", &self.cfg.workers)
+            .field("tables", &self.tables.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abyss_storage::row;
+
+    fn tiny_db(scheme: CcScheme) -> Arc<Database> {
+        let mut cat = Catalog::new();
+        cat.add_table("t", Schema::key_plus_payload(1, 8), 100);
+        let db = Database::new(EngineConfig::new(scheme, 2), cat).unwrap();
+        db.load_table(0, 0..50, |s, r, k| {
+            row::set_u64(s, r, 0, k);
+            row::set_u64(s, r, 1, k * 10);
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn load_and_peek() {
+        let db = tiny_db(CcScheme::NoWait);
+        assert_eq!(db.table_len(0), 50);
+        let r = db.peek(0, 7).unwrap();
+        assert_eq!(row::get_u64(db.schema(0), &r, 0), 7);
+        assert_eq!(row::get_u64(db.schema(0), &r, 1), 70);
+        assert!(db.peek(0, 99).is_err());
+    }
+
+    #[test]
+    fn sum_column_over_load() {
+        let db = tiny_db(CcScheme::NoWait);
+        // sum of k*10 for k in 0..50
+        assert_eq!(db.sum_column(0, 1), (0..50u64).map(|k| k * 10).sum());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_table("t", Schema::key_plus_payload(1, 8), 10);
+        let mut cfg = EngineConfig::new(CcScheme::NoWait, 1);
+        cfg.workers = 0;
+        assert!(Database::new(cfg, cat).is_err());
+    }
+
+    #[test]
+    fn worker_id_bounds_checked() {
+        let db = tiny_db(CcScheme::NoWait);
+        let _ok = db.worker(1);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| db.worker(5)));
+        assert!(res.is_err());
+    }
+}

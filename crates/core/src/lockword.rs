@@ -1,0 +1,139 @@
+//! Lock-word encodings.
+//!
+//! Two single-word protocols cover the lock-free fast paths:
+//!
+//! * [`rw`] — a shared/exclusive count word for the 2PL schemes:
+//!   bit 63 = writer present, bits 0..32 = reader count. NO_WAIT runs
+//!   entirely on CAS against this word (the paper: "no centralized point
+//!   of contention").
+//! * [`silo`] — a version-plus-lock word for OCC reads and validation:
+//!   bit 63 = locked, bits 0..63 = version counter bumped on every
+//!   committed write.
+
+/// Shared/exclusive reader-writer word.
+pub mod rw {
+    /// Writer-present bit.
+    pub const WRITER: u64 = 1 << 63;
+    /// Mask of the reader count.
+    pub const READERS: u64 = (1 << 32) - 1;
+
+    /// No holders at all.
+    #[inline]
+    pub fn is_free(w: u64) -> bool {
+        w == 0
+    }
+
+    /// A writer holds the word.
+    #[inline]
+    pub fn has_writer(w: u64) -> bool {
+        w & WRITER != 0
+    }
+
+    /// Number of readers.
+    #[inline]
+    pub fn readers(w: u64) -> u64 {
+        w & READERS
+    }
+
+    /// Word after one more reader (caller checks `!has_writer`).
+    #[inline]
+    pub fn add_reader(w: u64) -> u64 {
+        debug_assert!(!has_writer(w));
+        w + 1
+    }
+
+    /// Word after one reader leaves.
+    #[inline]
+    pub fn remove_reader(w: u64) -> u64 {
+        debug_assert!(readers(w) > 0);
+        w - 1
+    }
+
+    /// Can a shared request be granted immediately?
+    #[inline]
+    pub fn can_read(w: u64) -> bool {
+        !has_writer(w)
+    }
+
+    /// Can an exclusive request be granted immediately?
+    #[inline]
+    pub fn can_write(w: u64) -> bool {
+        w == 0
+    }
+}
+
+/// Silo-style version + lock word (OCC).
+pub mod silo {
+    /// Lock bit.
+    pub const LOCKED: u64 = 1 << 63;
+
+    /// Is the word locked?
+    #[inline]
+    pub fn is_locked(w: u64) -> bool {
+        w & LOCKED != 0
+    }
+
+    /// The version component.
+    #[inline]
+    pub fn version(w: u64) -> u64 {
+        w & !LOCKED
+    }
+
+    /// The word with the lock bit set.
+    #[inline]
+    pub fn lock(w: u64) -> u64 {
+        w | LOCKED
+    }
+
+    /// The word after a committed write: version+1, unlocked.
+    #[inline]
+    pub fn bump_and_unlock(w: u64) -> u64 {
+        version(w) + 1
+    }
+
+    /// The word unlocked with the version unchanged (validation failure).
+    #[inline]
+    pub fn unlock(w: u64) -> u64 {
+        version(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_reader_lifecycle() {
+        let mut w = 0u64;
+        assert!(rw::is_free(w));
+        assert!(rw::can_read(w) && rw::can_write(w));
+        w = rw::add_reader(w);
+        w = rw::add_reader(w);
+        assert_eq!(rw::readers(w), 2);
+        assert!(rw::can_read(w));
+        assert!(!rw::can_write(w));
+        w = rw::remove_reader(w);
+        w = rw::remove_reader(w);
+        assert!(rw::is_free(w));
+    }
+
+    #[test]
+    fn rw_writer_excludes() {
+        let w = rw::WRITER;
+        assert!(rw::has_writer(w));
+        assert!(!rw::can_read(w));
+        assert!(!rw::can_write(w));
+        assert_eq!(rw::readers(w), 0);
+    }
+
+    #[test]
+    fn silo_lock_preserves_version() {
+        let w = 41u64;
+        let locked = silo::lock(w);
+        assert!(silo::is_locked(locked));
+        assert_eq!(silo::version(locked), 41);
+        assert_eq!(silo::unlock(locked), 41);
+        assert_eq!(silo::bump_and_unlock(locked), 42);
+        assert!(!silo::is_locked(silo::bump_and_unlock(locked)));
+    }
+}

@@ -1,0 +1,336 @@
+//! Per-tuple concurrency-control metadata.
+//!
+//! The paper's §4.1 design: "instead of having a centralized lock table or
+//! timestamp manager, we implemented these data structures in a per-tuple
+//! fashion where each transaction only latches the tuples that it needs."
+//! [`RowMeta`] is that per-tuple record: one atomic word for the lock-free
+//! fast paths (NO_WAIT's reader/writer counts, OCC's version+lock), plus a
+//! lazily-allocated, latch-protected [`Aux`] holding whatever richer state
+//! the active scheme needs (2PL wait queues, T/O timestamps and prewrites,
+//! MVCC version chains).
+//!
+//! A database runs exactly one scheme, so each row's `Aux` only ever takes
+//! one variant; the accessors initialize it on first touch.
+
+use std::collections::VecDeque;
+
+use abyss_common::{CoreId, Ts, TxnId};
+use parking_lot::{MappedMutexGuard, Mutex, MutexGuard};
+
+/// Lock mode for the 2PL schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) lock.
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Two modes are compatible iff both are shared.
+    #[inline]
+    pub fn compatible(self, other: LockMode) -> bool {
+        self == LockMode::Shared && other == LockMode::Shared
+    }
+}
+
+/// A transaction waiting in a tuple's lock queue.
+#[derive(Debug, Clone, Copy)]
+pub struct Waiter {
+    /// Waiting transaction.
+    pub txn: TxnId,
+    /// Its worker (for the wakeup flag).
+    pub worker: CoreId,
+    /// Requested mode.
+    pub mode: LockMode,
+    /// Its timestamp (WAIT_DIE ordering; 0 under DL_DETECT).
+    pub ts: Ts,
+    /// True if the waiter already holds the lock in `Shared` mode and is
+    /// waiting to upgrade to `Exclusive`.
+    pub upgrade: bool,
+}
+
+/// A transaction currently holding a tuple lock.
+#[derive(Debug, Clone, Copy)]
+pub struct Owner {
+    /// Holding transaction.
+    pub txn: TxnId,
+    /// Held mode.
+    pub mode: LockMode,
+    /// Its timestamp (WAIT_DIE age comparisons; 0 under DL_DETECT).
+    pub ts: Ts,
+}
+
+/// 2PL per-tuple lock state (DL_DETECT and WAIT_DIE).
+#[derive(Debug, Default)]
+pub struct LockQueue {
+    /// Current holders. Either any number of `Shared` entries or exactly
+    /// one `Exclusive` entry.
+    pub owners: Vec<Owner>,
+    /// Waiting requests. DL_DETECT: FIFO. WAIT_DIE: sorted by `ts`
+    /// ascending (oldest first).
+    pub waiters: VecDeque<Waiter>,
+}
+
+impl LockQueue {
+    /// Is `mode` compatible with every current owner, ignoring `me` (for
+    /// upgrades)?
+    pub fn compatible_with_owners(&self, mode: LockMode, me: TxnId) -> bool {
+        self.owners.iter().all(|o| o.txn == me || o.mode.compatible(mode))
+    }
+
+    /// Owners that conflict with `mode` (excluding `me`).
+    pub fn conflicting_owners<'a>(
+        &'a self,
+        mode: LockMode,
+        me: TxnId,
+    ) -> impl Iterator<Item = &'a Owner> + 'a {
+        self.owners.iter().filter(move |o| o.txn != me && !o.mode.compatible(mode))
+    }
+
+    /// Remove `txn` from the owner list. Returns true if it was an owner.
+    pub fn remove_owner(&mut self, txn: TxnId) -> bool {
+        let before = self.owners.len();
+        self.owners.retain(|o| o.txn != txn);
+        self.owners.len() != before
+    }
+
+    /// Remove `txn` from the wait queue (timeout / die path).
+    pub fn remove_waiter(&mut self, txn: TxnId) -> bool {
+        let before = self.waiters.len();
+        self.waiters.retain(|w| w.txn != txn);
+        self.waiters.len() != before
+    }
+}
+
+/// A transaction waiting for a T/O prewrite to resolve.
+#[derive(Debug, Clone, Copy)]
+pub struct TsWaiter {
+    /// Waiting transaction's timestamp.
+    pub ts: Ts,
+    /// Its worker (for the wakeup flag).
+    pub worker: CoreId,
+}
+
+/// Basic T/O per-tuple state (TIMESTAMP scheme).
+#[derive(Debug, Default)]
+pub struct TsState {
+    /// Timestamp of the last committed write.
+    pub wts: Ts,
+    /// Timestamp of the last read.
+    pub rts: Ts,
+    /// Uncommitted prewrites `(ts, txn)`.
+    pub prewrites: Vec<(Ts, TxnId)>,
+    /// Readers blocked on a smaller pending prewrite.
+    pub waiters: Vec<TsWaiter>,
+}
+
+impl TsState {
+    /// Smallest pending prewrite timestamp below `ts`, if any.
+    pub fn pending_below(&self, ts: Ts) -> Option<Ts> {
+        self.prewrites.iter().map(|&(p, _)| p).filter(|&p| p < ts).min()
+    }
+
+    /// Remove `txn`'s prewrite. Returns true if one was present.
+    pub fn remove_prewrite(&mut self, txn: TxnId) -> bool {
+        let before = self.prewrites.len();
+        self.prewrites.retain(|&(_, t)| t != txn);
+        self.prewrites.len() != before
+    }
+}
+
+/// One committed version in an MVCC chain.
+#[derive(Debug)]
+pub struct Version {
+    /// Write timestamp of the creating transaction.
+    pub wts: Ts,
+    /// Largest timestamp that has read this version.
+    pub rts: Ts,
+    /// The version's row image.
+    pub data: Box<[u8]>,
+}
+
+/// MVCC per-tuple state: a version chain ordered oldest → newest.
+#[derive(Debug, Default)]
+pub struct MvccChain {
+    /// Committed versions, `wts` strictly increasing.
+    pub versions: VecDeque<Version>,
+    /// Uncommitted prewrites `(ts, txn)`.
+    pub prewrites: Vec<(Ts, TxnId)>,
+    /// Readers blocked on a pending earlier write.
+    pub waiters: Vec<TsWaiter>,
+}
+
+impl MvccChain {
+    /// Index of the newest version with `wts <= ts`.
+    pub fn visible_version(&self, ts: Ts) -> Option<usize> {
+        self.versions.iter().rposition(|v| v.wts <= ts)
+    }
+
+    /// Smallest pending prewrite in `(after, ts)`, i.e. one whose commit
+    /// this reader would have to observe.
+    pub fn pending_between(&self, after: Ts, ts: Ts) -> Option<Ts> {
+        self.prewrites.iter().map(|&(p, _)| p).filter(|&p| p > after && p < ts).min()
+    }
+
+    /// Remove `txn`'s prewrite. Returns true if one was present.
+    pub fn remove_prewrite(&mut self, txn: TxnId) -> bool {
+        let before = self.prewrites.len();
+        self.prewrites.retain(|&(_, t)| t != txn);
+        self.prewrites.len() != before
+    }
+
+    /// Drop oldest versions beyond `max` (simple bounded GC).
+    pub fn gc(&mut self, max: usize) {
+        while self.versions.len() > max {
+            self.versions.pop_front();
+        }
+    }
+}
+
+/// Scheme-specific per-tuple state. One variant per database lifetime.
+#[derive(Debug)]
+pub enum Aux {
+    /// 2PL queue (DL_DETECT / WAIT_DIE).
+    Lock(LockQueue),
+    /// Basic T/O state (TIMESTAMP).
+    Ts(TsState),
+    /// MVCC version chain.
+    Mvcc(MvccChain),
+}
+
+/// Per-tuple concurrency-control metadata (see module docs).
+#[derive(Debug)]
+pub struct RowMeta {
+    /// Lock-free word: `lockword::rw` for NO_WAIT, `lockword::silo` for OCC.
+    pub word: std::sync::atomic::AtomicU64,
+    aux: Mutex<Option<Box<Aux>>>,
+}
+
+impl Default for RowMeta {
+    fn default() -> Self {
+        Self { word: std::sync::atomic::AtomicU64::new(0), aux: Mutex::new(None) }
+    }
+}
+
+impl RowMeta {
+    /// Latch the tuple and get its 2PL queue, initializing it on first use.
+    pub fn lock_queue(&self) -> MappedMutexGuard<'_, LockQueue> {
+        MutexGuard::map(self.aux.lock(), |slot| {
+            let aux = slot.get_or_insert_with(|| Box::new(Aux::Lock(LockQueue::default())));
+            match aux.as_mut() {
+                Aux::Lock(q) => q,
+                other => unreachable!("scheme mismatch: expected Lock, found {other:?}"),
+            }
+        })
+    }
+
+    /// Latch the tuple and get its T/O state, initializing it on first use.
+    pub fn ts_state(&self) -> MappedMutexGuard<'_, TsState> {
+        MutexGuard::map(self.aux.lock(), |slot| {
+            let aux = slot.get_or_insert_with(|| Box::new(Aux::Ts(TsState::default())));
+            match aux.as_mut() {
+                Aux::Ts(s) => s,
+                other => unreachable!("scheme mismatch: expected Ts, found {other:?}"),
+            }
+        })
+    }
+
+    /// Latch the tuple and get its MVCC chain. `init` supplies the initial
+    /// version's row image on first touch (the loaded table row).
+    pub fn mvcc_chain(
+        &self,
+        init: impl FnOnce() -> Box<[u8]>,
+    ) -> MappedMutexGuard<'_, MvccChain> {
+        MutexGuard::map(self.aux.lock(), |slot| {
+            let aux = slot.get_or_insert_with(|| {
+                let mut chain = MvccChain::default();
+                chain.versions.push_back(Version { wts: 0, rts: 0, data: init() });
+                Box::new(Aux::Mvcc(chain))
+            });
+            match aux.as_mut() {
+                Aux::Mvcc(c) => c,
+                other => unreachable!("scheme mismatch: expected Mvcc, found {other:?}"),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_mode_compatibility() {
+        assert!(LockMode::Shared.compatible(LockMode::Shared));
+        assert!(!LockMode::Shared.compatible(LockMode::Exclusive));
+        assert!(!LockMode::Exclusive.compatible(LockMode::Shared));
+        assert!(!LockMode::Exclusive.compatible(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn queue_owner_management() {
+        let mut q = LockQueue::default();
+        q.owners.push(Owner { txn: 1, mode: LockMode::Shared, ts: 10 });
+        q.owners.push(Owner { txn: 2, mode: LockMode::Shared, ts: 20 });
+        assert!(q.compatible_with_owners(LockMode::Shared, 99));
+        assert!(!q.compatible_with_owners(LockMode::Exclusive, 99));
+        // ...but an upgrade by the sole remaining reader is compatible.
+        assert!(q.remove_owner(2));
+        assert!(q.compatible_with_owners(LockMode::Exclusive, 1));
+        let conflicting: Vec<TxnId> =
+            q.conflicting_owners(LockMode::Exclusive, 99).map(|o| o.txn).collect();
+        assert_eq!(conflicting, vec![1]);
+    }
+
+    #[test]
+    fn ts_state_pending() {
+        let mut s = TsState::default();
+        s.prewrites.push((10, 1));
+        s.prewrites.push((5, 2));
+        assert_eq!(s.pending_below(8), Some(5));
+        assert_eq!(s.pending_below(3), None);
+        assert!(s.remove_prewrite(2));
+        assert!(!s.remove_prewrite(2));
+        assert_eq!(s.pending_below(100), Some(10));
+    }
+
+    #[test]
+    fn mvcc_visibility() {
+        let mut c = MvccChain::default();
+        for wts in [0u64, 5, 9] {
+            c.versions.push_back(Version { wts, rts: 0, data: Box::new([0]) });
+        }
+        assert_eq!(c.visible_version(4), Some(0));
+        assert_eq!(c.visible_version(5), Some(1));
+        assert_eq!(c.visible_version(100), Some(2));
+        c.prewrites.push((7, 3));
+        // reader at ts 8 sees version wts=5 but a prewrite at 7 is pending
+        assert_eq!(c.pending_between(5, 8), Some(7));
+        // reader at ts 6 is unaffected (7 > 6)
+        assert_eq!(c.pending_between(5, 6), None);
+        c.gc(2);
+        assert_eq!(c.versions.len(), 2);
+        assert_eq!(c.versions[0].wts, 5);
+    }
+
+    #[test]
+    fn row_meta_initializes_once() {
+        let m = RowMeta::default();
+        {
+            let mut q = m.lock_queue();
+            q.owners.push(Owner { txn: 7, mode: LockMode::Exclusive, ts: 0 });
+        }
+        let q = m.lock_queue();
+        assert_eq!(q.owners.len(), 1);
+    }
+
+    #[test]
+    fn mvcc_chain_seeds_initial_version() {
+        let m = RowMeta::default();
+        let c = m.mvcc_chain(|| vec![1, 2, 3].into_boxed_slice());
+        assert_eq!(c.versions.len(), 1);
+        assert_eq!(&*c.versions[0].data, &[1, 2, 3]);
+        assert_eq!(c.versions[0].wts, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Worker wait/wakeup flags.
+//!
+//! A worker waits on at most one thing at a time (a tuple lock, a prewrite,
+//! a partition grant), so each worker owns one cache-padded flag. Waiters
+//! spin with exponential politeness (pure spins, then `spin_loop` hints,
+//! then `yield_now` so oversubscribed configurations still make progress)
+//! until the flag leaves [`WAITING`] or a deadline passes.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use abyss_common::CoreId;
+use crossbeam_utils::CachePadded;
+
+/// Flag value: not waiting.
+pub const IDLE: u32 = 0;
+/// Flag value: registered in some queue, waiting for a grant.
+pub const WAITING: u32 = 1;
+/// Flag value: the wait was granted.
+pub const GRANTED: u32 = 2;
+
+/// What ended a wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The grantor set the flag to [`GRANTED`].
+    Granted,
+    /// The deadline passed first.
+    TimedOut,
+}
+
+/// One wakeup flag per worker.
+#[derive(Debug)]
+pub struct ParkTable {
+    flags: Box<[CachePadded<AtomicU32>]>,
+}
+
+impl ParkTable {
+    /// Flags for `workers` workers.
+    pub fn new(workers: u32) -> Self {
+        let mut v = Vec::with_capacity(workers as usize);
+        v.resize_with(workers as usize, || CachePadded::new(AtomicU32::new(IDLE)));
+        Self { flags: v.into_boxed_slice() }
+    }
+
+    /// Arm `worker`'s flag before inserting it into a wait queue.
+    /// Must happen *before* publishing the waiter so a grant cannot race
+    /// ahead of the arm.
+    #[inline]
+    pub fn arm(&self, worker: CoreId) {
+        self.flags[worker as usize].store(WAITING, Ordering::Release);
+    }
+
+    /// Grant `worker`'s pending wait (called by a releaser that has removed
+    /// the waiter from the queue under the tuple latch).
+    #[inline]
+    pub fn grant(&self, worker: CoreId) {
+        self.flags[worker as usize].store(GRANTED, Ordering::Release);
+    }
+
+    /// Spin until granted or `deadline`. Returns the outcome; the flag is
+    /// reset to [`IDLE`] either way.
+    pub fn wait(&self, worker: CoreId, deadline: Instant) -> WaitOutcome {
+        let flag = &self.flags[worker as usize];
+        let mut spins = 0u32;
+        loop {
+            match flag.load(Ordering::Acquire) {
+                WAITING => {}
+                _ => {
+                    flag.store(IDLE, Ordering::Relaxed);
+                    return WaitOutcome::Granted;
+                }
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                if Instant::now() >= deadline {
+                    return WaitOutcome::TimedOut;
+                }
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Like [`ParkTable::wait`] but runs `check` every ~`interval`; if
+    /// `check` returns true the wait is abandoned with `TimedOut` semantics
+    /// left to the caller (used for DL_DETECT's periodic deadlock passes).
+    pub fn wait_with_check(
+        &self,
+        worker: CoreId,
+        deadline: Instant,
+        interval: Duration,
+        mut check: impl FnMut() -> bool,
+    ) -> WaitOutcome {
+        let flag = &self.flags[worker as usize];
+        let mut next_check = Instant::now() + interval;
+        let mut spins = 0u32;
+        loop {
+            match flag.load(Ordering::Acquire) {
+                WAITING => {}
+                _ => {
+                    flag.store(IDLE, Ordering::Relaxed);
+                    return WaitOutcome::Granted;
+                }
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                let now = Instant::now();
+                if now >= deadline {
+                    return WaitOutcome::TimedOut;
+                }
+                if now >= next_check {
+                    if check() {
+                        return WaitOutcome::TimedOut;
+                    }
+                    next_check = now + interval;
+                }
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Reset `worker`'s flag (after a timed-out waiter removed itself from
+    /// the queue, or when a grant raced the timeout and must be swallowed).
+    #[inline]
+    pub fn reset(&self, worker: CoreId) {
+        self.flags[worker as usize].store(IDLE, Ordering::Release);
+    }
+
+    /// Was the flag granted? (Used to disambiguate a timeout race: if the
+    /// waiter is no longer in the queue, the grant happened.)
+    #[inline]
+    pub fn was_granted(&self, worker: CoreId) -> bool {
+        self.flags[worker as usize].load(Ordering::Acquire) == GRANTED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn grant_wakes_waiter() {
+        let pt = Arc::new(ParkTable::new(2));
+        pt.arm(0);
+        let pt2 = Arc::clone(&pt);
+        let h = std::thread::spawn(move || {
+            pt2.wait(0, Instant::now() + Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        pt.grant(0);
+        assert_eq!(h.join().unwrap(), WaitOutcome::Granted);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let pt = ParkTable::new(1);
+        pt.arm(0);
+        let out = pt.wait(0, Instant::now() + Duration::from_millis(5));
+        assert_eq!(out, WaitOutcome::TimedOut);
+        pt.reset(0);
+    }
+
+    #[test]
+    fn grant_before_wait_is_not_lost() {
+        let pt = ParkTable::new(1);
+        pt.arm(0);
+        pt.grant(0);
+        let out = pt.wait(0, Instant::now() + Duration::from_millis(50));
+        assert_eq!(out, WaitOutcome::Granted);
+    }
+
+    #[test]
+    fn check_callback_can_abandon_wait() {
+        let pt = ParkTable::new(1);
+        pt.arm(0);
+        let mut calls = 0;
+        let out = pt.wait_with_check(
+            0,
+            Instant::now() + Duration::from_secs(5),
+            Duration::from_millis(1),
+            || {
+                calls += 1;
+                calls >= 3
+            },
+        );
+        assert_eq!(out, WaitOutcome::TimedOut);
+        assert_eq!(calls, 3);
+        pt.reset(0);
+    }
+}

@@ -1,0 +1,172 @@
+//! H-STORE — timestamp ordering with partition-level locking (§2.2).
+//!
+//! The database is split into disjoint partitions, each protected by one
+//! coarse lock with a timestamp-ordered grant queue. A transaction must
+//! name all its partitions up front (§2.2: "this requires the DBMS to know
+//! what partitions each individual transaction will access before it
+//! begins"), acquires them, then runs with *no per-tuple concurrency
+//! control at all* — which is why its per-access overhead is by far the
+//! lowest (Fig. 14) and why multi-partition transactions collapse its
+//! parallelism (Fig. 15).
+//!
+//! Two deliberate adaptations, both from §4.3 "Local Partitions":
+//!
+//! * threads access remote partitions directly through shared memory
+//!   rather than shipping queries to a partition-owning engine;
+//! * partitions are acquired in sorted partition order, which makes
+//!   hold-and-wait cycles impossible while preserving the
+//!   oldest-timestamp-first grant discipline within each queue.
+
+use std::time::{Duration, Instant};
+
+use abyss_common::stats::Category;
+use abyss_common::{AbortReason, CoreId, Key, RowIdx, TableId, Ts};
+use abyss_storage::Schema;
+
+use super::{ReadRef, SchemeEnv};
+use crate::park::WaitOutcome;
+use crate::txn::{InsertEntry, UndoEntry};
+
+/// One partition's lock state: a busy flag plus a ts-ordered wait queue.
+#[derive(Debug, Default)]
+pub struct PartState {
+    /// Is the partition currently owned?
+    pub busy: bool,
+    /// Waiting transactions, sorted by timestamp ascending.
+    pub queue: Vec<(Ts, CoreId)>,
+}
+
+impl PartState {
+    /// Insert keeping ts order (oldest first).
+    fn enqueue(&mut self, ts: Ts, worker: CoreId) {
+        let pos = self.queue.iter().position(|&(t, _)| t > ts).unwrap_or(self.queue.len());
+        self.queue.insert(pos, (ts, worker));
+    }
+}
+
+/// Acquire every partition in `partitions` (sorted, deduplicated by the
+/// workload generator). Called from `begin`.
+pub(crate) fn acquire_partitions(env: &mut SchemeEnv<'_>, partitions: &[u32]) -> Result<(), AbortReason> {
+    debug_assert!(partitions.windows(2).all(|w| w[0] < w[1]), "partitions must be sorted+unique");
+    for &p in partitions {
+        let ts = env.st.ts;
+        let slot = &env.db.parts[p as usize];
+        let granted = {
+            let mut s = slot.lock();
+            if !s.busy {
+                s.busy = true;
+                true
+            } else {
+                env.db.park.arm(env.worker);
+                s.enqueue(ts, env.worker);
+                false
+            }
+        };
+        if !granted {
+            let started = Instant::now();
+            let deadline = started + Duration::from_micros(env.db.cfg.wait_cap_us);
+            let out = env.db.park.wait(env.worker, deadline);
+            env.stats.breakdown.record(Category::Wait, started.elapsed().as_nanos() as u64);
+            if out == WaitOutcome::TimedOut {
+                let mut s = slot.lock();
+                let pos = s.queue.iter().position(|&(_, w)| w == env.worker);
+                if let Some(i) = pos {
+                    s.queue.remove(i);
+                    drop(s);
+                    env.db.park.reset(env.worker);
+                    release_partitions(env);
+                    return Err(AbortReason::WaitTimeout);
+                }
+                // Grant raced the timeout; we own the partition.
+                drop(s);
+                env.db.park.reset(env.worker);
+            }
+        }
+        env.st.parts.push(p);
+    }
+    Ok(())
+}
+
+/// Release held partitions, granting each queue's oldest waiter.
+pub(crate) fn release_partitions(env: &mut SchemeEnv<'_>) {
+    for p in std::mem::take(&mut env.st.parts) {
+        let mut s = env.db.parts[p as usize].lock();
+        if s.queue.is_empty() {
+            s.busy = false;
+        } else {
+            let (_, worker) = s.queue.remove(0);
+            // busy stays true: ownership transfers to the woken waiter.
+            env.db.park.grant(worker);
+        }
+    }
+}
+
+/// Read in place: the owned partition is exclusive.
+pub(crate) fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+    let t = &env.db.tables[table as usize];
+    // SAFETY: the transaction owns every partition it touches.
+    let data = unsafe { t.row(row) };
+    Ok(ReadRef::InPlace { ptr: data.as_ptr(), len: data.len() })
+}
+
+/// Write in place with a before-image (user aborts still roll back).
+pub(crate) fn write(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+    f: impl FnOnce(&Schema, &mut [u8]),
+) -> Result<(), AbortReason> {
+    let t = &env.db.tables[table as usize];
+    if !env.st.undo.iter().any(|u| u.table == table && u.row == row) {
+        let mut image = env.pool.alloc(t.row_size());
+        // SAFETY: owned partition.
+        unsafe { t.copy_row_into(row, &mut image) };
+        env.st.undo.push(UndoEntry { table, row, image });
+    }
+    // SAFETY: owned partition.
+    let data = unsafe { t.row_mut(row) };
+    f(t.schema(), data);
+    Ok(())
+}
+
+/// Insert immediately; the partition lock covers visibility.
+pub(crate) fn insert(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    key: Key,
+    f: impl FnOnce(&Schema, &mut [u8]),
+) -> Result<(), AbortReason> {
+    let t = &env.db.tables[table as usize];
+    let row = t.allocate_row().map_err(|_| AbortReason::LockConflict)?;
+    // SAFETY: fresh unindexed row in an owned partition.
+    let data = unsafe { t.row_mut(row) };
+    f(t.schema(), data);
+    if env.db.indexes[table as usize].insert(key, row).is_err() {
+        return Err(AbortReason::LockConflict);
+    }
+    env.st.inserts.push(InsertEntry { table, key, row: Some(row), data: None, indexed: true });
+    Ok(())
+}
+
+/// Commit: just hand the partitions to the next transactions in line.
+pub(crate) fn commit(env: &mut SchemeEnv<'_>) {
+    release_partitions(env);
+}
+
+/// Abort (user aborts only — H-STORE has no scheduler conflicts): restore
+/// before-images, unpublish inserts, release partitions.
+pub(crate) fn abort(env: &mut SchemeEnv<'_>) {
+    for u in std::mem::take(&mut env.st.undo).into_iter().rev() {
+        let t = &env.db.tables[u.table as usize];
+        // SAFETY: partitions still owned.
+        let data = unsafe { t.row_mut(u.row) };
+        data.copy_from_slice(&u.image[..data.len()]);
+        env.pool.free(u.image);
+    }
+    for ins in env.st.inserts.drain(..) {
+        if ins.indexed {
+            env.db.indexes[ins.table as usize].remove(ins.key);
+        }
+    }
+    release_partitions(env);
+}

@@ -1,0 +1,48 @@
+//! The seven concurrency-control scheme implementations.
+//!
+//! Each module exposes `read` / `write` / `insert` / `commit` / `abort`
+//! operating on a `SchemeEnv` — the disjoint borrow of everything a
+//! scheme needs from the worker context. [`crate::worker::WorkerCtx`]
+//! dispatches on the configured [`abyss_common::CcScheme`].
+
+pub mod hstore;
+pub mod mvcc;
+pub mod occ;
+pub mod timestamp;
+pub mod twopl;
+
+use abyss_common::stats::RunStats;
+use abyss_common::CoreId;
+use abyss_storage::MemPool;
+
+use crate::db::Database;
+use crate::txn::TxnState;
+
+/// Disjoint borrows of the worker context handed to scheme code.
+pub(crate) struct SchemeEnv<'a> {
+    /// The shared database.
+    pub db: &'a Database,
+    /// This transaction's state.
+    pub st: &'a mut TxnState,
+    /// The worker's memory pool (read copies, undo images, write buffers).
+    pub pool: &'a mut MemPool,
+    /// The worker id (park-table slot).
+    pub worker: CoreId,
+    /// Per-worker statistics (wait-time accounting).
+    pub stats: &'a mut RunStats,
+}
+
+/// Where a read's bytes live.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ReadRef {
+    /// Directly in the table arena (2PL / H-STORE: protected by a held
+    /// lock or an owned partition until commit).
+    InPlace {
+        /// Pointer into the table arena.
+        ptr: *const u8,
+        /// Row length.
+        len: usize,
+    },
+    /// In the transaction's read-copy buffer at this index (T/O, MVCC, OCC).
+    Rbuf(usize),
+}

@@ -1,0 +1,255 @@
+//! MVCC — multi-version timestamp ordering (§2.2).
+//!
+//! Every committed write appends a version tagged with the writer's
+//! timestamp to the tuple's chain ([`crate::meta::MvccChain`]). Reads find
+//! the newest version with `wts ≤ ts` — they are never rejected for
+//! arriving "late" (the paper's headline benefit: non-blocking reads under
+//! read-mostly mixes, Fig. 13) — but must wait when an *uncommitted* write
+//! with a timestamp between that version and the reader is pending.
+//! Writes follow MVTO: if the visible version has already been read by a
+//! later transaction (`rts > ts`) or a newer committed version exists, the
+//! writer aborts.
+//!
+//! Chains are garbage-collected to `mvcc_max_versions`; a reader whose
+//! timestamp predates the oldest retained version aborts (practically
+//! unobserved — it would need to lag by `max_versions` commits).
+
+use std::time::{Duration, Instant};
+
+use abyss_common::stats::Category;
+use abyss_common::{AbortReason, Key, RowIdx, TableId};
+use abyss_storage::Schema;
+
+use super::{ReadRef, SchemeEnv};
+use crate::meta::{TsWaiter, Version};
+use crate::txn::{InsertEntry, ReadCopy, WriteEntry};
+
+/// Copy the current table row — the chain's initial version on first touch.
+fn seed<'a>(t: &'a abyss_storage::Table, row: RowIdx) -> impl FnOnce() -> Box<[u8]> + 'a {
+    move || {
+        // SAFETY: MVCC never writes the arena row after load; the loaded
+        // image is immutable.
+        unsafe { t.row(row) }.to_vec().into_boxed_slice()
+    }
+}
+
+/// MVCC read (see module docs).
+pub(crate) fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+    if let Some(i) = env.st.wbuf_idx(table, row) {
+        let mut copy = env.pool.alloc(env.st.wbuf[i].data.capacity());
+        copy.as_mut_slice().copy_from_slice(&env.st.wbuf[i].data);
+        env.st.rbuf.push(ReadCopy { table, row, data: copy });
+        return Ok(ReadRef::Rbuf(env.st.rbuf.len() - 1));
+    }
+    let ts = env.st.ts;
+    let me = env.st.txn_id;
+    let started = Instant::now();
+    let deadline = started + Duration::from_micros(env.db.cfg.wait_cap_us);
+    loop {
+        let t = &env.db.tables[table as usize];
+        {
+            let meta = env.db.row_meta(table, row);
+            let mut chain = meta.mvcc_chain(seed(t, row));
+            let Some(vi) = chain.visible_version(ts) else {
+                // Required version was garbage-collected.
+                return Err(AbortReason::TsOrderViolation);
+            };
+            let vwts = chain.versions[vi].wts;
+            let pending = chain
+                .prewrites
+                .iter()
+                .any(|&(p, t2)| p > vwts && p < ts && t2 != me);
+            if !pending {
+                let v = &mut chain.versions[vi];
+                v.rts = v.rts.max(ts);
+                let mut buf = env.pool.alloc(v.data.len());
+                buf[..v.data.len()].copy_from_slice(&v.data);
+                env.st.rbuf.push(ReadCopy { table, row, data: buf });
+                return Ok(ReadRef::Rbuf(env.st.rbuf.len() - 1));
+            }
+            env.db.park.arm(env.worker);
+            chain.waiters.push(TsWaiter { ts, worker: env.worker });
+        }
+        let out = env.db.park.wait(env.worker, deadline);
+        env.stats.breakdown.record(Category::Wait, started.elapsed().as_nanos() as u64);
+        if out == crate::park::WaitOutcome::TimedOut {
+            let mut chain = env.db.row_meta(table, row).mvcc_chain(seed(t, row));
+            chain.waiters.retain(|w| w.worker != env.worker);
+            env.db.park.reset(env.worker);
+            return Err(AbortReason::WaitTimeout);
+        }
+    }
+}
+
+/// MVCC read-modify-write (see module docs).
+pub(crate) fn write(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+    f: impl FnOnce(&Schema, &mut [u8]),
+) -> Result<(), AbortReason> {
+    if let Some(i) = env.st.wbuf_idx(table, row) {
+        let schema = env.db.tables[table as usize].schema();
+        f(schema, env.st.wbuf[i].data.as_mut_slice());
+        return Ok(());
+    }
+    let ts = env.st.ts;
+    let me = env.st.txn_id;
+    let started = Instant::now();
+    let deadline = started + Duration::from_micros(env.db.cfg.wait_cap_us);
+    loop {
+        let t = &env.db.tables[table as usize];
+        let mut buf;
+        {
+            let meta = env.db.row_meta(table, row);
+            let mut chain = meta.mvcc_chain(seed(t, row));
+            let Some(vi) = chain.visible_version(ts) else {
+                return Err(AbortReason::TsOrderViolation);
+            };
+            // MVTO write rules.
+            if vi != chain.versions.len() - 1 {
+                // A committed version newer than ts exists.
+                return Err(AbortReason::MvccWriteConflict);
+            }
+            if chain.versions[vi].rts > ts {
+                // A later reader already saw the version we would replace.
+                return Err(AbortReason::MvccWriteConflict);
+            }
+            let vwts = chain.versions[vi].wts;
+            let pending = chain
+                .prewrites
+                .iter()
+                .any(|&(p, t2)| p > vwts && p < ts && t2 != me);
+            if pending {
+                env.db.park.arm(env.worker);
+                chain.waiters.push(TsWaiter { ts, worker: env.worker });
+                drop(chain);
+                let out = env.db.park.wait(env.worker, deadline);
+                env.stats
+                    .breakdown
+                    .record(Category::Wait, started.elapsed().as_nanos() as u64);
+                if out == crate::park::WaitOutcome::TimedOut {
+                    let mut chain = env.db.row_meta(table, row).mvcc_chain(seed(t, row));
+                    chain.waiters.retain(|w| w.worker != env.worker);
+                    env.db.park.reset(env.worker);
+                    return Err(AbortReason::WaitTimeout);
+                }
+                continue;
+            }
+            // A pending prewrite *above* ts means a younger RMW writer based
+            // itself on the same version; its rts bump hasn't happened (it
+            // reads at its own ts > ours), but committing under it would
+            // hand it a stale base. MVTO resolution: abort the older writer.
+            if chain.prewrites.iter().any(|&(p, t2)| p > ts && t2 != me) {
+                return Err(AbortReason::MvccWriteConflict);
+            }
+            // The RMW reads the visible version.
+            let v = &mut chain.versions[vi];
+            v.rts = v.rts.max(ts);
+            buf = env.pool.alloc(v.data.len());
+            buf[..v.data.len()].copy_from_slice(&v.data);
+            chain.prewrites.push((ts, me));
+        }
+        let schema = t.schema();
+        f(schema, &mut buf[..t.row_size()]);
+        env.st.wbuf.push(WriteEntry { table, row, data: buf });
+        env.st.prewrites.push((table, row));
+        return Ok(());
+    }
+}
+
+/// MVCC insert: buffered; the new tuple's chain starts at commit.
+pub(crate) fn insert(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    key: Key,
+    f: impl FnOnce(&Schema, &mut [u8]),
+) -> Result<(), AbortReason> {
+    let t = &env.db.tables[table as usize];
+    let mut buf = env.pool.alloc(t.row_size());
+    f(t.schema(), &mut buf[..t.row_size()]);
+    env.st.inserts.push(InsertEntry { table, key, row: None, data: Some(buf), indexed: false });
+    Ok(())
+}
+
+/// Commit: turn prewrites into committed versions; publish inserts.
+///
+/// Inserts run first — they are the only fallible step (duplicate-key
+/// races) — and withdraw themselves on failure, so a failed commit leaves
+/// the transaction in its uncommitted state for the abort path.
+pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+    let ts = env.st.ts;
+    let me = env.st.txn_id;
+    let max_versions = env.db.cfg.mvcc_max_versions;
+
+    {
+        let inserts = std::mem::take(&mut env.st.inserts);
+        let mut applied: Vec<(abyss_common::TableId, Key)> = Vec::new();
+        let mut failed = false;
+        for ins in inserts {
+            let t = &env.db.tables[ins.table as usize];
+            let data = ins.data.expect("buffered insert has an image");
+            if !failed {
+                if let Ok(row) = t.allocate_row() {
+                    // SAFETY: fresh unindexed row; also seeds the chain below.
+                    unsafe { t.row_mut(row) }.copy_from_slice(&data[..t.row_size()]);
+                    {
+                        let meta = env.db.row_meta(ins.table, row);
+                        let mut chain = meta.mvcc_chain(seed(t, row));
+                        // Replace the seed (wts 0) with the creation version.
+                        chain.versions[0].wts = ts;
+                        chain.versions[0].rts = ts;
+                    }
+                    if env.db.indexes[ins.table as usize].insert(ins.key, row).is_ok() {
+                        applied.push((ins.table, ins.key));
+                    } else {
+                        failed = true;
+                    }
+                } else {
+                    failed = true;
+                }
+            }
+            env.pool.free(data);
+        }
+        if failed {
+            for (table, key) in applied {
+                env.db.indexes[table as usize].remove(key);
+            }
+            return Err(AbortReason::MvccWriteConflict);
+        }
+    }
+
+    for w in std::mem::take(&mut env.st.wbuf) {
+        let t = &env.db.tables[w.table as usize];
+        let meta = env.db.row_meta(w.table, w.row);
+        let mut chain = meta.mvcc_chain(seed(t, w.row));
+        chain.remove_prewrite(me);
+        debug_assert!(
+            chain.versions.back().map(|v| v.wts < ts).unwrap_or(true),
+            "version chain must stay ordered"
+        );
+        let data = w.data[..t.row_size()].to_vec().into_boxed_slice();
+        chain.versions.push_back(Version { wts: ts, rts: ts, data });
+        chain.gc(max_versions);
+        for waiter in chain.waiters.drain(..) {
+            env.db.park.grant(waiter.worker);
+        }
+        drop(chain);
+        env.pool.free(w.data);
+    }
+    env.st.prewrites.clear();
+    Ok(())
+}
+
+/// Abort: withdraw prewrites and wake blocked readers/writers.
+pub(crate) fn abort(env: &mut SchemeEnv<'_>) {
+    let me = env.st.txn_id;
+    for (table, row) in std::mem::take(&mut env.st.prewrites) {
+        let t = &env.db.tables[table as usize];
+        let mut chain = env.db.row_meta(table, row).mvcc_chain(seed(t, row));
+        chain.remove_prewrite(me);
+        for waiter in chain.waiters.drain(..) {
+            env.db.park.grant(waiter.worker);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! TIMESTAMP — basic timestamp ordering with a decentralized (per-tuple)
+//! scheduler, as in §2.2/§4.3 of the paper.
+//!
+//! Per-tuple state ([`crate::meta::TsState`]): the largest committed write
+//! timestamp `wts`, the largest read timestamp `rts`, and the set of
+//! uncommitted *prewrites*. The rules:
+//!
+//! * `read(ts)` rejects if `ts < wts`; waits while a prewrite with a
+//!   smaller timestamp is pending (its value is "not ready yet", §3.2
+//!   WAIT); otherwise copies the tuple into the transaction's local buffer
+//!   (reads are not protected by locks, so repeatable reads require the
+//!   copy — the paper calls out exactly this copy as TIMESTAMP's overhead)
+//!   and advances `rts`.
+//! * `write(ts)` rejects if `ts < rts` or `ts < wts`; our writes are all
+//!   read-modify-writes, so the write also waits on smaller pending
+//!   prewrites, advances `rts`, registers its prewrite, and buffers the new
+//!   image privately until commit.
+//!
+//! Every wait is by a higher timestamp on a lower one, so waits are
+//! acyclic; the engine's global wait cap is only a safety valve.
+//!
+//! Aborted transactions restart with a *fresh* timestamp (§2.2).
+
+use std::time::{Duration, Instant};
+
+use abyss_common::stats::Category;
+use abyss_common::{AbortReason, Key, RowIdx, TableId};
+use abyss_storage::Schema;
+
+use super::{ReadRef, SchemeEnv};
+use crate::meta::TsWaiter;
+use crate::txn::{InsertEntry, ReadCopy, WriteEntry};
+
+/// Block until no prewrite below `ts` is pending on the tuple, or fail.
+/// Returns with the tuple latch *released*; callers re-latch and re-check.
+fn wait_for_prewrites(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+) -> Result<(), AbortReason> {
+    let started = Instant::now();
+    let deadline = started + Duration::from_micros(env.db.cfg.wait_cap_us);
+    let me = env.st.txn_id;
+    let ts = env.st.ts;
+    loop {
+        {
+            let mut s = env.db.row_meta(table, row).ts_state();
+            let pending_other =
+                s.prewrites.iter().any(|&(p, t)| p < ts && t != me);
+            if !pending_other {
+                return Ok(());
+            }
+            env.db.park.arm(env.worker);
+            s.waiters.push(TsWaiter { ts, worker: env.worker });
+        }
+        let out = env.db.park.wait(env.worker, deadline);
+        env.stats.breakdown.record(Category::Wait, started.elapsed().as_nanos() as u64);
+        match out {
+            crate::park::WaitOutcome::Granted => continue,
+            crate::park::WaitOutcome::TimedOut => {
+                let mut s = env.db.row_meta(table, row).ts_state();
+                s.waiters.retain(|w| w.worker != env.worker);
+                env.db.park.reset(env.worker);
+                return Err(AbortReason::WaitTimeout);
+            }
+        }
+    }
+}
+
+/// Wake every waiter parked on the tuple (they re-check the prewrite set).
+fn wake_waiters(db: &crate::db::Database, s: &mut crate::meta::TsState) {
+    for w in s.waiters.drain(..) {
+        db.park.grant(w.worker);
+    }
+}
+
+/// T/O read (see module docs).
+pub(crate) fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+    // Read-own-write: serve from the private workspace.
+    if let Some(i) = env.st.wbuf_idx(table, row) {
+        let data = env.pool.alloc(env.st.wbuf[i].data.capacity());
+        let mut copy = data;
+        copy.as_mut_slice().copy_from_slice(&env.st.wbuf[i].data);
+        env.st.rbuf.push(ReadCopy { table, row, data: copy });
+        return Ok(ReadRef::Rbuf(env.st.rbuf.len() - 1));
+    }
+    let ts = env.st.ts;
+    loop {
+        wait_for_prewrites(env, table, row)?;
+        let t = &env.db.tables[table as usize];
+        let meta = env.db.row_meta(table, row);
+        let mut s = meta.ts_state();
+        if ts < s.wts {
+            return Err(AbortReason::TsOrderViolation);
+        }
+        // A smaller prewrite may have appeared between the wait and this
+        // re-latch; loop if so.
+        if s.prewrites.iter().any(|&(p, t2)| p < ts && t2 != env.st.txn_id) {
+            continue;
+        }
+        s.rts = s.rts.max(ts);
+        let mut buf = env.pool.alloc(t.row_size());
+        // SAFETY: T/O writers install data only while holding this tuple's
+        // latch (see commit), which we hold.
+        unsafe { t.copy_row_into(row, &mut buf) };
+        env.st.rbuf.push(ReadCopy { table, row, data: buf });
+        return Ok(ReadRef::Rbuf(env.st.rbuf.len() - 1));
+    }
+}
+
+/// T/O read-modify-write (see module docs).
+pub(crate) fn write(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+    f: impl FnOnce(&Schema, &mut [u8]),
+) -> Result<(), AbortReason> {
+    // Second write to the same tuple mutates the buffered image.
+    if let Some(i) = env.st.wbuf_idx(table, row) {
+        let schema = env.db.tables[table as usize].schema();
+        f(schema, env.st.wbuf[i].data.as_mut_slice());
+        return Ok(());
+    }
+    let ts = env.st.ts;
+    loop {
+        wait_for_prewrites(env, table, row)?;
+        let t = &env.db.tables[table as usize];
+        let meta = env.db.row_meta(table, row);
+        let mut s = meta.ts_state();
+        if ts < s.wts || ts < s.rts {
+            return Err(AbortReason::TsOrderViolation);
+        }
+        if s.prewrites.iter().any(|&(p, t2)| p < ts && t2 != env.st.txn_id) {
+            continue;
+        }
+        // The RMW reads the tuple: advance rts as a reader would.
+        s.rts = s.rts.max(ts);
+        s.prewrites.push((ts, env.st.txn_id));
+        let mut buf = env.pool.alloc(t.row_size());
+        // SAFETY: latch held (see read).
+        unsafe { t.copy_row_into(row, &mut buf) };
+        drop(s);
+        f(t.schema(), &mut buf[..t.row_size()]);
+        env.st.wbuf.push(WriteEntry { table, row, data: buf });
+        env.st.prewrites.push((table, row));
+        return Ok(());
+    }
+}
+
+/// T/O insert: buffered; becomes visible at commit.
+pub(crate) fn insert(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    key: Key,
+    f: impl FnOnce(&Schema, &mut [u8]),
+) -> Result<(), AbortReason> {
+    let t = &env.db.tables[table as usize];
+    let mut buf = env.pool.alloc(t.row_size());
+    f(t.schema(), &mut buf[..t.row_size()]);
+    env.st.inserts.push(InsertEntry { table, key, row: None, data: Some(buf), indexed: false });
+    Ok(())
+}
+
+/// Install buffered writes and inserts; resolve prewrites; wake waiters.
+///
+/// Inserts are applied *first*: they are the only fallible step, and the
+/// contract with [`crate::worker::WorkerCtx::commit`] is that a failed
+/// commit leaves the transaction in its uncommitted state so the normal
+/// abort path can finish the rollback.
+pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+    apply_inserts(env, AbortReason::TsOrderViolation)?;
+    let ts = env.st.ts;
+    let me = env.st.txn_id;
+    for w in std::mem::take(&mut env.st.wbuf) {
+        let t = &env.db.tables[w.table as usize];
+        let meta = env.db.row_meta(w.table, w.row);
+        let mut s = meta.ts_state();
+        debug_assert!(s.wts <= ts, "commit of a stale prewrite (wts {} > ts {ts})", s.wts);
+        // SAFETY: all T/O data access happens under the tuple latch.
+        let data = unsafe { t.row_mut(w.row) };
+        data.copy_from_slice(&w.data[..data.len()]);
+        s.wts = s.wts.max(ts);
+        s.remove_prewrite(me);
+        wake_waiters(env.db, &mut s);
+        drop(s);
+        env.pool.free(w.data);
+    }
+    env.st.prewrites.clear();
+    Ok(())
+}
+
+/// Publish buffered inserts; new tuples start with `wts = rts = ts`.
+/// On a duplicate-key race (a conflict the timestamp checks cannot see),
+/// every already-published insert is withdrawn before `fail` returns, so
+/// the caller can abort cleanly.
+pub(crate) fn apply_inserts(env: &mut SchemeEnv<'_>, fail: AbortReason) -> Result<(), AbortReason> {
+    let ts = env.st.ts;
+    let inserts = std::mem::take(&mut env.st.inserts);
+    let mut applied: Vec<(abyss_common::TableId, Key)> = Vec::new();
+    let mut failed = false;
+    for ins in inserts {
+        let t = &env.db.tables[ins.table as usize];
+        let data = ins.data.expect("buffered insert has an image");
+        if !failed {
+            if let Ok(row) = t.allocate_row() {
+                // SAFETY: fresh unindexed row.
+                unsafe { t.row_mut(row) }.copy_from_slice(&data[..t.row_size()]);
+                {
+                    let mut s = env.db.row_meta(ins.table, row).ts_state();
+                    s.wts = ts;
+                    s.rts = ts;
+                }
+                if env.db.indexes[ins.table as usize].insert(ins.key, row).is_ok() {
+                    applied.push((ins.table, ins.key));
+                } else {
+                    failed = true;
+                }
+            } else {
+                failed = true;
+            }
+        }
+        env.pool.free(data);
+    }
+    if failed {
+        for (table, key) in applied {
+            env.db.indexes[table as usize].remove(key);
+        }
+        return Err(fail);
+    }
+    Ok(())
+}
+
+/// Abort: withdraw prewrites and wake anyone waiting on them.
+pub(crate) fn abort(env: &mut SchemeEnv<'_>) {
+    let me = env.st.txn_id;
+    for (table, row) in std::mem::take(&mut env.st.prewrites) {
+        let mut s = env.db.row_meta(table, row).ts_state();
+        s.remove_prewrite(me);
+        wake_waiters(env.db, &mut s);
+    }
+}

@@ -1,0 +1,374 @@
+//! The three two-phase-locking variants: NO_WAIT, DL_DETECT, WAIT_DIE.
+//!
+//! * **NO_WAIT** never touches a queue: shared/exclusive counts live in a
+//!   single atomic word per tuple ([`crate::lockword::rw`]) and any denied
+//!   CAS aborts the requester — "no centralized point of contention"
+//!   (Table 2).
+//! * **DL_DETECT** uses per-tuple wait queues plus the partitioned
+//!   lock-free waits-for graph of §4.2. The *waiting* thread runs cycle
+//!   detection periodically and aborts itself when it finds one (the
+//!   cheapest victim that is guaranteed to break the cycle); a configurable
+//!   timeout (Fig. 5) bounds the wait either way.
+//! * **WAIT_DIE** grants whenever the request is compatible with the
+//!   current *owners* (the classical formulation — waiter queues never
+//!   block compatible readers), otherwise the requester waits iff it is
+//!   older than every conflicting owner and dies otherwise. Every wait
+//!   edge therefore points old → young, so no deadlock can form, and
+//!   restarted transactions keep their original timestamp so they
+//!   eventually become the oldest.
+//!
+//! Lock upgrades (S → X by the same transaction) are supported on the
+//! queue variants when grantable, and otherwise abort; the paper's
+//! workloads never upgrade (YCSB deduplicates keys per transaction; TPC-C
+//! reads and updates disjoint tuples).
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use abyss_common::stats::Category;
+use abyss_common::{AbortReason, CcScheme, Key, RowIdx, TableId};
+use abyss_storage::Schema;
+
+use super::{ReadRef, SchemeEnv};
+use crate::lockword::rw;
+use crate::meta::{LockMode, Owner, RowMeta, Waiter};
+use crate::park::WaitOutcome;
+use crate::txn::{HeldLock, InsertEntry, UndoEntry};
+
+/// Acquire `mode` on `(table, row)` under the configured 2PL variant.
+fn acquire(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx, mode: LockMode) -> Result<(), AbortReason> {
+    if env.st.holds(table, row, mode) {
+        return Ok(());
+    }
+    let upgrade = mode == LockMode::Exclusive && env.st.holds(table, row, LockMode::Shared);
+    let meta = env.db.row_meta(table, row);
+    match env.db.cfg.scheme {
+        CcScheme::NoWait => acquire_no_wait(meta, mode, upgrade)?,
+        CcScheme::DlDetect => acquire_dl_detect(env, meta, mode, upgrade)?,
+        CcScheme::WaitDie => acquire_wait_die(env, meta, mode, upgrade)?,
+        other => unreachable!("twopl::acquire with scheme {other}"),
+    }
+    if upgrade {
+        for h in env.st.held.iter_mut() {
+            if h.table == table && h.row == row {
+                h.mode = LockMode::Exclusive;
+            }
+        }
+    } else {
+        env.st.held.push(HeldLock { table, row, mode });
+    }
+    Ok(())
+}
+
+/// NO_WAIT: single-word CAS protocol; denial aborts.
+fn acquire_no_wait(meta: &RowMeta, mode: LockMode, upgrade: bool) -> Result<(), AbortReason> {
+    let word = &meta.word;
+    if upgrade {
+        // Sole reader may swap its S for an X atomically.
+        return word
+            .compare_exchange(1, rw::WRITER, Ordering::AcqRel, Ordering::Acquire)
+            .map(drop)
+            .map_err(|_| AbortReason::LockConflict);
+    }
+    match mode {
+        LockMode::Shared => {
+            let mut w = word.load(Ordering::Acquire);
+            loop {
+                if rw::has_writer(w) {
+                    return Err(AbortReason::LockConflict);
+                }
+                match word.compare_exchange_weak(
+                    w,
+                    rw::add_reader(w),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return Ok(()),
+                    Err(cur) => w = cur,
+                }
+            }
+        }
+        LockMode::Exclusive => word
+            .compare_exchange(0, rw::WRITER, Ordering::AcqRel, Ordering::Acquire)
+            .map(drop)
+            .map_err(|_| AbortReason::LockConflict),
+    }
+}
+
+/// Can `w` be granted right now given `q`'s owners (and, for non-upgrades,
+/// an empty-or-jumpable queue position)?
+fn grantable(q: &crate::meta::LockQueue, txn: u64, mode: LockMode, upgrade: bool) -> bool {
+    if upgrade {
+        q.owners.iter().all(|o| o.txn == txn)
+    } else {
+        q.compatible_with_owners(mode, txn)
+    }
+}
+
+/// DL_DETECT: queue behind conflicts, publish waits-for edges, detect.
+fn acquire_dl_detect(
+    env: &mut SchemeEnv<'_>,
+    meta: &RowMeta,
+    mode: LockMode,
+    upgrade: bool,
+) -> Result<(), AbortReason> {
+    let me = env.st.txn_id;
+    let cfg = &env.db.cfg;
+    let waitees: Vec<u64> = {
+        let mut q = meta.lock_queue();
+        // FIFO fairness: a new request must queue behind existing waiters
+        // (upgrades jump the queue — they already hold S and granting them
+        // first is the only way the queue can ever drain).
+        if grantable(&q, me, mode, upgrade) && (upgrade || q.waiters.is_empty()) {
+            if upgrade {
+                for o in q.owners.iter_mut().filter(|o| o.txn == me) {
+                    o.mode = LockMode::Exclusive;
+                }
+            } else {
+                q.owners.push(Owner { txn: me, mode, ts: 0 });
+            }
+            return Ok(());
+        }
+        env.db.park.arm(env.worker);
+        let w = Waiter { txn: me, worker: env.worker, mode, ts: 0, upgrade };
+        q.waiters.push_back(w);
+        // Waits-for edges: the conflicting owners plus everyone queued
+        // ahead of us (we cannot be granted before them).
+        q.conflicting_owners(mode, me)
+            .map(|o| o.txn)
+            .chain(q.waiters.iter().filter(|x| x.txn != me).map(|x| x.txn))
+            .collect()
+    };
+    env.db.waits.publish_waits(env.worker, waitees);
+
+    let started = Instant::now();
+    let timeout = cfg.dl_timeout_us.min(cfg.wait_cap_us);
+    let deadline = started + Duration::from_micros(timeout);
+    let interval = Duration::from_micros(cfg.dl_detect_interval_us.max(1));
+    let waits = &env.db.waits;
+    let out = env
+        .db
+        .park
+        .wait_with_check(env.worker, deadline, interval, || waits.detect_cycle(me));
+    env.stats.breakdown.record(Category::Wait, started.elapsed().as_nanos() as u64);
+    env.db.waits.clear_waits(env.worker);
+
+    match out {
+        WaitOutcome::Granted => Ok(()),
+        WaitOutcome::TimedOut => {
+            let mut q = meta.lock_queue();
+            if q.remove_waiter(me) {
+                env.db.park.reset(env.worker);
+                drop(q);
+                if env.db.waits.detect_cycle(me) {
+                    Err(AbortReason::Deadlock)
+                } else {
+                    Err(AbortReason::WaitTimeout)
+                }
+            } else {
+                // The grant raced our timeout: we are an owner now.
+                drop(q);
+                env.db.park.reset(env.worker);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// WAIT_DIE: older waits, younger dies; grants keyed off owners only.
+fn acquire_wait_die(
+    env: &mut SchemeEnv<'_>,
+    meta: &RowMeta,
+    mode: LockMode,
+    upgrade: bool,
+) -> Result<(), AbortReason> {
+    let me = env.st.txn_id;
+    let my_ts = env.st.ts;
+    {
+        let mut q = meta.lock_queue();
+        if grantable(&q, me, mode, upgrade) {
+            if upgrade {
+                for o in q.owners.iter_mut().filter(|o| o.txn == me) {
+                    o.mode = LockMode::Exclusive;
+                }
+            } else {
+                q.owners.push(Owner { txn: me, mode, ts: my_ts });
+            }
+            return Ok(());
+        }
+        // Deny or wait: wait iff older (smaller ts) than every conflicting
+        // owner — "dies" otherwise.
+        let youngest_conflict =
+            q.conflicting_owners(mode, me).map(|o| o.ts).min().expect("conflict exists");
+        if my_ts >= youngest_conflict {
+            return Err(AbortReason::WaitDieKilled);
+        }
+        env.db.park.arm(env.worker);
+        let w = Waiter { txn: me, worker: env.worker, mode, ts: my_ts, upgrade };
+        // Keep the queue sorted by ts ascending (oldest first).
+        let pos = q.waiters.iter().position(|x| x.ts > my_ts).unwrap_or(q.waiters.len());
+        q.waiters.insert(pos, w);
+    }
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_micros(env.db.cfg.wait_cap_us);
+    let out = env.db.park.wait(env.worker, deadline);
+    env.stats.breakdown.record(Category::Wait, started.elapsed().as_nanos() as u64);
+    match out {
+        WaitOutcome::Granted => Ok(()),
+        WaitOutcome::TimedOut => {
+            let mut q = meta.lock_queue();
+            if q.remove_waiter(me) {
+                env.db.park.reset(env.worker);
+                Err(AbortReason::WaitTimeout)
+            } else {
+                drop(q);
+                env.db.park.reset(env.worker);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Grant queued waiters that have become compatible (caller holds the
+/// tuple latch and has already removed itself from the owner list).
+pub(crate) fn grant_waiters(db: &crate::db::Database, q: &mut crate::meta::LockQueue) {
+    while let Some(w) = q.waiters.front().copied() {
+        if !grantable(q, w.txn, w.mode, w.upgrade) {
+            break;
+        }
+        q.waiters.pop_front();
+        if w.upgrade {
+            for o in q.owners.iter_mut().filter(|o| o.txn == w.txn) {
+                o.mode = LockMode::Exclusive;
+            }
+        } else {
+            q.owners.push(Owner { txn: w.txn, mode: w.mode, ts: w.ts });
+        }
+        db.park.grant(w.worker);
+    }
+}
+
+/// Release every held lock (commit and abort paths).
+fn release_all(env: &mut SchemeEnv<'_>) {
+    let scheme = env.db.cfg.scheme;
+    for h in std::mem::take(&mut env.st.held) {
+        let meta = env.db.row_meta(h.table, h.row);
+        match scheme {
+            CcScheme::NoWait => match h.mode {
+                LockMode::Shared => {
+                    meta.word.fetch_sub(1, Ordering::AcqRel);
+                }
+                LockMode::Exclusive => {
+                    meta.word.store(0, Ordering::Release);
+                }
+            },
+            _ => {
+                let mut q = meta.lock_queue();
+                q.remove_owner(env.st.txn_id);
+                grant_waiters(env.db, &mut q);
+            }
+        }
+    }
+}
+
+/// 2PL read: S-lock then read in place.
+pub(crate) fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+    acquire(env, table, row, LockMode::Shared)?;
+    let t = &env.db.tables[table as usize];
+    // SAFETY: the S lock held until commit/abort excludes writers.
+    let data = unsafe { t.row(row) };
+    Ok(ReadRef::InPlace { ptr: data.as_ptr(), len: data.len() })
+}
+
+/// 2PL write: X-lock, log the before-image, mutate in place.
+pub(crate) fn write(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+    f: impl FnOnce(&Schema, &mut [u8]),
+) -> Result<(), AbortReason> {
+    acquire(env, table, row, LockMode::Exclusive)?;
+    let t = &env.db.tables[table as usize];
+    if !env.st.undo.iter().any(|u| u.table == table && u.row == row) {
+        let mut image = env.pool.alloc(t.row_size());
+        // SAFETY: X lock held.
+        unsafe { t.copy_row_into(row, &mut image) };
+        env.st.undo.push(UndoEntry { table, row, image });
+    }
+    // SAFETY: X lock held.
+    let data = unsafe { t.row_mut(row) };
+    f(t.schema(), data);
+    Ok(())
+}
+
+/// 2PL insert: allocate, fill, take the X lock, then publish in the index.
+pub(crate) fn insert(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    key: Key,
+    f: impl FnOnce(&Schema, &mut [u8]),
+) -> Result<(), AbortReason> {
+    let t = &env.db.tables[table as usize];
+    let row = t.allocate_row().map_err(|_| AbortReason::LockConflict)?;
+    // SAFETY: freshly allocated, unindexed row — we are the only accessor.
+    let data = unsafe { t.row_mut(row) };
+    f(t.schema(), data);
+
+    // Take the lock before the row becomes reachable through the index.
+    let meta = env.db.row_meta(table, row);
+    match env.db.cfg.scheme {
+        CcScheme::NoWait => meta.word.store(rw::WRITER, Ordering::Release),
+        _ => {
+            let mut q = meta.lock_queue();
+            q.owners.push(Owner { txn: env.st.txn_id, mode: LockMode::Exclusive, ts: env.st.ts });
+        }
+    }
+    env.st.held.push(HeldLock { table, row, mode: LockMode::Exclusive });
+
+    if env.db.indexes[table as usize].insert(key, row).is_err() {
+        // Lost an insert race on the same key: roll this slot back out.
+        release_last_lock(env, table, row);
+        return Err(AbortReason::LockConflict);
+    }
+    env.st.inserts.push(InsertEntry { table, key, row: Some(row), data: None, indexed: true });
+    Ok(())
+}
+
+/// Undo the lock taken by a failed insert (rare path).
+fn release_last_lock(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) {
+    env.st.held.retain(|h| !(h.table == table && h.row == row));
+    let meta = env.db.row_meta(table, row);
+    match env.db.cfg.scheme {
+        CcScheme::NoWait => meta.word.store(0, Ordering::Release),
+        _ => {
+            let mut q = meta.lock_queue();
+            q.remove_owner(env.st.txn_id);
+            grant_waiters(env.db, &mut q);
+        }
+    }
+}
+
+/// Commit: drop before-images, release everything (the shrink phase).
+pub(crate) fn commit(env: &mut SchemeEnv<'_>) {
+    release_all(env);
+}
+
+/// Abort: restore before-images, unpublish inserts, release everything.
+pub(crate) fn abort(env: &mut SchemeEnv<'_>) {
+    // Undo in reverse order; X locks are still held so in-place writes are
+    // exclusive.
+    for u in std::mem::take(&mut env.st.undo).into_iter().rev() {
+        let t = &env.db.tables[u.table as usize];
+        // SAFETY: X lock held until release_all below.
+        let data = unsafe { t.row_mut(u.row) };
+        data.copy_from_slice(&u.image[..data.len()]);
+        env.pool.free(u.image);
+    }
+    for ins in env.st.inserts.drain(..) {
+        if ins.indexed {
+            env.db.indexes[ins.table as usize].remove(ins.key);
+        }
+    }
+    release_all(env);
+}

@@ -1,0 +1,547 @@
+//! Per-thread worker contexts: the public transaction API, scheme
+//! dispatch, and the multi-threaded benchmark driver.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use abyss_common::{AbortReason, CcScheme, DbError, Key, PartId, RunStats, TableId, Ts};
+use abyss_storage::{MemPool, Schema};
+
+use crate::db::Database;
+use crate::schemes::{hstore, mvcc, occ, timestamp, twopl, ReadRef, SchemeEnv};
+use crate::ts::TsHandle;
+use crate::txn::{make_txn_id, TxnState};
+
+/// Errors surfaced by the transaction API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// The transaction must abort (possibly retryable).
+    Abort(AbortReason),
+    /// A non-transactional error (missing key, bad schema, ...).
+    Db(DbError),
+}
+
+impl From<AbortReason> for TxnError {
+    fn from(r: AbortReason) -> Self {
+        TxnError::Abort(r)
+    }
+}
+
+impl From<DbError> for TxnError {
+    fn from(e: DbError) -> Self {
+        TxnError::Db(e)
+    }
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::Abort(r) => write!(f, "transaction aborted: {r}"),
+            TxnError::Db(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// A per-thread execution context. Create one per worker thread with
+/// [`Database::worker`]; it is `Send` but not `Sync` (one thread at a
+/// time), mirroring the paper's one-worker-per-core model.
+pub struct WorkerCtx {
+    pub(crate) db: Arc<Database>,
+    pub(crate) worker: u32,
+    pub(crate) ts_handle: TsHandle,
+    pub(crate) seq: u64,
+    pub(crate) pool: MemPool,
+    pub(crate) st: TxnState,
+    /// Per-worker statistics (commits/aborts recorded by the driver; wait
+    /// time recorded by the schemes).
+    pub stats: RunStats,
+    in_txn: bool,
+    /// Cheap xorshift state for abort backoff jitter.
+    jitter: u64,
+}
+
+impl WorkerCtx {
+    pub(crate) fn new(db: Arc<Database>, worker: u32) -> Self {
+        let ts_handle = db.ts.handle(worker);
+        Self {
+            db,
+            worker,
+            ts_handle,
+            seq: 0,
+            pool: MemPool::new(),
+            st: TxnState::default(),
+            stats: RunStats::default(),
+            in_txn: false,
+            jitter: 0x9E37_79B9 ^ u64::from(worker) << 16 | 1,
+        }
+    }
+
+    /// The worker id.
+    pub fn worker_id(&self) -> u32 {
+        self.worker
+    }
+
+    /// The database this context executes against.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The timestamp of the current transaction (0 when the scheme uses
+    /// none).
+    pub fn current_ts(&self) -> Ts {
+        self.st.ts
+    }
+
+    fn env(&mut self) -> SchemeEnv<'_> {
+        SchemeEnv {
+            db: &self.db,
+            st: &mut self.st,
+            pool: &mut self.pool,
+            worker: self.worker,
+            stats: &mut self.stats,
+        }
+    }
+
+    /// Begin a transaction. `partitions` must list every partition the
+    /// transaction will touch (H-STORE requirement; other schemes ignore
+    /// it). `reuse_ts` re-installs a prior timestamp (WAIT_DIE restarts
+    /// keep their age; everything else must pass `None`).
+    pub fn begin(&mut self, partitions: &[PartId], reuse_ts: Option<Ts>) -> Result<(), TxnError> {
+        assert!(!self.in_txn, "begin() while a transaction is active");
+        self.seq += 1;
+        self.st.txn_id = make_txn_id(self.worker, self.seq);
+        let scheme = self.db.cfg.scheme;
+        self.st.ts = if scheme.needs_start_ts() {
+            match (scheme, reuse_ts) {
+                (CcScheme::WaitDie, Some(ts)) => ts,
+                _ => {
+                    self.stats.ts_allocated += 1;
+                    self.ts_handle.alloc()
+                }
+            }
+        } else {
+            0
+        };
+        if scheme == CcScheme::DlDetect {
+            self.db.waits.set_active(self.worker, self.st.txn_id);
+        }
+        self.in_txn = true;
+        if scheme == CcScheme::HStore {
+            let sorted = {
+                let mut p = partitions.to_vec();
+                p.sort_unstable();
+                p.dedup();
+                p
+            };
+            if let Err(r) = hstore::acquire_partitions(&mut self.env(), &sorted) {
+                self.rollback(r);
+                return Err(TxnError::Abort(r));
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the row for `key`, returning its bytes. Under 2PL/H-STORE this
+    /// is the row in place (stable until commit); under the T/O schemes it
+    /// is the transaction's private copy.
+    pub fn read(&mut self, table: TableId, key: Key) -> Result<&[u8], TxnError> {
+        debug_assert!(self.in_txn, "read outside a transaction");
+        let row = self.db.index_get(table, key)?;
+        let len = self.db.tables[table as usize].row_size();
+        let r = match self.db.cfg.scheme {
+            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
+                twopl::read(&mut self.env(), table, row)
+            }
+            CcScheme::Timestamp => timestamp::read(&mut self.env(), table, row),
+            CcScheme::Mvcc => mvcc::read(&mut self.env(), table, row),
+            CcScheme::Occ => occ::read(&mut self.env(), table, row),
+            CcScheme::HStore => hstore::read(&mut self.env(), table, row),
+        }?;
+        Ok(match r {
+            // SAFETY: the pointer targets the table arena; the scheme
+            // guarantees stability until commit/abort, and `&mut self`
+            // prevents any interleaved write through this context.
+            ReadRef::InPlace { ptr, len } => unsafe { std::slice::from_raw_parts(ptr, len) },
+            ReadRef::Rbuf(i) => &self.st.rbuf[i].data[..len],
+        })
+    }
+
+    /// Read one `u64` column of `key`'s row.
+    pub fn read_u64(&mut self, table: TableId, key: Key, col: usize) -> Result<u64, TxnError> {
+        let schema = self.db.schema(table).clone();
+        let data = self.read(table, key)?;
+        Ok(abyss_storage::row::get_u64(&schema, data, col))
+    }
+
+    /// Read-modify-write the row for `key`: `f` receives the schema and
+    /// the (current) row image to mutate.
+    pub fn update(
+        &mut self,
+        table: TableId,
+        key: Key,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), TxnError> {
+        debug_assert!(self.in_txn, "update outside a transaction");
+        let row = self.db.index_get(table, key)?;
+        match self.db.cfg.scheme {
+            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
+                twopl::write(&mut self.env(), table, row, f)
+            }
+            CcScheme::Timestamp => timestamp::write(&mut self.env(), table, row, f),
+            CcScheme::Mvcc => mvcc::write(&mut self.env(), table, row, f),
+            CcScheme::Occ => occ::write(&mut self.env(), table, row, f),
+            CcScheme::HStore => hstore::write(&mut self.env(), table, row, f),
+        }
+        .map_err(TxnError::Abort)
+    }
+
+    /// Atomically add `delta` to a `u64` column, returning the previous
+    /// value as this transaction observes it (TPC-C's `D_NEXT_O_ID`).
+    pub fn update_counter(
+        &mut self,
+        table: TableId,
+        key: Key,
+        col: usize,
+        delta: u64,
+    ) -> Result<u64, TxnError> {
+        let mut old = 0;
+        self.update(table, key, |schema, row| {
+            old = abyss_storage::row::fetch_add_u64(schema, row, col, delta);
+        })?;
+        Ok(old)
+    }
+
+    /// Insert a fresh row under `key`; `f` initializes the image.
+    pub fn insert(
+        &mut self,
+        table: TableId,
+        key: Key,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), TxnError> {
+        debug_assert!(self.in_txn, "insert outside a transaction");
+        match self.db.cfg.scheme {
+            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
+                twopl::insert(&mut self.env(), table, key, f)
+            }
+            CcScheme::Timestamp => timestamp::insert(&mut self.env(), table, key, f),
+            CcScheme::Mvcc => mvcc::insert(&mut self.env(), table, key, f),
+            CcScheme::Occ => occ::insert(&mut self.env(), table, key, f),
+            CcScheme::HStore => hstore::insert(&mut self.env(), table, key, f),
+        }
+        .map_err(TxnError::Abort)
+    }
+
+    /// Commit. May abort (OCC validation, insert races); the transaction
+    /// is fully rolled back before the error returns.
+    pub fn commit(&mut self) -> Result<(), TxnError> {
+        debug_assert!(self.in_txn, "commit outside a transaction");
+        let result = match self.db.cfg.scheme {
+            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
+                twopl::commit(&mut self.env());
+                Ok(())
+            }
+            CcScheme::Timestamp => timestamp::commit(&mut self.env()),
+            CcScheme::Mvcc => mvcc::commit(&mut self.env()),
+            CcScheme::Occ => {
+                // The second (validation) timestamp — OCC's extra trip to
+                // the allocator (§5.1).
+                self.stats.ts_allocated += 1;
+                let _validation_ts = self.ts_handle.alloc();
+                occ::commit(&mut self.env())
+            }
+            CcScheme::HStore => {
+                hstore::commit(&mut self.env());
+                Ok(())
+            }
+        };
+        match result {
+            Ok(()) => {
+                self.finish();
+                Ok(())
+            }
+            Err(reason) => {
+                self.rollback(reason);
+                Err(TxnError::Abort(reason))
+            }
+        }
+    }
+
+    /// Abort the current transaction (user-initiated or after an op
+    /// returned an abort error). Rolls everything back.
+    pub fn abort(&mut self, reason: AbortReason) {
+        debug_assert!(self.in_txn, "abort outside a transaction");
+        self.rollback(reason);
+    }
+
+    fn rollback(&mut self, _reason: AbortReason) {
+        match self.db.cfg.scheme {
+            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
+                twopl::abort(&mut self.env())
+            }
+            CcScheme::Timestamp => timestamp::abort(&mut self.env()),
+            CcScheme::Mvcc => mvcc::abort(&mut self.env()),
+            CcScheme::Occ => occ::abort(&mut self.env()),
+            CcScheme::HStore => hstore::abort(&mut self.env()),
+        }
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.db.cfg.scheme == CcScheme::DlDetect {
+            self.db.waits.clear_active(self.worker);
+        }
+        self.st.reset(&mut self.pool);
+        self.in_txn = false;
+    }
+
+    /// Run `body` as a transaction, retrying scheduler aborts until it
+    /// commits. Returns the body's value, the first non-retryable abort,
+    /// or the first database error.
+    pub fn run_txn<R>(
+        &mut self,
+        partitions: &[PartId],
+        mut body: impl FnMut(&mut WorkerCtx) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        let mut reuse_ts = None;
+        loop {
+            match self.begin(partitions, reuse_ts) {
+                Ok(()) => {}
+                Err(TxnError::Abort(r)) if r.is_retryable() => {
+                    self.stats.record_abort(r);
+                    self.backoff();
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            reuse_ts = Some(self.st.ts);
+            match body(self) {
+                Ok(v) => match self.commit() {
+                    Ok(()) => return Ok(v),
+                    Err(TxnError::Abort(r)) if r.is_retryable() => {
+                        self.stats.record_abort(r);
+                        self.backoff();
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(TxnError::Abort(r)) => {
+                    self.abort(r);
+                    if r.is_retryable() {
+                        self.stats.record_abort(r);
+                        self.backoff();
+                    } else {
+                        return Err(TxnError::Abort(r));
+                    }
+                }
+                Err(e) => {
+                    self.abort(AbortReason::UserAbort);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Short randomized spin after an abort so restarted transactions do
+    /// not re-collide in lockstep (the paper's restart-in-same-worker model
+    /// with a minimal penalty).
+    pub(crate) fn backoff(&mut self) {
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let spins = 64 + (self.jitter & 0x3FF);
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerCtx")
+            .field("worker", &self.worker)
+            .field("in_txn", &self.in_txn)
+            .finish()
+    }
+}
+
+/// Result of a timed multi-worker run.
+#[derive(Debug, Clone)]
+pub struct BenchOutcome {
+    /// Merged statistics (elapsed is in nanoseconds).
+    pub stats: RunStats,
+    /// Wall-clock time measured by the driver.
+    pub wall: Duration,
+}
+
+impl BenchOutcome {
+    /// Committed transactions per second.
+    pub fn txn_per_sec(&self) -> f64 {
+        self.stats.commits as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Drive `db.config().workers` threads, each repeatedly fetching a
+/// transaction template from its generator and executing it to commit
+/// (retrying scheduler aborts). Statistics reset after `warmup`; the run
+/// ends after `warmup + measure`.
+pub fn run_workers(
+    db: &Arc<Database>,
+    mut generators: Vec<Box<dyn FnMut() -> abyss_common::TxnTemplate + Send>>,
+    warmup: Duration,
+    measure: Duration,
+) -> BenchOutcome {
+    let n = db.cfg.workers as usize;
+    assert_eq!(generators.len(), n, "one generator per worker required");
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let warm_deadline = start + warmup;
+
+    let mut merged = RunStats::default();
+    let mut wall = Duration::ZERO;
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (w, mut generator) in generators.drain(..).enumerate() {
+            let stop = &stop;
+            let db = Arc::clone(db);
+            handles.push(scope.spawn(move |_| {
+                let mut ctx = db.worker(w as u32);
+                let mut warmed = false;
+                let mut measured_start = Instant::now();
+                while !stop.load(Ordering::Relaxed) {
+                    if !warmed && Instant::now() >= warm_deadline {
+                        ctx.stats = RunStats::default();
+                        measured_start = Instant::now();
+                        warmed = true;
+                    }
+                    let tmpl = generator();
+                    crate::executor::run_to_commit(&mut ctx, &tmpl, stop);
+                }
+                ctx.stats.elapsed = measured_start.elapsed().as_nanos() as u64;
+                ctx.stats
+            }));
+        }
+        // Timer thread: arm the stop flag when the measurement ends.
+        std::thread::sleep(warmup + measure);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            merged.merge(&h.join().expect("worker panicked"));
+        }
+        wall = start.elapsed().saturating_sub(warmup);
+    })
+    .expect("worker scope");
+
+    BenchOutcome { stats: merged, wall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abyss_storage::{row, Catalog, Schema};
+
+    fn db(scheme: CcScheme, workers: u32) -> Arc<Database> {
+        let mut cat = Catalog::new();
+        cat.add_table("t", Schema::key_plus_payload(2, 8), 1000);
+        let db = Database::new(crate::config::EngineConfig::new(scheme, workers), cat).unwrap();
+        db.load_table(0, 0..100u64, |s, r, k| {
+            row::set_u64(s, r, 0, k);
+            row::set_u64(s, r, 1, 100);
+        })
+        .unwrap();
+        db
+    }
+
+    fn smoke_single_worker(scheme: CcScheme) {
+        let db = db(scheme, 2);
+        let mut ctx = db.worker(0);
+        // read + update + commit
+        ctx.run_txn(&[0, 1], |t| {
+            let v = t.read_u64(0, 5, 1)?;
+            assert_eq!(v, 100);
+            t.update(0, 5, |s, r| row::set_u64(s, r, 1, v + 1))?;
+            Ok(())
+        })
+        .unwrap();
+        // the write is visible to the next transaction
+        ctx.run_txn(&[0, 1], |t| {
+            assert_eq!(t.read_u64(0, 5, 1)?, 101);
+            Ok(())
+        })
+        .unwrap();
+        // user abort rolls back
+        let r: Result<(), TxnError> = ctx.run_txn(&[0, 1], |t| {
+            t.update(0, 5, |s, r| row::set_u64(s, r, 1, 999))?;
+            Err(TxnError::Abort(AbortReason::UserAbort))
+        });
+        assert!(matches!(r, Err(TxnError::Abort(AbortReason::UserAbort))));
+        ctx.run_txn(&[0, 1], |t| {
+            assert_eq!(t.read_u64(0, 5, 1)?, 101, "user abort must roll back");
+            Ok(())
+        })
+        .unwrap();
+        // counter update returns the old value
+        let old = ctx
+            .run_txn(&[0, 1], |t| t.update_counter(0, 7, 1, 5))
+            .unwrap();
+        assert_eq!(old, 100);
+        assert_eq!(
+            ctx.run_txn(&[0, 1], |t| t.read_u64(0, 7, 1)).unwrap(),
+            105
+        );
+        // insert then read back
+        ctx.run_txn(&[0, 1], |t| {
+            t.insert(0, 500, |s, r| {
+                row::set_u64(s, r, 0, 500);
+                row::set_u64(s, r, 1, 42);
+            })
+        })
+        .unwrap();
+        assert_eq!(ctx.run_txn(&[0, 1], |t| t.read_u64(0, 500, 1)).unwrap(), 42);
+    }
+
+    #[test]
+    fn single_worker_no_wait() {
+        smoke_single_worker(CcScheme::NoWait);
+    }
+
+    #[test]
+    fn single_worker_dl_detect() {
+        smoke_single_worker(CcScheme::DlDetect);
+    }
+
+    #[test]
+    fn single_worker_wait_die() {
+        smoke_single_worker(CcScheme::WaitDie);
+    }
+
+    #[test]
+    fn single_worker_timestamp() {
+        smoke_single_worker(CcScheme::Timestamp);
+    }
+
+    #[test]
+    fn single_worker_mvcc() {
+        smoke_single_worker(CcScheme::Mvcc);
+    }
+
+    #[test]
+    fn single_worker_occ() {
+        smoke_single_worker(CcScheme::Occ);
+    }
+
+    #[test]
+    fn single_worker_hstore() {
+        smoke_single_worker(CcScheme::HStore);
+    }
+
+    #[test]
+    fn missing_key_is_a_db_error_not_an_abort() {
+        let db = db(CcScheme::NoWait, 1);
+        let mut ctx = db.worker(0);
+        ctx.begin(&[], None).unwrap();
+        let r = ctx.read(0, 9999);
+        assert!(matches!(r, Err(TxnError::Db(DbError::KeyNotFound { .. }))));
+        ctx.abort(AbortReason::UserAbort);
+    }
+}

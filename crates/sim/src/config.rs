@@ -1,0 +1,101 @@
+//! Simulation configuration.
+
+use abyss_common::{CcScheme, TsMethod};
+
+use crate::cost::{us_to_cycles, CostModel};
+use crate::kernel::Cycles;
+
+/// Configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulated cores (the paper scales 1 → 1024).
+    pub cores: u32,
+    /// Concurrency-control scheme.
+    pub scheme: CcScheme,
+    /// Timestamp-allocation method (§4.3). The paper's default for the
+    /// main experiments is non-batched atomic addition.
+    pub ts_method: TsMethod,
+    /// Hardware/DBMS cost model.
+    pub cost: CostModel,
+    /// Cycles simulated before statistics reset (steady state, §3.2).
+    pub warmup: Cycles,
+    /// Measured cycles after warmup.
+    pub measure: Cycles,
+    /// DL_DETECT wait timeout (Fig. 5); `None` waits forever.
+    pub dl_timeout: Option<Cycles>,
+    /// Run deadlock detection when a DL_DETECT transaction blocks
+    /// (disabled for the Fig. 4 ordered-locking thrashing experiment).
+    pub dl_detect: bool,
+    /// MVCC: committed versions retained per tuple.
+    pub mvcc_max_versions: usize,
+    /// H-STORE partition count (= cores for YCSB §5.5; = warehouses for
+    /// TPC-C §5.6).
+    pub hstore_parts: u32,
+    /// Base RNG seed (runs are deterministic in config + seed).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Paper-default configuration for `scheme` on `cores` cores.
+    pub fn new(scheme: CcScheme, cores: u32) -> Self {
+        Self {
+            cores,
+            scheme,
+            ts_method: TsMethod::Atomic,
+            cost: CostModel::default(),
+            warmup: 1_000_000,
+            measure: 10_000_000,
+            dl_timeout: Some(us_to_cycles(100)),
+            dl_detect: true,
+            mvcc_max_versions: 8,
+            hstore_parts: if scheme == CcScheme::HStore { cores.max(1) } else { 1 },
+            seed: 0xABBA_5EED,
+        }
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 || self.cores > 1 << crate::exec::CORE_BITS {
+            return Err(format!("cores must be in 1..={}", 1u32 << crate::exec::CORE_BITS));
+        }
+        if self.measure == 0 {
+            return Err("measure window must be positive".into());
+        }
+        if self.scheme == CcScheme::HStore && self.hstore_parts == 0 {
+            return Err("H-STORE needs at least one partition".into());
+        }
+        if self.mvcc_max_versions < 2 {
+            return Err("mvcc_max_versions must be at least 2".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SimConfig::new(CcScheme::DlDetect, 64);
+        assert_eq!(c.dl_timeout, Some(100_000)); // 100 µs at 1 GHz
+        assert!(c.dl_detect);
+        assert_eq!(c.ts_method, TsMethod::Atomic);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn hstore_defaults_partitions_to_cores() {
+        let c = SimConfig::new(CcScheme::HStore, 16);
+        assert_eq!(c.hstore_parts, 16);
+    }
+
+    #[test]
+    fn validation_rejects_zero_cores() {
+        let mut c = SimConfig::new(CcScheme::NoWait, 1);
+        c.cores = 0;
+        assert!(c.validate().is_err());
+        c.cores = 5000;
+        assert!(c.validate().is_err());
+    }
+}

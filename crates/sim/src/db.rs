@@ -1,0 +1,393 @@
+//! The simulated database: per-tuple concurrency-control metadata without
+//! payloads.
+//!
+//! The simulator never materializes row bytes — tuple *sizes* drive the
+//! cost model (copy costs) while the 20M-row YCSB table stays lazy: a
+//! tuple's metadata is created on first touch, so memory scales with the
+//! touched working set, not the paper's 20 GB (the substitution documented
+//! in `DESIGN.md`). Hot columns that feed back into transaction logic
+//! (TPC-C's `D_NEXT_O_ID`) are modeled by one `counter` per tuple.
+
+use std::collections::VecDeque;
+
+use abyss_common::fxhash::FxHashMap;
+use abyss_common::{CcScheme, CoreId, Key, Ts, TxnId};
+
+/// Lock mode (2PL schemes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Shared.
+    S,
+    /// Exclusive.
+    X,
+}
+
+impl Mode {
+    /// Compatible iff both shared.
+    #[inline]
+    pub fn compatible(self, other: Mode) -> bool {
+        self == Mode::S && other == Mode::S
+    }
+}
+
+/// A lock holder.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOwner {
+    /// Holding transaction.
+    pub txn: TxnId,
+    /// Its mode.
+    pub mode: Mode,
+    /// Its timestamp (WAIT_DIE).
+    pub ts: Ts,
+}
+
+/// A queued lock request.
+#[derive(Debug, Clone, Copy)]
+pub struct SimWaiter {
+    /// Waiting transaction.
+    pub txn: TxnId,
+    /// Its core.
+    pub core: CoreId,
+    /// Requested mode.
+    pub mode: Mode,
+    /// Its timestamp (WAIT_DIE ordering).
+    pub ts: Ts,
+}
+
+/// 2PL per-tuple state.
+#[derive(Debug, Default)]
+pub struct LockCc {
+    /// Current holders.
+    pub owners: Vec<SimOwner>,
+    /// Waiting requests (DL_DETECT: FIFO; WAIT_DIE: ts-ascending).
+    pub waiters: VecDeque<SimWaiter>,
+}
+
+impl LockCc {
+    /// Compatible with every owner other than `me`?
+    pub fn compatible(&self, mode: Mode, me: TxnId) -> bool {
+        self.owners.iter().all(|o| o.txn == me || o.mode.compatible(mode))
+    }
+
+    /// Is `txn` an owner at `mode` (or stronger)?
+    pub fn owns(&self, txn: TxnId, mode: Mode) -> bool {
+        self.owners.iter().any(|o| o.txn == txn && (o.mode == mode || o.mode == Mode::X))
+    }
+
+    /// Grant queued waiters that became compatible; returns their cores.
+    pub fn grant_ready(&mut self) -> Vec<CoreId> {
+        let mut woken = Vec::new();
+        while let Some(w) = self.waiters.front().copied() {
+            if !self.compatible(w.mode, w.txn) {
+                break;
+            }
+            self.waiters.pop_front();
+            self.owners.push(SimOwner { txn: w.txn, mode: w.mode, ts: w.ts });
+            woken.push(w.core);
+        }
+        woken
+    }
+
+    /// Remove `txn` everywhere.
+    pub fn remove(&mut self, txn: TxnId) {
+        self.owners.retain(|o| o.txn != txn);
+        self.waiters.retain(|w| w.txn != txn);
+    }
+}
+
+/// Basic T/O per-tuple state.
+#[derive(Debug, Default)]
+pub struct TsCc {
+    /// Last committed write timestamp.
+    pub wts: Ts,
+    /// Largest read timestamp.
+    pub rts: Ts,
+    /// Pending prewrites `(ts, txn)`.
+    pub prewrites: Vec<(Ts, TxnId)>,
+    /// Cores parked on a pending prewrite.
+    pub waiters: Vec<CoreId>,
+}
+
+impl TsCc {
+    /// Does another transaction hold a prewrite below `ts`?
+    pub fn pending_below(&self, ts: Ts, me: TxnId) -> bool {
+        self.prewrites.iter().any(|&(p, t)| p < ts && t != me)
+    }
+}
+
+/// MVCC per-tuple state: committed `(wts, rts)` pairs, oldest first.
+#[derive(Debug, Default)]
+pub struct MvccCc {
+    /// Committed versions (no payloads — the cost model charges copies).
+    pub versions: VecDeque<(Ts, Ts)>,
+    /// Pending prewrites `(ts, txn)`.
+    pub prewrites: Vec<(Ts, TxnId)>,
+    /// Cores parked on a pending prewrite.
+    pub waiters: Vec<CoreId>,
+}
+
+impl MvccCc {
+    /// Newest version index with `wts <= ts`.
+    pub fn visible(&self, ts: Ts) -> Option<usize> {
+        self.versions.iter().rposition(|&(wts, _)| wts <= ts)
+    }
+
+    /// Another txn's prewrite in `(after, ts)`?
+    pub fn pending_between(&self, after: Ts, ts: Ts, me: TxnId) -> bool {
+        self.prewrites.iter().any(|&(p, t)| p > after && p < ts && t != me)
+    }
+}
+
+/// OCC per-tuple state: a version counter plus a validation latch.
+#[derive(Debug, Default)]
+pub struct OccCc {
+    /// Bumped by every committed write.
+    pub version: u64,
+    /// Holder of the validation latch.
+    pub locked_by: Option<TxnId>,
+    /// Cores parked on the latch.
+    pub waiters: Vec<CoreId>,
+}
+
+/// Scheme-specific tuple state.
+#[derive(Debug)]
+pub enum TupleCc {
+    /// 2PL (DL_DETECT / NO_WAIT / WAIT_DIE).
+    Lock(LockCc),
+    /// TIMESTAMP.
+    Ts(TsCc),
+    /// MVCC.
+    Mvcc(MvccCc),
+    /// OCC.
+    Occ(OccCc),
+    /// H-STORE (partition locks only — no per-tuple state).
+    Plain,
+}
+
+/// One simulated tuple.
+#[derive(Debug)]
+pub struct Tuple {
+    /// The tuple's hot `u64` column (TPC-C counters; YCSB ignores it).
+    pub counter: u64,
+    /// CC state.
+    pub cc: TupleCc,
+}
+
+/// Static per-table information.
+#[derive(Debug, Clone)]
+pub struct SimTable {
+    /// Row size in bytes (drives copy costs).
+    pub row_size: usize,
+    /// Initial hot-column value for fresh tuples (districts: 3000).
+    pub counter_init: u64,
+}
+
+/// The simulated database.
+#[derive(Debug)]
+pub struct SimDb {
+    scheme: CcScheme,
+    tables: Vec<SimTable>,
+    tuples: Vec<FxHashMap<Key, Tuple>>,
+}
+
+impl SimDb {
+    /// Empty database over `tables` for `scheme`.
+    pub fn new(scheme: CcScheme, tables: Vec<SimTable>) -> Self {
+        let tuples = tables.iter().map(|_| FxHashMap::default()).collect();
+        Self { scheme, tables, tuples }
+    }
+
+    /// Row size of `table`.
+    pub fn row_size(&self, table: u32) -> usize {
+        self.tables[table as usize].row_size
+    }
+
+    fn fresh_cc(scheme: CcScheme) -> TupleCc {
+        match scheme {
+            CcScheme::DlDetect | CcScheme::NoWait | CcScheme::WaitDie => {
+                TupleCc::Lock(LockCc::default())
+            }
+            CcScheme::Timestamp => TupleCc::Ts(TsCc::default()),
+            CcScheme::Mvcc => {
+                let mut m = MvccCc::default();
+                m.versions.push_back((0, 0));
+                TupleCc::Mvcc(m)
+            }
+            CcScheme::Occ => TupleCc::Occ(OccCc::default()),
+            CcScheme::HStore => TupleCc::Plain,
+        }
+    }
+
+    /// Get (lazily creating) the tuple for `(table, key)`.
+    pub fn tuple(&mut self, table: u32, key: Key) -> &mut Tuple {
+        let init = self.tables[table as usize].counter_init;
+        let scheme = self.scheme;
+        self.tuples[table as usize]
+            .entry(key)
+            .or_insert_with(|| Tuple { counter: init, cc: Self::fresh_cc(scheme) })
+    }
+
+    /// Does `(table, key)` already have materialized state?
+    pub fn exists(&self, table: u32, key: Key) -> bool {
+        self.tuples[table as usize].contains_key(&key)
+    }
+
+    /// Create a tuple for an insert; duplicate creation is a CC bug the
+    /// schemes prevent, surfaced loudly in debug builds.
+    pub fn create(&mut self, table: u32, key: Key, creation_ts: Ts) {
+        debug_assert!(
+            !self.exists(table, key),
+            "duplicate simulated insert: table {table} key {key}"
+        );
+        let scheme = self.scheme;
+        let init = self.tables[table as usize].counter_init;
+        let mut tuple = Tuple { counter: init, cc: Self::fresh_cc(scheme) };
+        if let TupleCc::Mvcc(m) = &mut tuple.cc {
+            m.versions[0] = (creation_ts, creation_ts);
+        }
+        if let TupleCc::Ts(t) = &mut tuple.cc {
+            t.wts = creation_ts;
+            t.rts = creation_ts;
+        }
+        self.tuples[table as usize].insert(key, tuple);
+    }
+
+    /// Remove a tuple (abort of an eagerly-applied insert).
+    pub fn destroy(&mut self, table: u32, key: Key) {
+        self.tuples[table as usize].remove(&key);
+    }
+
+    /// Tuples materialized so far (diagnostics).
+    pub fn materialized(&self) -> usize {
+        self.tuples.iter().map(|m| m.len()).sum()
+    }
+}
+
+/// One H-STORE partition lock.
+#[derive(Debug, Default)]
+pub struct SimPart {
+    /// Current owner.
+    pub busy: Option<TxnId>,
+    /// Waiting `(ts, txn, core)`, kept ts-ascending (oldest first) — the
+    /// paper's "grants access if the transaction has the oldest timestamp
+    /// in the queue".
+    pub queue: Vec<(Ts, TxnId, CoreId)>,
+}
+
+impl SimPart {
+    /// Enqueue keeping ts order.
+    pub fn enqueue(&mut self, ts: Ts, txn: TxnId, core: CoreId) {
+        let pos = self.queue.iter().position(|&(t, _, _)| t > ts).unwrap_or(self.queue.len());
+        self.queue.insert(pos, (ts, txn, core));
+    }
+
+    /// Release by `txn`; grants the oldest waiter and returns its core.
+    pub fn release(&mut self, txn: TxnId) -> Option<CoreId> {
+        debug_assert_eq!(self.busy, Some(txn));
+        if self.queue.is_empty() {
+            self.busy = None;
+            None
+        } else {
+            let (_, next_txn, core) = self.queue.remove(0);
+            self.busy = Some(next_txn);
+            Some(core)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(scheme: CcScheme) -> SimDb {
+        SimDb::new(
+            scheme,
+            vec![SimTable { row_size: 1008, counter_init: 0 }, SimTable {
+                row_size: 95,
+                counter_init: 3000,
+            }],
+        )
+    }
+
+    #[test]
+    fn tuples_materialize_lazily_with_table_init() {
+        let mut d = db(CcScheme::Timestamp);
+        assert_eq!(d.materialized(), 0);
+        assert_eq!(d.tuple(1, 7).counter, 3000);
+        assert_eq!(d.tuple(0, 7).counter, 0);
+        assert_eq!(d.materialized(), 2);
+    }
+
+    #[test]
+    fn scheme_determines_cc_variant() {
+        let mut d = db(CcScheme::Mvcc);
+        match &d.tuple(0, 1).cc {
+            TupleCc::Mvcc(m) => assert_eq!(m.versions.len(), 1),
+            other => panic!("wrong variant {other:?}"),
+        }
+        let mut d = db(CcScheme::NoWait);
+        assert!(matches!(d.tuple(0, 1).cc, TupleCc::Lock(_)));
+    }
+
+    #[test]
+    fn lock_grant_order_is_fifo_compatible() {
+        let mut q = LockCc {
+            owners: vec![SimOwner { txn: 1, mode: Mode::X, ts: 0 }],
+            ..Default::default()
+        };
+        q.waiters.push_back(SimWaiter { txn: 2, core: 2, mode: Mode::S, ts: 0 });
+        q.waiters.push_back(SimWaiter { txn: 3, core: 3, mode: Mode::S, ts: 0 });
+        q.waiters.push_back(SimWaiter { txn: 4, core: 4, mode: Mode::X, ts: 0 });
+        assert!(q.grant_ready().is_empty(), "X owner blocks everyone");
+        q.remove(1);
+        // Both readers granted together; writer still blocked behind them.
+        assert_eq!(q.grant_ready(), vec![2, 3]);
+        assert_eq!(q.owners.len(), 2);
+        q.remove(2);
+        assert!(q.grant_ready().is_empty());
+        q.remove(3);
+        assert_eq!(q.grant_ready(), vec![4]);
+    }
+
+    #[test]
+    fn ts_cc_pending_ignores_self() {
+        let mut t = TsCc::default();
+        t.prewrites.push((5, 77));
+        assert!(t.pending_below(10, 1));
+        assert!(!t.pending_below(10, 77), "own prewrite is not a conflict");
+        assert!(!t.pending_below(3, 1));
+    }
+
+    #[test]
+    fn mvcc_visibility_and_pending() {
+        let mut m = MvccCc { versions: [(0, 0), (10, 12)].into(), ..Default::default() };
+        assert_eq!(m.visible(5), Some(0));
+        assert_eq!(m.visible(10), Some(1));
+        m.prewrites.push((7, 9));
+        assert!(m.pending_between(0, 8, 1));
+        assert!(!m.pending_between(0, 6, 1));
+    }
+
+    #[test]
+    fn partition_grants_oldest_first() {
+        let mut p = SimPart { busy: Some(1), ..Default::default() };
+        p.enqueue(30, 3, 3);
+        p.enqueue(10, 2, 2);
+        p.enqueue(20, 4, 4);
+        assert_eq!(p.release(1), Some(2), "oldest ts wins");
+        assert_eq!(p.busy, Some(2));
+        assert_eq!(p.release(2), Some(4));
+        assert_eq!(p.release(4), Some(3));
+        assert_eq!(p.release(3), None);
+        assert_eq!(p.busy, None);
+    }
+
+    #[test]
+    fn create_and_destroy() {
+        let mut d = db(CcScheme::NoWait);
+        d.create(0, 99, 5);
+        assert!(d.exists(0, 99));
+        d.destroy(0, 99);
+        assert!(!d.exists(0, 99));
+    }
+}

@@ -1,0 +1,117 @@
+//! The target architecture's interconnect: a 2-D mesh network-on-chip
+//! (§3.1, Fig. 2). Tiles are arranged in a `k × k` grid (k rounded up to
+//! cover the core count), routed X-then-Y, with each hop costing two
+//! cycles at 1 GHz.
+
+/// The 2-D mesh of tiles.
+#[derive(Debug, Clone, Copy)]
+pub struct Mesh {
+    /// Grid dimension (`k`), so the mesh holds `k²` tiles.
+    pub dim: u32,
+    /// Cycles per hop (paper: 2).
+    pub hop_cycles: u64,
+}
+
+impl Mesh {
+    /// The smallest square mesh covering `cores` tiles.
+    pub fn for_cores(cores: u32) -> Self {
+        let dim = (cores as f64).sqrt().ceil() as u32;
+        Self { dim: dim.max(1), hop_cycles: 2 }
+    }
+
+    /// Tile coordinates of core `c`.
+    #[inline]
+    pub fn coords(&self, core: u32) -> (u32, u32) {
+        (core % self.dim, core / self.dim)
+    }
+
+    /// Manhattan hop count between two cores.
+    #[inline]
+    pub fn hops(&self, a: u32, b: u32) -> u64 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        u64::from(ax.abs_diff(bx)) + u64::from(ay.abs_diff(by))
+    }
+
+    /// One-way latency between two cores in cycles.
+    #[inline]
+    pub fn latency(&self, a: u32, b: u32) -> u64 {
+        self.hops(a, b) * self.hop_cycles
+    }
+
+    /// Average hop distance between two uniformly random tiles — the
+    /// standard `2k/3` result for a `k × k` mesh (used for costs that
+    /// depend on a *random* remote tile, like NUCA L2 slices).
+    #[inline]
+    pub fn avg_hops(&self) -> f64 {
+        2.0 * f64::from(self.dim) / 3.0
+    }
+
+    /// Average one-way latency to a random tile, cycles.
+    #[inline]
+    pub fn avg_latency(&self) -> u64 {
+        (self.avg_hops() * self.hop_cycles as f64).round() as u64
+    }
+
+    /// Round-trip latency between a random pair of tiles, cycles — the
+    /// cost of pulling a contended cache line across the chip.
+    #[inline]
+    pub fn avg_round_trip(&self) -> u64 {
+        2 * self.avg_latency()
+    }
+
+    /// Hops from a corner-ish tile to the chip center (the hardware
+    /// timestamp counter sits at the center so the *average* distance is
+    /// `k/2`, §4.3).
+    #[inline]
+    pub fn avg_hops_to_center(&self) -> f64 {
+        f64::from(self.dim) / 2.0
+    }
+
+    /// Round trip to the central hardware counter, cycles.
+    #[inline]
+    pub fn center_round_trip(&self) -> u64 {
+        (2.0 * self.avg_hops_to_center() * self.hop_cycles as f64).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_covers_core_count() {
+        assert_eq!(Mesh::for_cores(1).dim, 1);
+        assert_eq!(Mesh::for_cores(64).dim, 8);
+        assert_eq!(Mesh::for_cores(65).dim, 9);
+        assert_eq!(Mesh::for_cores(1024).dim, 32);
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let m = Mesh::for_cores(64); // 8x8
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 7), 7); // same row
+        assert_eq!(m.hops(0, 63), 14); // opposite corner
+        assert_eq!(m.latency(0, 63), 28);
+    }
+
+    #[test]
+    fn paper_scale_round_trip_near_100_cycles() {
+        // §4.3: one round trip across a 1024-core chip ≈ 100 cycles.
+        let m = Mesh::for_cores(1024);
+        let rt = m.avg_round_trip();
+        assert!((70..=115).contains(&rt), "1024-core round trip {rt} cycles");
+    }
+
+    #[test]
+    fn center_is_closer_than_random_tile() {
+        let m = Mesh::for_cores(1024);
+        assert!(m.center_round_trip() < m.avg_round_trip());
+    }
+
+    #[test]
+    fn bigger_mesh_costs_more() {
+        assert!(Mesh::for_cores(1024).avg_round_trip() > Mesh::for_cores(16).avg_round_trip());
+    }
+}

@@ -1,0 +1,207 @@
+//! Table schemas with fixed row layouts.
+//!
+//! The engine stores rows as contiguous byte arrays; a [`Schema`] maps
+//! column indexes to byte offsets. Columns are fixed-width (YCSB uses ten
+//! 100-byte string fields; TPC-C's variable fields are stored at their
+//! maximum width, as DBx1000 does).
+
+use abyss_common::{DbError, TableId};
+
+/// A single fixed-width column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Width in bytes.
+    pub width: usize,
+}
+
+impl ColumnDef {
+    /// A new column definition.
+    pub fn new(name: impl Into<String>, width: usize) -> Self {
+        Self { name: name.into(), width }
+    }
+
+    /// A `u64` column.
+    pub fn u64(name: impl Into<String>) -> Self {
+        Self::new(name, 8)
+    }
+}
+
+/// A fixed row layout: column widths plus precomputed offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+    offsets: Vec<usize>,
+    row_size: usize,
+}
+
+impl Schema {
+    /// Build a schema from column definitions.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        let mut offsets = Vec::with_capacity(columns.len());
+        let mut off = 0;
+        for c in &columns {
+            offsets.push(off);
+            off += c.width;
+        }
+        Self { columns, offsets, row_size: off }
+    }
+
+    /// Convenience: a YCSB-style schema of `n` data columns of `width` bytes
+    /// (plus an 8-byte primary-key column 0).
+    pub fn key_plus_payload(n: usize, width: usize) -> Self {
+        let mut cols = vec![ColumnDef::u64("key")];
+        for i in 0..n {
+            cols.push(ColumnDef::new(format!("f{i}"), width));
+        }
+        Self::new(cols)
+    }
+
+    /// Total row size in bytes.
+    pub fn row_size(&self) -> usize {
+        self.row_size
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Byte offset of column `col`.
+    pub fn offset(&self, col: usize) -> usize {
+        self.offsets[col]
+    }
+
+    /// Width of column `col`.
+    pub fn width(&self, col: usize) -> usize {
+        self.columns[col].width
+    }
+
+    /// Byte range of column `col`, checked.
+    pub fn column_range(&self, col: usize) -> Result<std::ops::Range<usize>, DbError> {
+        if col >= self.columns.len() {
+            return Err(DbError::SchemaViolation(format!(
+                "column {col} out of range ({} columns)",
+                self.columns.len()
+            )));
+        }
+        let start = self.offsets[col];
+        Ok(start..start + self.columns[col].width)
+    }
+
+    /// Column definitions.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+}
+
+/// A table definition: id, name, schema, capacity.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    /// Table id — index into the catalog.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Row layout.
+    pub schema: Schema,
+    /// Maximum number of rows the arena will hold (loads + inserts).
+    pub capacity: u64,
+}
+
+/// An ordered collection of table definitions.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<TableDef>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a table; returns its id.
+    pub fn add_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        capacity: u64,
+    ) -> TableId {
+        let id = self.tables.len() as TableId;
+        self.tables.push(TableDef { id, name: name.into(), schema, capacity });
+        id
+    }
+
+    /// Look up a table definition.
+    pub fn table(&self, id: TableId) -> Result<&TableDef, DbError> {
+        self.tables.get(id as usize).ok_or(DbError::NoSuchTable(id))
+    }
+
+    /// Find a table id by name.
+    pub fn table_by_name(&self, name: &str) -> Option<&TableDef> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// All table definitions in id order.
+    pub fn tables(&self) -> &[TableDef] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if there are no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_offsets_are_cumulative() {
+        let s = Schema::new(vec![
+            ColumnDef::u64("id"),
+            ColumnDef::new("name", 16),
+            ColumnDef::new("flag", 1),
+        ]);
+        assert_eq!(s.row_size(), 25);
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 8);
+        assert_eq!(s.offset(2), 24);
+        assert_eq!(s.width(1), 16);
+    }
+
+    #[test]
+    fn ycsb_style_schema() {
+        // Paper: 1 PK column + 10 columns of 100 bytes each.
+        let s = Schema::key_plus_payload(10, 100);
+        assert_eq!(s.column_count(), 11);
+        assert_eq!(s.row_size(), 8 + 1000);
+    }
+
+    #[test]
+    fn column_range_checks_bounds() {
+        let s = Schema::new(vec![ColumnDef::u64("a")]);
+        assert_eq!(s.column_range(0).unwrap(), 0..8);
+        assert!(s.column_range(1).is_err());
+    }
+
+    #[test]
+    fn catalog_lookup() {
+        let mut c = Catalog::new();
+        let t0 = c.add_table("warehouse", Schema::key_plus_payload(1, 8), 10);
+        let t1 = c.add_table("district", Schema::key_plus_payload(2, 8), 100);
+        assert_eq!(t0, 0);
+        assert_eq!(t1, 1);
+        assert_eq!(c.table(t1).unwrap().name, "district");
+        assert!(c.table(9).is_err());
+        assert_eq!(c.table_by_name("warehouse").unwrap().id, t0);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! # abyss-storage
+//!
+//! The storage substrate underneath the abyss DBMS, mirroring the test-bed
+//! of §3.2 of the paper: all data lives in memory in a row-oriented layout,
+//! tables are reached through hash indexes with low-level bucket latching,
+//! and memory comes from per-thread pools with dynamic resizing (the
+//! paper's custom `malloc`, §4.1).
+//!
+//! * [`catalog`] — column/schema/table definitions with fixed row layouts.
+//! * [`row`] — typed accessors over raw row bytes.
+//! * [`table`] — fixed-capacity row arenas with lock-free allocation.
+//! * [`index`] — chained hash index with per-bucket latches.
+//! * [`mempool`] — per-thread, dynamically resized block pools.
+//! * [`partition`] — key → partition maps for the H-STORE scheme.
+
+pub mod catalog;
+pub mod index;
+pub mod mempool;
+pub mod partition;
+pub mod row;
+pub mod table;
+
+pub use catalog::{Catalog, ColumnDef, Schema, TableDef};
+pub use index::HashIndex;
+pub use mempool::MemPool;
+pub use partition::PartitionMap;
+pub use table::Table;

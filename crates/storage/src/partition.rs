@@ -1,0 +1,104 @@
+//! Key → partition maps for the H-STORE scheme (§2.2, §5.5).
+//!
+//! YCSB's single table is hash-partitioned so each partition holds roughly
+//! the same number of records (§5.5); TPC-C is partitioned by warehouse id
+//! (§3.3), which our TPC-C key encoding exposes as the key's upper bits.
+
+use abyss_common::fxhash::hash_u64;
+use abyss_common::{Key, PartId};
+
+/// How keys map to partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMap {
+    /// Everything in one partition (non-partitioned schemes).
+    Single,
+    /// Hash partitioning over `parts` partitions (YCSB, §5.5).
+    Hash {
+        /// Number of partitions.
+        parts: u32,
+    },
+    /// `key % parts` — the "simple hashing strategy" of §5.5. Used by the
+    /// YCSB generator because it makes "a uniform key inside partition p"
+    /// directly constructible (`key = r * parts + p`).
+    Modulo {
+        /// Number of partitions.
+        parts: u32,
+    },
+    /// The key's upper bits name the warehouse; warehouse w → partition
+    /// `w % parts` (TPC-C; each partition is one warehouse when
+    /// `parts == warehouses`).
+    KeyUpperBits {
+        /// Number of partitions.
+        parts: u32,
+        /// How far to shift the key right to recover the warehouse id.
+        shift: u32,
+    },
+}
+
+impl PartitionMap {
+    /// Partition of `key`.
+    #[inline]
+    pub fn partition_of(&self, key: Key) -> PartId {
+        match *self {
+            PartitionMap::Single => 0,
+            PartitionMap::Hash { parts } => (hash_u64(key) % u64::from(parts)) as PartId,
+            PartitionMap::Modulo { parts } => (key % u64::from(parts)) as PartId,
+            PartitionMap::KeyUpperBits { parts, shift } => {
+                ((key >> shift) % u64::from(parts)) as PartId
+            }
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> u32 {
+        match *self {
+            PartitionMap::Single => 1,
+            PartitionMap::Hash { parts }
+            | PartitionMap::Modulo { parts }
+            | PartitionMap::KeyUpperBits { parts, .. } => parts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_maps_everything_to_zero() {
+        let m = PartitionMap::Single;
+        assert_eq!(m.partition_of(0), 0);
+        assert_eq!(m.partition_of(u64::MAX), 0);
+        assert_eq!(m.partition_count(), 1);
+    }
+
+    #[test]
+    fn hash_partitioning_is_balanced() {
+        let m = PartitionMap::Hash { parts: 16 };
+        let mut counts = [0u32; 16];
+        for k in 0..16_000 {
+            counts[m.partition_of(k) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        // Each partition should get ~1000 keys; allow ±20%.
+        assert!(*min > 800 && *max < 1200, "unbalanced: min={min} max={max}");
+    }
+
+    #[test]
+    fn upper_bits_extracts_warehouse() {
+        // TPC-C encoding: warehouse in bits 40.., per-warehouse payload below.
+        let m = PartitionMap::KeyUpperBits { parts: 4, shift: 40 };
+        let key = (3u64 << 40) | 12345;
+        assert_eq!(m.partition_of(key), 3);
+        let key2 = (5u64 << 40) | 7; // warehouse 5 wraps to partition 1
+        assert_eq!(m.partition_of(key2), 1);
+    }
+
+    #[test]
+    fn partition_is_stable() {
+        let m = PartitionMap::Hash { parts: 64 };
+        for k in [0u64, 1, 99, 1 << 33] {
+            assert_eq!(m.partition_of(k), m.partition_of(k));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # abyss-workload
+//!
+//! The two benchmarks of the paper's evaluation (§3.3), generated as
+//! engine-agnostic [`abyss_common::TxnTemplate`]s so that the same stream
+//! of transactions drives both the real multi-threaded engine and the
+//! many-core simulator.
+//!
+//! * [`ycsb`] — the Yahoo! Cloud Serving Benchmark: one 20M-row table,
+//!   Zipfian access skew controlled by `theta`, 16 requests per
+//!   transaction, with knobs for every YCSB experiment in the paper
+//!   (read/write mix, working-set size, ordered locking for Fig. 4,
+//!   partitioned generation for Figs. 14–15).
+//! * [`tpcc`] — TPC-C restricted to Payment + NewOrder (88% of the
+//!   standard mix, §3.3), with the spec's remote-warehouse probabilities
+//!   and the 1% NewOrder user-abort rule.
+
+pub mod tpcc;
+pub mod ycsb;
+
+pub use tpcc::{TpccConfig, TpccGen, TpccTable};
+pub use ycsb::{YcsbConfig, YcsbGen};

@@ -1,0 +1,569 @@
+//! TPC-C, restricted to the Payment and NewOrder transactions — together
+//! 88% of the standard mix and the two the paper models (§3.3, §5.6).
+//!
+//! This is a "good-faith" implementation in the paper's sense: the full
+//! nine-table schema is present with spec-accurate row widths, the two
+//! transactions touch the same tables in the same order with the spec's
+//! remote-warehouse probabilities, there is no thinking time, and ~1% of
+//! NewOrder transactions abort through program logic (the invalid-item
+//! rule). Simplifications, documented here and in `DESIGN.md`:
+//!
+//! * customer lookups are always by id (the spec's 60% by-last-name path
+//!   requires a secondary index; DBx1000 does the same simplification);
+//! * item ids are drawn uniformly instead of NURand;
+//! * decimal columns are stored as integer cents in `u64` columns.
+//!
+//! # Key encoding
+//!
+//! All tables are keyed by a single `u64`:
+//!
+//! ```text
+//! WAREHOUSE   w
+//! DISTRICT    w * 10 + d                                  (d in 0..10)
+//! CUSTOMER    district_key * 3000 + c                     (c in 0..3000)
+//! ITEM        i                                           (i in 0..100_000)
+//! STOCK       w * 100_000 + i
+//! ORDER       district_key << 32 | o_id
+//! NEW_ORDER   district_key << 32 | o_id
+//! ORDER_LINE  (district_key << 32 | o_id) << 4 | ol       (ol in 0..15)
+//! HISTORY     worker << 40 | seq                          (synthetic)
+//! ```
+//!
+//! The warehouse id occupies the key's upper bits for ORDER-family tables
+//! and the multiplicative prefix elsewhere, so
+//! [`abyss_storage::PartitionMap`] can partition every table by warehouse —
+//! the paper's H-STORE partitioning.
+
+use abyss_common::rng::Xoshiro256;
+use abyss_common::{AccessOp, AccessSpec, Key, KeySpec, PartId, TxnTemplate};
+use abyss_storage::{Catalog, ColumnDef, Schema};
+
+/// Districts per warehouse (spec).
+pub const DISTRICTS_PER_WH: u64 = 10;
+/// Customers per district (spec).
+pub const CUSTOMERS_PER_DISTRICT: u64 = 3000;
+/// Items in the catalog (spec).
+pub const ITEMS: u64 = 100_000;
+/// First order id assigned to new orders (3000 exist per district at load).
+pub const FIRST_NEW_ORDER_ID: u64 = 3000;
+
+/// Transaction tags reported by the harness.
+pub const TAG_PAYMENT: u8 = 0;
+/// NewOrder tag.
+pub const TAG_NEW_ORDER: u8 = 1;
+
+/// The nine TPC-C tables, with catalog ids matching the enum discriminants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum TpccTable {
+    /// WAREHOUSE — one row per warehouse.
+    Warehouse = 0,
+    /// DISTRICT — 10 rows per warehouse.
+    District = 1,
+    /// CUSTOMER — 3000 rows per district.
+    Customer = 2,
+    /// HISTORY — append-only payment history.
+    History = 3,
+    /// NEW-ORDER — pending orders.
+    NewOrder = 4,
+    /// ORDER — one row per order.
+    Order = 5,
+    /// ORDER-LINE — 5–15 rows per order.
+    OrderLine = 6,
+    /// ITEM — global read-only catalog (100k rows).
+    Item = 7,
+    /// STOCK — 100k rows per warehouse.
+    Stock = 8,
+}
+
+impl TpccTable {
+    /// Catalog table id.
+    pub fn id(self) -> u32 {
+        self as u32
+    }
+}
+
+/// Composite-key helpers (see module docs for the encoding).
+pub mod keys {
+    use super::*;
+
+    /// DISTRICT primary key.
+    pub fn district(w: u64, d: u64) -> Key {
+        debug_assert!(d < DISTRICTS_PER_WH);
+        w * DISTRICTS_PER_WH + d
+    }
+
+    /// CUSTOMER primary key.
+    pub fn customer(w: u64, d: u64, c: u64) -> Key {
+        debug_assert!(c < CUSTOMERS_PER_DISTRICT);
+        district(w, d) * CUSTOMERS_PER_DISTRICT + c
+    }
+
+    /// STOCK primary key.
+    pub fn stock(w: u64, i: u64) -> Key {
+        debug_assert!(i < ITEMS);
+        w * ITEMS + i
+    }
+
+    /// ORDER / NEW-ORDER primary key.
+    pub fn order(w: u64, d: u64, o_id: u64) -> Key {
+        debug_assert!(o_id < (1 << 32));
+        (district(w, d) << 32) | o_id
+    }
+
+    /// ORDER-LINE primary key.
+    pub fn order_line(w: u64, d: u64, o_id: u64, ol: u64) -> Key {
+        debug_assert!(ol < 16);
+        (order(w, d, o_id) << 4) | ol
+    }
+
+    /// Synthetic HISTORY primary key (per-worker unique).
+    pub fn history(worker: u64, seq: u64) -> Key {
+        (worker << 40) | seq
+    }
+
+    /// Warehouse of a DISTRICT key.
+    pub fn district_wh(k: Key) -> u64 {
+        k / DISTRICTS_PER_WH
+    }
+
+    /// Warehouse of an ORDER / NEW-ORDER key.
+    pub fn order_wh(k: Key) -> u64 {
+        district_wh(k >> 32)
+    }
+
+    /// Warehouse of an ORDER-LINE key.
+    pub fn order_line_wh(k: Key) -> u64 {
+        order_wh(k >> 4)
+    }
+}
+
+/// Tunable TPC-C parameters. Defaults follow the paper's §5.6 setup.
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    /// Number of warehouses (the paper runs 4 and 1024).
+    pub warehouses: u32,
+    /// Fraction of Payment transactions (paper: 50/50 with NewOrder).
+    pub payment_pct: f64,
+    /// Payment: probability the paying customer belongs to a remote
+    /// warehouse (spec & paper: ~15%).
+    pub remote_payment_pct: f64,
+    /// NewOrder: per-item probability the supplying warehouse is remote
+    /// (spec: 1%, giving ~10% of transactions at least one remote item).
+    pub remote_item_pct: f64,
+    /// NewOrder: probability of a program-logic abort (spec: 1%).
+    pub user_abort_pct: f64,
+    /// Number of worker threads / generators (home warehouses are assigned
+    /// round-robin: worker i is home to warehouse `i % warehouses`).
+    pub workers: u32,
+    /// Extra capacity factor for insert-heavy tables, as a multiple of the
+    /// initial row count (real-engine loads need headroom for inserts).
+    pub insert_headroom: f64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        Self {
+            warehouses: 4,
+            payment_pct: 0.5,
+            remote_payment_pct: 0.15,
+            remote_item_pct: 0.01,
+            user_abort_pct: 0.01,
+            workers: 4,
+            insert_headroom: 2.0,
+        }
+    }
+}
+
+impl TpccConfig {
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.warehouses == 0 {
+            return Err("warehouses must be positive".into());
+        }
+        if self.workers == 0 {
+            return Err("workers must be positive".into());
+        }
+        for (name, v) in [
+            ("payment_pct", self.payment_pct),
+            ("remote_payment_pct", self.remote_payment_pct),
+            ("remote_item_pct", self.remote_item_pct),
+            ("user_abort_pct", self.user_abort_pct),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} out of range: {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Home warehouse of a worker.
+    pub fn home_warehouse(&self, worker: u32) -> u64 {
+        u64::from(worker % self.warehouses)
+    }
+}
+
+/// Build the nine-table TPC-C catalog with spec-accurate row widths.
+///
+/// Schemas: column 0 is always the `u64` primary key; column 1 is the `u64`
+/// "hot" numeric column the transactions read-modify-write (W_YTD, D_YTD /
+/// D_NEXT_O_ID, C_BALANCE, S_QUANTITY); the remainder is payload padding to
+/// the spec's approximate row width.
+pub fn catalog(cfg: &TpccConfig) -> Catalog {
+    let w = u64::from(cfg.warehouses);
+    let head = cfg.insert_headroom.max(1.0);
+    let orders_cap = ((w * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT) as f64 * head) as u64;
+    let mut c = Catalog::new();
+
+    let mk = |payload: usize| {
+        Schema::new(vec![
+            ColumnDef::u64("key"),
+            ColumnDef::u64("hot"),
+            ColumnDef::new("payload", payload),
+        ])
+    };
+
+    // Spec-ish row widths (bytes): warehouse 89, district 95, customer 655,
+    // history 46, new-order 8, order 24, order-line 54, item 82, stock 306.
+    c.add_table("warehouse", mk(73), w);
+    c.add_table("district", mk(79), w * DISTRICTS_PER_WH);
+    c.add_table("customer", mk(639), w * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT);
+    c.add_table("history", mk(30), orders_cap);
+    c.add_table("new_order", mk(8), orders_cap);
+    c.add_table("order", mk(8), orders_cap);
+    c.add_table("order_line", mk(38), orders_cap * 15);
+    c.add_table("item", mk(66), ITEMS);
+    c.add_table("stock", mk(290), w * ITEMS);
+    c
+}
+
+/// Per-worker TPC-C transaction generator.
+#[derive(Debug, Clone)]
+pub struct TpccGen {
+    cfg: TpccConfig,
+    worker: u32,
+    home_wh: u64,
+    rng: Xoshiro256,
+    history_seq: u64,
+}
+
+impl TpccGen {
+    /// Create the generator for `worker`.
+    pub fn new(cfg: TpccConfig, worker: u32, seed: u64) -> Self {
+        cfg.validate().expect("invalid TPC-C config");
+        let home_wh = cfg.home_warehouse(worker);
+        Self { cfg, worker, home_wh, rng: Xoshiro256::seed_from(seed), history_seq: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TpccConfig {
+        &self.cfg
+    }
+
+    /// A warehouse other than `home` (uniform), or `home` when only one
+    /// warehouse exists.
+    fn remote_warehouse(&mut self) -> u64 {
+        let n = u64::from(self.cfg.warehouses);
+        if n == 1 {
+            return self.home_wh;
+        }
+        loop {
+            let w = self.rng.next_below(n);
+            if w != self.home_wh {
+                return w;
+            }
+        }
+    }
+
+    /// Generate the next transaction per the configured mix.
+    pub fn next_txn(&mut self) -> TxnTemplate {
+        if self.rng.chance(self.cfg.payment_pct) {
+            self.payment()
+        } else {
+            self.new_order()
+        }
+    }
+
+    /// The Payment transaction: update W_YTD, D_YTD, the customer's
+    /// balance, and append a HISTORY row. ~15% of customers are remote.
+    pub fn payment(&mut self) -> TxnTemplate {
+        let w = self.home_wh;
+        let d = self.rng.next_below(DISTRICTS_PER_WH);
+        let (cw, cd) = if self.rng.chance(self.cfg.remote_payment_pct) {
+            (self.remote_warehouse(), self.rng.next_below(DISTRICTS_PER_WH))
+        } else {
+            (w, d)
+        };
+        let c = self.rng.next_below(CUSTOMERS_PER_DISTRICT);
+        let hkey = keys::history(u64::from(self.worker), self.history_seq);
+        self.history_seq += 1;
+
+        let accesses = vec![
+            AccessSpec::fixed(TpccTable::Warehouse.id(), w, AccessOp::Update),
+            AccessSpec::fixed(TpccTable::District.id(), keys::district(w, d), AccessOp::Update),
+            AccessSpec::fixed(
+                TpccTable::Customer.id(),
+                keys::customer(cw, cd, c),
+                AccessOp::Update,
+            ),
+            AccessSpec::fixed(TpccTable::History.id(), hkey, AccessOp::Insert),
+        ];
+
+        let mut partitions = vec![w as PartId];
+        if cw != w {
+            partitions.push(cw as PartId);
+        }
+        partitions.sort_unstable();
+
+        TxnTemplate {
+            accesses,
+            partitions,
+            user_abort: false,
+            logic_per_query: 1,
+            tag: TAG_PAYMENT,
+        }
+    }
+
+    /// The NewOrder transaction: read WAREHOUSE and CUSTOMER, increment
+    /// D_NEXT_O_ID, read each ITEM, update each STOCK (1% remote), insert
+    /// ORDER, NEW-ORDER and one ORDER-LINE per item. ~1% user-abort.
+    pub fn new_order(&mut self) -> TxnTemplate {
+        let w = self.home_wh;
+        let d = self.rng.next_below(DISTRICTS_PER_WH);
+        let c = self.rng.next_below(CUSTOMERS_PER_DISTRICT);
+        let ol_cnt = self.rng.next_range(5, 15);
+        let dkey = keys::district(w, d);
+
+        let mut accesses = Vec::with_capacity(6 + 3 * ol_cnt as usize);
+        accesses.push(AccessSpec::fixed(TpccTable::Warehouse.id(), w, AccessOp::Read));
+        accesses.push(AccessSpec {
+            table: TpccTable::District.id(),
+            key: KeySpec::Fixed(dkey),
+            op: AccessOp::UpdateCounter { slot: 0 },
+        });
+        accesses.push(AccessSpec::fixed(
+            TpccTable::Customer.id(),
+            keys::customer(w, d, c),
+            AccessOp::Read,
+        ));
+
+        let mut partitions = vec![w as PartId];
+        let mut items: Vec<u64> = Vec::with_capacity(ol_cnt as usize);
+        for _ in 0..ol_cnt {
+            // Distinct items within one order, as the spec requires.
+            let i = loop {
+                let i = self.rng.next_below(ITEMS);
+                if !items.contains(&i) {
+                    break i;
+                }
+            };
+            items.push(i);
+            let supply_w = if self.rng.chance(self.cfg.remote_item_pct) {
+                self.remote_warehouse()
+            } else {
+                w
+            };
+            if !partitions.contains(&(supply_w as PartId)) {
+                partitions.push(supply_w as PartId);
+            }
+            accesses.push(AccessSpec::fixed(TpccTable::Item.id(), i, AccessOp::Read));
+            accesses.push(AccessSpec::fixed(
+                TpccTable::Stock.id(),
+                keys::stock(supply_w, i),
+                AccessOp::Update,
+            ));
+        }
+
+        // Inserts keyed by the captured D_NEXT_O_ID (slot 0).
+        accesses.push(AccessSpec {
+            table: TpccTable::Order.id(),
+            key: KeySpec::Derived { slot: 0, base: dkey << 32, scale: 1 },
+            op: AccessOp::Insert,
+        });
+        accesses.push(AccessSpec {
+            table: TpccTable::NewOrder.id(),
+            key: KeySpec::Derived { slot: 0, base: dkey << 32, scale: 1 },
+            op: AccessOp::Insert,
+        });
+        for ol in 0..ol_cnt {
+            accesses.push(AccessSpec {
+                table: TpccTable::OrderLine.id(),
+                key: KeySpec::Derived { slot: 0, base: ((dkey << 32) << 4) | ol, scale: 16 },
+                op: AccessOp::Insert,
+            });
+        }
+
+        partitions.sort_unstable();
+
+        TxnTemplate {
+            accesses,
+            partitions,
+            user_abort: self.rng.chance(self.cfg.user_abort_pct),
+            logic_per_query: 1,
+            tag: TAG_NEW_ORDER,
+        }
+    }
+}
+
+/// Initial-load population: yields `(table, key)` pairs for every row the
+/// database starts with. The caller materializes rows (real engine) or
+/// registers keys (simulator).
+pub fn initial_keys(cfg: &TpccConfig) -> impl Iterator<Item = (u32, Key)> + '_ {
+    let w = u64::from(cfg.warehouses);
+    let warehouses = (0..w).map(|k| (TpccTable::Warehouse.id(), k));
+    let districts =
+        (0..w * DISTRICTS_PER_WH).map(|k| (TpccTable::District.id(), k));
+    let customers = (0..w * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT)
+        .map(|k| (TpccTable::Customer.id(), k));
+    let items = (0..ITEMS).map(|k| (TpccTable::Item.id(), k));
+    let stock = (0..w * ITEMS).map(|k| (TpccTable::Stock.id(), k));
+    warehouses.chain(districts).chain(customers).chain(items).chain(stock)
+}
+
+/// Initialize a freshly-allocated TPC-C row: key in column 0; the hot
+/// column starts at [`FIRST_NEW_ORDER_ID`] for districts (D_NEXT_O_ID) and
+/// zero elsewhere.
+pub fn init_row(table: u32, schema: &Schema, row: &mut [u8], key: Key) {
+    abyss_storage::row::set_u64(schema, row, 0, key);
+    let hot0 = if table == TpccTable::District.id() { FIRST_NEW_ORDER_ID } else { 0 };
+    abyss_storage::row::set_u64(schema, row, 1, hot0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> TpccConfig {
+        TpccConfig { warehouses: 4, workers: 8, ..TpccConfig::default() }
+    }
+
+    #[test]
+    fn key_encodings_round_trip() {
+        let k = keys::order_line(3, 7, 4321, 11);
+        assert_eq!(keys::order_line_wh(k), 3);
+        assert_eq!(keys::order_wh(keys::order(3, 7, 4321)), 3);
+        assert_eq!(keys::district_wh(keys::district(9, 4)), 9);
+        // distinct composite keys never collide
+        assert_ne!(keys::order(1, 0, 5), keys::order(0, 1, 5));
+        assert_ne!(keys::order_line(1, 2, 3, 4), keys::order_line(1, 2, 3, 5));
+    }
+
+    #[test]
+    fn payment_shape() {
+        let mut g = TpccGen::new(config(), 1, 77);
+        let t = g.payment();
+        assert_eq!(t.tag, TAG_PAYMENT);
+        assert_eq!(t.len(), 4);
+        assert!(t.validate().is_ok());
+        assert!(!t.user_abort);
+        // warehouse + district + customer updates, history insert
+        assert_eq!(t.accesses[0].op, AccessOp::Update);
+        assert_eq!(t.accesses[3].op, AccessOp::Insert);
+    }
+
+    #[test]
+    fn new_order_shape() {
+        let mut g = TpccGen::new(config(), 0, 5);
+        let t = g.new_order();
+        assert_eq!(t.tag, TAG_NEW_ORDER);
+        assert!(t.validate().is_ok(), "{:?}", t.validate());
+        // 3 header accesses + 2 per item + 2 order inserts + 1 line per item
+        let items = (t.len() - 5) / 3;
+        assert!((5..=15).contains(&items), "ol_cnt {items}");
+        assert_eq!(t.len(), 5 + 3 * items);
+    }
+
+    #[test]
+    fn remote_payment_rate() {
+        let cfg = config();
+        let mut g = TpccGen::new(cfg.clone(), 0, 11);
+        let mut remote = 0;
+        let n = 4000;
+        for _ in 0..n {
+            let t = g.payment();
+            if t.partitions.len() > 1 {
+                remote += 1;
+            }
+        }
+        let frac = f64::from(remote) / f64::from(n);
+        assert!((frac - 0.15).abs() < 0.03, "remote payment fraction {frac}");
+    }
+
+    #[test]
+    fn new_order_multi_partition_rate_matches_paper() {
+        // ~1% per item with 5-15 items ⇒ ~10% of NewOrders touch a remote
+        // warehouse (§3.3 / §5.6).
+        let mut g = TpccGen::new(config(), 0, 13);
+        let n = 4000;
+        let mpt = (0..n).filter(|_| g.new_order().is_multi_partition()).count();
+        let frac = mpt as f64 / f64::from(n);
+        assert!((0.05..=0.16).contains(&frac), "NewOrder MPT fraction {frac}");
+    }
+
+    #[test]
+    fn user_abort_rate() {
+        let mut g = TpccGen::new(config(), 0, 17);
+        let n = 10_000;
+        let aborts = (0..n).filter(|_| g.new_order().user_abort).count();
+        let frac = aborts as f64 / f64::from(n);
+        assert!((frac - 0.01).abs() < 0.005, "user abort fraction {frac}");
+    }
+
+    #[test]
+    fn mix_is_half_payment() {
+        let mut g = TpccGen::new(config(), 2, 19);
+        let n = 4000;
+        let payments = (0..n).filter(|_| g.next_txn().tag == TAG_PAYMENT).count();
+        let frac = payments as f64 / f64::from(n);
+        assert!((frac - 0.5).abs() < 0.05, "payment fraction {frac}");
+    }
+
+    #[test]
+    fn home_warehouses_round_robin() {
+        let cfg = config();
+        assert_eq!(cfg.home_warehouse(0), 0);
+        assert_eq!(cfg.home_warehouse(5), 1);
+        assert_eq!(cfg.home_warehouse(7), 3);
+    }
+
+    #[test]
+    fn catalog_capacities() {
+        let cfg = TpccConfig { warehouses: 2, ..config() };
+        let cat = catalog(&cfg);
+        assert_eq!(cat.len(), 9);
+        assert_eq!(cat.table(TpccTable::Warehouse.id()).unwrap().capacity, 2);
+        assert_eq!(cat.table(TpccTable::District.id()).unwrap().capacity, 20);
+        assert_eq!(cat.table(TpccTable::Stock.id()).unwrap().capacity, 200_000);
+        // order-family tables have insert headroom
+        assert!(cat.table(TpccTable::Order.id()).unwrap().capacity > 60_000);
+    }
+
+    #[test]
+    fn initial_keys_counts() {
+        let cfg = TpccConfig { warehouses: 2, ..config() };
+        let counts = initial_keys(&cfg).fold([0u64; 9], |mut acc, (t, _)| {
+            acc[t as usize] += 1;
+            acc
+        });
+        assert_eq!(counts[TpccTable::Warehouse.id() as usize], 2);
+        assert_eq!(counts[TpccTable::District.id() as usize], 20);
+        assert_eq!(counts[TpccTable::Customer.id() as usize], 60_000);
+        assert_eq!(counts[TpccTable::Item.id() as usize], ITEMS);
+        assert_eq!(counts[TpccTable::Stock.id() as usize], 200_000);
+        assert_eq!(counts[TpccTable::Order.id() as usize], 0); // loaded empty
+    }
+
+    #[test]
+    fn district_rows_start_at_first_order_id() {
+        let cfg = config();
+        let cat = catalog(&cfg);
+        let dschema = &cat.table(TpccTable::District.id()).unwrap().schema;
+        let mut row = vec![0u8; dschema.row_size()];
+        init_row(TpccTable::District.id(), dschema, &mut row, 7);
+        assert_eq!(abyss_storage::row::get_u64(dschema, &row, 1), FIRST_NEW_ORDER_ID);
+        let wschema = &cat.table(TpccTable::Warehouse.id()).unwrap().schema;
+        let mut wrow = vec![0u8; wschema.row_size()];
+        init_row(TpccTable::Warehouse.id(), wschema, &mut wrow, 1);
+        assert_eq!(abyss_storage::row::get_u64(wschema, &wrow, 1), 0);
+    }
+}

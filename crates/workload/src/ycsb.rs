@@ -1,0 +1,423 @@
+//! YCSB workload generation (§3.3 of the paper).
+//!
+//! The database is a single table of `table_rows` records, each a 64-bit
+//! key plus ten 100-byte columns. A transaction performs
+//! `reqs_per_txn` independent index look-ups; each access updates its tuple
+//! with probability `1 - read_pct`. Keys follow a Zipfian distribution with
+//! skew `theta` (see [`abyss_common::zipf`]).
+//!
+//! Extra knobs reproduce specific experiments:
+//!
+//! * `ordered_keys` — accesses sorted by primary key, removing deadlocks,
+//!   for the Fig. 4 lock-thrashing experiment;
+//! * `parts` / `multi_part_pct` / `parts_per_txn` — partitioned generation
+//!   for the H-STORE experiments (Figs. 14–15). Partitioning uses
+//!   `key % parts` (the paper's "simple hashing strategy to assign tuples
+//!   to partitions based on their primary keys").
+
+use abyss_common::rng::Xoshiro256;
+use abyss_common::zipf::ZipfGen;
+use abyss_common::{AccessOp, AccessSpec, Key, PartId, TxnTemplate};
+use abyss_storage::{Catalog, Schema};
+
+/// The YCSB table id in the catalog built by [`catalog`].
+pub const YCSB_TABLE: u32 = 0;
+
+/// Number of payload columns (paper: 10 × 100 B).
+pub const PAYLOAD_COLUMNS: usize = 10;
+/// Width of each payload column in bytes.
+pub const PAYLOAD_WIDTH: usize = 100;
+
+/// Tunable YCSB parameters. Defaults mirror the paper's base configuration.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Rows in the table. Paper: 20M (~20 GB).
+    pub table_rows: u64,
+    /// Index look-ups per transaction. Paper default: 16 (Fig. 12 sweeps it).
+    pub reqs_per_txn: usize,
+    /// Probability an access is a read (the rest are read-modify-writes).
+    pub read_pct: f64,
+    /// Zipfian skew; 0 = uniform, 0.6 = medium, 0.8 = high contention.
+    pub theta: f64,
+    /// Sort each transaction's keys ascending (Fig. 4: deadlock-free 2PL).
+    pub ordered_keys: bool,
+    /// Number of partitions (1 = unpartitioned).
+    pub parts: u32,
+    /// Fraction of transactions that are multi-partition (Fig. 15a).
+    pub multi_part_pct: f64,
+    /// Partitions each multi-partition transaction touches (Fig. 15b).
+    pub parts_per_txn: u32,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        Self {
+            table_rows: 20_000_000,
+            reqs_per_txn: 16,
+            read_pct: 0.5,
+            theta: 0.0,
+            ordered_keys: false,
+            parts: 1,
+            multi_part_pct: 0.0,
+            parts_per_txn: 1,
+        }
+    }
+}
+
+impl YcsbConfig {
+    /// 100% reads, uniform — Fig. 8's baseline.
+    pub fn read_only() -> Self {
+        Self { read_pct: 1.0, ..Self::default() }
+    }
+
+    /// 50/50 read/update mix at the given skew — Figs. 9–13.
+    pub fn write_intensive(theta: f64) -> Self {
+        Self { read_pct: 0.5, theta, ..Self::default() }
+    }
+
+    /// 90/10 read/update mix — the paper's "read-intensive" setting (Fig. 3).
+    pub fn read_intensive(theta: f64) -> Self {
+        Self { read_pct: 0.9, theta, ..Self::default() }
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.table_rows == 0 {
+            return Err("table_rows must be positive".into());
+        }
+        if self.reqs_per_txn == 0 {
+            return Err("reqs_per_txn must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.read_pct) {
+            return Err(format!("read_pct out of range: {}", self.read_pct));
+        }
+        if !(0.0..1.0).contains(&self.theta) {
+            return Err(format!("theta out of range: {}", self.theta));
+        }
+        if self.parts == 0 {
+            return Err("parts must be at least 1".into());
+        }
+        if self.parts_per_txn > self.parts {
+            return Err("parts_per_txn exceeds parts".into());
+        }
+        if self.reqs_per_txn as u64 > self.table_rows {
+            return Err("reqs_per_txn exceeds distinct keys".into());
+        }
+        Ok(())
+    }
+}
+
+/// Build the YCSB catalog: one table, 8-byte key + ten 100-byte columns.
+pub fn catalog(cfg: &YcsbConfig) -> Catalog {
+    let mut c = Catalog::new();
+    let schema = Schema::key_plus_payload(PAYLOAD_COLUMNS, PAYLOAD_WIDTH);
+    c.add_table("usertable", schema, cfg.table_rows);
+    c
+}
+
+/// Per-worker YCSB transaction generator. Each worker seeds its own
+/// generator (`seed` should differ per worker) so streams are independent
+/// yet reproducible.
+#[derive(Debug, Clone)]
+pub struct YcsbGen {
+    cfg: YcsbConfig,
+    zipf: ZipfGen,
+    rng: Xoshiro256,
+    /// Scratch for in-transaction key dedup.
+    keys: Vec<Key>,
+    /// Home partition: single-partition transactions run here (the
+    /// H-STORE execution-engine model — each worker serves its own
+    /// partition's queue, §2.2). `None` picks a random partition per
+    /// transaction.
+    home: Option<PartId>,
+}
+
+impl YcsbGen {
+    /// Create a generator. The Zipf zeta sum is computed once here.
+    pub fn new(cfg: YcsbConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid YCSB config");
+        let zipf = ZipfGen::new(cfg.table_rows, cfg.theta);
+        Self { cfg, zipf, rng: Xoshiro256::seed_from(seed), keys: Vec::new(), home: None }
+    }
+
+    /// Create a generator reusing an already-built Zipf table (the zeta sum
+    /// for 20M rows costs ~100 ms; workers share it).
+    pub fn with_zipf(cfg: YcsbConfig, zipf: ZipfGen, seed: u64) -> Self {
+        cfg.validate().expect("invalid YCSB config");
+        assert_eq!(zipf.n(), cfg.table_rows, "zipf table size mismatch");
+        assert!((zipf.theta() - cfg.theta).abs() < 1e-12, "zipf theta mismatch");
+        Self { cfg, zipf, rng: Xoshiro256::seed_from(seed), keys: Vec::new(), home: None }
+    }
+
+    /// Bind this generator to worker `worker`: single-partition
+    /// transactions target partition `worker % parts` (the paper's
+    /// one-engine-per-partition model); multi-partition transactions add
+    /// random remote partitions.
+    pub fn for_worker(mut self, worker: u32) -> Self {
+        if self.cfg.parts > 1 {
+            self.home = Some(worker % self.cfg.parts);
+        }
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.cfg
+    }
+
+    /// Draw a Zipf key not already in this transaction.
+    fn fresh_zipf_key(&mut self) -> Key {
+        loop {
+            let k = self.zipf.next(&mut self.rng);
+            if !self.keys.contains(&k) {
+                return k;
+            }
+        }
+    }
+
+    /// Draw a uniform key in partition `p` (key ≡ p mod parts) not already
+    /// in this transaction.
+    fn fresh_part_key(&mut self, p: PartId) -> Key {
+        let parts = u64::from(self.cfg.parts);
+        let rows_in_part = self.cfg.table_rows / parts;
+        loop {
+            let r = self.rng.next_below(rows_in_part);
+            let k = r * parts + u64::from(p);
+            if !self.keys.contains(&k) {
+                return k;
+            }
+        }
+    }
+
+    fn next_op(&mut self) -> AccessOp {
+        if self.rng.chance(self.cfg.read_pct) {
+            AccessOp::Read
+        } else {
+            AccessOp::Update
+        }
+    }
+
+    /// Generate the next transaction.
+    pub fn next_txn(&mut self) -> TxnTemplate {
+        self.keys.clear();
+        let n = self.cfg.reqs_per_txn;
+        let mut accesses = Vec::with_capacity(n);
+        let mut partitions: Vec<PartId> = Vec::new();
+
+        if self.cfg.parts <= 1 {
+            for _ in 0..n {
+                let k = self.fresh_zipf_key();
+                self.keys.push(k);
+                let op = self.next_op();
+                accesses.push(AccessSpec::fixed(YCSB_TABLE, k, op));
+            }
+            partitions.push(0);
+        } else {
+            // Partitioned generation (Figs. 14-15): pick the partition set
+            // first, then spread the accesses round-robin across it.
+            let want = if self.rng.chance(self.cfg.multi_part_pct) {
+                (self.cfg.parts_per_txn.max(2)).min(self.cfg.parts)
+            } else {
+                1
+            };
+            if let Some(home) = self.home {
+                partitions.push(home);
+            }
+            while partitions.len() < want as usize {
+                let p = self.rng.next_below(u64::from(self.cfg.parts)) as PartId;
+                if !partitions.contains(&p) {
+                    partitions.push(p);
+                }
+            }
+            for i in 0..n {
+                let p = partitions[i % partitions.len()];
+                let k = self.fresh_part_key(p);
+                self.keys.push(k);
+                let op = self.next_op();
+                accesses.push(AccessSpec::fixed(YCSB_TABLE, k, op));
+            }
+        }
+
+        if self.cfg.ordered_keys {
+            accesses.sort_by_key(|a| match a.key {
+                abyss_common::KeySpec::Fixed(k) => k,
+                _ => unreachable!("YCSB only generates fixed keys"),
+            });
+        }
+        partitions.sort_unstable();
+
+        let mut t = TxnTemplate::new(accesses);
+        t.partitions = partitions;
+        t
+    }
+}
+
+/// Iterator over the keys to load (0..rows). Initializer writes the key in
+/// column 0 and a worker-recognizable fill pattern in the payload.
+pub fn init_row(schema: &Schema, row: &mut [u8], key: Key) {
+    abyss_storage::row::set_u64(schema, row, 0, key);
+    for col in 1..schema.column_count() {
+        abyss_storage::row::fill_column(schema, row, col, (key as u8) ^ (col as u8));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abyss_common::KeySpec;
+
+    fn gen(cfg: YcsbConfig) -> YcsbGen {
+        YcsbGen::new(cfg, 42)
+    }
+
+    fn key_of(a: &AccessSpec) -> Key {
+        match a.key {
+            KeySpec::Fixed(k) => k,
+            _ => panic!("expected fixed key"),
+        }
+    }
+
+    #[test]
+    fn txn_shape_matches_config() {
+        let cfg = YcsbConfig { table_rows: 10_000, reqs_per_txn: 16, ..YcsbConfig::default() };
+        let mut g = gen(cfg);
+        let t = g.next_txn();
+        assert_eq!(t.len(), 16);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.partitions, vec![0]);
+    }
+
+    #[test]
+    fn keys_within_txn_are_distinct() {
+        let cfg = YcsbConfig {
+            table_rows: 1000,
+            theta: 0.8, // heavy skew: collisions would be common without dedup
+            ..YcsbConfig::default()
+        };
+        let mut g = gen(cfg);
+        for _ in 0..100 {
+            let t = g.next_txn();
+            let mut ks: Vec<Key> = t.accesses.iter().map(key_of).collect();
+            ks.sort_unstable();
+            ks.dedup();
+            assert_eq!(ks.len(), t.len());
+        }
+    }
+
+    #[test]
+    fn read_only_config_generates_only_reads() {
+        let cfg = YcsbConfig { table_rows: 10_000, ..YcsbConfig::read_only() };
+        let mut g = gen(cfg);
+        for _ in 0..50 {
+            assert!(g.next_txn().is_read_only());
+        }
+    }
+
+    #[test]
+    fn write_mix_is_calibrated() {
+        let cfg =
+            YcsbConfig { table_rows: 100_000, ..YcsbConfig::write_intensive(0.0) };
+        let mut g = gen(cfg);
+        let mut writes = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            let t = g.next_txn();
+            writes += t.accesses.iter().filter(|a| a.op.is_write()).count();
+            total += t.len();
+        }
+        let frac = writes as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.03, "write fraction {frac}");
+    }
+
+    #[test]
+    fn ordered_keys_are_sorted() {
+        let cfg = YcsbConfig {
+            table_rows: 10_000,
+            ordered_keys: true,
+            theta: 0.6,
+            ..YcsbConfig::default()
+        };
+        let mut g = gen(cfg);
+        for _ in 0..20 {
+            let t = g.next_txn();
+            let ks: Vec<Key> = t.accesses.iter().map(key_of).collect();
+            assert!(ks.windows(2).all(|w| w[0] < w[1]), "keys not sorted: {ks:?}");
+        }
+    }
+
+    #[test]
+    fn single_partition_txns_stay_in_one_partition() {
+        let cfg = YcsbConfig {
+            table_rows: 64_000,
+            parts: 16,
+            multi_part_pct: 0.0,
+            ..YcsbConfig::default()
+        };
+        let mut g = gen(cfg);
+        for _ in 0..50 {
+            let t = g.next_txn();
+            assert_eq!(t.partitions.len(), 1);
+            let p = u64::from(t.partitions[0]);
+            for a in &t.accesses {
+                assert_eq!(key_of(a) % 16, p);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_partition_fraction_and_spread() {
+        let cfg = YcsbConfig {
+            table_rows: 64_000,
+            parts: 16,
+            multi_part_pct: 0.5,
+            parts_per_txn: 4,
+            ..YcsbConfig::default()
+        };
+        let mut g = gen(cfg);
+        let mut mpt = 0;
+        for _ in 0..400 {
+            let t = g.next_txn();
+            if t.is_multi_partition() {
+                mpt += 1;
+                assert_eq!(t.partitions.len(), 4);
+                // every access's key must fall in one of the chosen partitions
+                for a in &t.accesses {
+                    let p = (key_of(a) % 16) as PartId;
+                    assert!(t.partitions.contains(&p));
+                }
+            }
+        }
+        let frac = mpt as f64 / 400.0;
+        assert!((frac - 0.5).abs() < 0.1, "multi-partition fraction {frac}");
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        let cfg = YcsbConfig { table_rows: 10_000, theta: 0.6, ..YcsbConfig::default() };
+        let mut a = YcsbGen::new(cfg.clone(), 7);
+        let mut b = YcsbGen::new(cfg, 7);
+        for _ in 0..20 {
+            assert_eq!(a.next_txn(), b.next_txn());
+        }
+    }
+
+    #[test]
+    fn catalog_has_paper_row_size() {
+        let c = catalog(&YcsbConfig { table_rows: 100, ..YcsbConfig::default() });
+        let t = c.table(YCSB_TABLE).unwrap();
+        assert_eq!(t.schema.row_size(), 1008); // 8-byte key + 10 × 100 B
+        assert_eq!(t.capacity, 100);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(YcsbConfig { table_rows: 0, ..YcsbConfig::default() }.validate().is_err());
+        assert!(YcsbConfig { theta: 1.0, ..YcsbConfig::default() }.validate().is_err());
+        assert!(YcsbConfig { read_pct: 1.5, ..YcsbConfig::default() }.validate().is_err());
+        assert!(
+            YcsbConfig { parts: 4, parts_per_txn: 8, ..YcsbConfig::default() }
+                .validate()
+                .is_err()
+        );
+    }
+}

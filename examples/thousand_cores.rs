@@ -1,0 +1,61 @@
+//! Stare into the abyss: run all seven schemes on 1024 *simulated* cores —
+//! the paper's headline experiment, on your laptop.
+//!
+//! ```sh
+//! cargo run --release --example thousand_cores [theta]
+//! cargo run --release --example thousand_cores 0.8
+//! ```
+
+use abyss::common::stats::Category;
+use abyss::common::CcScheme;
+use abyss::sim::{run_sim, SimConfig, SimTable};
+use abyss::workload::ycsb::{YcsbConfig, YcsbGen};
+
+fn main() {
+    let theta: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("theta in [0,1)"))
+        .unwrap_or(0.6);
+    let cores = 1024;
+    println!("simulating {cores} cores, write-intensive YCSB, theta={theta}\n");
+    println!(
+        "{:<11} {:>9} {:>9}  {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "scheme", "Mtxn/s", "aborts/s", "useful", "abort", "ts", "index", "wait", "mgr"
+    );
+
+    let ycsb_cfg = YcsbConfig::write_intensive(theta);
+    let zipf = abyss::common::zipf::ZipfGen::new(ycsb_cfg.table_rows, theta);
+    for scheme in CcScheme::ALL {
+        let mut sim = SimConfig::new(scheme, cores);
+        sim.warmup = 1_000_000;
+        sim.measure = 5_000_000;
+        let cfg2 = if scheme == CcScheme::HStore {
+            YcsbConfig { parts: cores, ..ycsb_cfg.clone() }
+        } else {
+            ycsb_cfg.clone()
+        };
+        let gens = (0..cores)
+            .map(|c| {
+                let mut g = YcsbGen::with_zipf(cfg2.clone(), zipf.clone(), u64::from(c) + 7);
+                Box::new(move || g.next_txn())
+                    as Box<dyn FnMut() -> abyss::common::TxnTemplate>
+            })
+            .collect();
+        let tables = vec![SimTable { row_size: 1008, counter_init: 0 }];
+        let r = run_sim(sim, tables, gens);
+        let b = &r.stats.breakdown;
+        println!(
+            "{:<11} {:>9.3} {:>9.3}  {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}%",
+            scheme.to_string(),
+            r.txn_per_sec() / 1e6,
+            r.aborts_per_sec() / 1e6,
+            b.fraction(Category::UsefulWork) * 100.0,
+            b.fraction(Category::Abort) * 100.0,
+            b.fraction(Category::TsAlloc) * 100.0,
+            b.fraction(Category::Index) * 100.0,
+            b.fraction(Category::Wait) * 100.0,
+            b.fraction(Category::Manager) * 100.0,
+        );
+    }
+    println!("\n(the paper's conclusion: nobody survives a thousand cores unscathed)");
+}

@@ -1,0 +1,86 @@
+//! TPC-C on the real engine: load a small warehouse count, run the
+//! Payment + NewOrder mix from several threads, then check the spec's
+//! consistency conditions.
+//!
+//! ```sh
+//! cargo run --release --example tpcc_cli [scheme] [warehouses] [seconds]
+//! cargo run --release --example tpcc_cli mvcc 4 3
+//! ```
+
+use std::time::Duration;
+
+use abyss::common::CcScheme;
+use abyss::core::{executor, run_workers, Database, EngineConfig};
+use abyss::workload::tpcc::{self, TpccConfig, TpccGen, TpccTable};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scheme: CcScheme = args
+        .next()
+        .map(|s| s.parse().expect("unknown scheme"))
+        .unwrap_or(CcScheme::NoWait);
+    let warehouses: u32 = args.next().map(|s| s.parse().expect("warehouses")).unwrap_or(2);
+    let seconds: u64 = args.next().map(|s| s.parse().expect("seconds")).unwrap_or(2);
+    let workers = 4u32;
+
+    let cfg = TpccConfig { warehouses, workers, ..TpccConfig::default() };
+    let catalog = tpcc::catalog(&cfg);
+    println!("loading TPC-C: {warehouses} warehouses, scheme {scheme} ...");
+    let db = Database::new(EngineConfig::new(scheme, workers), catalog).expect("config");
+    for table in [
+        TpccTable::Warehouse,
+        TpccTable::District,
+        TpccTable::Customer,
+        TpccTable::Item,
+        TpccTable::Stock,
+    ] {
+        let keys: Vec<u64> = tpcc::initial_keys(&cfg)
+            .filter(|&(t, _)| t == table.id())
+            .map(|(_, k)| k)
+            .collect();
+        db.load_table(table.id(), keys, |s, r, k| tpcc::init_row(table.id(), s, r, k))
+            .expect("load");
+    }
+
+    println!("running {seconds}s with {workers} workers ...");
+    let gens = (0..workers)
+        .map(|w| {
+            let mut g = TpccGen::new(cfg.clone(), w, 0xCC + u64::from(w));
+            Box::new(move || g.next_txn())
+                as Box<dyn FnMut() -> abyss::common::TxnTemplate + Send>
+        })
+        .collect();
+    // Zero warmup: the consistency checks below compare *database state*
+    // (accumulated from load time) against *statistics*, so the stats must
+    // cover the whole run.
+    let out = run_workers(&db, gens, Duration::ZERO, Duration::from_secs(seconds));
+
+    let payment = out.stats.commits_by_tag[tpcc::TAG_PAYMENT as usize];
+    let neworder = out.stats.commits_by_tag[tpcc::TAG_NEW_ORDER as usize];
+    println!("\ncommitted: {} txn ({payment} Payment / {neworder} NewOrder)", out.stats.commits);
+    println!("throughput: {:.0} txn/s", out.txn_per_sec());
+    println!("aborts: {} (rate {:.2}%)", out.stats.total_aborts(), out.stats.abort_rate() * 100.0);
+
+    // Spec consistency condition 1 (adapted): every committed Payment adds
+    // 1 to one warehouse's hot column (W_YTD), so ΣW_YTD == #Payments. The
+    // district hot column does double duty as D_YTD *and* D_NEXT_O_ID, so
+    // ΣD_hot == initial next-o-id + #Payments + #NewOrders.
+    let w_ytd = db.sum_column(TpccTable::Warehouse.id(), executor::HOT_COL);
+    let d_hot = db.sum_column(TpccTable::District.id(), executor::HOT_COL);
+    let districts = u64::from(warehouses) * tpcc::DISTRICTS_PER_WH;
+    assert_eq!(w_ytd, payment, "ΣW_YTD must equal committed Payments");
+    assert_eq!(
+        d_hot,
+        tpcc::FIRST_NEW_ORDER_ID * districts + payment + neworder,
+        "ΣD_hot must equal initial counters + Payments + NewOrders"
+    );
+    println!("consistency: ΣW_YTD == Payments; ΣD_hot == init + Payments + NewOrders ✓");
+
+    // Every committed NewOrder inserted exactly one ORDER and NEW-ORDER row
+    // (index_len counts live rows; aborted eager inserts leave dead slots).
+    let orders = db.index_len(TpccTable::Order.id());
+    let new_orders = db.index_len(TpccTable::NewOrder.id());
+    assert_eq!(orders, neworder, "ORDER rows must equal committed NewOrders");
+    assert_eq!(new_orders, neworder, "NEW-ORDER rows must equal committed NewOrders");
+    println!("consistency: ORDER/NEW-ORDER inserts == committed NewOrders ✓");
+}

@@ -1,0 +1,224 @@
+//! Property-based tests (proptest) on core data structures and engine
+//! invariants.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use abyss::common::rng::Xoshiro256;
+use abyss::common::zipf::ZipfGen;
+use abyss::common::CcScheme;
+use abyss::core::{Database, EngineConfig};
+use abyss::storage::{row, Catalog, HashIndex, MemPool, Schema};
+
+// ---------------------------------------------------------------- storage
+
+proptest! {
+    /// The hash index behaves exactly like a HashMap model under random
+    /// insert/get/remove sequences.
+    #[test]
+    fn index_matches_model(ops in prop::collection::vec((0u8..3, 0u64..200), 1..200)) {
+        let idx = HashIndex::new(0, 64);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    let val = key * 2 + 1;
+                    let r = idx.insert(key, val);
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(key) {
+                        prop_assert!(r.is_ok());
+                        e.insert(val);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                1 => {
+                    prop_assert_eq!(idx.find(key), model.get(&key).copied());
+                }
+                _ => {
+                    prop_assert_eq!(idx.remove(key), model.remove(&key));
+                }
+            }
+        }
+        prop_assert_eq!(idx.len(), model.len());
+    }
+
+    /// Pool blocks never alias: concurrently-live blocks are distinct
+    /// allocations (writing to one never corrupts another).
+    #[test]
+    fn mempool_blocks_do_not_alias(sizes in prop::collection::vec(1usize..4096, 1..40)) {
+        let mut pool = MemPool::new();
+        let mut live: Vec<_> = sizes.iter().map(|&s| pool.alloc(s)).collect();
+        for (i, b) in live.iter_mut().enumerate() {
+            b.as_mut_slice().fill(i as u8);
+        }
+        for (i, b) in live.iter().enumerate() {
+            prop_assert!(b.iter().all(|&x| x == i as u8), "block {i} was corrupted");
+        }
+        for b in live {
+            pool.free(b);
+        }
+    }
+
+    /// Zipf draws always fall in range, for any (n, theta).
+    #[test]
+    fn zipf_in_range(n in 1u64..100_000, theta in 0.0f64..0.95, seed in any::<u64>()) {
+        let g = ZipfGen::new(n, theta);
+        let mut rng = Xoshiro256::seed_from(seed);
+        for _ in 0..100 {
+            prop_assert!(g.next(&mut rng) < n);
+        }
+    }
+
+    /// Row accessors round-trip arbitrary values on arbitrary schemas.
+    #[test]
+    fn row_accessors_round_trip(
+        widths in prop::collection::vec(8usize..64, 1..6),
+        vals in prop::collection::vec(any::<u64>(), 6),
+    ) {
+        let schema = Schema::new(
+            widths.iter().enumerate()
+                .map(|(i, &w)| abyss::storage::ColumnDef::new(format!("c{i}"), w))
+                .collect(),
+        );
+        let mut data = vec![0u8; schema.row_size()];
+        for (col, _) in widths.iter().enumerate() {
+            row::set_u64(&schema, &mut data, col, vals[col]);
+        }
+        for (col, _) in widths.iter().enumerate() {
+            prop_assert_eq!(row::get_u64(&schema, &data, col), vals[col]);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- engine
+
+/// Single-worker random transactions must leave the database exactly where
+/// a sequential model says — for every scheme (catches rollback bugs and
+/// buffered-write bugs without needing concurrency).
+fn engine_matches_model(scheme: CcScheme, ops: &[(u8, u64, u64)]) {
+    let mut catalog = Catalog::new();
+    let t = catalog.add_table("t", Schema::key_plus_payload(1, 8), 64);
+    let db = Database::new(EngineConfig::new(scheme, 1), catalog).unwrap();
+    db.load_table(t, 0..32u64, |s, r, k| {
+        row::set_u64(s, r, 0, k);
+        row::set_u64(s, r, 1, 100);
+    })
+    .unwrap();
+    let mut model: HashMap<u64, u64> = (0..32).map(|k| (k, 100)).collect();
+
+    let mut ctx = db.worker(0);
+    for &(kind, key, val) in ops {
+        let key = key % 32;
+        match kind % 3 {
+            0 => {
+                // committed update
+                ctx.run_txn(&[0], |txn| {
+                    txn.update(t, key, |s, d| row::set_u64(s, d, 1, val))
+                })
+                .unwrap();
+                model.insert(key, val);
+            }
+            1 => {
+                // user-aborted update: must not change the model
+                let _ = ctx.run_txn(&[0], |txn| {
+                    txn.update(t, key, |s, d| row::set_u64(s, d, 1, val))?;
+                    Err::<(), _>(abyss::core::TxnError::Abort(
+                        abyss::common::AbortReason::UserAbort,
+                    ))
+                });
+            }
+            _ => {
+                // read must match the model
+                let got = ctx.run_txn(&[0], |txn| txn.read_u64(t, key, 1)).unwrap();
+                assert_eq!(got, model[&key], "{scheme}: read mismatch at {key}");
+            }
+        }
+    }
+    for (k, v) in &model {
+        let data = db.peek(t, *k).unwrap();
+        assert_eq!(
+            row::get_u64(db.schema(t), &data, 1),
+            *v,
+            "{scheme}: final state mismatch at {k}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn engine_model_no_wait(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
+        engine_matches_model(CcScheme::NoWait, &ops);
+    }
+
+    #[test]
+    fn engine_model_dl_detect(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
+        engine_matches_model(CcScheme::DlDetect, &ops);
+    }
+
+    #[test]
+    fn engine_model_wait_die(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
+        engine_matches_model(CcScheme::WaitDie, &ops);
+    }
+
+    #[test]
+    fn engine_model_timestamp(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
+        engine_matches_model(CcScheme::Timestamp, &ops);
+    }
+
+    #[test]
+    fn engine_model_mvcc(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
+        engine_matches_model(CcScheme::Mvcc, &ops);
+    }
+
+    #[test]
+    fn engine_model_occ(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
+        engine_matches_model(CcScheme::Occ, &ops);
+    }
+
+    #[test]
+    fn engine_model_hstore(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
+        engine_matches_model(CcScheme::HStore, &ops);
+    }
+}
+
+// --------------------------------------------------------------- workload
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated YCSB template validates and respects its config.
+    #[test]
+    fn ycsb_templates_valid(seed in any::<u64>(), theta in 0.0f64..0.9, reqs in 1usize..20) {
+        let cfg = abyss::workload::YcsbConfig {
+            table_rows: 10_000,
+            reqs_per_txn: reqs,
+            theta,
+            ..abyss::workload::YcsbConfig::default()
+        };
+        let mut g = abyss::workload::YcsbGen::new(cfg, seed);
+        for _ in 0..5 {
+            let t = g.next_txn();
+            prop_assert!(t.validate().is_ok());
+            prop_assert_eq!(t.len(), reqs);
+        }
+    }
+
+    /// Every generated TPC-C template validates; partitions are sorted.
+    #[test]
+    fn tpcc_templates_valid(seed in any::<u64>(), warehouses in 1u32..16) {
+        let cfg = abyss::workload::TpccConfig {
+            warehouses,
+            workers: warehouses * 2,
+            ..abyss::workload::TpccConfig::default()
+        };
+        let mut g = abyss::workload::TpccGen::new(cfg, seed as u32 % (warehouses * 2), seed);
+        for _ in 0..5 {
+            let t = g.next_txn();
+            prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+            prop_assert!(t.partitions.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

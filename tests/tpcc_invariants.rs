@@ -1,0 +1,154 @@
+//! TPC-C consistency conditions on the real engine, per scheme, with
+//! concurrent workers — the automated version of `examples/tpcc_cli.rs`.
+
+use std::time::Duration;
+
+use abyss::common::CcScheme;
+use abyss::core::{executor, run_workers, Database, EngineConfig};
+use abyss::workload::tpcc::{self, TpccConfig, TpccGen, TpccTable};
+
+fn check_scheme(scheme: CcScheme) {
+    let workers = 4u32;
+    let cfg = TpccConfig { warehouses: 2, workers, ..TpccConfig::default() };
+    let db = Database::new(EngineConfig::new(scheme, workers), tpcc::catalog(&cfg))
+        .expect("config");
+    for table in [
+        TpccTable::Warehouse,
+        TpccTable::District,
+        TpccTable::Customer,
+        TpccTable::Item,
+        TpccTable::Stock,
+    ] {
+        let keys: Vec<u64> = tpcc::initial_keys(&cfg)
+            .filter(|&(t, _)| t == table.id())
+            .map(|(_, k)| k)
+            .collect();
+        db.load_table(table.id(), keys, |s, r, k| tpcc::init_row(table.id(), s, r, k))
+            .expect("load");
+    }
+
+    let gens = (0..workers)
+        .map(|w| {
+            let mut g = TpccGen::new(cfg.clone(), w, 0xC0FFEE + u64::from(w));
+            Box::new(move || g.next_txn())
+                as Box<dyn FnMut() -> abyss::common::TxnTemplate + Send>
+        })
+        .collect();
+    // Zero warmup: stats must cover the whole run for the invariants.
+    let out = run_workers(&db, gens, Duration::ZERO, Duration::from_millis(400));
+
+    let payment = out.stats.commits_by_tag[tpcc::TAG_PAYMENT as usize];
+    let neworder = out.stats.commits_by_tag[tpcc::TAG_NEW_ORDER as usize];
+    assert!(out.stats.commits > 100, "{scheme}: too few commits to be meaningful");
+
+    // ΣW_YTD == committed Payments.
+    let w_ytd = db.sum_column(TpccTable::Warehouse.id(), executor::HOT_COL);
+    assert_eq!(w_ytd, payment, "{scheme}: ΣW_YTD != committed Payments");
+
+    // District hot column = D_YTD + D_NEXT_O_ID combined.
+    let d_hot = db.sum_column(TpccTable::District.id(), executor::HOT_COL);
+    let districts = u64::from(cfg.warehouses) * tpcc::DISTRICTS_PER_WH;
+    assert_eq!(
+        d_hot,
+        tpcc::FIRST_NEW_ORDER_ID * districts + payment + neworder,
+        "{scheme}: district counters inconsistent"
+    );
+
+    // One ORDER + one NEW-ORDER row per committed NewOrder; 5-15 lines each.
+    let orders = db.index_len(TpccTable::Order.id());
+    let new_orders = db.index_len(TpccTable::NewOrder.id());
+    let lines = db.index_len(TpccTable::OrderLine.id());
+    assert_eq!(orders, neworder, "{scheme}: ORDER rows != committed NewOrders");
+    assert_eq!(new_orders, neworder, "{scheme}: NEW-ORDER rows != committed NewOrders");
+    assert!(
+        lines >= neworder * 5 && lines <= neworder * 15,
+        "{scheme}: order lines {lines} out of [5,15]×{neworder}"
+    );
+
+    // Customers untouched by Payment keep zero balance; stock quantities
+    // moved only by committed NewOrders: total stock bumps equal the sum
+    // of committed order lines (each line updates one stock tuple by one).
+    let stock_bumps = db.sum_column(TpccTable::Stock.id(), executor::HOT_COL);
+    assert_eq!(stock_bumps, lines, "{scheme}: stock updates != committed order lines");
+}
+
+#[test]
+fn tpcc_no_wait() {
+    check_scheme(CcScheme::NoWait);
+}
+
+#[test]
+fn tpcc_dl_detect() {
+    check_scheme(CcScheme::DlDetect);
+}
+
+#[test]
+fn tpcc_wait_die() {
+    check_scheme(CcScheme::WaitDie);
+}
+
+#[test]
+fn tpcc_timestamp() {
+    check_scheme(CcScheme::Timestamp);
+}
+
+#[test]
+fn tpcc_mvcc() {
+    check_scheme(CcScheme::Mvcc);
+}
+
+#[test]
+fn tpcc_occ() {
+    check_scheme(CcScheme::Occ);
+}
+
+#[test]
+fn tpcc_hstore() {
+    check_scheme(CcScheme::HStore);
+}
+
+/// TPC-C inside the simulator: district counters advance exactly once per
+/// committed NewOrder (derived insert keys never collide — checked by the
+/// sim's duplicate-create assertions in debug builds).
+#[test]
+fn tpcc_in_simulator_all_schemes() {
+    use abyss::sim::{run_sim, SimConfig, SimTable};
+    for scheme in CcScheme::ALL {
+        // One warehouse per core: the uncontended regime where every
+        // scheme must make steady progress (2 warehouses on 8 cores is the
+        // paper's pathological Fig. 16 case — DL_DETECT legitimately
+        // spends its time timing out against long NewOrder S-lock holders).
+        let cores = 8;
+        let cfg = TpccConfig { warehouses: cores, workers: cores, ..TpccConfig::default() };
+        let mut sim = SimConfig::new(scheme, cores);
+        sim.warmup = 0;
+        sim.measure = 3_000_000;
+        if scheme == CcScheme::HStore {
+            sim.hstore_parts = cfg.warehouses;
+        }
+        let tables: Vec<SimTable> = tpcc::catalog(&cfg)
+            .tables()
+            .iter()
+            .map(|t| SimTable {
+                row_size: t.schema.row_size(),
+                counter_init: if t.id == TpccTable::District.id() {
+                    tpcc::FIRST_NEW_ORDER_ID
+                } else {
+                    0
+                },
+            })
+            .collect();
+        let gens = (0..cores)
+            .map(|w| {
+                let mut g = TpccGen::new(cfg.clone(), w, 0xF00D + u64::from(w));
+                Box::new(move || g.next_txn())
+                    as Box<dyn FnMut() -> abyss::common::TxnTemplate>
+            })
+            .collect();
+        let r = run_sim(sim, tables, gens);
+        assert!(r.stats.commits > 50, "{scheme}: sim TPC-C too few commits");
+        let p = r.stats.commits_by_tag[tpcc::TAG_PAYMENT as usize];
+        let n = r.stats.commits_by_tag[tpcc::TAG_NEW_ORDER as usize];
+        assert_eq!(p + n, r.stats.commits, "{scheme}: tags must partition commits");
+    }
+}
