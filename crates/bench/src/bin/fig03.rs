@@ -22,7 +22,8 @@ const REAL_ROWS: u64 = 1_000_000;
 fn real_point(scheme: CcScheme, threads: u32, cfg: &YcsbConfig, quick: bool) -> f64 {
     let catalog = ycsb::catalog(cfg);
     let db = Database::new(EngineConfig::new(scheme, threads), catalog).expect("config");
-    db.load_table(ycsb::YCSB_TABLE, 0..cfg.table_rows, ycsb::init_row).expect("load");
+    db.load_table(ycsb::YCSB_TABLE, 0..cfg.table_rows, ycsb::init_row)
+        .expect("load");
     let zipf = abyss_common::zipf::ZipfGen::new(cfg.table_rows, cfg.theta);
     let gens = (0..threads)
         .map(|w| {
@@ -43,10 +44,17 @@ fn real_point(scheme: CcScheme, threads: u32, cfg: &YcsbConfig, quick: bool) -> 
 
 fn main() {
     let args = HarnessArgs::parse();
-    let threads: &[u32] = if args.quick { &[1, 4] } else { &[1, 2, 4, 8, 16, 32] };
+    let threads: &[u32] = if args.quick {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
 
     let sim_cfg = YcsbConfig::read_intensive(0.6);
-    let real_cfg = YcsbConfig { table_rows: REAL_ROWS, ..YcsbConfig::read_intensive(0.6) };
+    let real_cfg = YcsbConfig {
+        table_rows: REAL_ROWS,
+        ..YcsbConfig::read_intensive(0.6)
+    };
 
     let mut headers = vec!["cores".to_string()];
     headers.extend(CcScheme::NON_PARTITIONED.iter().map(|s| s.to_string()));
@@ -61,7 +69,8 @@ fn main() {
         }
         rep_sim.row(row);
     }
-    rep_sim.print("Fig 3a — Graphite-substitute simulation (Mtxn/s), YCSB read-intensive theta=0.6");
+    rep_sim
+        .print("Fig 3a — Graphite-substitute simulation (Mtxn/s), YCSB read-intensive theta=0.6");
     rep_sim.write_csv("fig03a_sim");
 
     let mut rep_real = Report::new(&headers_ref);

@@ -19,7 +19,10 @@ fn main() {
     for &n in args.sweep() {
         let mut row = vec![n.to_string()];
         for theta in thetas {
-            let ycsb_cfg = YcsbConfig { ordered_keys: true, ..YcsbConfig::write_intensive(theta) };
+            let ycsb_cfg = YcsbConfig {
+                ordered_keys: true,
+                ..YcsbConfig::write_intensive(theta)
+            };
             let mut sim = SimConfig::new(CcScheme::DlDetect, n);
             sim.dl_detect = false; // ordered locking cannot deadlock
             sim.dl_timeout = None; // pure waiting — expose the thrashing

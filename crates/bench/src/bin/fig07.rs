@@ -42,6 +42,16 @@ fn run_panel(args: &HarnessArgs, theta: f64, title: &str, csv: &str) {
 
 fn main() {
     let args = HarnessArgs::parse();
-    run_panel(&args, 0.0, "Fig 7a — TIMESTAMP, no contention (Mtxn/s)", "fig07a");
-    run_panel(&args, 0.6, "Fig 7b — TIMESTAMP, medium contention (Mtxn/s)", "fig07b");
+    run_panel(
+        &args,
+        0.0,
+        "Fig 7a — TIMESTAMP, no contention (Mtxn/s)",
+        "fig07a",
+    );
+    run_panel(
+        &args,
+        0.6,
+        "Fig 7b — TIMESTAMP, medium contention (Mtxn/s)",
+        "fig07b",
+    );
 }

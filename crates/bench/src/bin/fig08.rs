@@ -32,13 +32,17 @@ fn main() {
     rep.write_csv("fig08a");
 
     let peak = *args.sweep().last().unwrap();
-    let mut brk = Report::new(&["scheme", "useful", "abort", "ts_alloc", "index", "wait", "manager"]);
+    let mut brk = Report::new(&[
+        "scheme", "useful", "abort", "ts_alloc", "index", "wait", "manager",
+    ]);
     for scheme in CcScheme::NON_PARTITIONED {
         let r = ycsb_point(SimConfig::new(scheme, peak), &ycsb_cfg, &args);
         let mut row = vec![scheme.to_string()];
         row.extend(breakdown_cells(&r));
         brk.row(row);
     }
-    brk.print(&format!("Fig 8b — time breakdown at {peak} cores (fractions)"));
+    brk.print(&format!(
+        "Fig 8b — time breakdown at {peak} cores (fractions)"
+    ));
     brk.write_csv("fig08b");
 }

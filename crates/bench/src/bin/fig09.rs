@@ -30,14 +30,22 @@ fn main() {
     rep.print("Fig 9a — Write-intensive YCSB, theta=0.6 (Mtxn/s)");
     rep.write_csv("fig09a");
 
-    let at = if args.quick { *args.sweep().last().unwrap() } else { 512 };
-    let mut brk = Report::new(&["scheme", "useful", "abort", "ts_alloc", "index", "wait", "manager"]);
+    let at = if args.quick {
+        *args.sweep().last().unwrap()
+    } else {
+        512
+    };
+    let mut brk = Report::new(&[
+        "scheme", "useful", "abort", "ts_alloc", "index", "wait", "manager",
+    ]);
     for scheme in CcScheme::NON_PARTITIONED {
         let r = ycsb_point(SimConfig::new(scheme, at), &ycsb_cfg, &args);
         let mut row = vec![scheme.to_string()];
         row.extend(breakdown_cells(&r));
         brk.row(row);
     }
-    brk.print(&format!("Fig 9b — time breakdown at {at} cores (fractions)"));
+    brk.print(&format!(
+        "Fig 9b — time breakdown at {at} cores (fractions)"
+    ));
     brk.write_csv("fig09b");
 }

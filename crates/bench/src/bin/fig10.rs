@@ -29,7 +29,9 @@ fn main() {
     rep.print("Fig 10a — Write-intensive YCSB, theta=0.8 (Mtxn/s)");
     rep.write_csv("fig10a");
 
-    let mut brk = Report::new(&["scheme", "useful", "abort", "ts_alloc", "index", "wait", "manager"]);
+    let mut brk = Report::new(&[
+        "scheme", "useful", "abort", "ts_alloc", "index", "wait", "manager",
+    ]);
     for scheme in CcScheme::NON_PARTITIONED {
         let r = ycsb_point(SimConfig::new(scheme, 64), &ycsb_cfg, &args);
         let mut row = vec![scheme.to_string()];

@@ -13,7 +13,11 @@ use abyss_workload::ycsb::YcsbConfig;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let lengths: &[usize] = if args.quick { &[1, 8] } else { &[1, 2, 4, 8, 12, 16] };
+    let lengths: &[usize] = if args.quick {
+        &[1, 8]
+    } else {
+        &[1, 2, 4, 8, 12, 16]
+    };
     let cores = if args.quick { 64 } else { 512 };
 
     let mut headers = vec!["reqs/txn".to_string()];
@@ -22,8 +26,10 @@ fn main() {
 
     let mut rep = Report::new(&headers_ref);
     for &len in lengths {
-        let ycsb_cfg =
-            YcsbConfig { reqs_per_txn: len, ..YcsbConfig::write_intensive(0.6) };
+        let ycsb_cfg = YcsbConfig {
+            reqs_per_txn: len,
+            ..YcsbConfig::write_intensive(0.6)
+        };
         let mut row = vec![len.to_string()];
         for scheme in CcScheme::NON_PARTITIONED {
             let r = ycsb_point(SimConfig::new(scheme, cores), &ycsb_cfg, &args);
@@ -31,11 +37,18 @@ fn main() {
         }
         rep.row(row);
     }
-    rep.print(&format!("Fig 12a — tuples/s (M) vs transaction length, {cores} cores"));
+    rep.print(&format!(
+        "Fig 12a — tuples/s (M) vs transaction length, {cores} cores"
+    ));
     rep.write_csv("fig12a");
 
-    let mut brk = Report::new(&["scheme", "useful", "abort", "ts_alloc", "index", "wait", "manager"]);
-    let one = YcsbConfig { reqs_per_txn: 1, ..YcsbConfig::write_intensive(0.6) };
+    let mut brk = Report::new(&[
+        "scheme", "useful", "abort", "ts_alloc", "index", "wait", "manager",
+    ]);
+    let one = YcsbConfig {
+        reqs_per_txn: 1,
+        ..YcsbConfig::write_intensive(0.6)
+    };
     for scheme in CcScheme::NON_PARTITIONED {
         let r = ycsb_point(SimConfig::new(scheme, cores), &one, &args);
         let mut row = vec![scheme.to_string()];

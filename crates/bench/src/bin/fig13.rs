@@ -23,7 +23,11 @@ fn main() {
 
     let mut rep = Report::new(&headers_ref);
     for &read_pct in mixes {
-        let ycsb_cfg = YcsbConfig { read_pct, theta: 0.8, ..YcsbConfig::default() };
+        let ycsb_cfg = YcsbConfig {
+            read_pct,
+            theta: 0.8,
+            ..YcsbConfig::default()
+        };
         let mut row = vec![format!("{:.0}%", read_pct * 100.0)];
         for scheme in CcScheme::NON_PARTITIONED {
             let r = ycsb_point(SimConfig::new(scheme, 64), &ycsb_cfg, &args);

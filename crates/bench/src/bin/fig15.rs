@@ -41,7 +41,11 @@ fn main() {
     rep_a.write_csv("fig15a");
 
     // Panel (b): partitions per transaction across core counts.
-    let ppt: &[u32] = if args.quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+    let ppt: &[u32] = if args.quick {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
     let mut headers = vec!["cores".to_string()];
     headers.extend(ppt.iter().map(|p| format!("part={p}")));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();

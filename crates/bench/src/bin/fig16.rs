@@ -12,9 +12,11 @@ use abyss_workload::tpcc::{TpccConfig, TAG_NEW_ORDER, TAG_PAYMENT};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let sweep: Vec<u32> =
-        args.sweep().iter().copied().filter(|&n| n <= 256).collect();
-    let tpcc_cfg = TpccConfig { warehouses: 4, ..TpccConfig::default() };
+    let sweep: Vec<u32> = args.sweep().iter().copied().filter(|&n| n <= 256).collect();
+    let tpcc_cfg = TpccConfig {
+        warehouses: 4,
+        ..TpccConfig::default()
+    };
 
     let mut headers = vec!["cores".to_string()];
     headers.extend(CcScheme::ALL.iter().map(|s| s.to_string()));

@@ -11,7 +11,10 @@ use abyss_workload::tpcc::{TpccConfig, TAG_NEW_ORDER, TAG_PAYMENT};
 
 fn main() {
     let args = HarnessArgs::parse();
-    let tpcc_cfg = TpccConfig { warehouses: 1024, ..TpccConfig::default() };
+    let tpcc_cfg = TpccConfig {
+        warehouses: 1024,
+        ..TpccConfig::default()
+    };
 
     let mut headers = vec!["cores".to_string()];
     headers.extend(CcScheme::ALL.iter().map(|s| s.to_string()));

@@ -53,6 +53,8 @@ fn main() {
             format!("{:.2}", rh.stats.abort_rate()),
         ]);
     }
-    rep.print(&format!("Table 2 — measured bottleneck summary at {cores} cores"));
+    rep.print(&format!(
+        "Table 2 — measured bottleneck summary at {cores} cores"
+    ));
     rep.write_csv("table2");
 }

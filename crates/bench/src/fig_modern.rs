@@ -1,0 +1,141 @@
+//! fig_modern — classic vs. modern concurrency control.
+//!
+//! The experiment the paper's §4.3 analysis asks for: every classic
+//! scheme is capped either by lock thrashing or by centralized timestamp
+//! allocation at 1000 cores, so how does a *modern* epoch-based OCC
+//! (SILO) — which allocates **zero** global timestamps per transaction —
+//! compare? Two workloads:
+//!
+//! * YCSB at medium contention (theta = 0.6, 50/50 read/update), the
+//!   Fig. 9 setting where both failure modes are visible;
+//! * TPC-C with one warehouse per core (the scalable configuration of
+//!   Fig. 17), Payment + NewOrder.
+//!
+//! Output: aligned tables + `results/fig_modern*.csv` like every other
+//! figure binary, plus a machine-readable JSON comparison printed to
+//! stdout and written to `results/fig_modern.json`.
+
+use std::io::Write as _;
+
+use crate::{fmt_m, tpcc_point, ycsb_point, HarnessArgs, Report};
+use abyss_common::CcScheme;
+use abyss_sim::{SimConfig, SimReport};
+use abyss_workload::tpcc::TpccConfig;
+use abyss_workload::ycsb::YcsbConfig;
+
+/// One measured point of a scheme's series.
+struct Point {
+    cores: u32,
+    txn_per_sec: f64,
+    abort_rate: f64,
+    ts_allocated: u64,
+}
+
+/// Escape nothing: every string we emit is `[A-Z0-9_.-]`. Kept as a
+/// function so a future field with richer content has one place to fix.
+fn json_str(s: &str) -> String {
+    format!("\"{s}\"")
+}
+
+fn series_json(scheme: CcScheme, points: &[Point]) -> String {
+    let pts: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"cores\":{},\"txn_per_sec\":{:.1},\"abort_rate\":{:.4},\"ts_allocated\":{}}}",
+                p.cores, p.txn_per_sec, p.abort_rate, p.ts_allocated
+            )
+        })
+        .collect();
+    format!(
+        "{{\"scheme\":{},\"points\":[{}]}}",
+        json_str(scheme.name()),
+        pts.join(",")
+    )
+}
+
+fn point(r: &SimReport, cores: u32) -> Point {
+    Point {
+        cores,
+        txn_per_sec: r.txn_per_sec(),
+        abort_rate: r.stats.abort_rate(),
+        ts_allocated: r.stats.ts_allocated,
+    }
+}
+
+/// Run the full fig_modern experiment (parses CLI args itself).
+pub fn run() {
+    let args = HarnessArgs::parse();
+    let sweep = args.sweep();
+    let schemes = CcScheme::MODERN_COMPARISON;
+
+    let mut headers = vec!["cores".to_string()];
+    headers.extend(schemes.iter().map(|s| s.to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    // ---- YCSB, medium contention -------------------------------------
+    let ycsb_cfg = YcsbConfig::write_intensive(0.6);
+    let mut ycsb_rep = Report::new(&headers_ref);
+    let mut ycsb_series: Vec<Vec<Point>> = schemes.iter().map(|_| Vec::new()).collect();
+    for &n in sweep {
+        let mut row = vec![n.to_string()];
+        for (i, &scheme) in schemes.iter().enumerate() {
+            let r = ycsb_point(SimConfig::new(scheme, n), &ycsb_cfg, &args);
+            row.push(fmt_m(r.txn_per_sec()));
+            ycsb_series[i].push(point(&r, n));
+        }
+        ycsb_rep.row(row);
+    }
+    ycsb_rep.print("fig_modern a — YCSB theta=0.6 50/50, classic vs SILO (Mtxn/s)");
+    ycsb_rep.write_csv("fig_modern_ycsb");
+
+    // ---- TPC-C, one warehouse per core -------------------------------
+    let mut tpcc_rep = Report::new(&headers_ref);
+    let mut tpcc_series: Vec<Vec<Point>> = schemes.iter().map(|_| Vec::new()).collect();
+    for &n in sweep {
+        let tpcc_cfg = TpccConfig {
+            warehouses: n.max(4),
+            ..TpccConfig::default()
+        };
+        let mut row = vec![n.to_string()];
+        for (i, &scheme) in schemes.iter().enumerate() {
+            let r = tpcc_point(SimConfig::new(scheme, n), &tpcc_cfg, &args);
+            row.push(fmt_m(r.txn_per_sec()));
+            tpcc_series[i].push(point(&r, n));
+        }
+        tpcc_rep.row(row);
+    }
+    tpcc_rep.print("fig_modern b — TPC-C 1 warehouse/core, classic vs SILO (Mtxn/s)");
+    tpcc_rep.write_csv("fig_modern_tpcc");
+
+    // ---- JSON comparison ---------------------------------------------
+    let workload_json = |name: &str, series: &[Vec<Point>]| {
+        let s: Vec<String> = schemes
+            .iter()
+            .zip(series)
+            .map(|(&scheme, pts)| series_json(scheme, pts))
+            .collect();
+        format!(
+            "{{\"workload\":{},\"series\":[{}]}}",
+            json_str(name),
+            s.join(",")
+        )
+    };
+    let json = format!(
+        "{{\"figure\":\"fig_modern\",\"cores\":[{}],\"workloads\":[{},{}]}}",
+        sweep
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        workload_json("ycsb_theta_0.6", &ycsb_series),
+        workload_json("tpcc_wh_per_core", &tpcc_series),
+    );
+    println!("\n{json}");
+    if std::fs::create_dir_all("results").is_ok() {
+        if let Ok(mut f) = std::fs::File::create("results/fig_modern.json") {
+            let _ = writeln!(f, "{json}");
+            println!("  [json] results/fig_modern.json");
+        }
+    }
+}

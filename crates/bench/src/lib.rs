@@ -12,6 +12,8 @@
 //! * the default is a representative sweep that preserves every figure's
 //!   shape in minutes instead of hours.
 
+pub mod fig_modern;
+
 use std::io::Write as _;
 use std::path::Path;
 
@@ -41,7 +43,10 @@ pub struct HarnessArgs {
 impl HarnessArgs {
     /// Parse from `std::env::args`.
     pub fn parse() -> Self {
-        let mut a = Self { quick: false, full: false };
+        let mut a = Self {
+            quick: false,
+            full: false,
+        };
         for arg in std::env::args().skip(1) {
             match arg.as_str() {
                 "--quick" => a.quick = true,
@@ -93,11 +98,12 @@ impl HarnessArgs {
 
 /// Build the simulator's table metadata for the YCSB database.
 pub fn ycsb_sim_tables() -> Vec<SimTable> {
-    let schema = abyss_storage::Schema::key_plus_payload(
-        ycsb::PAYLOAD_COLUMNS,
-        ycsb::PAYLOAD_WIDTH,
-    );
-    vec![SimTable { row_size: schema.row_size(), counter_init: 0 }]
+    let schema =
+        abyss_storage::Schema::key_plus_payload(ycsb::PAYLOAD_COLUMNS, ycsb::PAYLOAD_WIDTH);
+    vec![SimTable {
+        row_size: schema.row_size(),
+        counter_init: 0,
+    }]
 }
 
 /// Build the simulator's table metadata for TPC-C.
@@ -168,7 +174,10 @@ pub struct Report {
 impl Report {
     /// Start a report with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row.
@@ -271,7 +280,10 @@ mod tests {
     fn tpcc_tables_mark_district_counter() {
         let t = tpcc_sim_tables(&TpccConfig::default());
         assert_eq!(t.len(), 9);
-        assert_eq!(t[tpcc::TpccTable::District.id() as usize].counter_init, 3000);
+        assert_eq!(
+            t[tpcc::TpccTable::District.id() as usize].counter_init,
+            3000
+        );
         assert_eq!(t[tpcc::TpccTable::Stock.id() as usize].counter_init, 0);
     }
 
@@ -279,16 +291,21 @@ mod tests {
     fn report_rejects_ragged_rows() {
         let mut r = Report::new(&["a", "b"]);
         r.row(vec!["1".into(), "2".into()]);
-        let bad = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            r.row(vec!["1".into()])
-        }));
+        let bad =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.row(vec!["1".into()])));
         assert!(bad.is_err());
     }
 
     #[test]
     fn tiny_end_to_end_ycsb_point() {
-        let args = HarnessArgs { quick: true, full: false };
-        let ycsb_cfg = YcsbConfig { table_rows: 100_000, ..YcsbConfig::read_only() };
+        let args = HarnessArgs {
+            quick: true,
+            full: false,
+        };
+        let ycsb_cfg = YcsbConfig {
+            table_rows: 100_000,
+            ..YcsbConfig::read_only()
+        };
         let mut sim = SimConfig::new(CcScheme::NoWait, 2);
         sim.measure = 500_000;
         sim.warmup = 50_000;

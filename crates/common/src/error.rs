@@ -8,11 +8,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Why a transaction aborted. Scheduler-induced aborts are retried by the
 /// workers; [`AbortReason::UserAbort`] is final.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AbortReason {
     /// A lock request was denied and the scheme does not wait (NO_WAIT).
     LockConflict,

@@ -112,7 +112,10 @@ mod tests {
         let mut a = Xoshiro256::seed_from(1);
         let mut b = Xoshiro256::seed_from(2);
         let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert!(same < 4, "seeds 1 and 2 produced {same}/64 identical values");
+        assert!(
+            same < 4,
+            "seeds 1 and 2 produced {same}/64 identical values"
+        );
     }
 
     #[test]

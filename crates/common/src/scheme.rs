@@ -1,13 +1,14 @@
 //! The concurrency-control schemes and timestamp-allocation methods
-//! evaluated by the paper (Tables 1 and Fig. 6).
+//! evaluated by the paper (Tables 1 and Fig. 6), plus the modern
+//! epoch-based OCC (Silo) the repo adds on top of the paper's seven.
 
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
-/// The seven concurrency-control schemes of Table 1 in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+/// The seven concurrency-control schemes of Table 1 in the paper, plus
+/// [`CcScheme::Silo`] — the modern epoch-based OCC that needs no
+/// per-transaction global timestamp at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CcScheme {
     /// 2PL with deadlock detection (partitioned waits-for graph).
     DlDetect,
@@ -23,11 +24,16 @@ pub enum CcScheme {
     Occ,
     /// T/O with partition-level locking (H-Store / Smallbase model).
     HStore,
+    /// Epoch-based OCC (Silo, SOSP'13): read-set TID recording, write-set
+    /// locking + validation, epoch-composed commit TIDs. No centralized
+    /// timestamp allocation anywhere on the commit path.
+    Silo,
 }
 
 impl CcScheme {
-    /// All schemes, in the order the paper lists them.
-    pub const ALL: [CcScheme; 7] = [
+    /// All schemes: the paper's seven in its order, then the modern
+    /// additions.
+    pub const ALL: [CcScheme; 8] = [
         CcScheme::DlDetect,
         CcScheme::NoWait,
         CcScheme::WaitDie,
@@ -35,6 +41,17 @@ impl CcScheme {
         CcScheme::Mvcc,
         CcScheme::Occ,
         CcScheme::HStore,
+        CcScheme::Silo,
+    ];
+
+    /// The classic-vs-modern comparison set (`fig_modern`): every classic
+    /// scheme the modern OCC is benchmarked against, plus Silo itself.
+    pub const MODERN_COMPARISON: [CcScheme; 5] = [
+        CcScheme::DlDetect,
+        CcScheme::NoWait,
+        CcScheme::Timestamp,
+        CcScheme::Occ,
+        CcScheme::Silo,
     ];
 
     /// The six schemes used in the non-partitioned experiments
@@ -50,21 +67,25 @@ impl CcScheme {
 
     /// Is this scheme a two-phase-locking variant (vs timestamp ordering)?
     pub fn is_two_phase_locking(self) -> bool {
-        matches!(self, CcScheme::DlDetect | CcScheme::NoWait | CcScheme::WaitDie)
+        matches!(
+            self,
+            CcScheme::DlDetect | CcScheme::NoWait | CcScheme::WaitDie
+        )
     }
 
     /// Does the scheme require a timestamp at transaction start?
     ///
-    /// Everything except DL_DETECT and NO_WAIT needs one; OCC needs a second
-    /// one before validation (handled by the engines).
+    /// Everything except DL_DETECT, NO_WAIT and SILO needs one; OCC needs a
+    /// second one before validation (handled by the engines). SILO replaces
+    /// global timestamps with epoch-composed commit TIDs.
     pub fn needs_start_ts(self) -> bool {
-        !matches!(self, CcScheme::DlDetect | CcScheme::NoWait)
+        !matches!(self, CcScheme::DlDetect | CcScheme::NoWait | CcScheme::Silo)
     }
 
     /// Number of timestamps allocated per (successful) transaction.
     pub fn timestamps_per_txn(self) -> u32 {
         match self {
-            CcScheme::DlDetect | CcScheme::NoWait => 0,
+            CcScheme::DlDetect | CcScheme::NoWait | CcScheme::Silo => 0,
             CcScheme::Occ => 2,
             _ => 1,
         }
@@ -80,6 +101,7 @@ impl CcScheme {
             CcScheme::Mvcc => "MVCC",
             CcScheme::Occ => "OCC",
             CcScheme::HStore => "HSTORE",
+            CcScheme::Silo => "SILO",
         }
     }
 }
@@ -103,7 +125,7 @@ impl FromStr for CcScheme {
 }
 
 /// Timestamp-allocation methods from §4.3 / Fig. 6 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TsMethod {
     /// A mutex around the counter — the naïve baseline.
     Mutex,
@@ -163,6 +185,7 @@ mod tests {
         assert_eq!("wait-die".parse::<CcScheme>().unwrap(), CcScheme::WaitDie);
         assert_eq!("MVCC".parse::<CcScheme>().unwrap(), CcScheme::Mvcc);
         assert_eq!("hstore".parse::<CcScheme>().unwrap(), CcScheme::HStore);
+        assert_eq!("silo".parse::<CcScheme>().unwrap(), CcScheme::Silo);
         assert!("lockfree".parse::<CcScheme>().is_err());
     }
 
@@ -179,7 +202,7 @@ mod tests {
         for s in [DlDetect, NoWait, WaitDie] {
             assert!(s.is_two_phase_locking());
         }
-        for s in [Timestamp, Mvcc, Occ, HStore] {
+        for s in [Timestamp, Mvcc, Occ, HStore, Silo] {
             assert!(!s.is_two_phase_locking());
         }
     }
@@ -189,8 +212,10 @@ mod tests {
         assert_eq!(CcScheme::Occ.timestamps_per_txn(), 2);
         assert_eq!(CcScheme::NoWait.timestamps_per_txn(), 0);
         assert_eq!(CcScheme::Mvcc.timestamps_per_txn(), 1);
+        assert_eq!(CcScheme::Silo.timestamps_per_txn(), 0);
         assert!(CcScheme::WaitDie.needs_start_ts());
         assert!(!CcScheme::DlDetect.needs_start_ts());
+        assert!(!CcScheme::Silo.needs_start_ts());
     }
 
     #[test]

@@ -8,12 +8,10 @@
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::AbortReason;
 
 /// Where a slice of a worker's time went (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Executing application logic and operating on tuples.
     UsefulWork,
@@ -71,7 +69,7 @@ impl fmt::Display for Category {
 }
 
 /// Accumulated time per [`Category`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TimeBreakdown {
     buckets: [u64; 6],
 }
@@ -137,7 +135,7 @@ impl AddAssign for TimeBreakdown {
 }
 
 /// Statistics for one benchmark run (one worker, or merged over workers).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Committed transactions.
     pub commits: u64,
@@ -271,7 +269,10 @@ mod tests {
 
     #[test]
     fn abort_bookkeeping() {
-        let mut s = RunStats { commits: 90, ..Default::default() };
+        let mut s = RunStats {
+            commits: 90,
+            ..Default::default()
+        };
         s.record_abort(AbortReason::Deadlock);
         s.record_abort(AbortReason::Deadlock);
         s.record_abort(AbortReason::ValidationFail);
@@ -282,8 +283,16 @@ mod tests {
 
     #[test]
     fn merge_takes_max_elapsed_and_sums_counts() {
-        let mut a = RunStats { commits: 10, elapsed: 100, ..Default::default() };
-        let b = RunStats { commits: 20, elapsed: 80, ..Default::default() };
+        let mut a = RunStats {
+            commits: 10,
+            elapsed: 100,
+            ..Default::default()
+        };
+        let b = RunStats {
+            commits: 20,
+            elapsed: 80,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.commits, 30);
         assert_eq!(a.elapsed, 100);

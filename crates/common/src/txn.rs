@@ -10,15 +10,13 @@
 //! (`abyss-sim::exec`) interpret these templates, so a workload generated
 //! once drives both — exactly how Fig. 3 compares simulator and hardware.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{Key, PartId, TableId};
 
 /// Maximum number of counter slots a template may use (TPC-C needs 1).
 pub const MAX_COUNTER_SLOTS: usize = 2;
 
 /// What an access does to its tuple.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessOp {
     /// Read the tuple.
     Read,
@@ -43,7 +41,7 @@ impl AccessOp {
 }
 
 /// How the key of an access is determined.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KeySpec {
     /// A key fixed at generation time.
     Fixed(Key),
@@ -76,7 +74,7 @@ impl KeySpec {
 }
 
 /// One tuple access within a transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessSpec {
     /// Target table.
     pub table: TableId,
@@ -89,12 +87,16 @@ pub struct AccessSpec {
 impl AccessSpec {
     /// Convenience constructor for a fixed-key access.
     pub fn fixed(table: TableId, key: Key, op: AccessOp) -> Self {
-        Self { table, key: KeySpec::Fixed(key), op }
+        Self {
+            table,
+            key: KeySpec::Fixed(key),
+            op,
+        }
     }
 }
 
 /// A complete queued transaction.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxnTemplate {
     /// The tuple accesses, executed in order (queries run serially within a
     /// transaction, §3.2).
@@ -116,7 +118,13 @@ pub struct TxnTemplate {
 impl TxnTemplate {
     /// A template over fixed-key accesses with no program logic.
     pub fn new(accesses: Vec<AccessSpec>) -> Self {
-        Self { accesses, partitions: Vec::new(), user_abort: false, logic_per_query: 0, tag: 0 }
+        Self {
+            accesses,
+            partitions: Vec::new(),
+            user_abort: false,
+            logic_per_query: 0,
+            tag: 0,
+        }
     }
 
     /// Number of accesses (the paper's "transaction length").
@@ -162,7 +170,9 @@ impl TxnTemplate {
                     ));
                 }
                 if !matches!(a.op, AccessOp::Insert) {
-                    return Err(format!("access {i}: derived keys are only valid for inserts"));
+                    return Err(format!(
+                        "access {i}: derived keys are only valid for inserts"
+                    ));
                 }
             }
         }
@@ -200,10 +210,18 @@ mod tests {
     fn validate_accepts_tpcc_shape() {
         // district counter update, then order insert keyed off the counter.
         let t = TxnTemplate::new(vec![
-            AccessSpec { table: 1, key: KeySpec::Fixed(7), op: AccessOp::UpdateCounter { slot: 0 } },
+            AccessSpec {
+                table: 1,
+                key: KeySpec::Fixed(7),
+                op: AccessOp::UpdateCounter { slot: 0 },
+            },
             AccessSpec {
                 table: 2,
-                key: KeySpec::Derived { slot: 0, base: 1 << 32, scale: 1 },
+                key: KeySpec::Derived {
+                    slot: 0,
+                    base: 1 << 32,
+                    scale: 1,
+                },
                 op: AccessOp::Insert,
             },
         ]);
@@ -214,7 +232,11 @@ mod tests {
     fn validate_rejects_uncaptured_slot() {
         let t = TxnTemplate::new(vec![AccessSpec {
             table: 2,
-            key: KeySpec::Derived { slot: 0, base: 0, scale: 1 },
+            key: KeySpec::Derived {
+                slot: 0,
+                base: 0,
+                scale: 1,
+            },
             op: AccessOp::Insert,
         }]);
         assert!(t.validate().is_err());
@@ -223,8 +245,20 @@ mod tests {
     #[test]
     fn validate_rejects_derived_read() {
         let t = TxnTemplate::new(vec![
-            AccessSpec { table: 1, key: KeySpec::Fixed(7), op: AccessOp::UpdateCounter { slot: 0 } },
-            AccessSpec { table: 2, key: KeySpec::Derived { slot: 0, base: 0, scale: 1 }, op: AccessOp::Read },
+            AccessSpec {
+                table: 1,
+                key: KeySpec::Fixed(7),
+                op: AccessOp::UpdateCounter { slot: 0 },
+            },
+            AccessSpec {
+                table: 2,
+                key: KeySpec::Derived {
+                    slot: 0,
+                    base: 0,
+                    scale: 1,
+                },
+                op: AccessOp::Read,
+            },
         ]);
         assert!(t.validate().is_err());
     }

@@ -30,13 +30,23 @@ impl ZipfGen {
     /// construction; the paper sweeps 0..=0.9).
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "ZipfGen needs at least one item");
-        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1), got {theta}");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0,1), got {theta}"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
         let half_pow = 1.0 + 0.5f64.powf(theta);
-        Self { n, theta, alpha, zetan, eta, half_pow }
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            half_pow,
+        }
     }
 
     /// The generalized harmonic number `sum_{i=1..n} 1/i^theta`.

@@ -23,6 +23,10 @@ pub struct EngineConfig {
     /// MVCC: maximum committed versions retained per tuple before the
     /// oldest is garbage-collected.
     pub mvcc_max_versions: usize,
+    /// SILO: microseconds between background epoch advances (Silo's paper
+    /// default is 40 ms). 0 disables the ticker (epochs advance only via
+    /// [`crate::epoch::EpochManager::advance`]). Ignored by other schemes.
+    pub epoch_interval_us: u64,
     /// Safety valve: abort any wait after this many microseconds regardless
     /// of scheme, so a stuck experiment fails loudly instead of hanging.
     pub wait_cap_us: u64,
@@ -38,6 +42,7 @@ impl Default for EngineConfig {
             dl_detect_interval_us: 10,
             partitions: 1,
             mvcc_max_versions: 8,
+            epoch_interval_us: 40_000,
             wait_cap_us: 2_000_000,
         }
     }
@@ -46,8 +51,17 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// A config for `scheme` with `workers` threads and paper defaults.
     pub fn new(scheme: CcScheme, workers: u32) -> Self {
-        let partitions = if scheme == CcScheme::HStore { workers } else { 1 };
-        Self { scheme, workers, partitions, ..Self::default() }
+        let partitions = if scheme == CcScheme::HStore {
+            workers
+        } else {
+            1
+        };
+        Self {
+            scheme,
+            workers,
+            partitions,
+            ..Self::default()
+        }
     }
 
     /// Validate parameter sanity.

@@ -2,8 +2,8 @@
 //! the shared machinery (timestamp allocator, park table, waits-for graph,
 //! partition locks) that the scheme implementations coordinate through.
 
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+use std::time::Duration;
 
 use abyss_common::{CcScheme, DbError, Key, RowIdx, TableId};
 use abyss_storage::{Catalog, HashIndex, Schema, Table};
@@ -11,6 +11,7 @@ use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 
 use crate::config::EngineConfig;
+use crate::epoch::{EpochManager, EpochTicker};
 use crate::meta::RowMeta;
 use crate::park::ParkTable;
 use crate::schemes::hstore::PartState;
@@ -34,9 +35,12 @@ pub struct Database {
     pub(crate) park: ParkTable,
     pub(crate) waits: WaitsFor,
     pub(crate) parts: Box<[CachePadded<Mutex<PartState>>]>,
-    /// Global transaction counter — used only to seed txn-id sequences of
-    /// late-created workers; not on any hot path.
-    pub(crate) _epoch: AtomicU64,
+    /// The epoch subsystem (SILO commit TIDs, quiescence detection). Always
+    /// present — it is a handful of cache lines — but the background ticker
+    /// only runs for schemes that consume epochs.
+    pub(crate) epoch: Arc<EpochManager>,
+    /// Background epoch ticker; advancing stops when the database drops.
+    _ticker: Option<EpochTicker>,
 }
 
 impl Database {
@@ -55,7 +59,18 @@ impl Database {
         }
         let parts_n = cfg.partitions as usize;
         let mut parts = Vec::with_capacity(parts_n);
-        parts.resize_with(parts_n, || CachePadded::new(Mutex::new(PartState::default())));
+        parts.resize_with(parts_n, || {
+            CachePadded::new(Mutex::new(PartState::default()))
+        });
+        let epoch = Arc::new(EpochManager::new(cfg.workers));
+        let ticker = if cfg.scheme == CcScheme::Silo && cfg.epoch_interval_us > 0 {
+            Some(EpochTicker::start(
+                Arc::clone(&epoch),
+                Duration::from_micros(cfg.epoch_interval_us),
+            ))
+        } else {
+            None
+        };
         Ok(Arc::new(Self {
             ts: SharedTs::new(cfg.ts_method),
             park: ParkTable::new(cfg.workers),
@@ -66,7 +81,8 @@ impl Database {
             indexes,
             meta,
             cfg,
-            _epoch: AtomicU64::new(0),
+            epoch,
+            _ticker: ticker,
         }))
     }
 
@@ -83,6 +99,12 @@ impl Database {
     /// The catalog this database was built from.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The epoch subsystem (see [`crate::epoch`]). Schemes read it on
+    /// their commit path; tests and tools may advance it manually.
+    pub fn epoch_manager(&self) -> &EpochManager {
+        &self.epoch
     }
 
     /// Schema of `table`.
@@ -173,8 +195,7 @@ impl Database {
         for row in 0..t.len() {
             if self.cfg.scheme == CcScheme::Mvcc {
                 let meta = self.row_meta(table, row);
-                let chain =
-                    meta.mvcc_chain(|| unsafe { t.row(row).to_vec().into_boxed_slice() });
+                let chain = meta.mvcc_chain(|| unsafe { t.row(row).to_vec().into_boxed_slice() });
                 if let Some(v) = chain.versions.back() {
                     sum = sum.wrapping_add(abyss_storage::row::get_u64(t.schema(), &v.data, col));
                     continue;

@@ -1,0 +1,344 @@
+//! The epoch subsystem: a global epoch advanced by a background ticker,
+//! per-worker epoch registration with quiescence detection, and the
+//! epoch-tagged 64-bit TID words the SILO scheme commits with.
+//!
+//! ## Why epochs
+//!
+//! Every timestamp-ordered scheme in the paper pays for a *globally
+//! unique, totally ordered* timestamp per transaction, and §4.3 shows the
+//! allocator becoming the bottleneck at hundreds of cores. Silo's insight
+//! is that serializability only needs a total order *within* an epoch
+//! (provided by per-tuple TID words) plus a coarse global order *between*
+//! epochs (provided by one read-mostly counter that a single background
+//! thread advances every few tens of milliseconds). Workers read the
+//! epoch — a shared, rarely-written cache line that replicates in every
+//! core's cache — instead of fetching-and-adding a contended counter.
+//!
+//! ## TID word layout
+//!
+//! ```text
+//!  63   62............40  39.............0
+//! [lock][     epoch     ][   sequence    ]
+//! ```
+//!
+//! Bit 63 is the tuple lock bit (shared with
+//! [`crate::lockword::silo`]); bits 40..=62 hold the commit epoch
+//! ([`EPOCH_BITS`] = 23 bits ≈ 93 hours at the default 40 ms tick); bits
+//! 0..=39 hold a per-epoch sequence. A committed transaction's TID is
+//! greater than every TID in its read and write sets and carries the
+//! epoch current at its serialization point, so TID order within an epoch
+//! plus epoch order between epochs embeds the serial order.
+//!
+//! ## Quiescence protocol
+//!
+//! Each worker owns one cache-padded slot. On transaction begin it
+//! publishes the global epoch into its slot ([`EpochManager::enter`],
+//! with a store-then-recheck handshake so a concurrent advance is never
+//! missed); on commit/abort it publishes [`QUIESCENT`]
+//! ([`EpochManager::exit`]). [`EpochManager::safe_epoch`] then returns the
+//! newest epoch `e` such that no active worker can still observe state
+//! from epochs `< e` — the reclamation horizon future subsystems (version
+//! GC, RCU-style index maintenance, group commit) free up to.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use abyss_common::CoreId;
+use crossbeam_utils::CachePadded;
+
+/// Bits of a TID word holding the per-epoch sequence number.
+pub const SEQ_BITS: u32 = 40;
+/// Bits of a TID word holding the commit epoch.
+pub const EPOCH_BITS: u32 = 23;
+/// Mask of the sequence component.
+pub const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+/// Largest representable epoch.
+pub const MAX_EPOCH: u64 = (1 << EPOCH_BITS) - 1;
+
+/// Slot value meaning "this worker is outside any transaction".
+pub const QUIESCENT: u64 = 0;
+
+/// The first epoch a manager hands out (0 is reserved: pre-load TIDs and
+/// [`QUIESCENT`] slots).
+pub const FIRST_EPOCH: u64 = 1;
+
+/// Compose a TID word from an epoch and a sequence number (lock bit clear).
+#[inline]
+pub fn compose_tid(epoch: u64, seq: u64) -> u64 {
+    debug_assert!(
+        epoch <= MAX_EPOCH,
+        "epoch {epoch} overflows {EPOCH_BITS} bits"
+    );
+    debug_assert!(seq <= SEQ_MASK, "sequence {seq} overflows {SEQ_BITS} bits");
+    (epoch << SEQ_BITS) | seq
+}
+
+/// The epoch component of a TID word (ignores the lock bit).
+#[inline]
+pub fn tid_epoch(tid: u64) -> u64 {
+    (tid & !crate::lockword::silo::LOCKED) >> SEQ_BITS
+}
+
+/// The sequence component of a TID word.
+#[inline]
+pub fn tid_seq(tid: u64) -> u64 {
+    tid & SEQ_MASK
+}
+
+/// The global epoch plus per-worker registration slots (see module docs).
+#[derive(Debug)]
+pub struct EpochManager {
+    /// The global epoch. Written by the ticker (or tests), read by every
+    /// worker — a read-mostly line, so reads stay core-local.
+    global: CachePadded<AtomicU64>,
+    /// One slot per worker: [`QUIESCENT`] or the epoch the worker entered.
+    slots: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl EpochManager {
+    /// A manager with `workers` registration slots, at [`FIRST_EPOCH`].
+    pub fn new(workers: u32) -> Self {
+        let mut slots = Vec::with_capacity(workers as usize);
+        slots.resize_with(workers as usize, || {
+            CachePadded::new(AtomicU64::new(QUIESCENT))
+        });
+        Self {
+            global: CachePadded::new(AtomicU64::new(FIRST_EPOCH)),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// The current global epoch.
+    #[inline]
+    pub fn current(&self) -> u64 {
+        self.global.load(Ordering::Acquire)
+    }
+
+    /// Advance the global epoch by one; returns the new value. Called by
+    /// the background ticker (or tests / manual drivers).
+    ///
+    /// Saturates at [`MAX_EPOCH`] instead of panicking: a panic in the
+    /// detached ticker thread would be swallowed and freeze epochs
+    /// silently, whereas saturation keeps commits correct — TID order
+    /// within the final epoch still has the full [`SEQ_BITS`]-bit
+    /// sequence space (≈ 10^12 commits) to embed the serial order.
+    pub fn advance(&self) -> u64 {
+        let mut cur = self.global.load(Ordering::Acquire);
+        loop {
+            if cur >= MAX_EPOCH {
+                return MAX_EPOCH;
+            }
+            match self.global.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return cur + 1,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Register `worker` as active in the current epoch; returns that
+    /// epoch. The store-then-recheck loop guarantees that by the time this
+    /// returns, the worker's slot holds an epoch no older than any epoch a
+    /// concurrent [`EpochManager::advance`] already published.
+    #[inline]
+    pub fn enter(&self, worker: CoreId) -> u64 {
+        let slot = &self.slots[worker as usize];
+        let mut e = self.current();
+        loop {
+            slot.store(e, Ordering::SeqCst);
+            let now = self.current();
+            if now == e {
+                return e;
+            }
+            e = now;
+        }
+    }
+
+    /// Mark `worker` as quiescent (outside any transaction).
+    #[inline]
+    pub fn exit(&self, worker: CoreId) {
+        self.slots[worker as usize].store(QUIESCENT, Ordering::Release);
+    }
+
+    /// The oldest epoch any active worker is registered in, if any worker
+    /// is active.
+    pub fn min_active(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .filter(|&e| e != QUIESCENT)
+            .min()
+    }
+
+    /// The reclamation horizon: every epoch `< safe_epoch()` is quiesced —
+    /// no active worker entered before it, so no transaction can still
+    /// observe state that only epochs before it reference.
+    pub fn safe_epoch(&self) -> u64 {
+        match self.min_active() {
+            Some(e) => e,
+            None => self.current(),
+        }
+    }
+}
+
+/// Handle to the background epoch ticker; advancing stops (and the thread
+/// joins) on drop.
+#[derive(Debug)]
+pub struct EpochTicker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl EpochTicker {
+    /// Spawn a thread advancing `mgr` every `interval` until dropped.
+    pub fn start(mgr: Arc<EpochManager>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("abyss-epoch-ticker".into())
+            .spawn(move || {
+                // Sleep in short slices so dropping the database never
+                // blocks a full interval behind a sleeping ticker.
+                let slice = interval
+                    .min(Duration::from_millis(5))
+                    .max(Duration::from_micros(50));
+                let mut slept = Duration::ZERO;
+                while !stop2.load(Ordering::Acquire) {
+                    std::thread::sleep(slice);
+                    slept += slice;
+                    if slept >= interval {
+                        mgr.advance();
+                        slept = Duration::ZERO;
+                    }
+                }
+            })
+            .expect("spawn epoch ticker");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for EpochTicker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_word_round_trips() {
+        let tid = compose_tid(5, 1234);
+        assert_eq!(tid_epoch(tid), 5);
+        assert_eq!(tid_seq(tid), 1234);
+        // The lock bit never collides with the epoch+sequence payload.
+        let locked = crate::lockword::silo::lock(tid);
+        assert_eq!(tid_epoch(locked), 5);
+        assert_eq!(tid_seq(locked), 1234);
+        assert!(compose_tid(MAX_EPOCH, SEQ_MASK) < crate::lockword::silo::LOCKED);
+    }
+
+    #[test]
+    fn tid_order_follows_epoch_then_seq() {
+        assert!(compose_tid(1, SEQ_MASK) < compose_tid(2, 0));
+        assert!(compose_tid(2, 0) < compose_tid(2, 1));
+    }
+
+    #[test]
+    fn advance_is_monotonic() {
+        let m = EpochManager::new(2);
+        let e0 = m.current();
+        assert_eq!(e0, FIRST_EPOCH);
+        assert_eq!(m.advance(), e0 + 1);
+        assert_eq!(m.current(), e0 + 1);
+    }
+
+    #[test]
+    fn quiescence_tracks_active_workers() {
+        let m = EpochManager::new(3);
+        assert_eq!(m.min_active(), None);
+        assert_eq!(m.safe_epoch(), m.current());
+        let e = m.enter(0);
+        assert_eq!(e, m.current());
+        m.advance();
+        m.advance();
+        let e2 = m.enter(1);
+        assert_eq!(e2, m.current());
+        // Worker 0 still pins its entry epoch.
+        assert_eq!(m.min_active(), Some(e));
+        assert_eq!(m.safe_epoch(), e);
+        m.exit(0);
+        assert_eq!(m.min_active(), Some(e2));
+        m.exit(1);
+        assert_eq!(m.min_active(), None);
+        assert_eq!(m.safe_epoch(), m.current());
+    }
+
+    #[test]
+    fn enter_rechecks_a_racing_advance() {
+        // Deterministic single-thread version of the handshake: the slot
+        // must end up holding the *latest* epoch enter observed.
+        let m = EpochManager::new(1);
+        let e = m.enter(0);
+        assert_eq!(m.slots[0].load(Ordering::Relaxed), e);
+    }
+
+    #[test]
+    fn ticker_advances_and_stops_on_drop() {
+        let m = Arc::new(EpochManager::new(1));
+        let before = m.current();
+        {
+            let _t = EpochTicker::start(Arc::clone(&m), Duration::from_millis(1));
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while m.current() < before + 3 {
+                assert!(std::time::Instant::now() < deadline, "ticker too slow");
+                std::thread::yield_now();
+            }
+        }
+        // Dropped: the epoch must stop moving.
+        let frozen = m.current();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(m.current(), frozen);
+    }
+
+    #[test]
+    fn concurrent_enter_exit_never_precedes_global() {
+        let m = Arc::new(EpochManager::new(4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for w in 0..4u32 {
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let e = m.enter(w);
+                    assert!(e >= FIRST_EPOCH && e <= m.current());
+                    m.exit(w);
+                }
+            }));
+        }
+        for _ in 0..1000 {
+            m.advance();
+            if let Some(min) = m.min_active() {
+                assert!(min <= m.current());
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -58,7 +58,11 @@ pub fn run_template(ctx: &mut WorkerCtx, tmpl: &TxnTemplate) -> Result<(), TxnEr
 
 /// [`run_template`] plus statistics bookkeeping — the benchmark driver's
 /// inner loop.
-pub fn run_to_commit(ctx: &mut WorkerCtx, tmpl: &TxnTemplate, _stop: &std::sync::atomic::AtomicBool) {
+pub fn run_to_commit(
+    ctx: &mut WorkerCtx,
+    tmpl: &TxnTemplate,
+    _stop: &std::sync::atomic::AtomicBool,
+) {
     match run_template(ctx, tmpl) {
         Ok(()) => {
             ctx.stats.record_commit(tmpl.tag);
@@ -101,7 +105,11 @@ mod tests {
             },
             AccessSpec {
                 table: 0,
-                key: KeySpec::Derived { slot: 0, base: 0, scale: 1 },
+                key: KeySpec::Derived {
+                    slot: 0,
+                    base: 0,
+                    scale: 1,
+                },
                 op: AccessOp::Insert,
             },
         ])

@@ -1,14 +1,19 @@
 //! # abyss-core
 //!
-//! A main-memory OLTP engine with seven pluggable concurrency-control
+//! A main-memory OLTP engine with eight pluggable concurrency-control
 //! schemes — the Rust reproduction of the DBMS test-bed from *Staring into
 //! the Abyss: An Evaluation of Concurrency Control with One Thousand
-//! Cores* (Yu et al., VLDB 2014).
+//! Cores* (Yu et al., VLDB 2014), plus the modern epoch-based OCC (SILO)
+//! the paper's §4.3 analysis points toward.
 //!
 //! The engine deliberately contains "only the functionality needed for our
 //! experiments" (§3.2): row storage behind hash indexes, per-tuple
 //! concurrency-control metadata (no centralized lock table, §4.1), a
-//! pluggable scheme manager, and per-thread memory pools.
+//! pluggable scheme manager, and per-thread memory pools. The [`epoch`]
+//! module is the reusable epoch subsystem (global ticker, per-worker
+//! quiescence, epoch-tagged TID words) that SILO commits through and that
+//! future schemes (TicToc, group commit, RCU-style GC) can build on — the
+//! word layout and quiescence protocol are documented in `DESIGN.md`.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +45,7 @@
 
 pub mod config;
 pub mod db;
+pub mod epoch;
 pub mod executor;
 pub mod lockword;
 pub mod meta;
@@ -52,5 +58,6 @@ pub mod worker;
 
 pub use config::EngineConfig;
 pub use db::Database;
+pub use epoch::{EpochManager, EpochTicker};
 pub use ts::{SharedTs, TsHandle};
 pub use worker::{run_workers, BenchOutcome, TxnError, WorkerCtx};

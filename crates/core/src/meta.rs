@@ -76,7 +76,9 @@ impl LockQueue {
     /// Is `mode` compatible with every current owner, ignoring `me` (for
     /// upgrades)?
     pub fn compatible_with_owners(&self, mode: LockMode, me: TxnId) -> bool {
-        self.owners.iter().all(|o| o.txn == me || o.mode.compatible(mode))
+        self.owners
+            .iter()
+            .all(|o| o.txn == me || o.mode.compatible(mode))
     }
 
     /// Owners that conflict with `mode` (excluding `me`).
@@ -85,7 +87,9 @@ impl LockQueue {
         mode: LockMode,
         me: TxnId,
     ) -> impl Iterator<Item = &'a Owner> + 'a {
-        self.owners.iter().filter(move |o| o.txn != me && !o.mode.compatible(mode))
+        self.owners
+            .iter()
+            .filter(move |o| o.txn != me && !o.mode.compatible(mode))
     }
 
     /// Remove `txn` from the owner list. Returns true if it was an owner.
@@ -128,7 +132,11 @@ pub struct TsState {
 impl TsState {
     /// Smallest pending prewrite timestamp below `ts`, if any.
     pub fn pending_below(&self, ts: Ts) -> Option<Ts> {
-        self.prewrites.iter().map(|&(p, _)| p).filter(|&p| p < ts).min()
+        self.prewrites
+            .iter()
+            .map(|&(p, _)| p)
+            .filter(|&p| p < ts)
+            .min()
     }
 
     /// Remove `txn`'s prewrite. Returns true if one was present.
@@ -170,7 +178,11 @@ impl MvccChain {
     /// Smallest pending prewrite in `(after, ts)`, i.e. one whose commit
     /// this reader would have to observe.
     pub fn pending_between(&self, after: Ts, ts: Ts) -> Option<Ts> {
-        self.prewrites.iter().map(|&(p, _)| p).filter(|&p| p > after && p < ts).min()
+        self.prewrites
+            .iter()
+            .map(|&(p, _)| p)
+            .filter(|&p| p > after && p < ts)
+            .min()
     }
 
     /// Remove `txn`'s prewrite. Returns true if one was present.
@@ -202,18 +214,31 @@ pub enum Aux {
 /// Per-tuple concurrency-control metadata (see module docs).
 #[derive(Debug)]
 pub struct RowMeta {
-    /// Lock-free word: `lockword::rw` for NO_WAIT, `lockword::silo` for OCC.
+    /// Lock-free word: `lockword::rw` for NO_WAIT, `lockword::silo` for
+    /// OCC's version counter, and the epoch-tagged TID word for SILO
+    /// (layout in [`crate::epoch`]: bit 63 = lock, bits 40..=62 = commit
+    /// epoch, bits 0..=39 = per-epoch sequence).
     pub word: std::sync::atomic::AtomicU64,
     aux: Mutex<Option<Box<Aux>>>,
 }
 
 impl Default for RowMeta {
     fn default() -> Self {
-        Self { word: std::sync::atomic::AtomicU64::new(0), aux: Mutex::new(None) }
+        Self {
+            word: std::sync::atomic::AtomicU64::new(0),
+            aux: Mutex::new(None),
+        }
     }
 }
 
 impl RowMeta {
+    /// SILO: the tuple's current TID word (lock bit masked off). Loads with
+    /// acquire ordering so the caller observes the row image the TID tags.
+    #[inline]
+    pub fn tid(&self) -> u64 {
+        crate::lockword::silo::version(self.word.load(std::sync::atomic::Ordering::Acquire))
+    }
+
     /// Latch the tuple and get its 2PL queue, initializing it on first use.
     pub fn lock_queue(&self) -> MappedMutexGuard<'_, LockQueue> {
         MutexGuard::map(self.aux.lock(), |slot| {
@@ -238,14 +263,15 @@ impl RowMeta {
 
     /// Latch the tuple and get its MVCC chain. `init` supplies the initial
     /// version's row image on first touch (the loaded table row).
-    pub fn mvcc_chain(
-        &self,
-        init: impl FnOnce() -> Box<[u8]>,
-    ) -> MappedMutexGuard<'_, MvccChain> {
+    pub fn mvcc_chain(&self, init: impl FnOnce() -> Box<[u8]>) -> MappedMutexGuard<'_, MvccChain> {
         MutexGuard::map(self.aux.lock(), |slot| {
             let aux = slot.get_or_insert_with(|| {
                 let mut chain = MvccChain::default();
-                chain.versions.push_back(Version { wts: 0, rts: 0, data: init() });
+                chain.versions.push_back(Version {
+                    wts: 0,
+                    rts: 0,
+                    data: init(),
+                });
                 Box::new(Aux::Mvcc(chain))
             });
             match aux.as_mut() {
@@ -271,15 +297,25 @@ mod tests {
     #[test]
     fn queue_owner_management() {
         let mut q = LockQueue::default();
-        q.owners.push(Owner { txn: 1, mode: LockMode::Shared, ts: 10 });
-        q.owners.push(Owner { txn: 2, mode: LockMode::Shared, ts: 20 });
+        q.owners.push(Owner {
+            txn: 1,
+            mode: LockMode::Shared,
+            ts: 10,
+        });
+        q.owners.push(Owner {
+            txn: 2,
+            mode: LockMode::Shared,
+            ts: 20,
+        });
         assert!(q.compatible_with_owners(LockMode::Shared, 99));
         assert!(!q.compatible_with_owners(LockMode::Exclusive, 99));
         // ...but an upgrade by the sole remaining reader is compatible.
         assert!(q.remove_owner(2));
         assert!(q.compatible_with_owners(LockMode::Exclusive, 1));
-        let conflicting: Vec<TxnId> =
-            q.conflicting_owners(LockMode::Exclusive, 99).map(|o| o.txn).collect();
+        let conflicting: Vec<TxnId> = q
+            .conflicting_owners(LockMode::Exclusive, 99)
+            .map(|o| o.txn)
+            .collect();
         assert_eq!(conflicting, vec![1]);
     }
 
@@ -299,7 +335,11 @@ mod tests {
     fn mvcc_visibility() {
         let mut c = MvccChain::default();
         for wts in [0u64, 5, 9] {
-            c.versions.push_back(Version { wts, rts: 0, data: Box::new([0]) });
+            c.versions.push_back(Version {
+                wts,
+                rts: 0,
+                data: Box::new([0]),
+            });
         }
         assert_eq!(c.visible_version(4), Some(0));
         assert_eq!(c.visible_version(5), Some(1));
@@ -319,7 +359,11 @@ mod tests {
         let m = RowMeta::default();
         {
             let mut q = m.lock_queue();
-            q.owners.push(Owner { txn: 7, mode: LockMode::Exclusive, ts: 0 });
+            q.owners.push(Owner {
+                txn: 7,
+                mode: LockMode::Exclusive,
+                ts: 0,
+            });
         }
         let q = m.lock_queue();
         assert_eq!(q.owners.len(), 1);

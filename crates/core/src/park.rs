@@ -39,7 +39,9 @@ impl ParkTable {
     pub fn new(workers: u32) -> Self {
         let mut v = Vec::with_capacity(workers as usize);
         v.resize_with(workers as usize, || CachePadded::new(AtomicU32::new(IDLE)));
-        Self { flags: v.into_boxed_slice() }
+        Self {
+            flags: v.into_boxed_slice(),
+        }
     }
 
     /// Arm `worker`'s flag before inserting it into a wait queue.
@@ -147,9 +149,7 @@ mod tests {
         let pt = Arc::new(ParkTable::new(2));
         pt.arm(0);
         let pt2 = Arc::clone(&pt);
-        let h = std::thread::spawn(move || {
-            pt2.wait(0, Instant::now() + Duration::from_secs(5))
-        });
+        let h = std::thread::spawn(move || pt2.wait(0, Instant::now() + Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(10));
         pt.grant(0);
         assert_eq!(h.join().unwrap(), WaitOutcome::Granted);

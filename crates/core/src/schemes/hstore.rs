@@ -39,15 +39,25 @@ pub struct PartState {
 impl PartState {
     /// Insert keeping ts order (oldest first).
     fn enqueue(&mut self, ts: Ts, worker: CoreId) {
-        let pos = self.queue.iter().position(|&(t, _)| t > ts).unwrap_or(self.queue.len());
+        let pos = self
+            .queue
+            .iter()
+            .position(|&(t, _)| t > ts)
+            .unwrap_or(self.queue.len());
         self.queue.insert(pos, (ts, worker));
     }
 }
 
 /// Acquire every partition in `partitions` (sorted, deduplicated by the
 /// workload generator). Called from `begin`.
-pub(crate) fn acquire_partitions(env: &mut SchemeEnv<'_>, partitions: &[u32]) -> Result<(), AbortReason> {
-    debug_assert!(partitions.windows(2).all(|w| w[0] < w[1]), "partitions must be sorted+unique");
+pub(crate) fn acquire_partitions(
+    env: &mut SchemeEnv<'_>,
+    partitions: &[u32],
+) -> Result<(), AbortReason> {
+    debug_assert!(
+        partitions.windows(2).all(|w| w[0] < w[1]),
+        "partitions must be sorted+unique"
+    );
     for &p in partitions {
         let ts = env.st.ts;
         let slot = &env.db.parts[p as usize];
@@ -66,7 +76,9 @@ pub(crate) fn acquire_partitions(env: &mut SchemeEnv<'_>, partitions: &[u32]) ->
             let started = Instant::now();
             let deadline = started + Duration::from_micros(env.db.cfg.wait_cap_us);
             let out = env.db.park.wait(env.worker, deadline);
-            env.stats.breakdown.record(Category::Wait, started.elapsed().as_nanos() as u64);
+            env.stats
+                .breakdown
+                .record(Category::Wait, started.elapsed().as_nanos() as u64);
             if out == WaitOutcome::TimedOut {
                 let mut s = slot.lock();
                 let pos = s.queue.iter().position(|&(_, w)| w == env.worker);
@@ -102,11 +114,18 @@ pub(crate) fn release_partitions(env: &mut SchemeEnv<'_>) {
 }
 
 /// Read in place: the owned partition is exclusive.
-pub(crate) fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+pub(crate) fn read(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+) -> Result<ReadRef, AbortReason> {
     let t = &env.db.tables[table as usize];
     // SAFETY: the transaction owns every partition it touches.
     let data = unsafe { t.row(row) };
-    Ok(ReadRef::InPlace { ptr: data.as_ptr(), len: data.len() })
+    Ok(ReadRef::InPlace {
+        ptr: data.as_ptr(),
+        len: data.len(),
+    })
 }
 
 /// Write in place with a before-image (user aborts still roll back).
@@ -144,7 +163,13 @@ pub(crate) fn insert(
     if env.db.indexes[table as usize].insert(key, row).is_err() {
         return Err(AbortReason::LockConflict);
     }
-    env.st.inserts.push(InsertEntry { table, key, row: Some(row), data: None, indexed: true });
+    env.st.inserts.push(InsertEntry {
+        table,
+        key,
+        row: Some(row),
+        data: None,
+        indexed: true,
+    });
     Ok(())
 }
 

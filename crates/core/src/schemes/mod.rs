@@ -1,4 +1,5 @@
-//! The seven concurrency-control scheme implementations.
+//! The eight concurrency-control scheme implementations: the paper's
+//! seven plus the modern epoch-based [`silo`].
 //!
 //! Each module exposes `read` / `write` / `insert` / `commit` / `abort`
 //! operating on a `SchemeEnv` — the disjoint borrow of everything a
@@ -8,6 +9,7 @@
 pub mod hstore;
 pub mod mvcc;
 pub mod occ;
+pub mod silo;
 pub mod timestamp;
 pub mod twopl;
 

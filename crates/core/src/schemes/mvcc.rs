@@ -34,11 +34,19 @@ fn seed<'a>(t: &'a abyss_storage::Table, row: RowIdx) -> impl FnOnce() -> Box<[u
 }
 
 /// MVCC read (see module docs).
-pub(crate) fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+pub(crate) fn read(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+) -> Result<ReadRef, AbortReason> {
     if let Some(i) = env.st.wbuf_idx(table, row) {
         let mut copy = env.pool.alloc(env.st.wbuf[i].data.capacity());
         copy.as_mut_slice().copy_from_slice(&env.st.wbuf[i].data);
-        env.st.rbuf.push(ReadCopy { table, row, data: copy });
+        env.st.rbuf.push(ReadCopy {
+            table,
+            row,
+            data: copy,
+        });
         return Ok(ReadRef::Rbuf(env.st.rbuf.len() - 1));
     }
     let ts = env.st.ts;
@@ -64,14 +72,23 @@ pub(crate) fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Resu
                 v.rts = v.rts.max(ts);
                 let mut buf = env.pool.alloc(v.data.len());
                 buf[..v.data.len()].copy_from_slice(&v.data);
-                env.st.rbuf.push(ReadCopy { table, row, data: buf });
+                env.st.rbuf.push(ReadCopy {
+                    table,
+                    row,
+                    data: buf,
+                });
                 return Ok(ReadRef::Rbuf(env.st.rbuf.len() - 1));
             }
             env.db.park.arm(env.worker);
-            chain.waiters.push(TsWaiter { ts, worker: env.worker });
+            chain.waiters.push(TsWaiter {
+                ts,
+                worker: env.worker,
+            });
         }
         let out = env.db.park.wait(env.worker, deadline);
-        env.stats.breakdown.record(Category::Wait, started.elapsed().as_nanos() as u64);
+        env.stats
+            .breakdown
+            .record(Category::Wait, started.elapsed().as_nanos() as u64);
         if out == crate::park::WaitOutcome::TimedOut {
             let mut chain = env.db.row_meta(table, row).mvcc_chain(seed(t, row));
             chain.waiters.retain(|w| w.worker != env.worker);
@@ -122,7 +139,10 @@ pub(crate) fn write(
                 .any(|&(p, t2)| p > vwts && p < ts && t2 != me);
             if pending {
                 env.db.park.arm(env.worker);
-                chain.waiters.push(TsWaiter { ts, worker: env.worker });
+                chain.waiters.push(TsWaiter {
+                    ts,
+                    worker: env.worker,
+                });
                 drop(chain);
                 let out = env.db.park.wait(env.worker, deadline);
                 env.stats
@@ -152,7 +172,11 @@ pub(crate) fn write(
         }
         let schema = t.schema();
         f(schema, &mut buf[..t.row_size()]);
-        env.st.wbuf.push(WriteEntry { table, row, data: buf });
+        env.st.wbuf.push(WriteEntry {
+            table,
+            row,
+            data: buf,
+        });
         env.st.prewrites.push((table, row));
         return Ok(());
     }
@@ -168,7 +192,13 @@ pub(crate) fn insert(
     let t = &env.db.tables[table as usize];
     let mut buf = env.pool.alloc(t.row_size());
     f(t.schema(), &mut buf[..t.row_size()]);
-    env.st.inserts.push(InsertEntry { table, key, row: None, data: Some(buf), indexed: false });
+    env.st.inserts.push(InsertEntry {
+        table,
+        key,
+        row: None,
+        data: Some(buf),
+        indexed: false,
+    });
     Ok(())
 }
 
@@ -200,7 +230,10 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
                         chain.versions[0].wts = ts;
                         chain.versions[0].rts = ts;
                     }
-                    if env.db.indexes[ins.table as usize].insert(ins.key, row).is_ok() {
+                    if env.db.indexes[ins.table as usize]
+                        .insert(ins.key, row)
+                        .is_ok()
+                    {
                         applied.push((ins.table, ins.key));
                     } else {
                         failed = true;
@@ -229,7 +262,11 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
             "version chain must stay ordered"
         );
         let data = w.data[..t.row_size()].to_vec().into_boxed_slice();
-        chain.versions.push_back(Version { wts: ts, rts: ts, data });
+        chain.versions.push_back(Version {
+            wts: ts,
+            rts: ts,
+            data,
+        });
         chain.gc(max_versions);
         for waiter in chain.waiters.drain(..) {
             env.db.park.grant(waiter.worker);

@@ -23,8 +23,10 @@ use super::{ReadRef, SchemeEnv};
 use crate::lockword::silo;
 use crate::txn::{InsertEntry, ReadCopy, ReadEntry, WriteEntry};
 
-/// Bounded seqlock read: copy the row at a stable version.
-fn stable_copy(
+/// Bounded seqlock read: copy the row at a stable version. Shared with
+/// the SILO scheme, whose read phase is identical (the recorded `version`
+/// is a TID word there).
+pub(crate) fn stable_copy(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
@@ -60,16 +62,32 @@ fn stable_copy(
 }
 
 /// OCC read: optimistic copy + read-set entry.
-pub(crate) fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+pub(crate) fn read(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+) -> Result<ReadRef, AbortReason> {
     if let Some(i) = env.st.wbuf_idx(table, row) {
         let mut copy = env.pool.alloc(env.st.wbuf[i].data.capacity());
         copy.as_mut_slice().copy_from_slice(&env.st.wbuf[i].data);
-        env.st.rbuf.push(ReadCopy { table, row, data: copy });
+        env.st.rbuf.push(ReadCopy {
+            table,
+            row,
+            data: copy,
+        });
         return Ok(ReadRef::Rbuf(env.st.rbuf.len() - 1));
     }
     let (buf, version) = stable_copy(env, table, row)?;
-    env.st.rset.push(ReadEntry { table, row, version });
-    env.st.rbuf.push(ReadCopy { table, row, data: buf });
+    env.st.rset.push(ReadEntry {
+        table,
+        row,
+        version,
+    });
+    env.st.rbuf.push(ReadCopy {
+        table,
+        row,
+        data: buf,
+    });
     Ok(ReadRef::Rbuf(env.st.rbuf.len() - 1))
 }
 
@@ -90,8 +108,16 @@ pub(crate) fn write(
     let len = env.db.tables[table as usize].row_size();
     f(schema, &mut buf[..len]);
     // The RMW read is validated like any other read.
-    env.st.rset.push(ReadEntry { table, row, version });
-    env.st.wbuf.push(WriteEntry { table, row, data: buf });
+    env.st.rset.push(ReadEntry {
+        table,
+        row,
+        version,
+    });
+    env.st.wbuf.push(WriteEntry {
+        table,
+        row,
+        data: buf,
+    });
     Ok(())
 }
 
@@ -105,14 +131,21 @@ pub(crate) fn insert(
     let t = &env.db.tables[table as usize];
     let mut buf = env.pool.alloc(t.row_size());
     f(t.schema(), &mut buf[..t.row_size()]);
-    env.st.inserts.push(InsertEntry { table, key, row: None, data: Some(buf), indexed: false });
+    env.st.inserts.push(InsertEntry {
+        table,
+        key,
+        row: None,
+        data: Some(buf),
+        indexed: false,
+    });
     Ok(())
 }
 
-/// Validation + write phase. The caller has already allocated the second
-/// (validation) timestamp.
-pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
-    // Lock the write set in canonical order — per-tuple latches only.
+/// Lock the whole write set via each tuple's word, in canonical
+/// `(table, row)` order (deadlock-free). On success returns the number of
+/// locked entries; on a spin-cap abort every acquired lock has already
+/// been released. Shared with the SILO scheme.
+pub(crate) fn lock_write_set(env: &mut SchemeEnv<'_>) -> Result<usize, AbortReason> {
     env.st.wbuf.sort_unstable_by_key(|w| (w.table, w.row));
     let mut locked = 0usize;
     for w in env.st.wbuf.iter() {
@@ -143,11 +176,23 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
         }
         locked += 1;
     }
+    Ok(locked)
+}
+
+/// Validation + write phase. The caller has already allocated the second
+/// (validation) timestamp.
+pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+    // Lock the write set in canonical order — per-tuple latches only.
+    let locked = lock_write_set(env)?;
 
     // Validate the read set: versions unchanged, no foreign locks.
     for r in env.st.rset.iter() {
         let word = env.db.row_meta(r.table, r.row).word.load(Ordering::Acquire);
-        let own = env.st.wbuf.iter().any(|w| w.table == r.table && w.row == r.row);
+        let own = env
+            .st
+            .wbuf
+            .iter()
+            .any(|w| w.table == r.table && w.row == r.row);
         if silo::version(word) != r.version || (silo::is_locked(word) && !own) {
             unlock_first(env, locked);
             return Err(AbortReason::ValidationFail);
@@ -157,35 +202,9 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
     // Publish inserts before installing writes: the insert is the only
     // fallible step (duplicate-key race), and it withdraws itself on
     // failure so the abort path sees an uncommitted transaction.
-    {
-        let inserts = std::mem::take(&mut env.st.inserts);
-        let mut applied: Vec<(TableId, Key)> = Vec::new();
-        let mut failed = false;
-        for ins in inserts {
-            let t = &env.db.tables[ins.table as usize];
-            let data = ins.data.expect("buffered insert has an image");
-            if !failed {
-                if let Ok(row) = t.allocate_row() {
-                    // SAFETY: fresh unindexed row.
-                    unsafe { t.row_mut(row) }.copy_from_slice(&data[..t.row_size()]);
-                    if env.db.indexes[ins.table as usize].insert(ins.key, row).is_ok() {
-                        applied.push((ins.table, ins.key));
-                    } else {
-                        failed = true;
-                    }
-                } else {
-                    failed = true;
-                }
-            }
-            env.pool.free(data);
-        }
-        if failed {
-            for (table, key) in applied {
-                env.db.indexes[table as usize].remove(key);
-            }
-            unlock_first(env, locked);
-            return Err(AbortReason::ValidationFail);
-        }
+    if let Err(reason) = publish_buffered_inserts(env) {
+        unlock_first(env, locked);
+        return Err(reason);
     }
 
     // Write phase: install the workspace and bump versions.
@@ -203,9 +222,53 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
     Ok(())
 }
 
+/// Publish buffered inserts into the table arenas and indexes. On a
+/// duplicate-key race every already-applied insert of this transaction is
+/// withdrawn and the whole batch fails. On success returns the published
+/// `(table, row)` slots so SILO can stamp them with the commit TID (OCC
+/// leaves fresh rows at version 0). Shared with the SILO scheme.
+pub(crate) fn publish_buffered_inserts(
+    env: &mut SchemeEnv<'_>,
+) -> Result<Vec<(TableId, RowIdx)>, AbortReason> {
+    let inserts = std::mem::take(&mut env.st.inserts);
+    let mut applied: Vec<(TableId, Key, RowIdx)> = Vec::new();
+    let mut failed = false;
+    for ins in inserts {
+        let t = &env.db.tables[ins.table as usize];
+        let data = ins.data.expect("buffered insert has an image");
+        if !failed {
+            if let Ok(row) = t.allocate_row() {
+                // SAFETY: fresh unindexed row.
+                unsafe { t.row_mut(row) }.copy_from_slice(&data[..t.row_size()]);
+                if env.db.indexes[ins.table as usize]
+                    .insert(ins.key, row)
+                    .is_ok()
+                {
+                    applied.push((ins.table, ins.key, row));
+                } else {
+                    failed = true;
+                }
+            } else {
+                failed = true;
+            }
+        }
+        env.pool.free(data);
+    }
+    if failed {
+        for (table, key, _) in applied {
+            env.db.indexes[table as usize].remove(key);
+        }
+        return Err(AbortReason::ValidationFail);
+    }
+    Ok(applied
+        .into_iter()
+        .map(|(table, _, row)| (table, row))
+        .collect())
+}
+
 /// Unlock the first `n` locked write-set entries without bumping versions
-/// (validation failed; nothing was installed).
-fn unlock_first(env: &mut SchemeEnv<'_>, n: usize) {
+/// (validation failed; nothing was installed). Shared with SILO.
+pub(crate) fn unlock_first(env: &mut SchemeEnv<'_>, n: usize) {
     for w in env.st.wbuf.iter().take(n) {
         let word = &env.db.row_meta(w.table, w.row).word;
         let cur = word.load(Ordering::Acquire);

@@ -1,0 +1,258 @@
+//! SILO — modern epoch-based OCC (Tu et al., SOSP'13), the eighth scheme
+//! grown on top of the paper's seven.
+//!
+//! Where the paper's OCC pays **two** trips to the global timestamp
+//! allocator per transaction (start + validation, §4.3/Fig. 8b), SILO
+//! pays **zero**: commit identity comes from an epoch-tagged 64-bit TID
+//! word per tuple (layout in [`crate::epoch`]). The protocol:
+//!
+//! 1. **Read phase** — identical to OCC's: seqlock-stable copies against
+//!    each tuple's TID word, the observed word recorded in the read set,
+//!    writes buffered in a private workspace (shared code in
+//!    [`super::occ`]).
+//! 2. **Lock** — the write set is sorted into canonical `(table, row)`
+//!    order and each tuple's TID word is latched via its lock bit
+//!    ([`crate::lockword::silo`]), making concurrent validation
+//!    deadlock-free.
+//! 3. **Epoch fence** — the global epoch is read *after* all write locks
+//!    are held; this is the transaction's serialization point.
+//! 4. **Validate** — every read-set entry must still carry its recorded
+//!    TID and must not be locked by another transaction.
+//! 5. **Commit TID** — the smallest TID that is greater than every TID
+//!    observed in the read/write sets and the worker's previous commit
+//!    TID, and that carries the fenced epoch.
+//! 6. **Install** — workspace rows are copied in place and each written
+//!    tuple's word is released to the new TID.
+//!
+//! The worker-local TID monotonicity plus the per-tuple observations make
+//! TID order embed the serial order within an epoch; the epoch fence
+//! orders transactions across epochs. No step touches a centralized
+//! counter, which is exactly the property the paper's §4.3 calls for at
+//! one thousand cores.
+
+use std::sync::atomic::Ordering;
+
+use abyss_common::{AbortReason, Key, RowIdx, TableId};
+use abyss_storage::Schema;
+
+use super::occ;
+use super::{ReadRef, SchemeEnv};
+use crate::epoch;
+use crate::lockword::silo;
+
+/// SILO read: optimistic seqlock copy + read-set TID recording (OCC's
+/// read phase, reused verbatim — the recorded `version` is the TID word).
+pub(crate) fn read(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+) -> Result<ReadRef, AbortReason> {
+    occ::read(env, table, row)
+}
+
+/// SILO write: read-modify-write into the private workspace.
+pub(crate) fn write(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+    f: impl FnOnce(&Schema, &mut [u8]),
+) -> Result<(), AbortReason> {
+    occ::write(env, table, row, f)
+}
+
+/// SILO insert: buffered until the commit's write phase.
+pub(crate) fn insert(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    key: Key,
+    f: impl FnOnce(&Schema, &mut [u8]),
+) -> Result<(), AbortReason> {
+    occ::insert(env, table, key, f)
+}
+
+/// Validation + write phase. `last_tid` is the worker's previous commit
+/// TID; on success the new (strictly greater) commit TID is returned for
+/// the worker to remember.
+pub(crate) fn commit(env: &mut SchemeEnv<'_>, last_tid: u64) -> Result<u64, AbortReason> {
+    // Phase 1: lock the write set in canonical order — per-tuple latches
+    // only, bounded spins so a pathological stall aborts instead of
+    // hanging (OCC's lock phase, shared).
+    let locked = occ::lock_write_set(env)?;
+
+    // Phase 2: the epoch fence — the serialization point. Reading the
+    // global epoch *after* every write lock is held guarantees no TID this
+    // transaction observed can carry a later epoch.
+    std::sync::atomic::fence(Ordering::SeqCst);
+    let commit_epoch = env.db.epoch.current();
+
+    // Phase 3: validate the read set — TIDs unchanged, no foreign locks —
+    // and fold every observed TID into the commit-TID floor.
+    let mut max_observed = last_tid.max(epoch::compose_tid(commit_epoch, 0));
+    for r in env.st.rset.iter() {
+        let word = env.db.row_meta(r.table, r.row).word.load(Ordering::Acquire);
+        let own = env
+            .st
+            .wbuf
+            .iter()
+            .any(|w| w.table == r.table && w.row == r.row);
+        if silo::version(word) != r.version || (silo::is_locked(word) && !own) {
+            occ::unlock_first(env, locked);
+            return Err(AbortReason::ValidationFail);
+        }
+        max_observed = max_observed.max(r.version);
+    }
+    let commit_tid = max_observed + 1;
+    debug_assert_eq!(
+        epoch::tid_epoch(commit_tid),
+        commit_epoch,
+        "per-epoch sequence space exhausted"
+    );
+
+    // Phase 4: publish inserts (the only fallible step left), then install
+    // the workspace and release each tuple's word to the commit TID.
+    // Fresh rows are stamped with the commit TID too, so every committed
+    // tuple's word carries its commit epoch (the invariant `safe_epoch`
+    // consumers rely on).
+    match occ::publish_buffered_inserts(env) {
+        Ok(inserted) => {
+            for (table, row) in inserted {
+                env.db
+                    .row_meta(table, row)
+                    .word
+                    .store(commit_tid, Ordering::Release);
+            }
+        }
+        Err(reason) => {
+            occ::unlock_first(env, locked);
+            return Err(reason);
+        }
+    }
+    for w in std::mem::take(&mut env.st.wbuf) {
+        let t = &env.db.tables[w.table as usize];
+        // SAFETY: we hold the tuple's lock bit; readers' seqlock re-check
+        // rejects any copy that overlapped this write.
+        let data = unsafe { t.row_mut(w.row) };
+        data.copy_from_slice(&w.data[..data.len()]);
+        env.db
+            .row_meta(w.table, w.row)
+            .word
+            .store(commit_tid, Ordering::Release);
+        env.pool.free(w.data);
+    }
+    Ok(commit_tid)
+}
+
+/// Abort during the read phase: nothing is shared yet; buffers are dropped
+/// by the caller's state reset.
+pub(crate) fn abort(_env: &mut SchemeEnv<'_>) {}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use abyss_common::CcScheme;
+    use abyss_storage::{row, Catalog, Schema};
+
+    use crate::config::EngineConfig;
+    use crate::db::Database;
+
+    fn silo_db(workers: u32) -> Arc<Database> {
+        let mut cat = Catalog::new();
+        cat.add_table("t", Schema::key_plus_payload(2, 8), 1000);
+        let db = Database::new(EngineConfig::new(CcScheme::Silo, workers), cat).unwrap();
+        db.load_table(0, 0..100u64, |s, r, k| {
+            row::set_u64(s, r, 0, k);
+            row::set_u64(s, r, 1, 100);
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn commit_tids_are_monotonic_and_epoch_tagged() {
+        let db = silo_db(1);
+        let mut ctx = db.worker(0);
+        let mut last = 0u64;
+        for i in 0..5u64 {
+            ctx.run_txn(&[], |t| {
+                t.update(0, i, |s, d| row::set_u64(s, d, 1, 200 + i))
+            })
+            .unwrap();
+            let tid = ctx.last_commit_tid();
+            assert!(tid > last, "commit TIDs must be strictly increasing");
+            assert!(crate::epoch::tid_epoch(tid) >= crate::epoch::FIRST_EPOCH);
+            last = tid;
+        }
+    }
+
+    #[test]
+    fn written_tuple_carries_the_commit_tid() {
+        let db = silo_db(1);
+        let mut ctx = db.worker(0);
+        ctx.run_txn(&[], |t| t.update(0, 7, |s, d| row::set_u64(s, d, 1, 777)))
+            .unwrap();
+        let meta = db.row_meta(0, db.index_get(0, 7).unwrap());
+        assert_eq!(meta.tid(), ctx.last_commit_tid());
+        let word = meta.word.load(std::sync::atomic::Ordering::Acquire);
+        assert!(!crate::lockword::silo::is_locked(word));
+    }
+
+    #[test]
+    fn inserted_rows_carry_the_commit_tid() {
+        let db = silo_db(1);
+        let mut ctx = db.worker(0);
+        ctx.run_txn(&[], |t| {
+            t.insert(0, 500, |s, d| {
+                row::set_u64(s, d, 0, 500);
+                row::set_u64(s, d, 1, 1);
+            })
+        })
+        .unwrap();
+        let meta = db.row_meta(0, db.index_get(0, 500).unwrap());
+        assert_eq!(meta.tid(), ctx.last_commit_tid());
+        assert!(crate::epoch::tid_epoch(meta.tid()) >= crate::epoch::FIRST_EPOCH);
+    }
+
+    #[test]
+    fn epoch_advance_raises_commit_epochs() {
+        let db = silo_db(1);
+        let mut ctx = db.worker(0);
+        ctx.run_txn(&[], |t| t.update(0, 1, |s, d| row::set_u64(s, d, 1, 1)))
+            .unwrap();
+        let e1 = crate::epoch::tid_epoch(ctx.last_commit_tid());
+        db.epoch_manager().advance();
+        db.epoch_manager().advance();
+        ctx.run_txn(&[], |t| t.update(0, 1, |s, d| row::set_u64(s, d, 1, 2)))
+            .unwrap();
+        let e2 = crate::epoch::tid_epoch(ctx.last_commit_tid());
+        assert!(
+            e2 >= e1 + 2,
+            "commit epoch must follow the advanced global epoch"
+        );
+    }
+
+    #[test]
+    fn stale_read_set_fails_validation() {
+        let db = silo_db(2);
+        let mut a = db.worker(0);
+        let mut b = db.worker(1);
+        // a reads key 5, then b commits a write to it; a's commit (which
+        // also writes, so it cannot be a blind no-op) must abort.
+        a.begin(&[], None).unwrap();
+        let v = a.read_u64(0, 5, 1).unwrap();
+        assert_eq!(v, 100);
+        a.update(0, 6, |s, d| row::set_u64(s, d, 1, v + 1)).unwrap();
+        b.run_txn(&[], |t| t.update(0, 5, |s, d| row::set_u64(s, d, 1, 999)))
+            .unwrap();
+        let r = a.commit();
+        assert!(
+            matches!(
+                r,
+                Err(crate::worker::TxnError::Abort(
+                    abyss_common::AbortReason::ValidationFail
+                ))
+            ),
+            "stale read must fail validation, got {r:?}"
+        );
+    }
+}

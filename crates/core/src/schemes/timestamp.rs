@@ -45,16 +45,20 @@ fn wait_for_prewrites(
     loop {
         {
             let mut s = env.db.row_meta(table, row).ts_state();
-            let pending_other =
-                s.prewrites.iter().any(|&(p, t)| p < ts && t != me);
+            let pending_other = s.prewrites.iter().any(|&(p, t)| p < ts && t != me);
             if !pending_other {
                 return Ok(());
             }
             env.db.park.arm(env.worker);
-            s.waiters.push(TsWaiter { ts, worker: env.worker });
+            s.waiters.push(TsWaiter {
+                ts,
+                worker: env.worker,
+            });
         }
         let out = env.db.park.wait(env.worker, deadline);
-        env.stats.breakdown.record(Category::Wait, started.elapsed().as_nanos() as u64);
+        env.stats
+            .breakdown
+            .record(Category::Wait, started.elapsed().as_nanos() as u64);
         match out {
             crate::park::WaitOutcome::Granted => continue,
             crate::park::WaitOutcome::TimedOut => {
@@ -75,13 +79,21 @@ fn wake_waiters(db: &crate::db::Database, s: &mut crate::meta::TsState) {
 }
 
 /// T/O read (see module docs).
-pub(crate) fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+pub(crate) fn read(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+) -> Result<ReadRef, AbortReason> {
     // Read-own-write: serve from the private workspace.
     if let Some(i) = env.st.wbuf_idx(table, row) {
         let data = env.pool.alloc(env.st.wbuf[i].data.capacity());
         let mut copy = data;
         copy.as_mut_slice().copy_from_slice(&env.st.wbuf[i].data);
-        env.st.rbuf.push(ReadCopy { table, row, data: copy });
+        env.st.rbuf.push(ReadCopy {
+            table,
+            row,
+            data: copy,
+        });
         return Ok(ReadRef::Rbuf(env.st.rbuf.len() - 1));
     }
     let ts = env.st.ts;
@@ -95,7 +107,10 @@ pub(crate) fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Resu
         }
         // A smaller prewrite may have appeared between the wait and this
         // re-latch; loop if so.
-        if s.prewrites.iter().any(|&(p, t2)| p < ts && t2 != env.st.txn_id) {
+        if s.prewrites
+            .iter()
+            .any(|&(p, t2)| p < ts && t2 != env.st.txn_id)
+        {
             continue;
         }
         s.rts = s.rts.max(ts);
@@ -103,7 +118,11 @@ pub(crate) fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Resu
         // SAFETY: T/O writers install data only while holding this tuple's
         // latch (see commit), which we hold.
         unsafe { t.copy_row_into(row, &mut buf) };
-        env.st.rbuf.push(ReadCopy { table, row, data: buf });
+        env.st.rbuf.push(ReadCopy {
+            table,
+            row,
+            data: buf,
+        });
         return Ok(ReadRef::Rbuf(env.st.rbuf.len() - 1));
     }
 }
@@ -130,7 +149,10 @@ pub(crate) fn write(
         if ts < s.wts || ts < s.rts {
             return Err(AbortReason::TsOrderViolation);
         }
-        if s.prewrites.iter().any(|&(p, t2)| p < ts && t2 != env.st.txn_id) {
+        if s.prewrites
+            .iter()
+            .any(|&(p, t2)| p < ts && t2 != env.st.txn_id)
+        {
             continue;
         }
         // The RMW reads the tuple: advance rts as a reader would.
@@ -141,7 +163,11 @@ pub(crate) fn write(
         unsafe { t.copy_row_into(row, &mut buf) };
         drop(s);
         f(t.schema(), &mut buf[..t.row_size()]);
-        env.st.wbuf.push(WriteEntry { table, row, data: buf });
+        env.st.wbuf.push(WriteEntry {
+            table,
+            row,
+            data: buf,
+        });
         env.st.prewrites.push((table, row));
         return Ok(());
     }
@@ -157,7 +183,13 @@ pub(crate) fn insert(
     let t = &env.db.tables[table as usize];
     let mut buf = env.pool.alloc(t.row_size());
     f(t.schema(), &mut buf[..t.row_size()]);
-    env.st.inserts.push(InsertEntry { table, key, row: None, data: Some(buf), indexed: false });
+    env.st.inserts.push(InsertEntry {
+        table,
+        key,
+        row: None,
+        data: Some(buf),
+        indexed: false,
+    });
     Ok(())
 }
 
@@ -175,7 +207,11 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
         let t = &env.db.tables[w.table as usize];
         let meta = env.db.row_meta(w.table, w.row);
         let mut s = meta.ts_state();
-        debug_assert!(s.wts <= ts, "commit of a stale prewrite (wts {} > ts {ts})", s.wts);
+        debug_assert!(
+            s.wts <= ts,
+            "commit of a stale prewrite (wts {} > ts {ts})",
+            s.wts
+        );
         // SAFETY: all T/O data access happens under the tuple latch.
         let data = unsafe { t.row_mut(w.row) };
         data.copy_from_slice(&w.data[..data.len()]);
@@ -210,7 +246,10 @@ pub(crate) fn apply_inserts(env: &mut SchemeEnv<'_>, fail: AbortReason) -> Resul
                     s.wts = ts;
                     s.rts = ts;
                 }
-                if env.db.indexes[ins.table as usize].insert(ins.key, row).is_ok() {
+                if env.db.indexes[ins.table as usize]
+                    .insert(ins.key, row)
+                    .is_ok()
+                {
                     applied.push((ins.table, ins.key));
                 } else {
                     failed = true;

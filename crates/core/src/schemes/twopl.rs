@@ -36,7 +36,12 @@ use crate::park::WaitOutcome;
 use crate::txn::{HeldLock, InsertEntry, UndoEntry};
 
 /// Acquire `mode` on `(table, row)` under the configured 2PL variant.
-fn acquire(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx, mode: LockMode) -> Result<(), AbortReason> {
+fn acquire(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+    mode: LockMode,
+) -> Result<(), AbortReason> {
     if env.st.holds(table, row, mode) {
         return Ok(());
     }
@@ -125,12 +130,22 @@ fn acquire_dl_detect(
                     o.mode = LockMode::Exclusive;
                 }
             } else {
-                q.owners.push(Owner { txn: me, mode, ts: 0 });
+                q.owners.push(Owner {
+                    txn: me,
+                    mode,
+                    ts: 0,
+                });
             }
             return Ok(());
         }
         env.db.park.arm(env.worker);
-        let w = Waiter { txn: me, worker: env.worker, mode, ts: 0, upgrade };
+        let w = Waiter {
+            txn: me,
+            worker: env.worker,
+            mode,
+            ts: 0,
+            upgrade,
+        };
         q.waiters.push_back(w);
         // Waits-for edges: the conflicting owners plus everyone queued
         // ahead of us (we cannot be granted before them).
@@ -150,7 +165,9 @@ fn acquire_dl_detect(
         .db
         .park
         .wait_with_check(env.worker, deadline, interval, || waits.detect_cycle(me));
-    env.stats.breakdown.record(Category::Wait, started.elapsed().as_nanos() as u64);
+    env.stats
+        .breakdown
+        .record(Category::Wait, started.elapsed().as_nanos() as u64);
     env.db.waits.clear_waits(env.worker);
 
     match out {
@@ -192,28 +209,47 @@ fn acquire_wait_die(
                     o.mode = LockMode::Exclusive;
                 }
             } else {
-                q.owners.push(Owner { txn: me, mode, ts: my_ts });
+                q.owners.push(Owner {
+                    txn: me,
+                    mode,
+                    ts: my_ts,
+                });
             }
             return Ok(());
         }
         // Deny or wait: wait iff older (smaller ts) than every conflicting
         // owner — "dies" otherwise.
-        let youngest_conflict =
-            q.conflicting_owners(mode, me).map(|o| o.ts).min().expect("conflict exists");
+        let youngest_conflict = q
+            .conflicting_owners(mode, me)
+            .map(|o| o.ts)
+            .min()
+            .expect("conflict exists");
         if my_ts >= youngest_conflict {
             return Err(AbortReason::WaitDieKilled);
         }
         env.db.park.arm(env.worker);
-        let w = Waiter { txn: me, worker: env.worker, mode, ts: my_ts, upgrade };
+        let w = Waiter {
+            txn: me,
+            worker: env.worker,
+            mode,
+            ts: my_ts,
+            upgrade,
+        };
         // Keep the queue sorted by ts ascending (oldest first).
-        let pos = q.waiters.iter().position(|x| x.ts > my_ts).unwrap_or(q.waiters.len());
+        let pos = q
+            .waiters
+            .iter()
+            .position(|x| x.ts > my_ts)
+            .unwrap_or(q.waiters.len());
         q.waiters.insert(pos, w);
     }
 
     let started = Instant::now();
     let deadline = started + Duration::from_micros(env.db.cfg.wait_cap_us);
     let out = env.db.park.wait(env.worker, deadline);
-    env.stats.breakdown.record(Category::Wait, started.elapsed().as_nanos() as u64);
+    env.stats
+        .breakdown
+        .record(Category::Wait, started.elapsed().as_nanos() as u64);
     match out {
         WaitOutcome::Granted => Ok(()),
         WaitOutcome::TimedOut => {
@@ -243,7 +279,11 @@ pub(crate) fn grant_waiters(db: &crate::db::Database, q: &mut crate::meta::LockQ
                 o.mode = LockMode::Exclusive;
             }
         } else {
-            q.owners.push(Owner { txn: w.txn, mode: w.mode, ts: w.ts });
+            q.owners.push(Owner {
+                txn: w.txn,
+                mode: w.mode,
+                ts: w.ts,
+            });
         }
         db.park.grant(w.worker);
     }
@@ -273,12 +313,19 @@ fn release_all(env: &mut SchemeEnv<'_>) {
 }
 
 /// 2PL read: S-lock then read in place.
-pub(crate) fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+pub(crate) fn read(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+) -> Result<ReadRef, AbortReason> {
     acquire(env, table, row, LockMode::Shared)?;
     let t = &env.db.tables[table as usize];
     // SAFETY: the S lock held until commit/abort excludes writers.
     let data = unsafe { t.row(row) };
-    Ok(ReadRef::InPlace { ptr: data.as_ptr(), len: data.len() })
+    Ok(ReadRef::InPlace {
+        ptr: data.as_ptr(),
+        len: data.len(),
+    })
 }
 
 /// 2PL write: X-lock, log the before-image, mutate in place.
@@ -321,17 +368,31 @@ pub(crate) fn insert(
         CcScheme::NoWait => meta.word.store(rw::WRITER, Ordering::Release),
         _ => {
             let mut q = meta.lock_queue();
-            q.owners.push(Owner { txn: env.st.txn_id, mode: LockMode::Exclusive, ts: env.st.ts });
+            q.owners.push(Owner {
+                txn: env.st.txn_id,
+                mode: LockMode::Exclusive,
+                ts: env.st.ts,
+            });
         }
     }
-    env.st.held.push(HeldLock { table, row, mode: LockMode::Exclusive });
+    env.st.held.push(HeldLock {
+        table,
+        row,
+        mode: LockMode::Exclusive,
+    });
 
     if env.db.indexes[table as usize].insert(key, row).is_err() {
         // Lost an insert race on the same key: roll this slot back out.
         release_last_lock(env, table, row);
         return Err(AbortReason::LockConflict);
     }
-    env.st.inserts.push(InsertEntry { table, key, row: Some(row), data: None, indexed: true });
+    env.st.inserts.push(InsertEntry {
+        table,
+        key,
+        row: Some(row),
+        data: None,
+        indexed: true,
+    });
     Ok(())
 }
 

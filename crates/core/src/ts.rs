@@ -54,12 +54,18 @@ impl SharedTs {
         let inner = match method {
             TsMethod::Mutex => Shared::Mutex(Mutex::new(0)),
             TsMethod::Atomic | TsMethod::Hardware => Shared::Atomic(AtomicU64::new(0)),
-            TsMethod::Batched { batch } => {
-                Shared::Batched { counter: AtomicU64::new(0), batch: u64::from(batch.max(1)) }
-            }
-            TsMethod::Clock => Shared::Clock { epoch: Instant::now() },
+            TsMethod::Batched { batch } => Shared::Batched {
+                counter: AtomicU64::new(0),
+                batch: u64::from(batch.max(1)),
+            },
+            TsMethod::Clock => Shared::Clock {
+                epoch: Instant::now(),
+            },
         };
-        Self { inner: Arc::new(inner), method }
+        Self {
+            inner: Arc::new(inner),
+            method,
+        }
     }
 
     /// The configured method.
@@ -146,7 +152,10 @@ mod tests {
         for round in 0..1000 {
             for (w, h) in handles.iter_mut().enumerate() {
                 let ts = h.alloc();
-                assert!(ts > lasts[w], "worker {w} ts not increasing at round {round}");
+                assert!(
+                    ts > lasts[w],
+                    "worker {w} ts not increasing at round {round}"
+                );
                 lasts[w] = ts;
                 assert!(all.insert(ts), "duplicate ts {ts} ({method:?})");
             }

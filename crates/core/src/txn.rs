@@ -137,16 +137,16 @@ impl TxnState {
     /// stronger?
     pub fn holds(&self, table: TableId, row: RowIdx, mode: LockMode) -> bool {
         self.held.iter().any(|h| {
-            h.table == table
-                && h.row == row
-                && (h.mode == mode || h.mode == LockMode::Exclusive)
+            h.table == table && h.row == row && (h.mode == mode || h.mode == LockMode::Exclusive)
         })
     }
 
     /// Index into `wbuf` for `(table, row)`, if this transaction already
     /// buffered a write there.
     pub fn wbuf_idx(&self, table: TableId, row: RowIdx) -> Option<usize> {
-        self.wbuf.iter().position(|w| w.table == table && w.row == row)
+        self.wbuf
+            .iter()
+            .position(|w| w.table == table && w.row == row)
     }
 }
 
@@ -175,8 +175,16 @@ mod tests {
     #[test]
     fn holds_respects_mode_strength() {
         let mut st = TxnState::default();
-        st.held.push(HeldLock { table: 0, row: 3, mode: LockMode::Exclusive });
-        st.held.push(HeldLock { table: 0, row: 4, mode: LockMode::Shared });
+        st.held.push(HeldLock {
+            table: 0,
+            row: 3,
+            mode: LockMode::Exclusive,
+        });
+        st.held.push(HeldLock {
+            table: 0,
+            row: 4,
+            mode: LockMode::Shared,
+        });
         assert!(st.holds(0, 3, LockMode::Shared));
         assert!(st.holds(0, 3, LockMode::Exclusive));
         assert!(st.holds(0, 4, LockMode::Shared));
@@ -188,8 +196,16 @@ mod tests {
     fn reset_recycles_buffers() {
         let mut pool = abyss_storage::MemPool::new();
         let mut st = TxnState::default();
-        st.rbuf.push(ReadCopy { table: 0, row: 0, data: pool.alloc(64) });
-        st.wbuf.push(WriteEntry { table: 0, row: 1, data: pool.alloc(64) });
+        st.rbuf.push(ReadCopy {
+            table: 0,
+            row: 0,
+            data: pool.alloc(64),
+        });
+        st.wbuf.push(WriteEntry {
+            table: 0,
+            row: 1,
+            data: pool.alloc(64),
+        });
         let cached_before = pool.stats().cached;
         st.reset(&mut pool);
         assert!(st.rbuf.is_empty() && st.wbuf.is_empty());

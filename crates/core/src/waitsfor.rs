@@ -18,7 +18,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use abyss_common::{CoreId, TxnId, ids::TXN_NONE};
+use abyss_common::{ids::TXN_NONE, CoreId, TxnId};
 use crossbeam_utils::CachePadded;
 
 use crate::txn::worker_of;
@@ -60,12 +60,16 @@ impl WaitsFor {
     pub fn new(workers: u32) -> Self {
         let mut v = Vec::with_capacity(workers as usize);
         v.resize_with(workers as usize, CachePadded::default);
-        Self { slots: v.into_boxed_slice() }
+        Self {
+            slots: v.into_boxed_slice(),
+        }
     }
 
     /// Register `txn` as the active transaction of `worker` (at begin).
     pub fn set_active(&self, worker: CoreId, txn: TxnId) {
-        self.slots[worker as usize].active.store(txn, Ordering::Release);
+        self.slots[worker as usize]
+            .active
+            .store(txn, Ordering::Release);
     }
 
     /// Clear the active transaction (at commit/abort).

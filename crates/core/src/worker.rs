@@ -9,7 +9,7 @@ use abyss_common::{AbortReason, CcScheme, DbError, Key, PartId, RunStats, TableI
 use abyss_storage::{MemPool, Schema};
 
 use crate::db::Database;
-use crate::schemes::{hstore, mvcc, occ, timestamp, twopl, ReadRef, SchemeEnv};
+use crate::schemes::{hstore, mvcc, occ, silo, timestamp, twopl, ReadRef, SchemeEnv};
 use crate::ts::TsHandle;
 use crate::txn::{make_txn_id, TxnState};
 
@@ -61,6 +61,12 @@ pub struct WorkerCtx {
     in_txn: bool,
     /// Cheap xorshift state for abort backoff jitter.
     jitter: u64,
+    /// Consecutive scheduler aborts of the current template (drives the
+    /// exponential abort penalty; reset on commit).
+    consec_aborts: u32,
+    /// SILO: this worker's previous commit TID (epoch-composed, see
+    /// [`crate::epoch`]); successive commit TIDs are strictly increasing.
+    last_tid: u64,
 }
 
 impl WorkerCtx {
@@ -76,6 +82,8 @@ impl WorkerCtx {
             stats: RunStats::default(),
             in_txn: false,
             jitter: 0x9E37_79B9 ^ u64::from(worker) << 16 | 1,
+            consec_aborts: 0,
+            last_tid: 0,
         }
     }
 
@@ -93,6 +101,12 @@ impl WorkerCtx {
     /// none).
     pub fn current_ts(&self) -> Ts {
         self.st.ts
+    }
+
+    /// SILO: the TID of this worker's most recent commit (0 before the
+    /// first one). Other schemes always report 0.
+    pub fn last_commit_tid(&self) -> u64 {
+        self.last_tid
     }
 
     fn env(&mut self) -> SchemeEnv<'_> {
@@ -128,6 +142,10 @@ impl WorkerCtx {
         if scheme == CcScheme::DlDetect {
             self.db.waits.set_active(self.worker, self.st.txn_id);
         }
+        if scheme == CcScheme::Silo {
+            // Register in the current epoch (quiescence tracking).
+            self.db.epoch.enter(self.worker);
+        }
         self.in_txn = true;
         if scheme == CcScheme::HStore {
             let sorted = {
@@ -159,6 +177,7 @@ impl WorkerCtx {
             CcScheme::Mvcc => mvcc::read(&mut self.env(), table, row),
             CcScheme::Occ => occ::read(&mut self.env(), table, row),
             CcScheme::HStore => hstore::read(&mut self.env(), table, row),
+            CcScheme::Silo => silo::read(&mut self.env(), table, row),
         }?;
         Ok(match r {
             // SAFETY: the pointer targets the table arena; the scheme
@@ -194,6 +213,7 @@ impl WorkerCtx {
             CcScheme::Mvcc => mvcc::write(&mut self.env(), table, row, f),
             CcScheme::Occ => occ::write(&mut self.env(), table, row, f),
             CcScheme::HStore => hstore::write(&mut self.env(), table, row, f),
+            CcScheme::Silo => silo::write(&mut self.env(), table, row, f),
         }
         .map_err(TxnError::Abort)
     }
@@ -230,6 +250,7 @@ impl WorkerCtx {
             CcScheme::Mvcc => mvcc::insert(&mut self.env(), table, key, f),
             CcScheme::Occ => occ::insert(&mut self.env(), table, key, f),
             CcScheme::HStore => hstore::insert(&mut self.env(), table, key, f),
+            CcScheme::Silo => silo::insert(&mut self.env(), table, key, f),
         }
         .map_err(TxnError::Abort)
     }
@@ -255,6 +276,19 @@ impl WorkerCtx {
             CcScheme::HStore => {
                 hstore::commit(&mut self.env());
                 Ok(())
+            }
+            CcScheme::Silo => {
+                // No validation timestamp: the commit TID comes from the
+                // epoch subsystem plus per-tuple observations.
+                let last = self.last_tid;
+                let r = silo::commit(&mut self.env(), last);
+                match r {
+                    Ok(tid) => {
+                        self.last_tid = tid;
+                        Ok(())
+                    }
+                    Err(reason) => Err(reason),
+                }
             }
         };
         match result {
@@ -285,6 +319,7 @@ impl WorkerCtx {
             CcScheme::Mvcc => mvcc::abort(&mut self.env()),
             CcScheme::Occ => occ::abort(&mut self.env()),
             CcScheme::HStore => hstore::abort(&mut self.env()),
+            CcScheme::Silo => silo::abort(&mut self.env()),
         }
         self.finish();
     }
@@ -292,6 +327,9 @@ impl WorkerCtx {
     fn finish(&mut self) {
         if self.db.cfg.scheme == CcScheme::DlDetect {
             self.db.waits.clear_active(self.worker);
+        }
+        if self.db.cfg.scheme == CcScheme::Silo {
+            self.db.epoch.exit(self.worker);
         }
         self.st.reset(&mut self.pool);
         self.in_txn = false;
@@ -305,6 +343,8 @@ impl WorkerCtx {
         partitions: &[PartId],
         mut body: impl FnMut(&mut WorkerCtx) -> Result<R, TxnError>,
     ) -> Result<R, TxnError> {
+        // The abort penalty escalates per retry of *this* template only.
+        self.consec_aborts = 0;
         let mut reuse_ts = None;
         loop {
             match self.begin(partitions, reuse_ts) {
@@ -343,17 +383,33 @@ impl WorkerCtx {
         }
     }
 
-    /// Short randomized spin after an abort so restarted transactions do
-    /// not re-collide in lockstep (the paper's restart-in-same-worker model
-    /// with a minimal penalty).
+    /// Randomized abort penalty before a restart (the paper's
+    /// restart-in-same-worker model; DBx1000's `ABORT_PENALTY` is 25 µs).
+    ///
+    /// The first retry only spins briefly, but repeated aborts of the same
+    /// template escalate exponentially into real (descheduling) sleeps.
+    /// Without the escalation, hot-key restart storms under the T/O
+    /// schemes can livelock an oversubscribed host: every worker keeps
+    /// re-reading with a fresh timestamp, pushing the tuple's `rts` past
+    /// every concurrent writer, and no one ever commits.
     pub(crate) fn backoff(&mut self) {
+        self.consec_aborts = self.consec_aborts.saturating_add(1);
         self.jitter ^= self.jitter << 13;
         self.jitter ^= self.jitter >> 7;
         self.jitter ^= self.jitter << 17;
-        let spins = 64 + (self.jitter & 0x3FF);
-        for _ in 0..spins {
-            std::hint::spin_loop();
+        if self.consec_aborts <= 2 {
+            let spins = 64 + (self.jitter & 0x3FF);
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+            return;
         }
+        // Base 25 µs, doubling per consecutive abort up to 1.6 ms, then
+        // jittered into [base/2, 1.5·base) — worst case ≈ 2.4 ms.
+        let shift = (self.consec_aborts - 3).min(6);
+        let base_us = 25u64 << shift;
+        let us = base_us / 2 + self.jitter % base_us;
+        std::thread::sleep(Duration::from_micros(us));
     }
 }
 
@@ -432,7 +488,10 @@ pub fn run_workers(
     })
     .expect("worker scope");
 
-    BenchOutcome { stats: merged, wall }
+    BenchOutcome {
+        stats: merged,
+        wall,
+    }
 }
 
 #[cfg(test)]
@@ -485,10 +544,7 @@ mod tests {
             .run_txn(&[0, 1], |t| t.update_counter(0, 7, 1, 5))
             .unwrap();
         assert_eq!(old, 100);
-        assert_eq!(
-            ctx.run_txn(&[0, 1], |t| t.read_u64(0, 7, 1)).unwrap(),
-            105
-        );
+        assert_eq!(ctx.run_txn(&[0, 1], |t| t.read_u64(0, 7, 1)).unwrap(), 105);
         // insert then read back
         ctx.run_txn(&[0, 1], |t| {
             t.insert(0, 500, |s, r| {
@@ -533,6 +589,11 @@ mod tests {
     #[test]
     fn single_worker_hstore() {
         smoke_single_worker(CcScheme::HStore);
+    }
+
+    #[test]
+    fn single_worker_silo() {
+        smoke_single_worker(CcScheme::Silo);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Offline drop-in shim for the subset of `crossbeam-utils` this workspace
+//! uses: [`CachePadded`]. The build environment has no access to crates.io,
+//! so the workspace vendors the tiny API surface it needs.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so that neighbouring values never
+/// share a cache line (two 64-byte lines, covering adjacent-line
+/// prefetchers).
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value`.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_128() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

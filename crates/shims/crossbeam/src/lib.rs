@@ -1,0 +1,89 @@
+//! Offline drop-in shim for the subset of `crossbeam` this workspace uses:
+//! [`thread::scope`] with crossbeam's closure signature (`spawn` passes the
+//! scope back into the closure). The build environment has no access to
+//! crates.io, so the workspace vendors the tiny API surface it needs,
+//! implemented on std's scoped threads.
+
+pub use crossbeam_utils as utils;
+
+/// Scoped threads with crossbeam's API shape.
+pub mod thread {
+    /// Result type of [`scope`] and of joining a [`ScopedJoinHandle`].
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handed to the [`scope`] closure; spawn borrows through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives the
+        /// scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a thread spawned in a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before this returns. Unlike crossbeam (which
+    /// collects child panics into `Err`), a child panic propagates here —
+    /// every caller in this workspace unwraps the result anyway.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicU64::new(0);
+        super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                handles.push(s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed)));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let counter = AtomicU64::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! Offline drop-in shim for the subset of `parking_lot` this workspace
+//! uses: [`Mutex`], [`MutexGuard`] (including [`MutexGuard::map`]) and
+//! [`MappedMutexGuard`].
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny API surface it needs instead of depending on the real
+//! crate. The implementation is a test-and-test-and-set spin lock with
+//! exponential politeness (spin hints, then `yield_now`), which matches the
+//! short per-tuple / per-bucket critical sections the engine takes. No
+//! poisoning, like the real `parking_lot`.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The raw test-and-test-and-set lock under [`Mutex`].
+#[derive(Debug, Default)]
+struct RawSpin {
+    locked: AtomicBool,
+}
+
+impl RawSpin {
+    const fn new() -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    fn lock(&self) {
+        let mut spins = 0u32;
+        loop {
+            // Test-and-test-and-set: only attempt the RMW when the lock
+            // looks free, keeping the line shared while spinning.
+            if !self.locked.load(Ordering::Relaxed)
+                && self
+                    .locked
+                    .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+/// A mutual-exclusion primitive (spin-lock based, no poisoning).
+pub struct Mutex<T: ?Sized> {
+    raw: RawSpin,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            raw: RawSpin::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, spinning until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.raw.lock();
+        MutexGuard {
+            raw: &self.raw,
+            data: self.data.get(),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Try to acquire the lock without spinning.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if self.raw.try_lock() {
+            Some(MutexGuard {
+                raw: &self.raw,
+                data: self.data.get(),
+                _not_send: PhantomData,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard of a locked [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    raw: &'a RawSpin,
+    data: *mut T,
+    /// Guards must stay on the locking thread.
+    _not_send: PhantomData<*mut ()>,
+}
+
+unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Map the guard to a component of the protected data, transferring the
+    /// lock to the returned [`MappedMutexGuard`].
+    pub fn map<U: ?Sized, F>(mut this: Self, f: F) -> MappedMutexGuard<'a, U>
+    where
+        F: FnOnce(&mut T) -> &mut U,
+    {
+        let mapped: *mut U = f(&mut this);
+        let raw = this.raw;
+        std::mem::forget(this);
+        MappedMutexGuard {
+            raw,
+            data: mapped,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock, granting exclusive access.
+        unsafe { &*self.data }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.data }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.raw.unlock();
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A guard obtained through [`MutexGuard::map`].
+pub struct MappedMutexGuard<'a, T: ?Sized> {
+    raw: &'a RawSpin,
+    data: *mut T,
+    _not_send: PhantomData<*mut ()>,
+}
+
+unsafe impl<T: ?Sized + Sync> Sync for MappedMutexGuard<'_, T> {}
+
+impl<T: ?Sized> Deref for MappedMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock, granting exclusive access.
+        unsafe { &*self.data }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MappedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.data }
+    }
+}
+
+impl<T: ?Sized> Drop for MappedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.raw.unlock();
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MappedMutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = Mutex::new(());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn map_transfers_the_lock() {
+        let m = Mutex::new((1u64, 2u64));
+        {
+            let mut mapped = MutexGuard::map(m.lock(), |t| &mut t.1);
+            *mapped += 10;
+            assert!(m.try_lock().is_none(), "mapped guard must keep the lock");
+        }
+        assert_eq!(m.lock().1, 12);
+    }
+
+    #[test]
+    fn contended_counter_is_exact() {
+        let m = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 40_000);
+    }
+}

@@ -48,7 +48,11 @@ impl SimConfig {
             dl_timeout: Some(us_to_cycles(100)),
             dl_detect: true,
             mvcc_max_versions: 8,
-            hstore_parts: if scheme == CcScheme::HStore { cores.max(1) } else { 1 },
+            hstore_parts: if scheme == CcScheme::HStore {
+                cores.max(1)
+            } else {
+                1
+            },
             seed: 0xABBA_5EED,
         }
     }
@@ -56,7 +60,10 @@ impl SimConfig {
     /// Validate parameter sanity.
     pub fn validate(&self) -> Result<(), String> {
         if self.cores == 0 || self.cores > 1 << crate::exec::CORE_BITS {
-            return Err(format!("cores must be in 1..={}", 1u32 << crate::exec::CORE_BITS));
+            return Err(format!(
+                "cores must be in 1..={}",
+                1u32 << crate::exec::CORE_BITS
+            ));
         }
         if self.measure == 0 {
             return Err("measure window must be positive".into());

@@ -72,6 +72,12 @@ pub struct CostModel {
     /// Per-core loop overhead in the allocation micro-benchmark and the
     /// local cost of composing a clock timestamp.
     pub clock_read: u64,
+    /// Reading the global epoch at a SILO commit. The epoch is a
+    /// read-mostly cache line (one writer every tens of milliseconds), so
+    /// it replicates into every core's cache and the read is near-local —
+    /// flat, *not* scaled by the mesh, which is exactly why SILO escapes
+    /// the §4.3 allocator ceiling.
+    pub epoch_read: u64,
 }
 
 impl Default for CostModel {
@@ -92,6 +98,7 @@ impl Default for CostModel {
             mutex_service: 1_000,
             atomic_base: 22,
             clock_read: 90,
+            epoch_read: 12,
         }
     }
 }
@@ -113,7 +120,12 @@ impl BoundCosts {
         let mesh = Mesh::for_cores(cores);
         let l2_access = model.l2_base + mesh.avg_latency();
         let round_trip = mesh.avg_round_trip();
-        Self { model, mesh, l2_access, round_trip }
+        Self {
+            model,
+            mesh,
+            l2_access,
+            round_trip,
+        }
     }
 
     /// An L2 access to a random NUCA slice.
@@ -178,6 +190,13 @@ impl BoundCosts {
         self.model.wake_base + self.mesh.avg_latency()
     }
 
+    /// One read of the global epoch (SILO serialization point). Flat in
+    /// the core count — the line is read-mostly and replicates.
+    #[inline]
+    pub fn epoch_read(&self) -> u64 {
+        self.model.epoch_read
+    }
+
     /// Rollback cost for a transaction that had accumulated `work` cycles
     /// of useful work.
     #[inline]
@@ -224,6 +243,15 @@ mod tests {
         let c = BoundCosts::new(CostModel::default(), 64);
         assert!(c.undo_cost(10_000) < 10_000);
         assert!(c.undo_cost(10_000) > 5_000);
+    }
+
+    #[test]
+    fn epoch_read_does_not_scale_with_cores() {
+        let small = BoundCosts::new(CostModel::default(), 4);
+        let large = BoundCosts::new(CostModel::default(), 1024);
+        assert_eq!(small.epoch_read(), large.epoch_read());
+        // The whole point: cheaper than even one cross-chip round trip.
+        assert!(large.epoch_read() < large.round_trip());
     }
 
     #[test]

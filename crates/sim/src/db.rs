@@ -66,12 +66,16 @@ pub struct LockCc {
 impl LockCc {
     /// Compatible with every owner other than `me`?
     pub fn compatible(&self, mode: Mode, me: TxnId) -> bool {
-        self.owners.iter().all(|o| o.txn == me || o.mode.compatible(mode))
+        self.owners
+            .iter()
+            .all(|o| o.txn == me || o.mode.compatible(mode))
     }
 
     /// Is `txn` an owner at `mode` (or stronger)?
     pub fn owns(&self, txn: TxnId, mode: Mode) -> bool {
-        self.owners.iter().any(|o| o.txn == txn && (o.mode == mode || o.mode == Mode::X))
+        self.owners
+            .iter()
+            .any(|o| o.txn == txn && (o.mode == mode || o.mode == Mode::X))
     }
 
     /// Grant queued waiters that became compatible; returns their cores.
@@ -82,7 +86,11 @@ impl LockCc {
                 break;
             }
             self.waiters.pop_front();
-            self.owners.push(SimOwner { txn: w.txn, mode: w.mode, ts: w.ts });
+            self.owners.push(SimOwner {
+                txn: w.txn,
+                mode: w.mode,
+                ts: w.ts,
+            });
             woken.push(w.core);
         }
         woken
@@ -134,7 +142,9 @@ impl MvccCc {
 
     /// Another txn's prewrite in `(after, ts)`?
     pub fn pending_between(&self, after: Ts, ts: Ts, me: TxnId) -> bool {
-        self.prewrites.iter().any(|&(p, t)| p > after && p < ts && t != me)
+        self.prewrites
+            .iter()
+            .any(|&(p, t)| p > after && p < ts && t != me)
     }
 }
 
@@ -194,7 +204,11 @@ impl SimDb {
     /// Empty database over `tables` for `scheme`.
     pub fn new(scheme: CcScheme, tables: Vec<SimTable>) -> Self {
         let tuples = tables.iter().map(|_| FxHashMap::default()).collect();
-        Self { scheme, tables, tuples }
+        Self {
+            scheme,
+            tables,
+            tuples,
+        }
     }
 
     /// Row size of `table`.
@@ -213,7 +227,10 @@ impl SimDb {
                 m.versions.push_back((0, 0));
                 TupleCc::Mvcc(m)
             }
-            CcScheme::Occ => TupleCc::Occ(OccCc::default()),
+            // SILO shares OCC's per-tuple shape: the version counter stands
+            // in for the epoch-tagged TID word (the cost model, not the
+            // payload, is what distinguishes them in the simulator).
+            CcScheme::Occ | CcScheme::Silo => TupleCc::Occ(OccCc::default()),
             CcScheme::HStore => TupleCc::Plain,
         }
     }
@@ -224,7 +241,10 @@ impl SimDb {
         let scheme = self.scheme;
         self.tuples[table as usize]
             .entry(key)
-            .or_insert_with(|| Tuple { counter: init, cc: Self::fresh_cc(scheme) })
+            .or_insert_with(|| Tuple {
+                counter: init,
+                cc: Self::fresh_cc(scheme),
+            })
     }
 
     /// Does `(table, key)` already have materialized state?
@@ -241,7 +261,10 @@ impl SimDb {
         );
         let scheme = self.scheme;
         let init = self.tables[table as usize].counter_init;
-        let mut tuple = Tuple { counter: init, cc: Self::fresh_cc(scheme) };
+        let mut tuple = Tuple {
+            counter: init,
+            cc: Self::fresh_cc(scheme),
+        };
         if let TupleCc::Mvcc(m) = &mut tuple.cc {
             m.versions[0] = (creation_ts, creation_ts);
         }
@@ -277,7 +300,11 @@ pub struct SimPart {
 impl SimPart {
     /// Enqueue keeping ts order.
     pub fn enqueue(&mut self, ts: Ts, txn: TxnId, core: CoreId) {
-        let pos = self.queue.iter().position(|&(t, _, _)| t > ts).unwrap_or(self.queue.len());
+        let pos = self
+            .queue
+            .iter()
+            .position(|&(t, _, _)| t > ts)
+            .unwrap_or(self.queue.len());
         self.queue.insert(pos, (ts, txn, core));
     }
 
@@ -302,10 +329,16 @@ mod tests {
     fn db(scheme: CcScheme) -> SimDb {
         SimDb::new(
             scheme,
-            vec![SimTable { row_size: 1008, counter_init: 0 }, SimTable {
-                row_size: 95,
-                counter_init: 3000,
-            }],
+            vec![
+                SimTable {
+                    row_size: 1008,
+                    counter_init: 0,
+                },
+                SimTable {
+                    row_size: 95,
+                    counter_init: 3000,
+                },
+            ],
         )
     }
 
@@ -332,12 +365,31 @@ mod tests {
     #[test]
     fn lock_grant_order_is_fifo_compatible() {
         let mut q = LockCc {
-            owners: vec![SimOwner { txn: 1, mode: Mode::X, ts: 0 }],
+            owners: vec![SimOwner {
+                txn: 1,
+                mode: Mode::X,
+                ts: 0,
+            }],
             ..Default::default()
         };
-        q.waiters.push_back(SimWaiter { txn: 2, core: 2, mode: Mode::S, ts: 0 });
-        q.waiters.push_back(SimWaiter { txn: 3, core: 3, mode: Mode::S, ts: 0 });
-        q.waiters.push_back(SimWaiter { txn: 4, core: 4, mode: Mode::X, ts: 0 });
+        q.waiters.push_back(SimWaiter {
+            txn: 2,
+            core: 2,
+            mode: Mode::S,
+            ts: 0,
+        });
+        q.waiters.push_back(SimWaiter {
+            txn: 3,
+            core: 3,
+            mode: Mode::S,
+            ts: 0,
+        });
+        q.waiters.push_back(SimWaiter {
+            txn: 4,
+            core: 4,
+            mode: Mode::X,
+            ts: 0,
+        });
         assert!(q.grant_ready().is_empty(), "X owner blocks everyone");
         q.remove(1);
         // Both readers granted together; writer still blocked behind them.
@@ -360,7 +412,10 @@ mod tests {
 
     #[test]
     fn mvcc_visibility_and_pending() {
-        let mut m = MvccCc { versions: [(0, 0), (10, 12)].into(), ..Default::default() };
+        let mut m = MvccCc {
+            versions: [(0, 0), (10, 12)].into(),
+            ..Default::default()
+        };
         assert_eq!(m.visible(5), Some(0));
         assert_eq!(m.visible(10), Some(1));
         m.prewrites.push((7, 9));
@@ -370,7 +425,10 @@ mod tests {
 
     #[test]
     fn partition_grants_oldest_first() {
-        let mut p = SimPart { busy: Some(1), ..Default::default() };
+        let mut p = SimPart {
+            busy: Some(1),
+            ..Default::default()
+        };
         p.enqueue(30, 3, 3);
         p.enqueue(10, 2, 2);
         p.enqueue(20, 4, 4);

@@ -4,7 +4,7 @@ use abyss_common::{RunStats, TxnTemplate};
 
 use crate::config::SimConfig;
 use crate::cost::cycles_to_secs;
-use crate::db::SimTable;
+use crate::db::{SimDb, SimTable};
 use crate::exec::Sim;
 use crate::kernel::EventKind;
 
@@ -48,6 +48,18 @@ pub fn run_sim(
     tables: Vec<SimTable>,
     gens: Vec<Box<dyn FnMut() -> TxnTemplate>>,
 ) -> SimReport {
+    run_sim_full(cfg, tables, gens).0
+}
+
+/// Like [`run_sim`], additionally returning the final simulated database
+/// so callers can inspect post-run tuple state (e.g. the lost-update
+/// checks in the behavioural tests: a hot counter must equal its initial
+/// value plus the committed bumps).
+pub fn run_sim_full(
+    cfg: SimConfig,
+    tables: Vec<SimTable>,
+    gens: Vec<Box<dyn FnMut() -> TxnTemplate>>,
+) -> (SimReport, SimDb) {
     cfg.validate().expect("invalid sim config");
     let warmup = cfg.warmup;
     let end = cfg.warmup + cfg.measure;
@@ -86,22 +98,28 @@ pub fn run_sim(
     for c in sim.cores.iter_mut() {
         if c.parked {
             let since = c.blocked_since.max(warmup);
-            c.stats
-                .breakdown
-                .record(abyss_common::stats::Category::Wait, end.saturating_sub(since));
+            c.stats.breakdown.record(
+                abyss_common::stats::Category::Wait,
+                end.saturating_sub(since),
+            );
         }
         c.stats.elapsed = measure;
         merged.merge(&c.stats);
     }
     merged.ts_allocated = merged.ts_allocated.max(sim.ts.allocated);
-    SimReport { stats: merged, cores, materialized_tuples: sim.db.materialized() }
+    let report = SimReport {
+        stats: merged,
+        cores,
+        materialized_tuples: sim.db.materialized(),
+    };
+    (report, sim.db)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use abyss_common::{AccessOp, AccessSpec, CcScheme, TxnTemplate};
     use abyss_common::rng::Xoshiro256;
+    use abyss_common::{AccessOp, AccessSpec, CcScheme, TxnTemplate};
 
     fn gen(seed: u64, rows: u64, reqs: usize, write_pct: f64) -> Box<dyn FnMut() -> TxnTemplate> {
         let mut rng = Xoshiro256::seed_from(seed);
@@ -115,7 +133,11 @@ mod tests {
                 }
             }
             for &k in &keys {
-                let op = if rng.chance(write_pct) { AccessOp::Update } else { AccessOp::Read };
+                let op = if rng.chance(write_pct) {
+                    AccessOp::Update
+                } else {
+                    AccessOp::Read
+                };
                 acc.push(AccessSpec::fixed(0, k, op));
             }
             TxnTemplate::new(acc)
@@ -123,7 +145,10 @@ mod tests {
     }
 
     fn table() -> Vec<SimTable> {
-        vec![SimTable { row_size: 1008, counter_init: 0 }]
+        vec![SimTable {
+            row_size: 1008,
+            counter_init: 0,
+        }]
     }
 
     fn quick_cfg(scheme: CcScheme, cores: u32) -> SimConfig {
@@ -134,7 +159,9 @@ mod tests {
     }
 
     fn run(scheme: CcScheme, cores: u32, rows: u64, write_pct: f64) -> SimReport {
-        let gens = (0..cores).map(|i| gen(1000 + u64::from(i), rows, 8, write_pct)).collect();
+        let gens = (0..cores)
+            .map(|i| gen(1000 + u64::from(i), rows, 8, write_pct))
+            .collect();
         run_sim(quick_cfg(scheme, cores), table(), gens)
     }
 
@@ -142,7 +169,11 @@ mod tests {
     fn every_scheme_commits_work() {
         for scheme in CcScheme::ALL {
             let r = run(scheme, 4, 100_000, 0.5);
-            assert!(r.stats.commits > 100, "{scheme}: only {} commits", r.stats.commits);
+            assert!(
+                r.stats.commits > 100,
+                "{scheme}: only {} commits",
+                r.stats.commits
+            );
         }
     }
 
@@ -174,7 +205,10 @@ mod tests {
     #[test]
     fn no_wait_aborts_under_contention() {
         let r = run(CcScheme::NoWait, 8, 16, 0.9);
-        assert!(r.stats.total_aborts() > 0, "NO_WAIT must abort on conflicts");
+        assert!(
+            r.stats.total_aborts() > 0,
+            "NO_WAIT must abort on conflicts"
+        );
     }
 
     #[test]

@@ -237,7 +237,16 @@ impl Sim {
         let mut parts = Vec::new();
         parts.resize_with(cfg.hstore_parts as usize, SimPart::default);
         let cores = (0..cfg.cores).map(CoreSim::new).collect();
-        Self { cfg, costs, db, ts, parts, cores, q: EventQueue::new(), gens }
+        Self {
+            cfg,
+            costs,
+            db,
+            ts,
+            parts,
+            cores,
+            q: EventQueue::new(),
+            gens,
+        }
     }
 
     /// Kick every core off at cycle 0.
@@ -250,7 +259,8 @@ impl Sim {
     fn sched(&mut self, ci: usize, at: Cycles) {
         let c = &mut self.cores[ci];
         c.epoch += 1;
-        self.q.push(at, ci as u32, EventKind::Step { epoch: c.epoch });
+        self.q
+            .push(at, ci as u32, EventKind::Step { epoch: c.epoch });
     }
 
     /// Wake a *parked* core at `at` (also invalidates its timeout).
@@ -274,7 +284,8 @@ impl Sim {
         if timeout {
             if let Some(t) = self.cfg.dl_timeout {
                 let epoch = c.wait_epoch;
-                self.q.push(now + t, ci as u32, EventKind::Timeout { wait_epoch: epoch });
+                self.q
+                    .push(now + t, ci as u32, EventKind::Timeout { wait_epoch: epoch });
             }
         }
     }
@@ -335,12 +346,8 @@ impl Sim {
                             let mut txn = TxnRun::new(tmpl, id);
                             if scheme == CcScheme::HStore {
                                 let parts_n = self.cfg.hstore_parts;
-                                let mut p: Vec<u32> = txn
-                                    .tmpl
-                                    .partitions
-                                    .iter()
-                                    .map(|&w| w % parts_n)
-                                    .collect();
+                                let mut p: Vec<u32> =
+                                    txn.tmpl.partitions.iter().map(|&w| w % parts_n).collect();
                                 p.sort_unstable();
                                 p.dedup();
                                 txn.parts = p;
@@ -452,8 +459,10 @@ impl Sim {
                 }
                 Phase::AbortDone => {
                     self.abort_done(ci, now);
-                    let reason =
-                        self.cores[ci].txn.abort_reason.expect("abort without a reason");
+                    let reason = self.cores[ci]
+                        .txn
+                        .abort_reason
+                        .expect("abort without a reason");
                     self.cores[ci].stats.record_abort(reason);
                     self.cores[ci].phase = Phase::Fetch;
                     if reason == AbortReason::UserAbort {
@@ -531,7 +540,7 @@ impl Sim {
             }
             CcScheme::Timestamp => self.cc_timestamp(ci, table, key, op),
             CcScheme::Mvcc => self.cc_mvcc(ci, table, key, op),
-            CcScheme::Occ => self.cc_occ(ci, table, key, op),
+            CcScheme::Occ | CcScheme::Silo => self.cc_occ(ci, table, key, op),
             CcScheme::HStore => self.cc_hstore(ci, table, key, op),
         };
         match out {
@@ -566,11 +575,18 @@ impl Sim {
         };
         if matches!(op, AccessOp::Insert) {
             if self.db.exists(table, key) {
-                return Out::Abort { cost, reason: AbortReason::LockConflict };
+                return Out::Abort {
+                    cost,
+                    reason: AbortReason::LockConflict,
+                };
             }
             self.db.create(table, key, my_ts);
             if let TupleCc::Lock(q) = &mut self.db.tuple(table, key).cc {
-                q.owners.push(SimOwner { txn: me, mode: Mode::X, ts: my_ts });
+                q.owners.push(SimOwner {
+                    txn: me,
+                    mode: Mode::X,
+                    ts: my_ts,
+                });
             }
             let t = &mut self.cores[ci].txn;
             t.held.push((table, key, Mode::X));
@@ -601,18 +617,31 @@ impl Sim {
                 self.apply_inplace_effects(ci, table, key, op, counter);
                 return Out::Granted { cost, copy: true };
             }
-            return Out::Abort { cost, reason: AbortReason::LockConflict };
+            return Out::Abort {
+                cost,
+                reason: AbortReason::LockConflict,
+            };
         }
         let compatible = q.compatible(mode, me);
         let fifo_clear = scheme != CcScheme::DlDetect || q.waiters.is_empty();
         if compatible && fifo_clear {
-            q.owners.push(SimOwner { txn: me, mode, ts: my_ts });
+            q.owners.push(SimOwner {
+                txn: me,
+                mode,
+                ts: my_ts,
+            });
             self.cores[ci].txn.held.push((table, key, mode));
             self.apply_inplace_effects(ci, table, key, op, counter);
-            return Out::Granted { cost, copy: op.is_write() };
+            return Out::Granted {
+                cost,
+                copy: op.is_write(),
+            };
         }
         match scheme {
-            CcScheme::NoWait => Out::Abort { cost, reason: AbortReason::LockConflict },
+            CcScheme::NoWait => Out::Abort {
+                cost,
+                reason: AbortReason::LockConflict,
+            },
             CcScheme::WaitDie => {
                 let youngest = q
                     .owners
@@ -622,28 +651,53 @@ impl Sim {
                     .min()
                     .expect("conflicting owner exists");
                 if my_ts >= youngest {
-                    return Out::Abort { cost, reason: AbortReason::WaitDieKilled };
+                    return Out::Abort {
+                        cost,
+                        reason: AbortReason::WaitDieKilled,
+                    };
                 }
-                let w = SimWaiter { txn: me, core: ci as u32, mode, ts: my_ts };
-                let pos =
-                    q.waiters.iter().position(|x| x.ts > my_ts).unwrap_or(q.waiters.len());
+                let w = SimWaiter {
+                    txn: me,
+                    core: ci as u32,
+                    mode,
+                    ts: my_ts,
+                };
+                let pos = q
+                    .waiters
+                    .iter()
+                    .position(|x| x.ts > my_ts)
+                    .unwrap_or(q.waiters.len());
                 q.waiters.insert(pos, w);
-                Out::Parked { cost, timeout: false }
+                Out::Parked {
+                    cost,
+                    timeout: false,
+                }
             }
             CcScheme::DlDetect => {
-                q.waiters.push_back(SimWaiter { txn: me, core: ci as u32, mode, ts: my_ts });
+                q.waiters.push_back(SimWaiter {
+                    txn: me,
+                    core: ci as u32,
+                    mode,
+                    ts: my_ts,
+                });
                 if self.cfg.dl_detect {
                     if let Some(victim) = self.find_deadlock_victim(me, table, key) {
                         if victim == me {
                             if let TupleCc::Lock(q) = &mut self.db.tuple(table, key).cc {
                                 q.waiters.retain(|w| w.txn != me);
                             }
-                            return Out::Abort { cost, reason: AbortReason::Deadlock };
+                            return Out::Abort {
+                                cost,
+                                reason: AbortReason::Deadlock,
+                            };
                         }
                         self.abort_parked_victim(victim, now);
                     }
                 }
-                Out::Parked { cost, timeout: true }
+                Out::Parked {
+                    cost,
+                    timeout: true,
+                }
             }
             _ => unreachable!(),
         }
@@ -651,7 +705,14 @@ impl Sim {
 
     /// Apply in-place effects (2PL/H-STORE) once a write is admitted:
     /// counter capture+bump for `UpdateCounter`.
-    fn apply_inplace_effects(&mut self, ci: usize, table: u32, key: Key, op: AccessOp, counter: u64) {
+    fn apply_inplace_effects(
+        &mut self,
+        ci: usize,
+        table: u32,
+        key: Key,
+        op: AccessOp,
+        counter: u64,
+    ) {
         if let AccessOp::UpdateCounter { slot } = op {
             let t = &mut self.cores[ci].txn;
             if !t.counter_undo.contains(&(table, key)) {
@@ -673,7 +734,12 @@ impl Sim {
             return Out::Granted { cost, copy: true };
         }
         // Read-own-write is served from the workspace.
-        if self.cores[ci].txn.wbuf.iter().any(|w| w.table == table && w.key == key) {
+        if self.cores[ci]
+            .txn
+            .wbuf
+            .iter()
+            .any(|w| w.table == table && w.key == key)
+        {
             return Out::Granted { cost, copy: false };
         }
         let counter = self.db.tuple(table, key).counter;
@@ -683,22 +749,34 @@ impl Sim {
         match op {
             AccessOp::Read => {
                 if ts < s.wts {
-                    return Out::Abort { cost, reason: AbortReason::TsOrderViolation };
+                    return Out::Abort {
+                        cost,
+                        reason: AbortReason::TsOrderViolation,
+                    };
                 }
                 if s.pending_below(ts, me) {
                     s.waiters.push(ci as u32);
-                    return Out::Parked { cost, timeout: false };
+                    return Out::Parked {
+                        cost,
+                        timeout: false,
+                    };
                 }
                 s.rts = s.rts.max(ts);
                 Out::Granted { cost, copy: true }
             }
             AccessOp::Update | AccessOp::UpdateCounter { .. } => {
                 if ts < s.wts || ts < s.rts {
-                    return Out::Abort { cost, reason: AbortReason::TsOrderViolation };
+                    return Out::Abort {
+                        cost,
+                        reason: AbortReason::TsOrderViolation,
+                    };
                 }
                 if s.pending_below(ts, me) {
                     s.waiters.push(ci as u32);
-                    return Out::Parked { cost, timeout: false };
+                    return Out::Parked {
+                        cost,
+                        timeout: false,
+                    };
                 }
                 s.rts = s.rts.max(ts);
                 s.prewrites.push((ts, me));
@@ -708,7 +786,11 @@ impl Sim {
                     t.counters[slot as usize] = counter;
                 }
                 t.prewrites.push((table, key));
-                t.wbuf.push(WriteRec { table, key, counter_bump: bump });
+                t.wbuf.push(WriteRec {
+                    table,
+                    key,
+                    counter_bump: bump,
+                });
                 Out::Granted { cost, copy: true }
             }
             AccessOp::Insert => unreachable!(),
@@ -725,7 +807,12 @@ impl Sim {
             self.cores[ci].txn.pending_inserts.push((table, key));
             return Out::Granted { cost, copy: true };
         }
-        if self.cores[ci].txn.wbuf.iter().any(|w| w.table == table && w.key == key) {
+        if self.cores[ci]
+            .txn
+            .wbuf
+            .iter()
+            .any(|w| w.table == table && w.key == key)
+        {
             return Out::Granted { cost, copy: false };
         }
         let counter = self.db.tuple(table, key).counter;
@@ -733,28 +820,43 @@ impl Sim {
             unreachable!("MVCC tuple state")
         };
         let Some(vi) = m.visible(ts) else {
-            return Out::Abort { cost, reason: AbortReason::TsOrderViolation };
+            return Out::Abort {
+                cost,
+                reason: AbortReason::TsOrderViolation,
+            };
         };
         let (vwts, vrts) = m.versions[vi];
         match op {
             AccessOp::Read => {
                 if m.pending_between(vwts, ts, me) {
                     m.waiters.push(ci as u32);
-                    return Out::Parked { cost, timeout: false };
+                    return Out::Parked {
+                        cost,
+                        timeout: false,
+                    };
                 }
                 m.versions[vi].1 = vrts.max(ts);
                 Out::Granted { cost, copy: true }
             }
             AccessOp::Update | AccessOp::UpdateCounter { .. } => {
                 if vi != m.versions.len() - 1 || vrts > ts {
-                    return Out::Abort { cost, reason: AbortReason::MvccWriteConflict };
+                    return Out::Abort {
+                        cost,
+                        reason: AbortReason::MvccWriteConflict,
+                    };
                 }
                 if m.pending_between(vwts, ts, me) {
                     m.waiters.push(ci as u32);
-                    return Out::Parked { cost, timeout: false };
+                    return Out::Parked {
+                        cost,
+                        timeout: false,
+                    };
                 }
                 if m.prewrites.iter().any(|&(p, t2)| p > ts && t2 != me) {
-                    return Out::Abort { cost, reason: AbortReason::MvccWriteConflict };
+                    return Out::Abort {
+                        cost,
+                        reason: AbortReason::MvccWriteConflict,
+                    };
                 }
                 m.versions[vi].1 = vrts.max(ts);
                 m.prewrites.push((ts, me));
@@ -764,7 +866,11 @@ impl Sim {
                     t.counters[slot as usize] = counter;
                 }
                 t.prewrites.push((table, key));
-                t.wbuf.push(WriteRec { table, key, counter_bump: bump });
+                t.wbuf.push(WriteRec {
+                    table,
+                    key,
+                    counter_bump: bump,
+                });
                 Out::Granted { cost, copy: true }
             }
             AccessOp::Insert => unreachable!(),
@@ -778,7 +884,12 @@ impl Sim {
             self.cores[ci].txn.pending_inserts.push((table, key));
             return Out::Granted { cost, copy: true };
         }
-        if self.cores[ci].txn.wbuf.iter().any(|w| w.table == table && w.key == key) {
+        if self.cores[ci]
+            .txn
+            .wbuf
+            .iter()
+            .any(|w| w.table == table && w.key == key)
+        {
             return Out::Granted { cost, copy: false };
         }
         let counter = self.db.tuple(table, key).counter;
@@ -788,7 +899,10 @@ impl Sim {
         if o.locked_by.is_some_and(|t| t != me) {
             // A committer is installing: the seqlock read spins.
             o.waiters.push(ci as u32);
-            return Out::Parked { cost, timeout: false };
+            return Out::Parked {
+                cost,
+                timeout: false,
+            };
         }
         let version = o.version;
         let t = &mut self.cores[ci].txn;
@@ -798,7 +912,11 @@ impl Sim {
             if let AccessOp::UpdateCounter { slot } = op {
                 t.counters[slot as usize] = counter;
             }
-            t.wbuf.push(WriteRec { table, key, counter_bump: bump });
+            t.wbuf.push(WriteRec {
+                table,
+                key,
+                counter_bump: bump,
+            });
         }
         Out::Granted { cost, copy: true }
     }
@@ -810,7 +928,10 @@ impl Sim {
         match op {
             AccessOp::Insert => {
                 if self.db.exists(table, key) {
-                    return Out::Abort { cost, reason: AbortReason::LockConflict };
+                    return Out::Abort {
+                        cost,
+                        reason: AbortReason::LockConflict,
+                    };
                 }
                 self.db.create(table, key, ts);
                 self.cores[ci].txn.applied_inserts.push((table, key));
@@ -853,9 +974,8 @@ impl Sim {
                         .sum();
                     (t.prewrites.len(), t.pending_inserts.len(), rows)
                 };
-                let cost = self.costs.release_cost(nw)
-                    + rows
-                    + ni as u64 * self.costs.index_probe();
+                let cost =
+                    self.costs.release_cost(nw) + rows + ni as u64 * self.costs.index_probe();
                 self.charge(ci, Category::Manager, cost);
                 self.cores[ci].phase = Phase::CommitDone;
                 self.sched(ci, now + cost);
@@ -870,6 +990,16 @@ impl Sim {
                 self.sched(ci, grant.ready_at);
                 true
             }
+            CcScheme::Silo => {
+                // No allocator trip at all: the serialization point is one
+                // read of the read-mostly global epoch line, then the same
+                // distributed validation OCC performs.
+                let cost = self.costs.epoch_read();
+                self.charge(ci, Category::Manager, cost);
+                self.cores[ci].phase = Phase::OccValidate;
+                self.sched(ci, now + cost);
+                true
+            }
         }
     }
 
@@ -880,7 +1010,9 @@ impl Sim {
         // Foreign validation latch on any write target ⇒ wait (Silo spins).
         let mut blocked = None;
         for w in &wbuf {
-            let TupleCc::Occ(o) = self.db_tuple_ref(w.table, w.key) else { unreachable!() };
+            let TupleCc::Occ(o) = self.db_tuple_ref(w.table, w.key) else {
+                unreachable!()
+            };
             if o.locked_by.is_some_and(|l| l != me) {
                 blocked = Some((w.table, w.key));
                 break;
@@ -904,7 +1036,9 @@ impl Sim {
         let rset: Vec<(u32, Key, u64)> = self.cores[ci].txn.rset.clone();
         let mut ok = true;
         for (table, key, ver) in &rset {
-            let TupleCc::Occ(o) = self.db_tuple_ref(*table, *key) else { unreachable!() };
+            let TupleCc::Occ(o) = self.db_tuple_ref(*table, *key) else {
+                unreachable!()
+            };
             if o.version != *ver || o.locked_by.is_some_and(|l| l != me) {
                 ok = false;
                 break;
@@ -999,7 +1133,7 @@ impl Sim {
                     }
                 }
             }
-            CcScheme::Occ => {
+            CcScheme::Occ | CcScheme::Silo => {
                 let ts = self.cores[ci].txn.ts;
                 let wbuf = std::mem::take(&mut self.cores[ci].txn.wbuf);
                 for w in wbuf {
@@ -1074,7 +1208,7 @@ impl Sim {
                     }
                 }
             }
-            CcScheme::Occ => {
+            CcScheme::Occ | CcScheme::Silo => {
                 if self.cores[ci].txn.occ_locked {
                     let wbuf = self.cores[ci].txn.wbuf.clone();
                     for w in wbuf {
@@ -1136,7 +1270,9 @@ impl Sim {
     }
 
     fn edges_of(&mut self, waiter: TxnId, table: u32, key: Key) -> Vec<TxnId> {
-        let TupleCc::Lock(q) = &self.db.tuple(table, key).cc else { return Vec::new() };
+        let TupleCc::Lock(q) = &self.db.tuple(table, key).cc else {
+            return Vec::new();
+        };
         let mode = q
             .waiters
             .iter()
@@ -1182,7 +1318,9 @@ impl Sim {
             if c.txn.txn_id != next || !c.parked {
                 continue;
             }
-            let Some((t2, k2)) = c.waiting_on else { continue };
+            let Some((t2, k2)) = c.waiting_on else {
+                continue;
+            };
             path.push(next);
             if self.dfs_cycle(start, t2, k2, next, path, visited) {
                 return true;

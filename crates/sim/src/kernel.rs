@@ -58,7 +58,12 @@ impl EventQueue {
     /// Schedule `kind` for `core` at `time`.
     pub fn push(&mut self, time: Cycles, core: u32, kind: EventKind) {
         self.seq += 1;
-        self.heap.push(Reverse(Event { time, seq: self.seq, core, kind }));
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            core,
+            kind,
+        }));
     }
 
     /// Pop the earliest event.

@@ -35,6 +35,6 @@ pub mod tsalloc;
 
 pub use config::SimConfig;
 pub use cost::{CostModel, FREQ_HZ};
-pub use db::SimTable;
-pub use driver::{run_sim, SimReport};
+pub use db::{SimDb, SimTable};
+pub use driver::{run_sim, run_sim_full, SimReport};
 pub use tsalloc::microbench;

@@ -16,7 +16,10 @@ impl Mesh {
     /// The smallest square mesh covering `cores` tiles.
     pub fn for_cores(cores: u32) -> Self {
         let dim = (cores as f64).sqrt().ceil() as u32;
-        Self { dim: dim.max(1), hop_cycles: 2 }
+        Self {
+            dim: dim.max(1),
+            hop_cycles: 2,
+        }
     }
 
     /// Tile coordinates of core `c`.

@@ -86,7 +86,10 @@ impl TsAllocSim {
                 // (clock ‖ core id); the shared counter here only provides
                 // a convenient total order for the CC logic.
                 self.counter += 1;
-                TsGrant { ts: self.counter, ready_at: now + self.latency }
+                TsGrant {
+                    ts: self.counter,
+                    ready_at: now + self.latency,
+                }
             }
             TsMethod::Batched { batch } => {
                 let b = &mut self.batches[core as usize];
@@ -103,14 +106,20 @@ impl TsAllocSim {
                 let ts = b.0;
                 b.0 += 1;
                 // Local hand-out: just the loop overhead.
-                TsGrant { ts, ready_at: now + 1 }
+                TsGrant {
+                    ts,
+                    ready_at: now + 1,
+                }
             }
             _ => {
                 self.counter += 1;
                 let start = (now + self.latency).max(self.server_free);
                 let done = start + self.service;
                 self.server_free = done;
-                TsGrant { ts: self.counter, ready_at: done }
+                TsGrant {
+                    ts: self.counter,
+                    ready_at: done,
+                }
             }
         }
     }
@@ -181,7 +190,10 @@ mod tests {
         let g1 = a.alloc(0, 0);
         let g2 = a.alloc(1, 0);
         assert!(g2.ready_at > g1.ready_at);
-        assert_eq!(g2.ready_at - g1.ready_at, c.model.atomic_base + c.round_trip());
+        assert_eq!(
+            g2.ready_at - g1.ready_at,
+            c.model.atomic_base + c.round_trip()
+        );
     }
 
     #[test]
@@ -190,7 +202,10 @@ mod tests {
         let mut a = TsAllocSim::new(TsMethod::Clock, &c, 1024);
         let g1 = a.alloc(0, 0);
         let g2 = a.alloc(1, 0);
-        assert_eq!(g1.ready_at, g2.ready_at, "clock allocations are independent");
+        assert_eq!(
+            g1.ready_at, g2.ready_at,
+            "clock allocations are independent"
+        );
     }
 
     #[test]
@@ -224,7 +239,13 @@ mod tests {
         // ~10M at 1024 as the round trip grows.
         let small = microbench(TsMethod::Atomic, 8, &costs(8), 500_000);
         let large = microbench(TsMethod::Atomic, 1024, &costs(1024), 500_000);
-        assert!(small > large, "atomic should decline: {small:.0} vs {large:.0}");
-        assert!((20e6..60e6).contains(&small), "small-core atomic {small:.0}");
+        assert!(
+            small > large,
+            "atomic should decline: {small:.0} vs {large:.0}"
+        );
+        assert!(
+            (20e6..60e6).contains(&small),
+            "small-core atomic {small:.0}"
+        );
     }
 }

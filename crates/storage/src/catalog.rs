@@ -19,7 +19,10 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// A new column definition.
     pub fn new(name: impl Into<String>, width: usize) -> Self {
-        Self { name: name.into(), width }
+        Self {
+            name: name.into(),
+            width,
+        }
     }
 
     /// A `u64` column.
@@ -45,7 +48,11 @@ impl Schema {
             offsets.push(off);
             off += c.width;
         }
-        Self { columns, offsets, row_size: off }
+        Self {
+            columns,
+            offsets,
+            row_size: off,
+        }
     }
 
     /// Convenience: a YCSB-style schema of `n` data columns of `width` bytes
@@ -122,14 +129,14 @@ impl Catalog {
     }
 
     /// Add a table; returns its id.
-    pub fn add_table(
-        &mut self,
-        name: impl Into<String>,
-        schema: Schema,
-        capacity: u64,
-    ) -> TableId {
+    pub fn add_table(&mut self, name: impl Into<String>, schema: Schema, capacity: u64) -> TableId {
         let id = self.tables.len() as TableId;
-        self.tables.push(TableDef { id, name: name.into(), schema, capacity });
+        self.tables.push(TableDef {
+            id,
+            name: name.into(),
+            schema,
+            capacity,
+        });
         id
     }
 

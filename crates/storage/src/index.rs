@@ -34,7 +34,11 @@ impl HashIndex {
         let n = want.next_power_of_two();
         let mut v = Vec::with_capacity(n as usize);
         v.resize_with(n as usize, Mutex::default);
-        Self { table, mask: n - 1, buckets: v.into_boxed_slice() }
+        Self {
+            table,
+            mask: n - 1,
+            buckets: v.into_boxed_slice(),
+        }
     }
 
     #[inline]
@@ -46,7 +50,10 @@ impl HashIndex {
     pub fn insert(&self, key: Key, row: RowIdx) -> Result<(), DbError> {
         let mut b = self.bucket(key).lock();
         if b.entries.iter().any(|&(k, _)| k == key) {
-            return Err(DbError::DuplicateKey { table: self.table, key });
+            return Err(DbError::DuplicateKey {
+                table: self.table,
+                key,
+            });
         }
         b.entries.push((key, row));
         Ok(())
@@ -59,7 +66,10 @@ impl HashIndex {
             .iter()
             .find(|&&(k, _)| k == key)
             .map(|&(_, r)| r)
-            .ok_or(DbError::KeyNotFound { table: self.table, key })
+            .ok_or(DbError::KeyNotFound {
+                table: self.table,
+                key,
+            })
     }
 
     /// Look up `key`, returning `None` when absent.
@@ -87,7 +97,11 @@ impl HashIndex {
 
     /// Length of the longest chain (diagnostics; load-factor checks).
     pub fn max_chain(&self) -> usize {
-        self.buckets.iter().map(|b| b.lock().entries.len()).max().unwrap_or(0)
+        self.buckets
+            .iter()
+            .map(|b| b.lock().entries.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -123,7 +137,11 @@ mod tests {
             idx.insert(k, k).unwrap();
         }
         assert_eq!(idx.len(), 10_000);
-        assert!(idx.max_chain() <= 16, "max chain {} too long", idx.max_chain());
+        assert!(
+            idx.max_chain() <= 16,
+            "max chain {} too long",
+            idx.max_chain()
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ impl MemPool {
     fn class_for(size: usize) -> usize {
         let rounded = size.max(MIN_CLASS).next_power_of_two();
         let class = rounded.trailing_zeros() as usize - MIN_CLASS.trailing_zeros() as usize;
-        assert!(class < NUM_CLASSES, "allocation of {size} bytes exceeds largest pool class");
+        assert!(
+            class < NUM_CLASSES,
+            "allocation of {size} bytes exceeds largest pool class"
+        );
         class
     }
 
@@ -128,7 +131,10 @@ impl MemPool {
             self.stats.cached += 1;
         }
         self.stats.refilled_blocks += n as u64;
-        PoolBlock { buf: vec![0u8; bytes].into_boxed_slice(), class }
+        PoolBlock {
+            buf: vec![0u8; bytes].into_boxed_slice(),
+            class,
+        }
     }
 
     /// Return a block to its free list. The contents are *not* rezeroed.
@@ -190,7 +196,10 @@ mod tests {
             live.push(p.alloc(64));
         }
         assert_eq!(p.stats().misses, 2);
-        assert_eq!(p.stats().refilled_blocks, (INITIAL_BATCH + INITIAL_BATCH * 2) as u64);
+        assert_eq!(
+            p.stats().refilled_blocks,
+            (INITIAL_BATCH + INITIAL_BATCH * 2) as u64
+        );
     }
 
     #[test]

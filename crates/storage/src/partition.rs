@@ -87,7 +87,10 @@ mod tests {
     #[test]
     fn upper_bits_extracts_warehouse() {
         // TPC-C encoding: warehouse in bits 40.., per-warehouse payload below.
-        let m = PartitionMap::KeyUpperBits { parts: 4, shift: 40 };
+        let m = PartitionMap::KeyUpperBits {
+            parts: 4,
+            shift: 40,
+        };
         let key = (3u64 << 40) | 12345;
         assert_eq!(m.partition_of(key), 3);
         let key2 = (5u64 << 40) | 7; // warehouse 5 wraps to partition 1

@@ -53,7 +53,11 @@ mod tests {
     use crate::catalog::{ColumnDef, Schema};
 
     fn schema() -> Schema {
-        Schema::new(vec![ColumnDef::u64("id"), ColumnDef::new("pay", 10), ColumnDef::u64("ctr")])
+        Schema::new(vec![
+            ColumnDef::u64("id"),
+            ColumnDef::new("pay", 10),
+            ColumnDef::u64("ctr"),
+        ])
     }
 
     #[test]

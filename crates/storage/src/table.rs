@@ -207,7 +207,10 @@ mod tests {
                 got
             }));
         }
-        let mut all: Vec<RowIdx> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<RowIdx> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 4000, "row indexes must be unique");

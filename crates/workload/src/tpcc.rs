@@ -227,7 +227,11 @@ pub fn catalog(cfg: &TpccConfig) -> Catalog {
     // history 46, new-order 8, order 24, order-line 54, item 82, stock 306.
     c.add_table("warehouse", mk(73), w);
     c.add_table("district", mk(79), w * DISTRICTS_PER_WH);
-    c.add_table("customer", mk(639), w * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT);
+    c.add_table(
+        "customer",
+        mk(639),
+        w * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT,
+    );
     c.add_table("history", mk(30), orders_cap);
     c.add_table("new_order", mk(8), orders_cap);
     c.add_table("order", mk(8), orders_cap);
@@ -252,7 +256,13 @@ impl TpccGen {
     pub fn new(cfg: TpccConfig, worker: u32, seed: u64) -> Self {
         cfg.validate().expect("invalid TPC-C config");
         let home_wh = cfg.home_warehouse(worker);
-        Self { cfg, worker, home_wh, rng: Xoshiro256::seed_from(seed), history_seq: 0 }
+        Self {
+            cfg,
+            worker,
+            home_wh,
+            rng: Xoshiro256::seed_from(seed),
+            history_seq: 0,
+        }
     }
 
     /// The configuration in use.
@@ -290,7 +300,10 @@ impl TpccGen {
         let w = self.home_wh;
         let d = self.rng.next_below(DISTRICTS_PER_WH);
         let (cw, cd) = if self.rng.chance(self.cfg.remote_payment_pct) {
-            (self.remote_warehouse(), self.rng.next_below(DISTRICTS_PER_WH))
+            (
+                self.remote_warehouse(),
+                self.rng.next_below(DISTRICTS_PER_WH),
+            )
         } else {
             (w, d)
         };
@@ -300,7 +313,11 @@ impl TpccGen {
 
         let accesses = vec![
             AccessSpec::fixed(TpccTable::Warehouse.id(), w, AccessOp::Update),
-            AccessSpec::fixed(TpccTable::District.id(), keys::district(w, d), AccessOp::Update),
+            AccessSpec::fixed(
+                TpccTable::District.id(),
+                keys::district(w, d),
+                AccessOp::Update,
+            ),
             AccessSpec::fixed(
                 TpccTable::Customer.id(),
                 keys::customer(cw, cd, c),
@@ -335,7 +352,11 @@ impl TpccGen {
         let dkey = keys::district(w, d);
 
         let mut accesses = Vec::with_capacity(6 + 3 * ol_cnt as usize);
-        accesses.push(AccessSpec::fixed(TpccTable::Warehouse.id(), w, AccessOp::Read));
+        accesses.push(AccessSpec::fixed(
+            TpccTable::Warehouse.id(),
+            w,
+            AccessOp::Read,
+        ));
         accesses.push(AccessSpec {
             table: TpccTable::District.id(),
             key: KeySpec::Fixed(dkey),
@@ -377,18 +398,30 @@ impl TpccGen {
         // Inserts keyed by the captured D_NEXT_O_ID (slot 0).
         accesses.push(AccessSpec {
             table: TpccTable::Order.id(),
-            key: KeySpec::Derived { slot: 0, base: dkey << 32, scale: 1 },
+            key: KeySpec::Derived {
+                slot: 0,
+                base: dkey << 32,
+                scale: 1,
+            },
             op: AccessOp::Insert,
         });
         accesses.push(AccessSpec {
             table: TpccTable::NewOrder.id(),
-            key: KeySpec::Derived { slot: 0, base: dkey << 32, scale: 1 },
+            key: KeySpec::Derived {
+                slot: 0,
+                base: dkey << 32,
+                scale: 1,
+            },
             op: AccessOp::Insert,
         });
         for ol in 0..ol_cnt {
             accesses.push(AccessSpec {
                 table: TpccTable::OrderLine.id(),
-                key: KeySpec::Derived { slot: 0, base: ((dkey << 32) << 4) | ol, scale: 16 },
+                key: KeySpec::Derived {
+                    slot: 0,
+                    base: ((dkey << 32) << 4) | ol,
+                    scale: 16,
+                },
                 op: AccessOp::Insert,
             });
         }
@@ -411,13 +444,16 @@ impl TpccGen {
 pub fn initial_keys(cfg: &TpccConfig) -> impl Iterator<Item = (u32, Key)> + '_ {
     let w = u64::from(cfg.warehouses);
     let warehouses = (0..w).map(|k| (TpccTable::Warehouse.id(), k));
-    let districts =
-        (0..w * DISTRICTS_PER_WH).map(|k| (TpccTable::District.id(), k));
-    let customers = (0..w * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT)
-        .map(|k| (TpccTable::Customer.id(), k));
+    let districts = (0..w * DISTRICTS_PER_WH).map(|k| (TpccTable::District.id(), k));
+    let customers =
+        (0..w * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT).map(|k| (TpccTable::Customer.id(), k));
     let items = (0..ITEMS).map(|k| (TpccTable::Item.id(), k));
     let stock = (0..w * ITEMS).map(|k| (TpccTable::Stock.id(), k));
-    warehouses.chain(districts).chain(customers).chain(items).chain(stock)
+    warehouses
+        .chain(districts)
+        .chain(customers)
+        .chain(items)
+        .chain(stock)
 }
 
 /// Initialize a freshly-allocated TPC-C row: key in column 0; the hot
@@ -425,7 +461,11 @@ pub fn initial_keys(cfg: &TpccConfig) -> impl Iterator<Item = (u32, Key)> + '_ {
 /// zero elsewhere.
 pub fn init_row(table: u32, schema: &Schema, row: &mut [u8], key: Key) {
     abyss_storage::row::set_u64(schema, row, 0, key);
-    let hot0 = if table == TpccTable::District.id() { FIRST_NEW_ORDER_ID } else { 0 };
+    let hot0 = if table == TpccTable::District.id() {
+        FIRST_NEW_ORDER_ID
+    } else {
+        0
+    };
     abyss_storage::row::set_u64(schema, row, 1, hot0);
 }
 
@@ -434,7 +474,11 @@ mod tests {
     use super::*;
 
     fn config() -> TpccConfig {
-        TpccConfig { warehouses: 4, workers: 8, ..TpccConfig::default() }
+        TpccConfig {
+            warehouses: 4,
+            workers: 8,
+            ..TpccConfig::default()
+        }
     }
 
     #[test]
@@ -495,9 +539,14 @@ mod tests {
         // warehouse (§3.3 / §5.6).
         let mut g = TpccGen::new(config(), 0, 13);
         let n = 4000;
-        let mpt = (0..n).filter(|_| g.new_order().is_multi_partition()).count();
+        let mpt = (0..n)
+            .filter(|_| g.new_order().is_multi_partition())
+            .count();
         let frac = mpt as f64 / f64::from(n);
-        assert!((0.05..=0.16).contains(&frac), "NewOrder MPT fraction {frac}");
+        assert!(
+            (0.05..=0.16).contains(&frac),
+            "NewOrder MPT fraction {frac}"
+        );
     }
 
     #[test]
@@ -528,7 +577,10 @@ mod tests {
 
     #[test]
     fn catalog_capacities() {
-        let cfg = TpccConfig { warehouses: 2, ..config() };
+        let cfg = TpccConfig {
+            warehouses: 2,
+            ..config()
+        };
         let cat = catalog(&cfg);
         assert_eq!(cat.len(), 9);
         assert_eq!(cat.table(TpccTable::Warehouse.id()).unwrap().capacity, 2);
@@ -540,7 +592,10 @@ mod tests {
 
     #[test]
     fn initial_keys_counts() {
-        let cfg = TpccConfig { warehouses: 2, ..config() };
+        let cfg = TpccConfig {
+            warehouses: 2,
+            ..config()
+        };
         let counts = initial_keys(&cfg).fold([0u64; 9], |mut acc, (t, _)| {
             acc[t as usize] += 1;
             acc
@@ -560,7 +615,10 @@ mod tests {
         let dschema = &cat.table(TpccTable::District.id()).unwrap().schema;
         let mut row = vec![0u8; dschema.row_size()];
         init_row(TpccTable::District.id(), dschema, &mut row, 7);
-        assert_eq!(abyss_storage::row::get_u64(dschema, &row, 1), FIRST_NEW_ORDER_ID);
+        assert_eq!(
+            abyss_storage::row::get_u64(dschema, &row, 1),
+            FIRST_NEW_ORDER_ID
+        );
         let wschema = &cat.table(TpccTable::Warehouse.id()).unwrap().schema;
         let mut wrow = vec![0u8; wschema.row_size()];
         init_row(TpccTable::Warehouse.id(), wschema, &mut wrow, 1);

@@ -67,17 +67,28 @@ impl Default for YcsbConfig {
 impl YcsbConfig {
     /// 100% reads, uniform — Fig. 8's baseline.
     pub fn read_only() -> Self {
-        Self { read_pct: 1.0, ..Self::default() }
+        Self {
+            read_pct: 1.0,
+            ..Self::default()
+        }
     }
 
     /// 50/50 read/update mix at the given skew — Figs. 9–13.
     pub fn write_intensive(theta: f64) -> Self {
-        Self { read_pct: 0.5, theta, ..Self::default() }
+        Self {
+            read_pct: 0.5,
+            theta,
+            ..Self::default()
+        }
     }
 
     /// 90/10 read/update mix — the paper's "read-intensive" setting (Fig. 3).
     pub fn read_intensive(theta: f64) -> Self {
-        Self { read_pct: 0.9, theta, ..Self::default() }
+        Self {
+            read_pct: 0.9,
+            theta,
+            ..Self::default()
+        }
     }
 
     /// Validate parameter sanity.
@@ -137,7 +148,13 @@ impl YcsbGen {
     pub fn new(cfg: YcsbConfig, seed: u64) -> Self {
         cfg.validate().expect("invalid YCSB config");
         let zipf = ZipfGen::new(cfg.table_rows, cfg.theta);
-        Self { cfg, zipf, rng: Xoshiro256::seed_from(seed), keys: Vec::new(), home: None }
+        Self {
+            cfg,
+            zipf,
+            rng: Xoshiro256::seed_from(seed),
+            keys: Vec::new(),
+            home: None,
+        }
     }
 
     /// Create a generator reusing an already-built Zipf table (the zeta sum
@@ -145,8 +162,17 @@ impl YcsbGen {
     pub fn with_zipf(cfg: YcsbConfig, zipf: ZipfGen, seed: u64) -> Self {
         cfg.validate().expect("invalid YCSB config");
         assert_eq!(zipf.n(), cfg.table_rows, "zipf table size mismatch");
-        assert!((zipf.theta() - cfg.theta).abs() < 1e-12, "zipf theta mismatch");
-        Self { cfg, zipf, rng: Xoshiro256::seed_from(seed), keys: Vec::new(), home: None }
+        assert!(
+            (zipf.theta() - cfg.theta).abs() < 1e-12,
+            "zipf theta mismatch"
+        );
+        Self {
+            cfg,
+            zipf,
+            rng: Xoshiro256::seed_from(seed),
+            keys: Vec::new(),
+            home: None,
+        }
     }
 
     /// Bind this generator to worker `worker`: single-partition
@@ -279,7 +305,11 @@ mod tests {
 
     #[test]
     fn txn_shape_matches_config() {
-        let cfg = YcsbConfig { table_rows: 10_000, reqs_per_txn: 16, ..YcsbConfig::default() };
+        let cfg = YcsbConfig {
+            table_rows: 10_000,
+            reqs_per_txn: 16,
+            ..YcsbConfig::default()
+        };
         let mut g = gen(cfg);
         let t = g.next_txn();
         assert_eq!(t.len(), 16);
@@ -306,7 +336,10 @@ mod tests {
 
     #[test]
     fn read_only_config_generates_only_reads() {
-        let cfg = YcsbConfig { table_rows: 10_000, ..YcsbConfig::read_only() };
+        let cfg = YcsbConfig {
+            table_rows: 10_000,
+            ..YcsbConfig::read_only()
+        };
         let mut g = gen(cfg);
         for _ in 0..50 {
             assert!(g.next_txn().is_read_only());
@@ -315,8 +348,10 @@ mod tests {
 
     #[test]
     fn write_mix_is_calibrated() {
-        let cfg =
-            YcsbConfig { table_rows: 100_000, ..YcsbConfig::write_intensive(0.0) };
+        let cfg = YcsbConfig {
+            table_rows: 100_000,
+            ..YcsbConfig::write_intensive(0.0)
+        };
         let mut g = gen(cfg);
         let mut writes = 0usize;
         let mut total = 0usize;
@@ -341,7 +376,10 @@ mod tests {
         for _ in 0..20 {
             let t = g.next_txn();
             let ks: Vec<Key> = t.accesses.iter().map(key_of).collect();
-            assert!(ks.windows(2).all(|w| w[0] < w[1]), "keys not sorted: {ks:?}");
+            assert!(
+                ks.windows(2).all(|w| w[0] < w[1]),
+                "keys not sorted: {ks:?}"
+            );
         }
     }
 
@@ -393,7 +431,11 @@ mod tests {
 
     #[test]
     fn generators_are_reproducible() {
-        let cfg = YcsbConfig { table_rows: 10_000, theta: 0.6, ..YcsbConfig::default() };
+        let cfg = YcsbConfig {
+            table_rows: 10_000,
+            theta: 0.6,
+            ..YcsbConfig::default()
+        };
         let mut a = YcsbGen::new(cfg.clone(), 7);
         let mut b = YcsbGen::new(cfg, 7);
         for _ in 0..20 {
@@ -403,7 +445,10 @@ mod tests {
 
     #[test]
     fn catalog_has_paper_row_size() {
-        let c = catalog(&YcsbConfig { table_rows: 100, ..YcsbConfig::default() });
+        let c = catalog(&YcsbConfig {
+            table_rows: 100,
+            ..YcsbConfig::default()
+        });
         let t = c.table(YCSB_TABLE).unwrap();
         assert_eq!(t.schema.row_size(), 1008); // 8-byte key + 10 × 100 B
         assert_eq!(t.capacity, 100);
@@ -411,13 +456,30 @@ mod tests {
 
     #[test]
     fn config_validation_rejects_nonsense() {
-        assert!(YcsbConfig { table_rows: 0, ..YcsbConfig::default() }.validate().is_err());
-        assert!(YcsbConfig { theta: 1.0, ..YcsbConfig::default() }.validate().is_err());
-        assert!(YcsbConfig { read_pct: 1.5, ..YcsbConfig::default() }.validate().is_err());
-        assert!(
-            YcsbConfig { parts: 4, parts_per_txn: 8, ..YcsbConfig::default() }
-                .validate()
-                .is_err()
-        );
+        assert!(YcsbConfig {
+            table_rows: 0,
+            ..YcsbConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(YcsbConfig {
+            theta: 1.0,
+            ..YcsbConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(YcsbConfig {
+            read_pct: 1.5,
+            ..YcsbConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(YcsbConfig {
+            parts: 4,
+            parts_per_txn: 8,
+            ..YcsbConfig::default()
+        }
+        .validate()
+        .is_err());
     }
 }

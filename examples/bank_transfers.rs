@@ -87,7 +87,11 @@ fn run(scheme: CcScheme, hot: bool) -> (f64, f64) {
     });
     let secs = started.elapsed().as_secs_f64();
     let total = db.sum_column(accounts, 1);
-    assert_eq!(total, ACCOUNTS * INITIAL_BALANCE, "{scheme}: money not conserved!");
+    assert_eq!(
+        total,
+        ACCOUNTS * INITIAL_BALANCE,
+        "{scheme}: money not conserved!"
+    );
     let committed = u64::from(WORKERS) * TRANSFERS_PER_WORKER;
     let abort_rate =
         aborts.load(Ordering::Relaxed) as f64 / (committed + aborts.load(Ordering::Relaxed)) as f64;
@@ -96,7 +100,10 @@ fn run(scheme: CcScheme, hot: bool) -> (f64, f64) {
 
 fn main() {
     println!("{WORKERS} workers × {TRANSFERS_PER_WORKER} transfers, {ACCOUNTS} accounts\n");
-    println!("{:<11} {:>14} {:>8}   {:>14} {:>8}", "scheme", "low-cont txn/s", "aborts", "high-cont txn/s", "aborts");
+    println!(
+        "{:<11} {:>14} {:>8}   {:>14} {:>8}",
+        "scheme", "low-cont txn/s", "aborts", "high-cont txn/s", "aborts"
+    );
     for scheme in CcScheme::ALL {
         let (tps_low, ar_low) = run(scheme, false);
         let (tps_high, ar_high) = run(scheme, true);

@@ -30,18 +30,23 @@ fn main() {
         sim.warmup = 1_000_000;
         sim.measure = 5_000_000;
         let cfg2 = if scheme == CcScheme::HStore {
-            YcsbConfig { parts: cores, ..ycsb_cfg.clone() }
+            YcsbConfig {
+                parts: cores,
+                ..ycsb_cfg.clone()
+            }
         } else {
             ycsb_cfg.clone()
         };
         let gens = (0..cores)
             .map(|c| {
                 let mut g = YcsbGen::with_zipf(cfg2.clone(), zipf.clone(), u64::from(c) + 7);
-                Box::new(move || g.next_txn())
-                    as Box<dyn FnMut() -> abyss::common::TxnTemplate>
+                Box::new(move || g.next_txn()) as Box<dyn FnMut() -> abyss::common::TxnTemplate>
             })
             .collect();
-        let tables = vec![SimTable { row_size: 1008, counter_init: 0 }];
+        let tables = vec![SimTable {
+            row_size: 1008,
+            counter_init: 0,
+        }];
         let r = run_sim(sim, tables, gens);
         let b = &r.stats.breakdown;
         println!(

@@ -19,11 +19,21 @@ fn main() {
         .next()
         .map(|s| s.parse().expect("unknown scheme"))
         .unwrap_or(CcScheme::NoWait);
-    let warehouses: u32 = args.next().map(|s| s.parse().expect("warehouses")).unwrap_or(2);
-    let seconds: u64 = args.next().map(|s| s.parse().expect("seconds")).unwrap_or(2);
+    let warehouses: u32 = args
+        .next()
+        .map(|s| s.parse().expect("warehouses"))
+        .unwrap_or(2);
+    let seconds: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seconds"))
+        .unwrap_or(2);
     let workers = 4u32;
 
-    let cfg = TpccConfig { warehouses, workers, ..TpccConfig::default() };
+    let cfg = TpccConfig {
+        warehouses,
+        workers,
+        ..TpccConfig::default()
+    };
     let catalog = tpcc::catalog(&cfg);
     println!("loading TPC-C: {warehouses} warehouses, scheme {scheme} ...");
     let db = Database::new(EngineConfig::new(scheme, workers), catalog).expect("config");
@@ -38,16 +48,17 @@ fn main() {
             .filter(|&(t, _)| t == table.id())
             .map(|(_, k)| k)
             .collect();
-        db.load_table(table.id(), keys, |s, r, k| tpcc::init_row(table.id(), s, r, k))
-            .expect("load");
+        db.load_table(table.id(), keys, |s, r, k| {
+            tpcc::init_row(table.id(), s, r, k)
+        })
+        .expect("load");
     }
 
     println!("running {seconds}s with {workers} workers ...");
     let gens = (0..workers)
         .map(|w| {
             let mut g = TpccGen::new(cfg.clone(), w, 0xCC + u64::from(w));
-            Box::new(move || g.next_txn())
-                as Box<dyn FnMut() -> abyss::common::TxnTemplate + Send>
+            Box::new(move || g.next_txn()) as Box<dyn FnMut() -> abyss::common::TxnTemplate + Send>
         })
         .collect();
     // Zero warmup: the consistency checks below compare *database state*
@@ -57,9 +68,16 @@ fn main() {
 
     let payment = out.stats.commits_by_tag[tpcc::TAG_PAYMENT as usize];
     let neworder = out.stats.commits_by_tag[tpcc::TAG_NEW_ORDER as usize];
-    println!("\ncommitted: {} txn ({payment} Payment / {neworder} NewOrder)", out.stats.commits);
+    println!(
+        "\ncommitted: {} txn ({payment} Payment / {neworder} NewOrder)",
+        out.stats.commits
+    );
     println!("throughput: {:.0} txn/s", out.txn_per_sec());
-    println!("aborts: {} (rate {:.2}%)", out.stats.total_aborts(), out.stats.abort_rate() * 100.0);
+    println!(
+        "aborts: {} (rate {:.2}%)",
+        out.stats.total_aborts(),
+        out.stats.abort_rate() * 100.0
+    );
 
     // Spec consistency condition 1 (adapted): every committed Payment adds
     // 1 to one warehouse's hot column (W_YTD), so ΣW_YTD == #Payments. The
@@ -80,7 +98,13 @@ fn main() {
     // (index_len counts live rows; aborted eager inserts leave dead slots).
     let orders = db.index_len(TpccTable::Order.id());
     let new_orders = db.index_len(TpccTable::NewOrder.id());
-    assert_eq!(orders, neworder, "ORDER rows must equal committed NewOrders");
-    assert_eq!(new_orders, neworder, "NEW-ORDER rows must equal committed NewOrders");
+    assert_eq!(
+        orders, neworder,
+        "ORDER rows must equal committed NewOrders"
+    );
+    assert_eq!(
+        new_orders, neworder,
+        "NEW-ORDER rows must equal committed NewOrders"
+    );
     println!("consistency: ORDER/NEW-ORDER inserts == committed NewOrders ✓");
 }

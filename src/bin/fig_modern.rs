@@ -1,0 +1,7 @@
+//! fig_modern — classic vs. modern concurrency control, runnable from the
+//! workspace root: `cargo run --release --bin fig_modern [--quick|--full]`.
+//! The experiment itself lives in [`abyss_bench::fig_modern`].
+
+fn main() {
+    abyss_bench::fig_modern::run();
+}

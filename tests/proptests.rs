@@ -1,9 +1,12 @@
-//! Property-based tests (proptest) on core data structures and engine
+//! Randomized property tests on core data structures and engine
 //! invariants.
+//!
+//! The build environment vendors no external property-testing framework,
+//! so these use a tiny deterministic harness: [`cases`] runs a property
+//! over `n` independently seeded [`Xoshiro256`] streams. Failures print
+//! the case seed, which reproduces the exact inputs.
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use abyss::common::rng::Xoshiro256;
 use abyss::common::zipf::ZipfGen;
@@ -11,13 +14,33 @@ use abyss::common::CcScheme;
 use abyss::core::{Database, EngineConfig};
 use abyss::storage::{row, Catalog, HashIndex, MemPool, Schema};
 
+/// Run `property` over `n` deterministic random cases derived from `seed`.
+fn cases(n: u64, seed: u64, mut property: impl FnMut(&mut Xoshiro256)) {
+    for i in 0..n {
+        let case_seed = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = Xoshiro256::seed_from(case_seed);
+        property(&mut rng);
+    }
+}
+
+/// A random vector with length in `1..max_len`, elements drawn by `f`.
+fn random_vec<T>(
+    rng: &mut Xoshiro256,
+    max_len: u64,
+    mut f: impl FnMut(&mut Xoshiro256) -> T,
+) -> Vec<T> {
+    let len = rng.next_range(1, max_len);
+    (0..len).map(|_| f(rng)).collect()
+}
+
 // ---------------------------------------------------------------- storage
 
-proptest! {
-    /// The hash index behaves exactly like a HashMap model under random
-    /// insert/get/remove sequences.
-    #[test]
-    fn index_matches_model(ops in prop::collection::vec((0u8..3, 0u64..200), 1..200)) {
+/// The hash index behaves exactly like a HashMap model under random
+/// insert/get/remove sequences.
+#[test]
+fn index_matches_model() {
+    cases(64, 0xA11CE, |rng| {
+        let ops = random_vec(rng, 200, |r| (r.next_below(3) as u8, r.next_below(200)));
         let idx = HashIndex::new(0, 64);
         let mut model: HashMap<u64, u64> = HashMap::new();
         for (op, key) in ops {
@@ -26,69 +49,135 @@ proptest! {
                     let val = key * 2 + 1;
                     let r = idx.insert(key, val);
                     if let std::collections::hash_map::Entry::Vacant(e) = model.entry(key) {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok());
                         e.insert(val);
                     } else {
-                        prop_assert!(r.is_err());
+                        assert!(r.is_err());
                     }
                 }
                 1 => {
-                    prop_assert_eq!(idx.find(key), model.get(&key).copied());
+                    assert_eq!(idx.find(key), model.get(&key).copied());
                 }
                 _ => {
-                    prop_assert_eq!(idx.remove(key), model.remove(&key));
+                    assert_eq!(idx.remove(key), model.remove(&key));
                 }
             }
         }
-        prop_assert_eq!(idx.len(), model.len());
-    }
+        assert_eq!(idx.len(), model.len());
+    });
+}
 
-    /// Pool blocks never alias: concurrently-live blocks are distinct
-    /// allocations (writing to one never corrupts another).
-    #[test]
-    fn mempool_blocks_do_not_alias(sizes in prop::collection::vec(1usize..4096, 1..40)) {
+/// Pool blocks never alias: concurrently-live blocks are distinct
+/// allocations (writing to one never corrupts another).
+#[test]
+fn mempool_blocks_do_not_alias() {
+    cases(64, 0xB10C, |rng| {
+        let sizes = random_vec(rng, 40, |r| r.next_range(1, 4096) as usize);
         let mut pool = MemPool::new();
         let mut live: Vec<_> = sizes.iter().map(|&s| pool.alloc(s)).collect();
         for (i, b) in live.iter_mut().enumerate() {
             b.as_mut_slice().fill(i as u8);
         }
         for (i, b) in live.iter().enumerate() {
-            prop_assert!(b.iter().all(|&x| x == i as u8), "block {i} was corrupted");
+            assert!(b.iter().all(|&x| x == i as u8), "block {i} was corrupted");
         }
         for b in live {
             pool.free(b);
         }
-    }
+    });
+}
 
-    /// Zipf draws always fall in range, for any (n, theta).
-    #[test]
-    fn zipf_in_range(n in 1u64..100_000, theta in 0.0f64..0.95, seed in any::<u64>()) {
+/// Zipf draws always fall in range, for any (n, theta).
+#[test]
+fn zipf_in_range() {
+    cases(64, 0x21FF, |rng| {
+        let n = rng.next_range(1, 100_000);
+        let theta = rng.next_f64() * 0.95;
         let g = ZipfGen::new(n, theta);
-        let mut rng = Xoshiro256::seed_from(seed);
         for _ in 0..100 {
-            prop_assert!(g.next(&mut rng) < n);
+            assert!(g.next(rng) < n);
         }
-    }
+    });
+}
 
-    /// Row accessors round-trip arbitrary values on arbitrary schemas.
-    #[test]
-    fn row_accessors_round_trip(
-        widths in prop::collection::vec(8usize..64, 1..6),
-        vals in prop::collection::vec(any::<u64>(), 6),
-    ) {
+/// Row accessors round-trip arbitrary values on arbitrary schemas.
+#[test]
+fn row_accessors_round_trip() {
+    cases(64, 0x0F0F, |rng| {
+        let widths = random_vec(rng, 6, |r| r.next_range(8, 64) as usize);
+        let vals: Vec<u64> = (0..widths.len()).map(|_| rng.next_u64()).collect();
         let schema = Schema::new(
-            widths.iter().enumerate()
+            widths
+                .iter()
+                .enumerate()
                 .map(|(i, &w)| abyss::storage::ColumnDef::new(format!("c{i}"), w))
                 .collect(),
         );
         let mut data = vec![0u8; schema.row_size()];
-        for (col, _) in widths.iter().enumerate() {
-            row::set_u64(&schema, &mut data, col, vals[col]);
+        for (col, &v) in vals.iter().enumerate() {
+            row::set_u64(&schema, &mut data, col, v);
         }
-        for (col, _) in widths.iter().enumerate() {
-            prop_assert_eq!(row::get_u64(&schema, &data, col), vals[col]);
+        for (col, &v) in vals.iter().enumerate() {
+            assert_eq!(row::get_u64(&schema, &data, col), v);
         }
+    });
+}
+
+// ----------------------------------------------------------------- scheme
+
+/// Exhaustive index of every `CcScheme` variant. Adding a variant without
+/// updating `CcScheme::ALL` breaks either this match (compile error) or
+/// the `scheme_all_in_sync_with_enum` test below.
+fn variant_index(s: CcScheme) -> usize {
+    match s {
+        CcScheme::DlDetect => 0,
+        CcScheme::NoWait => 1,
+        CcScheme::WaitDie => 2,
+        CcScheme::Timestamp => 3,
+        CcScheme::Mvcc => 4,
+        CcScheme::Occ => 5,
+        CcScheme::HStore => 6,
+        CcScheme::Silo => 7,
     }
+}
+
+/// `CcScheme::ALL` lists every variant exactly once.
+#[test]
+fn scheme_all_in_sync_with_enum() {
+    let mut seen = [false; CcScheme::ALL.len()];
+    for s in CcScheme::ALL {
+        let i = variant_index(s);
+        assert!(!seen[i], "{s} appears twice in CcScheme::ALL");
+        seen[i] = true;
+    }
+    assert!(seen.iter().all(|&b| b), "CcScheme::ALL misses a variant");
+}
+
+/// `FromStr` round-trips `name()` for every variant, under random case
+/// mangling and `_`/`-` substitution (the accepted spellings).
+#[test]
+fn scheme_name_round_trips() {
+    cases(128, 0x5C4E, |rng| {
+        for s in CcScheme::ALL {
+            let mangled: String = s
+                .name()
+                .chars()
+                .map(|c| {
+                    let c = if c == '_' && rng.chance(0.5) { '-' } else { c };
+                    if rng.chance(0.5) {
+                        c.to_ascii_lowercase()
+                    } else {
+                        c
+                    }
+                })
+                .collect();
+            assert_eq!(
+                mangled.parse::<CcScheme>().unwrap(),
+                s,
+                "{mangled:?} must parse back to {s}"
+            );
+        }
+    });
 }
 
 // ----------------------------------------------------------------- engine
@@ -145,53 +234,64 @@ fn engine_matches_model(scheme: CcScheme, ops: &[(u8, u64, u64)]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+fn engine_model_cases(scheme: CcScheme) {
+    cases(16, 0xE26 ^ variant_index(scheme) as u64, |rng| {
+        let ops = random_vec(rng, 60, |r| {
+            (r.next_below(256) as u8, r.next_u64(), r.next_u64())
+        });
+        engine_matches_model(scheme, &ops);
+    });
+}
 
-    #[test]
-    fn engine_model_no_wait(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
-        engine_matches_model(CcScheme::NoWait, &ops);
-    }
+#[test]
+fn engine_model_no_wait() {
+    engine_model_cases(CcScheme::NoWait);
+}
 
-    #[test]
-    fn engine_model_dl_detect(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
-        engine_matches_model(CcScheme::DlDetect, &ops);
-    }
+#[test]
+fn engine_model_dl_detect() {
+    engine_model_cases(CcScheme::DlDetect);
+}
 
-    #[test]
-    fn engine_model_wait_die(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
-        engine_matches_model(CcScheme::WaitDie, &ops);
-    }
+#[test]
+fn engine_model_wait_die() {
+    engine_model_cases(CcScheme::WaitDie);
+}
 
-    #[test]
-    fn engine_model_timestamp(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
-        engine_matches_model(CcScheme::Timestamp, &ops);
-    }
+#[test]
+fn engine_model_timestamp() {
+    engine_model_cases(CcScheme::Timestamp);
+}
 
-    #[test]
-    fn engine_model_mvcc(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
-        engine_matches_model(CcScheme::Mvcc, &ops);
-    }
+#[test]
+fn engine_model_mvcc() {
+    engine_model_cases(CcScheme::Mvcc);
+}
 
-    #[test]
-    fn engine_model_occ(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
-        engine_matches_model(CcScheme::Occ, &ops);
-    }
+#[test]
+fn engine_model_occ() {
+    engine_model_cases(CcScheme::Occ);
+}
 
-    #[test]
-    fn engine_model_hstore(ops in prop::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..60)) {
-        engine_matches_model(CcScheme::HStore, &ops);
-    }
+#[test]
+fn engine_model_hstore() {
+    engine_model_cases(CcScheme::HStore);
+}
+
+#[test]
+fn engine_model_silo() {
+    engine_model_cases(CcScheme::Silo);
 }
 
 // --------------------------------------------------------------- workload
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every generated YCSB template validates and respects its config.
-    #[test]
-    fn ycsb_templates_valid(seed in any::<u64>(), theta in 0.0f64..0.9, reqs in 1usize..20) {
+/// Every generated YCSB template validates and respects its config.
+#[test]
+fn ycsb_templates_valid() {
+    cases(32, 0x4C5B, |rng| {
+        let seed = rng.next_u64();
+        let theta = rng.next_f64() * 0.9;
+        let reqs = rng.next_range(1, 20) as usize;
         let cfg = abyss::workload::YcsbConfig {
             table_rows: 10_000,
             reqs_per_txn: reqs,
@@ -201,14 +301,18 @@ proptest! {
         let mut g = abyss::workload::YcsbGen::new(cfg, seed);
         for _ in 0..5 {
             let t = g.next_txn();
-            prop_assert!(t.validate().is_ok());
-            prop_assert_eq!(t.len(), reqs);
+            assert!(t.validate().is_ok());
+            assert_eq!(t.len(), reqs);
         }
-    }
+    });
+}
 
-    /// Every generated TPC-C template validates; partitions are sorted.
-    #[test]
-    fn tpcc_templates_valid(seed in any::<u64>(), warehouses in 1u32..16) {
+/// Every generated TPC-C template validates; partitions are sorted.
+#[test]
+fn tpcc_templates_valid() {
+    cases(32, 0x79CC, |rng| {
+        let seed = rng.next_u64();
+        let warehouses = rng.next_range(1, 16) as u32;
         let cfg = abyss::workload::TpccConfig {
             warehouses,
             workers: warehouses * 2,
@@ -217,8 +321,8 @@ proptest! {
         let mut g = abyss::workload::TpccGen::new(cfg, seed as u32 % (warehouses * 2), seed);
         for _ in 0..5 {
             let t = g.next_txn();
-            prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
-            prop_assert!(t.partitions.windows(2).all(|w| w[0] < w[1]));
+            assert!(t.validate().is_ok(), "{:?}", t.validate());
+            assert!(t.partitions.windows(2).all(|w| w[0] < w[1]));
         }
-    }
+    });
 }

@@ -1,7 +1,7 @@
 //! Cross-scheme serializability tests for the real engine.
 //!
-//! Three classic anomalies, each checked under all seven schemes with
-//! genuinely concurrent workers:
+//! Three classic anomalies, each checked under all eight schemes (the
+//! paper's seven plus SILO) with genuinely concurrent workers:
 //!
 //! * **lost updates** — concurrent blind increments of hot counters must
 //!   all survive;
@@ -32,8 +32,8 @@ fn build_db(scheme: CcScheme) -> Arc<Database> {
     db.load_table(0, 0..ACCOUNTS, |s, r, k| {
         row::set_u64(s, r, 0, k);
         row::set_u64(s, r, 1, INITIAL); // balance
-        // Mirror column for the read-atomicity check: must start *equal*
-        // to column 1 — the invariant holds from the initial load onward.
+                                        // Mirror column for the read-atomicity check: must start *equal*
+                                        // to column 1 — the invariant holds from the initial load onward.
         row::set_u64(s, r, 2, INITIAL);
     })
     .unwrap();
@@ -44,7 +44,10 @@ fn partitions_for(scheme: CcScheme, keys: &[u64]) -> Vec<PartId> {
     if scheme != CcScheme::HStore {
         return vec![];
     }
-    let mut p: Vec<PartId> = keys.iter().map(|k| (k % u64::from(WORKERS)) as PartId).collect();
+    let mut p: Vec<PartId> = keys
+        .iter()
+        .map(|k| (k % u64::from(WORKERS)) as PartId)
+        .collect();
     p.sort_unstable();
     p.dedup();
     p
@@ -87,11 +90,12 @@ fn lost_update_check(scheme: CcScheme) {
     })
     .unwrap();
     let expected = INITIAL * 8 + committed.load(Ordering::Relaxed);
-    let total: u64 = (0..8).map(|k| {
-        let r = db.peek(0, k).unwrap();
-        row::get_u64(db.schema(0), &r, 1)
-    })
-    .sum();
+    let total: u64 = (0..8)
+        .map(|k| {
+            let r = db.peek(0, k).unwrap();
+            row::get_u64(db.schema(0), &r, 1)
+        })
+        .sum();
     assert_eq!(total, expected, "{scheme}: lost updates detected");
 }
 
@@ -213,4 +217,5 @@ scheme_tests! {
     mvcc => CcScheme::Mvcc,
     occ => CcScheme::Occ,
     hstore => CcScheme::HStore,
+    silo => CcScheme::Silo,
 }

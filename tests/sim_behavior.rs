@@ -6,7 +6,12 @@ use abyss::sim::{run_sim, SimConfig, SimTable};
 use abyss::workload::ycsb::{YcsbConfig, YcsbGen};
 use abyss_sim::SimReport;
 
-fn ycsb_sim(scheme: CcScheme, cores: u32, cfg: &YcsbConfig, tweak: impl FnOnce(&mut SimConfig)) -> SimReport {
+fn ycsb_sim(
+    scheme: CcScheme,
+    cores: u32,
+    cfg: &YcsbConfig,
+    tweak: impl FnOnce(&mut SimConfig),
+) -> SimReport {
     let mut sim = SimConfig::new(scheme, cores);
     sim.warmup = 300_000;
     sim.measure = 3_000_000;
@@ -14,17 +19,27 @@ fn ycsb_sim(scheme: CcScheme, cores: u32, cfg: &YcsbConfig, tweak: impl FnOnce(&
     let zipf = abyss::common::zipf::ZipfGen::new(cfg.table_rows, cfg.theta);
     let gens = (0..cores)
         .map(|c| {
-            let mut g = YcsbGen::with_zipf(cfg.clone(), zipf.clone(), 5000 + u64::from(c))
-                .for_worker(c);
+            let mut g =
+                YcsbGen::with_zipf(cfg.clone(), zipf.clone(), 5000 + u64::from(c)).for_worker(c);
             Box::new(move || g.next_txn()) as Box<dyn FnMut() -> abyss::common::TxnTemplate>
         })
         .collect();
-    run_sim(sim, vec![SimTable { row_size: 1008, counter_init: 0 }], gens)
+    run_sim(
+        sim,
+        vec![SimTable {
+            row_size: 1008,
+            counter_init: 0,
+        }],
+        gens,
+    )
 }
 
 #[test]
 fn identical_configs_are_bit_identical() {
-    let cfg = YcsbConfig { table_rows: 100_000, ..YcsbConfig::write_intensive(0.6) };
+    let cfg = YcsbConfig {
+        table_rows: 100_000,
+        ..YcsbConfig::write_intensive(0.6)
+    };
     let a = ycsb_sim(CcScheme::DlDetect, 16, &cfg, |_| {});
     let b = ycsb_sim(CcScheme::DlDetect, 16, &cfg, |_| {});
     assert_eq!(a.stats.commits, b.stats.commits);
@@ -37,10 +52,18 @@ fn identical_configs_are_bit_identical() {
 fn scheduling_changes_alter_the_run() {
     // The sim seed only feeds workload generators (held constant here), so
     // perturb scheduling through the timestamp method of a T/O scheme.
-    let cfg = YcsbConfig { table_rows: 100_000, ..YcsbConfig::write_intensive(0.6) };
+    let cfg = YcsbConfig {
+        table_rows: 100_000,
+        ..YcsbConfig::write_intensive(0.6)
+    };
     let a = ycsb_sim(CcScheme::Timestamp, 8, &cfg, |_| {});
-    let b = ycsb_sim(CcScheme::Timestamp, 8, &cfg, |s| s.ts_method = TsMethod::Mutex);
-    assert_ne!(a.stats.commits, b.stats.commits, "scheduling change must alter the run");
+    let b = ycsb_sim(CcScheme::Timestamp, 8, &cfg, |s| {
+        s.ts_method = TsMethod::Mutex
+    });
+    assert_ne!(
+        a.stats.commits, b.stats.commits,
+        "scheduling change must alter the run"
+    );
 }
 
 #[test]
@@ -72,8 +95,14 @@ fn ts_allocation_caps_to_schemes_at_1024() {
     let nw = ycsb_sim(CcScheme::NoWait, 1024, &cfg, |_| {}).txn_per_sec();
     let ts = ycsb_sim(CcScheme::Timestamp, 1024, &cfg, |_| {}).txn_per_sec();
     let occ = ycsb_sim(CcScheme::Occ, 1024, &cfg, |_| {}).txn_per_sec();
-    assert!(nw > ts, "NO_WAIT ({nw:.0}) must beat TIMESTAMP ({ts:.0}) at 1024 cores");
-    assert!(ts > occ * 1.5, "TIMESTAMP ({ts:.0}) must clearly beat OCC ({occ:.0})");
+    assert!(
+        nw > ts,
+        "NO_WAIT ({nw:.0}) must beat TIMESTAMP ({ts:.0}) at 1024 cores"
+    );
+    assert!(
+        ts > occ * 1.5,
+        "TIMESTAMP ({ts:.0}) must clearly beat OCC ({occ:.0})"
+    );
 }
 
 #[test]
@@ -81,9 +110,10 @@ fn clock_timestamps_lift_the_cap() {
     // §4.3: decentralized clocks remove the allocator bottleneck.
     let cfg = YcsbConfig::read_only();
     let atomic = ycsb_sim(CcScheme::Timestamp, 1024, &cfg, |_| {}).txn_per_sec();
-    let clock =
-        ycsb_sim(CcScheme::Timestamp, 1024, &cfg, |s| s.ts_method = TsMethod::Clock)
-            .txn_per_sec();
+    let clock = ycsb_sim(CcScheme::Timestamp, 1024, &cfg, |s| {
+        s.ts_method = TsMethod::Clock
+    })
+    .txn_per_sec();
     assert!(
         clock > atomic * 1.2,
         "clock ({clock:.0}) should clearly beat atomic ({atomic:.0}) at 1024 cores"
@@ -95,7 +125,10 @@ fn hstore_wins_partitionable_single_partition_workloads() {
     // Fig. 14 at moderate core counts.
     let cores = 64;
     let base = YcsbConfig::write_intensive(0.0);
-    let hs_cfg = YcsbConfig { parts: cores, ..base.clone() };
+    let hs_cfg = YcsbConfig {
+        parts: cores,
+        ..base.clone()
+    };
     let hs = ycsb_sim(CcScheme::HStore, cores, &hs_cfg, |s| s.hstore_parts = cores);
     let dl = ycsb_sim(CcScheme::DlDetect, cores, &base, |_| {});
     assert!(
@@ -110,7 +143,11 @@ fn hstore_wins_partitionable_single_partition_workloads() {
 fn multi_partition_transactions_hurt_hstore() {
     // Fig. 15a.
     let cores = 32;
-    let single = YcsbConfig { parts: cores, multi_part_pct: 0.0, ..YcsbConfig::write_intensive(0.0) };
+    let single = YcsbConfig {
+        parts: cores,
+        multi_part_pct: 0.0,
+        ..YcsbConfig::write_intensive(0.0)
+    };
     let multi = YcsbConfig {
         parts: cores,
         multi_part_pct: 0.5,
@@ -127,6 +164,107 @@ fn multi_partition_transactions_hurt_hstore() {
     );
 }
 
+// ------------------------------------------------------- modern (SILO)
+
+#[test]
+fn silo_runs_at_1024_simulated_cores() {
+    let cfg = YcsbConfig {
+        table_rows: 1_000_000,
+        ..YcsbConfig::write_intensive(0.6)
+    };
+    let r = ycsb_sim(CcScheme::Silo, 1024, &cfg, |_| {});
+    assert!(
+        r.stats.commits > 10_000,
+        "SILO at 1024 cores: only {} commits",
+        r.stats.commits
+    );
+    assert_eq!(
+        r.stats.ts_allocated, 0,
+        "SILO must allocate zero global timestamps"
+    );
+}
+
+#[test]
+fn silo_escapes_the_allocator_ceiling_at_1024() {
+    // The fig_modern claim: with the default atomic allocator at 1024
+    // cores, the T/O schemes are capped by timestamp allocation while
+    // SILO (zero allocations) is not — it must clearly beat OCC (two
+    // allocations) and TIMESTAMP (one).
+    let cfg = YcsbConfig::read_only();
+    let silo = ycsb_sim(CcScheme::Silo, 1024, &cfg, |_| {}).txn_per_sec();
+    let ts = ycsb_sim(CcScheme::Timestamp, 1024, &cfg, |_| {}).txn_per_sec();
+    let occ = ycsb_sim(CcScheme::Occ, 1024, &cfg, |_| {}).txn_per_sec();
+    assert!(
+        silo > ts,
+        "SILO ({silo:.0}) must beat TIMESTAMP ({ts:.0}) at 1024 cores"
+    );
+    assert!(
+        silo > occ * 1.5,
+        "SILO ({silo:.0}) must clearly beat OCC ({occ:.0})"
+    );
+}
+
+#[test]
+fn silo_sim_is_deterministic() {
+    let cfg = YcsbConfig {
+        table_rows: 100_000,
+        ..YcsbConfig::write_intensive(0.6)
+    };
+    let a = ycsb_sim(CcScheme::Silo, 64, &cfg, |_| {});
+    let b = ycsb_sim(CcScheme::Silo, 64, &cfg, |_| {});
+    assert_eq!(a.stats.commits, b.stats.commits);
+    assert_eq!(a.stats.breakdown, b.stats.breakdown);
+    assert_eq!(a.materialized_tuples, b.materialized_tuples);
+}
+
+#[test]
+fn silo_sim_loses_no_updates_at_1024_cores() {
+    // All 1024 cores hammer the same 4 hot counters with read-modify-write
+    // increments; with zero warmup, each committed transaction bumps its
+    // counter exactly once, so the final counters must equal the initial
+    // value plus the commit count — the discrete-event analogue of the
+    // threaded lost-update test, at the paper's full core count.
+    use abyss::common::rng::Xoshiro256;
+    use abyss::common::txn::{AccessOp, AccessSpec, KeySpec, TxnTemplate};
+    use abyss::sim::run_sim_full;
+
+    const HOT: u64 = 4;
+    const INIT: u64 = 1000;
+    let cores = 1024;
+    let mut cfg = SimConfig::new(CcScheme::Silo, cores);
+    cfg.warmup = 0;
+    cfg.measure = 2_000_000;
+    let gens = (0..cores)
+        .map(|c| {
+            let mut rng = Xoshiro256::seed_from(0xD0_1057 + u64::from(c));
+            Box::new(move || {
+                TxnTemplate::new(vec![AccessSpec {
+                    table: 0,
+                    key: KeySpec::Fixed(rng.next_below(HOT)),
+                    op: AccessOp::UpdateCounter { slot: 0 },
+                }])
+            }) as Box<dyn FnMut() -> abyss::common::TxnTemplate>
+        })
+        .collect();
+    let (report, mut db) = run_sim_full(
+        cfg,
+        vec![SimTable {
+            row_size: 1008,
+            counter_init: INIT,
+        }],
+        gens,
+    );
+    assert!(report.stats.commits > 0);
+    let total: u64 = (0..HOT).map(|k| db.tuple(0, k).counter).sum();
+    assert_eq!(
+        total,
+        INIT * HOT + report.stats.commits,
+        "SILO lost updates in the simulator: {} commits, counters sum {}",
+        report.stats.commits,
+        total
+    );
+}
+
 /// The Fig. 3 method: the simulator and the real engine must agree on
 /// qualitative ordering at host-scale core counts.
 #[test]
@@ -138,7 +276,10 @@ fn sim_and_real_agree_on_contention_direction() {
     let threads = 4;
     // Maximal contrast so scheduler noise from parallel tests cannot flip
     // the direction: uniform read-only vs all-write on a tiny hot set.
-    let low_cfg = || YcsbConfig { table_rows: 50_000, ..YcsbConfig::read_only() };
+    let low_cfg = || YcsbConfig {
+        table_rows: 50_000,
+        ..YcsbConfig::read_only()
+    };
     let high_cfg = || YcsbConfig {
         table_rows: 1_000,
         read_pct: 0.0,
@@ -160,8 +301,13 @@ fn sim_and_real_agree_on_contention_direction() {
                     as Box<dyn FnMut() -> abyss::common::TxnTemplate + Send>
             })
             .collect();
-        run_workers(&db, gens, Duration::from_millis(50), Duration::from_millis(400))
-            .txn_per_sec()
+        run_workers(
+            &db,
+            gens,
+            Duration::from_millis(50),
+            Duration::from_millis(400),
+        )
+        .txn_per_sec()
     };
     let sim_low = ycsb_sim(CcScheme::NoWait, threads, &low_cfg(), |_| {}).txn_per_sec();
     let sim_high = ycsb_sim(CcScheme::NoWait, threads, &high_cfg(), |_| {}).txn_per_sec();

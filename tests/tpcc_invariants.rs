@@ -9,9 +9,13 @@ use abyss::workload::tpcc::{self, TpccConfig, TpccGen, TpccTable};
 
 fn check_scheme(scheme: CcScheme) {
     let workers = 4u32;
-    let cfg = TpccConfig { warehouses: 2, workers, ..TpccConfig::default() };
-    let db = Database::new(EngineConfig::new(scheme, workers), tpcc::catalog(&cfg))
-        .expect("config");
+    let cfg = TpccConfig {
+        warehouses: 2,
+        workers,
+        ..TpccConfig::default()
+    };
+    let db =
+        Database::new(EngineConfig::new(scheme, workers), tpcc::catalog(&cfg)).expect("config");
     for table in [
         TpccTable::Warehouse,
         TpccTable::District,
@@ -23,15 +27,16 @@ fn check_scheme(scheme: CcScheme) {
             .filter(|&(t, _)| t == table.id())
             .map(|(_, k)| k)
             .collect();
-        db.load_table(table.id(), keys, |s, r, k| tpcc::init_row(table.id(), s, r, k))
-            .expect("load");
+        db.load_table(table.id(), keys, |s, r, k| {
+            tpcc::init_row(table.id(), s, r, k)
+        })
+        .expect("load");
     }
 
     let gens = (0..workers)
         .map(|w| {
             let mut g = TpccGen::new(cfg.clone(), w, 0xC0FFEE + u64::from(w));
-            Box::new(move || g.next_txn())
-                as Box<dyn FnMut() -> abyss::common::TxnTemplate + Send>
+            Box::new(move || g.next_txn()) as Box<dyn FnMut() -> abyss::common::TxnTemplate + Send>
         })
         .collect();
     // Zero warmup: stats must cover the whole run for the invariants.
@@ -39,7 +44,10 @@ fn check_scheme(scheme: CcScheme) {
 
     let payment = out.stats.commits_by_tag[tpcc::TAG_PAYMENT as usize];
     let neworder = out.stats.commits_by_tag[tpcc::TAG_NEW_ORDER as usize];
-    assert!(out.stats.commits > 100, "{scheme}: too few commits to be meaningful");
+    assert!(
+        out.stats.commits > 100,
+        "{scheme}: too few commits to be meaningful"
+    );
 
     // ΣW_YTD == committed Payments.
     let w_ytd = db.sum_column(TpccTable::Warehouse.id(), executor::HOT_COL);
@@ -58,8 +66,14 @@ fn check_scheme(scheme: CcScheme) {
     let orders = db.index_len(TpccTable::Order.id());
     let new_orders = db.index_len(TpccTable::NewOrder.id());
     let lines = db.index_len(TpccTable::OrderLine.id());
-    assert_eq!(orders, neworder, "{scheme}: ORDER rows != committed NewOrders");
-    assert_eq!(new_orders, neworder, "{scheme}: NEW-ORDER rows != committed NewOrders");
+    assert_eq!(
+        orders, neworder,
+        "{scheme}: ORDER rows != committed NewOrders"
+    );
+    assert_eq!(
+        new_orders, neworder,
+        "{scheme}: NEW-ORDER rows != committed NewOrders"
+    );
     assert!(
         lines >= neworder * 5 && lines <= neworder * 15,
         "{scheme}: order lines {lines} out of [5,15]×{neworder}"
@@ -69,7 +83,10 @@ fn check_scheme(scheme: CcScheme) {
     // moved only by committed NewOrders: total stock bumps equal the sum
     // of committed order lines (each line updates one stock tuple by one).
     let stock_bumps = db.sum_column(TpccTable::Stock.id(), executor::HOT_COL);
-    assert_eq!(stock_bumps, lines, "{scheme}: stock updates != committed order lines");
+    assert_eq!(
+        stock_bumps, lines,
+        "{scheme}: stock updates != committed order lines"
+    );
 }
 
 #[test]
@@ -119,7 +136,11 @@ fn tpcc_in_simulator_all_schemes() {
         // paper's pathological Fig. 16 case — DL_DETECT legitimately
         // spends its time timing out against long NewOrder S-lock holders).
         let cores = 8;
-        let cfg = TpccConfig { warehouses: cores, workers: cores, ..TpccConfig::default() };
+        let cfg = TpccConfig {
+            warehouses: cores,
+            workers: cores,
+            ..TpccConfig::default()
+        };
         let mut sim = SimConfig::new(scheme, cores);
         sim.warmup = 0;
         sim.measure = 3_000_000;
@@ -141,14 +162,17 @@ fn tpcc_in_simulator_all_schemes() {
         let gens = (0..cores)
             .map(|w| {
                 let mut g = TpccGen::new(cfg.clone(), w, 0xF00D + u64::from(w));
-                Box::new(move || g.next_txn())
-                    as Box<dyn FnMut() -> abyss::common::TxnTemplate>
+                Box::new(move || g.next_txn()) as Box<dyn FnMut() -> abyss::common::TxnTemplate>
             })
             .collect();
         let r = run_sim(sim, tables, gens);
         assert!(r.stats.commits > 50, "{scheme}: sim TPC-C too few commits");
         let p = r.stats.commits_by_tag[tpcc::TAG_PAYMENT as usize];
         let n = r.stats.commits_by_tag[tpcc::TAG_NEW_ORDER as usize];
-        assert_eq!(p + n, r.stats.commits, "{scheme}: tags must partition commits");
+        assert_eq!(
+            p + n,
+            r.stats.commits,
+            "{scheme}: tags must partition commits"
+        );
     }
 }
