@@ -1,0 +1,281 @@
+//! fig_ycsbe — scan-heavy mixes over the ordered index.
+//!
+//! The paper's evaluation is point-access only; CCBench (Tanabe et al.)
+//! shows that scan/insert mixes reshuffle the scheme ranking the paper
+//! established. This experiment sweeps the YCSB-E scan fraction over
+//! {0.05, 0.5, 0.95} (insert pressure fixed at YCSB-E's 5%, the remainder
+//! reads) and compares all eight schemes twice:
+//!
+//! * **simulator** — the 1024-core projection, using the scan cost model
+//!   (`CostModel::scan_entry`) and per-scheme scan admission;
+//! * **real engine** — a small-table multi-threaded run on the host,
+//!   additionally reporting the index-health counters (hash `max_chain`,
+//!   B+-tree height / node count, scan retries) so index regressions show
+//!   up in the perf trajectory.
+//!
+//! Output: aligned tables, plus a machine-readable JSON comparison printed
+//! to stdout and written to `results/fig_ycsbe.json`.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use crate::{fmt_m, ycsb_gens, ycsb_sim_tables, HarnessArgs, Report};
+use abyss_common::zipf::ZipfGen;
+use abyss_common::{CcScheme, RunStats, TxnTemplate};
+use abyss_core::{run_workers, Database, EngineConfig};
+use abyss_sim::{run_sim, SimConfig};
+use abyss_storage::{Catalog, Schema};
+use abyss_workload::ycsb::{self, YcsbConfig, YcsbGen};
+
+/// Scan fractions swept (YCSB-E proper is 0.95).
+pub const SCAN_FRACTIONS: [f64; 3] = [0.05, 0.5, 0.95];
+
+/// Core sweep: smaller than the figure default (24 sim series), but the
+/// 1024-core point — the paper's destination — is always included.
+const SIM_SWEEP: &[u32] = &[1, 16, 256, 1024];
+const SIM_SWEEP_QUICK: &[u32] = &[1, 8, 64];
+
+struct SimPoint {
+    cores: u32,
+    txn_per_sec: f64,
+    abort_rate: f64,
+    scans: u64,
+}
+
+struct EnginePoint {
+    txn_per_sec: f64,
+    abort_rate: f64,
+    scans: u64,
+    scan_retries: u64,
+    hash_max_chain: usize,
+    btree_height: u32,
+    btree_nodes: u64,
+    btree_keys: u64,
+}
+
+fn ycsb_e_cfg(scan_pct: f64, rows: u64) -> YcsbConfig {
+    YcsbConfig {
+        table_rows: rows,
+        scan_max_len: 100.min(rows as u32 / 2).max(1),
+        ..YcsbConfig::ycsb_e(scan_pct)
+    }
+}
+
+fn sim_point(scheme: CcScheme, cores: u32, scan_pct: f64, args: &HarnessArgs) -> SimPoint {
+    let mut sim = SimConfig::new(scheme, cores);
+    args.configure(&mut sim);
+    let mut cfg = ycsb_e_cfg(scan_pct, 20_000_000);
+    if scheme == CcScheme::HStore {
+        cfg.parts = cores.max(1);
+    }
+    let gens = ycsb_gens(&cfg, cores, sim.seed);
+    let r = run_sim(sim, ycsb_sim_tables(), gens);
+    SimPoint {
+        cores,
+        txn_per_sec: r.txn_per_sec(),
+        abort_rate: r.stats.abort_rate(),
+        scans: r.stats.scans,
+    }
+}
+
+/// The engine section uses a narrow schema (key + two u64 columns): the
+/// comparison target is index behavior and scheme overhead, not payload
+/// bandwidth, and the small rows let the arena carry generous insert
+/// headroom without a multi-hundred-megabyte allocation.
+fn engine_catalog(cfg: &YcsbConfig) -> Catalog {
+    let mut c = Catalog::new();
+    let schema = Schema::key_plus_payload(2, 8);
+    c.add_ordered_table("usertable", schema, cfg.table_rows + cfg.insert_capacity);
+    c
+}
+
+fn engine_point(scheme: CcScheme, scan_pct: f64, args: &HarnessArgs) -> EnginePoint {
+    let workers: u32 = 4;
+    let rows: u64 = if args.quick { 4_000 } else { 20_000 };
+    let mut cfg = ycsb_e_cfg(scan_pct, rows);
+    // Headroom for committed inserts plus slots leaked by aborted eager
+    // inserts; sized so the arena cannot fill within the run window.
+    cfg.insert_capacity = if args.quick { 100_000 } else { 400_000 };
+    if scheme == CcScheme::HStore {
+        cfg.parts = workers;
+    }
+    let db = Database::new(EngineConfig::new(scheme, workers), engine_catalog(&cfg))
+        .expect("engine config");
+    db.load_table(ycsb::YCSB_TABLE, 0..rows, |s, r, k| {
+        abyss_storage::row::set_u64(s, r, 0, k);
+        abyss_storage::row::set_u64(s, r, 1, k ^ 0xABBA);
+    })
+    .expect("load");
+    let zipf = ZipfGen::new(cfg.table_rows, cfg.theta);
+    let gens: Vec<Box<dyn FnMut() -> TxnTemplate + Send>> = (0..workers)
+        .map(|w| {
+            let mut g = YcsbGen::with_zipf(cfg.clone(), zipf.clone(), 0xE5 ^ (u64::from(w) << 20))
+                .for_worker(w);
+            Box::new(move || g.next_txn()) as Box<dyn FnMut() -> TxnTemplate + Send>
+        })
+        .collect();
+    let (warm, meas) = if args.quick {
+        (Duration::from_millis(40), Duration::from_millis(120))
+    } else {
+        (Duration::from_millis(150), Duration::from_millis(500))
+    };
+    let out = run_workers(&db, gens, warm, meas);
+    let health = db.index_health(ycsb::YCSB_TABLE);
+    let btree = health.btree.expect("usertable is ordered");
+    let stats: &RunStats = &out.stats;
+    EnginePoint {
+        txn_per_sec: out.txn_per_sec(),
+        abort_rate: stats.abort_rate(),
+        scans: stats.scans,
+        scan_retries: stats.scan_retries,
+        hash_max_chain: health.hash_max_chain,
+        btree_height: btree.height,
+        btree_nodes: btree.nodes,
+        btree_keys: btree.len,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "0".into()
+    }
+}
+
+/// Run the full fig_ycsbe experiment (parses CLI args itself).
+pub fn run() {
+    let args = HarnessArgs::parse();
+    let sweep: &[u32] = if args.quick {
+        SIM_SWEEP_QUICK
+    } else {
+        SIM_SWEEP
+    };
+    let schemes = CcScheme::ALL;
+
+    // ---- simulator sweep ---------------------------------------------
+    let mut sim_json: Vec<String> = Vec::new();
+    for &frac in &SCAN_FRACTIONS {
+        let mut headers = vec!["cores".to_string()];
+        headers.extend(schemes.iter().map(|s| s.to_string()));
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut rep = Report::new(&headers_ref);
+        let mut series: Vec<Vec<SimPoint>> = schemes.iter().map(|_| Vec::new()).collect();
+        for &n in sweep {
+            let mut row = vec![n.to_string()];
+            for (i, &scheme) in schemes.iter().enumerate() {
+                let p = sim_point(scheme, n, frac, &args);
+                row.push(fmt_m(p.txn_per_sec));
+                series[i].push(p);
+            }
+            rep.row(row);
+        }
+        rep.print(&format!(
+            "fig_ycsbe sim — YCSB-E scan fraction {frac} (Mtxn/s)"
+        ));
+        let schemes_json: Vec<String> = schemes
+            .iter()
+            .zip(&series)
+            .map(|(&scheme, pts)| {
+                let pts: Vec<String> = pts
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "{{\"cores\":{},\"txn_per_sec\":{:.1},\"abort_rate\":{},\"scans\":{}}}",
+                            p.cores,
+                            p.txn_per_sec,
+                            json_f(p.abort_rate),
+                            p.scans
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"scheme\":\"{}\",\"points\":[{}]}}",
+                    scheme.name(),
+                    pts.join(",")
+                )
+            })
+            .collect();
+        sim_json.push(format!(
+            "{{\"scan_pct\":{frac},\"schemes\":[{}]}}",
+            schemes_json.join(",")
+        ));
+    }
+
+    // ---- real engine (index health) ----------------------------------
+    let mut engine_json: Vec<String> = Vec::new();
+    for &frac in &SCAN_FRACTIONS {
+        let headers = [
+            "scheme",
+            "Mtxn/s",
+            "abort%",
+            "scans",
+            "scan_retries",
+            "hash_chain",
+            "bt_height",
+            "bt_nodes",
+        ];
+        let mut rep = Report::new(&headers);
+        let mut points: Vec<String> = Vec::new();
+        for &scheme in schemes.iter() {
+            let p = engine_point(scheme, frac, &args);
+            rep.row(vec![
+                scheme.to_string(),
+                fmt_m(p.txn_per_sec),
+                format!("{:.1}", p.abort_rate * 100.0),
+                p.scans.to_string(),
+                p.scan_retries.to_string(),
+                p.hash_max_chain.to_string(),
+                p.btree_height.to_string(),
+                p.btree_nodes.to_string(),
+            ]);
+            points.push(format!(
+                "{{\"scheme\":\"{}\",\"txn_per_sec\":{:.1},\"abort_rate\":{},\
+                 \"scans\":{},\"scan_retries\":{},\"index\":{{\"hash_max_chain\":{},\
+                 \"btree_height\":{},\"btree_nodes\":{},\"btree_keys\":{}}}}}",
+                scheme.name(),
+                p.txn_per_sec,
+                json_f(p.abort_rate),
+                p.scans,
+                p.scan_retries,
+                p.hash_max_chain,
+                p.btree_height,
+                p.btree_nodes,
+                p.btree_keys,
+            ));
+        }
+        rep.print(&format!(
+            "fig_ycsbe engine — YCSB-E scan fraction {frac}, 4 workers"
+        ));
+        engine_json.push(format!(
+            "{{\"scan_pct\":{frac},\"schemes\":[{}]}}",
+            points.join(",")
+        ));
+    }
+
+    // ---- JSON comparison ---------------------------------------------
+    let json = format!(
+        "{{\"figure\":\"fig_ycsbe\",\"scan_fractions\":[{}],\
+         \"sim\":{{\"cores\":[{}],\"series\":[{}]}},\
+         \"engine\":{{\"workers\":4,\"series\":[{}]}}}}",
+        SCAN_FRACTIONS
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        sweep
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        sim_json.join(","),
+        engine_json.join(","),
+    );
+    println!("\n{json}");
+    if std::fs::create_dir_all("results").is_ok() {
+        if let Ok(mut f) = std::fs::File::create("results/fig_ycsbe.json") {
+            let _ = writeln!(f, "{json}");
+            println!("  [json] results/fig_ycsbe.json");
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //!   shape in minutes instead of hours.
 
 pub mod fig_modern;
+pub mod fig_ycsbe;
 
 use std::io::Write as _;
 use std::path::Path;

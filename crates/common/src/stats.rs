@@ -152,6 +152,12 @@ pub struct RunStats {
     pub breakdown: TimeBreakdown,
     /// Timestamps allocated (for the Fig. 6 micro-benchmark).
     pub ts_allocated: u64,
+    /// Range scans executed (committed or not).
+    pub scans: u64,
+    /// Range-scan restarts: optimistic B+-tree retries plus scheme-level
+    /// leaf revalidation retries. An index-health signal — a rising
+    /// retry-per-scan ratio means scans are fighting structural churn.
+    pub scan_retries: u64,
 }
 
 impl RunStats {
@@ -230,6 +236,8 @@ impl RunStats {
         self.elapsed = self.elapsed.max(other.elapsed);
         self.breakdown += other.breakdown;
         self.ts_allocated += other.ts_allocated;
+        self.scans += other.scans;
+        self.scan_retries += other.scan_retries;
     }
 }
 

@@ -31,12 +31,19 @@ pub enum AccessOp {
     },
     /// Insert a fresh tuple.
     Insert,
+    /// Range-scan `len` consecutive keys starting at the access key
+    /// (`[key, key + len)`), reading every tuple present in the range.
+    /// Requires the target table to carry an ordered index.
+    Scan {
+        /// Number of consecutive keys the range covers.
+        len: u32,
+    },
 }
 
 impl AccessOp {
     /// Does the operation write?
     pub fn is_write(self) -> bool {
-        !matches!(self, AccessOp::Read)
+        !matches!(self, AccessOp::Read | AccessOp::Scan { .. })
     }
 }
 

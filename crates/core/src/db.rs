@@ -6,7 +6,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use abyss_common::{CcScheme, DbError, Key, RowIdx, TableId};
-use abyss_storage::{Catalog, HashIndex, Schema, Table};
+use abyss_storage::btree::{GuardedInsert, LeafId};
+use abyss_storage::{BPlusTree, BtreeHealth, Catalog, HashIndex, Schema, Table};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 
@@ -30,6 +31,12 @@ pub struct Database {
     pub(crate) catalog: Catalog,
     pub(crate) tables: Vec<Table>,
     pub(crate) indexes: Vec<HashIndex>,
+    /// Ordered (B+-tree) index per table marked `ordered` in the catalog.
+    pub(crate) ordered: Vec<Option<BPlusTree>>,
+    /// Per-table "+∞ key" lock anchor: 2PL next-key locking needs a
+    /// lockable successor even when a scan range has none (see
+    /// [`crate::txn::GAP_ROW`]).
+    pub(crate) gap_meta: Vec<RowMeta>,
     pub(crate) meta: Vec<Box<[RowMeta]>>,
     pub(crate) ts: SharedTs,
     pub(crate) park: ParkTable,
@@ -49,10 +56,14 @@ impl Database {
         cfg.validate().map_err(DbError::SchemaViolation)?;
         let mut tables = Vec::with_capacity(catalog.len());
         let mut indexes = Vec::with_capacity(catalog.len());
+        let mut ordered = Vec::with_capacity(catalog.len());
+        let mut gap_meta = Vec::with_capacity(catalog.len());
         let mut meta = Vec::with_capacity(catalog.len());
         for def in catalog.tables() {
             tables.push(Table::new(def.schema.clone(), def.capacity));
             indexes.push(HashIndex::new(def.id, def.capacity));
+            ordered.push(def.ordered.then(|| BPlusTree::new(def.id)));
+            gap_meta.push(RowMeta::default());
             let mut m = Vec::with_capacity(def.capacity as usize);
             m.resize_with(def.capacity as usize, RowMeta::default);
             meta.push(m.into_boxed_slice());
@@ -79,6 +90,8 @@ impl Database {
             catalog,
             tables,
             indexes,
+            ordered,
+            gap_meta,
             meta,
             cfg,
             epoch,
@@ -125,16 +138,143 @@ impl Database {
         self.indexes[table as usize].len() as u64
     }
 
-    /// Per-tuple metadata of a row.
+    /// Per-tuple metadata of a row. [`crate::txn::GAP_ROW`] addresses the
+    /// table's "+∞" gap anchor instead of a real slot.
     #[inline]
     pub(crate) fn row_meta(&self, table: TableId, row: RowIdx) -> &RowMeta {
-        &self.meta[table as usize][row as usize]
+        if row == crate::txn::GAP_ROW {
+            &self.gap_meta[table as usize]
+        } else {
+            &self.meta[table as usize][row as usize]
+        }
     }
 
     /// Index probe.
     #[inline]
     pub(crate) fn index_get(&self, table: TableId, key: Key) -> Result<RowIdx, DbError> {
         self.indexes[table as usize].get(key)
+    }
+
+    /// The ordered index of `table`, if the catalog declared one.
+    #[inline]
+    pub(crate) fn ordered_index(&self, table: TableId) -> Option<&BPlusTree> {
+        self.ordered[table as usize].as_ref()
+    }
+
+    /// The ordered index of `table`, or the error scan callers surface.
+    #[inline]
+    pub(crate) fn require_ordered(&self, table: TableId) -> Result<&BPlusTree, DbError> {
+        self.ordered_index(table).ok_or(DbError::Unsupported(
+            "range scan on a table without an ordered index",
+        ))
+    }
+
+    /// Publish `key → row` in every index of `table` (hash, plus the
+    /// ordered index when present). Returns the B+-tree leaf the key
+    /// landed in so timestamp schemes can run their gap checks against it.
+    /// Atomic across indexes: a duplicate rolls the hash insert back.
+    pub(crate) fn index_insert(
+        &self,
+        table: TableId,
+        key: Key,
+        row: RowIdx,
+    ) -> Result<Option<LeafId>, DbError> {
+        self.indexes[table as usize].insert(key, row)?;
+        if let Some(tree) = self.ordered_index(table) {
+            match tree.insert(key, row) {
+                Ok(leaf) => Ok(Some(leaf)),
+                Err(e) => {
+                    // Hash uniqueness makes this unreachable in practice,
+                    // but keep the pair consistent regardless.
+                    self.indexes[table as usize].remove(key);
+                    Err(e)
+                }
+            }
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Withdraw `key` from every index of `table`. Returns the row it
+    /// mapped to and the B+-tree leaf it was removed from (when ordered).
+    pub(crate) fn index_remove(
+        &self,
+        table: TableId,
+        key: Key,
+    ) -> Option<(RowIdx, Option<LeafId>)> {
+        let row = self.indexes[table as usize].remove(key)?;
+        let leaf = self
+            .ordered_index(table)
+            .and_then(|tree| tree.remove(key).map(|(_, leaf)| leaf));
+        Some((row, leaf))
+    }
+
+    /// [`Database::index_remove`] for the timestamp schemes: the covering
+    /// leaf's `del_wts` tag is raised to `ts` atomically with the removal
+    /// (under the leaf lock), so a scan that misses the key is guaranteed
+    /// to also see the tag.
+    pub(crate) fn index_remove_tagged(
+        &self,
+        table: TableId,
+        key: Key,
+        ts: abyss_common::Ts,
+    ) -> Option<(RowIdx, Option<LeafId>)> {
+        let row = self.indexes[table as usize].remove(key)?;
+        let leaf = self
+            .ordered_index(table)
+            .and_then(|tree| tree.remove_tagged(key, ts).map(|(_, leaf)| leaf));
+        Some((row, leaf))
+    }
+
+    /// [`Database::index_insert`] for the timestamp schemes: refuses the
+    /// insert (rolling the hash entry back) when the covering leaf's
+    /// `scan_rts` tag exceeds `ts`. The check is atomic with publication
+    /// (under the leaf lock), so a committed scan that missed this key
+    /// either raised the tag first — and we refuse — or observes the key
+    /// through its leaf revalidation.
+    pub(crate) fn index_insert_guarded(
+        &self,
+        table: TableId,
+        key: Key,
+        row: RowIdx,
+        ts: abyss_common::Ts,
+    ) -> Result<OrderedPublish, DbError> {
+        self.indexes[table as usize].insert(key, row)?;
+        let Some(tree) = self.ordered_index(table) else {
+            return Ok(OrderedPublish::Done(None));
+        };
+        match tree.insert_guarded(key, row, ts) {
+            Ok(GuardedInsert::Inserted { leaf, .. }) => Ok(OrderedPublish::Done(Some(leaf))),
+            Ok(GuardedInsert::GapProtected) => {
+                self.indexes[table as usize].remove(key);
+                Ok(OrderedPublish::GapProtected)
+            }
+            Err(e) => {
+                self.indexes[table as usize].remove(key);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Database::index_insert`] additionally reporting the B+-tree
+    /// leaf's pre-insert version (OCC/SILO own-node-set accounting).
+    pub(crate) fn index_insert_tracked(
+        &self,
+        table: TableId,
+        key: Key,
+        row: RowIdx,
+    ) -> Result<Option<(LeafId, u64)>, DbError> {
+        self.indexes[table as usize].insert(key, row)?;
+        let Some(tree) = self.ordered_index(table) else {
+            return Ok(None);
+        };
+        match tree.insert_tracked(key, row) {
+            Ok(info) => Ok(Some(info)),
+            Err(e) => {
+                self.indexes[table as usize].remove(key);
+                Err(e)
+            }
+        }
     }
 
     /// Bulk-load rows into `table`. Not transactional; run before workers
@@ -146,7 +286,6 @@ impl Database {
         mut init: impl FnMut(&Schema, &mut [u8], Key),
     ) -> Result<u64, DbError> {
         let t = &self.tables[table as usize];
-        let idx = &self.indexes[table as usize];
         let mut n = 0;
         for key in keys {
             let row = t.allocate_row()?;
@@ -154,10 +293,30 @@ impl Database {
             // no other thread can reach it.
             let data = unsafe { t.row_mut(row) };
             init(t.schema(), data, key);
-            idx.insert(key, row)?;
+            self.index_insert(table, key, row)?;
             n += 1;
         }
         Ok(n)
+    }
+
+    /// Diagnostics: `(version, scan_rts, del_wts)` of the B+-tree leaf
+    /// covering `key`'s position, when the table is ordered.
+    #[doc(hidden)]
+    pub fn debug_leaf_tags(&self, table: TableId, key: Key) -> Option<(u64, u64, u64)> {
+        let tree = self.ordered_index(table)?;
+        let sr = tree.scan(key, key);
+        let &(leaf, v) = sr.leaves.first()?;
+        Some((v, tree.leaf_scan_rts(leaf), tree.leaf_del_wts(leaf)))
+    }
+
+    /// Index-health snapshot for `table` — the regression surface the
+    /// bench binaries export (hash chain length, B+-tree shape).
+    pub fn index_health(&self, table: TableId) -> IndexHealth {
+        IndexHealth {
+            hash_len: self.indexes[table as usize].len(),
+            hash_max_chain: self.indexes[table as usize].max_chain(),
+            btree: self.ordered_index(table).map(|t| t.health()),
+        }
     }
 
     /// Create the execution context for `worker` (one per thread).
@@ -207,6 +366,26 @@ impl Database {
         }
         sum
     }
+}
+
+/// Outcome of [`Database::index_insert_guarded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OrderedPublish {
+    /// Published in every index (the leaf, when the table is ordered).
+    Done(Option<LeafId>),
+    /// Refused: a later-timestamp scan already covered the target gap.
+    GapProtected,
+}
+
+/// Index-health snapshot of one table (see [`Database::index_health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexHealth {
+    /// Live keys in the hash index.
+    pub hash_len: usize,
+    /// Longest hash bucket chain (load-factor regression signal).
+    pub hash_max_chain: usize,
+    /// B+-tree shape, when the table carries an ordered index.
+    pub btree: Option<BtreeHealth>,
 }
 
 impl std::fmt::Debug for Database {

@@ -41,6 +41,13 @@ fn body(t: &mut WorkerCtx, tmpl: &TxnTemplate) -> Result<(), TxnError> {
                 counters[slot as usize] = t.update_counter(a.table, key, HOT_COL, 1)?;
             }
             AccessOp::Insert => t.insert(a.table, key, |s, d| init_insert(s, d, key))?,
+            AccessOp::Scan { len } => {
+                let high = key.saturating_add(u64::from(len).max(1) - 1);
+                let n = t.scan(a.table, key, high, |_, _, data| {
+                    sink ^= u64::from(data[0]);
+                })?;
+                sink ^= n as u64;
+            }
         }
     }
     std::hint::black_box(sink);

@@ -25,7 +25,7 @@ use abyss_storage::Schema;
 
 use super::{ReadRef, SchemeEnv};
 use crate::park::WaitOutcome;
-use crate::txn::{InsertEntry, UndoEntry};
+use crate::txn::{DeleteEntry, InsertEntry, UndoEntry};
 
 /// One partition's lock state: a busy flag plus a ts-ordered wait queue.
 #[derive(Debug, Default)]
@@ -160,7 +160,7 @@ pub(crate) fn insert(
     // SAFETY: fresh unindexed row in an owned partition.
     let data = unsafe { t.row_mut(row) };
     f(t.schema(), data);
-    if env.db.indexes[table as usize].insert(key, row).is_err() {
+    if env.db.index_insert(table, key, row).is_err() {
         return Err(AbortReason::LockConflict);
     }
     env.st.inserts.push(InsertEntry {
@@ -169,6 +169,35 @@ pub(crate) fn insert(
         row: Some(row),
         data: None,
         indexed: true,
+    });
+    Ok(())
+}
+
+/// Delete immediately (owned partitions are exclusive); abort re-publishes
+/// the index entries. Deleting a key this transaction itself inserted
+/// instead cancels the insert — the abort path must not re-publish a row
+/// born in the same (aborted) transaction.
+pub(crate) fn delete(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    key: Key,
+    row: RowIdx,
+) -> Result<(), AbortReason> {
+    env.db.index_remove(table, key);
+    if let Some(ins) = env
+        .st
+        .inserts
+        .iter_mut()
+        .find(|i| i.table == table && i.key == key && i.indexed)
+    {
+        ins.indexed = false; // withdrawn now; nothing to undo on abort
+        return Ok(());
+    }
+    env.st.deletes.push(DeleteEntry {
+        table,
+        key,
+        row,
+        applied: true,
     });
     Ok(())
 }
@@ -190,7 +219,12 @@ pub(crate) fn abort(env: &mut SchemeEnv<'_>) {
     }
     for ins in env.st.inserts.drain(..) {
         if ins.indexed {
-            env.db.indexes[ins.table as usize].remove(ins.key);
+            env.db.index_remove(ins.table, ins.key);
+        }
+    }
+    for d in env.st.deletes.drain(..) {
+        if d.applied {
+            let _ = env.db.index_insert(d.table, d.key, d.row);
         }
     }
     release_partitions(env);

@@ -22,7 +22,7 @@ use abyss_storage::Schema;
 
 use super::{ReadRef, SchemeEnv};
 use crate::meta::{TsWaiter, Version};
-use crate::txn::{InsertEntry, ReadCopy, WriteEntry};
+use crate::txn::{DeleteEntry, InsertEntry, ReadCopy, WriteEntry};
 
 /// Copy the current table row — the chain's initial version on first touch.
 fn seed<'a>(t: &'a abyss_storage::Table, row: RowIdx) -> impl FnOnce() -> Box<[u8]> + 'a {
@@ -39,6 +39,23 @@ pub(crate) fn read(
     table: TableId,
     row: RowIdx,
 ) -> Result<ReadRef, AbortReason> {
+    match read_visible(env, table, row)? {
+        Some(r) => Ok(r),
+        // Required version was garbage-collected (or the row was created
+        // after this snapshot — indistinguishable at a point access).
+        None => Err(AbortReason::TsOrderViolation),
+    }
+}
+
+/// MVCC read returning `None` when the tuple has no version visible at
+/// this snapshot. The scan path uses this to *skip* rows created by
+/// transactions serialized after the scanner (their `wts > ts`) instead
+/// of aborting — the snapshot-bounded scan semantics.
+pub(crate) fn read_visible(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+) -> Result<Option<ReadRef>, AbortReason> {
     if let Some(i) = env.st.wbuf_idx(table, row) {
         let mut copy = env.pool.alloc(env.st.wbuf[i].data.capacity());
         copy.as_mut_slice().copy_from_slice(&env.st.wbuf[i].data);
@@ -47,7 +64,7 @@ pub(crate) fn read(
             row,
             data: copy,
         });
-        return Ok(ReadRef::Rbuf(env.st.rbuf.len() - 1));
+        return Ok(Some(ReadRef::Rbuf(env.st.rbuf.len() - 1)));
     }
     let ts = env.st.ts;
     let me = env.st.txn_id;
@@ -59,8 +76,7 @@ pub(crate) fn read(
             let meta = env.db.row_meta(table, row);
             let mut chain = meta.mvcc_chain(seed(t, row));
             let Some(vi) = chain.visible_version(ts) else {
-                // Required version was garbage-collected.
-                return Err(AbortReason::TsOrderViolation);
+                return Ok(None);
             };
             let vwts = chain.versions[vi].wts;
             let pending = chain
@@ -77,7 +93,7 @@ pub(crate) fn read(
                     row,
                     data: buf,
                 });
-                return Ok(ReadRef::Rbuf(env.st.rbuf.len() - 1));
+                return Ok(Some(ReadRef::Rbuf(env.st.rbuf.len() - 1)));
             }
             env.db.park.arm(env.worker);
             chain.waiters.push(TsWaiter {
@@ -182,6 +198,74 @@ pub(crate) fn write(
     }
 }
 
+/// MVCC delete: admitted under the MVTO write rules (newest version
+/// visible, `rts <= ts`, no interfering prewrites — the `rts` check is
+/// what stops a delete from serializing before a scan that already
+/// observed the row), then registered as a prewrite; the index entries
+/// are withdrawn at commit.
+pub(crate) fn delete(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    key: Key,
+    row: RowIdx,
+) -> Result<(), AbortReason> {
+    let ts = env.st.ts;
+    let me = env.st.txn_id;
+    let started = Instant::now();
+    let deadline = started + Duration::from_micros(env.db.cfg.wait_cap_us);
+    loop {
+        let t = &env.db.tables[table as usize];
+        {
+            let meta = env.db.row_meta(table, row);
+            let mut chain = meta.mvcc_chain(seed(t, row));
+            let Some(vi) = chain.visible_version(ts) else {
+                return Err(AbortReason::TsOrderViolation);
+            };
+            if vi != chain.versions.len() - 1 || chain.versions[vi].rts > ts {
+                return Err(AbortReason::MvccWriteConflict);
+            }
+            let vwts = chain.versions[vi].wts;
+            let pending = chain
+                .prewrites
+                .iter()
+                .any(|&(p, t2)| p > vwts && p < ts && t2 != me);
+            if pending {
+                env.db.park.arm(env.worker);
+                chain.waiters.push(TsWaiter {
+                    ts,
+                    worker: env.worker,
+                });
+                drop(chain);
+                let out = env.db.park.wait(env.worker, deadline);
+                env.stats
+                    .breakdown
+                    .record(Category::Wait, started.elapsed().as_nanos() as u64);
+                if out == crate::park::WaitOutcome::TimedOut {
+                    let mut chain = env.db.row_meta(table, row).mvcc_chain(seed(t, row));
+                    chain.waiters.retain(|w| w.worker != env.worker);
+                    env.db.park.reset(env.worker);
+                    return Err(AbortReason::WaitTimeout);
+                }
+                continue;
+            }
+            if chain.prewrites.iter().any(|&(p, t2)| p > ts && t2 != me) {
+                return Err(AbortReason::MvccWriteConflict);
+            }
+            let v = &mut chain.versions[vi];
+            v.rts = v.rts.max(ts);
+            chain.prewrites.push((ts, me));
+        }
+        env.st.prewrites.push((table, row));
+        env.st.deletes.push(DeleteEntry {
+            table,
+            key,
+            row,
+            applied: false,
+        });
+        return Ok(());
+    }
+}
+
 /// MVCC insert: buffered; the new tuple's chain starts at commit.
 pub(crate) fn insert(
     env: &mut SchemeEnv<'_>,
@@ -230,13 +314,16 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
                         chain.versions[0].wts = ts;
                         chain.versions[0].rts = ts;
                     }
-                    if env.db.indexes[ins.table as usize]
-                        .insert(ins.key, row)
-                        .is_ok()
-                    {
-                        applied.push((ins.table, ins.key));
-                    } else {
-                        failed = true;
+                    // Gap check atomic with publication (leaf lock): a
+                    // committed scan with a *later* snapshot already
+                    // covered this leaf's range — planting a key behind
+                    // it would be a phantom — and an in-flight one fails
+                    // its leaf revalidation.
+                    match env.db.index_insert_guarded(ins.table, ins.key, row, ts) {
+                        Ok(crate::db::OrderedPublish::Done(_)) => {
+                            applied.push((ins.table, ins.key));
+                        }
+                        Ok(crate::db::OrderedPublish::GapProtected) | Err(_) => failed = true,
                     }
                 } else {
                     failed = true;
@@ -246,13 +333,23 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
         }
         if failed {
             for (table, key) in applied {
-                env.db.indexes[table as usize].remove(key);
+                env.db.index_remove(table, key);
             }
             return Err(AbortReason::MvccWriteConflict);
         }
     }
 
     for w in std::mem::take(&mut env.st.wbuf) {
+        if env
+            .st
+            .deletes
+            .iter()
+            .any(|d| d.table == w.table && d.row == w.row)
+        {
+            // Written then deleted in the same transaction: the delete wins.
+            env.pool.free(w.data);
+            continue;
+        }
         let t = &env.db.tables[w.table as usize];
         let meta = env.db.row_meta(w.table, w.row);
         let mut chain = meta.mvcc_chain(seed(t, w.row));
@@ -273,6 +370,25 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
         }
         drop(chain);
         env.pool.free(w.data);
+    }
+    // Deletes: pull the key out of the indexes FIRST — while the prewrite
+    // is still pending, so any reader that finds the stale row reference
+    // keeps waiting instead of slipping through a "resolved but not yet
+    // removed" window — then resolve the prewrite and wake waiters.
+    // Scanners holding a stale B+-tree snapshot catch the removal through
+    // leaf revalidation; later-arriving scanners with an *older* snapshot
+    // abort on `del_wts` (raised atomically with the removal, under the
+    // leaf lock).
+    for d in std::mem::take(&mut env.st.deletes) {
+        let t = &env.db.tables[d.table as usize];
+        env.db.index_remove_tagged(d.table, d.key, ts);
+        {
+            let mut chain = env.db.row_meta(d.table, d.row).mvcc_chain(seed(t, d.row));
+            chain.remove_prewrite(me);
+            for waiter in chain.waiters.drain(..) {
+                env.db.park.grant(waiter.worker);
+            }
+        }
     }
     env.st.prewrites.clear();
     Ok(())

@@ -21,7 +21,7 @@ use abyss_storage::Schema;
 
 use super::{ReadRef, SchemeEnv};
 use crate::lockword::silo;
-use crate::txn::{InsertEntry, ReadCopy, ReadEntry, WriteEntry};
+use crate::txn::{DeleteEntry, InsertEntry, ReadCopy, ReadEntry, WriteEntry};
 
 /// Bounded seqlock read: copy the row at a stable version. Shared with
 /// the SILO scheme, whose read phase is identical (the recorded `version`
@@ -141,15 +141,34 @@ pub(crate) fn insert(
     Ok(())
 }
 
-/// Lock the whole write set via each tuple's word, in canonical
-/// `(table, row)` order (deadlock-free). On success returns the number of
-/// locked entries; on a spin-cap abort every acquired lock has already
-/// been released. Shared with the SILO scheme.
-pub(crate) fn lock_write_set(env: &mut SchemeEnv<'_>) -> Result<usize, AbortReason> {
-    env.st.wbuf.sort_unstable_by_key(|w| (w.table, w.row));
-    let mut locked = 0usize;
-    for w in env.st.wbuf.iter() {
-        let word = &env.db.row_meta(w.table, w.row).word;
+/// The rows a committing transaction must latch: its write set plus its
+/// delete set, deduplicated, in canonical `(table, row)` order
+/// (deadlock-free). Reuses the transaction's scratch vector so the hot
+/// commit path never allocates; the caller returns it via
+/// [`put_back_lock_targets`]. Shared with the SILO scheme.
+pub(crate) fn take_commit_lock_targets(env: &mut SchemeEnv<'_>) -> Vec<(TableId, RowIdx)> {
+    let mut v = std::mem::take(&mut env.st.lock_scratch);
+    v.clear();
+    v.extend(env.st.wbuf.iter().map(|w| (w.table, w.row)));
+    v.extend(env.st.deletes.iter().map(|d| (d.table, d.row)));
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Return the scratch lock set for reuse by the next transaction.
+pub(crate) fn put_back_lock_targets(env: &mut SchemeEnv<'_>, v: Vec<(TableId, RowIdx)>) {
+    env.st.lock_scratch = v;
+}
+
+/// Latch every row in `targets` via its word. On a spin-cap abort every
+/// acquired lock has already been released. Shared with the SILO scheme.
+pub(crate) fn lock_targets(
+    env: &mut SchemeEnv<'_>,
+    targets: &[(TableId, RowIdx)],
+) -> Result<(), AbortReason> {
+    for (locked, &(table, row)) in targets.iter().enumerate() {
+        let word = &env.db.row_meta(table, row).word;
         let mut spins = 0u32;
         loop {
             let cur = word.load(Ordering::Acquire);
@@ -169,46 +188,147 @@ pub(crate) fn lock_write_set(env: &mut SchemeEnv<'_>) -> Result<usize, AbortReas
             // Canonical order makes waiting deadlock-free, but bound it so
             // pathological stalls surface as aborts instead of hangs.
             if spins > 10_000_000 {
-                unlock_first(env, locked);
+                unlock_targets(env, &targets[..locked]);
                 return Err(AbortReason::ValidationFail);
             }
             std::hint::spin_loop();
         }
-        locked += 1;
     }
-    Ok(locked)
+    Ok(())
+}
+
+/// Unlock latched rows without bumping versions (validation failed;
+/// nothing was installed). Shared with SILO.
+pub(crate) fn unlock_targets(env: &mut SchemeEnv<'_>, targets: &[(TableId, RowIdx)]) {
+    for &(table, row) in targets {
+        let word = &env.db.row_meta(table, row).word;
+        let cur = word.load(Ordering::Acquire);
+        debug_assert!(silo::is_locked(cur));
+        word.store(silo::unlock(cur), Ordering::Release);
+    }
+}
+
+/// Validate the recorded B+-tree node set: every leaf observed by a range
+/// scan must still carry the version the scan saw — otherwise a structural
+/// change (insert, delete, split) touched the scanned key range and the
+/// scan may have missed a phantom. Shared with SILO.
+pub(crate) fn validate_node_set(env: &SchemeEnv<'_>) -> bool {
+    env.st.node_set.iter().all(|ns| {
+        env.db
+            .ordered_index(ns.table)
+            .is_some_and(|tree| tree.leaf_version(ns.leaf) == ns.version)
+    })
+}
+
+/// OCC delete: observe the tuple's version like a read (so validation
+/// catches any interleaved change), buffer the removal until the write
+/// phase. A repeated delete of the same row is a no-op — a duplicate
+/// entry would double-release the tuple word at commit.
+pub(crate) fn delete(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    key: Key,
+    row: RowIdx,
+) -> Result<(), AbortReason> {
+    if env
+        .st
+        .deletes
+        .iter()
+        .any(|d| d.table == table && d.row == row)
+    {
+        return Ok(());
+    }
+    let word = env.db.row_meta(table, row).word.load(Ordering::Acquire);
+    env.st.rset.push(ReadEntry {
+        table,
+        row,
+        version: silo::version(word),
+    });
+    env.st.deletes.push(DeleteEntry {
+        table,
+        key,
+        row,
+        applied: false,
+    });
+    Ok(())
 }
 
 /// Validation + write phase. The caller has already allocated the second
 /// (validation) timestamp.
 pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
-    // Lock the write set in canonical order — per-tuple latches only.
-    let locked = lock_write_set(env)?;
+    let targets = take_commit_lock_targets(env);
+    let r = commit_locked(env, &targets);
+    put_back_lock_targets(env, targets);
+    r
+}
+
+fn commit_locked(
+    env: &mut SchemeEnv<'_>,
+    targets: &[(TableId, RowIdx)],
+) -> Result<(), AbortReason> {
+    // Lock the write + delete sets in canonical order — per-tuple latches.
+    lock_targets(env, targets)?;
 
     // Validate the read set: versions unchanged, no foreign locks.
     for r in env.st.rset.iter() {
         let word = env.db.row_meta(r.table, r.row).word.load(Ordering::Acquire);
-        let own = env
-            .st
-            .wbuf
-            .iter()
-            .any(|w| w.table == r.table && w.row == r.row);
+        let own = targets.binary_search(&(r.table, r.row)).is_ok();
         if silo::version(word) != r.version || (silo::is_locked(word) && !own) {
-            unlock_first(env, locked);
+            unlock_targets(env, targets);
             return Err(AbortReason::ValidationFail);
         }
     }
 
-    // Publish inserts before installing writes: the insert is the only
-    // fallible step (duplicate-key race), and it withdraws itself on
-    // failure so the abort path sees an uncommitted transaction.
-    if let Err(reason) = publish_buffered_inserts(env) {
-        unlock_first(env, locked);
-        return Err(reason);
+    // Publish inserts BEFORE node-set validation (their rows stay latched
+    // until commit, so nothing can read them early): two committers
+    // concurrently inserting into each other's scanned ranges then both
+    // see the other's leaf bump and at least one aborts — published-first
+    // is what makes the node set able to observe concurrent inserts at
+    // all (Silo inserts into the tree before validating for this reason).
+    let inserted = match publish_buffered_inserts(env) {
+        Ok(v) => v,
+        Err(reason) => {
+            unlock_targets(env, targets);
+            return Err(reason);
+        }
+    };
+    // Our own inserts legitimately bumped leaves we may have scanned
+    // ourselves; refresh those node-set entries so self-inserts into a
+    // self-scanned range do not self-abort.
+    refresh_own_node_set(env, &inserted);
+
+    // Validate the node set (phantom protection for range scans).
+    if !validate_node_set(env) {
+        withdraw_published_inserts(env, &inserted);
+        unlock_targets(env, targets);
+        return Err(AbortReason::ValidationFail);
+    }
+
+    // Nothing can fail past this point. Release the fresh rows at version
+    // 0 — OCC's "never written" state — making the inserts readable.
+    for &(table, _, row, _) in &inserted {
+        env.db.row_meta(table, row).word.store(0, Ordering::Release);
+    }
+
+    // Delete phase: withdraw index entries (bumping the covering leaf's
+    // version, which fails any in-flight scanner's node set), then bump
+    // and release the tuple word so stale readers fail validation.
+    let deletes = std::mem::take(&mut env.st.deletes);
+    for d in deletes.iter() {
+        env.db.index_remove(d.table, d.key);
+        let word = &env.db.row_meta(d.table, d.row).word;
+        let cur = word.load(Ordering::Acquire);
+        word.store(silo::bump_and_unlock(cur), Ordering::Release);
     }
 
     // Write phase: install the workspace and bump versions.
     for w in std::mem::take(&mut env.st.wbuf) {
+        if deletes.iter().any(|d| d.table == w.table && d.row == w.row) {
+            // Written then deleted in this transaction: the delete won and
+            // its word is already released.
+            env.pool.free(w.data);
+            continue;
+        }
         let t = &env.db.tables[w.table as usize];
         // SAFETY: we hold the tuple's silo lock; readers' seqlock re-check
         // rejects any copy that overlapped this write.
@@ -222,16 +342,28 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
     Ok(())
 }
 
-/// Publish buffered inserts into the table arenas and indexes. On a
+/// A published-but-not-yet-committed insert: table, key, fresh row, and
+/// the B+-tree landing leaf with its pre-insert version (when the table
+/// is ordered).
+pub(crate) type PublishedInsert = (
+    TableId,
+    Key,
+    RowIdx,
+    Option<(abyss_storage::btree::LeafId, u64)>,
+);
+
+/// Publish buffered inserts into the table arenas and indexes, with each
+/// fresh row's word **latched** — readers and scanners that find the new
+/// entries spin/abort instead of observing an uncommitted insert, and the
+/// committer releases the words only after validation succeeds (SILO
+/// stamps them with the commit TID, OCC with version 0). On a
 /// duplicate-key race every already-applied insert of this transaction is
-/// withdrawn and the whole batch fails. On success returns the published
-/// `(table, row)` slots so SILO can stamp them with the commit TID (OCC
-/// leaves fresh rows at version 0). Shared with the SILO scheme.
+/// withdrawn and the whole batch fails. Shared with the SILO scheme.
 pub(crate) fn publish_buffered_inserts(
     env: &mut SchemeEnv<'_>,
-) -> Result<Vec<(TableId, RowIdx)>, AbortReason> {
+) -> Result<Vec<PublishedInsert>, AbortReason> {
     let inserts = std::mem::take(&mut env.st.inserts);
-    let mut applied: Vec<(TableId, Key, RowIdx)> = Vec::new();
+    let mut applied: Vec<PublishedInsert> = Vec::new();
     let mut failed = false;
     for ins in inserts {
         let t = &env.db.tables[ins.table as usize];
@@ -240,13 +372,14 @@ pub(crate) fn publish_buffered_inserts(
             if let Ok(row) = t.allocate_row() {
                 // SAFETY: fresh unindexed row.
                 unsafe { t.row_mut(row) }.copy_from_slice(&data[..t.row_size()]);
-                if env.db.indexes[ins.table as usize]
-                    .insert(ins.key, row)
-                    .is_ok()
-                {
-                    applied.push((ins.table, ins.key, row));
-                } else {
-                    failed = true;
+                // Latch before the row becomes reachable.
+                env.db
+                    .row_meta(ins.table, row)
+                    .word
+                    .store(silo::LOCKED, Ordering::Release);
+                match env.db.index_insert_tracked(ins.table, ins.key, row) {
+                    Ok(leaf) => applied.push((ins.table, ins.key, row, leaf)),
+                    Err(_) => failed = true,
                 }
             } else {
                 failed = true;
@@ -255,25 +388,41 @@ pub(crate) fn publish_buffered_inserts(
         env.pool.free(data);
     }
     if failed {
-        for (table, key, _) in applied {
-            env.db.indexes[table as usize].remove(key);
-        }
+        withdraw_published_inserts(env, &applied);
         return Err(AbortReason::ValidationFail);
     }
-    Ok(applied
-        .into_iter()
-        .map(|(table, _, row)| (table, row))
-        .collect())
+    Ok(applied)
 }
 
-/// Unlock the first `n` locked write-set entries without bumping versions
-/// (validation failed; nothing was installed). Shared with SILO.
-pub(crate) fn unlock_first(env: &mut SchemeEnv<'_>, n: usize) {
-    for w in env.st.wbuf.iter().take(n) {
-        let word = &env.db.row_meta(w.table, w.row).word;
-        let cur = word.load(Ordering::Acquire);
-        debug_assert!(silo::is_locked(cur));
-        word.store(silo::unlock(cur), Ordering::Release);
+/// Undo a publication that cannot commit: withdraw the index entries and
+/// release the fresh rows' words (back to the untouched version-0 state;
+/// the slots are unreachable afterwards). Shared with the SILO scheme.
+pub(crate) fn withdraw_published_inserts(env: &mut SchemeEnv<'_>, applied: &[PublishedInsert]) {
+    for &(table, key, row, _) in applied {
+        env.db.index_remove(table, key);
+        env.db.row_meta(table, row).word.store(0, Ordering::Release);
+    }
+}
+
+/// Advance the node-set entries for leaves this transaction's *own*
+/// inserts bumped, so inserting into a self-scanned range does not
+/// self-abort — but only when the leaf's pre-insert version (captured
+/// under the leaf lock at publication) still equals what the scan
+/// recorded. A foreign modification anywhere in between leaves the entry
+/// behind and validation (correctly) fails; blindly re-reading the
+/// current version here would absorb a concurrent committer's bump and
+/// admit the exact cross-insert phantom the node set exists to catch.
+/// Shared with the SILO scheme.
+pub(crate) fn refresh_own_node_set(env: &mut SchemeEnv<'_>, inserted: &[PublishedInsert]) {
+    for &(table, _, _, leaf) in inserted {
+        let Some((leaf, prev_version)) = leaf else {
+            continue;
+        };
+        for ns in env.st.node_set.iter_mut() {
+            if ns.table == table && ns.leaf == leaf && ns.version == prev_version {
+                ns.version = prev_version + 1;
+            }
+        }
     }
 }
 

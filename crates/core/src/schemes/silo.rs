@@ -70,14 +70,36 @@ pub(crate) fn insert(
     occ::insert(env, table, key, f)
 }
 
+/// SILO delete: observed like a read, removed during the write phase
+/// (OCC's buffered delete, shared).
+pub(crate) fn delete(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    key: Key,
+    row: RowIdx,
+) -> Result<(), AbortReason> {
+    occ::delete(env, table, key, row)
+}
+
 /// Validation + write phase. `last_tid` is the worker's previous commit
 /// TID; on success the new (strictly greater) commit TID is returned for
 /// the worker to remember.
 pub(crate) fn commit(env: &mut SchemeEnv<'_>, last_tid: u64) -> Result<u64, AbortReason> {
-    // Phase 1: lock the write set in canonical order — per-tuple latches
-    // only, bounded spins so a pathological stall aborts instead of
-    // hanging (OCC's lock phase, shared).
-    let locked = occ::lock_write_set(env)?;
+    let targets = occ::take_commit_lock_targets(env);
+    let r = commit_locked(env, &targets, last_tid);
+    occ::put_back_lock_targets(env, targets);
+    r
+}
+
+fn commit_locked(
+    env: &mut SchemeEnv<'_>,
+    targets: &[(TableId, RowIdx)],
+    last_tid: u64,
+) -> Result<u64, AbortReason> {
+    // Phase 1: lock the write + delete sets in canonical order — per-tuple
+    // latches only, bounded spins so a pathological stall aborts instead
+    // of hanging (OCC's lock phase, shared).
+    occ::lock_targets(env, targets)?;
 
     // Phase 2: the epoch fence — the serialization point. Reading the
     // global epoch *after* every write lock is held guarantees no TID this
@@ -90,16 +112,35 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>, last_tid: u64) -> Result<u64, Abor
     let mut max_observed = last_tid.max(epoch::compose_tid(commit_epoch, 0));
     for r in env.st.rset.iter() {
         let word = env.db.row_meta(r.table, r.row).word.load(Ordering::Acquire);
-        let own = env
-            .st
-            .wbuf
-            .iter()
-            .any(|w| w.table == r.table && w.row == r.row);
+        let own = targets.binary_search(&(r.table, r.row)).is_ok();
         if silo::version(word) != r.version || (silo::is_locked(word) && !own) {
-            occ::unlock_first(env, locked);
+            occ::unlock_targets(env, targets);
             return Err(AbortReason::ValidationFail);
         }
         max_observed = max_observed.max(r.version);
+    }
+
+    // Phase 3b: publish inserts — their rows stay latched until phase 4 —
+    // *before* the node-set check, so concurrent committers inserting
+    // into each other's scanned ranges see each other's leaf bumps and at
+    // least one aborts (Silo inserts into Masstree before validating for
+    // exactly this reason).
+    let inserted = match occ::publish_buffered_inserts(env) {
+        Ok(v) => v,
+        Err(reason) => {
+            occ::unlock_targets(env, targets);
+            return Err(reason);
+        }
+    };
+    occ::refresh_own_node_set(env, &inserted);
+
+    // Phase 3c: node-set validation — the leaves every range scan read
+    // must be structurally unchanged, or a phantom may have slipped into
+    // a scanned gap (Silo's Masstree node-set check).
+    if !occ::validate_node_set(env) {
+        occ::withdraw_published_inserts(env, &inserted);
+        occ::unlock_targets(env, targets);
+        return Err(AbortReason::ValidationFail);
     }
     let commit_tid = max_observed + 1;
     debug_assert_eq!(
@@ -108,26 +149,32 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>, last_tid: u64) -> Result<u64, Abor
         "per-epoch sequence space exhausted"
     );
 
-    // Phase 4: publish inserts (the only fallible step left), then install
-    // the workspace and release each tuple's word to the commit TID.
-    // Fresh rows are stamped with the commit TID too, so every committed
-    // tuple's word carries its commit epoch (the invariant `safe_epoch`
-    // consumers rely on).
-    match occ::publish_buffered_inserts(env) {
-        Ok(inserted) => {
-            for (table, row) in inserted {
-                env.db
-                    .row_meta(table, row)
-                    .word
-                    .store(commit_tid, Ordering::Release);
-            }
-        }
-        Err(reason) => {
-            occ::unlock_first(env, locked);
-            return Err(reason);
-        }
+    // Phase 4: nothing can fail now. Release the fresh rows at the commit
+    // TID — every committed tuple's word carries its commit epoch (the
+    // invariant `safe_epoch` consumers rely on) — then apply deletes and
+    // install the workspace, releasing each word to the commit TID.
+    for &(table, _, row, _) in &inserted {
+        env.db
+            .row_meta(table, row)
+            .word
+            .store(commit_tid, Ordering::Release);
+    }
+    // Deletes: withdraw the index entries (bumping the covering leaf's
+    // version — in-flight scanners fail their node set), then release the
+    // word at the commit TID so stale readers fail validation.
+    let deletes = std::mem::take(&mut env.st.deletes);
+    for d in deletes.iter() {
+        env.db.index_remove(d.table, d.key);
+        env.db
+            .row_meta(d.table, d.row)
+            .word
+            .store(commit_tid, Ordering::Release);
     }
     for w in std::mem::take(&mut env.st.wbuf) {
+        if deletes.iter().any(|d| d.table == w.table && d.row == w.row) {
+            env.pool.free(w.data);
+            continue;
+        }
         let t = &env.db.tables[w.table as usize];
         // SAFETY: we hold the tuple's lock bit; readers' seqlock re-check
         // rejects any copy that overlapped this write.

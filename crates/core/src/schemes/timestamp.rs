@@ -29,7 +29,7 @@ use abyss_storage::Schema;
 
 use super::{ReadRef, SchemeEnv};
 use crate::meta::TsWaiter;
-use crate::txn::{InsertEntry, ReadCopy, WriteEntry};
+use crate::txn::{DeleteEntry, InsertEntry, ReadCopy, WriteEntry};
 
 /// Block until no prewrite below `ts` is pending on the tuple, or fail.
 /// Returns with the tuple latch *released*; callers re-latch and re-check.
@@ -173,6 +173,42 @@ pub(crate) fn write(
     }
 }
 
+/// T/O delete: admitted under the write rules (`ts >= wts`, `ts >= rts`,
+/// no smaller pending prewrite — the `rts` check is what stops a delete
+/// from serializing *before* a scan that already observed the row), then
+/// registered as a prewrite. The index entries are withdrawn at commit.
+pub(crate) fn delete(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    key: Key,
+    row: RowIdx,
+) -> Result<(), AbortReason> {
+    let ts = env.st.ts;
+    let me = env.st.txn_id;
+    loop {
+        wait_for_prewrites(env, table, row)?;
+        let meta = env.db.row_meta(table, row);
+        let mut s = meta.ts_state();
+        if ts < s.wts || ts < s.rts {
+            return Err(AbortReason::TsOrderViolation);
+        }
+        if s.prewrites.iter().any(|&(p, t2)| p < ts && t2 != me) {
+            continue;
+        }
+        s.rts = s.rts.max(ts);
+        s.prewrites.push((ts, me));
+        drop(s);
+        env.st.prewrites.push((table, row));
+        env.st.deletes.push(DeleteEntry {
+            table,
+            key,
+            row,
+            applied: false,
+        });
+        return Ok(());
+    }
+}
+
 /// T/O insert: buffered; becomes visible at commit.
 pub(crate) fn insert(
     env: &mut SchemeEnv<'_>,
@@ -204,6 +240,17 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
     let ts = env.st.ts;
     let me = env.st.txn_id;
     for w in std::mem::take(&mut env.st.wbuf) {
+        // A row both written and deleted in this transaction is resolved by
+        // the delete below; skip the dead install.
+        if env
+            .st
+            .deletes
+            .iter()
+            .any(|d| d.table == w.table && d.row == w.row)
+        {
+            env.pool.free(w.data);
+            continue;
+        }
         let t = &env.db.tables[w.table as usize];
         let meta = env.db.row_meta(w.table, w.row);
         let mut s = meta.ts_state();
@@ -221,14 +268,41 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
         drop(s);
         env.pool.free(w.data);
     }
+    apply_deletes(env);
     env.st.prewrites.clear();
     Ok(())
 }
 
+/// Withdraw this transaction's deletes from the indexes. The tuple's
+/// `wts` is tombstoned to `u64::MAX` first, so a scanner holding a stale
+/// row reference from a pre-delete B+-tree snapshot aborts (read-too-late)
+/// instead of resurrecting the row; the leaf's `del_wts` tag then aborts
+/// scanners whose timestamp predates the delete but who arrive after it.
+pub(crate) fn apply_deletes(env: &mut SchemeEnv<'_>) {
+    let ts = env.st.ts;
+    let me = env.st.txn_id;
+    for d in std::mem::take(&mut env.st.deletes) {
+        // Withdraw the index entries FIRST — while the prewrite is still
+        // pending, so a reader holding a stale row reference keeps waiting
+        // instead of slipping through a "resolved but not yet removed"
+        // window — then tombstone, resolve the prewrite and wake waiters.
+        // `del_wts` is raised atomically with the removal (leaf lock), so
+        // a scan missing the key is guaranteed to see the tag.
+        env.db.index_remove_tagged(d.table, d.key, ts);
+        let meta = env.db.row_meta(d.table, d.row);
+        let mut s = meta.ts_state();
+        s.wts = u64::MAX;
+        s.remove_prewrite(me);
+        wake_waiters(env.db, &mut s);
+    }
+}
+
 /// Publish buffered inserts; new tuples start with `wts = rts = ts`.
 /// On a duplicate-key race (a conflict the timestamp checks cannot see),
-/// every already-published insert is withdrawn before `fail` returns, so
-/// the caller can abort cleanly.
+/// or when the target B+-tree leaf has already been scanned by a *later*
+/// timestamp (`scan_rts > ts` — committing would plant a phantom behind
+/// that scan), every already-published insert is withdrawn before `fail`
+/// returns, so the caller can abort cleanly.
 pub(crate) fn apply_inserts(env: &mut SchemeEnv<'_>, fail: AbortReason) -> Result<(), AbortReason> {
     let ts = env.st.ts;
     let inserts = std::mem::take(&mut env.st.inserts);
@@ -246,13 +320,15 @@ pub(crate) fn apply_inserts(env: &mut SchemeEnv<'_>, fail: AbortReason) -> Resul
                     s.wts = ts;
                     s.rts = ts;
                 }
-                if env.db.indexes[ins.table as usize]
-                    .insert(ins.key, row)
-                    .is_ok()
-                {
-                    applied.push((ins.table, ins.key));
-                } else {
-                    failed = true;
+                // The gap check (leaf `scan_rts` vs our timestamp) runs
+                // atomically with publication, under the leaf lock: a
+                // *committed* later scan left its tag behind and refuses
+                // us here; an in-flight one fails its leaf revalidation.
+                match env.db.index_insert_guarded(ins.table, ins.key, row, ts) {
+                    Ok(crate::db::OrderedPublish::Done(_)) => {
+                        applied.push((ins.table, ins.key));
+                    }
+                    Ok(crate::db::OrderedPublish::GapProtected) | Err(_) => failed = true,
                 }
             } else {
                 failed = true;
@@ -262,7 +338,7 @@ pub(crate) fn apply_inserts(env: &mut SchemeEnv<'_>, fail: AbortReason) -> Resul
     }
     if failed {
         for (table, key) in applied {
-            env.db.indexes[table as usize].remove(key);
+            env.db.index_remove(table, key);
         }
         return Err(fail);
     }

@@ -33,7 +33,7 @@ use super::{ReadRef, SchemeEnv};
 use crate::lockword::rw;
 use crate::meta::{LockMode, Owner, RowMeta, Waiter};
 use crate::park::WaitOutcome;
-use crate::txn::{HeldLock, InsertEntry, UndoEntry};
+use crate::txn::{DeleteEntry, HeldLock, InsertEntry, UndoEntry, GAP_ROW};
 
 /// Acquire `mode` on `(table, row)` under the configured 2PL variant.
 fn acquire(
@@ -312,6 +312,45 @@ fn release_all(env: &mut SchemeEnv<'_>) {
     }
 }
 
+/// S-lock `(table, row)` without reading it — the scan path's next-key
+/// locking primitive (rows in range, the boundary row, the gap anchor).
+pub(crate) fn lock_shared(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+) -> Result<(), AbortReason> {
+    acquire(env, table, row, LockMode::Shared)
+}
+
+/// The next-key lock an inserter must take before publishing `key`: the
+/// successor entry's row, or the table's +∞ gap anchor when none exists.
+fn gap_target(env: &SchemeEnv<'_>, table: TableId, key: Key) -> Option<RowIdx> {
+    let tree = env.db.ordered_index(table)?;
+    Some(
+        key.checked_add(1)
+            .and_then(|from| tree.successor_inclusive(from))
+            .map(|(_, row)| row)
+            .unwrap_or(GAP_ROW),
+    )
+}
+
+/// Acquire the inserter's gap (next-key) X lock. Returns the rows whose
+/// lock must be dropped again right after the insert is published —
+/// ARIES/IM-style instant duration. A lock the transaction already held
+/// (or upgraded) stays held to commit.
+fn acquire_gap_lock(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    row: RowIdx,
+) -> Result<Option<RowIdx>, AbortReason> {
+    if env.st.holds(table, row, LockMode::Exclusive) {
+        return Ok(None);
+    }
+    let upgraded = env.st.holds(table, row, LockMode::Shared);
+    acquire(env, table, row, LockMode::Exclusive)?;
+    Ok(if upgraded { None } else { Some(row) })
+}
+
 /// 2PL read: S-lock then read in place.
 pub(crate) fn read(
     env: &mut SchemeEnv<'_>,
@@ -349,15 +388,55 @@ pub(crate) fn write(
     Ok(())
 }
 
-/// 2PL insert: allocate, fill, take the X lock, then publish in the index.
+/// 2PL insert: take the next-key (gap) lock when the table is ordered,
+/// allocate, fill, take the new row's X lock, publish in the indexes, and
+/// only then drop the instant-duration gap lock. A scanner protecting the
+/// target gap holds S on the successor, so the gap X conflicts — that is
+/// the phantom guard.
 pub(crate) fn insert(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     key: Key,
     f: impl FnOnce(&Schema, &mut [u8]),
 ) -> Result<(), AbortReason> {
+    // Lock the next key, then re-verify it still *is* the next key — a
+    // concurrent insert/delete between computing the target and locking it
+    // would otherwise leave the wrong row guarding the gap (and a scanner
+    // trusting the real successor unprotected). Mirrors the lock-then-
+    // recheck step of the scan's next-key walk.
+    let mut attempts = 0u32;
+    let instant_gap = loop {
+        match gap_target(env, table, key) {
+            None => break None, // no ordered index: no gap to guard
+            Some(gap_row) => {
+                let acquired = acquire_gap_lock(env, table, gap_row)?;
+                if gap_target(env, table, key) == Some(gap_row) {
+                    break acquired;
+                }
+                if let Some(row) = acquired {
+                    release_last_lock(env, table, row);
+                }
+                attempts += 1;
+                if attempts > 128 {
+                    return Err(AbortReason::LockConflict);
+                }
+            }
+        }
+    };
+    let release_gap = |env: &mut SchemeEnv<'_>| {
+        if let Some(row) = instant_gap {
+            release_last_lock(env, table, row);
+        }
+    };
+
     let t = &env.db.tables[table as usize];
-    let row = t.allocate_row().map_err(|_| AbortReason::LockConflict)?;
+    let row = match t.allocate_row() {
+        Ok(row) => row,
+        Err(_) => {
+            release_gap(env);
+            return Err(AbortReason::LockConflict);
+        }
+    };
     // SAFETY: freshly allocated, unindexed row — we are the only accessor.
     let data = unsafe { t.row_mut(row) };
     f(t.schema(), data);
@@ -381,17 +460,39 @@ pub(crate) fn insert(
         mode: LockMode::Exclusive,
     });
 
-    if env.db.indexes[table as usize].insert(key, row).is_err() {
+    if env.db.index_insert(table, key, row).is_err() {
         // Lost an insert race on the same key: roll this slot back out.
         release_last_lock(env, table, row);
+        release_gap(env);
         return Err(AbortReason::LockConflict);
     }
+    release_gap(env);
     env.st.inserts.push(InsertEntry {
         table,
         key,
         row: Some(row),
         data: None,
         indexed: true,
+    });
+    Ok(())
+}
+
+/// 2PL delete: X-lock the row now, withdraw the index entries at commit
+/// (while the lock is still held), so a concurrent reader either blocks on
+/// the X lock or misses the key entirely — never observes an uncommitted
+/// delete.
+pub(crate) fn delete(
+    env: &mut SchemeEnv<'_>,
+    table: TableId,
+    key: Key,
+    row: RowIdx,
+) -> Result<(), AbortReason> {
+    acquire(env, table, row, LockMode::Exclusive)?;
+    env.st.deletes.push(DeleteEntry {
+        table,
+        key,
+        row,
+        applied: false,
     });
     Ok(())
 }
@@ -410,12 +511,19 @@ fn release_last_lock(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) {
     }
 }
 
-/// Commit: drop before-images, release everything (the shrink phase).
+/// Commit: apply deferred deletes (X locks still held), drop before-images,
+/// release everything (the shrink phase).
 pub(crate) fn commit(env: &mut SchemeEnv<'_>) {
+    for d in std::mem::take(&mut env.st.deletes) {
+        if !d.applied {
+            env.db.index_remove(d.table, d.key);
+        }
+    }
     release_all(env);
 }
 
 /// Abort: restore before-images, unpublish inserts, release everything.
+/// Deferred deletes never touched the indexes, so they need no undo.
 pub(crate) fn abort(env: &mut SchemeEnv<'_>) {
     // Undo in reverse order; X locks are still held so in-place writes are
     // exclusive.
@@ -428,8 +536,9 @@ pub(crate) fn abort(env: &mut SchemeEnv<'_>) {
     }
     for ins in env.st.inserts.drain(..) {
         if ins.indexed {
-            env.db.indexes[ins.table as usize].remove(ins.key);
+            env.db.index_remove(ins.table, ins.key);
         }
     }
+    env.st.deletes.clear();
     release_all(env);
 }

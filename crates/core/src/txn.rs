@@ -1,9 +1,16 @@
 //! Transaction identifiers and per-transaction state.
 
 use abyss_common::{CoreId, Key, RowIdx, TableId, Ts, TxnId};
+use abyss_storage::btree::LeafId;
 use abyss_storage::mempool::PoolBlock;
 
 use crate::meta::LockMode;
+
+/// Pseudo row index addressing a table's "+∞ key" lock anchor
+/// ([`crate::db::Database::row_meta`]). 2PL scans S-lock it when a range
+/// has no successor; inserters of a new maximum key X-lock it — next-key
+/// locking's representation of the unbounded tail gap.
+pub const GAP_ROW: RowIdx = RowIdx::MAX;
 
 /// Bits of a [`TxnId`] reserved for the worker id.
 pub const WORKER_BITS: u32 = 10;
@@ -67,6 +74,28 @@ pub(crate) struct ReadCopy {
     pub data: PoolBlock,
 }
 
+/// One leaf observed by a range scan, with the version it was read at.
+/// OCC/SILO re-validate these at commit (Silo's node-set validation): a
+/// version change means the leaf's key set — including its *gaps* —
+/// changed since the scan, so the scan may have missed a phantom.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeSetEntry {
+    pub table: TableId,
+    pub leaf: LeafId,
+    pub version: u64,
+}
+
+/// A pending or applied delete.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeleteEntry {
+    pub table: TableId,
+    pub key: Key,
+    pub row: RowIdx,
+    /// Whether the index entries are already withdrawn (eager schemes);
+    /// abort must re-publish them.
+    pub applied: bool,
+}
+
 /// A pending or applied insert.
 #[derive(Debug)]
 pub(crate) struct InsertEntry {
@@ -103,8 +132,15 @@ pub(crate) struct TxnState {
     pub prewrites: Vec<(TableId, RowIdx)>,
     /// Inserts made by this transaction.
     pub inserts: Vec<InsertEntry>,
+    /// Deletes made by this transaction.
+    pub deletes: Vec<DeleteEntry>,
+    /// Leaves observed by range scans (OCC/SILO phantom validation).
+    pub node_set: Vec<NodeSetEntry>,
     /// H-STORE partitions currently held.
     pub parts: Vec<u32>,
+    /// Reusable scratch for the OCC/SILO commit lock set (kept across
+    /// transactions so the hot commit path never allocates).
+    pub lock_scratch: Vec<(TableId, RowIdx)>,
 }
 
 impl TxnState {
@@ -130,6 +166,8 @@ impl TxnState {
                 pool.free(d);
             }
         }
+        self.deletes.clear();
+        self.node_set.clear();
         self.parts.clear();
     }
 

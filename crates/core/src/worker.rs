@@ -5,13 +5,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use abyss_common::{AbortReason, CcScheme, DbError, Key, PartId, RunStats, TableId, Ts};
+use abyss_common::{AbortReason, CcScheme, DbError, Key, PartId, RowIdx, RunStats, TableId, Ts};
 use abyss_storage::{MemPool, Schema};
 
 use crate::db::Database;
 use crate::schemes::{hstore, mvcc, occ, silo, timestamp, twopl, ReadRef, SchemeEnv};
 use crate::ts::TsHandle;
-use crate::txn::{make_txn_id, TxnState};
+use crate::txn::{make_txn_id, NodeSetEntry, TxnState, GAP_ROW};
 
 /// Errors surfaced by the transaction API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,6 +162,29 @@ impl WorkerCtx {
         Ok(())
     }
 
+    /// Post-access delete guard: the key→row binding must still hold
+    /// *after* the scheme admitted the access. A concurrent transactional
+    /// delete that committed between our index probe and the scheme's
+    /// admission has already withdrawn the entry (2PL holds the X lock
+    /// through its commit-time removal; OCC/SILO bump the word; MVCC
+    /// resolves after removal), so a stale row reference surfaces here as
+    /// the same `KeyNotFound` a fresh probe would produce — instead of
+    /// resurrecting the dead row. TIMESTAMP needs no probe (deleted rows
+    /// are tombstoned with `wts = ∞`), and H-STORE's partition ownership
+    /// excludes concurrent deleters entirely.
+    fn check_not_deleted(&self, table: TableId, key: Key, row: RowIdx) -> Result<(), TxnError> {
+        match self.db.cfg.scheme {
+            CcScheme::Timestamp | CcScheme::HStore => Ok(()),
+            _ => {
+                if self.db.indexes[table as usize].find(key) == Some(row) {
+                    Ok(())
+                } else {
+                    Err(TxnError::Db(DbError::KeyNotFound { table, key }))
+                }
+            }
+        }
+    }
+
     /// Read the row for `key`, returning its bytes. Under 2PL/H-STORE this
     /// is the row in place (stable until commit); under the T/O schemes it
     /// is the transaction's private copy.
@@ -179,6 +202,7 @@ impl WorkerCtx {
             CcScheme::HStore => hstore::read(&mut self.env(), table, row),
             CcScheme::Silo => silo::read(&mut self.env(), table, row),
         }?;
+        self.check_not_deleted(table, key, row)?;
         Ok(match r {
             // SAFETY: the pointer targets the table arena; the scheme
             // guarantees stability until commit/abort, and `&mut self`
@@ -215,7 +239,8 @@ impl WorkerCtx {
             CcScheme::HStore => hstore::write(&mut self.env(), table, row, f),
             CcScheme::Silo => silo::write(&mut self.env(), table, row, f),
         }
-        .map_err(TxnError::Abort)
+        .map_err(TxnError::Abort)?;
+        self.check_not_deleted(table, key, row)
     }
 
     /// Atomically add `delta` to a `u64` column, returning the previous
@@ -253,6 +278,291 @@ impl WorkerCtx {
             CcScheme::Silo => silo::insert(&mut self.env(), table, key, f),
         }
         .map_err(TxnError::Abort)
+    }
+
+    /// Transactionally delete `key`'s row: the hash and ordered indexes
+    /// are maintained together, and an abort restores them. Eager schemes
+    /// (2PL holds the X lock and withdraws at commit; H-STORE withdraws
+    /// immediately under partition ownership); buffered schemes register
+    /// the delete and apply it during their commit's write phase.
+    pub fn delete(&mut self, table: TableId, key: Key) -> Result<(), TxnError> {
+        debug_assert!(self.in_txn, "delete outside a transaction");
+        let row = self.db.index_get(table, key)?;
+        match self.db.cfg.scheme {
+            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
+                twopl::delete(&mut self.env(), table, key, row)
+            }
+            CcScheme::Timestamp => timestamp::delete(&mut self.env(), table, key, row),
+            CcScheme::Mvcc => mvcc::delete(&mut self.env(), table, key, row),
+            CcScheme::Occ => occ::delete(&mut self.env(), table, key, row),
+            CcScheme::HStore => hstore::delete(&mut self.env(), table, key, row),
+            CcScheme::Silo => silo::delete(&mut self.env(), table, key, row),
+        }
+        .map_err(TxnError::Abort)?;
+        self.check_not_deleted(table, key, row)
+    }
+
+    /// Range-scan `table` over `low..=high` (requires an ordered index),
+    /// invoking `f` with each qualifying row. Returns the number of rows
+    /// observed. Phantom protection is per scheme:
+    ///
+    /// * **2PL** — a next-key walk: each row (plus the first row beyond
+    ///   `high`, or the table's +∞ gap anchor) is S-locked *before* the
+    ///   gap below it is trusted, and inserters take an instant X on their
+    ///   successor, so no key can appear in a scanned gap;
+    /// * **TIMESTAMP / MVCC** — the scan tags every visited leaf with its
+    ///   timestamp (`scan_rts`); structural writers with smaller
+    ///   timestamps abort at commit, and the scan revalidates leaf
+    ///   versions after its reads (MVCC additionally skips rows invisible
+    ///   at its snapshot);
+    /// * **OCC / SILO** — the visited leaves and their versions join the
+    ///   transaction's node set, re-validated at commit (Silo/Masstree);
+    /// * **H-STORE** — partition ownership already serializes the scan.
+    pub fn scan(
+        &mut self,
+        table: TableId,
+        low: Key,
+        high: Key,
+        mut f: impl FnMut(Key, &Schema, &[u8]),
+    ) -> Result<usize, TxnError> {
+        debug_assert!(self.in_txn, "scan outside a transaction");
+        self.db.require_ordered(table)?;
+        self.stats.scans += 1;
+        match self.db.cfg.scheme {
+            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
+                self.scan_2pl(table, low, high, &mut f)
+            }
+            CcScheme::HStore => self.scan_hstore(table, low, high, &mut f),
+            CcScheme::Timestamp | CcScheme::Mvcc => self.scan_to(table, low, high, &mut f),
+            CcScheme::Occ | CcScheme::Silo => self.scan_occ(table, low, high, &mut f),
+        }
+    }
+
+    /// Sum one `u64` column over a key range (scan convenience).
+    pub fn scan_sum_u64(
+        &mut self,
+        table: TableId,
+        low: Key,
+        high: Key,
+        col: usize,
+    ) -> Result<(usize, u64), TxnError> {
+        let mut sum = 0u64;
+        let n = self.scan(table, low, high, |_, schema, data| {
+            sum = sum.wrapping_add(abyss_storage::row::get_u64(schema, data, col));
+        })?;
+        Ok((n, sum))
+    }
+
+    /// 2PL scan: the next-key walk described on [`WorkerCtx::scan`].
+    fn scan_2pl(
+        &mut self,
+        table: TableId,
+        low: Key,
+        high: Key,
+        f: &mut dyn FnMut(Key, &Schema, &[u8]),
+    ) -> Result<usize, TxnError> {
+        let mut count = 0usize;
+        let mut cursor = low;
+        loop {
+            let succ = self.db.require_ordered(table)?.successor_inclusive(cursor);
+            match succ {
+                None => {
+                    // Lock the +∞ gap anchor, then confirm the tail gap is
+                    // still empty (an insert may have raced the lock).
+                    {
+                        let mut env = self.env();
+                        twopl::lock_shared(&mut env, table, GAP_ROW).map_err(TxnError::Abort)?;
+                    }
+                    if self
+                        .db
+                        .require_ordered(table)?
+                        .successor_inclusive(cursor)
+                        .is_some()
+                    {
+                        self.stats.scan_retries += 1;
+                        continue;
+                    }
+                    break;
+                }
+                Some((k, row)) => {
+                    {
+                        let mut env = self.env();
+                        twopl::lock_shared(&mut env, table, row).map_err(TxnError::Abort)?;
+                    }
+                    // Holding S on the successor freezes the gap below it;
+                    // re-verify nothing slipped in (or that the row itself
+                    // was deleted) before the lock landed.
+                    match self.db.require_ordered(table)?.successor_inclusive(cursor) {
+                        Some((k2, r2)) if k2 == k && r2 == row => {
+                            if k > high {
+                                // Boundary row locked: the (last-in-range,
+                                // successor) gap is protected. Done.
+                                break;
+                            }
+                            let t = &self.db.tables[table as usize];
+                            // SAFETY: the S lock held to commit/abort
+                            // excludes writers.
+                            let data = unsafe { t.row(row) };
+                            f(k, t.schema(), data);
+                            count += 1;
+                            cursor = match k.checked_add(1) {
+                                Some(c) => c,
+                                None => break,
+                            };
+                        }
+                        _ => {
+                            self.stats.scan_retries += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(count)
+    }
+
+    /// H-STORE scan: the owned partitions make the walk exclusive.
+    fn scan_hstore(
+        &mut self,
+        table: TableId,
+        low: Key,
+        high: Key,
+        f: &mut dyn FnMut(Key, &Schema, &[u8]),
+    ) -> Result<usize, TxnError> {
+        let sr = self.db.require_ordered(table)?.scan(low, high);
+        self.stats.scan_retries += sr.retries;
+        let t = &self.db.tables[table as usize];
+        for &(k, row) in &sr.entries {
+            // SAFETY: the transaction owns every partition it touches.
+            let data = unsafe { t.row(row) };
+            f(k, t.schema(), data);
+        }
+        Ok(sr.entries.len())
+    }
+
+    /// TIMESTAMP / MVCC scan: leaf-tag the range, read per row, then
+    /// revalidate leaf versions (see [`WorkerCtx::scan`]).
+    fn scan_to(
+        &mut self,
+        table: TableId,
+        low: Key,
+        high: Key,
+        f: &mut dyn FnMut(Key, &Schema, &[u8]),
+    ) -> Result<usize, TxnError> {
+        let ts = self.st.ts;
+        let is_mvcc = self.db.cfg.scheme == CcScheme::Mvcc;
+        let mut attempts = 0u32;
+        // Read copies taken by an attempt that fails leaf revalidation are
+        // dead; recycle them instead of letting them pile up in rbuf until
+        // transaction end (64 retries × scan length would otherwise pin
+        // that many pool blocks on the hot scan path).
+        let rbuf_base = self.st.rbuf.len();
+        'retry: loop {
+            attempts += 1;
+            if attempts > 64 {
+                return Err(TxnError::Abort(AbortReason::ValidationFail));
+            }
+            for rc in self.st.rbuf.drain(rbuf_base..) {
+                self.pool.free(rc.data);
+            }
+            let (entries, leaves) = {
+                let tree = self.db.require_ordered(table)?;
+                let sr = tree.scan(low, high);
+                self.stats.scan_retries += sr.retries;
+                (sr.entries, sr.leaves)
+            };
+            {
+                let tree = self.db.require_ordered(table)?;
+                for &(leaf, _) in &leaves {
+                    // Publish "a transaction at `ts` read this key range"
+                    // *before* reading rows: structural writers with
+                    // smaller timestamps will abort against it.
+                    tree.leaf_bump_scan_rts(leaf, ts);
+                    if tree.leaf_del_wts(leaf) > ts {
+                        // A delete serialized after us already removed a
+                        // key from this range; this snapshot cannot be
+                        // reconstructed.
+                        return Err(TxnError::Abort(AbortReason::TsOrderViolation));
+                    }
+                }
+            }
+            let mut got: Vec<(Key, usize)> = Vec::with_capacity(entries.len());
+            for &(k, row) in &entries {
+                let r = {
+                    let mut env = self.env();
+                    if is_mvcc {
+                        mvcc::read_visible(&mut env, table, row).map_err(TxnError::Abort)?
+                    } else {
+                        Some(timestamp::read(&mut env, table, row).map_err(TxnError::Abort)?)
+                    }
+                };
+                match r {
+                    Some(ReadRef::Rbuf(i)) => got.push((k, i)),
+                    Some(ReadRef::InPlace { .. }) => {
+                        unreachable!("T/O reads always copy")
+                    }
+                    None => {} // created after this snapshot: skip
+                }
+            }
+            // Revalidate after the reads: any structural change since the
+            // leaf snapshot (insert by a later ts, delete, split) restarts
+            // the scan so the entry list and the row reads agree.
+            let changed = {
+                let tree = self.db.require_ordered(table)?;
+                leaves.iter().any(|&(l, v)| tree.leaf_version(l) != v)
+            };
+            if changed {
+                self.stats.scan_retries += 1;
+                continue 'retry;
+            }
+            let t = &self.db.tables[table as usize];
+            let schema = t.schema();
+            let len = t.row_size();
+            for &(k, i) in &got {
+                f(k, schema, &self.st.rbuf[i].data[..len]);
+            }
+            return Ok(got.len());
+        }
+    }
+
+    /// OCC / SILO scan: record the node set, read optimistically.
+    fn scan_occ(
+        &mut self,
+        table: TableId,
+        low: Key,
+        high: Key,
+        f: &mut dyn FnMut(Key, &Schema, &[u8]),
+    ) -> Result<usize, TxnError> {
+        let (entries, leaves) = {
+            let tree = self.db.require_ordered(table)?;
+            let sr = tree.scan(low, high);
+            self.stats.scan_retries += sr.retries;
+            (sr.entries, sr.leaves)
+        };
+        for &(leaf, version) in &leaves {
+            self.st.node_set.push(NodeSetEntry {
+                table,
+                leaf,
+                version,
+            });
+        }
+        let mut got: Vec<(Key, usize)> = Vec::with_capacity(entries.len());
+        for &(k, row) in &entries {
+            let r = {
+                let mut env = self.env();
+                occ::read(&mut env, table, row).map_err(TxnError::Abort)?
+            };
+            match r {
+                ReadRef::Rbuf(i) => got.push((k, i)),
+                ReadRef::InPlace { .. } => unreachable!("OCC reads always copy"),
+            }
+        }
+        let t = &self.db.tables[table as usize];
+        let schema = t.schema();
+        let len = t.row_size();
+        for &(k, i) in &got {
+            f(k, schema, &self.st.rbuf[i].data[..len]);
+        }
+        Ok(got.len())
     }
 
     /// Commit. May abort (OCC validation, insert races); the transaction
@@ -594,6 +904,33 @@ mod tests {
     #[test]
     fn single_worker_silo() {
         smoke_single_worker(CcScheme::Silo);
+    }
+
+    #[test]
+    fn insert_then_delete_then_abort_leaves_no_trace() {
+        // Eager schemes publish inserts and withdraw deletes immediately;
+        // an abort after insert+delete of the same key must not resurrect
+        // the key from the delete's undo record.
+        for scheme in [CcScheme::NoWait, CcScheme::HStore] {
+            let mut cat = Catalog::new();
+            cat.add_ordered_table("t", Schema::key_plus_payload(1, 8), 100);
+            let db = Database::new(crate::config::EngineConfig::new(scheme, 2), cat).unwrap();
+            let mut ctx = db.worker(0);
+            let r: Result<(), TxnError> = ctx.run_txn(&[0, 1], |t| {
+                t.insert(0, 7, |s, d| row::set_u64(s, d, 0, 7))?;
+                t.delete(0, 7)?;
+                Err(TxnError::Abort(AbortReason::UserAbort))
+            });
+            assert!(matches!(r, Err(TxnError::Abort(AbortReason::UserAbort))));
+            assert!(
+                db.peek(0, 7).is_err(),
+                "{scheme}: aborted insert+delete resurrected the key"
+            );
+            // The key space is clean: a fresh insert succeeds.
+            ctx.run_txn(&[0, 1], |t| t.insert(0, 7, |s, d| row::set_u64(s, d, 0, 7)))
+                .unwrap();
+            assert!(db.peek(0, 7).is_ok());
+        }
     }
 
     #[test]

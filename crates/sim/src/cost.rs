@@ -78,6 +78,11 @@ pub struct CostModel {
     /// flat, *not* scaled by the mesh, which is exactly why SILO escapes
     /// the §4.3 allocator ceiling.
     pub epoch_read: u64,
+    /// Per-key cost of a range scan's leaf walk: the B+-tree next-entry
+    /// step plus the per-tuple touch. Far below `useful_per_access` —
+    /// scans amortize the descend (charged once as the index probe) over
+    /// sequential, cache-friendly leaf entries.
+    pub scan_entry: u64,
 }
 
 impl Default for CostModel {
@@ -99,6 +104,7 @@ impl Default for CostModel {
             atomic_base: 22,
             clock_read: 90,
             epoch_read: 12,
+            scan_entry: 60,
         }
     }
 }
@@ -169,6 +175,22 @@ impl BoundCosts {
     #[inline]
     pub fn copy_cost(&self, row_size: usize) -> u64 {
         (row_size as u64).div_ceil(100) * self.model.copy_per_100b
+    }
+
+    /// Useful work of a range scan over `entries` consecutive keys of
+    /// `row_size`-byte tuples, optionally copying each (T/O read copies),
+    /// plus `logic` program-logic ticks. The tree descend is charged
+    /// separately as the access's index probe.
+    #[inline]
+    pub fn scan_work(&self, entries: usize, row_size: usize, copy: bool, logic: u32) -> u64 {
+        let mut per = self.model.scan_entry;
+        if copy {
+            per += self.copy_cost(row_size) + self.model.alloc_block;
+        }
+        self.model.useful_per_access / 4
+            + u64::from(logic) * self.model.logic_tick
+            + self.l2_access
+            + entries as u64 * per
     }
 
     /// Commit-time cost for releasing `items` locks / prewrites.

@@ -207,9 +207,21 @@ impl CoreSim {
 
 /// Outcome of a scheme's admission decision.
 enum Out {
-    Granted { cost: Cycles, copy: bool },
-    Parked { cost: Cycles, timeout: bool },
-    Abort { cost: Cycles, reason: AbortReason },
+    Granted {
+        cost: Cycles,
+        copy: bool,
+    },
+    Parked {
+        cost: Cycles,
+        timeout: bool,
+        /// The tuple the core is waiting on (a scan may block on any key
+        /// inside its range, not just the access's base key).
+        on: (u32, Key),
+    },
+    Abort {
+        cost: Cycles,
+        reason: AbortReason,
+    },
 }
 
 /// The whole simulated world.
@@ -413,7 +425,13 @@ impl Sim {
                     let (table, _, op) = self.cores[ci].txn.cur;
                     let row = self.db.row_size(table);
                     let logic = self.cores[ci].txn.tmpl.logic_per_query;
-                    let mut cost = self.costs.access_work(row, copy, logic);
+                    let mut cost = match op {
+                        AccessOp::Scan { len } => {
+                            self.cores[ci].stats.scans += 1;
+                            self.costs.scan_work(len as usize, row, copy, logic)
+                        }
+                        _ => self.costs.access_work(row, copy, logic),
+                    };
                     if matches!(op, AccessOp::Insert) {
                         // Index publication of the new key.
                         cost += self.costs.index_probe();
@@ -550,10 +568,10 @@ impl Sim {
                 self.sched(ci, now + cost);
                 true
             }
-            Out::Parked { cost, timeout } => {
+            Out::Parked { cost, timeout, on } => {
                 self.charge(ci, Category::Manager, cost);
                 // Phase stays AccessCc: woken waiters re-run admission.
-                self.park(ci, now + cost, Some((table, key)), timeout);
+                self.park(ci, now + cost, Some(on), timeout);
                 true
             }
             Out::Abort { cost, reason } => {
@@ -573,6 +591,9 @@ impl Sim {
             let t = &self.cores[ci].txn;
             (t.txn_id, t.ts)
         };
+        if let AccessOp::Scan { len } = op {
+            return self.cc_2pl_scan(ci, now, table, key, len);
+        }
         if matches!(op, AccessOp::Insert) {
             if self.db.exists(table, key) {
                 return Out::Abort {
@@ -671,6 +692,7 @@ impl Sim {
                 Out::Parked {
                     cost,
                     timeout: false,
+                    on: (table, key),
                 }
             }
             CcScheme::DlDetect => {
@@ -697,10 +719,116 @@ impl Sim {
                 Out::Parked {
                     cost,
                     timeout: true,
+                    on: (table, key),
                 }
             }
             _ => unreachable!(),
         }
+    }
+
+    /// 2PL range scan: S-lock every *materialized* key in `[low, low+len)`.
+    /// The lazy tuple map stands in for the index — only keys some
+    /// transaction has touched carry lock state, which is exactly where
+    /// scan-vs-write conflicts arise. Parking resumes the whole scan;
+    /// already-held locks are skipped on the re-run.
+    fn cc_2pl_scan(&mut self, ci: usize, now: Cycles, table: u32, low: Key, len: u32) -> Out {
+        let scheme = self.cfg.scheme;
+        let cost = self.costs.manager_op();
+        let (me, my_ts) = {
+            let t = &self.cores[ci].txn;
+            (t.txn_id, t.ts)
+        };
+        let high = low.saturating_add(u64::from(len));
+        for key in low..high {
+            if !self.db.exists(table, key) {
+                continue;
+            }
+            let TupleCc::Lock(q) = &mut self.db.tuple(table, key).cc else {
+                unreachable!("2PL tuple state")
+            };
+            if q.owns(me, Mode::S) {
+                continue;
+            }
+            let compatible = q.compatible(Mode::S, me);
+            let fifo_clear = scheme != CcScheme::DlDetect || q.waiters.is_empty();
+            if compatible && fifo_clear {
+                q.owners.push(SimOwner {
+                    txn: me,
+                    mode: Mode::S,
+                    ts: my_ts,
+                });
+                self.cores[ci].txn.held.push((table, key, Mode::S));
+                continue;
+            }
+            return match scheme {
+                CcScheme::NoWait => Out::Abort {
+                    cost,
+                    reason: AbortReason::LockConflict,
+                },
+                CcScheme::WaitDie => {
+                    let youngest = q
+                        .owners
+                        .iter()
+                        .filter(|o| o.txn != me && !o.mode.compatible(Mode::S))
+                        .map(|o| o.ts)
+                        .min()
+                        .expect("conflicting owner exists");
+                    if my_ts >= youngest {
+                        Out::Abort {
+                            cost,
+                            reason: AbortReason::WaitDieKilled,
+                        }
+                    } else {
+                        let w = SimWaiter {
+                            txn: me,
+                            core: ci as u32,
+                            mode: Mode::S,
+                            ts: my_ts,
+                        };
+                        let pos = q
+                            .waiters
+                            .iter()
+                            .position(|x| x.ts > my_ts)
+                            .unwrap_or(q.waiters.len());
+                        q.waiters.insert(pos, w);
+                        Out::Parked {
+                            cost,
+                            timeout: false,
+                            on: (table, key),
+                        }
+                    }
+                }
+                CcScheme::DlDetect => {
+                    q.waiters.push_back(SimWaiter {
+                        txn: me,
+                        core: ci as u32,
+                        mode: Mode::S,
+                        ts: my_ts,
+                    });
+                    if self.cfg.dl_detect {
+                        if let Some(victim) = self.find_deadlock_victim(me, table, key) {
+                            if victim == me {
+                                if let TupleCc::Lock(q) = &mut self.db.tuple(table, key).cc {
+                                    q.waiters.retain(|w| w.txn != me);
+                                }
+                                return Out::Abort {
+                                    cost,
+                                    reason: AbortReason::Deadlock,
+                                };
+                            }
+                            self.abort_parked_victim(victim, now);
+                        }
+                    }
+                    Out::Parked {
+                        cost,
+                        timeout: true,
+                        on: (table, key),
+                    }
+                }
+                _ => unreachable!(),
+            };
+        }
+        Out::Granted { cost, copy: false }
     }
 
     /// Apply in-place effects (2PL/H-STORE) once a write is admitted:
@@ -729,6 +857,35 @@ impl Sim {
             let t = &self.cores[ci].txn;
             (t.txn_id, t.ts)
         };
+        if let AccessOp::Scan { len } = op {
+            // Scan every materialized key under the read rules; wts ahead
+            // of the scan's timestamp aborts it (read-too-late).
+            let high = key.saturating_add(u64::from(len));
+            for k in key..high {
+                if !self.db.exists(table, k) {
+                    continue;
+                }
+                let TupleCc::Ts(s) = &mut self.db.tuple(table, k).cc else {
+                    unreachable!("T/O tuple state")
+                };
+                if ts < s.wts {
+                    return Out::Abort {
+                        cost,
+                        reason: AbortReason::TsOrderViolation,
+                    };
+                }
+                if s.pending_below(ts, me) {
+                    s.waiters.push(ci as u32);
+                    return Out::Parked {
+                        cost,
+                        timeout: false,
+                        on: (table, k),
+                    };
+                }
+                s.rts = s.rts.max(ts);
+            }
+            return Out::Granted { cost, copy: true };
+        }
         if matches!(op, AccessOp::Insert) {
             self.cores[ci].txn.pending_inserts.push((table, key));
             return Out::Granted { cost, copy: true };
@@ -759,6 +916,7 @@ impl Sim {
                     return Out::Parked {
                         cost,
                         timeout: false,
+                        on: (table, key),
                     };
                 }
                 s.rts = s.rts.max(ts);
@@ -776,6 +934,7 @@ impl Sim {
                     return Out::Parked {
                         cost,
                         timeout: false,
+                        on: (table, key),
                     };
                 }
                 s.rts = s.rts.max(ts);
@@ -793,7 +952,7 @@ impl Sim {
                 });
                 Out::Granted { cost, copy: true }
             }
-            AccessOp::Insert => unreachable!(),
+            AccessOp::Insert | AccessOp::Scan { .. } => unreachable!(),
         }
     }
 
@@ -803,6 +962,33 @@ impl Sim {
             let t = &self.cores[ci].txn;
             (t.txn_id, t.ts)
         };
+        if let AccessOp::Scan { len } = op {
+            // Snapshot-bounded scan: versions invisible at `ts` are
+            // skipped; a pending earlier write parks the scanner.
+            let high = key.saturating_add(u64::from(len));
+            for k in key..high {
+                if !self.db.exists(table, k) {
+                    continue;
+                }
+                let TupleCc::Mvcc(m) = &mut self.db.tuple(table, k).cc else {
+                    unreachable!("MVCC tuple state")
+                };
+                let Some(vi) = m.visible(ts) else {
+                    continue;
+                };
+                let (vwts, vrts) = m.versions[vi];
+                if m.pending_between(vwts, ts, me) {
+                    m.waiters.push(ci as u32);
+                    return Out::Parked {
+                        cost,
+                        timeout: false,
+                        on: (table, k),
+                    };
+                }
+                m.versions[vi].1 = vrts.max(ts);
+            }
+            return Out::Granted { cost, copy: true };
+        }
         if matches!(op, AccessOp::Insert) {
             self.cores[ci].txn.pending_inserts.push((table, key));
             return Out::Granted { cost, copy: true };
@@ -833,6 +1019,7 @@ impl Sim {
                     return Out::Parked {
                         cost,
                         timeout: false,
+                        on: (table, key),
                     };
                 }
                 m.versions[vi].1 = vrts.max(ts);
@@ -850,6 +1037,7 @@ impl Sim {
                     return Out::Parked {
                         cost,
                         timeout: false,
+                        on: (table, key),
                     };
                 }
                 if m.prewrites.iter().any(|&(p, t2)| p > ts && t2 != me) {
@@ -873,13 +1061,43 @@ impl Sim {
                 });
                 Out::Granted { cost, copy: true }
             }
-            AccessOp::Insert => unreachable!(),
+            AccessOp::Insert | AccessOp::Scan { .. } => unreachable!(),
         }
     }
 
     fn cc_occ(&mut self, ci: usize, table: u32, key: Key, op: AccessOp) -> Out {
         let cost = self.costs.manager_op();
         let me = self.cores[ci].txn.txn_id;
+        if let AccessOp::Scan { len } = op {
+            // Optimistic scan: record every materialized key's version in
+            // the read set (the engine's node-set validation collapses to
+            // per-key validation here — the simulated tree has no leaves).
+            let high = key.saturating_add(u64::from(len));
+            for k in key..high {
+                if !self.db.exists(table, k) {
+                    continue;
+                }
+                let version = {
+                    let TupleCc::Occ(o) = &mut self.db.tuple(table, k).cc else {
+                        unreachable!("OCC tuple state")
+                    };
+                    if o.locked_by.is_some_and(|t| t != me) {
+                        o.waiters.push(ci as u32);
+                        return Out::Parked {
+                            cost,
+                            timeout: false,
+                            on: (table, k),
+                        };
+                    }
+                    o.version
+                };
+                let t = &mut self.cores[ci].txn;
+                if !t.rset.iter().any(|&(tb, kk, _)| tb == table && kk == k) {
+                    t.rset.push((table, k, version));
+                }
+            }
+            return Out::Granted { cost, copy: true };
+        }
         if matches!(op, AccessOp::Insert) {
             self.cores[ci].txn.pending_inserts.push((table, key));
             return Out::Granted { cost, copy: true };
@@ -902,6 +1120,7 @@ impl Sim {
             return Out::Parked {
                 cost,
                 timeout: false,
+                on: (table, key),
             };
         }
         let version = o.version;
@@ -943,7 +1162,7 @@ impl Sim {
                 Out::Granted { cost, copy: true }
             }
             AccessOp::Update => Out::Granted { cost, copy: true },
-            AccessOp::Read => Out::Granted { cost, copy: false },
+            AccessOp::Read | AccessOp::Scan { .. } => Out::Granted { cost, copy: false },
         }
     }
 

@@ -1,0 +1,1002 @@
+//! Concurrent ordered index: a B+-tree with optimistic lock coupling.
+//!
+//! The hash index ([`crate::index`]) serves the paper's point accesses;
+//! scan workloads (YCSB-E, TPC-C order-status) need an *ordered* index.
+//! This is a B+-tree in the Masstree/OLC style:
+//!
+//! * every node carries a **version word** (bit 63 = locked, low bits =
+//!   version counter bumped on every unlock-after-modify);
+//! * **readers are optimistic**: they never take a latch — a traversal
+//!   reads a node's version, reads its fields, and re-reads the version;
+//!   a change (or a held lock) restarts the descent. All mutable node
+//!   fields are atomics, so optimistic reads are data-race-free;
+//! * **writers use lock coupling**: inserts descend top-down holding at
+//!   most a parent/child pair, splitting full children preemptively so a
+//!   split never propagates upward; removals latch-crab straight to the
+//!   leaf. Underfull leaves are allowed (no merging), so nodes are never
+//!   freed mid-run and node references stay valid for the tree's lifetime;
+//! * **leaves are chained** for range scans, and every leaf exposes the
+//!   hooks the concurrency-control schemes above need for phantom-safe
+//!   scans: a stable [`LeafId`], the version observed by the scan (Silo's
+//!   node-set validation), and two monotonic timestamp tags —
+//!   `scan_rts` (the largest timestamp that scanned the leaf's key range)
+//!   and `del_wts` (the largest timestamp that structurally deleted from
+//!   it) — the leaf-granularity analogue of basic T/O's per-tuple
+//!   `rts`/`wts`, covering the *gaps* between keys.
+//!
+//! The tree maps [`Key`] → [`RowIdx`] exactly like the hash index; the
+//! catalog registers one per ordered table alongside it.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use abyss_common::{DbError, Key, RowIdx, TableId};
+use parking_lot::Mutex;
+
+/// Maximum keys per node. A node is split when a writer descends into it
+/// at this occupancy, so live occupancy is `1..=FANOUT`.
+pub const FANOUT: usize = 16;
+
+const LOCKED: u64 = 1 << 63;
+
+#[inline]
+fn is_locked(v: u64) -> bool {
+    v & LOCKED != 0
+}
+
+/// An opaque, stable reference to a leaf node. Valid for the lifetime of
+/// the tree that returned it (nodes are never freed while the tree lives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LeafId(usize);
+
+/// One tree node. Mutable fields are atomics so optimistic readers can
+/// load them concurrently with a writer's stores; torn *logical* states
+/// are rejected by the version re-check, racy *physical* reads are defined
+/// behavior.
+struct Node {
+    /// Version word: bit 63 = write-locked, low bits = modification count.
+    version: AtomicU64,
+    /// Leaf or internal (fixed at allocation).
+    is_leaf: bool,
+    /// Number of keys in `keys`.
+    count: AtomicU64,
+    /// Sorted keys. Internal nodes: `keys[i]` is the smallest key reachable
+    /// through `slots[i + 1]`.
+    keys: [AtomicU64; FANOUT],
+    /// Leaf: `slots[i]` is the row of `keys[i]`. Internal: `slots[i]` is a
+    /// child pointer; `slots[0..=count]` are populated.
+    slots: [AtomicU64; FANOUT + 1],
+    /// Leaf chain (next leaf in key order; null-terminated).
+    next: AtomicPtr<Node>,
+    /// Largest timestamp that range-scanned this leaf (T/O gap protection).
+    scan_rts: AtomicU64,
+    /// Largest timestamp whose commit deleted a key from this leaf.
+    del_wts: AtomicU64,
+}
+
+impl Node {
+    fn new(is_leaf: bool) -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            is_leaf,
+            count: AtomicU64::new(0),
+            keys: std::array::from_fn(|_| AtomicU64::new(0)),
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            scan_rts: AtomicU64::new(0),
+            del_wts: AtomicU64::new(0),
+        }
+    }
+
+    /// Spin until the node is unlocked, returning the stable version.
+    fn stable_version(&self) -> u64 {
+        loop {
+            let v = self.version.load(Ordering::Acquire);
+            if !is_locked(v) {
+                return v;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Acquire the node's write lock (bounded spinning CAS).
+    fn lock(&self) {
+        loop {
+            let v = self.version.load(Ordering::Acquire);
+            if !is_locked(v)
+                && self
+                    .version
+                    .compare_exchange_weak(v, v | LOCKED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Release the write lock, bumping the version (the node was modified).
+    fn unlock_modified(&self) {
+        let v = self.version.load(Ordering::Relaxed);
+        debug_assert!(is_locked(v));
+        self.version.store((v & !LOCKED) + 1, Ordering::Release);
+    }
+
+    /// Release the write lock without a version bump (nothing changed
+    /// since the last bump — a node modified under the lock must have had
+    /// [`Node::mark_modified`] called first).
+    fn unlock_clean(&self) {
+        let v = self.version.load(Ordering::Relaxed);
+        debug_assert!(is_locked(v));
+        self.version.store(v & !LOCKED, Ordering::Release);
+    }
+
+    /// Bump the version while still holding the lock. Readers that
+    /// captured the pre-modification version can then never validate
+    /// against the post-modification contents, regardless of which unlock
+    /// variant eventually releases the node.
+    fn mark_modified(&self) {
+        let v = self.version.load(Ordering::Relaxed);
+        debug_assert!(is_locked(v));
+        self.version.store(v + 1, Ordering::Release);
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed) as usize
+    }
+
+    #[inline]
+    fn key(&self, i: usize) -> Key {
+        self.keys[i].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn slot(&self, i: usize) -> u64 {
+        self.slots[i].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn child(&self, i: usize) -> *mut Node {
+        self.slot(i) as *mut Node
+    }
+
+    /// Child index for `key` in an internal node: one past the last
+    /// separator `<= key`.
+    fn child_index(&self, key: Key) -> usize {
+        let n = self.len();
+        let mut i = 0;
+        while i < n && key >= self.key(i) {
+            i += 1;
+        }
+        i
+    }
+
+    /// Position of the first key `>= key` in a leaf.
+    fn leaf_lower_bound(&self, key: Key) -> usize {
+        let n = self.len();
+        let mut i = 0;
+        while i < n && self.key(i) < key {
+            i += 1;
+        }
+        i
+    }
+}
+
+/// A consistent observation of one leaf during a scan: the [`LeafId`] and
+/// the version the entries were read at. The scheme layers use these for
+/// phantom protection (Silo/OCC re-validate the version at commit).
+pub type LeafObservation = (LeafId, u64);
+
+/// Outcome of [`BPlusTree::insert_guarded`] / the tracked insert paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardedInsert {
+    /// Published.
+    Inserted {
+        /// The leaf the key landed in.
+        leaf: LeafId,
+        /// The leaf's version as captured **under its write lock** just
+        /// before this insert modified it — i.e. the last version an
+        /// optimistic reader could have validated against. The insert
+        /// publishes exactly `prev_version + 1`. Lets OCC/SILO advance a
+        /// node-set entry for their *own* insert if and only if no foreign
+        /// modification slipped in between the scan and the insert.
+        prev_version: u64,
+    },
+    /// Refused: the covering leaf's `scan_rts` tag exceeds the writer's —
+    /// a later-timestamp scan already covered the target gap.
+    GapProtected,
+}
+
+/// The result of [`BPlusTree::scan`].
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// `(key, row)` pairs inside the requested range, key-ascending.
+    pub entries: Vec<(Key, RowIdx)>,
+    /// Every leaf whose key range intersected the scan, with the version
+    /// it was read at (always at least one leaf, even for empty ranges —
+    /// the gap itself lives somewhere).
+    pub leaves: Vec<LeafObservation>,
+    /// Optimistic retries taken (version changed under a reader).
+    pub retries: u64,
+}
+
+/// Structural health statistics (bench/regression surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtreeHealth {
+    /// Levels from root to leaf (a lone root leaf has height 1).
+    pub height: u32,
+    /// Total allocated nodes (splits only add; removals never shrink).
+    pub nodes: u64,
+    /// Live keys.
+    pub len: u64,
+}
+
+/// A concurrent ordered index mapping keys to row indexes.
+pub struct BPlusTree {
+    table: TableId,
+    root: AtomicPtr<Node>,
+    /// Every node ever allocated — reclaimed in `Drop`, counted for stats.
+    /// Only split paths touch this, so the latch is cold.
+    nodes: Mutex<Vec<*mut Node>>,
+    height: AtomicU64,
+    len: AtomicU64,
+}
+
+// SAFETY: all shared node state is accessed through atomics; the node
+// registry is latch-protected; raw pointers target nodes that live as
+// long as the tree.
+unsafe impl Send for BPlusTree {}
+unsafe impl Sync for BPlusTree {}
+
+impl BPlusTree {
+    /// An empty tree for `table`.
+    pub fn new(table: TableId) -> Self {
+        let root = Box::into_raw(Box::new(Node::new(true)));
+        Self {
+            table,
+            root: AtomicPtr::new(root),
+            nodes: Mutex::new(vec![root]),
+            height: AtomicU64::new(1),
+            len: AtomicU64::new(0),
+        }
+    }
+
+    fn alloc(&self, is_leaf: bool) -> *mut Node {
+        let n = Box::into_raw(Box::new(Node::new(is_leaf)));
+        self.nodes.lock().push(n);
+        n
+    }
+
+    /// Live keys.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Structural statistics.
+    pub fn health(&self) -> BtreeHealth {
+        BtreeHealth {
+            height: self.height.load(Ordering::Acquire) as u32,
+            nodes: self.nodes.lock().len() as u64,
+            len: self.len(),
+        }
+    }
+
+    /// The version of `leaf` right now (unlocked snapshot; spins past a
+    /// concurrent writer).
+    pub fn leaf_version(&self, leaf: LeafId) -> u64 {
+        // SAFETY: LeafIds remain valid for the tree's lifetime.
+        unsafe { &*(leaf.0 as *const Node) }.stable_version()
+    }
+
+    /// Raise `leaf`'s scan-rts tag to at least `ts` (monotonic).
+    pub fn leaf_bump_scan_rts(&self, leaf: LeafId, ts: u64) {
+        // SAFETY: see leaf_version.
+        unsafe { &*(leaf.0 as *const Node) }
+            .scan_rts
+            .fetch_max(ts, Ordering::AcqRel);
+    }
+
+    /// The leaf's scan-rts tag.
+    pub fn leaf_scan_rts(&self, leaf: LeafId) -> u64 {
+        // SAFETY: see leaf_version.
+        unsafe { &*(leaf.0 as *const Node) }
+            .scan_rts
+            .load(Ordering::Acquire)
+    }
+
+    /// Raise `leaf`'s delete-wts tag to at least `ts` (monotonic).
+    pub fn leaf_bump_del_wts(&self, leaf: LeafId, ts: u64) {
+        // SAFETY: see leaf_version.
+        unsafe { &*(leaf.0 as *const Node) }
+            .del_wts
+            .fetch_max(ts, Ordering::AcqRel);
+    }
+
+    /// The leaf's delete-wts tag.
+    pub fn leaf_del_wts(&self, leaf: LeafId) -> u64 {
+        // SAFETY: see leaf_version.
+        unsafe { &*(leaf.0 as *const Node) }
+            .del_wts
+            .load(Ordering::Acquire)
+    }
+
+    // ------------------------------------------------------------ writers
+
+    /// Insert `key → row`. Fails on duplicates. Returns the leaf the key
+    /// landed in (for scheme-level gap checks against `scan_rts`).
+    pub fn insert(&self, key: Key, row: RowIdx) -> Result<LeafId, DbError> {
+        match self.insert_inner(key, row, None)? {
+            GuardedInsert::Inserted { leaf, .. } => Ok(leaf),
+            GuardedInsert::GapProtected => unreachable!("unguarded insert"),
+        }
+    }
+
+    /// [`BPlusTree::insert`] additionally reporting the landing leaf's
+    /// pre-insert version (see [`GuardedInsert::Inserted`]).
+    pub fn insert_tracked(&self, key: Key, row: RowIdx) -> Result<(LeafId, u64), DbError> {
+        match self.insert_inner(key, row, None)? {
+            GuardedInsert::Inserted { leaf, prev_version } => Ok((leaf, prev_version)),
+            GuardedInsert::GapProtected => unreachable!("unguarded insert"),
+        }
+    }
+
+    /// Insert `key → row` unless the covering leaf's `scan_rts` tag
+    /// exceeds `tag`. The check runs **under the leaf's write lock**, so
+    /// it is atomic with publication: a scanner that raised the tag first
+    /// refuses this insert, and a scanner that raises it afterwards is
+    /// guaranteed to observe the published key (its version re-validation
+    /// spins past our lock). This closes the timestamp schemes' phantom
+    /// window between "check the gap" and "publish the key".
+    pub fn insert_guarded(
+        &self,
+        key: Key,
+        row: RowIdx,
+        tag: u64,
+    ) -> Result<GuardedInsert, DbError> {
+        self.insert_inner(key, row, Some(tag))
+    }
+
+    fn insert_inner(
+        &self,
+        key: Key,
+        row: RowIdx,
+        guard: Option<u64>,
+    ) -> Result<GuardedInsert, DbError> {
+        loop {
+            let root = self.root.load(Ordering::Acquire);
+            // SAFETY: nodes live as long as the tree.
+            let root_ref = unsafe { &*root };
+            root_ref.lock();
+            if self.root.load(Ordering::Acquire) != root {
+                root_ref.unlock_clean();
+                continue;
+            }
+            let mut node = root;
+            if root_ref.len() == FANOUT {
+                // Grow: a fresh root with the old root as its only child,
+                // then split it. The new root is published only once fully
+                // built, so readers always see a consistent node.
+                let new_root = self.alloc(false);
+                // SAFETY: new_root is unreachable until the store below.
+                let nr = unsafe { &*new_root };
+                nr.lock(); // uncontended; spans construction + publication
+                nr.slots[0].store(root as u64, Ordering::Relaxed);
+                nr.count.store(0, Ordering::Relaxed);
+                self.split_child(nr, 0);
+                self.root.store(new_root, Ordering::Release);
+                self.height.fetch_add(1, Ordering::AcqRel);
+                // Route while the new root is still locked: once nr is
+                // released, another writer can descend through it and
+                // split the sibling, mutating nr's separators — reading
+                // them unlocked here would misroute this insert.
+                let idx = nr.child_index(key);
+                let target = nr.child(idx);
+                if target == root {
+                    node = root;
+                } else {
+                    // SAFETY: the sibling is reachable only through nr,
+                    // whose lock we still hold.
+                    unsafe { &*target }.lock();
+                    root_ref.unlock_clean(); // split already bumped it
+                    node = target;
+                }
+                nr.unlock_clean(); // split already bumped it
+            }
+            return self.insert_descend(node, key, row, guard);
+        }
+    }
+
+    /// Descend from `node` (write-locked by the caller), splitting full
+    /// children preemptively, and insert into the target leaf.
+    fn insert_descend(
+        &self,
+        mut node: *mut Node,
+        key: Key,
+        row: RowIdx,
+        guard: Option<u64>,
+    ) -> Result<GuardedInsert, DbError> {
+        // SAFETY throughout: `node` is locked by us; children are locked
+        // before the parent is released (lock coupling).
+        loop {
+            let n = unsafe { &*node };
+            if n.is_leaf {
+                let pos = n.leaf_lower_bound(key);
+                let count = n.len();
+                if pos < count && n.key(pos) == key {
+                    n.unlock_clean();
+                    return Err(DbError::DuplicateKey {
+                        table: self.table,
+                        key,
+                    });
+                }
+                if let Some(tag) = guard {
+                    // Atomic with publication (we hold the leaf): a scan
+                    // tag above ours means a later-timestamp range scan
+                    // already covered this gap — inserting would plant a
+                    // phantom behind it.
+                    if n.scan_rts.load(Ordering::Acquire) > tag {
+                        n.unlock_clean();
+                        return Ok(GuardedInsert::GapProtected);
+                    }
+                }
+                debug_assert!(count < FANOUT);
+                // The version readers could last have validated against
+                // (we hold the lock; unlock_modified publishes prev + 1).
+                let prev_version = n.version.load(Ordering::Relaxed) & !LOCKED;
+                let mut i = count;
+                while i > pos {
+                    n.keys[i].store(n.key(i - 1), Ordering::Relaxed);
+                    n.slots[i].store(n.slot(i - 1), Ordering::Relaxed);
+                    i -= 1;
+                }
+                n.keys[pos].store(key, Ordering::Relaxed);
+                n.slots[pos].store(row, Ordering::Relaxed);
+                n.count.store(count as u64 + 1, Ordering::Relaxed);
+                n.unlock_modified();
+                self.len.fetch_add(1, Ordering::AcqRel);
+                return Ok(GuardedInsert::Inserted {
+                    leaf: LeafId(node as usize),
+                    prev_version,
+                });
+            }
+            let idx = n.child_index(key);
+            let mut child = n.child(idx);
+            let c = unsafe { &*child };
+            c.lock();
+            if c.len() == FANOUT {
+                self.split_child(n, idx);
+                // The split may have moved `key`'s home to the new sibling.
+                // Versions of both parent and child were already bumped by
+                // the split (mark_modified), so clean unlocks suffice.
+                let new_idx = n.child_index(key);
+                if new_idx != idx {
+                    let sibling = n.child(new_idx);
+                    // SAFETY: sibling was created under the parent's lock
+                    // and is only reachable through it.
+                    unsafe { &*sibling }.lock();
+                    c.unlock_clean();
+                    child = sibling;
+                }
+            }
+            n.unlock_clean();
+            node = child;
+        }
+    }
+
+    /// Split the full child at `idx` of `parent`. Caller holds the locks
+    /// on `parent` and on that child; both remain locked on return. The
+    /// new sibling is fully constructed before it becomes reachable.
+    fn split_child(&self, parent: &Node, idx: usize) {
+        let child_ptr = parent.child(idx);
+        // SAFETY: caller holds the child's lock.
+        let child = unsafe { &*child_ptr };
+        debug_assert_eq!(child.len(), FANOUT);
+        let sib_ptr = self.alloc(child.is_leaf);
+        // SAFETY: sibling is unreachable until linked below.
+        let sib = unsafe { &*sib_ptr };
+
+        let sep;
+        if child.is_leaf {
+            let m = FANOUT / 2;
+            for (j, i) in (m..FANOUT).enumerate() {
+                sib.keys[j].store(child.key(i), Ordering::Relaxed);
+                sib.slots[j].store(child.slot(i), Ordering::Relaxed);
+            }
+            sib.count.store((FANOUT - m) as u64, Ordering::Relaxed);
+            sib.next
+                .store(child.next.load(Ordering::Relaxed), Ordering::Relaxed);
+            // The gap tags cover key ranges that are now shared between the
+            // two leaves; inherit them so no protection is lost.
+            sib.scan_rts
+                .store(child.scan_rts.load(Ordering::Relaxed), Ordering::Relaxed);
+            sib.del_wts
+                .store(child.del_wts.load(Ordering::Relaxed), Ordering::Relaxed);
+            sep = sib.key(0);
+            // Publish the sibling in the chain, then shrink the child.
+            // Readers holding the child's pre-lock version will fail their
+            // re-check and retry; new readers spin on the child's lock.
+            child.next.store(sib_ptr, Ordering::Release);
+            child.count.store(m as u64, Ordering::Relaxed);
+        } else {
+            let m = FANOUT / 2;
+            sep = child.key(m);
+            for (j, i) in ((m + 1)..FANOUT).enumerate() {
+                sib.keys[j].store(child.key(i), Ordering::Relaxed);
+            }
+            for (j, i) in ((m + 1)..=FANOUT).enumerate() {
+                sib.slots[j].store(child.slot(i), Ordering::Relaxed);
+            }
+            sib.count.store((FANOUT - m - 1) as u64, Ordering::Relaxed);
+            child.count.store(m as u64, Ordering::Relaxed);
+        }
+
+        // Shift the parent's separators/children right and link the sibling.
+        let pcount = parent.len();
+        debug_assert!(pcount < FANOUT);
+        let mut i = pcount;
+        while i > idx {
+            parent.keys[i].store(parent.key(i - 1), Ordering::Relaxed);
+            parent.slots[i + 1].store(parent.slot(i), Ordering::Relaxed);
+            i -= 1;
+        }
+        parent.keys[idx].store(sep, Ordering::Relaxed);
+        parent.slots[idx + 1].store(sib_ptr as u64, Ordering::Relaxed);
+        parent.count.store(pcount as u64 + 1, Ordering::Relaxed);
+
+        // Invalidate every optimistic reader that captured a pre-split
+        // version of either node, no matter how they are later unlocked.
+        parent.mark_modified();
+        child.mark_modified();
+    }
+
+    /// Remove `key`, returning its row and the leaf it was removed from.
+    /// Leaves may become underfull or empty; the structure never shrinks.
+    pub fn remove(&self, key: Key) -> Option<(RowIdx, LeafId)> {
+        self.remove_inner(key, None)
+    }
+
+    /// [`BPlusTree::remove`], additionally raising the leaf's `del_wts`
+    /// tag to `tag` **under the leaf's write lock** — atomic with the
+    /// removal, so any scanner that observes the post-removal leaf state
+    /// (its version re-validation spins past our lock) also observes the
+    /// tag. This closes the timestamp schemes' window between "withdraw
+    /// the key" and "warn older scans".
+    pub fn remove_tagged(&self, key: Key, tag: u64) -> Option<(RowIdx, LeafId)> {
+        self.remove_inner(key, Some(tag))
+    }
+
+    fn remove_inner(&self, key: Key, tag: Option<u64>) -> Option<(RowIdx, LeafId)> {
+        loop {
+            let root = self.root.load(Ordering::Acquire);
+            // SAFETY: nodes live as long as the tree.
+            let root_ref = unsafe { &*root };
+            root_ref.lock();
+            if self.root.load(Ordering::Acquire) != root {
+                root_ref.unlock_clean();
+                continue;
+            }
+            // Latch-crab to the leaf.
+            let mut node = root;
+            loop {
+                let n = unsafe { &*node };
+                if n.is_leaf {
+                    let pos = n.leaf_lower_bound(key);
+                    let count = n.len();
+                    if pos >= count || n.key(pos) != key {
+                        n.unlock_clean();
+                        return None;
+                    }
+                    let row = n.slot(pos);
+                    if let Some(t) = tag {
+                        n.del_wts.fetch_max(t, Ordering::AcqRel);
+                    }
+                    for i in pos..count - 1 {
+                        n.keys[i].store(n.key(i + 1), Ordering::Relaxed);
+                        n.slots[i].store(n.slot(i + 1), Ordering::Relaxed);
+                    }
+                    n.count.store(count as u64 - 1, Ordering::Relaxed);
+                    n.unlock_modified();
+                    self.len.fetch_sub(1, Ordering::AcqRel);
+                    return Some((row, LeafId(node as usize)));
+                }
+                let child = n.child(n.child_index(key));
+                // SAFETY: child pointer read under the parent's lock.
+                unsafe { &*child }.lock();
+                n.unlock_clean();
+                node = child;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ readers
+
+    /// Optimistic descent to the leaf that owns `key`'s position. Returns
+    /// the leaf and its validated version, or `None` on a version conflict
+    /// (caller restarts).
+    fn try_find_leaf(&self, key: Key) -> Option<(*const Node, u64)> {
+        let mut node = self.root.load(Ordering::Acquire) as *const Node;
+        // SAFETY: nodes live as long as the tree.
+        let mut n = unsafe { &*node };
+        let mut v = n.stable_version();
+        // A root grow shrinks the old root *before* publishing the new
+        // one; a stable version captured after the shrink no longer covers
+        // the whole key space, so re-check that this is still the root.
+        if !std::ptr::eq(self.root.load(Ordering::Acquire), node) {
+            return None;
+        }
+        loop {
+            if n.is_leaf {
+                return Some((node, v));
+            }
+            let idx = n.child_index(key);
+            let child = n.child(idx) as *const Node;
+            // Validate before trusting the child pointer.
+            // Seqlock fence: keep the preceding relaxed field reads from
+            // sinking below this validating load (see occ::stable_copy).
+            std::sync::atomic::fence(Ordering::Acquire);
+            if n.version.load(Ordering::Acquire) != v {
+                return None;
+            }
+            // SAFETY: validated pointer; nodes are never freed.
+            let c = unsafe { &*child };
+            let cv = c.stable_version();
+            // Second parent check (the OLC readUnlock step): if the parent
+            // is untouched *after* the child's version was captured, the
+            // routing decision and `cv` describe the same moment — a child
+            // split cannot have slipped in between, because splits bump
+            // the parent under its lock before either node is released.
+            // Seqlock fence: keep the preceding relaxed field reads from
+            // sinking below this validating load (see occ::stable_copy).
+            std::sync::atomic::fence(Ordering::Acquire);
+            if n.version.load(Ordering::Acquire) != v {
+                return None;
+            }
+            node = child;
+            n = c;
+            v = cv;
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: Key) -> Option<RowIdx> {
+        loop {
+            let Some((leaf, v)) = self.try_find_leaf(key) else {
+                continue;
+            };
+            // SAFETY: see try_find_leaf.
+            let n = unsafe { &*leaf };
+            let pos = n.leaf_lower_bound(key);
+            let hit = if pos < n.len() && n.key(pos) == key {
+                Some(n.slot(pos))
+            } else {
+                None
+            };
+            // Seqlock fence: keep the preceding relaxed field reads from
+            // sinking below this validating load (see occ::stable_copy).
+            std::sync::atomic::fence(Ordering::Acquire);
+            if n.version.load(Ordering::Acquire) == v {
+                return hit;
+            }
+        }
+    }
+
+    /// Collect every entry with `low <= key <= high`, key-ascending,
+    /// together with the observed leaf versions (phantom validation) —
+    /// including leaves that intersect the range but hold no matching key.
+    pub fn scan(&self, low: Key, high: Key) -> ScanResult {
+        let mut out = ScanResult::default();
+        if low > high {
+            return out;
+        }
+        'restart: loop {
+            out.entries.clear();
+            out.leaves.clear();
+            let Some((mut leaf, mut v)) = self.try_find_leaf(low) else {
+                out.retries += 1;
+                continue 'restart;
+            };
+            // `cursor` dedups entries that a concurrent split may have
+            // copied into a sibling we will visit next.
+            let mut cursor = low;
+            loop {
+                // SAFETY: see try_find_leaf.
+                let n = unsafe { &*leaf };
+                let count = n.len();
+                let mut local: Vec<(Key, RowIdx)> = Vec::new();
+                let mut exhausted = false;
+                for i in 0..count {
+                    let k = n.key(i);
+                    if k < cursor {
+                        continue;
+                    }
+                    if k > high {
+                        exhausted = true;
+                        break;
+                    }
+                    local.push((k, n.slot(i)));
+                }
+                let next = n.next.load(Ordering::Acquire) as *const Node;
+                // Seqlock fence: keep the preceding relaxed field reads from
+                // sinking below this validating load (see occ::stable_copy).
+                std::sync::atomic::fence(Ordering::Acquire);
+                if n.version.load(Ordering::Acquire) != v {
+                    out.retries += 1;
+                    // Re-stabilize just this leaf; keys only move rightward
+                    // (splits), so entries below `cursor` are already safe.
+                    v = n.stable_version();
+                    continue;
+                }
+                out.leaves.push((LeafId(leaf as usize), v));
+                if let Some(&(k, _)) = local.last() {
+                    match k.checked_add(1) {
+                        Some(c) => cursor = c,
+                        None => {
+                            // key::MAX emitted: nothing can lie beyond it.
+                            out.entries.append(&mut local);
+                            return out;
+                        }
+                    }
+                }
+                out.entries.append(&mut local);
+                if exhausted || next.is_null() {
+                    return out;
+                }
+                // SAFETY: the chain pointer was validated above.
+                let nn = unsafe { &*next };
+                let nv = nn.stable_version();
+                // A leaf whose smallest key exceeds `high` still bounds the
+                // scan's upper gap; record it and stop.
+                leaf = next;
+                v = nv;
+                let first = if nn.len() > 0 { Some(nn.key(0)) } else { None };
+                // Seqlock fence: keep the preceding relaxed field reads from
+                // sinking below this validating load (see occ::stable_copy).
+                std::sync::atomic::fence(Ordering::Acquire);
+                if nn.version.load(Ordering::Acquire) == v {
+                    if let Some(f) = first {
+                        if f > high {
+                            out.leaves.push((LeafId(leaf as usize), v));
+                            return out;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// First entry with `key >= from` (inclusive successor).
+    pub fn successor_inclusive(&self, from: Key) -> Option<(Key, RowIdx)> {
+        loop {
+            let Some((mut leaf, mut v)) = self.try_find_leaf(from) else {
+                continue;
+            };
+            loop {
+                // SAFETY: see try_find_leaf.
+                let n = unsafe { &*leaf };
+                let count = n.len();
+                let mut hit = None;
+                for i in 0..count {
+                    let k = n.key(i);
+                    if k >= from {
+                        hit = Some((k, n.slot(i)));
+                        break;
+                    }
+                }
+                let next = n.next.load(Ordering::Acquire) as *const Node;
+                // Seqlock fence: keep the preceding relaxed field reads from
+                // sinking below this validating load (see occ::stable_copy).
+                std::sync::atomic::fence(Ordering::Acquire);
+                if n.version.load(Ordering::Acquire) != v {
+                    v = n.stable_version();
+                    continue;
+                }
+                if hit.is_some() {
+                    return hit;
+                }
+                if next.is_null() {
+                    return None;
+                }
+                // SAFETY: validated chain pointer.
+                let nn = unsafe { &*next };
+                v = nn.stable_version();
+                leaf = next;
+            }
+        }
+    }
+}
+
+impl Drop for BPlusTree {
+    fn drop(&mut self) {
+        for &n in self.nodes.lock().iter() {
+            // SAFETY: exclusive access in Drop; each pointer was allocated
+            // by Box::into_raw exactly once and never freed.
+            unsafe { drop(Box::from_raw(n)) };
+        }
+    }
+}
+
+impl std::fmt::Debug for BPlusTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let h = self.health();
+        f.debug_struct("BPlusTree")
+            .field("table", &self.table)
+            .field("len", &h.len)
+            .field("height", &h.height)
+            .field("nodes", &h.nodes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let t = BPlusTree::new(0);
+        for k in 0..200u64 {
+            t.insert(k * 3, k).unwrap();
+        }
+        assert_eq!(t.len(), 200);
+        assert_eq!(t.get(33), Some(11));
+        assert_eq!(t.get(34), None);
+        let (row, _leaf) = t.remove(33).unwrap();
+        assert_eq!(row, 11);
+        assert_eq!(t.get(33), None);
+        assert!(t.remove(33).is_none());
+        assert_eq!(t.len(), 199);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let t = BPlusTree::new(7);
+        t.insert(5, 50).unwrap();
+        let err = t.insert(5, 51).unwrap_err();
+        assert_eq!(err, DbError::DuplicateKey { table: 7, key: 5 });
+        assert_eq!(t.get(5), Some(50));
+    }
+
+    #[test]
+    fn scan_returns_sorted_range() {
+        let t = BPlusTree::new(0);
+        for k in (0..500u64).rev() {
+            t.insert(k * 2, k).unwrap();
+        }
+        let r = t.scan(100, 140);
+        let keys: Vec<u64> = r.entries.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, (50..=70).map(|k| k * 2).collect::<Vec<_>>());
+        assert!(!r.leaves.is_empty());
+        // Empty range still observes the covering leaf.
+        let empty = t.scan(101, 101);
+        assert!(empty.entries.is_empty());
+        assert!(!empty.leaves.is_empty());
+    }
+
+    #[test]
+    fn scan_leaf_versions_change_on_insert() {
+        let t = BPlusTree::new(0);
+        for k in 0..64u64 {
+            t.insert(k * 10, k).unwrap();
+        }
+        let before = t.scan(0, 639);
+        t.insert(5, 999).unwrap();
+        let changed = before
+            .leaves
+            .iter()
+            .any(|&(leaf, v)| t.leaf_version(leaf) != v);
+        assert!(changed, "an insert into the range must bump a leaf version");
+    }
+
+    #[test]
+    fn successor_walks_across_leaves() {
+        let t = BPlusTree::new(0);
+        for k in 0..100u64 {
+            t.insert(k * 5, k).unwrap();
+        }
+        assert_eq!(t.successor_inclusive(0), Some((0, 0)));
+        assert_eq!(t.successor_inclusive(11), Some((15, 3)));
+        assert_eq!(t.successor_inclusive(495), Some((495, 99)));
+        assert_eq!(t.successor_inclusive(496), None);
+    }
+
+    #[test]
+    fn leaf_tags_are_monotonic() {
+        let t = BPlusTree::new(0);
+        t.insert(1, 1).unwrap();
+        let r = t.scan(0, 10);
+        let (leaf, _) = r.leaves[0];
+        t.leaf_bump_scan_rts(leaf, 10);
+        t.leaf_bump_scan_rts(leaf, 5);
+        assert_eq!(t.leaf_scan_rts(leaf), 10);
+        t.leaf_bump_del_wts(leaf, 3);
+        assert_eq!(t.leaf_del_wts(leaf), 3);
+    }
+
+    #[test]
+    fn height_grows_with_inserts() {
+        let t = BPlusTree::new(0);
+        assert_eq!(t.health().height, 1);
+        for k in 0..10_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        let h = t.health();
+        assert!(h.height >= 3, "height {}", h.height);
+        assert_eq!(h.len, 10_000);
+        // Full scan sees everything in order.
+        let r = t.scan(0, u64::MAX);
+        assert_eq!(r.entries.len(), 10_000);
+        assert!(r.entries.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let t = Arc::new(BPlusTree::new(0));
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    let k = i * 4 + w;
+                    t.insert(k, k * 2).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 20_000);
+        let r = t.scan(0, u64::MAX);
+        assert_eq!(r.entries.len(), 20_000);
+        assert!(r.entries.windows(2).all(|w| w[0].0 < w[1].0));
+        for &(k, v) in &r.entries {
+            assert_eq!(v, k * 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_scans_during_inserts_stay_sorted() {
+        let t = Arc::new(BPlusTree::new(0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut k = 0u64;
+                while !stop.load(Ordering::Relaxed) && k < 30_000 {
+                    t.insert(k, k).unwrap();
+                    k += 1;
+                }
+                k
+            })
+        };
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let t = Arc::clone(&t);
+            readers.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let r = t.scan(0, u64::MAX);
+                    assert!(
+                        r.entries.windows(2).all(|w| w[0].0 < w[1].0),
+                        "scan must stay sorted and duplicate-free"
+                    );
+                    for &(k, v) in &r.entries {
+                        assert_eq!(k, v);
+                    }
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let inserted = writer.join().unwrap();
+        let r = t.scan(0, u64::MAX);
+        assert_eq!(r.entries.len() as u64, inserted);
+    }
+}

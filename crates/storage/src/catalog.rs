@@ -114,6 +114,9 @@ pub struct TableDef {
     pub schema: Schema,
     /// Maximum number of rows the arena will hold (loads + inserts).
     pub capacity: u64,
+    /// Maintain an ordered index ([`crate::btree::BPlusTree`]) alongside
+    /// the hash index, enabling range scans on this table.
+    pub ordered: bool,
 }
 
 /// An ordered collection of table definitions.
@@ -136,7 +139,21 @@ impl Catalog {
             name: name.into(),
             schema,
             capacity,
+            ordered: false,
         });
+        id
+    }
+
+    /// Add a table that also maintains an ordered (B+-tree) index, making
+    /// it range-scannable; returns its id.
+    pub fn add_ordered_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        capacity: u64,
+    ) -> TableId {
+        let id = self.add_table(name, schema, capacity);
+        self.tables[id as usize].ordered = true;
         id
     }
 

@@ -10,9 +10,13 @@
 //! * [`row`] — typed accessors over raw row bytes.
 //! * [`table`] — fixed-capacity row arenas with lock-free allocation.
 //! * [`index`] — chained hash index with per-bucket latches.
+//! * [`btree`] — ordered index: a B+-tree with optimistic lock coupling,
+//!   leaf chaining for range scans, and the per-leaf hooks the schemes use
+//!   for phantom protection.
 //! * [`mempool`] — per-thread, dynamically resized block pools.
 //! * [`partition`] — key → partition maps for the H-STORE scheme.
 
+pub mod btree;
 pub mod catalog;
 pub mod index;
 pub mod mempool;
@@ -20,6 +24,7 @@ pub mod partition;
 pub mod row;
 pub mod table;
 
+pub use btree::{BPlusTree, BtreeHealth, LeafId, ScanResult};
 pub use catalog::{Catalog, ColumnDef, Schema, TableDef};
 pub use index::HashIndex;
 pub use mempool::MemPool;

@@ -51,6 +51,8 @@ pub const FIRST_NEW_ORDER_ID: u64 = 3000;
 pub const TAG_PAYMENT: u8 = 0;
 /// NewOrder tag.
 pub const TAG_NEW_ORDER: u8 = 1;
+/// OrderStatus tag (the range-read transaction).
+pub const TAG_ORDER_STATUS: u8 = 2;
 
 /// The nine TPC-C tables, with catalog ids matching the enum discriminants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,7 +145,12 @@ pub mod keys {
 pub struct TpccConfig {
     /// Number of warehouses (the paper runs 4 and 1024).
     pub warehouses: u32,
-    /// Fraction of Payment transactions (paper: 50/50 with NewOrder).
+    /// Fraction of transactions that are OrderStatus (range reads over
+    /// NEW-ORDER and ORDER-LINE). 0 reproduces the paper's Payment +
+    /// NewOrder mix exactly; the remainder is split by `payment_pct`.
+    pub order_status_pct: f64,
+    /// Fraction of *non-OrderStatus* transactions that are Payment
+    /// (paper: 50/50 with NewOrder).
     pub payment_pct: f64,
     /// Payment: probability the paying customer belongs to a remote
     /// warehouse (spec & paper: ~15%).
@@ -165,6 +172,7 @@ impl Default for TpccConfig {
     fn default() -> Self {
         Self {
             warehouses: 4,
+            order_status_pct: 0.0,
             payment_pct: 0.5,
             remote_payment_pct: 0.15,
             remote_item_pct: 0.01,
@@ -185,6 +193,7 @@ impl TpccConfig {
             return Err("workers must be positive".into());
         }
         for (name, v) in [
+            ("order_status_pct", self.order_status_pct),
             ("payment_pct", self.payment_pct),
             ("remote_payment_pct", self.remote_payment_pct),
             ("remote_item_pct", self.remote_item_pct),
@@ -225,6 +234,9 @@ pub fn catalog(cfg: &TpccConfig) -> Catalog {
 
     // Spec-ish row widths (bytes): warehouse 89, district 95, customer 655,
     // history 46, new-order 8, order 24, order-line 54, item 82, stock 306.
+    // The ORDER-family tables carry ordered indexes: their composite keys
+    // sort by (warehouse, district, order id[, line]), which is exactly the
+    // order the OrderStatus/Delivery range reads need.
     c.add_table("warehouse", mk(73), w);
     c.add_table("district", mk(79), w * DISTRICTS_PER_WH);
     c.add_table(
@@ -233,9 +245,9 @@ pub fn catalog(cfg: &TpccConfig) -> Catalog {
         w * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT,
     );
     c.add_table("history", mk(30), orders_cap);
-    c.add_table("new_order", mk(8), orders_cap);
-    c.add_table("order", mk(8), orders_cap);
-    c.add_table("order_line", mk(38), orders_cap * 15);
+    c.add_ordered_table("new_order", mk(8), orders_cap);
+    c.add_ordered_table("order", mk(8), orders_cap);
+    c.add_ordered_table("order_line", mk(38), orders_cap * 15);
     c.add_table("item", mk(66), ITEMS);
     c.add_table("stock", mk(290), w * ITEMS);
     c
@@ -287,10 +299,54 @@ impl TpccGen {
 
     /// Generate the next transaction per the configured mix.
     pub fn next_txn(&mut self) -> TxnTemplate {
-        if self.rng.chance(self.cfg.payment_pct) {
+        if self.cfg.order_status_pct > 0.0 && self.rng.chance(self.cfg.order_status_pct) {
+            self.order_status()
+        } else if self.rng.chance(self.cfg.payment_pct) {
             self.payment()
         } else {
             self.new_order()
+        }
+    }
+
+    /// The OrderStatus-style range-read transaction: read the customer,
+    /// scan the district's NEW-ORDER window for pending orders (the
+    /// Delivery-style oldest-first probe), and scan one recent order's
+    /// ORDER-LINE range. Both ranges race NewOrder's inserts into the same
+    /// district — the phantom-prone pattern the ordered index exists for.
+    pub fn order_status(&mut self) -> TxnTemplate {
+        let w = self.home_wh;
+        let d = self.rng.next_below(DISTRICTS_PER_WH);
+        let c = self.rng.next_below(CUSTOMERS_PER_DISTRICT);
+        // A guess at a recently created order id: the district counter
+        // starts at FIRST_NEW_ORDER_ID and NewOrder advances it, so probe
+        // a small window above the floor (empty ranges are valid scans —
+        // they still exercise gap protection).
+        let o_guess = FIRST_NEW_ORDER_ID + self.rng.next_below(64);
+
+        let accesses = vec![
+            AccessSpec::fixed(
+                TpccTable::Customer.id(),
+                keys::customer(w, d, c),
+                AccessOp::Read,
+            ),
+            AccessSpec {
+                table: TpccTable::NewOrder.id(),
+                key: KeySpec::Fixed(keys::order(w, d, FIRST_NEW_ORDER_ID)),
+                op: AccessOp::Scan { len: 64 },
+            },
+            AccessSpec {
+                table: TpccTable::OrderLine.id(),
+                key: KeySpec::Fixed(keys::order_line(w, d, o_guess, 0)),
+                op: AccessOp::Scan { len: 16 },
+            },
+        ];
+
+        TxnTemplate {
+            accesses,
+            partitions: vec![w as PartId],
+            user_abort: false,
+            logic_per_query: 1,
+            tag: TAG_ORDER_STATUS,
         }
     }
 

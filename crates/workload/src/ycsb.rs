@@ -13,7 +13,12 @@
 //! * `parts` / `multi_part_pct` / `parts_per_txn` — partitioned generation
 //!   for the H-STORE experiments (Figs. 14–15). Partitioning uses
 //!   `key % parts` (the paper's "simple hashing strategy to assign tuples
-//!   to partitions based on their primary keys").
+//!   to partitions based on their primary keys");
+//! * `scan_pct` / `scan_max_len` / `insert_pct` — the **YCSB-E** scan/insert
+//!   mix (short ranges of uniform length `1..=scan_max_len`, fresh-key
+//!   inserts), the workload CCBench shows reshuffles the paper's scheme
+//!   ranking. Scans require the catalog's ordered index, which
+//!   [`catalog`] adds automatically when `scan_pct > 0`.
 
 use abyss_common::rng::Xoshiro256;
 use abyss_common::zipf::ZipfGen;
@@ -47,6 +52,26 @@ pub struct YcsbConfig {
     pub multi_part_pct: f64,
     /// Partitions each multi-partition transaction touches (Fig. 15b).
     pub parts_per_txn: u32,
+    /// Probability an access is a range scan (YCSB-E).
+    pub scan_pct: f64,
+    /// Of the scans, the fraction aimed at the *insert frontier* (YCSB's
+    /// "latest" distribution): the range straddles the keys freshly
+    /// appended by concurrent inserters, which is where scan/insert
+    /// phantom conflicts actually live — Zipfian scans over the dense
+    /// loaded keyspace almost never meet an insert.
+    pub scan_latest_pct: f64,
+    /// Scan lengths are uniform in `1..=scan_max_len` (YCSB-E's default
+    /// distribution, max 100).
+    pub scan_max_len: u32,
+    /// Probability an access inserts a fresh key (YCSB-E: 5%). Insert keys
+    /// are worker-unique: `table_rows + worker + seq * insert_stride`.
+    pub insert_pct: f64,
+    /// Stride between one worker's consecutive insert keys — must be at
+    /// least the worker count for streams to stay disjoint.
+    pub insert_stride: u32,
+    /// Extra arena capacity reserved for inserts (rows beyond
+    /// `table_rows`); sized into the catalog.
+    pub insert_capacity: u64,
 }
 
 impl Default for YcsbConfig {
@@ -60,6 +85,12 @@ impl Default for YcsbConfig {
             parts: 1,
             multi_part_pct: 0.0,
             parts_per_txn: 1,
+            scan_pct: 0.0,
+            scan_latest_pct: 0.0,
+            scan_max_len: 100,
+            insert_pct: 0.0,
+            insert_stride: 1024,
+            insert_capacity: 0,
         }
     }
 }
@@ -91,6 +122,23 @@ impl YcsbConfig {
         }
     }
 
+    /// A YCSB-E-style scan/insert mix: `scan_pct` of accesses are short
+    /// range scans, 5% are fresh-key inserts (capped by what the scan
+    /// fraction leaves), and the rest are reads. `scan_pct = 0.95` is
+    /// YCSB-E proper; sweeping it toward 0.05 trades scans for reads while
+    /// keeping the insert pressure that makes phantoms possible.
+    pub fn ycsb_e(scan_pct: f64) -> Self {
+        Self {
+            reqs_per_txn: 4,
+            read_pct: 1.0, // non-scan, non-insert accesses are reads
+            scan_pct,
+            scan_latest_pct: 0.2,
+            scan_max_len: 100,
+            insert_pct: (1.0 - scan_pct).min(0.05),
+            ..Self::default()
+        }
+    }
+
     /// Validate parameter sanity.
     pub fn validate(&self) -> Result<(), String> {
         if self.table_rows == 0 {
@@ -114,15 +162,46 @@ impl YcsbConfig {
         if self.reqs_per_txn as u64 > self.table_rows {
             return Err("reqs_per_txn exceeds distinct keys".into());
         }
+        if !(0.0..=1.0).contains(&self.scan_pct) {
+            return Err(format!("scan_pct out of range: {}", self.scan_pct));
+        }
+        if !(0.0..=1.0).contains(&self.scan_latest_pct) {
+            return Err(format!(
+                "scan_latest_pct out of range: {}",
+                self.scan_latest_pct
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.insert_pct) {
+            return Err(format!("insert_pct out of range: {}", self.insert_pct));
+        }
+        if self.scan_pct + self.insert_pct > 1.0 {
+            return Err("scan_pct + insert_pct exceeds 1".into());
+        }
+        if self.scan_pct > 0.0
+            && (self.scan_max_len == 0 || u64::from(self.scan_max_len) > self.table_rows)
+        {
+            return Err(format!("scan_max_len out of range: {}", self.scan_max_len));
+        }
         Ok(())
+    }
+
+    /// Does this mix generate inserts? (Sizes the catalog's headroom.)
+    pub fn has_inserts(&self) -> bool {
+        self.insert_pct > 0.0
     }
 }
 
 /// Build the YCSB catalog: one table, 8-byte key + ten 100-byte columns.
+/// Scan mixes get an ordered index and insert headroom in the arena.
 pub fn catalog(cfg: &YcsbConfig) -> Catalog {
     let mut c = Catalog::new();
     let schema = Schema::key_plus_payload(PAYLOAD_COLUMNS, PAYLOAD_WIDTH);
-    c.add_table("usertable", schema, cfg.table_rows);
+    let capacity = cfg.table_rows + cfg.insert_capacity;
+    if cfg.scan_pct > 0.0 {
+        c.add_ordered_table("usertable", schema, capacity);
+    } else {
+        c.add_table("usertable", schema, capacity);
+    }
     c
 }
 
@@ -141,6 +220,10 @@ pub struct YcsbGen {
     /// partition's queue, §2.2). `None` picks a random partition per
     /// transaction.
     home: Option<PartId>,
+    /// This generator's worker id — the disjoint insert-key stream seed.
+    worker: u32,
+    /// Monotonic per-worker insert sequence.
+    insert_seq: u64,
 }
 
 impl YcsbGen {
@@ -154,6 +237,8 @@ impl YcsbGen {
             rng: Xoshiro256::seed_from(seed),
             keys: Vec::new(),
             home: None,
+            worker: 0,
+            insert_seq: 0,
         }
     }
 
@@ -172,14 +257,23 @@ impl YcsbGen {
             rng: Xoshiro256::seed_from(seed),
             keys: Vec::new(),
             home: None,
+            worker: 0,
+            insert_seq: 0,
         }
     }
 
     /// Bind this generator to worker `worker`: single-partition
     /// transactions target partition `worker % parts` (the paper's
     /// one-engine-per-partition model); multi-partition transactions add
-    /// random remote partitions.
+    /// random remote partitions. Insert-key streams are disjoint per
+    /// worker (YCSB-E), so binding is mandatory for insert mixes with more
+    /// than one worker.
     pub fn for_worker(mut self, worker: u32) -> Self {
+        assert!(
+            u64::from(worker) < u64::from(self.cfg.insert_stride),
+            "worker id must stay below insert_stride"
+        );
+        self.worker = worker;
         if self.cfg.parts > 1 {
             self.home = Some(worker % self.cfg.parts);
         }
@@ -225,6 +319,9 @@ impl YcsbGen {
 
     /// Generate the next transaction.
     pub fn next_txn(&mut self) -> TxnTemplate {
+        if self.cfg.scan_pct > 0.0 || self.cfg.insert_pct > 0.0 {
+            return self.next_txn_scan_mix();
+        }
         self.keys.clear();
         let n = self.cfg.reqs_per_txn;
         let mut accesses = Vec::with_capacity(n);
@@ -272,6 +369,80 @@ impl YcsbGen {
         }
         partitions.sort_unstable();
 
+        let mut t = TxnTemplate::new(accesses);
+        t.partitions = partitions;
+        t
+    }
+
+    /// YCSB-E generation: a per-access mix of range scans, fresh-key
+    /// inserts and point reads/updates. Keys are Zipfian regardless of
+    /// partitioning (the "simple hashing" partition map means a contiguous
+    /// scan range fans out over up to `min(len, parts)` partitions — the
+    /// cross-partition cost H-STORE pays for scans is the point).
+    fn next_txn_scan_mix(&mut self) -> TxnTemplate {
+        self.keys.clear();
+        let parts = u64::from(self.cfg.parts);
+        let n = self.cfg.reqs_per_txn;
+        let mut accesses = Vec::with_capacity(n);
+        let mut partitions: Vec<PartId> = Vec::new();
+        fn add_part(partitions: &mut Vec<PartId>, p: PartId) {
+            if !partitions.contains(&p) {
+                partitions.push(p);
+            }
+        }
+        for _ in 0..n {
+            let roll = self.rng.next_f64();
+            if roll < self.cfg.scan_pct {
+                let len = self.rng.next_range(1, u64::from(self.cfg.scan_max_len)) as u32;
+                let low = if self.rng.chance(self.cfg.scan_latest_pct) {
+                    // "Latest" scan: straddle the insert frontier. Workers
+                    // append in near-lockstep, so this worker's own stream
+                    // position approximates the global frontier; the range
+                    // covers other workers' freshest keys and the gaps the
+                    // next inserts will fill — the phantom-prone region.
+                    let frontier = self.cfg.table_rows
+                        + self
+                            .insert_seq
+                            .saturating_mul(u64::from(self.cfg.insert_stride));
+                    frontier.saturating_sub(u64::from(len) / 2)
+                } else {
+                    self.zipf
+                        .next(&mut self.rng)
+                        .min(self.cfg.table_rows - u64::from(len))
+                };
+                accesses.push(AccessSpec {
+                    table: YCSB_TABLE,
+                    key: abyss_common::KeySpec::Fixed(low),
+                    op: AccessOp::Scan { len },
+                });
+                if parts > 1 {
+                    for k in low..low + u64::from(len).min(parts) {
+                        add_part(&mut partitions, (k % parts) as PartId);
+                    }
+                }
+            } else if roll < self.cfg.scan_pct + self.cfg.insert_pct {
+                let key = self.cfg.table_rows
+                    + u64::from(self.worker)
+                    + self.insert_seq * u64::from(self.cfg.insert_stride);
+                self.insert_seq += 1;
+                accesses.push(AccessSpec::fixed(YCSB_TABLE, key, AccessOp::Insert));
+                if parts > 1 {
+                    add_part(&mut partitions, (key % parts) as PartId);
+                }
+            } else {
+                let k = self.fresh_zipf_key();
+                self.keys.push(k);
+                let op = self.next_op();
+                accesses.push(AccessSpec::fixed(YCSB_TABLE, k, op));
+                if parts > 1 {
+                    add_part(&mut partitions, (k % parts) as PartId);
+                }
+            }
+        }
+        if parts <= 1 {
+            partitions.push(0);
+        }
+        partitions.sort_unstable();
         let mut t = TxnTemplate::new(accesses);
         t.partitions = partitions;
         t

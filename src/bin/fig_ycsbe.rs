@@ -1,0 +1,8 @@
+//! fig_ycsbe — YCSB-E scan/insert mixes over the ordered index, runnable
+//! from the workspace root:
+//! `cargo run --release --bin fig_ycsbe [--quick|--full]`.
+//! The experiment itself lives in [`abyss_bench::fig_ycsbe`].
+
+fn main() {
+    abyss_bench::fig_ycsbe::run();
+}

@@ -6,13 +6,13 @@
 //! over `n` independently seeded [`Xoshiro256`] streams. Failures print
 //! the case seed, which reproduces the exact inputs.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use abyss::common::rng::Xoshiro256;
 use abyss::common::zipf::ZipfGen;
 use abyss::common::CcScheme;
 use abyss::core::{Database, EngineConfig};
-use abyss::storage::{row, Catalog, HashIndex, MemPool, Schema};
+use abyss::storage::{row, BPlusTree, Catalog, HashIndex, MemPool, Schema};
 
 /// Run `property` over `n` deterministic random cases derived from `seed`.
 fn cases(n: u64, seed: u64, mut property: impl FnMut(&mut Xoshiro256)) {
@@ -64,6 +64,119 @@ fn index_matches_model() {
             }
         }
         assert_eq!(idx.len(), model.len());
+    });
+}
+
+/// The ordered index behaves exactly like a `BTreeMap` model under random
+/// insert/remove/get/scan/successor sequences (single-threaded oracle).
+#[test]
+fn btree_matches_model() {
+    cases(64, 0xB7EE, |rng| {
+        let ops = random_vec(rng, 300, |r| {
+            (r.next_below(5) as u8, r.next_below(256), r.next_below(256))
+        });
+        let tree = BPlusTree::new(0);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, a, b) in ops {
+            match op {
+                0 => {
+                    let val = a * 31 + 7;
+                    let r = tree.insert(a, val);
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(a) {
+                        assert!(r.is_ok());
+                        e.insert(val);
+                    } else {
+                        assert!(r.is_err(), "duplicate insert of {a} must fail");
+                    }
+                }
+                1 => {
+                    let removed = tree.remove(a).map(|(row, _leaf)| row);
+                    assert_eq!(removed, model.remove(&a), "remove({a})");
+                }
+                2 => {
+                    assert_eq!(tree.get(a), model.get(&a).copied(), "get({a})");
+                }
+                3 => {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let got: Vec<(u64, u64)> = tree.scan(lo, hi).entries;
+                    let want: Vec<(u64, u64)> =
+                        model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                    assert_eq!(got, want, "scan [{lo}, {hi}]");
+                }
+                _ => {
+                    let got = tree.successor_inclusive(a);
+                    let want = model.range(a..).next().map(|(&k, &v)| (k, v));
+                    assert_eq!(got, want, "successor({a})");
+                }
+            }
+        }
+        assert_eq!(tree.len() as usize, model.len());
+        let health = tree.health();
+        assert!(health.height >= 1 && health.nodes >= 1);
+    });
+}
+
+/// Multi-threaded linearizability smoke: writers insert/remove disjoint
+/// key classes while scanners observe; every scan must be sorted and
+/// duplicate-free, every key must map to its writer's value, and the final
+/// tree must equal the union of the writers' final sets.
+#[test]
+fn btree_concurrent_ops_linearizable_smoke() {
+    use std::sync::Arc;
+    cases(4, 0xC0C0, |rng| {
+        let seed = rng.next_u64();
+        let tree = Arc::new(BPlusTree::new(0));
+        let writers = 3u64;
+        let mut handles = Vec::new();
+        for w in 0..writers {
+            let tree = Arc::clone(&tree);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = Xoshiro256::seed_from(seed ^ (w << 32));
+                let mut live: Vec<u64> = Vec::new();
+                for i in 0..3_000u64 {
+                    let k = (i * writers + w) * 2;
+                    tree.insert(k, k + 1).unwrap();
+                    live.push(k);
+                    // Remove ~one third of our own keys as we go.
+                    if rng.next_below(3) == 0 {
+                        let idx = rng.next_below(live.len() as u64) as usize;
+                        let k = live.swap_remove(idx);
+                        let (row, _) = tree.remove(k).expect("own key present");
+                        assert_eq!(row, k + 1);
+                    }
+                }
+                live.sort_unstable();
+                live
+            }));
+        }
+        let scanner = {
+            let tree = Arc::clone(&tree);
+            std::thread::spawn(move || {
+                for _ in 0..300 {
+                    let sr = tree.scan(0, u64::MAX);
+                    assert!(
+                        sr.entries.windows(2).all(|w| w[0].0 < w[1].0),
+                        "concurrent scan must stay sorted and duplicate-free"
+                    );
+                    for &(k, v) in &sr.entries {
+                        assert_eq!(v, k + 1, "torn entry for key {k}");
+                    }
+                }
+            })
+        };
+        let mut expect: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        scanner.join().unwrap();
+        expect.sort_unstable();
+        let got: Vec<u64> = tree
+            .scan(0, u64::MAX)
+            .entries
+            .iter()
+            .map(|&(k, _)| k)
+            .collect();
+        assert_eq!(got, expect, "final tree != union of writers' live sets");
     });
 }
 
@@ -183,44 +296,100 @@ fn scheme_name_round_trips() {
 // ----------------------------------------------------------------- engine
 
 /// Single-worker random transactions must leave the database exactly where
-/// a sequential model says — for every scheme (catches rollback bugs and
-/// buffered-write bugs without needing concurrency).
+/// a sequential model says — for every scheme, over an *ordered* table so
+/// every op also exercises B+-tree maintenance (catches rollback bugs,
+/// buffered-write bugs and index divergence without needing concurrency).
+/// Ops: committed/aborted updates, reads, committed/aborted deletes,
+/// re-inserts of deleted keys, and range scans checked against the model.
 fn engine_matches_model(scheme: CcScheme, ops: &[(u8, u64, u64)]) {
     let mut catalog = Catalog::new();
-    let t = catalog.add_table("t", Schema::key_plus_payload(1, 8), 64);
+    let t = catalog.add_ordered_table("t", Schema::key_plus_payload(1, 8), 512);
     let db = Database::new(EngineConfig::new(scheme, 1), catalog).unwrap();
     db.load_table(t, 0..32u64, |s, r, k| {
         row::set_u64(s, r, 0, k);
         row::set_u64(s, r, 1, 100);
     })
     .unwrap();
-    let mut model: HashMap<u64, u64> = (0..32).map(|k| (k, 100)).collect();
+    let mut model: BTreeMap<u64, u64> = (0..32).map(|k| (k, 100)).collect();
 
     let mut ctx = db.worker(0);
     for &(kind, key, val) in ops {
         let key = key % 32;
-        match kind % 3 {
+        match kind % 7 {
             0 => {
-                // committed update
-                ctx.run_txn(&[0], |txn| {
-                    txn.update(t, key, |s, d| row::set_u64(s, d, 1, val))
-                })
-                .unwrap();
-                model.insert(key, val);
+                // committed update (present keys only — missing keys are a
+                // non-transactional error by contract)
+                if model.contains_key(&key) {
+                    ctx.run_txn(&[0], |txn| {
+                        txn.update(t, key, |s, d| row::set_u64(s, d, 1, val))
+                    })
+                    .unwrap();
+                    model.insert(key, val);
+                }
             }
             1 => {
                 // user-aborted update: must not change the model
-                let _ = ctx.run_txn(&[0], |txn| {
-                    txn.update(t, key, |s, d| row::set_u64(s, d, 1, val))?;
-                    Err::<(), _>(abyss::core::TxnError::Abort(
-                        abyss::common::AbortReason::UserAbort,
-                    ))
+                if model.contains_key(&key) {
+                    let _ = ctx.run_txn(&[0], |txn| {
+                        txn.update(t, key, |s, d| row::set_u64(s, d, 1, val))?;
+                        Err::<(), _>(abyss::core::TxnError::Abort(
+                            abyss::common::AbortReason::UserAbort,
+                        ))
+                    });
+                }
+            }
+            2 => {
+                // read must match the model; missing keys must error
+                let r = ctx.run_txn(&[0], |txn| txn.read_u64(t, key, 1));
+                match model.get(&key) {
+                    Some(v) => assert_eq!(r.unwrap(), *v, "{scheme}: read mismatch at {key}"),
+                    None => assert!(r.is_err(), "{scheme}: read of deleted {key} succeeded"),
+                }
+            }
+            3 => {
+                // committed delete; deleting a missing key is a Db error
+                let r = ctx.run_txn(&[0], |txn| txn.delete(t, key));
+                if model.remove(&key).is_some() {
+                    r.unwrap();
+                } else {
+                    assert!(r.is_err(), "{scheme}: delete of missing {key} succeeded");
+                }
+            }
+            4 => {
+                // user-aborted delete: must not change anything
+                if model.contains_key(&key) {
+                    let _ = ctx.run_txn(&[0], |txn| {
+                        txn.delete(t, key)?;
+                        Err::<(), _>(abyss::core::TxnError::Abort(
+                            abyss::common::AbortReason::UserAbort,
+                        ))
+                    });
+                }
+            }
+            5 => {
+                // (re-)insert an absent key
+                model.entry(key).or_insert_with(|| {
+                    ctx.run_txn(&[0], |txn| {
+                        txn.insert(t, key, |s, d| {
+                            row::set_u64(s, d, 0, key);
+                            row::set_u64(s, d, 1, val);
+                        })
+                    })
+                    .unwrap();
+                    val
                 });
             }
             _ => {
-                // read must match the model
-                let got = ctx.run_txn(&[0], |txn| txn.read_u64(t, key, 1)).unwrap();
-                assert_eq!(got, model[&key], "{scheme}: read mismatch at {key}");
+                // range scan must match the model's range exactly
+                let (lo, hi) = (key.min(val % 32), key.max(val % 32));
+                let mut got: Vec<(u64, u64)> = Vec::new();
+                ctx.run_txn(&[0], |txn| {
+                    got.clear();
+                    txn.scan(t, lo, hi, |k, s, d| got.push((k, row::get_u64(s, d, 1))))
+                })
+                .unwrap();
+                let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(got, want, "{scheme}: scan [{lo}, {hi}] mismatch");
             }
         }
     }
@@ -232,6 +401,11 @@ fn engine_matches_model(scheme: CcScheme, ops: &[(u8, u64, u64)]) {
             "{scheme}: final state mismatch at {k}"
         );
     }
+    assert_eq!(
+        db.index_len(t),
+        model.len() as u64,
+        "{scheme}: hash index and model diverged"
+    );
 }
 
 fn engine_model_cases(scheme: CcScheme) {

@@ -1,6 +1,6 @@
 //! Cross-scheme serializability tests for the real engine.
 //!
-//! Three classic anomalies, each checked under all eight schemes (the
+//! Four classic anomalies, each checked under all eight schemes (the
 //! paper's seven plus SILO) with genuinely concurrent workers:
 //!
 //! * **lost updates** — concurrent blind increments of hot counters must
@@ -8,7 +8,10 @@
 //! * **conservation** — concurrent transfers between accounts must keep
 //!   the total balance constant;
 //! * **read atomicity** — a transaction that reads two tuples maintained
-//!   as equal by writers must never observe them unequal.
+//!   as equal by writers must never observe them unequal;
+//! * **phantoms** — a committed transaction that range-scans the same
+//!   window twice must see identical key sets, no matter how many
+//!   concurrent transactions insert into (or delete from) that window.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -192,6 +195,310 @@ fn read_atomicity_check(scheme: CcScheme) {
     .unwrap();
 }
 
+/// Phantom check: the table holds even keys in `[0, 2 * PHANTOM_RANGE)`;
+/// inserter workers commit odd keys (worker-disjoint) into the range one
+/// per transaction, while scanner workers each run committed transactions
+/// that scan the full window **twice** and require identical key sets —
+/// a phantom is exactly a committed transaction whose two reads of the
+/// same predicate disagree. Scanners also delete the occasional odd key
+/// they observed (shrinking ranges), which must never break repeatability
+/// either. Totals: ≥ 1000 committed double-scan trials per scheme, plus a
+/// final exact reconciliation of the index against the committed inserts
+/// and deletes.
+const PHANTOM_RANGE: u64 = 64;
+const PHANTOM_SCANNERS: u32 = 2;
+const PHANTOM_TRIALS: u64 = 500; // per scanner ⇒ 1000 committed scans
+
+fn phantom_check(scheme: CcScheme) {
+    let mut cat = Catalog::new();
+    // Generous headroom: every churn insert takes a fresh arena slot (rows
+    // are never reused), aborted insert attempts leak more, and the
+    // phantom guards abort inserters often.
+    cat.add_ordered_table(
+        "scanned",
+        Schema::key_plus_payload(1, 8),
+        PHANTOM_RANGE * 512,
+    );
+    let mut cfg = EngineConfig::new(scheme, WORKERS);
+    cfg.dl_timeout_us = 100;
+    let db = Database::new(cfg, cat).unwrap();
+    db.load_table(0, (0..PHANTOM_RANGE).map(|k| k * 2), |s, r, k| {
+        row::set_u64(s, r, 0, k);
+        row::set_u64(s, r, 1, 1);
+    })
+    .unwrap();
+
+    let high = PHANTOM_RANGE * 2;
+    let all_parts: Vec<PartId> = if scheme == CcScheme::HStore {
+        (0..WORKERS).collect()
+    } else {
+        Vec::new()
+    };
+    let inserted = AtomicU64::new(0);
+    let deleted = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    // Every worker starts scanning/churning at the same instant — without
+    // this, the scanners can finish all their trials before the inserter
+    // threads are even scheduled, and nothing actually races.
+    let start = std::sync::Barrier::new(WORKERS as usize);
+
+    crossbeam::thread::scope(|s| {
+        // Odd keys are partitioned by class c = ((k-1)/2) % 4:
+        //   c == 0 / 1 — "permanent": inserter c commits each once, and
+        //                scanner c may later delete observed ones;
+        //   c == 2 / 3 — "churn": inserter c-2 cycles insert→delete for
+        //                the whole run, so structural changes race every
+        //                scan from the first trial to the last.
+        for w in 0..(WORKERS - PHANTOM_SCANNERS) {
+            let db = Arc::clone(&db);
+            let (inserted, deleted, stop, all_parts) = (&inserted, &deleted, &stop, &all_parts);
+            let start = &start;
+            s.spawn(move |_| {
+                let mut ctx = db.worker(w);
+                start.wait();
+                let ins = |ctx: &mut abyss_core::WorkerCtx, key: u64| {
+                    ctx.run_txn(all_parts, |t| {
+                        t.insert(0, key, |s, d| {
+                            row::set_u64(s, d, 0, key);
+                            row::set_u64(s, d, 1, 1);
+                        })
+                    })
+                    .unwrap();
+                    inserted.fetch_add(1, Ordering::Relaxed);
+                };
+                let mut perm = u64::from(w); // j = perm, class perm % 4 == w
+                let mut churn = 0u64;
+                // Bound churn so arena slots cannot run out even if the
+                // scanners are slow (each cycle consumes a fresh slot).
+                while !stop.load(Ordering::Relaxed) && churn < 2_000 {
+                    if perm * 2 + 1 < high {
+                        ins(&mut ctx, perm * 2 + 1);
+                        perm += 4;
+                    }
+                    // One full churn cycle: insert then delete the same key.
+                    let j = (churn % (PHANTOM_RANGE / 4)) * 4 + u64::from(w) + 2;
+                    churn += 1;
+                    let key = j * 2 + 1;
+                    if key < high {
+                        ins(&mut ctx, key);
+                        ctx.run_txn(all_parts, |t| t.delete(0, key)).unwrap();
+                        deleted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Scanners: double scan per committed txn; occasional deletes.
+        for w in (WORKERS - PHANTOM_SCANNERS)..WORKERS {
+            let db = Arc::clone(&db);
+            let (deleted, stop, all_parts) = (&deleted, &stop, &all_parts);
+            let start = &start;
+            s.spawn(move |_| {
+                let mut ctx = db.worker(w);
+                start.wait();
+                let mut rng = Rng(0xF00D + u64::from(w));
+                for trial in 0..PHANTOM_TRIALS {
+                    // Randomized sub-window, full window every 4th trial.
+                    let (lo, hi) = if trial % 4 == 0 {
+                        (0, high - 1)
+                    } else {
+                        let a = rng.next() % high;
+                        let b = rng.next() % high;
+                        (a.min(b), a.max(b))
+                    };
+                    let (first, second, body_ts) = ctx
+                        .run_txn(all_parts, |t| {
+                            let mut first = Vec::new();
+                            t.scan(0, lo, hi, |k, _, _| first.push(k))?;
+                            // Hand the (possibly single) CPU to the churn
+                            // threads so structural changes land between
+                            // the two scans. An optimistic scheme may then
+                            // observe a discrepancy here — that is legal
+                            // as long as the commit below fails; the
+                            // anomaly check therefore runs only on the
+                            // *committed* result.
+                            std::thread::yield_now();
+                            let mut second = Vec::new();
+                            t.scan(0, lo, hi, |k, _, _| second.push(k))?;
+                            Ok((first, second, t.current_ts()))
+                        })
+                        .unwrap();
+                    assert_eq!(
+                        first, second,
+                        "{scheme}: phantom — two scans of [{lo}, {hi}] at ts \
+                         {body_ts} in one committed txn disagree"
+                    );
+                    let keys = first;
+                    // Shrink the range now and then: delete an observed
+                    // *permanent* odd key from this scanner's disjoint
+                    // class (never re-inserted, classes never overlap, so
+                    // each committed delete removes exactly one live key).
+                    if trial % 16 == 7 {
+                        let sw = u64::from(w - (WORKERS - PHANTOM_SCANNERS));
+                        let mine = keys
+                            .iter()
+                            .copied()
+                            .find(|&k| k % 2 == 1 && ((k - 1) / 2) % 4 == sw);
+                        if let Some(k) = mine {
+                            ctx.run_txn(all_parts, |t| t.delete(0, k))
+                                .unwrap_or_else(|e| panic!("{scheme}: delete failed: {e}"));
+                            deleted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+    })
+    .unwrap();
+
+    // Reconcile: committed state == loaded evens + inserts − deletes.
+    let expected =
+        PHANTOM_RANGE + inserted.load(Ordering::Relaxed) - deleted.load(Ordering::Relaxed);
+    let mut ctx = db.worker(0);
+    let final_count = ctx
+        .run_txn(&all_parts, |t| t.scan(0, 0, u64::MAX, |_, _, _| {}))
+        .unwrap();
+    assert_eq!(
+        final_count as u64, expected,
+        "{scheme}: committed inserts/deletes and final index disagree"
+    );
+    assert_eq!(db.index_len(0), expected, "{scheme}: hash/btree diverged");
+}
+
+/// Deterministic T/O gap anomalies the randomized phantom check cannot
+/// construct on demand: an insert by an *older* timestamp landing after a
+/// *newer* scan committed (leaf `scan_rts` must kill the inserter), and a
+/// scan by an older timestamp arriving after a newer delete committed
+/// (leaf `del_wts` must kill the scanner).
+fn to_gap_db(scheme: CcScheme) -> Arc<Database> {
+    let mut cat = Catalog::new();
+    cat.add_ordered_table("scanned", Schema::key_plus_payload(1, 8), 256);
+    let db = Database::new(EngineConfig::new(scheme, 2), cat).unwrap();
+    db.load_table(0, (0..16u64).map(|k| k * 2), |s, r, k| {
+        row::set_u64(s, r, 0, k);
+        row::set_u64(s, r, 1, 1);
+    })
+    .unwrap();
+    db
+}
+
+fn older_insert_after_newer_scan_aborts(scheme: CcScheme) {
+    let db = to_gap_db(scheme);
+    let mut old = db.worker(0);
+    let mut new = db.worker(1);
+    old.begin(&[], None).unwrap(); // smaller timestamp
+    new.begin(&[], None).unwrap();
+    new.scan(0, 0, 40, |_, _, _| {}).unwrap();
+    new.commit().unwrap();
+    // The older transaction now tries to plant a key inside the range the
+    // newer one already scanned and committed: it must not commit.
+    old.insert(0, 5, |s, d| {
+        row::set_u64(s, d, 0, 5);
+        row::set_u64(s, d, 1, 1);
+    })
+    .unwrap();
+    let r = old.commit();
+    assert!(
+        r.is_err(),
+        "{scheme}: older insert behind a committed newer scan must abort"
+    );
+    assert!(db.peek(0, 5).is_err(), "{scheme}: phantom key was planted");
+}
+
+fn older_scan_after_newer_delete_aborts(scheme: CcScheme) {
+    let db = to_gap_db(scheme);
+    let mut old = db.worker(0);
+    let mut new = db.worker(1);
+    old.begin(&[], None).unwrap(); // smaller timestamp
+    new.begin(&[], None).unwrap();
+    new.delete(0, 8).unwrap();
+    new.commit().unwrap();
+    // The older scan can no longer reconstruct key 8 (no version store for
+    // removed index entries): it must abort rather than silently miss it.
+    let r = old.scan(0, 0, 40, |_, _, _| {});
+    assert!(
+        r.is_err(),
+        "{scheme}: older scan across a newer committed delete must abort"
+    );
+    old.abort(abyss_common::AbortReason::UserAbort);
+}
+
+/// OCC/SILO cross-insert write skew: two transactions each scan the same
+/// range and each insert a fresh key into it. Whichever commits second
+/// must fail node-set validation — its scan missed the other's committed
+/// insert — and a transaction inserting into its *own* scanned range must
+/// still commit (the own-insert node-set refresh must not absorb foreign
+/// bumps, and must not self-abort either).
+fn occ_cross_insert_write_skew(scheme: CcScheme) {
+    // Few enough rows that the inserts below don't split the leaf — a
+    // split is a legitimate (conservative) extra abort that would mask
+    // what this test pins down.
+    let mut cat = Catalog::new();
+    cat.add_ordered_table("scanned", Schema::key_plus_payload(1, 8), 256);
+    let db = Database::new(EngineConfig::new(scheme, 2), cat).unwrap();
+    db.load_table(0, (0..8u64).map(|k| k * 2), |s, r, k| {
+        row::set_u64(s, r, 0, k);
+        row::set_u64(s, r, 1, 1);
+    })
+    .unwrap();
+    let mut a = db.worker(0);
+    let mut b = db.worker(1);
+    a.begin(&[], None).unwrap();
+    b.begin(&[], None).unwrap();
+    a.scan(0, 0, 100, |_, _, _| {}).unwrap();
+    b.scan(0, 0, 100, |_, _, _| {}).unwrap();
+    a.insert(0, 41, |s, d| row::set_u64(s, d, 0, 41)).unwrap();
+    b.insert(0, 43, |s, d| row::set_u64(s, d, 0, 43)).unwrap();
+    a.commit().unwrap();
+    let r = b.commit();
+    assert!(
+        r.is_err(),
+        "{scheme}: committed a scan that missed a concurrent committed insert"
+    );
+    assert!(db.peek(0, 41).is_ok());
+    assert!(
+        db.peek(0, 43).is_err(),
+        "{scheme}: aborted insert left the key behind"
+    );
+    // Self-insert into a self-scanned range commits fine.
+    a.begin(&[], None).unwrap();
+    a.scan(0, 0, 100, |_, _, _| {}).unwrap();
+    a.insert(0, 45, |s, d| row::set_u64(s, d, 0, 45)).unwrap();
+    a.commit()
+        .unwrap_or_else(|e| panic!("{scheme}: self-insert into own scan range aborted: {e}"));
+}
+
+#[test]
+fn occ_cross_insert_write_skew_aborts() {
+    occ_cross_insert_write_skew(CcScheme::Occ);
+}
+
+#[test]
+fn silo_cross_insert_write_skew_aborts() {
+    occ_cross_insert_write_skew(CcScheme::Silo);
+}
+
+#[test]
+fn timestamp_gap_rts_blocks_older_inserter() {
+    older_insert_after_newer_scan_aborts(CcScheme::Timestamp);
+}
+
+#[test]
+fn mvcc_gap_rts_blocks_older_inserter() {
+    older_insert_after_newer_scan_aborts(CcScheme::Mvcc);
+}
+
+#[test]
+fn timestamp_del_wts_blocks_older_scanner() {
+    older_scan_after_newer_delete_aborts(CcScheme::Timestamp);
+}
+
+#[test]
+fn mvcc_del_wts_blocks_older_scanner() {
+    older_scan_after_newer_delete_aborts(CcScheme::Mvcc);
+}
+
 macro_rules! scheme_tests {
     ($($name:ident => $scheme:expr),+ $(,)?) => {
         mod lost_updates {
@@ -205,6 +512,10 @@ macro_rules! scheme_tests {
         mod read_atomicity {
             use super::*;
             $(#[test] fn $name() { read_atomicity_check($scheme); })+
+        }
+        mod phantoms {
+            use super::*;
+            $(#[test] fn $name() { phantom_check($scheme); })+
         }
     };
 }

@@ -265,6 +265,32 @@ fn silo_sim_loses_no_updates_at_1024_cores() {
     );
 }
 
+/// The ordered-index acceptance gate: the simulator must accept
+/// `AccessOp::Scan` at the paper's 1024-core scale, for every scheme, and
+/// actually execute scans (scan-heavy YCSB-E mix).
+#[test]
+fn simulator_accepts_scans_at_1024_cores() {
+    let cfg = YcsbConfig {
+        table_rows: 1_000_000,
+        ..YcsbConfig::ycsb_e(0.5)
+    };
+    for scheme in CcScheme::ALL {
+        let mut cfg = cfg.clone();
+        if scheme == CcScheme::HStore {
+            cfg.parts = 1024;
+        }
+        let r = ycsb_sim(scheme, 1024, &cfg, |s| {
+            s.warmup = 100_000;
+            s.measure = 1_000_000;
+        });
+        assert!(
+            r.stats.commits > 0,
+            "{scheme}: no commits at 1024 cores with scans"
+        );
+        assert!(r.stats.scans > 0, "{scheme}: no scans executed");
+    }
+}
+
 /// The Fig. 3 method: the simulator and the real engine must agree on
 /// qualitative ordering at host-scale core counts.
 #[test]
