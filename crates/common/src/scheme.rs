@@ -1,13 +1,14 @@
 //! The concurrency-control schemes and timestamp-allocation methods
 //! evaluated by the paper (Tables 1 and Fig. 6), plus the modern
-//! epoch-based OCC (Silo) the repo adds on top of the paper's seven.
+//! data-driven-timestamp schemes (Silo, TicToc) the repo adds on top of
+//! the paper's seven.
 
 use std::fmt;
 use std::str::FromStr;
 
 /// The seven concurrency-control schemes of Table 1 in the paper, plus
-/// [`CcScheme::Silo`] — the modern epoch-based OCC that needs no
-/// per-transaction global timestamp at all.
+/// [`CcScheme::Silo`] and [`CcScheme::TicToc`] — the modern OCC variants
+/// that need no per-transaction global timestamp at all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CcScheme {
     /// 2PL with deadlock detection (partitioned waits-for graph).
@@ -28,12 +29,21 @@ pub enum CcScheme {
     /// locking + validation, epoch-composed commit TIDs. No centralized
     /// timestamp allocation anywhere on the commit path.
     Silo,
+    /// Data-driven timestamp OCC (TicToc, SIGMOD'16): per-tuple `wts`/`rts`
+    /// words, commit timestamps *computed* from the read/write sets, and
+    /// commit-time `rts` extension in place of re-reads. Like SILO it
+    /// allocates zero global timestamps; unlike SILO it needs no epoch
+    /// fence on the commit path either.
+    TicToc,
 }
 
 impl CcScheme {
     /// All schemes: the paper's seven in its order, then the modern
-    /// additions.
-    pub const ALL: [CcScheme; 8] = [
+    /// additions. **The single source of truth** — tests, examples and the
+    /// conformance matrix must derive their scheme lists from this array
+    /// (or carry a sync guard against it) so a new variant cannot be
+    /// silently skipped.
+    pub const ALL: [CcScheme; 9] = [
         CcScheme::DlDetect,
         CcScheme::NoWait,
         CcScheme::WaitDie,
@@ -42,16 +52,19 @@ impl CcScheme {
         CcScheme::Occ,
         CcScheme::HStore,
         CcScheme::Silo,
+        CcScheme::TicToc,
     ];
 
     /// The classic-vs-modern comparison set (`fig_modern`): every classic
-    /// scheme the modern OCC is benchmarked against, plus Silo itself.
-    pub const MODERN_COMPARISON: [CcScheme; 5] = [
+    /// scheme the modern OCC variants are benchmarked against, plus Silo
+    /// and TicToc themselves.
+    pub const MODERN_COMPARISON: [CcScheme; 6] = [
         CcScheme::DlDetect,
         CcScheme::NoWait,
         CcScheme::Timestamp,
         CcScheme::Occ,
         CcScheme::Silo,
+        CcScheme::TicToc,
     ];
 
     /// The six schemes used in the non-partitioned experiments
@@ -75,17 +88,21 @@ impl CcScheme {
 
     /// Does the scheme require a timestamp at transaction start?
     ///
-    /// Everything except DL_DETECT, NO_WAIT and SILO needs one; OCC needs a
-    /// second one before validation (handled by the engines). SILO replaces
-    /// global timestamps with epoch-composed commit TIDs.
+    /// Everything except DL_DETECT, NO_WAIT, SILO and TICTOC needs one; OCC
+    /// needs a second one before validation (handled by the engines). SILO
+    /// replaces global timestamps with epoch-composed commit TIDs; TICTOC
+    /// computes its commit timestamp from per-tuple `wts`/`rts` metadata.
     pub fn needs_start_ts(self) -> bool {
-        !matches!(self, CcScheme::DlDetect | CcScheme::NoWait | CcScheme::Silo)
+        !matches!(
+            self,
+            CcScheme::DlDetect | CcScheme::NoWait | CcScheme::Silo | CcScheme::TicToc
+        )
     }
 
     /// Number of timestamps allocated per (successful) transaction.
     pub fn timestamps_per_txn(self) -> u32 {
         match self {
-            CcScheme::DlDetect | CcScheme::NoWait | CcScheme::Silo => 0,
+            CcScheme::DlDetect | CcScheme::NoWait | CcScheme::Silo | CcScheme::TicToc => 0,
             CcScheme::Occ => 2,
             _ => 1,
         }
@@ -102,6 +119,7 @@ impl CcScheme {
             CcScheme::Occ => "OCC",
             CcScheme::HStore => "HSTORE",
             CcScheme::Silo => "SILO",
+            CcScheme::TicToc => "TICTOC",
         }
     }
 }
@@ -186,6 +204,7 @@ mod tests {
         assert_eq!("MVCC".parse::<CcScheme>().unwrap(), CcScheme::Mvcc);
         assert_eq!("hstore".parse::<CcScheme>().unwrap(), CcScheme::HStore);
         assert_eq!("silo".parse::<CcScheme>().unwrap(), CcScheme::Silo);
+        assert_eq!("tictoc".parse::<CcScheme>().unwrap(), CcScheme::TicToc);
         assert!("lockfree".parse::<CcScheme>().is_err());
     }
 
@@ -202,7 +221,7 @@ mod tests {
         for s in [DlDetect, NoWait, WaitDie] {
             assert!(s.is_two_phase_locking());
         }
-        for s in [Timestamp, Mvcc, Occ, HStore, Silo] {
+        for s in [Timestamp, Mvcc, Occ, HStore, Silo, TicToc] {
             assert!(!s.is_two_phase_locking());
         }
     }
@@ -213,9 +232,11 @@ mod tests {
         assert_eq!(CcScheme::NoWait.timestamps_per_txn(), 0);
         assert_eq!(CcScheme::Mvcc.timestamps_per_txn(), 1);
         assert_eq!(CcScheme::Silo.timestamps_per_txn(), 0);
+        assert_eq!(CcScheme::TicToc.timestamps_per_txn(), 0);
         assert!(CcScheme::WaitDie.needs_start_ts());
         assert!(!CcScheme::DlDetect.needs_start_ts());
         assert!(!CcScheme::Silo.needs_start_ts());
+        assert!(!CcScheme::TicToc.needs_start_ts());
     }
 
     #[test]

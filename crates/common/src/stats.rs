@@ -158,6 +158,11 @@ pub struct RunStats {
     /// leaf revalidation retries. An index-health signal — a rising
     /// retry-per-scan ratio means scans are fighting structural churn.
     pub scan_retries: u64,
+    /// TICTOC: commit-time `rts` extensions — reads validated by advancing
+    /// the tuple's read timestamp with a CAS instead of aborting. The
+    /// scheme's signature fast path; a contended read-heavy run that
+    /// reports zero extensions means the path is silently disabled.
+    pub rts_extensions: u64,
 }
 
 impl RunStats {
@@ -238,6 +243,7 @@ impl RunStats {
         self.ts_allocated += other.ts_allocated;
         self.scans += other.scans;
         self.scan_retries += other.scan_retries;
+        self.rts_extensions += other.rts_extensions;
     }
 }
 

@@ -23,9 +23,11 @@ pub struct EngineConfig {
     /// MVCC: maximum committed versions retained per tuple before the
     /// oldest is garbage-collected.
     pub mvcc_max_versions: usize,
-    /// SILO: microseconds between background epoch advances (Silo's paper
-    /// default is 40 ms). 0 disables the ticker (epochs advance only via
-    /// [`crate::epoch::EpochManager::advance`]). Ignored by other schemes.
+    /// SILO / TICTOC: microseconds between background epoch advances
+    /// (Silo's paper default is 40 ms; TICTOC consumes epochs only as its
+    /// GC quiescence horizon). 0 disables the ticker (epochs advance only
+    /// via [`crate::epoch::EpochManager::advance`]). Ignored by other
+    /// schemes.
     pub epoch_interval_us: u64,
     /// Safety valve: abort any wait after this many microseconds regardless
     /// of scheme, so a stuck experiment fails loudly instead of hanging.

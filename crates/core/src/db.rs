@@ -74,7 +74,9 @@ impl Database {
             CachePadded::new(Mutex::new(PartState::default()))
         });
         let epoch = Arc::new(EpochManager::new(cfg.workers));
-        let ticker = if cfg.scheme == CcScheme::Silo && cfg.epoch_interval_us > 0 {
+        let ticker = if matches!(cfg.scheme, CcScheme::Silo | CcScheme::TicToc)
+            && cfg.epoch_interval_us > 0
+        {
             Some(EpochTicker::start(
                 Arc::clone(&epoch),
                 Duration::from_micros(cfg.epoch_interval_us),

@@ -297,6 +297,66 @@ mod tests {
     }
 
     #[test]
+    fn advance_saturates_at_max_epoch() {
+        // Wraparound edge: the 23-bit epoch space exhausts after ~93 hours
+        // at the default tick; the manager must saturate, not wrap — a
+        // wrapped epoch would order *behind* every live TID and break the
+        // serial-order embedding.
+        let m = EpochManager::new(1);
+        while m.advance() < MAX_EPOCH {}
+        assert_eq!(m.current(), MAX_EPOCH);
+        assert_eq!(m.advance(), MAX_EPOCH, "advance past MAX must saturate");
+        assert_eq!(m.current(), MAX_EPOCH);
+        // TID packing still round-trips at the saturated epoch.
+        let tid = compose_tid(MAX_EPOCH, SEQ_MASK);
+        assert_eq!(tid_epoch(tid), MAX_EPOCH);
+        assert_eq!(tid_seq(tid), SEQ_MASK);
+    }
+
+    #[test]
+    fn quiescence_still_tracks_at_saturated_epoch() {
+        // GC horizons must keep working after saturation: a worker
+        // entering at MAX_EPOCH pins it; exiting releases it.
+        let m = EpochManager::new(2);
+        while m.advance() < MAX_EPOCH {}
+        let e = m.enter(0);
+        assert_eq!(e, MAX_EPOCH);
+        assert_eq!(m.safe_epoch(), MAX_EPOCH);
+        m.exit(0);
+        assert_eq!(m.min_active(), None);
+    }
+
+    #[test]
+    fn safe_epoch_pins_across_advances_until_exit() {
+        // An epoch advance *during* a transaction (e.g. mid-validation)
+        // must not move the reclamation horizon past the worker's entry
+        // epoch — state it may still reference stays unreclaimed.
+        let m = EpochManager::new(2);
+        let e = m.enter(0);
+        for _ in 0..5 {
+            m.advance();
+        }
+        assert_eq!(m.safe_epoch(), e, "active worker must pin its epoch");
+        // A second worker entering now registers at the advanced epoch but
+        // the horizon still honours the older one.
+        let e2 = m.enter(1);
+        assert_eq!(e2, e + 5);
+        assert_eq!(m.safe_epoch(), e);
+        m.exit(0);
+        assert_eq!(m.safe_epoch(), e2);
+        m.exit(1);
+    }
+
+    #[test]
+    fn tid_sequence_boundary_does_not_leak_into_epoch() {
+        // A full sequence field must not carry into the epoch bits.
+        let tid = compose_tid(7, SEQ_MASK);
+        assert_eq!(tid_epoch(tid), 7);
+        assert_eq!(tid_epoch(tid + 1), 8, "seq overflow moves to next epoch");
+        assert_eq!(tid_seq(tid + 1), 0);
+    }
+
+    #[test]
     fn ticker_advances_and_stops_on_drop() {
         let m = Arc::new(EpochManager::new(1));
         let before = m.current();

@@ -60,4 +60,4 @@ pub use config::EngineConfig;
 pub use db::Database;
 pub use epoch::{EpochManager, EpochTicker};
 pub use ts::{SharedTs, TsHandle};
-pub use worker::{run_workers, BenchOutcome, TxnError, WorkerCtx};
+pub use worker::{run_workers, run_workers_bounded, BenchOutcome, TxnError, WorkerCtx};

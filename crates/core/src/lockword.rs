@@ -1,6 +1,6 @@
 //! Lock-word encodings.
 //!
-//! Two single-word protocols cover the lock-free fast paths:
+//! Three single-word protocols cover the lock-free fast paths:
 //!
 //! * [`rw`] — a shared/exclusive count word for the 2PL schemes:
 //!   bit 63 = writer present, bits 0..32 = reader count. NO_WAIT runs
@@ -9,6 +9,10 @@
 //! * [`silo`] — a version-plus-lock word for OCC reads and validation:
 //!   bit 63 = locked, bits 0..63 = version counter bumped on every
 //!   committed write.
+//! * [`tictoc`] — a `wts`/`rts` timestamp pair packed under the same lock
+//!   bit: bit 63 = locked, bits 48..=62 = `rts − wts` delta, bits 0..=47 =
+//!   `wts`. Sharing bit 63 with [`silo`] lets TICTOC reuse OCC's seqlock
+//!   copy and canonical-order latch machinery unchanged.
 
 /// Shared/exclusive reader-writer word.
 pub mod rw {
@@ -98,6 +102,70 @@ pub mod silo {
     }
 }
 
+/// TicToc-style `wts`/`rts` word (data-driven timestamp OCC).
+///
+/// A tuple's word encodes the timestamp of its last committed write
+/// (`wts`) and the largest timestamp at which it is known to have been
+/// *valid* (`rts >= wts`), as `wts` plus a bounded delta:
+///
+/// ```text
+///  63    62..........48  47.............0
+/// [lock][  rts − wts   ][      wts      ]
+/// ```
+///
+/// Readers record the whole (unlocked) word; committers validate by
+/// comparing the `wts` component and *extend* `rts` with a CAS when their
+/// commit timestamp exceeds it — the extension that lets a read stay valid
+/// without re-reading. When an extension would overflow the 15-bit delta,
+/// `wts` is advanced so `rts` stays exact (under-representing `rts` would
+/// let a writer serialize below a committed read — a lost update); the
+/// bump can only cause conservative aborts in concurrent readers.
+pub mod tictoc {
+    pub use super::silo::{is_locked, lock, LOCKED};
+
+    /// Bits of the word holding `wts`.
+    pub const WTS_BITS: u32 = 48;
+    /// Bits of the word holding the `rts − wts` delta.
+    pub const DELTA_BITS: u32 = 15;
+    /// Mask of the `wts` component.
+    pub const WTS_MASK: u64 = (1 << WTS_BITS) - 1;
+    /// Largest representable `rts − wts` delta.
+    pub const DELTA_MAX: u64 = (1 << DELTA_BITS) - 1;
+
+    /// The write timestamp (ignores the lock bit).
+    #[inline]
+    pub fn wts(w: u64) -> u64 {
+        w & WTS_MASK
+    }
+
+    /// The read timestamp: `wts` plus the packed delta.
+    #[inline]
+    pub fn rts(w: u64) -> u64 {
+        wts(w) + ((w >> WTS_BITS) & DELTA_MAX)
+    }
+
+    /// Pack `(wts, rts)` into an unlocked word. On delta overflow `wts` is
+    /// advanced (never truncating `rts` — see module docs).
+    #[inline]
+    pub fn pack(wts: u64, rts: u64) -> u64 {
+        debug_assert!(rts >= wts, "rts {rts} < wts {wts}");
+        debug_assert!(rts <= WTS_MASK, "rts {rts} overflows {WTS_BITS} bits");
+        let (wts, delta) = if rts - wts > DELTA_MAX {
+            (rts - DELTA_MAX, DELTA_MAX)
+        } else {
+            (wts, rts - wts)
+        };
+        (delta << WTS_BITS) | wts
+    }
+
+    /// The word with `rts` extended to at least `to`, preserving the lock
+    /// bit. A no-op when the current `rts` already covers `to`.
+    #[inline]
+    pub fn extend_rts(w: u64, to: u64) -> u64 {
+        (w & LOCKED) | pack(wts(w), rts(w).max(to))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +192,58 @@ mod tests {
         assert!(!rw::can_read(w));
         assert!(!rw::can_write(w));
         assert_eq!(rw::readers(w), 0);
+    }
+
+    #[test]
+    fn tictoc_pack_round_trips() {
+        let w = tictoc::pack(100, 130);
+        assert_eq!(tictoc::wts(w), 100);
+        assert_eq!(tictoc::rts(w), 130);
+        assert!(!tictoc::is_locked(w));
+        let locked = tictoc::lock(w);
+        assert!(tictoc::is_locked(locked));
+        assert_eq!(tictoc::wts(locked), 100);
+        assert_eq!(tictoc::rts(locked), 130);
+    }
+
+    #[test]
+    fn tictoc_extend_rts_preserves_wts_and_lock() {
+        let w = tictoc::pack(50, 50);
+        let e = tictoc::extend_rts(w, 80);
+        assert_eq!(tictoc::wts(e), 50);
+        assert_eq!(tictoc::rts(e), 80);
+        // Extending below the current rts is a no-op.
+        assert_eq!(tictoc::extend_rts(e, 60), e);
+        // The lock bit survives an extension of a latched word.
+        let le = tictoc::extend_rts(tictoc::lock(w), 80);
+        assert!(tictoc::is_locked(le));
+        assert_eq!(tictoc::rts(le), 80);
+    }
+
+    #[test]
+    fn tictoc_delta_overflow_bumps_wts_exactly() {
+        // rts − wts beyond 15 bits: wts advances, rts stays exact — the
+        // "rts overflow forces a wts bump" edge case. The bumped wts must
+        // differ from the original (concurrent readers abort, safely).
+        let w = tictoc::pack(10, 10);
+        let to = 10 + tictoc::DELTA_MAX + 5;
+        let e = tictoc::extend_rts(w, to);
+        assert_eq!(tictoc::rts(e), to, "rts must never be truncated");
+        assert_eq!(tictoc::wts(e), to - tictoc::DELTA_MAX);
+        assert_ne!(tictoc::wts(e), tictoc::wts(w));
+        // Boundary: a delta of exactly DELTA_MAX still fits without a bump.
+        let b = tictoc::extend_rts(w, 10 + tictoc::DELTA_MAX);
+        assert_eq!(tictoc::wts(b), 10);
+        assert_eq!(tictoc::rts(b), 10 + tictoc::DELTA_MAX);
+    }
+
+    #[test]
+    fn tictoc_word_never_collides_with_lock_bit() {
+        let w = tictoc::pack(tictoc::WTS_MASK, tictoc::WTS_MASK);
+        assert!(w < tictoc::LOCKED);
+        let full = tictoc::pack(tictoc::WTS_MASK - tictoc::DELTA_MAX, tictoc::WTS_MASK);
+        assert!(full < tictoc::LOCKED);
+        assert_eq!(tictoc::rts(full), tictoc::WTS_MASK);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The eight concurrency-control scheme implementations: the paper's
-//! seven plus the modern epoch-based [`silo`].
+//! The nine concurrency-control scheme implementations: the paper's
+//! seven plus the modern epoch-based [`silo`] and data-driven-timestamp
+//! [`tictoc`].
 //!
 //! Each module exposes `read` / `write` / `insert` / `commit` / `abort`
 //! operating on a `SchemeEnv` — the disjoint borrow of everything a
@@ -10,6 +11,7 @@ pub mod hstore;
 pub mod mvcc;
 pub mod occ;
 pub mod silo;
+pub mod tictoc;
 pub mod timestamp;
 pub mod twopl;
 

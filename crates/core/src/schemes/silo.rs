@@ -279,6 +279,27 @@ mod tests {
     }
 
     #[test]
+    fn epoch_advance_mid_transaction_lands_in_commit_tid() {
+        // The epoch fence reads the global epoch *after* the write locks
+        // are held — so an advance that races the transaction (between its
+        // reads and its commit) must be reflected in the commit TID, not
+        // the epoch current at begin().
+        let db = silo_db(1);
+        let mut ctx = db.worker(0);
+        ctx.begin(&[], None).unwrap();
+        let v = ctx.read_u64(0, 1, 1).unwrap();
+        let advanced = db.epoch_manager().advance();
+        ctx.update(0, 1, |s, d| row::set_u64(s, d, 1, v + 1))
+            .unwrap();
+        ctx.commit().unwrap();
+        assert_eq!(
+            crate::epoch::tid_epoch(ctx.last_commit_tid()),
+            advanced,
+            "commit epoch must be read at the fence, not at begin"
+        );
+    }
+
+    #[test]
     fn stale_read_set_fails_validation() {
         let db = silo_db(2);
         let mut a = db.worker(0);

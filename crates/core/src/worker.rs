@@ -9,7 +9,7 @@ use abyss_common::{AbortReason, CcScheme, DbError, Key, PartId, RowIdx, RunStats
 use abyss_storage::{MemPool, Schema};
 
 use crate::db::Database;
-use crate::schemes::{hstore, mvcc, occ, silo, timestamp, twopl, ReadRef, SchemeEnv};
+use crate::schemes::{hstore, mvcc, occ, silo, tictoc, timestamp, twopl, ReadRef, SchemeEnv};
 use crate::ts::TsHandle;
 use crate::txn::{make_txn_id, NodeSetEntry, TxnState, GAP_ROW};
 
@@ -142,8 +142,9 @@ impl WorkerCtx {
         if scheme == CcScheme::DlDetect {
             self.db.waits.set_active(self.worker, self.st.txn_id);
         }
-        if scheme == CcScheme::Silo {
-            // Register in the current epoch (quiescence tracking).
+        if matches!(scheme, CcScheme::Silo | CcScheme::TicToc) {
+            // Register in the current epoch (SILO: commit identity + GC;
+            // TICTOC: the quiescence horizon alone).
             self.db.epoch.enter(self.worker);
         }
         self.in_txn = true;
@@ -201,6 +202,7 @@ impl WorkerCtx {
             CcScheme::Occ => occ::read(&mut self.env(), table, row),
             CcScheme::HStore => hstore::read(&mut self.env(), table, row),
             CcScheme::Silo => silo::read(&mut self.env(), table, row),
+            CcScheme::TicToc => tictoc::read(&mut self.env(), table, row),
         }?;
         self.check_not_deleted(table, key, row)?;
         Ok(match r {
@@ -238,6 +240,7 @@ impl WorkerCtx {
             CcScheme::Occ => occ::write(&mut self.env(), table, row, f),
             CcScheme::HStore => hstore::write(&mut self.env(), table, row, f),
             CcScheme::Silo => silo::write(&mut self.env(), table, row, f),
+            CcScheme::TicToc => tictoc::write(&mut self.env(), table, row, f),
         }
         .map_err(TxnError::Abort)?;
         self.check_not_deleted(table, key, row)
@@ -276,6 +279,7 @@ impl WorkerCtx {
             CcScheme::Occ => occ::insert(&mut self.env(), table, key, f),
             CcScheme::HStore => hstore::insert(&mut self.env(), table, key, f),
             CcScheme::Silo => silo::insert(&mut self.env(), table, key, f),
+            CcScheme::TicToc => tictoc::insert(&mut self.env(), table, key, f),
         }
         .map_err(TxnError::Abort)
     }
@@ -297,6 +301,7 @@ impl WorkerCtx {
             CcScheme::Occ => occ::delete(&mut self.env(), table, key, row),
             CcScheme::HStore => hstore::delete(&mut self.env(), table, key, row),
             CcScheme::Silo => silo::delete(&mut self.env(), table, key, row),
+            CcScheme::TicToc => tictoc::delete(&mut self.env(), table, key, row),
         }
         .map_err(TxnError::Abort)?;
         self.check_not_deleted(table, key, row)
@@ -315,8 +320,9 @@ impl WorkerCtx {
     ///   timestamps abort at commit, and the scan revalidates leaf
     ///   versions after its reads (MVCC additionally skips rows invisible
     ///   at its snapshot);
-    /// * **OCC / SILO** — the visited leaves and their versions join the
-    ///   transaction's node set, re-validated at commit (Silo/Masstree);
+    /// * **OCC / SILO / TICTOC** — the visited leaves and their versions
+    ///   join the transaction's node set, re-validated at commit
+    ///   (Silo/Masstree);
     /// * **H-STORE** — partition ownership already serializes the scan.
     pub fn scan(
         &mut self,
@@ -334,7 +340,9 @@ impl WorkerCtx {
             }
             CcScheme::HStore => self.scan_hstore(table, low, high, &mut f),
             CcScheme::Timestamp | CcScheme::Mvcc => self.scan_to(table, low, high, &mut f),
-            CcScheme::Occ | CcScheme::Silo => self.scan_occ(table, low, high, &mut f),
+            CcScheme::Occ | CcScheme::Silo | CcScheme::TicToc => {
+                self.scan_occ(table, low, high, &mut f)
+            }
         }
     }
 
@@ -524,7 +532,7 @@ impl WorkerCtx {
         }
     }
 
-    /// OCC / SILO scan: record the node set, read optimistically.
+    /// OCC / SILO / TICTOC scan: record the node set, read optimistically.
     fn scan_occ(
         &mut self,
         table: TableId,
@@ -600,6 +608,12 @@ impl WorkerCtx {
                     Err(reason) => Err(reason),
                 }
             }
+            CcScheme::TicToc => {
+                // No timestamp of any kind from outside: the commit
+                // timestamp is computed from the read/write sets' tuple
+                // words inside the commit itself.
+                tictoc::commit(&mut self.env())
+            }
         };
         match result {
             Ok(()) => {
@@ -630,6 +644,7 @@ impl WorkerCtx {
             CcScheme::Occ => occ::abort(&mut self.env()),
             CcScheme::HStore => hstore::abort(&mut self.env()),
             CcScheme::Silo => silo::abort(&mut self.env()),
+            CcScheme::TicToc => tictoc::abort(&mut self.env()),
         }
         self.finish();
     }
@@ -638,7 +653,7 @@ impl WorkerCtx {
         if self.db.cfg.scheme == CcScheme::DlDetect {
             self.db.waits.clear_active(self.worker);
         }
-        if self.db.cfg.scheme == CcScheme::Silo {
+        if matches!(self.db.cfg.scheme, CcScheme::Silo | CcScheme::TicToc) {
             self.db.epoch.exit(self.worker);
         }
         self.st.reset(&mut self.pool);
@@ -748,59 +763,115 @@ impl BenchOutcome {
     }
 }
 
+/// A per-worker transaction stream.
+type Generator = Box<dyn FnMut() -> abyss_common::TxnTemplate + Send>;
+
+/// The shared benchmark scaffolding: spawn one thread per worker running
+/// `body` against its generator, run `control` on the spawning thread
+/// (e.g. a stop-flag timer), then join and merge every worker's stats.
+/// Both public drivers differ only in their loop-termination policy.
+fn drive_workers(
+    db: &Arc<Database>,
+    mut generators: Vec<Generator>,
+    body: impl Fn(&mut WorkerCtx, &mut dyn FnMut() -> abyss_common::TxnTemplate) + Sync,
+    control: impl FnOnce(),
+) -> RunStats {
+    let n = db.cfg.workers as usize;
+    assert_eq!(generators.len(), n, "one generator per worker required");
+    let mut merged = RunStats::default();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (w, mut generator) in generators.drain(..).enumerate() {
+            let db = Arc::clone(db);
+            let body = &body;
+            handles.push(scope.spawn(move |_| {
+                let mut ctx = db.worker(w as u32);
+                body(&mut ctx, &mut *generator);
+                ctx.stats
+            }));
+        }
+        control();
+        for h in handles {
+            merged.merge(&h.join().expect("worker panicked"));
+        }
+    })
+    .expect("worker scope");
+    merged
+}
+
 /// Drive `db.config().workers` threads, each repeatedly fetching a
 /// transaction template from its generator and executing it to commit
 /// (retrying scheduler aborts). Statistics reset after `warmup`; the run
 /// ends after `warmup + measure`.
 pub fn run_workers(
     db: &Arc<Database>,
-    mut generators: Vec<Box<dyn FnMut() -> abyss_common::TxnTemplate + Send>>,
+    generators: Vec<Generator>,
     warmup: Duration,
     measure: Duration,
 ) -> BenchOutcome {
-    let n = db.cfg.workers as usize;
-    assert_eq!(generators.len(), n, "one generator per worker required");
     let stop = AtomicBool::new(false);
     let start = Instant::now();
     let warm_deadline = start + warmup;
-
-    let mut merged = RunStats::default();
-    let mut wall = Duration::ZERO;
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for (w, mut generator) in generators.drain(..).enumerate() {
-            let stop = &stop;
-            let db = Arc::clone(db);
-            handles.push(scope.spawn(move |_| {
-                let mut ctx = db.worker(w as u32);
-                let mut warmed = false;
-                let mut measured_start = Instant::now();
-                while !stop.load(Ordering::Relaxed) {
-                    if !warmed && Instant::now() >= warm_deadline {
-                        ctx.stats = RunStats::default();
-                        measured_start = Instant::now();
-                        warmed = true;
-                    }
-                    let tmpl = generator();
-                    crate::executor::run_to_commit(&mut ctx, &tmpl, stop);
+    let stats = drive_workers(
+        db,
+        generators,
+        |ctx, generator| {
+            let mut warmed = false;
+            let mut measured_start = Instant::now();
+            while !stop.load(Ordering::Relaxed) {
+                if !warmed && Instant::now() >= warm_deadline {
+                    ctx.stats = RunStats::default();
+                    measured_start = Instant::now();
+                    warmed = true;
                 }
-                ctx.stats.elapsed = measured_start.elapsed().as_nanos() as u64;
-                ctx.stats
-            }));
-        }
-        // Timer thread: arm the stop flag when the measurement ends.
-        std::thread::sleep(warmup + measure);
-        stop.store(true, Ordering::Relaxed);
-        for h in handles {
-            merged.merge(&h.join().expect("worker panicked"));
-        }
-        wall = start.elapsed().saturating_sub(warmup);
-    })
-    .expect("worker scope");
-
+                let tmpl = generator();
+                crate::executor::run_to_commit(ctx, &tmpl, &stop);
+            }
+            ctx.stats.elapsed = measured_start.elapsed().as_nanos() as u64;
+        },
+        // Timer on the spawning thread: arm the stop flag when the
+        // measurement ends.
+        || {
+            std::thread::sleep(warmup + measure);
+            stop.store(true, Ordering::Relaxed);
+        },
+    );
     BenchOutcome {
-        stats: merged,
-        wall,
+        stats,
+        wall: start.elapsed().saturating_sub(warmup),
+    }
+}
+
+/// Like [`run_workers`], but each worker executes **exactly**
+/// `txns_per_worker` templates instead of running for a wall-clock window.
+/// With one worker (no cross-thread interleaving) the outcome — commit and
+/// abort counts, final database state — is a pure function of the
+/// generator seeds, which is what the seeded-replay determinism tests pin:
+/// any nondeterminism they catch is a regression in the workload
+/// generators or the engine, not scheduling noise.
+pub fn run_workers_bounded(
+    db: &Arc<Database>,
+    generators: Vec<Generator>,
+    txns_per_worker: u64,
+) -> BenchOutcome {
+    let never_stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let stats = drive_workers(
+        db,
+        generators,
+        |ctx, generator| {
+            let began = Instant::now();
+            for _ in 0..txns_per_worker {
+                let tmpl = generator();
+                crate::executor::run_to_commit(ctx, &tmpl, &never_stop);
+            }
+            ctx.stats.elapsed = began.elapsed().as_nanos() as u64;
+        },
+        || {},
+    );
+    BenchOutcome {
+        stats,
+        wall: start.elapsed(),
     }
 }
 
@@ -904,6 +975,11 @@ mod tests {
     #[test]
     fn single_worker_silo() {
         smoke_single_worker(CcScheme::Silo);
+    }
+
+    #[test]
+    fn single_worker_tictoc() {
+        smoke_single_worker(CcScheme::TicToc);
     }
 
     #[test]

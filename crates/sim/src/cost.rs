@@ -83,6 +83,13 @@ pub struct CostModel {
     /// scans amortize the descend (charged once as the index probe) over
     /// sequential, cache-friendly leaf entries.
     pub scan_entry: u64,
+    /// Local cost of one commit-time `rts`-extension CAS (TICTOC). The
+    /// coherence half — pulling the tuple's line back for the write after
+    /// validation read it — is added per-mesh in
+    /// [`BoundCosts::rts_extension`], which is what makes TICTOC's
+    /// scalability tax *distributed* (per-tuple lines) rather than a
+    /// single allocator line like the T/O schemes.
+    pub rts_extend_base: u64,
 }
 
 impl Default for CostModel {
@@ -105,6 +112,7 @@ impl Default for CostModel {
             clock_read: 90,
             epoch_read: 12,
             scan_entry: 60,
+            rts_extend_base: 22,
         }
     }
 }
@@ -219,6 +227,17 @@ impl BoundCosts {
         self.model.epoch_read
     }
 
+    /// One commit-time `rts`-extension CAS on a tuple word (TICTOC). The
+    /// validation read just pulled the line shared; upgrading it to
+    /// modified costs roughly half a contended round trip on average —
+    /// traffic that scales with the mesh, but is spread over the
+    /// transaction's *own* tuples instead of one global allocator line,
+    /// so extensions on different tuples proceed in parallel.
+    #[inline]
+    pub fn rts_extension(&self) -> u64 {
+        self.model.rts_extend_base + self.round_trip() / 2
+    }
+
     /// Rollback cost for a transaction that had accumulated `work` cycles
     /// of useful work.
     #[inline]
@@ -265,6 +284,19 @@ mod tests {
         let c = BoundCosts::new(CostModel::default(), 64);
         assert!(c.undo_cost(10_000) < 10_000);
         assert!(c.undo_cost(10_000) > 5_000);
+    }
+
+    #[test]
+    fn rts_extension_scales_with_cores_but_stays_distributed() {
+        let small = BoundCosts::new(CostModel::default(), 4);
+        let large = BoundCosts::new(CostModel::default(), 1024);
+        // The CAS pays real coherence traffic at scale...
+        assert!(large.rts_extension() > small.rts_extension());
+        // ...but a single extension is far below the mutex-service path,
+        // and bounded by one contended round trip — per-tuple, not a
+        // serialized allocator line.
+        assert!(large.rts_extension() <= large.round_trip() + large.model.rts_extend_base);
+        assert!(large.rts_extension() < large.model.mutex_service);
     }
 
     #[test]

@@ -227,10 +227,11 @@ impl SimDb {
                 m.versions.push_back((0, 0));
                 TupleCc::Mvcc(m)
             }
-            // SILO shares OCC's per-tuple shape: the version counter stands
-            // in for the epoch-tagged TID word (the cost model, not the
-            // payload, is what distinguishes them in the simulator).
-            CcScheme::Occ | CcScheme::Silo => TupleCc::Occ(OccCc::default()),
+            // SILO and TICTOC share OCC's per-tuple shape: the version
+            // counter stands in for the epoch-tagged TID word (SILO) and
+            // the wts/rts word (TICTOC) — the cost model, not the payload,
+            // is what distinguishes the three in the simulator.
+            CcScheme::Occ | CcScheme::Silo | CcScheme::TicToc => TupleCc::Occ(OccCc::default()),
             CcScheme::HStore => TupleCc::Plain,
         }
     }

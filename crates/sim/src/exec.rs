@@ -558,7 +558,7 @@ impl Sim {
             }
             CcScheme::Timestamp => self.cc_timestamp(ci, table, key, op),
             CcScheme::Mvcc => self.cc_mvcc(ci, table, key, op),
-            CcScheme::Occ | CcScheme::Silo => self.cc_occ(ci, table, key, op),
+            CcScheme::Occ | CcScheme::Silo | CcScheme::TicToc => self.cc_occ(ci, table, key, op),
             CcScheme::HStore => self.cc_hstore(ci, table, key, op),
         };
         match out {
@@ -1219,6 +1219,15 @@ impl Sim {
                 self.sched(ci, now + cost);
                 true
             }
+            CcScheme::TicToc => {
+                // Neither an allocator trip nor an epoch read: the commit
+                // timestamp is computed from tuple words the lock/validate
+                // steps pull into cache anyway. The scheme's scalability
+                // tax — rts-extension CAS traffic — is charged inside the
+                // validation phase, per extended read.
+                self.cores[ci].phase = Phase::OccValidate;
+                false
+            }
         }
     }
 
@@ -1271,7 +1280,20 @@ impl Sim {
                 .sum();
             let inserts =
                 self.cores[ci].txn.pending_inserts.len() as u64 * self.costs.index_probe();
-            let cost = validate + install + inserts;
+            let mut cost = validate + install + inserts;
+            if self.cfg.scheme == CcScheme::TicToc && !wbuf.is_empty() {
+                // TICTOC: the writes drive the computed commit timestamp
+                // past the read set's rts windows, so each pure read is
+                // revalidated by an rts-extension CAS on its tuple word —
+                // distributed coherence traffic in place of allocator
+                // trips (read-only transactions need none).
+                let ext = rset
+                    .iter()
+                    .filter(|(t, k, _)| !wbuf.iter().any(|w| w.table == *t && w.key == *k))
+                    .count() as u64;
+                cost += ext * self.costs.rts_extension();
+                self.cores[ci].stats.rts_extensions += ext;
+            }
             self.charge(ci, Category::Manager, cost);
             self.cores[ci].phase = Phase::CommitDone;
             self.sched(ci, now + cost);
@@ -1352,7 +1374,7 @@ impl Sim {
                     }
                 }
             }
-            CcScheme::Occ | CcScheme::Silo => {
+            CcScheme::Occ | CcScheme::Silo | CcScheme::TicToc => {
                 let ts = self.cores[ci].txn.ts;
                 let wbuf = std::mem::take(&mut self.cores[ci].txn.wbuf);
                 for w in wbuf {
@@ -1427,7 +1449,7 @@ impl Sim {
                     }
                 }
             }
-            CcScheme::Occ | CcScheme::Silo => {
+            CcScheme::Occ | CcScheme::Silo | CcScheme::TicToc => {
                 if self.cores[ci].txn.occ_locked {
                     let wbuf = self.cores[ci].txn.wbuf.clone();
                     for w in wbuf {

@@ -240,7 +240,10 @@ fn row_accessors_round_trip() {
 
 /// Exhaustive index of every `CcScheme` variant. Adding a variant without
 /// updating `CcScheme::ALL` breaks either this match (compile error) or
-/// the `scheme_all_in_sync_with_enum` test below.
+/// the `scheme_all_in_sync_with_enum` test below — together they make
+/// `CcScheme::ALL` the single source of truth every scheme-parameterized
+/// test derives from (or carries a sync guard against), so a new scheme
+/// cannot be silently skipped anywhere.
 fn variant_index(s: CcScheme) -> usize {
     match s {
         CcScheme::DlDetect => 0,
@@ -251,6 +254,7 @@ fn variant_index(s: CcScheme) -> usize {
         CcScheme::Occ => 5,
         CcScheme::HStore => 6,
         CcScheme::Silo => 7,
+        CcScheme::TicToc => 8,
     }
 }
 
@@ -417,6 +421,32 @@ fn engine_model_cases(scheme: CcScheme) {
     });
 }
 
+/// The schemes the per-scheme `engine_model_*` tests below cover — guarded
+/// against `CcScheme::ALL` so a new scheme cannot be silently skipped.
+const ENGINE_MODEL_SCHEMES: [CcScheme; 9] = [
+    CcScheme::NoWait,
+    CcScheme::DlDetect,
+    CcScheme::WaitDie,
+    CcScheme::Timestamp,
+    CcScheme::Mvcc,
+    CcScheme::Occ,
+    CcScheme::HStore,
+    CcScheme::Silo,
+    CcScheme::TicToc,
+];
+
+#[test]
+fn engine_model_covers_every_scheme() {
+    let mut listed = ENGINE_MODEL_SCHEMES;
+    listed.sort();
+    let mut all = CcScheme::ALL;
+    all.sort();
+    assert_eq!(
+        listed, all,
+        "engine_model tests out of sync with CcScheme::ALL"
+    );
+}
+
 #[test]
 fn engine_model_no_wait() {
     engine_model_cases(CcScheme::NoWait);
@@ -455,6 +485,54 @@ fn engine_model_hstore() {
 #[test]
 fn engine_model_silo() {
     engine_model_cases(CcScheme::Silo);
+}
+
+#[test]
+fn engine_model_tictoc() {
+    engine_model_cases(CcScheme::TicToc);
+}
+
+/// Seeded replay: the same generator seed and scheme must yield *bit-equal*
+/// runs — identical commit/abort counts and identical final database
+/// state — across two bounded `run_workers` invocations on one worker.
+/// One worker removes scheduling as a variable, so any divergence is a
+/// nondeterminism regression in the workload generators (or the engine).
+/// The YCSB-E mix (scans + inserts + reads) exercises the generators'
+/// full key/op machinery, and the state digest (column sum + live keys)
+/// catches key-sequence drift that bare counts would miss.
+#[test]
+fn seeded_replay_is_deterministic_per_scheme() {
+    use abyss::core::run_workers_bounded;
+    use abyss::workload::{ycsb, YcsbGen};
+
+    let run = |scheme: CcScheme| {
+        let cfg = abyss::workload::YcsbConfig {
+            table_rows: 2_000,
+            theta: 0.6,
+            insert_capacity: 2_000, // headroom for the YCSB-E fresh-key inserts
+            ..abyss::workload::YcsbConfig::ycsb_e(0.3)
+        };
+        let db = Database::new(EngineConfig::new(scheme, 1), ycsb::catalog(&cfg)).unwrap();
+        db.load_table(0, 0..cfg.table_rows, ycsb::init_row).unwrap();
+        let mut g = YcsbGen::new(cfg, 0xD00D_F00D);
+        let gens =
+            vec![Box::new(move || g.next_txn())
+                as Box<dyn FnMut() -> abyss::common::TxnTemplate + Send>];
+        let out = run_workers_bounded(&db, gens, 150);
+        (
+            out.stats.commits,
+            out.stats.aborts,
+            out.stats.tuples_committed,
+            out.stats.scans,
+            db.sum_column(0, 1),
+            db.index_len(0),
+        )
+    };
+    for scheme in CcScheme::ALL {
+        let a = run(scheme);
+        let b = run(scheme);
+        assert_eq!(a, b, "{scheme}: seeded replay diverged");
+    }
 }
 
 // --------------------------------------------------------------- workload

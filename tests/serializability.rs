@@ -1,19 +1,19 @@
-//! Cross-scheme serializability tests for the real engine.
+//! Deterministic serializability tests for the real engine.
 //!
-//! Four classic anomalies, each checked under all eight schemes (the
-//! paper's seven plus SILO) with genuinely concurrent workers:
+//! The randomized cross-scheme anomaly matrix (lost updates, write skew,
+//! read-only snapshot anomalies, double-scan phantoms, delete
+//! resurrection — with fault-injection power checks) lives in
+//! `tests/conformance.rs`. This file keeps:
 //!
-//! * **lost updates** — concurrent blind increments of hot counters must
-//!   all survive;
-//! * **conservation** — concurrent transfers between accounts must keep
-//!   the total balance constant;
-//! * **read atomicity** — a transaction that reads two tuples maintained
-//!   as equal by writers must never observe them unequal;
-//! * **phantoms** — a committed transaction that range-scans the same
-//!   window twice must see identical key sets, no matter how many
-//!   concurrent transactions insert into (or delete from) that window.
+//! * **read atomicity** — a transaction reading two tuples maintained as
+//!   equal by writers must never observe them unequal (torn reads), for
+//!   every scheme;
+//! * **deterministic gap anomalies** the randomized matrix cannot
+//!   construct on demand: T/O inserts/scans racing committed newer scans
+//!   and deletes, and the OCC-family cross-insert write skew that
+//!   node-set validation must catch.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use abyss_common::{CcScheme, PartId};
@@ -67,83 +67,6 @@ impl Rng {
     }
 }
 
-fn lost_update_check(scheme: CcScheme) {
-    let db = build_db(scheme);
-    let committed = AtomicU64::new(0);
-    crossbeam::thread::scope(|s| {
-        for w in 0..WORKERS {
-            let db = Arc::clone(&db);
-            let committed = &committed;
-            s.spawn(move |_| {
-                let mut ctx = db.worker(w);
-                let mut rng = Rng(0x1234_5678 + u64::from(w));
-                for _ in 0..500 {
-                    let key = rng.next() % 8; // 8 hot keys
-                    let parts = partitions_for(scheme, &[key]);
-                    ctx.run_txn(&parts, |t| {
-                        t.update(0, key, |s, d| {
-                            row::fetch_add_u64(s, d, 1, 1);
-                        })
-                    })
-                    .unwrap();
-                    committed.fetch_add(1, Ordering::Relaxed);
-                }
-            });
-        }
-    })
-    .unwrap();
-    let expected = INITIAL * 8 + committed.load(Ordering::Relaxed);
-    let total: u64 = (0..8)
-        .map(|k| {
-            let r = db.peek(0, k).unwrap();
-            row::get_u64(db.schema(0), &r, 1)
-        })
-        .sum();
-    assert_eq!(total, expected, "{scheme}: lost updates detected");
-}
-
-fn conservation_check(scheme: CcScheme) {
-    let db = build_db(scheme);
-    crossbeam::thread::scope(|s| {
-        for w in 0..WORKERS {
-            let db = Arc::clone(&db);
-            s.spawn(move |_| {
-                let mut ctx = db.worker(w);
-                let mut rng = Rng(0x9999 + u64::from(w));
-                for _ in 0..400 {
-                    let from = rng.next() % ACCOUNTS;
-                    let mut to = rng.next() % ACCOUNTS;
-                    if to == from {
-                        to = (to + 1) % ACCOUNTS;
-                    }
-                    let amount = rng.next() % 10;
-                    let parts = partitions_for(scheme, &[from, to]);
-                    ctx.run_txn(&parts, |t| {
-                        let bal = t.read_u64(0, from, 1)?;
-                        let transfer = amount.min(bal);
-                        t.update(0, from, |s, d| {
-                            let b = row::get_u64(s, d, 1);
-                            row::set_u64(s, d, 1, b - transfer);
-                        })?;
-                        t.update(0, to, |s, d| {
-                            let b = row::get_u64(s, d, 1);
-                            row::set_u64(s, d, 1, b + transfer);
-                        })?;
-                        Ok(())
-                    })
-                    .unwrap();
-                }
-            });
-        }
-    })
-    .unwrap();
-    assert_eq!(
-        db.sum_column(0, 1),
-        INITIAL * ACCOUNTS,
-        "{scheme}: money created or destroyed"
-    );
-}
-
 fn read_atomicity_check(scheme: CcScheme) {
     let db = build_db(scheme);
     let stop = AtomicBool::new(false);
@@ -193,177 +116,6 @@ fn read_atomicity_check(scheme: CcScheme) {
         }
     })
     .unwrap();
-}
-
-/// Phantom check: the table holds even keys in `[0, 2 * PHANTOM_RANGE)`;
-/// inserter workers commit odd keys (worker-disjoint) into the range one
-/// per transaction, while scanner workers each run committed transactions
-/// that scan the full window **twice** and require identical key sets —
-/// a phantom is exactly a committed transaction whose two reads of the
-/// same predicate disagree. Scanners also delete the occasional odd key
-/// they observed (shrinking ranges), which must never break repeatability
-/// either. Totals: ≥ 1000 committed double-scan trials per scheme, plus a
-/// final exact reconciliation of the index against the committed inserts
-/// and deletes.
-const PHANTOM_RANGE: u64 = 64;
-const PHANTOM_SCANNERS: u32 = 2;
-const PHANTOM_TRIALS: u64 = 500; // per scanner ⇒ 1000 committed scans
-
-fn phantom_check(scheme: CcScheme) {
-    let mut cat = Catalog::new();
-    // Generous headroom: every churn insert takes a fresh arena slot (rows
-    // are never reused), aborted insert attempts leak more, and the
-    // phantom guards abort inserters often.
-    cat.add_ordered_table(
-        "scanned",
-        Schema::key_plus_payload(1, 8),
-        PHANTOM_RANGE * 512,
-    );
-    let mut cfg = EngineConfig::new(scheme, WORKERS);
-    cfg.dl_timeout_us = 100;
-    let db = Database::new(cfg, cat).unwrap();
-    db.load_table(0, (0..PHANTOM_RANGE).map(|k| k * 2), |s, r, k| {
-        row::set_u64(s, r, 0, k);
-        row::set_u64(s, r, 1, 1);
-    })
-    .unwrap();
-
-    let high = PHANTOM_RANGE * 2;
-    let all_parts: Vec<PartId> = if scheme == CcScheme::HStore {
-        (0..WORKERS).collect()
-    } else {
-        Vec::new()
-    };
-    let inserted = AtomicU64::new(0);
-    let deleted = AtomicU64::new(0);
-    let stop = AtomicBool::new(false);
-    // Every worker starts scanning/churning at the same instant — without
-    // this, the scanners can finish all their trials before the inserter
-    // threads are even scheduled, and nothing actually races.
-    let start = std::sync::Barrier::new(WORKERS as usize);
-
-    crossbeam::thread::scope(|s| {
-        // Odd keys are partitioned by class c = ((k-1)/2) % 4:
-        //   c == 0 / 1 — "permanent": inserter c commits each once, and
-        //                scanner c may later delete observed ones;
-        //   c == 2 / 3 — "churn": inserter c-2 cycles insert→delete for
-        //                the whole run, so structural changes race every
-        //                scan from the first trial to the last.
-        for w in 0..(WORKERS - PHANTOM_SCANNERS) {
-            let db = Arc::clone(&db);
-            let (inserted, deleted, stop, all_parts) = (&inserted, &deleted, &stop, &all_parts);
-            let start = &start;
-            s.spawn(move |_| {
-                let mut ctx = db.worker(w);
-                start.wait();
-                let ins = |ctx: &mut abyss_core::WorkerCtx, key: u64| {
-                    ctx.run_txn(all_parts, |t| {
-                        t.insert(0, key, |s, d| {
-                            row::set_u64(s, d, 0, key);
-                            row::set_u64(s, d, 1, 1);
-                        })
-                    })
-                    .unwrap();
-                    inserted.fetch_add(1, Ordering::Relaxed);
-                };
-                let mut perm = u64::from(w); // j = perm, class perm % 4 == w
-                let mut churn = 0u64;
-                // Bound churn so arena slots cannot run out even if the
-                // scanners are slow (each cycle consumes a fresh slot).
-                while !stop.load(Ordering::Relaxed) && churn < 2_000 {
-                    if perm * 2 + 1 < high {
-                        ins(&mut ctx, perm * 2 + 1);
-                        perm += 4;
-                    }
-                    // One full churn cycle: insert then delete the same key.
-                    let j = (churn % (PHANTOM_RANGE / 4)) * 4 + u64::from(w) + 2;
-                    churn += 1;
-                    let key = j * 2 + 1;
-                    if key < high {
-                        ins(&mut ctx, key);
-                        ctx.run_txn(all_parts, |t| t.delete(0, key)).unwrap();
-                        deleted.fetch_add(1, Ordering::Relaxed);
-                    }
-                    std::thread::yield_now();
-                }
-            });
-        }
-        // Scanners: double scan per committed txn; occasional deletes.
-        for w in (WORKERS - PHANTOM_SCANNERS)..WORKERS {
-            let db = Arc::clone(&db);
-            let (deleted, stop, all_parts) = (&deleted, &stop, &all_parts);
-            let start = &start;
-            s.spawn(move |_| {
-                let mut ctx = db.worker(w);
-                start.wait();
-                let mut rng = Rng(0xF00D + u64::from(w));
-                for trial in 0..PHANTOM_TRIALS {
-                    // Randomized sub-window, full window every 4th trial.
-                    let (lo, hi) = if trial % 4 == 0 {
-                        (0, high - 1)
-                    } else {
-                        let a = rng.next() % high;
-                        let b = rng.next() % high;
-                        (a.min(b), a.max(b))
-                    };
-                    let (first, second, body_ts) = ctx
-                        .run_txn(all_parts, |t| {
-                            let mut first = Vec::new();
-                            t.scan(0, lo, hi, |k, _, _| first.push(k))?;
-                            // Hand the (possibly single) CPU to the churn
-                            // threads so structural changes land between
-                            // the two scans. An optimistic scheme may then
-                            // observe a discrepancy here — that is legal
-                            // as long as the commit below fails; the
-                            // anomaly check therefore runs only on the
-                            // *committed* result.
-                            std::thread::yield_now();
-                            let mut second = Vec::new();
-                            t.scan(0, lo, hi, |k, _, _| second.push(k))?;
-                            Ok((first, second, t.current_ts()))
-                        })
-                        .unwrap();
-                    assert_eq!(
-                        first, second,
-                        "{scheme}: phantom — two scans of [{lo}, {hi}] at ts \
-                         {body_ts} in one committed txn disagree"
-                    );
-                    let keys = first;
-                    // Shrink the range now and then: delete an observed
-                    // *permanent* odd key from this scanner's disjoint
-                    // class (never re-inserted, classes never overlap, so
-                    // each committed delete removes exactly one live key).
-                    if trial % 16 == 7 {
-                        let sw = u64::from(w - (WORKERS - PHANTOM_SCANNERS));
-                        let mine = keys
-                            .iter()
-                            .copied()
-                            .find(|&k| k % 2 == 1 && ((k - 1) / 2) % 4 == sw);
-                        if let Some(k) = mine {
-                            ctx.run_txn(all_parts, |t| t.delete(0, k))
-                                .unwrap_or_else(|e| panic!("{scheme}: delete failed: {e}"));
-                            deleted.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-                stop.store(true, Ordering::Relaxed);
-            });
-        }
-    })
-    .unwrap();
-
-    // Reconcile: committed state == loaded evens + inserts − deletes.
-    let expected =
-        PHANTOM_RANGE + inserted.load(Ordering::Relaxed) - deleted.load(Ordering::Relaxed);
-    let mut ctx = db.worker(0);
-    let final_count = ctx
-        .run_txn(&all_parts, |t| t.scan(0, 0, u64::MAX, |_, _, _| {}))
-        .unwrap();
-    assert_eq!(
-        final_count as u64, expected,
-        "{scheme}: committed inserts/deletes and final index disagree"
-    );
-    assert_eq!(db.index_len(0), expected, "{scheme}: hash/btree diverged");
 }
 
 /// Deterministic T/O gap anomalies the randomized phantom check cannot
@@ -424,12 +176,12 @@ fn older_scan_after_newer_delete_aborts(scheme: CcScheme) {
     old.abort(abyss_common::AbortReason::UserAbort);
 }
 
-/// OCC/SILO cross-insert write skew: two transactions each scan the same
-/// range and each insert a fresh key into it. Whichever commits second
-/// must fail node-set validation — its scan missed the other's committed
-/// insert — and a transaction inserting into its *own* scanned range must
-/// still commit (the own-insert node-set refresh must not absorb foreign
-/// bumps, and must not self-abort either).
+/// OCC/SILO/TICTOC cross-insert write skew: two transactions each scan the
+/// same range and each insert a fresh key into it. Whichever commits
+/// second must fail node-set validation — its scan missed the other's
+/// committed insert — and a transaction inserting into its *own* scanned
+/// range must still commit (the own-insert node-set refresh must not
+/// absorb foreign bumps, and must not self-abort either).
 fn occ_cross_insert_write_skew(scheme: CcScheme) {
     // Few enough rows that the inserts below don't split the leaf — a
     // split is a legitimate (conservative) extra abort that would mask
@@ -480,6 +232,11 @@ fn silo_cross_insert_write_skew_aborts() {
 }
 
 #[test]
+fn tictoc_cross_insert_write_skew_aborts() {
+    occ_cross_insert_write_skew(CcScheme::TicToc);
+}
+
+#[test]
 fn timestamp_gap_rts_blocks_older_inserter() {
     older_insert_after_newer_scan_aborts(CcScheme::Timestamp);
 }
@@ -501,21 +258,22 @@ fn mvcc_del_wts_blocks_older_scanner() {
 
 macro_rules! scheme_tests {
     ($($name:ident => $scheme:expr),+ $(,)?) => {
-        mod lost_updates {
-            use super::*;
-            $(#[test] fn $name() { lost_update_check($scheme); })+
+        const LISTED_SCHEMES: &[CcScheme] = &[$($scheme),+];
+
+        /// Sync guard: the per-scheme test list must track `CcScheme::ALL`
+        /// exactly, so a new scheme cannot be silently skipped.
+        #[test]
+        fn read_atomicity_covers_every_scheme() {
+            assert_eq!(
+                LISTED_SCHEMES,
+                &CcScheme::ALL,
+                "read-atomicity scheme list out of sync with CcScheme::ALL"
+            );
         }
-        mod conservation {
-            use super::*;
-            $(#[test] fn $name() { conservation_check($scheme); })+
-        }
+
         mod read_atomicity {
             use super::*;
             $(#[test] fn $name() { read_atomicity_check($scheme); })+
-        }
-        mod phantoms {
-            use super::*;
-            $(#[test] fn $name() { phantom_check($scheme); })+
         }
     };
 }
@@ -529,4 +287,5 @@ scheme_tests! {
     occ => CcScheme::Occ,
     hstore => CcScheme::HStore,
     silo => CcScheme::Silo,
+    tictoc => CcScheme::TicToc,
 }

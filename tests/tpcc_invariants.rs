@@ -124,6 +124,42 @@ fn tpcc_hstore() {
     check_scheme(CcScheme::HStore);
 }
 
+#[test]
+fn tpcc_silo() {
+    check_scheme(CcScheme::Silo);
+}
+
+#[test]
+fn tpcc_tictoc() {
+    check_scheme(CcScheme::TicToc);
+}
+
+/// Sync guard: the per-scheme engine tests above must track
+/// `CcScheme::ALL` exactly. (This guard is what caught SILO being
+/// silently absent from this file's engine matrix.)
+#[test]
+fn tpcc_engine_tests_cover_every_scheme() {
+    const LISTED: [CcScheme; 9] = [
+        CcScheme::NoWait,
+        CcScheme::DlDetect,
+        CcScheme::WaitDie,
+        CcScheme::Timestamp,
+        CcScheme::Mvcc,
+        CcScheme::Occ,
+        CcScheme::HStore,
+        CcScheme::Silo,
+        CcScheme::TicToc,
+    ];
+    let mut listed = LISTED;
+    listed.sort();
+    let mut all = CcScheme::ALL;
+    all.sort();
+    assert_eq!(
+        listed, all,
+        "tpcc engine tests out of sync with CcScheme::ALL"
+    );
+}
+
 /// TPC-C inside the simulator: district counters advance exactly once per
 /// committed NewOrder (derived insert keys never collide — checked by the
 /// sim's duplicate-create assertions in debug builds).
