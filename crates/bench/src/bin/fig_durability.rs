@@ -1,0 +1,5 @@
+//! fig_durability binary — see [`abyss_bench::fig_durability`].
+
+fn main() {
+    abyss_bench::fig_durability::run();
+}

@@ -1,0 +1,360 @@
+//! fig_durability — what durability costs at one thousand cores.
+//!
+//! The paper evaluates every scheme with logging switched off; CCBench
+//! (Tanabe et al.) shows protocol rankings shift once commit-path I/O is
+//! modeled, and Hekaton/SiloR pair main-memory CC with group-commit
+//! logging as a matter of course. This experiment measures three commit
+//! paths:
+//!
+//! * **off** — the paper's baseline (no logging anywhere);
+//! * **group** — per-worker redo shards + epoch group commit (durability
+//!   acknowledged when the commit's epoch is fully flushed);
+//! * **fsync** — the classical per-commit force policy.
+//!
+//! Two sections, like `fig_ycsbe`:
+//!
+//! * **simulator** — the deterministic core-count sweep; the group/fsync
+//!   throughput ratios against logging-off at the largest swept core
+//!   count are the figure's headline (group must stay ≥ 80%, per-commit
+//!   fsync must not);
+//! * **real engine** — a small-table multi-threaded run on the host with
+//!   the actual WAL underneath (files, flusher thread, fsyncs), also
+//!   reporting log volume, fsync counts, the durable-epoch lag, and an
+//!   estimated durable-ack latency per mode. Note the engine section's
+//!   24-byte rows make the baseline transaction ~2 µs, so the fixed
+//!   per-commit capture cost reads as a larger *fraction* there than it
+//!   would against realistic row sizes — the headline ratios therefore
+//!   come from the simulator sweep, where the cost model holds the
+//!   workload fixed across modes.
+//!
+//! Output: aligned tables + machine-readable JSON printed to stdout and
+//! written to `results/fig_durability.json`.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use crate::{fmt_m, ycsb_sim_tables, HarnessArgs, Report};
+use abyss_common::zipf::ZipfGen;
+use abyss_common::{CcScheme, TxnTemplate};
+use abyss_core::{run_workers, Database, EngineConfig};
+use abyss_sim::{run_sim, SimConfig, SimDurability};
+use abyss_storage::{Catalog, FsyncPolicy, Schema};
+use abyss_workload::ycsb::{self, YcsbConfig, YcsbGen};
+
+/// The schemes compared: the modern epoch-based commit path (SILO — the
+/// natural group-commit host) and the classic 2PL baseline.
+pub const SCHEMES: [CcScheme; 2] = [CcScheme::Silo, CcScheme::NoWait];
+
+/// The three durability modes, in table order.
+const SIM_MODES: [SimDurability; 3] = [
+    SimDurability::Off,
+    SimDurability::GroupCommit,
+    SimDurability::PerCommitFsync,
+];
+
+struct SimPoint {
+    cores: u32,
+    txn_per_sec: f64,
+    log_bytes: u64,
+}
+
+fn sim_point(
+    scheme: CcScheme,
+    cores: u32,
+    durability: SimDurability,
+    args: &HarnessArgs,
+) -> SimPoint {
+    let mut sim = SimConfig::new(scheme, cores);
+    sim.durability = durability;
+    args.configure(&mut sim);
+    let cfg = YcsbConfig {
+        table_rows: 20_000_000,
+        ..YcsbConfig::write_intensive(0.6)
+    };
+    let gens = crate::ycsb_gens(&cfg, cores, sim.seed);
+    let r = run_sim(sim, ycsb_sim_tables(), gens);
+    SimPoint {
+        cores,
+        txn_per_sec: r.txn_per_sec(),
+        log_bytes: r.stats.log_bytes,
+    }
+}
+
+struct EnginePoint {
+    mode: &'static str,
+    txn_per_sec: f64,
+    abort_rate: f64,
+    log_records: u64,
+    log_bytes: u64,
+    log_flushes: u64,
+    log_fsyncs: u64,
+    durable_epoch_lag: u64,
+    /// Rough durable-ack latency: 0 when logging is off; the group
+    /// interval under group commit (an ack waits for the next fence); the
+    /// mean commit duration under per-commit fsync.
+    ack_latency_us: f64,
+}
+
+/// Engine mode: logging off, epoch group commit, or per-commit fsync.
+const ENGINE_MODES: [&str; 3] = ["off", "group", "fsync"];
+
+/// Worker count for the engine section: capped by the host's actual
+/// parallelism — oversubscribed workers would bill the flusher/ticker
+/// threads' CPU time against whichever mode runs them, skewing the
+/// comparison.
+pub fn engine_workers() -> u32 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u32)
+        .unwrap_or(1)
+        .min(4)
+}
+
+fn engine_point(scheme: CcScheme, mode: &'static str, args: &HarnessArgs) -> EnginePoint {
+    let workers: u32 = engine_workers();
+    let rows: u64 = if args.quick { 4_000 } else { 20_000 };
+    let mut cfg = YcsbConfig {
+        table_rows: rows,
+        ..YcsbConfig::write_intensive(0.6)
+    };
+    if scheme == CcScheme::HStore {
+        cfg.parts = workers;
+    }
+    let group_interval_us = 10_000u64;
+    let mut ecfg = EngineConfig::new(scheme, workers);
+    let wal_dir = std::env::temp_dir().join(format!(
+        "abyss-fig-durability-{}-{scheme}-{mode}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    match mode {
+        "off" => {}
+        "group" => {
+            ecfg = ecfg.with_logging(&wal_dir, FsyncPolicy::Group);
+            ecfg.log.group_interval_us = group_interval_us;
+            ecfg.epoch_interval_us = group_interval_us;
+        }
+        "fsync" => {
+            ecfg = ecfg.with_logging(&wal_dir, FsyncPolicy::EveryCommit);
+            ecfg.log.group_interval_us = group_interval_us;
+            ecfg.epoch_interval_us = group_interval_us;
+        }
+        other => panic!("unknown engine mode {other}"),
+    }
+    // Narrow rows, like the fig_ycsbe engine section: the comparison
+    // target is the *commit-path* cost of each durability mode (fsyncs,
+    // group fences, append bookkeeping), not raw value-log bandwidth —
+    // 1 KB rows would turn the figure into a disk-throughput test.
+    let mut cat = Catalog::new();
+    cat.add_table("usertable", Schema::key_plus_payload(2, 8), rows * 2);
+    let db = Database::new(ecfg, cat).expect("engine config");
+    db.load_table(ycsb::YCSB_TABLE, 0..rows, |s, r, k| {
+        abyss_storage::row::set_u64(s, r, 0, k);
+        abyss_storage::row::set_u64(s, r, 1, k ^ 0xD00D);
+    })
+    .expect("load");
+    let zipf = ZipfGen::new(cfg.table_rows, cfg.theta);
+    let gens: Vec<Box<dyn FnMut() -> TxnTemplate + Send>> = (0..workers)
+        .map(|w| {
+            let mut g = YcsbGen::with_zipf(cfg.clone(), zipf.clone(), 0xD7 ^ (u64::from(w) << 20))
+                .for_worker(w);
+            Box::new(move || g.next_txn()) as Box<dyn FnMut() -> TxnTemplate + Send>
+        })
+        .collect();
+    let (warm, meas) = if args.quick {
+        (Duration::from_millis(40), Duration::from_millis(150))
+    } else {
+        (Duration::from_millis(150), Duration::from_millis(600))
+    };
+    let out = run_workers(&db, gens, warm, meas);
+    let tps = out.txn_per_sec();
+    let ack_latency_us = match mode {
+        "group" => group_interval_us as f64,
+        "fsync" if tps > 0.0 => f64::from(workers) * 1e6 / tps,
+        _ => 0.0,
+    };
+    let stats = &out.stats;
+    let p = EnginePoint {
+        mode,
+        txn_per_sec: tps,
+        abort_rate: stats.abort_rate(),
+        log_records: stats.log_records,
+        log_bytes: stats.log_bytes,
+        log_flushes: stats.log_flushes,
+        log_fsyncs: stats.log_fsyncs,
+        durable_epoch_lag: stats.durable_epoch_lag,
+        ack_latency_us,
+    };
+    drop(db);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    p
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "0".into()
+    }
+}
+
+/// Run the full fig_durability experiment (parses CLI args itself).
+pub fn run() {
+    let args = HarnessArgs::parse();
+    let sweep = args.sweep();
+
+    // ---- simulator sweep ---------------------------------------------
+    let mut sim_json: Vec<String> = Vec::new();
+    // txn/s at the largest swept core count, per (scheme, mode) — the
+    // ratio basis.
+    let mut headline: Vec<(CcScheme, [f64; 3])> = Vec::new();
+    for &scheme in &SCHEMES {
+        let mut headers = vec!["cores".to_string()];
+        headers.extend(SIM_MODES.iter().map(|m| m.label().to_string()));
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut rep = Report::new(&headers_ref);
+        let mut series: Vec<Vec<SimPoint>> = SIM_MODES.iter().map(|_| Vec::new()).collect();
+        for &n in sweep {
+            let mut row = vec![n.to_string()];
+            for (i, &mode) in SIM_MODES.iter().enumerate() {
+                let p = sim_point(scheme, n, mode, &args);
+                row.push(fmt_m(p.txn_per_sec));
+                series[i].push(p);
+            }
+            rep.row(row);
+        }
+        rep.print(&format!(
+            "fig_durability sim — {scheme}, YCSB theta=0.6 50/50 (Mtxn/s)"
+        ));
+        rep.write_csv(&format!("fig_durability_{}", scheme.name().to_lowercase()));
+        let tops: Vec<f64> = series
+            .iter()
+            .map(|pts| pts.last().map(|p| p.txn_per_sec).unwrap_or(0.0))
+            .collect();
+        headline.push((scheme, [tops[0], tops[1], tops[2]]));
+        let modes_json: Vec<String> = SIM_MODES
+            .iter()
+            .zip(&series)
+            .map(|(&mode, pts)| {
+                let pts: Vec<String> = pts
+                    .iter()
+                    .map(|p| {
+                        format!(
+                            "{{\"cores\":{},\"txn_per_sec\":{:.1},\"log_bytes\":{}}}",
+                            p.cores, p.txn_per_sec, p.log_bytes
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"mode\":\"{}\",\"points\":[{}]}}",
+                    mode.label(),
+                    pts.join(",")
+                )
+            })
+            .collect();
+        sim_json.push(format!(
+            "{{\"scheme\":\"{}\",\"modes\":[{}]}}",
+            scheme.name(),
+            modes_json.join(",")
+        ));
+    }
+
+    // ---- real engine --------------------------------------------------
+    let mut engine_json: Vec<String> = Vec::new();
+    for &scheme in &SCHEMES {
+        let headers = [
+            "mode", "Mtxn/s", "abort%", "records", "log_MB", "flushes", "fsyncs", "lag", "ack_us",
+        ];
+        let mut rep = Report::new(&headers);
+        let mut points: Vec<String> = Vec::new();
+        for mode in ENGINE_MODES {
+            let p = engine_point(scheme, mode, &args);
+            rep.row(vec![
+                p.mode.to_string(),
+                fmt_m(p.txn_per_sec),
+                format!("{:.1}", p.abort_rate * 100.0),
+                p.log_records.to_string(),
+                format!("{:.2}", p.log_bytes as f64 / 1e6),
+                p.log_flushes.to_string(),
+                p.log_fsyncs.to_string(),
+                p.durable_epoch_lag.to_string(),
+                format!("{:.0}", p.ack_latency_us),
+            ]);
+            points.push(format!(
+                "{{\"mode\":\"{}\",\"txn_per_sec\":{:.1},\"abort_rate\":{},\
+                 \"log_records\":{},\"log_bytes\":{},\"log_flushes\":{},\"log_fsyncs\":{},\
+                 \"durable_epoch_lag\":{},\"ack_latency_us\":{:.1}}}",
+                p.mode,
+                p.txn_per_sec,
+                json_f(p.abort_rate),
+                p.log_records,
+                p.log_bytes,
+                p.log_flushes,
+                p.log_fsyncs,
+                p.durable_epoch_lag,
+                p.ack_latency_us,
+            ));
+        }
+        rep.print(&format!(
+            "fig_durability engine — {scheme}, {} workers, YCSB theta=0.6 50/50",
+            engine_workers()
+        ));
+        engine_json.push(format!(
+            "{{\"scheme\":\"{}\",\"modes\":[{}]}}",
+            scheme.name(),
+            points.join(",")
+        ));
+    }
+
+    // ---- headline ratios (deterministic: sim, largest core count) -----
+    let max_cores = *sweep.last().unwrap();
+    let ratios: Vec<String> = headline
+        .iter()
+        .map(|(scheme, [off, group, fsync])| {
+            let g = if *off > 0.0 { group / off } else { 0.0 };
+            let f = if *off > 0.0 { fsync / off } else { 0.0 };
+            println!("  [{scheme} @ {max_cores} sim cores] group/off = {g:.3}, fsync/off = {f:.3}");
+            format!(
+                "{{\"scheme\":\"{}\",\"group_ratio\":{},\"fsync_ratio\":{}}}",
+                scheme.name(),
+                json_f(g),
+                json_f(f)
+            )
+        })
+        .collect();
+
+    // Label the run with the *effective* timestamp method (the engine
+    // degrades Hardware to Atomic; misreporting that would mislabel the
+    // whole figure).
+    let ts_probe = Database::new(
+        EngineConfig::new(CcScheme::NoWait, 1),
+        ycsb::catalog(&YcsbConfig {
+            table_rows: 16,
+            ..YcsbConfig::read_only()
+        }),
+    )
+    .expect("probe db");
+    let json = format!(
+        "{{\"figure\":\"fig_durability\",\"cores\":[{}],\"ratio_basis_cores\":{},\
+         \"ts_method\":\"{}\",\"ts_method_effective\":\"{}\",\
+         \"ratios\":[{}],\"sim\":{{\"series\":[{}]}},\"engine\":{{\"workers\":{},\"series\":[{}]}}}}",
+        sweep
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        max_cores,
+        ts_probe.config().ts_method,
+        ts_probe.ts_method_effective(),
+        ratios.join(","),
+        sim_json.join(","),
+        engine_workers(),
+        engine_json.join(","),
+    );
+    println!("\n{json}");
+    if std::fs::create_dir_all("results").is_ok() {
+        if let Ok(mut f) = std::fs::File::create("results/fig_durability.json") {
+            let _ = writeln!(f, "{json}");
+            println!("  [json] results/fig_durability.json");
+        }
+    }
+}

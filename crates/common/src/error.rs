@@ -70,6 +70,8 @@ pub enum DbError {
     SchemaViolation(String),
     /// Operation not supported by the active concurrency-control scheme.
     Unsupported(&'static str),
+    /// A durability I/O failure (WAL open, replay scan, truncation).
+    Io(String),
 }
 
 impl fmt::Display for DbError {
@@ -84,6 +86,7 @@ impl fmt::Display for DbError {
             }
             DbError::SchemaViolation(msg) => write!(f, "schema violation: {msg}"),
             DbError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            DbError::Io(msg) => write!(f, "durability I/O error: {msg}"),
         }
     }
 }

@@ -76,6 +76,18 @@ pub fn hash_u64(mut v: u64) -> u64 {
     v ^ (v >> 31)
 }
 
+/// Hash a byte slice — WAL record checksums and state digests.
+///
+/// [`FxHasher`] over the bytes plus the length (so a zero-padded tail
+/// cannot alias a shorter input), finished through the SplitMix64
+/// finalizer so short inputs still avalanche into the low bits.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.write_usize(bytes.len());
+    hash_u64(h.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +123,13 @@ mod tests {
         let mut h2 = FxHasher::default();
         h2.write(b"hello world!?");
         assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn hash_bytes_length_sensitive() {
+        assert_ne!(hash_bytes(b"ab"), hash_bytes(b"ab\0"));
+        assert_eq!(hash_bytes(b"redo"), hash_bytes(b"redo"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
     }
 
     #[test]

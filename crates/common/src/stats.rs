@@ -163,6 +163,18 @@ pub struct RunStats {
     /// scheme's signature fast path; a contended read-heavy run that
     /// reports zero extensions means the path is silently disabled.
     pub rts_extensions: u64,
+    /// WAL commit records appended (logging enabled only).
+    pub log_records: u64,
+    /// WAL bytes appended (frame + body; logging enabled only).
+    pub log_bytes: u64,
+    /// WAL buffer drains to the OS (filled in by the run drivers from the
+    /// shared log's counters after the workers join).
+    pub log_flushes: u64,
+    /// WAL fsync calls (driver-filled, like [`RunStats::log_flushes`]).
+    pub log_fsyncs: u64,
+    /// Epochs between the run's final epoch and its durable epoch before
+    /// the shutdown flush — the group-commit acknowledgement lag.
+    pub durable_epoch_lag: u64,
 }
 
 impl RunStats {
@@ -244,6 +256,11 @@ impl RunStats {
         self.scans += other.scans;
         self.scan_retries += other.scan_retries;
         self.rts_extensions += other.rts_extensions;
+        self.log_records += other.log_records;
+        self.log_bytes += other.log_bytes;
+        self.log_flushes += other.log_flushes;
+        self.log_fsyncs += other.log_fsyncs;
+        self.durable_epoch_lag = self.durable_epoch_lag.max(other.durable_epoch_lag);
     }
 }
 

@@ -1,6 +1,49 @@
 //! Engine configuration.
 
+use std::path::PathBuf;
+
 use abyss_common::{CcScheme, TsMethod};
+use abyss_storage::FsyncPolicy;
+
+/// Durability (write-ahead logging) configuration.
+///
+/// Disabled by default — the paper's in-memory setting. When enabled,
+/// every worker appends its committed write sets to a private redo shard
+/// under [`LogConfig::dir`]; durability is acknowledged per
+/// [`LogConfig::fsync`] (see `crates/storage/src/wal.rs` and the
+/// DESIGN.md durability section).
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Master switch. Off ⇒ zero logging overhead anywhere.
+    pub enabled: bool,
+    /// Directory holding the per-worker shard files and the durable-epoch
+    /// meta file.
+    pub dir: PathBuf,
+    /// When log writes are forced to the device.
+    pub fsync: FsyncPolicy,
+    /// Microseconds between background group flushes (the group-commit
+    /// cadence; usually the epoch interval). 0 disables the background
+    /// flusher — flushes then only happen through
+    /// [`crate::db::Database::log_group_flush`] /
+    /// [`crate::db::Database::log_flush_all`] (tests, manual drivers).
+    pub group_interval_us: u64,
+    /// Per-shard buffered bytes that trigger an early (non-fencing) drain
+    /// to the OS, bounding worker-side buffer growth between group
+    /// flushes.
+    pub group_max_bytes: usize,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            dir: PathBuf::from("wal"),
+            fsync: FsyncPolicy::Group,
+            group_interval_us: 40_000,
+            group_max_bytes: 1 << 20,
+        }
+    }
+}
 
 /// Configuration for a [`crate::db::Database`].
 #[derive(Debug, Clone)]
@@ -32,6 +75,8 @@ pub struct EngineConfig {
     /// Safety valve: abort any wait after this many microseconds regardless
     /// of scheme, so a stuck experiment fails loudly instead of hanging.
     pub wait_cap_us: u64,
+    /// Durability: per-worker redo logging with epoch group commit.
+    pub log: LogConfig,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +91,7 @@ impl Default for EngineConfig {
             mvcc_max_versions: 8,
             epoch_interval_us: 40_000,
             wait_cap_us: 2_000_000,
+            log: LogConfig::default(),
         }
     }
 }
@@ -83,7 +129,19 @@ impl EngineConfig {
         if self.mvcc_max_versions < 2 {
             return Err("mvcc_max_versions must be at least 2".into());
         }
+        if self.log.enabled && self.log.dir.as_os_str().is_empty() {
+            return Err("logging enabled without a log directory".into());
+        }
         Ok(())
+    }
+
+    /// Enable write-ahead logging into `dir` with `fsync` (builder-style
+    /// convenience for tests and benches).
+    pub fn with_logging(mut self, dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> Self {
+        self.log.enabled = true;
+        self.log.dir = dir.into();
+        self.log.fsync = fsync;
+        self
     }
 }
 
@@ -103,6 +161,15 @@ mod tests {
         let mut c = EngineConfig::new(CcScheme::NoWait, 4);
         c.workers = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn logging_requires_a_directory() {
+        let mut c = EngineConfig::new(CcScheme::NoWait, 1).with_logging("", FsyncPolicy::Group);
+        assert!(c.validate().is_err());
+        c.log.dir = "wal".into();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.log.fsync, FsyncPolicy::Group);
     }
 
     #[test]

@@ -2,12 +2,16 @@
 //! the shared machinery (timestamp allocator, park table, waits-for graph,
 //! partition locks) that the scheme implementations coordinate through.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
+use abyss_common::fxhash;
 use abyss_common::{CcScheme, DbError, Key, RowIdx, TableId};
 use abyss_storage::btree::{GuardedInsert, LeafId};
-use abyss_storage::{BPlusTree, BtreeHealth, Catalog, HashIndex, Schema, Table};
+use abyss_storage::wal::{self, RecOp, WalSet, WalStats};
+use abyss_storage::{BPlusTree, BtreeHealth, Catalog, FsyncPolicy, HashIndex, Schema, Table};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 
@@ -17,6 +21,7 @@ use crate::meta::RowMeta;
 use crate::park::ParkTable;
 use crate::schemes::hstore::PartState;
 use crate::ts::SharedTs;
+use crate::txn::TxnState;
 use crate::waitsfor::WaitsFor;
 use crate::worker::WorkerCtx;
 
@@ -44,10 +49,20 @@ pub struct Database {
     pub(crate) parts: Box<[CachePadded<Mutex<PartState>>]>,
     /// The epoch subsystem (SILO commit TIDs, quiescence detection). Always
     /// present — it is a handful of cache lines — but the background ticker
-    /// only runs for schemes that consume epochs.
+    /// only runs for schemes that consume epochs (or when logging makes
+    /// every scheme consume them as the group-commit horizon).
     pub(crate) epoch: Arc<EpochManager>,
+    /// The write-ahead log (None = durability off, the paper's setting).
+    pub(crate) wal: Option<Arc<WalSet>>,
+    /// Commit-window serial numbers for WAL records of schemes without a
+    /// natural commit ordinal (2PL, H-STORE, OCC) — drawn *inside* the
+    /// committing transaction's exclusion window, so per-key serial order
+    /// matches install order (see [`Database::wal_serial_point_csn`]).
+    pub(crate) log_csn: AtomicU64,
     /// Background epoch ticker; advancing stops when the database drops.
     _ticker: Option<EpochTicker>,
+    /// Background group-commit flusher; stops when the database drops.
+    _flusher: Option<WalFlusher>,
 }
 
 impl Database {
@@ -74,7 +89,21 @@ impl Database {
             CachePadded::new(Mutex::new(PartState::default()))
         });
         let epoch = Arc::new(EpochManager::new(cfg.workers));
-        let ticker = if matches!(cfg.scheme, CcScheme::Silo | CcScheme::TicToc)
+        let wal = if cfg.log.enabled {
+            let set = WalSet::open(
+                &cfg.log.dir,
+                cfg.workers,
+                cfg.log.fsync,
+                cfg.log.group_max_bytes,
+            )
+            .map_err(|e| DbError::Io(format!("open WAL in {}: {e}", cfg.log.dir.display())))?;
+            Some(Arc::new(set))
+        } else {
+            None
+        };
+        // Epochs drive SILO commit TIDs and TICTOC GC — and, when logging
+        // is on, the group-commit horizon for *every* scheme.
+        let ticker = if (matches!(cfg.scheme, CcScheme::Silo | CcScheme::TicToc) || wal.is_some())
             && cfg.epoch_interval_us > 0
         {
             Some(EpochTicker::start(
@@ -83,6 +112,14 @@ impl Database {
             ))
         } else {
             None
+        };
+        let flusher = match &wal {
+            Some(w) if cfg.log.group_interval_us > 0 => Some(WalFlusher::start(
+                Arc::clone(w),
+                Arc::clone(&epoch),
+                Duration::from_micros(cfg.log.group_interval_us),
+            )),
+            _ => None,
         };
         Ok(Arc::new(Self {
             ts: SharedTs::new(cfg.ts_method),
@@ -97,7 +134,10 @@ impl Database {
             meta,
             cfg,
             epoch,
+            wal,
+            log_csn: AtomicU64::new(0),
             _ticker: ticker,
+            _flusher: flusher,
         }))
     }
 
@@ -120,6 +160,150 @@ impl Database {
     /// their commit path; tests and tools may advance it manually.
     pub fn epoch_manager(&self) -> &EpochManager {
         &self.epoch
+    }
+
+    /// Is write-ahead logging enabled?
+    pub fn logging_enabled(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The timestamp method actually running (the engine silently
+    /// degrades [`abyss_common::TsMethod::Hardware`] to `Atomic`; label
+    /// runs with this, not the configured method — see
+    /// [`crate::ts::SharedTs::effective_method`]).
+    pub fn ts_method_effective(&self) -> abyss_common::TsMethod {
+        self.ts.effective_method()
+    }
+
+    /// WAL counter snapshot, when logging is enabled.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// The durable epoch: every commit whose record carries an epoch `≤`
+    /// this has reached the log device (per the configured
+    /// [`FsyncPolicy`]). `None` when logging is off.
+    pub fn durable_epoch(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.durable_epoch())
+    }
+
+    /// Run one group-commit fence now (what the background flusher does
+    /// every `log.group_interval_us`): flush every shard and advance the
+    /// durable epoch to `safe_epoch − 1`. Horizon soundness: a record not
+    /// yet appended belongs to a worker still registered in its entry
+    /// epoch `e₀ ≤` its commit epoch, so `safe_epoch ≤ e₀` and the record
+    /// is beyond the horizon.
+    pub fn log_group_flush(&self) {
+        if let Some(w) = &self.wal {
+            w.group_flush(self.epoch.safe_epoch().saturating_sub(1));
+        }
+    }
+
+    /// Clean-shutdown flush: declare everything buffered durable through
+    /// the *current* epoch. Only sound when no worker is mid-transaction
+    /// (the run drivers call it after joining their workers).
+    pub fn log_flush_all(&self) {
+        if let Some(w) = &self.wal {
+            w.flush_all_quiescent(self.epoch.current());
+        }
+    }
+
+    /// WAL commit point for schemes without a natural commit ordinal
+    /// (2PL, H-STORE, OCC): draw a global commit-window serial, stamp the
+    /// record's epoch, and **append the redo record now**. Must be called
+    /// at the commit's point of no return, **inside the transaction's
+    /// exclusion window** — write locks / partition ownership / validated
+    /// latches still held, no fallible step remaining — so that:
+    ///
+    /// * for any two conflicting commits the `(epoch, seq)` order matches
+    ///   the install order, and
+    /// * under [`FsyncPolicy::EveryCommit`] a transaction's record is
+    ///   durable *before* its locks release — a dependent successor can
+    ///   never be durable without it, keeping the replayed set
+    ///   dependency-closed.
+    #[inline]
+    pub(crate) fn wal_commit_point_csn(
+        &self,
+        worker: u32,
+        st: &mut TxnState,
+        stats: &mut abyss_common::RunStats,
+    ) {
+        if self.wal.is_some() {
+            st.log_seq = self.log_csn.fetch_add(1, Ordering::Relaxed) + 1;
+            st.log_epoch = self.epoch.current();
+            self.wal_append(worker, st, stats);
+        }
+    }
+
+    /// WAL commit point for schemes whose commit ordinal *is* their
+    /// timestamp/TID (T/O, MVCC: the start timestamp; TICTOC: the
+    /// computed commit timestamp; SILO: its commit TID + fenced epoch via
+    /// [`Database::wal_commit_point_at`]). Same point-of-no-return /
+    /// exclusion-window contract as [`Database::wal_commit_point_csn`].
+    #[inline]
+    pub(crate) fn wal_commit_point_seq(
+        &self,
+        worker: u32,
+        st: &mut TxnState,
+        stats: &mut abyss_common::RunStats,
+        seq: u64,
+    ) {
+        if self.wal.is_some() {
+            st.log_seq = seq;
+            st.log_epoch = self.epoch.current();
+            self.wal_append(worker, st, stats);
+        }
+    }
+
+    /// [`Database::wal_commit_point_seq`] with an explicit epoch (SILO's
+    /// fenced commit epoch, already embedded in its TID).
+    #[inline]
+    pub(crate) fn wal_commit_point_at(
+        &self,
+        worker: u32,
+        st: &mut TxnState,
+        stats: &mut abyss_common::RunStats,
+        epoch: u64,
+        seq: u64,
+    ) {
+        if self.wal.is_some() {
+            st.log_seq = seq;
+            st.log_epoch = epoch;
+            self.wal_append(worker, st, stats);
+        }
+    }
+
+    /// Append the stamped redo record to `worker`'s shard (no-op when the
+    /// transaction wrote nothing). Only called from the commit points
+    /// above, inside the exclusion window and before the worker exits its
+    /// epoch slot — both the group-commit horizon argument and the
+    /// per-commit-fsync dependency argument hang on that placement.
+    fn wal_append(&self, worker: u32, st: &TxnState, stats: &mut abyss_common::RunStats) {
+        let Some(wal) = &self.wal else { return };
+        if st.redo.is_empty() {
+            return;
+        }
+        debug_assert!(st.log_epoch != 0, "WAL append without a stamped epoch");
+        let mut ops = Vec::with_capacity(st.redo.len());
+        for r in &st.redo {
+            ops.push(match &r.image {
+                Some(img) => {
+                    let len = self.tables[r.table as usize].row_size();
+                    abyss_storage::wal::LogOp::Put {
+                        table: r.table,
+                        key: r.key,
+                        image: &img[..len],
+                    }
+                }
+                None => abyss_storage::wal::LogOp::Del {
+                    table: r.table,
+                    key: r.key,
+                },
+            });
+        }
+        let bytes = wal.append_commit(worker, st.log_epoch, st.log_seq, &ops);
+        stats.log_records += 1;
+        stats.log_bytes += bytes as u64;
     }
 
     /// Schema of `table`.
@@ -321,6 +505,121 @@ impl Database {
         }
     }
 
+    /// Crash recovery: replay the write-ahead log onto this database's
+    /// freshly **loaded** state (the load is the checkpoint; only
+    /// transactional writes are logged). Call before any worker starts —
+    /// replay is quiescent, like [`Database::load_table`].
+    ///
+    /// * The replay bound is the persisted durable epoch for group-commit
+    ///   policies, or "every intact record" under
+    ///   [`FsyncPolicy::EveryCommit`] (each commit was acknowledged
+    ///   durable at its own fsync).
+    /// * Records from every shard are merged and applied in
+    ///   `(epoch, seq)` order — last-writer-wins by commit TID /
+    ///   commit-ts — covering inserts, updates and deletes (ordered
+    ///   tables included: index publication goes through the same
+    ///   hash+B+-tree paths as the engine).
+    /// * Replay is idempotent: puts overwrite, deletes ignore absent
+    ///   keys, so recovering twice converges to the same state.
+    /// * The non-durable (or torn) tail of each shard is truncated, and
+    ///   the epoch manager is advanced past every replayed epoch, so the
+    ///   recovered engine appends strictly after what it replayed.
+    pub fn recover_from_log(&self) -> Result<RecoveryReport, DbError> {
+        let wal = self.wal.as_ref().ok_or(DbError::Unsupported(
+            "recover_from_log requires logging to be enabled",
+        ))?;
+        let io = |e: std::io::Error| DbError::Io(format!("WAL recovery: {e}"));
+        let scans = wal::scan_dir(wal.dir()).map_err(io)?;
+        let bound = match wal.policy() {
+            FsyncPolicy::EveryCommit => u64::MAX,
+            _ => wal::read_meta(wal.dir()).unwrap_or(0),
+        };
+        // Truncate each shard's non-durable / torn tail so it can never
+        // resurrect in a later recovery or interleave with new appends.
+        let mut report = RecoveryReport::default();
+        let mut ordered: Vec<&wal::Record> = Vec::new();
+        for scan in &scans {
+            let keep_len = scan
+                .records
+                .iter()
+                .take_while(|r| r.epoch <= bound)
+                .last()
+                .map(|r| r.end_offset)
+                .unwrap_or(scan.valid_len.min(wal::HEADER_BYTES));
+            let file_len = std::fs::metadata(&scan.path).map_err(io)?.len();
+            if keep_len < file_len {
+                wal::truncate_shard(&scan.path, keep_len).map_err(io)?;
+                report.truncated_shards += 1;
+            }
+            for r in scan.records.iter().take_while(|r| r.epoch <= bound) {
+                ordered.push(r);
+            }
+        }
+        // Merge shards into replay order. The sort is stable, but two
+        // records never carry the same (epoch, seq) *and* conflict: equal
+        // seqs only occur between non-conflicting transactions.
+        ordered.sort_by_key(|r| (r.epoch, r.seq));
+        for rec in ordered {
+            report.records_applied += 1;
+            report.max_epoch = report.max_epoch.max(rec.epoch);
+            for op in &rec.ops {
+                report.ops_applied += 1;
+                match op {
+                    RecOp::Put { table, key, image } => self.replay_put(*table, *key, image)?,
+                    RecOp::Del { table, key } => {
+                        self.index_remove(*table, *key);
+                    }
+                }
+            }
+        }
+        report.durable_epoch = bound.min(report.max_epoch.max(wal.durable_epoch()));
+        // New commits must serialize (and log) strictly after everything
+        // replayed: push the epoch past the newest replayed record.
+        while self.epoch.current() <= report.max_epoch {
+            self.epoch.advance();
+        }
+        Ok(report)
+    }
+
+    /// Apply one recovered after-image: overwrite the row in place when
+    /// the key exists, otherwise allocate + publish a fresh row.
+    fn replay_put(&self, table: TableId, key: Key, image: &[u8]) -> Result<(), DbError> {
+        let t = &self.tables[table as usize];
+        let n = t.row_size().min(image.len());
+        if let Some(row) = self.indexes[table as usize].find(key) {
+            // SAFETY: recovery is quiescent (documented contract).
+            let data = unsafe { t.row_mut(row) };
+            data[..n].copy_from_slice(&image[..n]);
+            return Ok(());
+        }
+        let row = t.allocate_row()?;
+        // SAFETY: fresh unindexed row.
+        let data = unsafe { t.row_mut(row) };
+        data[..n].copy_from_slice(&image[..n]);
+        self.index_insert(table, key, row)?;
+        Ok(())
+    }
+
+    /// Order-independent digest of the committed state: every live key's
+    /// row bytes (via [`Database::peek`], so MVCC version chains resolve),
+    /// folded per table. Quiescent use only — the recovery tests compare
+    /// a recovered database against a reference run with this.
+    pub fn state_digest(&self) -> u64 {
+        let mut digest = 0u64;
+        for (tid, index) in self.indexes.iter().enumerate() {
+            let mut keys = Vec::with_capacity(index.len());
+            index.for_each(|k, _| keys.push(k));
+            keys.sort_unstable();
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            for k in keys {
+                let bytes = self.peek(tid as TableId, k).expect("indexed key peeks");
+                h = fxhash::hash_u64(h ^ fxhash::hash_u64(k) ^ fxhash::hash_bytes(&bytes));
+            }
+            digest ^= fxhash::hash_u64(h ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        digest
+    }
+
     /// Create the execution context for `worker` (one per thread).
     pub fn worker(self: &Arc<Self>, worker: u32) -> WorkerCtx {
         assert!(worker < self.cfg.workers, "worker id {worker} out of range");
@@ -367,6 +666,69 @@ impl Database {
             sum = sum.wrapping_add(abyss_storage::row::get_u64(t.schema(), data, col));
         }
         sum
+    }
+}
+
+/// What [`Database::recover_from_log`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The epoch recovery replayed through (the durability guarantee).
+    pub durable_epoch: u64,
+    /// Commit records applied.
+    pub records_applied: u64,
+    /// Individual put/delete operations applied.
+    pub ops_applied: u64,
+    /// Shards whose non-durable or torn tail was truncated.
+    pub truncated_shards: u64,
+    /// Newest epoch seen among applied records.
+    pub max_epoch: u64,
+}
+
+/// Background group-commit thread: runs one
+/// [`Database::log_group_flush`]-equivalent fence per interval. Stops
+/// (and joins) on drop.
+#[derive(Debug)]
+struct WalFlusher {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WalFlusher {
+    fn start(wal: Arc<WalSet>, epoch: Arc<EpochManager>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("abyss-wal-flusher".into())
+            .spawn(move || {
+                // Short sleep slices so dropping the database never waits
+                // a full group interval (same pattern as the epoch ticker).
+                let slice = interval
+                    .min(Duration::from_millis(5))
+                    .max(Duration::from_micros(50));
+                let mut slept = Duration::ZERO;
+                while !stop2.load(Ordering::Acquire) {
+                    std::thread::sleep(slice);
+                    slept += slice;
+                    if slept >= interval {
+                        wal.group_flush(epoch.safe_epoch().saturating_sub(1));
+                        slept = Duration::ZERO;
+                    }
+                }
+            })
+            .expect("spawn WAL flusher");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for WalFlusher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 

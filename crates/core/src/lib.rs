@@ -56,8 +56,8 @@ pub mod txn;
 pub mod waitsfor;
 pub mod worker;
 
-pub use config::EngineConfig;
-pub use db::Database;
+pub use config::{EngineConfig, LogConfig};
+pub use db::{Database, RecoveryReport};
 pub use epoch::{EpochManager, EpochTicker};
 pub use ts::{SharedTs, TsHandle};
 pub use worker::{run_workers, run_workers_bounded, BenchOutcome, TxnError, WorkerCtx};

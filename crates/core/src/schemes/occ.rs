@@ -33,7 +33,9 @@ pub(crate) fn stable_copy(
 ) -> Result<(PoolBlock, u64), AbortReason> {
     let t = &env.db.tables[table as usize];
     let word = &env.db.row_meta(table, row).word;
-    let mut buf = env.pool.alloc(t.row_size());
+    // Uninit is safe here: `copy_row_into` overwrites the full row and
+    // readers only ever see `buf[..row_size]`.
+    let mut buf = env.pool.alloc_uninit(t.row_size());
     let mut spins = 0u32;
     loop {
         let w1 = word.load(Ordering::Acquire);
@@ -303,6 +305,13 @@ fn commit_locked(
         unlock_targets(env, targets);
         return Err(AbortReason::ValidationFail);
     }
+
+    // WAL commit point: validated, every write-set latch still held, and
+    // nothing below can fail — the record is appended (and, under
+    // per-commit fsync, forced) before any latch releases, so a
+    // conflicting successor can neither draw an earlier serial nor
+    // become durable without us.
+    env.db.wal_commit_point_csn(env.worker, env.st, env.stats);
 
     // Nothing can fail past this point. Release the fresh rows at version
     // 0 — OCC's "never written" state — making the inserts readable.

@@ -148,6 +148,12 @@ fn commit_locked(
         commit_epoch,
         "per-epoch sequence space exhausted"
     );
+    // WAL commit point: the commit TID (which embeds the fenced epoch) is
+    // the record's serial — conflicting transactions' TIDs order exactly
+    // as their installs do — and the append lands before any write lock
+    // releases.
+    env.db
+        .wal_commit_point_at(env.worker, env.st, env.stats, commit_epoch, commit_tid);
 
     // Phase 4: nothing can fail now. Release the fresh rows at the commit
     // TID — every committed tuple's word carries its commit epoch (the

@@ -29,6 +29,12 @@ use parking_lot::Mutex;
 
 /// Bits reserved for the worker id in clock timestamps.
 const CLOCK_WORKER_BITS: u32 = 10;
+/// Workers representable in a clock timestamp. Worker ids at or beyond
+/// this would alias another worker's timestamps (the id is packed into
+/// the low [`CLOCK_WORKER_BITS`] bits), silently breaking the
+/// cross-worker uniqueness WAIT_DIE's age ordering and every T/O rule
+/// depend on — so [`SharedTs::handle`] rejects them up front.
+pub const CLOCK_MAX_WORKERS: u32 = 1 << CLOCK_WORKER_BITS;
 
 /// Shared state of a timestamp allocator; per-worker access goes through
 /// [`TsHandle`].
@@ -68,13 +74,36 @@ impl SharedTs {
         }
     }
 
-    /// The configured method.
+    /// The configured method (as requested — see
+    /// [`SharedTs::effective_method`] for what actually runs).
     pub fn method(&self) -> TsMethod {
         self.method
     }
 
+    /// The method actually executing: [`TsMethod::Hardware`] exists only
+    /// in the simulator and silently degrades to [`TsMethod::Atomic`]
+    /// here, so stats and benchmark JSON must label runs with *this*, not
+    /// [`SharedTs::method`], or the run is misreported.
+    pub fn effective_method(&self) -> TsMethod {
+        match self.method {
+            TsMethod::Hardware => TsMethod::Atomic,
+            m => m,
+        }
+    }
+
     /// Create the per-worker handle. Each worker must use its own.
+    ///
+    /// Panics when `worker` cannot be represented in a clock timestamp
+    /// ([`CLOCK_MAX_WORKERS`]): packed into [`CLOCK_WORKER_BITS`] bits
+    /// without this check, worker 1024 would silently mint the same
+    /// timestamps as worker 0.
     pub fn handle(&self, worker: CoreId) -> TsHandle {
+        assert!(
+            !matches!(self.method, TsMethod::Clock) || worker < CLOCK_MAX_WORKERS,
+            "worker id {worker} does not fit the {CLOCK_WORKER_BITS}-bit clock-timestamp field \
+             (max {})",
+            CLOCK_MAX_WORKERS - 1
+        );
         TsHandle {
             shared: Arc::clone(&self.inner),
             worker,
@@ -221,5 +250,32 @@ mod tests {
         let mut h = shared.handle(0);
         assert_eq!(h.alloc(), 1);
         assert_eq!(h.alloc(), 2);
+    }
+
+    #[test]
+    fn hardware_reports_effective_method_as_atomic() {
+        let shared = SharedTs::new(TsMethod::Hardware);
+        assert_eq!(shared.method(), TsMethod::Hardware);
+        assert_eq!(shared.effective_method(), TsMethod::Atomic);
+        // Realizable methods report themselves.
+        let clock = SharedTs::new(TsMethod::Clock);
+        assert_eq!(clock.effective_method(), TsMethod::Clock);
+    }
+
+    #[test]
+    fn clock_worker_id_boundary() {
+        let shared = SharedTs::new(TsMethod::Clock);
+        // 1023 is the largest representable worker id...
+        let mut h = shared.handle(CLOCK_MAX_WORKERS - 1);
+        let ts = h.alloc();
+        assert_eq!(ts & u64::from(CLOCK_MAX_WORKERS - 1), 1023);
+        // ...and 1024 must be rejected instead of aliasing worker 0.
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.handle(CLOCK_MAX_WORKERS)
+        }));
+        assert!(res.is_err(), "worker 1024 must not alias worker 0");
+        // Non-clock methods carry no packed worker id; large ids are fine.
+        let atomic = SharedTs::new(TsMethod::Atomic);
+        let _ = atomic.handle(CLOCK_MAX_WORKERS);
     }
 }

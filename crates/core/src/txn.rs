@@ -96,6 +96,18 @@ pub(crate) struct DeleteEntry {
     pub applied: bool,
 }
 
+/// One logical redo operation captured as the transaction executes
+/// (logging enabled only). `image: Some` is an insert-or-update
+/// after-image; `None` is a delete. Entries are deduplicated by
+/// `(table, key)` — the latest operation supersedes — so the commit
+/// record carries exactly the transaction's net write set.
+#[derive(Debug)]
+pub(crate) struct RedoEntry {
+    pub table: TableId,
+    pub key: Key,
+    pub image: Option<PoolBlock>,
+}
+
 /// A pending or applied insert.
 #[derive(Debug)]
 pub(crate) struct InsertEntry {
@@ -141,6 +153,16 @@ pub(crate) struct TxnState {
     /// Reusable scratch for the OCC/SILO commit lock set (kept across
     /// transactions so the hot commit path never allocates).
     pub lock_scratch: Vec<(TableId, RowIdx)>,
+    /// Redo after-images captured for the WAL (logging enabled only).
+    pub redo: Vec<RedoEntry>,
+    /// The commit epoch for the WAL record, published by the scheme at
+    /// its serialization point (0 = not set / logging off).
+    pub log_epoch: u64,
+    /// The WAL record's serial number: within an epoch, replay applies
+    /// records touching the same key in increasing `log_seq` (SILO's
+    /// commit TID, a T/O scheme's timestamp, or a commit-window serial
+    /// from [`crate::db::Database::wal_serial_point_csn`]).
+    pub log_seq: u64,
 }
 
 impl TxnState {
@@ -169,6 +191,13 @@ impl TxnState {
         self.deletes.clear();
         self.node_set.clear();
         self.parts.clear();
+        for r in self.redo.drain(..) {
+            if let Some(img) = r.image {
+                pool.free(img);
+            }
+        }
+        self.log_epoch = 0;
+        self.log_seq = 0;
     }
 
     /// Does the transaction already hold `(table, row)` at `mode` or

@@ -11,7 +11,7 @@ use abyss_storage::{MemPool, Schema};
 use crate::db::Database;
 use crate::schemes::{hstore, mvcc, occ, silo, tictoc, timestamp, twopl, ReadRef, SchemeEnv};
 use crate::ts::TsHandle;
-use crate::txn::{make_txn_id, NodeSetEntry, TxnState, GAP_ROW};
+use crate::txn::{make_txn_id, NodeSetEntry, RedoEntry, TxnState, GAP_ROW};
 
 /// Errors surfaced by the transaction API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -142,9 +142,12 @@ impl WorkerCtx {
         if scheme == CcScheme::DlDetect {
             self.db.waits.set_active(self.worker, self.st.txn_id);
         }
-        if matches!(scheme, CcScheme::Silo | CcScheme::TicToc) {
+        if matches!(scheme, CcScheme::Silo | CcScheme::TicToc) || self.db.wal.is_some() {
             // Register in the current epoch (SILO: commit identity + GC;
-            // TICTOC: the quiescence horizon alone).
+            // TICTOC: the quiescence horizon alone; with logging on,
+            // every scheme: the group-commit flush horizon — a worker
+            // stays registered from begin until after its WAL append, so
+            // `safe_epoch` bounds the epochs unflushed records can carry).
             self.db.epoch.enter(self.worker);
         }
         self.in_txn = true;
@@ -221,6 +224,65 @@ impl WorkerCtx {
         Ok(abyss_storage::row::get_u64(&schema, data, col))
     }
 
+    /// When logging is on: a pool block (plus the row length) to capture
+    /// a write's after-image into, right where the scheme applies the
+    /// user's mutation — scheme-independent, whether the bytes land in a
+    /// private workspace (T/O, OCC) or the table arena (2PL, H-STORE).
+    fn log_capture_buf(
+        &mut self,
+        table: TableId,
+    ) -> Option<(abyss_storage::mempool::PoolBlock, usize)> {
+        if self.db.wal.is_some() {
+            let len = self.db.tables[table as usize].row_size();
+            // Uninit is safe: the wrapper copies the full `len` prefix and
+            // the WAL append reads exactly that prefix.
+            Some((self.pool.alloc_uninit(len), len))
+        } else {
+            None
+        }
+    }
+
+    /// Record `key`'s captured after-image in the transaction's redo
+    /// buffer (latest write per key wins).
+    fn redo_put(&mut self, table: TableId, key: Key, image: abyss_storage::mempool::PoolBlock) {
+        if let Some(e) = self
+            .st
+            .redo
+            .iter_mut()
+            .find(|e| e.table == table && e.key == key)
+        {
+            if let Some(old) = e.image.replace(image) {
+                self.pool.free(old);
+            }
+            return;
+        }
+        self.st.redo.push(RedoEntry {
+            table,
+            key,
+            image: Some(image),
+        });
+    }
+
+    /// Record `key`'s deletion in the transaction's redo buffer.
+    fn redo_del(&mut self, table: TableId, key: Key) {
+        if let Some(e) = self
+            .st
+            .redo
+            .iter_mut()
+            .find(|e| e.table == table && e.key == key)
+        {
+            if let Some(old) = e.image.take() {
+                self.pool.free(old);
+            }
+            return;
+        }
+        self.st.redo.push(RedoEntry {
+            table,
+            key,
+            image: None,
+        });
+    }
+
     /// Read-modify-write the row for `key`: `f` receives the schema and
     /// the (current) row image to mutate.
     pub fn update(
@@ -231,18 +293,36 @@ impl WorkerCtx {
     ) -> Result<(), TxnError> {
         debug_assert!(self.in_txn, "update outside a transaction");
         let row = self.db.index_get(table, key)?;
-        match self.db.cfg.scheme {
-            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
-                twopl::write(&mut self.env(), table, row, f)
+        let mut cap = self.log_capture_buf(table);
+        let wrap = |s: &Schema, d: &mut [u8]| {
+            f(s, d);
+            if let Some((buf, len)) = cap.as_mut() {
+                buf[..*len].copy_from_slice(&d[..*len]);
             }
-            CcScheme::Timestamp => timestamp::write(&mut self.env(), table, row, f),
-            CcScheme::Mvcc => mvcc::write(&mut self.env(), table, row, f),
-            CcScheme::Occ => occ::write(&mut self.env(), table, row, f),
-            CcScheme::HStore => hstore::write(&mut self.env(), table, row, f),
-            CcScheme::Silo => silo::write(&mut self.env(), table, row, f),
-            CcScheme::TicToc => tictoc::write(&mut self.env(), table, row, f),
+        };
+        let res = match self.db.cfg.scheme {
+            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
+                twopl::write(&mut self.env(), table, row, wrap)
+            }
+            CcScheme::Timestamp => timestamp::write(&mut self.env(), table, row, wrap),
+            CcScheme::Mvcc => mvcc::write(&mut self.env(), table, row, wrap),
+            CcScheme::Occ => occ::write(&mut self.env(), table, row, wrap),
+            CcScheme::HStore => hstore::write(&mut self.env(), table, row, wrap),
+            CcScheme::Silo => silo::write(&mut self.env(), table, row, wrap),
+            CcScheme::TicToc => tictoc::write(&mut self.env(), table, row, wrap),
+        };
+        match (res, cap) {
+            (Ok(()), Some((buf, _))) => {
+                self.redo_put(table, key, buf);
+            }
+            (Ok(()), None) => {}
+            (Err(r), cap) => {
+                if let Some((buf, _)) = cap {
+                    self.pool.free(buf);
+                }
+                return Err(TxnError::Abort(r));
+            }
         }
-        .map_err(TxnError::Abort)?;
         self.check_not_deleted(table, key, row)
     }
 
@@ -270,18 +350,37 @@ impl WorkerCtx {
         f: impl FnOnce(&Schema, &mut [u8]),
     ) -> Result<(), TxnError> {
         debug_assert!(self.in_txn, "insert outside a transaction");
-        match self.db.cfg.scheme {
-            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
-                twopl::insert(&mut self.env(), table, key, f)
+        let mut cap = self.log_capture_buf(table);
+        let wrap = |s: &Schema, d: &mut [u8]| {
+            f(s, d);
+            if let Some((buf, len)) = cap.as_mut() {
+                buf[..*len].copy_from_slice(&d[..*len]);
             }
-            CcScheme::Timestamp => timestamp::insert(&mut self.env(), table, key, f),
-            CcScheme::Mvcc => mvcc::insert(&mut self.env(), table, key, f),
-            CcScheme::Occ => occ::insert(&mut self.env(), table, key, f),
-            CcScheme::HStore => hstore::insert(&mut self.env(), table, key, f),
-            CcScheme::Silo => silo::insert(&mut self.env(), table, key, f),
-            CcScheme::TicToc => tictoc::insert(&mut self.env(), table, key, f),
+        };
+        let res = match self.db.cfg.scheme {
+            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
+                twopl::insert(&mut self.env(), table, key, wrap)
+            }
+            CcScheme::Timestamp => timestamp::insert(&mut self.env(), table, key, wrap),
+            CcScheme::Mvcc => mvcc::insert(&mut self.env(), table, key, wrap),
+            CcScheme::Occ => occ::insert(&mut self.env(), table, key, wrap),
+            CcScheme::HStore => hstore::insert(&mut self.env(), table, key, wrap),
+            CcScheme::Silo => silo::insert(&mut self.env(), table, key, wrap),
+            CcScheme::TicToc => tictoc::insert(&mut self.env(), table, key, wrap),
+        };
+        match (res, cap) {
+            (Ok(()), Some((buf, _))) => {
+                self.redo_put(table, key, buf);
+                Ok(())
+            }
+            (Ok(()), None) => Ok(()),
+            (Err(r), cap) => {
+                if let Some((buf, _)) = cap {
+                    self.pool.free(buf);
+                }
+                Err(TxnError::Abort(r))
+            }
         }
-        .map_err(TxnError::Abort)
     }
 
     /// Transactionally delete `key`'s row: the hash and ordered indexes
@@ -304,6 +403,9 @@ impl WorkerCtx {
             CcScheme::TicToc => tictoc::delete(&mut self.env(), table, key, row),
         }
         .map_err(TxnError::Abort)?;
+        if self.db.wal.is_some() {
+            self.redo_del(table, key);
+        }
         self.check_not_deleted(table, key, row)
     }
 
@@ -579,9 +681,20 @@ impl WorkerCtx {
         debug_assert!(self.in_txn, "commit outside a transaction");
         let result = match self.db.cfg.scheme {
             CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
+                // WAL commit point: every X lock is still held and the
+                // commit below cannot fail — the record is appended (and
+                // under per-commit fsync, forced) before any lock
+                // releases, so a conflicting successor can neither draw
+                // an earlier serial nor become durable without us.
+                self.db
+                    .wal_commit_point_csn(self.worker, &mut self.st, &mut self.stats);
                 twopl::commit(&mut self.env());
                 Ok(())
             }
+            // T/O and MVCC serialize by their start timestamp; their WAL
+            // commit point sits inside the scheme commit, after the only
+            // fallible step (insert publication) and while every prewrite
+            // is still pending.
             CcScheme::Timestamp => timestamp::commit(&mut self.env()),
             CcScheme::Mvcc => mvcc::commit(&mut self.env()),
             CcScheme::Occ => {
@@ -592,6 +705,9 @@ impl WorkerCtx {
                 occ::commit(&mut self.env())
             }
             CcScheme::HStore => {
+                // WAL commit point: the partitions are still owned.
+                self.db
+                    .wal_commit_point_csn(self.worker, &mut self.st, &mut self.stats);
                 hstore::commit(&mut self.env());
                 Ok(())
             }
@@ -617,6 +733,15 @@ impl WorkerCtx {
         };
         match result {
             Ok(()) => {
+                // The redo record was appended at the scheme's WAL commit
+                // point, inside its exclusion window and before this
+                // worker exits its epoch slot (finish) — the group-commit
+                // horizon can never fence past a committed-but-unappended
+                // record.
+                debug_assert!(
+                    self.st.redo.is_empty() || self.db.wal.is_none() || self.st.log_epoch != 0,
+                    "scheme committed a write set without passing its WAL commit point"
+                );
                 self.finish();
                 Ok(())
             }
@@ -653,7 +778,8 @@ impl WorkerCtx {
         if self.db.cfg.scheme == CcScheme::DlDetect {
             self.db.waits.clear_active(self.worker);
         }
-        if matches!(self.db.cfg.scheme, CcScheme::Silo | CcScheme::TicToc) {
+        if matches!(self.db.cfg.scheme, CcScheme::Silo | CcScheme::TicToc) || self.db.wal.is_some()
+        {
             self.db.epoch.exit(self.worker);
         }
         self.st.reset(&mut self.pool);
@@ -766,6 +892,24 @@ impl BenchOutcome {
 /// A per-worker transaction stream.
 type Generator = Box<dyn FnMut() -> abyss_common::TxnTemplate + Send>;
 
+/// Driver epilogue when logging is on: record the durable-epoch lag the
+/// run ended with (group-commit ack latency, in epochs), then run the
+/// clean-shutdown flush (workers are joined ⇒ quiescent) and export the
+/// flush counters. `base` is the counter snapshot taken when the
+/// measurement window opened (after warmup), so the exported flush/fsync
+/// counts cover the same window as the workers' warmup-reset
+/// `log_records`/`log_bytes` — not the process lifetime.
+fn finalize_wal(db: &Arc<Database>, stats: &mut RunStats, base: Option<abyss_storage::WalStats>) {
+    if let Some(w) = db.wal_stats() {
+        stats.durable_epoch_lag = db.epoch_manager().current().saturating_sub(w.durable_epoch);
+        db.log_flush_all();
+        let w = db.wal_stats().expect("wal stats present");
+        let base = base.unwrap_or_default();
+        stats.log_flushes = w.flushes.saturating_sub(base.flushes);
+        stats.log_fsyncs = w.fsyncs.saturating_sub(base.fsyncs);
+    }
+}
+
 /// The shared benchmark scaffolding: spawn one thread per worker running
 /// `body` against its generator, run `control` on the spawning thread
 /// (e.g. a stop-flag timer), then join and merge every worker's stats.
@@ -812,6 +956,9 @@ pub fn run_workers(
     let stop = AtomicBool::new(false);
     let start = Instant::now();
     let warm_deadline = start + warmup;
+    // WAL counter snapshot at the warmup boundary, so the exported
+    // flush/fsync counts match the workers' warmup-reset statistics.
+    let warm_base = std::sync::Mutex::new(None);
     let stats = drive_workers(
         db,
         generators,
@@ -829,13 +976,18 @@ pub fn run_workers(
             }
             ctx.stats.elapsed = measured_start.elapsed().as_nanos() as u64;
         },
-        // Timer on the spawning thread: arm the stop flag when the
-        // measurement ends.
+        // Timer on the spawning thread: snapshot the WAL counters when
+        // the warmup ends, arm the stop flag when the measurement ends.
         || {
-            std::thread::sleep(warmup + measure);
+            std::thread::sleep(warmup);
+            *warm_base.lock().unwrap() = db.wal_stats();
+            std::thread::sleep(measure);
             stop.store(true, Ordering::Relaxed);
         },
     );
+    let mut stats = stats;
+    let base = warm_base.lock().unwrap().take();
+    finalize_wal(db, &mut stats, base);
     BenchOutcome {
         stats,
         wall: start.elapsed().saturating_sub(warmup),
@@ -869,6 +1021,9 @@ pub fn run_workers_bounded(
         },
         || {},
     );
+    let mut stats = stats;
+    // No warmup reset here: the whole bounded run is the window.
+    finalize_wal(db, &mut stats, None);
     BenchOutcome {
         stats,
         wall: start.elapsed(),

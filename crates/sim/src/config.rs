@@ -5,6 +5,30 @@ use abyss_common::{CcScheme, TsMethod};
 use crate::cost::{us_to_cycles, CostModel};
 use crate::kernel::Cycles;
 
+/// How the simulated commit path models durability (`fig_durability`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimDurability {
+    /// The paper's setting: no logging cost anywhere.
+    Off,
+    /// Epoch group commit: each commit pays only the worker-local buffer
+    /// append for its redo record; the flush amortizes over the epoch.
+    GroupCommit,
+    /// Classical per-commit force: append plus one `log_fsync` before
+    /// the commit is acknowledged.
+    PerCommitFsync,
+}
+
+impl SimDurability {
+    /// Short lower-case label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimDurability::Off => "off",
+            SimDurability::GroupCommit => "group",
+            SimDurability::PerCommitFsync => "fsync",
+        }
+    }
+}
+
 /// Configuration of one simulated run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -31,6 +55,8 @@ pub struct SimConfig {
     /// H-STORE partition count (= cores for YCSB §5.5; = warehouses for
     /// TPC-C §5.6).
     pub hstore_parts: u32,
+    /// Durability mode of the commit path.
+    pub durability: SimDurability,
     /// Base RNG seed (runs are deterministic in config + seed).
     pub seed: u64,
 }
@@ -53,6 +79,7 @@ impl SimConfig {
             } else {
                 1
             },
+            durability: SimDurability::Off,
             seed: 0xABBA_5EED,
         }
     }

@@ -90,6 +90,14 @@ pub struct CostModel {
     /// scalability tax *distributed* (per-tuple lines) rather than a
     /// single allocator line like the T/O schemes.
     pub rts_extend_base: u64,
+    /// Copying a commit's redo record into the worker-private log buffer,
+    /// per 100 bytes. Flat (core-local memcpy, one shard per worker —
+    /// exactly why epoch group commit survives 1024 cores).
+    pub log_append_per_100b: u64,
+    /// Forcing a log shard to its device (`fsync`): the per-commit price
+    /// of the classical force policy. Device latency, not mesh traffic —
+    /// flat in the core count but enormous next to a transaction.
+    pub log_fsync: u64,
 }
 
 impl Default for CostModel {
@@ -113,6 +121,10 @@ impl Default for CostModel {
             epoch_read: 12,
             scan_entry: 60,
             rts_extend_base: 22,
+            log_append_per_100b: 16,
+            // 100 µs at 1 GHz — a fast NVMe flush; spinning media or
+            // cloud block stores are far worse.
+            log_fsync: 100_000,
         }
     }
 }
@@ -243,6 +255,19 @@ impl BoundCosts {
     #[inline]
     pub fn undo_cost(&self, work: u64) -> u64 {
         work * self.model.undo_permille / 1000
+    }
+
+    /// Appending a `bytes`-byte redo record to the worker-private log
+    /// buffer. Flat in the core count (no shared line is touched).
+    #[inline]
+    pub fn log_append(&self, bytes: usize) -> u64 {
+        (bytes as u64).div_ceil(100) * self.model.log_append_per_100b
+    }
+
+    /// One per-commit log force.
+    #[inline]
+    pub fn log_fsync(&self) -> u64 {
+        self.model.log_fsync
     }
 }
 

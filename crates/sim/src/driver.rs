@@ -116,6 +116,105 @@ pub fn run_sim_full(
 }
 
 #[cfg(test)]
+mod durability_tests {
+    use abyss_common::rng::Xoshiro256;
+    use abyss_common::{AccessOp, AccessSpec, CcScheme, TxnTemplate};
+
+    use crate::config::{SimConfig, SimDurability};
+    use crate::db::SimTable;
+    use crate::run_sim;
+
+    fn gen(seed: u64, rows: u64, reqs: usize, write_pct: f64) -> Box<dyn FnMut() -> TxnTemplate> {
+        let mut rng = Xoshiro256::seed_from(seed);
+        Box::new(move || {
+            let mut acc = Vec::with_capacity(reqs);
+            let mut keys = Vec::with_capacity(reqs);
+            while keys.len() < reqs {
+                let k = rng.next_below(rows);
+                if !keys.contains(&k) {
+                    keys.push(k);
+                }
+            }
+            for &k in &keys {
+                let op = if rng.chance(write_pct) {
+                    AccessOp::Update
+                } else {
+                    AccessOp::Read
+                };
+                acc.push(AccessSpec::fixed(0, k, op));
+            }
+            TxnTemplate::new(acc)
+        })
+    }
+
+    fn point(scheme: CcScheme, cores: u32, durability: SimDurability) -> f64 {
+        let mut cfg = SimConfig::new(scheme, cores);
+        cfg.durability = durability;
+        cfg.warmup = 100_000;
+        cfg.measure = 2_000_000;
+        let gens = (0..cores)
+            .map(|c| gen(0xD0_0D ^ u64::from(c), 200_000, 8, 0.5))
+            .collect();
+        let r = run_sim(
+            cfg,
+            vec![SimTable {
+                row_size: 1_000,
+                counter_init: 0,
+            }],
+            gens,
+        );
+        r.txn_per_sec()
+    }
+
+    /// The fig_durability shape, pinned deterministically: group commit
+    /// recovers ≥ 80% of logging-off throughput at 1024 cores; the
+    /// per-commit force does not (its fsync dwarfs the transaction).
+    #[test]
+    fn group_commit_escapes_the_fsync_ceiling_at_1024_cores() {
+        for scheme in [CcScheme::Silo, CcScheme::NoWait] {
+            let off = point(scheme, 1024, SimDurability::Off);
+            let group = point(scheme, 1024, SimDurability::GroupCommit);
+            let fsync = point(scheme, 1024, SimDurability::PerCommitFsync);
+            assert!(off > 0.0 && group > 0.0 && fsync > 0.0);
+            assert!(
+                group >= 0.8 * off,
+                "{scheme}: group commit lost too much ({group:.0} vs off {off:.0})"
+            );
+            assert!(
+                fsync < 0.8 * off,
+                "{scheme}: per-commit fsync suspiciously cheap ({fsync:.0} vs off {off:.0})"
+            );
+            assert!(
+                fsync < group,
+                "{scheme}: force policy must trail group commit"
+            );
+        }
+    }
+
+    /// Read-only transactions log nothing, so durability costs them
+    /// nothing either.
+    #[test]
+    fn read_only_commits_pay_no_log_cost() {
+        let mut cfg = SimConfig::new(CcScheme::NoWait, 4);
+        cfg.durability = SimDurability::PerCommitFsync;
+        cfg.warmup = 50_000;
+        cfg.measure = 500_000;
+        let gens = (0..4u64).map(|c| gen(0xBEEF ^ c, 10_000, 4, 0.0)).collect();
+        let r = run_sim(
+            cfg,
+            vec![SimTable {
+                row_size: 1_000,
+                counter_init: 0,
+            }],
+            gens,
+        );
+        assert!(r.stats.commits > 0);
+        assert_eq!(r.stats.log_records, 0, "read-only run must not log");
+        assert_eq!(r.stats.log_bytes, 0);
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use abyss_common::rng::Xoshiro256;

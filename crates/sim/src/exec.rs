@@ -14,7 +14,7 @@ use abyss_common::stats::Category;
 use abyss_common::txn::MAX_COUNTER_SLOTS;
 use abyss_common::{AbortReason, AccessOp, CcScheme, Key, RunStats, Ts, TxnId, TxnTemplate};
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, SimDurability};
 use crate::cost::BoundCosts;
 use crate::db::{Mode, SimDb, SimOwner, SimPart, SimWaiter, TupleCc};
 use crate::kernel::{Cycles, EventKind, EventQueue};
@@ -1166,18 +1166,58 @@ impl Sim {
         }
     }
 
+    /// Durability cost of the transaction committing on `ci`: the redo
+    /// record's worker-local buffer append, plus the per-commit force
+    /// under [`SimDurability::PerCommitFsync`]. Read-only commits log
+    /// nothing. This is the cost the `fig_durability` sweeps expose: the
+    /// append is flat and tiny (group commit tracks the logging-off
+    /// ceiling) while the per-commit fsync dwarfs the transaction itself.
+    fn durability_cost(&mut self, ci: usize) -> u64 {
+        if self.cfg.durability == SimDurability::Off {
+            return 0;
+        }
+        let bytes: usize = {
+            // The template is the scheme-independent source of the write
+            // set (2PL/H-STORE write in place, the buffered schemes via
+            // wbuf/pending_inserts — all of it originates here).
+            let t = &self.cores[ci].txn;
+            let per_op = 25usize; // op header
+            let body: usize = t
+                .tmpl
+                .accesses
+                .iter()
+                .filter(|a| a.op.is_write())
+                .map(|a| self.db.row_size(a.table) + per_op)
+                .sum();
+            if body == 0 {
+                return 0; // read-only commits log nothing
+            }
+            body + 28 // record frame + header
+        };
+        let mut cost = self.costs.log_append(bytes);
+        if self.cfg.durability == SimDurability::PerCommitFsync {
+            cost += self.costs.log_fsync();
+        }
+        let c = &mut self.cores[ci];
+        c.stats.log_records += 1;
+        c.stats.log_bytes += bytes as u64;
+        cost
+    }
+
     /// Commit bookkeeping phase; returns true if the caller should stop.
     fn commit_start(&mut self, ci: usize, now: Cycles) -> bool {
         match self.cfg.scheme {
             CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
-                let cost = self.costs.release_cost(self.cores[ci].txn.held.len());
+                let cost = self.costs.release_cost(self.cores[ci].txn.held.len())
+                    + self.durability_cost(ci);
                 self.charge(ci, Category::Manager, cost);
                 self.cores[ci].phase = Phase::CommitDone;
                 self.sched(ci, now + cost);
                 true
             }
             CcScheme::HStore => {
-                let cost = self.costs.release_cost(self.cores[ci].txn.parts_held.len());
+                let cost = self.costs.release_cost(self.cores[ci].txn.parts_held.len())
+                    + self.durability_cost(ci);
                 self.charge(ci, Category::Manager, cost);
                 self.cores[ci].phase = Phase::CommitDone;
                 self.sched(ci, now + cost);
@@ -1193,8 +1233,10 @@ impl Sim {
                         .sum();
                     (t.prewrites.len(), t.pending_inserts.len(), rows)
                 };
-                let cost =
-                    self.costs.release_cost(nw) + rows + ni as u64 * self.costs.index_probe();
+                let cost = self.costs.release_cost(nw)
+                    + rows
+                    + ni as u64 * self.costs.index_probe()
+                    + self.durability_cost(ci);
                 self.charge(ci, Category::Manager, cost);
                 self.cores[ci].phase = Phase::CommitDone;
                 self.sched(ci, now + cost);
@@ -1274,13 +1316,14 @@ impl Sim {
         }
         let validate = self.costs.validate_cost(rset.len(), wbuf.len());
         if ok {
+            let durability = self.durability_cost(ci);
             let install: u64 = wbuf
                 .iter()
                 .map(|w| self.costs.copy_cost(self.db.row_size(w.table)))
                 .sum();
             let inserts =
                 self.cores[ci].txn.pending_inserts.len() as u64 * self.costs.index_probe();
-            let mut cost = validate + install + inserts;
+            let mut cost = validate + install + inserts + durability;
             if self.cfg.scheme == CcScheme::TicToc && !wbuf.is_empty() {
                 // TICTOC: the writes drive the computed commit timestamp
                 // past the read set's rts windows, so each pure read is

@@ -33,7 +33,7 @@ pub mod kernel;
 pub mod topology;
 pub mod tsalloc;
 
-pub use config::SimConfig;
+pub use config::{SimConfig, SimDurability};
 pub use cost::{CostModel, FREQ_HZ};
 pub use db::{SimDb, SimTable};
 pub use driver::{run_sim, run_sim_full, SimReport};

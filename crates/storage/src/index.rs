@@ -95,6 +95,18 @@ impl HashIndex {
         self.len() == 0
     }
 
+    /// Visit every `(key, row)` pair, bucket by bucket (each bucket is
+    /// latched for the duration of its visit). Order is arbitrary.
+    /// Diagnostics and quiescent walks (state digests, recovery checks) —
+    /// not for hot paths.
+    pub fn for_each(&self, mut f: impl FnMut(Key, RowIdx)) {
+        for b in self.buckets.iter() {
+            for &(k, r) in &b.lock().entries {
+                f(k, r);
+            }
+        }
+    }
+
     /// Length of the longest chain (diagnostics; load-factor checks).
     pub fn max_chain(&self) -> usize {
         self.buckets

@@ -15,6 +15,8 @@
 //!   for phantom protection.
 //! * [`mempool`] — per-thread, dynamically resized block pools.
 //! * [`partition`] — key → partition maps for the H-STORE scheme.
+//! * [`wal`] — per-worker redo logs with epoch group commit and
+//!   torn-tail-safe recovery scanning.
 
 pub mod btree;
 pub mod catalog;
@@ -23,6 +25,7 @@ pub mod mempool;
 pub mod partition;
 pub mod row;
 pub mod table;
+pub mod wal;
 
 pub use btree::{BPlusTree, BtreeHealth, LeafId, ScanResult};
 pub use catalog::{Catalog, ColumnDef, Schema, TableDef};
@@ -30,3 +33,4 @@ pub use index::HashIndex;
 pub use mempool::MemPool;
 pub use partition::PartitionMap;
 pub use table::Table;
+pub use wal::{FsyncPolicy, WalSet, WalStats};

@@ -114,14 +114,39 @@ impl MemPool {
     /// Allocate a zero-initialized block of at least `size` bytes.
     pub fn alloc(&mut self, size: usize) -> PoolBlock {
         let class = Self::class_for(size);
+        if let Some(mut buf) = self.free[class].pop() {
+            // Recycled blocks come back with their previous contents
+            // (`free` defers the cost); rezero here so the documented
+            // zero-init contract holds — a shorter row reusing a larger
+            // block must not expose a previous row's bytes through
+            // `PoolBlock::as_slice`.
+            buf.fill(0);
+            self.stats.hits += 1;
+            self.stats.cached -= 1;
+            return PoolBlock { buf, class };
+        }
+        self.refill(class)
+    }
+
+    /// Allocate a block of at least `size` bytes **without** the zero-init
+    /// guarantee: a recycled block keeps its previous contents. Strictly
+    /// for callers that overwrite every byte they will ever read (full-row
+    /// copies on hot paths); anything that exposes unwritten bytes must
+    /// use [`MemPool::alloc`].
+    pub fn alloc_uninit(&mut self, size: usize) -> PoolBlock {
+        let class = Self::class_for(size);
         if let Some(buf) = self.free[class].pop() {
             self.stats.hits += 1;
             self.stats.cached -= 1;
             return PoolBlock { buf, class };
         }
-        // Miss: refill a batch from the global allocator, then double the
-        // batch so workloads that burn through a class amortize better —
-        // the paper's dynamic pool resizing.
+        self.refill(class)
+    }
+
+    /// Miss path shared by both allocators: fetch a doubling batch from
+    /// the global allocator (the paper's dynamic pool resizing). Fresh
+    /// blocks from here are always zeroed.
+    fn refill(&mut self, class: usize) -> PoolBlock {
         self.stats.misses += 1;
         let n = self.batch[class];
         self.batch[class] = (n * 2).min(4096);
@@ -137,7 +162,8 @@ impl MemPool {
         }
     }
 
-    /// Return a block to its free list. The contents are *not* rezeroed.
+    /// Return a block to its free list. The contents are rezeroed lazily,
+    /// on reuse (see [`MemPool::alloc`]), so dead blocks cost nothing.
     pub fn free(&mut self, block: PoolBlock) {
         self.stats.cached += 1;
         self.free[block.class].push(block.buf);
@@ -200,6 +226,46 @@ mod tests {
             p.stats().refilled_blocks,
             (INITIAL_BATCH + INITIAL_BATCH * 2) as u64
         );
+    }
+
+    #[test]
+    fn alloc_uninit_recycles_without_the_zeroing_cost() {
+        let mut p = MemPool::new();
+        let mut a = p.alloc_uninit(64);
+        a.as_mut_slice().fill(0xAA);
+        p.free(a);
+        // The uninit variant may (and here does) expose the old bytes —
+        // its contract is "overwrite everything you read".
+        let b = p.alloc_uninit(64);
+        assert_eq!(b[0], 0xAA);
+        p.free(b);
+        // The zeroing allocator still honours its contract afterwards.
+        let c = p.alloc(64);
+        assert!(c.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn recycled_block_does_not_leak_previous_payload() {
+        // Regression: a 100-byte "row" and a 65-byte "row" share the
+        // 128-byte class. Without the rezero-on-reuse, the second
+        // allocation exposed bytes 65..100 of the first row.
+        let mut p = MemPool::new();
+        let mut a = p.alloc(100);
+        a.as_mut_slice().fill(0xEE);
+        p.free(a);
+        let b = p.alloc(65);
+        assert_eq!(b.capacity(), 128);
+        assert!(
+            b.iter().all(|&x| x == 0),
+            "recycled block leaked stale bytes"
+        );
+        p.free(b);
+        // And again across a second recycle round, with a full-class row.
+        let mut c = p.alloc(128);
+        c.as_mut_slice().fill(0x55);
+        p.free(c);
+        let d = p.alloc(70);
+        assert!(d.iter().all(|&x| x == 0));
     }
 
     #[test]

@@ -1,0 +1,755 @@
+//! Write-ahead logging: per-worker redo logs with epoch group commit.
+//!
+//! The paper evaluates concurrency control with durability switched off;
+//! every production main-memory system pairs its CC scheme with logging —
+//! Hekaton flushes transaction-local redo buffers at commit, Silo's SiloR
+//! logger amortizes the flush over *epochs*. This module is the storage
+//! half of that design:
+//!
+//! * **Value logging, one shard per worker.** Each committed transaction
+//!   appends one record — its commit epoch, a scheme-provided serial
+//!   number, and the after-images of its write set (puts and deletes by
+//!   primary key) — to its worker's private shard. No cross-worker
+//!   coordination on the append path, mirroring the engine's
+//!   one-worker-per-core model.
+//! * **Epoch group commit.** A background flusher drains every shard and
+//!   publishes a *durable epoch* `D`: the newest epoch `e` such that every
+//!   record with epoch `≤ e` from every shard has reached the log device.
+//!   A commit is acknowledged durable once its epoch is `≤ D`. The
+//!   horizon comes from the engine's epoch quiescence protocol
+//!   (`safe_epoch`), the same serialization-point-free watermark SILO
+//!   commits with.
+//! * **Torn-tail recovery.** Records are framed with a length + checksum;
+//!   a crash mid-write leaves a tail that fails the checksum and is
+//!   truncated. Replay applies records in `(epoch, seq)` order up to the
+//!   recovery bound — idempotent, last-writer-wins.
+//!
+//! The engine-side protocol (who calls what, and why the horizon is
+//! sound) lives in `abyss-core`; this module only knows bytes and files.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use abyss_common::fxhash::hash_bytes;
+use abyss_common::{Key, TableId};
+use parking_lot::Mutex;
+
+/// Shard file name prefix: `wal-<worker>.log`.
+pub const SHARD_PREFIX: &str = "wal-";
+/// Shard file name suffix.
+pub const SHARD_SUFFIX: &str = ".log";
+/// Durable-epoch meta file name.
+pub const META_FILE: &str = "wal.meta";
+
+/// Magic bytes opening every shard file.
+const FILE_MAGIC: &[u8; 8] = b"ABYSSWAL";
+/// On-disk format version.
+const FILE_VERSION: u32 = 1;
+/// Shard header: magic + version + worker id.
+const HEADER_LEN: u64 = 8 + 4 + 4;
+/// Byte length of a shard file's header — the smallest valid shard, and
+/// the truncation floor recovery may cut a shard back to.
+pub const HEADER_BYTES: u64 = HEADER_LEN;
+/// Frame prefix: body length (u32) + body checksum (u64).
+const FRAME_LEN: usize = 4 + 8;
+/// Upper bound on a single record body — anything larger is treated as a
+/// torn/corrupt frame instead of a gigabyte allocation.
+const MAX_BODY: u32 = 1 << 28;
+
+/// When (and whether) log writes are forced to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsyncPolicy {
+    /// Buffered writes only, never fsynced — group commit without sync
+    /// (the ablation baseline; an OS crash can lose epochs the watermark
+    /// already claimed durable).
+    Never,
+    /// fsync once per group flush: durability lags by at most one epoch
+    /// group (SiloR's design point).
+    Group,
+    /// fsync inside every commit before it is acknowledged — the
+    /// classical per-commit force policy the group-commit design exists
+    /// to beat.
+    EveryCommit,
+}
+
+impl FsyncPolicy {
+    /// Short lower-case label for JSON/benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FsyncPolicy::Never => "never",
+            FsyncPolicy::Group => "group",
+            FsyncPolicy::EveryCommit => "every_commit",
+        }
+    }
+}
+
+/// One write-set operation of a commit record, borrowing the after-image.
+#[derive(Debug, Clone, Copy)]
+pub enum LogOp<'a> {
+    /// Insert-or-update `key` with this after-image.
+    Put {
+        /// Target table.
+        table: TableId,
+        /// Primary key.
+        key: Key,
+        /// The committed row bytes.
+        image: &'a [u8],
+    },
+    /// Delete `key`.
+    Del {
+        /// Target table.
+        table: TableId,
+        /// Primary key.
+        key: Key,
+    },
+}
+
+/// A decoded write-set operation (owning variant of [`LogOp`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecOp {
+    /// Insert-or-update `key` with the stored after-image.
+    Put {
+        /// Target table.
+        table: TableId,
+        /// Primary key.
+        key: Key,
+        /// The committed row bytes.
+        image: Vec<u8>,
+    },
+    /// Delete `key`.
+    Del {
+        /// Target table.
+        table: TableId,
+        /// Primary key.
+        key: Key,
+    },
+}
+
+/// A decoded commit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The commit epoch (read at the transaction's serialization point).
+    pub epoch: u64,
+    /// Scheme-provided serial number; within an epoch, records touching
+    /// the same key replay in increasing `seq` (last-writer-wins).
+    pub seq: u64,
+    /// Byte offset one past this record in its shard file — the
+    /// truncation point if the recovery bound excludes its successors.
+    pub end_offset: u64,
+    /// The write set, in transaction-execution order.
+    pub ops: Vec<RecOp>,
+}
+
+/// Everything decoded from one shard file.
+#[derive(Debug)]
+pub struct ShardScan {
+    /// The shard file.
+    pub path: PathBuf,
+    /// Worker id stored in the shard header.
+    pub worker: u32,
+    /// Complete, checksum-valid records in append order.
+    pub records: Vec<Record>,
+    /// True when the file ended in a torn or corrupt frame (the tail
+    /// after the last valid record is garbage).
+    pub torn: bool,
+    /// Byte length of the valid prefix (header + intact records).
+    pub valid_len: u64,
+}
+
+/// Counters the stats surface exports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Commit records appended.
+    pub records: u64,
+    /// Bytes appended (frame + body).
+    pub bytes: u64,
+    /// Buffer drains to the OS (write syscalls batches).
+    pub flushes: u64,
+    /// fsync calls issued.
+    pub fsyncs: u64,
+    /// The published durable epoch.
+    pub durable_epoch: u64,
+    /// A log write/sync failed (disk full, EIO): appends are dropped and
+    /// the durable epoch is frozen — nothing is falsely claimed durable.
+    pub failed: bool,
+}
+
+/// One worker's shard: the open file plus its in-memory append buffer.
+#[derive(Debug)]
+struct WalShard {
+    file: File,
+    buf: Vec<u8>,
+    /// Newest epoch this shard is known flushed (and, per policy, synced)
+    /// through.
+    flushed_epoch: u64,
+    /// Bytes were written since the last fsync (skip no-op syncs).
+    wrote_since_fsync: bool,
+}
+
+/// The shared log: per-worker shards, the durable-epoch watermark, and
+/// the flush machinery. One instance per database.
+#[derive(Debug)]
+pub struct WalSet {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    group_max_bytes: usize,
+    shards: Box<[Mutex<WalShard>]>,
+    /// Serializes group flushes against each other: the drain → sync →
+    /// advance-watermark sequence must not interleave between two
+    /// flushers, or one could publish a horizon whose bytes the other
+    /// has written but not yet synced.
+    flush_gate: Mutex<()>,
+    durable: AtomicU64,
+    /// Poisoned by the first I/O failure. A panic here would either be
+    /// swallowed by the background flusher thread (silently freezing the
+    /// durable epoch while the engine keeps claiming success) or take a
+    /// worker down mid-commit — instead the set drops further appends,
+    /// freezes the watermark, and reports through [`WalStats::failed`].
+    failed: AtomicBool,
+    records: AtomicU64,
+    bytes: AtomicU64,
+    flushes: AtomicU64,
+    fsyncs: AtomicU64,
+}
+
+impl WalSet {
+    /// Open (creating as needed) `workers` shard files under `dir`.
+    /// Reopening an existing directory resumes its durable epoch from the
+    /// meta file; appends continue at the end of each shard.
+    pub fn open(
+        dir: &Path,
+        workers: u32,
+        policy: FsyncPolicy,
+        group_max_bytes: usize,
+    ) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut shards = Vec::with_capacity(workers as usize);
+        for w in 0..workers {
+            let path = shard_path(dir, w);
+            let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+            if file.metadata()?.len() < HEADER_LEN {
+                // Fresh (or unusably short) shard: start clean.
+                file.set_len(0)?;
+                file.write_all(FILE_MAGIC)?;
+                file.write_all(&FILE_VERSION.to_le_bytes())?;
+                file.write_all(&w.to_le_bytes())?;
+            }
+            shards.push(Mutex::new(WalShard {
+                file,
+                buf: Vec::new(),
+                flushed_epoch: 0,
+                wrote_since_fsync: false,
+            }));
+        }
+        let durable = read_meta(dir).unwrap_or(0);
+        for s in &shards {
+            s.lock().flushed_epoch = durable;
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            policy,
+            group_max_bytes: group_max_bytes.max(1),
+            shards: shards.into_boxed_slice(),
+            flush_gate: Mutex::new(()),
+            durable: AtomicU64::new(durable),
+            failed: AtomicBool::new(false),
+            records: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+        })
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The newest epoch every shard is flushed through: commits with
+    /// epochs `≤` this are durable (to the limit of [`FsyncPolicy`]).
+    pub fn durable_epoch(&self) -> u64 {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            records: self.records.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            durable_epoch: self.durable_epoch(),
+            failed: self.is_failed(),
+        }
+    }
+
+    /// Has a log write/sync failed? Once true, appends are dropped and
+    /// the durable epoch never advances again.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Record the first I/O failure (idempotent; logs once).
+    fn poison(&self, what: &str, e: &std::io::Error) {
+        if !self.failed.swap(true, Ordering::AcqRel) {
+            eprintln!(
+                "abyss-wal: {what} failed: {e}; logging disabled, durable epoch frozen at {}",
+                self.durable_epoch()
+            );
+        }
+    }
+
+    /// Append one commit record to `worker`'s shard. Returns the bytes
+    /// appended. Under [`FsyncPolicy::EveryCommit`] the record is written
+    /// and fsynced before this returns (the commit is durable at return);
+    /// otherwise it is buffered until the next group flush, or drained
+    /// early (without sync) once the buffer passes `group_max_bytes`.
+    pub fn append_commit(&self, worker: u32, epoch: u64, seq: u64, ops: &[LogOp<'_>]) -> usize {
+        if self.is_failed() {
+            return 0; // poisoned: drop the append, never claim durability
+        }
+        let mut shard = self.shards[worker as usize].lock();
+        let start = shard.buf.len();
+        encode_record(&mut shard.buf, epoch, seq, ops);
+        let appended = shard.buf.len() - start;
+        self.records.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(appended as u64, Ordering::Relaxed);
+        if self.policy == FsyncPolicy::EveryCommit {
+            self.drain(&mut shard, true);
+            shard.flushed_epoch = shard.flushed_epoch.max(epoch);
+        } else if shard.buf.len() >= self.group_max_bytes {
+            // Early drain keeps the buffer bounded; durability (the
+            // flushed-epoch advance + sync) still waits for the group
+            // fence.
+            self.drain(&mut shard, false);
+        }
+        appended
+    }
+
+    /// Group-commit fence: drain every shard, sync (per policy) with the
+    /// shard locks **released** — an fsync must never stall that worker's
+    /// appends — then mark each shard flushed through `horizon` and
+    /// publish the new durable epoch (the minimum over shards) to the
+    /// meta file.
+    ///
+    /// Soundness contract (upheld by the engine): every record *not yet
+    /// appended* when this call starts carries an epoch `> horizon` — so
+    /// records racing in during the sync phase are beyond the horizon and
+    /// need not be on the device for the watermark to advance.
+    pub fn group_flush(&self, horizon: u64) {
+        let _gate = self.flush_gate.lock();
+        if self.is_failed() {
+            return; // poisoned: the watermark stays frozen
+        }
+        // Phase 1 — drain each shard's buffer to the OS (brief lock).
+        let mut to_sync: Vec<File> = Vec::new();
+        for shard in self.shards.iter() {
+            let mut s = shard.lock();
+            self.drain(&mut s, false);
+            if self.policy != FsyncPolicy::Never && s.wrote_since_fsync {
+                match s.file.try_clone() {
+                    Ok(f) => {
+                        to_sync.push(f);
+                        s.wrote_since_fsync = false;
+                    }
+                    Err(e) => self.poison("shard handle clone", &e),
+                }
+            }
+        }
+        // Phase 2 — force the drained bytes, no shard lock held.
+        for f in to_sync {
+            if let Err(e) = f.sync_data() {
+                self.poison("shard fsync", &e);
+            } else {
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if self.is_failed() {
+            return; // a failed drain/sync must not advance the watermark
+        }
+        // Phase 3 — advance the per-shard watermarks and the global one.
+        let mut min_flushed = u64::MAX;
+        for shard in self.shards.iter() {
+            let mut s = shard.lock();
+            s.flushed_epoch = s.flushed_epoch.max(horizon);
+            min_flushed = min_flushed.min(s.flushed_epoch);
+        }
+        if min_flushed == u64::MAX {
+            return;
+        }
+        let prev = self.durable.fetch_max(min_flushed, Ordering::AcqRel);
+        if min_flushed > prev {
+            if let Err(e) = self.write_meta(self.durable_epoch()) {
+                self.poison("meta write", &e);
+            }
+        }
+    }
+
+    /// Clean shutdown: the caller guarantees no worker is mid-commit, so
+    /// everything buffered belongs to epochs `≤ current_epoch` and the
+    /// whole log can be declared durable through it.
+    pub fn flush_all_quiescent(&self, current_epoch: u64) {
+        self.group_flush(current_epoch);
+    }
+
+    /// Drain one shard's buffer to the OS, optionally fsyncing. I/O
+    /// failure poisons the set instead of panicking (a panic would be
+    /// swallowed in the flusher thread or kill a worker mid-commit).
+    fn drain(&self, shard: &mut WalShard, sync: bool) {
+        if !shard.buf.is_empty() {
+            if let Err(e) = shard.file.write_all(&shard.buf) {
+                shard.buf.clear();
+                self.poison("shard write", &e);
+                return;
+            }
+            shard.buf.clear();
+            shard.wrote_since_fsync = true;
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        if sync && shard.wrote_since_fsync {
+            if let Err(e) = shard.file.sync_data() {
+                self.poison("shard fsync", &e);
+                return;
+            }
+            shard.wrote_since_fsync = false;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Persist the durable epoch: write-to-temp, sync, rename — a crash
+    /// leaves either the old or the new meta, never a torn one.
+    fn write_meta(&self, durable: u64) -> std::io::Result<()> {
+        let tmp = self.dir.join(format!("{META_FILE}.tmp"));
+        let mut f = File::create(&tmp)?;
+        writeln!(f, "durable_epoch={durable}")?;
+        if self.policy != FsyncPolicy::Never {
+            f.sync_data()?;
+        }
+        drop(f);
+        std::fs::rename(&tmp, self.dir.join(META_FILE))
+    }
+}
+
+/// Path of `worker`'s shard under `dir`.
+pub fn shard_path(dir: &Path, worker: u32) -> PathBuf {
+    dir.join(format!("{SHARD_PREFIX}{worker}{SHARD_SUFFIX}"))
+}
+
+/// Read the persisted durable epoch, if a meta file exists and parses.
+pub fn read_meta(dir: &Path) -> Option<u64> {
+    let text = std::fs::read_to_string(dir.join(META_FILE)).ok()?;
+    text.lines()
+        .find_map(|l| l.strip_prefix("durable_epoch="))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Append one framed record to `out`.
+fn encode_record(out: &mut Vec<u8>, epoch: u64, seq: u64, ops: &[LogOp<'_>]) {
+    let frame_at = out.len();
+    out.extend_from_slice(&[0u8; FRAME_LEN]); // len + crc, patched below
+    let body_at = out.len();
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        match *op {
+            LogOp::Put { table, key, image } => {
+                out.push(1);
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&(image.len() as u32).to_le_bytes());
+                out.extend_from_slice(image);
+            }
+            LogOp::Del { table, key } => {
+                out.push(2);
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&key.to_le_bytes());
+            }
+        }
+    }
+    let body_len = (out.len() - body_at) as u32;
+    let crc = hash_bytes(&out[body_at..]);
+    out[frame_at..frame_at + 4].copy_from_slice(&body_len.to_le_bytes());
+    out[frame_at + 4..frame_at + FRAME_LEN].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Little-endian field readers over a byte cursor; `None` = torn.
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Some(head)
+}
+
+fn take_u32(buf: &mut &[u8]) -> Option<u32> {
+    take(buf, 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Option<u64> {
+    take(buf, 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+}
+
+/// Decode one record body (after its frame validated).
+fn decode_body(mut body: &[u8]) -> Option<(u64, u64, Vec<RecOp>)> {
+    let epoch = take_u64(&mut body)?;
+    let seq = take_u64(&mut body)?;
+    let nops = take_u32(&mut body)?;
+    let mut ops = Vec::with_capacity(nops as usize);
+    for _ in 0..nops {
+        let kind = take(&mut body, 1)?[0];
+        let table = take_u32(&mut body)?;
+        let key = take_u64(&mut body)?;
+        match kind {
+            1 => {
+                let len = take_u32(&mut body)? as usize;
+                let image = take(&mut body, len)?.to_vec();
+                ops.push(RecOp::Put { table, key, image });
+            }
+            2 => ops.push(RecOp::Del { table, key }),
+            _ => return None,
+        }
+    }
+    if !body.is_empty() {
+        return None; // trailing garbage inside a "valid" frame
+    }
+    Some((epoch, seq, ops))
+}
+
+/// Decode one shard file: every complete, checksum-valid record of the
+/// prefix. Stops (marking `torn`) at the first bad frame — framing is
+/// lost from there on, which is exactly the crash-tail case.
+pub fn scan_shard(path: &Path) -> std::io::Result<ShardScan> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    let mut scan = ShardScan {
+        path: path.to_path_buf(),
+        worker: 0,
+        records: Vec::new(),
+        torn: false,
+        valid_len: 0,
+    };
+    if raw.len() < HEADER_LEN as usize || &raw[..8] != FILE_MAGIC {
+        scan.torn = !raw.is_empty();
+        return Ok(scan);
+    }
+    scan.worker = u32::from_le_bytes(raw[12..16].try_into().unwrap());
+    let mut off = HEADER_LEN as usize;
+    scan.valid_len = off as u64;
+    while off < raw.len() {
+        let mut cur = &raw[off..];
+        let Some(len) = take_u32(&mut cur) else {
+            scan.torn = true;
+            break;
+        };
+        let Some(crc) = take_u64(&mut cur) else {
+            scan.torn = true;
+            break;
+        };
+        if len > MAX_BODY || cur.len() < len as usize {
+            scan.torn = true;
+            break;
+        }
+        let body = &cur[..len as usize];
+        if hash_bytes(body) != crc {
+            scan.torn = true;
+            break;
+        }
+        let Some((epoch, seq, ops)) = decode_body(body) else {
+            scan.torn = true;
+            break;
+        };
+        off += FRAME_LEN + len as usize;
+        scan.valid_len = off as u64;
+        scan.records.push(Record {
+            epoch,
+            seq,
+            end_offset: off as u64,
+            ops,
+        });
+    }
+    Ok(scan)
+}
+
+/// Decode every shard under `dir`, sorted by file name (deterministic).
+pub fn scan_dir(dir: &Path) -> std::io::Result<Vec<ShardScan>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(SHARD_PREFIX) && n.ends_with(SHARD_SUFFIX))
+        })
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| scan_shard(p)).collect()
+}
+
+/// Truncate a shard to `len` bytes (recovery drops the non-durable or
+/// torn tail so later appends and re-recoveries never see it).
+pub fn truncate_shard(path: &Path, len: u64) -> std::io::Result<()> {
+    OpenOptions::new().write(true).open(path)?.set_len(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("abyss-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn put<'a>(table: TableId, key: Key, image: &'a [u8]) -> LogOp<'a> {
+        LogOp::Put { table, key, image }
+    }
+
+    #[test]
+    fn append_flush_scan_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let wal = WalSet::open(&dir, 2, FsyncPolicy::Group, 1 << 20).unwrap();
+        wal.append_commit(
+            0,
+            1,
+            10,
+            &[put(0, 7, b"seven"), LogOp::Del { table: 1, key: 9 }],
+        );
+        wal.append_commit(1, 1, 11, &[put(0, 8, b"eight!")]);
+        wal.append_commit(0, 2, 12, &[put(2, 1, b"")]);
+        wal.group_flush(2);
+        assert_eq!(wal.durable_epoch(), 2);
+        assert_eq!(read_meta(&dir), Some(2));
+        let scans = scan_dir(&dir).unwrap();
+        assert_eq!(scans.len(), 2);
+        assert!(scans.iter().all(|s| !s.torn));
+        let s0 = &scans[0];
+        assert_eq!(s0.worker, 0);
+        assert_eq!(s0.records.len(), 2);
+        assert_eq!(s0.records[0].epoch, 1);
+        assert_eq!(s0.records[0].seq, 10);
+        assert_eq!(
+            s0.records[0].ops,
+            vec![
+                RecOp::Put {
+                    table: 0,
+                    key: 7,
+                    image: b"seven".to_vec()
+                },
+                RecOp::Del { table: 1, key: 9 },
+            ]
+        );
+        assert_eq!(scans[1].records.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_prefix_survives() {
+        let dir = tmp_dir("torn");
+        let wal = WalSet::open(&dir, 1, FsyncPolicy::Never, 1 << 20).unwrap();
+        wal.append_commit(0, 1, 1, &[put(0, 1, b"alpha")]);
+        wal.append_commit(0, 1, 2, &[put(0, 2, b"beta")]);
+        wal.group_flush(1);
+        // Simulate a crash mid-append: garbage after the valid prefix.
+        let path = shard_path(&dir, 0);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xAB; 7]).unwrap();
+        drop(f);
+        let scan = scan_shard(&path).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.records.len(), 2);
+        // Truncating at valid_len makes the shard clean again.
+        truncate_shard(&path, scan.valid_len).unwrap();
+        let rescan = scan_shard(&path).unwrap();
+        assert!(!rescan.torn);
+        assert_eq!(rescan.records.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_byte_fails_checksum() {
+        let dir = tmp_dir("corrupt");
+        let wal = WalSet::open(&dir, 1, FsyncPolicy::Never, 1 << 20).unwrap();
+        wal.append_commit(0, 1, 1, &[put(0, 1, b"payload")]);
+        wal.group_flush(1);
+        let path = shard_path(&dir, 0);
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01; // flip a body byte
+        std::fs::write(&path, &raw).unwrap();
+        let scan = scan_shard(&path).unwrap();
+        assert!(scan.torn);
+        assert!(scan.records.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_epoch_is_min_over_shards_and_monotone() {
+        let dir = tmp_dir("watermark");
+        let wal = WalSet::open(&dir, 3, FsyncPolicy::Never, 1 << 20).unwrap();
+        wal.append_commit(2, 4, 1, &[put(0, 1, b"x")]);
+        wal.group_flush(3);
+        assert_eq!(wal.durable_epoch(), 3);
+        // A lower horizon cannot move the watermark backwards.
+        wal.group_flush(1);
+        assert_eq!(wal.durable_epoch(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_commit_policy_is_durable_at_append() {
+        let dir = tmp_dir("percommit");
+        let wal = WalSet::open(&dir, 1, FsyncPolicy::EveryCommit, 1 << 20).unwrap();
+        wal.append_commit(0, 5, 1, &[put(0, 1, b"forced")]);
+        // No group flush: the record is already on disk.
+        let scan = scan_shard(&shard_path(&dir, 0)).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(wal.stats().fsyncs >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_resumes_durable_epoch_and_appends() {
+        let dir = tmp_dir("reopen");
+        {
+            let wal = WalSet::open(&dir, 1, FsyncPolicy::Group, 1 << 20).unwrap();
+            wal.append_commit(0, 1, 1, &[put(0, 1, b"first")]);
+            wal.group_flush(1);
+        }
+        {
+            let wal = WalSet::open(&dir, 1, FsyncPolicy::Group, 1 << 20).unwrap();
+            assert_eq!(wal.durable_epoch(), 1);
+            wal.append_commit(0, 2, 2, &[put(0, 2, b"second")]);
+            wal.group_flush(2);
+            assert_eq!(wal.durable_epoch(), 2);
+        }
+        let scan = scan_shard(&shard_path(&dir, 0)).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].epoch, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn early_drain_bounds_the_buffer_without_advancing_durability() {
+        let dir = tmp_dir("earlydrain");
+        // Tiny group_max_bytes: every append drains to the OS...
+        let wal = WalSet::open(&dir, 1, FsyncPolicy::Group, 8).unwrap();
+        wal.append_commit(0, 1, 1, &[put(0, 1, &[7u8; 64])]);
+        assert!(wal.stats().flushes >= 1);
+        // ...but durability still waits for the group fence.
+        assert_eq!(wal.durable_epoch(), 0);
+        wal.group_flush(1);
+        assert_eq!(wal.durable_epoch(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -39,6 +39,41 @@ use abyss::storage::{row, Catalog, Schema};
 const WORKERS: u32 = 4;
 const INITIAL: u64 = 1_000;
 
+/// Every conformance database runs with write-ahead logging enabled
+/// (group-commit policy, background flusher): the anomaly matrix then
+/// doubles as the "full conformance suite passes with logging on" gate,
+/// exercising the redo-capture and serial-point paths of all nine
+/// schemes under real multi-worker contention.
+fn logged(mut cfg: EngineConfig) -> EngineConfig {
+    static N: AtomicU64 = AtomicU64::new(0);
+    static SWEEP_STALE: std::sync::Once = std::sync::Once::new();
+    // Databases outlive this helper, so per-run directories cannot be
+    // removed here; instead each run sweeps every previous run's
+    // leftovers (distinguished by pid) once, so the temp dir never
+    // accumulates across runs.
+    SWEEP_STALE.call_once(|| {
+        let mine = format!("abyss-conformance-wal-{}-", std::process::id());
+        if let Ok(entries) = std::fs::read_dir(std::env::temp_dir()) {
+            for e in entries.flatten() {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("abyss-conformance-wal-") && !name.starts_with(&mine) {
+                    let _ = std::fs::remove_dir_all(e.path());
+                }
+            }
+        }
+    });
+    let dir = std::env::temp_dir().join(format!(
+        "abyss-conformance-wal-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    cfg.log.enabled = true;
+    cfg.log.dir = dir;
+    cfg
+}
+
 /// How an anomaly generator drives the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -130,7 +165,7 @@ fn accounts_db(scheme: CcScheme, accounts: u64) -> Arc<Database> {
     cat.add_table("accounts", Schema::key_plus_payload(2, 8), accounts * 2);
     let mut cfg = EngineConfig::new(scheme, WORKERS);
     cfg.dl_timeout_us = 100;
-    let db = Database::new(cfg, cat).unwrap();
+    let db = Database::new(logged(cfg), cat).unwrap();
     db.load_table(0, 0..accounts, |s, r, k| {
         row::set_u64(s, r, 0, k);
         row::set_u64(s, r, 1, INITIAL);
@@ -467,7 +502,7 @@ fn double_scan_phantom(scheme: CcScheme, mode: Mode) -> Result<(), String> {
     );
     let mut cfg = EngineConfig::new(scheme, WORKERS);
     cfg.dl_timeout_us = 100;
-    let db = Database::new(cfg, cat).unwrap();
+    let db = Database::new(logged(cfg), cat).unwrap();
     db.load_table(0, (0..PHANTOM_RANGE).map(|k| k * 2), |s, r, k| {
         row::set_u64(s, r, 0, k);
         row::set_u64(s, r, 1, 1);
@@ -619,7 +654,7 @@ fn double_scan_phantom(scheme: CcScheme, mode: Mode) -> Result<(), String> {
 fn double_scan_split(scheme: CcScheme) -> Result<(), String> {
     let mut cat = Catalog::new();
     cat.add_ordered_table("scanned", Schema::key_plus_payload(1, 8), 256);
-    let db = Database::new(EngineConfig::new(scheme, WORKERS), cat).unwrap();
+    let db = Database::new(logged(EngineConfig::new(scheme, WORKERS)), cat).unwrap();
     db.load_table(0, (0..16u64).map(|k| k * 2), |s, r, k| {
         row::set_u64(s, r, 0, k);
         row::set_u64(s, r, 1, 1);
@@ -666,7 +701,7 @@ fn double_scan_split(scheme: CcScheme) -> Result<(), String> {
 fn delete_resurrection(scheme: CcScheme, mode: Mode) -> Result<(), String> {
     let mut cat = Catalog::new();
     cat.add_ordered_table("t", Schema::key_plus_payload(1, 8), 256);
-    let db = Database::new(EngineConfig::new(scheme, 2), cat).unwrap();
+    let db = Database::new(logged(EngineConfig::new(scheme, 2)), cat).unwrap();
     db.load_table(0, 0..32u64, |s, r, k| {
         row::set_u64(s, r, 0, k);
         row::set_u64(s, r, 1, k);
@@ -888,7 +923,7 @@ fn tictoc_rts_extension_fast_path_is_live() {
         ..YcsbConfig::read_intensive(0.8)
     };
     let db = Database::new(
-        EngineConfig::new(CcScheme::TicToc, WORKERS),
+        logged(EngineConfig::new(CcScheme::TicToc, WORKERS)),
         ycsb::catalog(&cfg),
     )
     .unwrap();
