@@ -1,0 +1,108 @@
+//! Dispatch micro-comparison: the enum-match shim vs the monomorphized
+//! protocol on a read-only YCSB loop — the measured backing for the
+//! `CcProtocol` refactor's speed claim.
+//!
+//! Both paths execute the *identical* seeded workload (same generator
+//! seed, same bounded transaction count, one worker — no contention, so
+//! the only difference is dispatch structure): `DispatchMode::Enum`
+//! drives `WorkerCtx<AnyScheme>` (one scheme match per operation, the
+//! pre-refactor engine's hot path); `DispatchMode::Mono` drives the
+//! statically instantiated protocol (`run_workers`' normal path). A
+//! read-only mix keeps per-access work minimal, which maximizes the
+//! relative weight of dispatch itself — the comparison is an upper bound
+//! on what monomorphization wins per access, not a macro-benchmark.
+//!
+//! Prints a per-scheme table and writes `results/dispatch_micro.json`.
+//! `--quick` shrinks the iteration budget (CI smoke); `--full` grows it.
+
+use std::io::Write as _;
+
+use abyss_bench::{HarnessArgs, Report};
+use abyss_common::{CcScheme, TxnTemplate};
+use abyss_core::{run_workers_bounded_via, Database, DispatchMode, EngineConfig};
+use abyss_workload::ycsb::{self, YcsbConfig, YcsbGen};
+
+const SEED: u64 = 0xD15B_A7C4_0000_0001;
+const TABLE_ROWS: u64 = 100_000;
+
+fn workload() -> YcsbConfig {
+    YcsbConfig {
+        table_rows: TABLE_ROWS,
+        theta: 0.6,
+        ..YcsbConfig::read_only()
+    }
+}
+
+/// One bounded single-worker run; returns ns per committed transaction.
+fn run_once(scheme: CcScheme, txns: u64, mode: DispatchMode) -> f64 {
+    let cfg = workload();
+    let db = Database::new(EngineConfig::new(scheme, 1), ycsb::catalog(&cfg)).unwrap();
+    db.load_table(0, 0..cfg.table_rows, ycsb::init_row).unwrap();
+    let mut g = YcsbGen::new(cfg, SEED);
+    let gens = vec![Box::new(move || g.next_txn()) as Box<dyn FnMut() -> TxnTemplate + Send>];
+    let out = run_workers_bounded_via(&db, gens, txns, mode);
+    assert_eq!(out.stats.commits, txns, "{scheme}: read-only txn aborted");
+    out.wall.as_nanos() as f64 / txns as f64
+}
+
+/// Best-of-N to shed scheduler noise (single worker, read-only: the
+/// minimum is the cleanest estimate of the loop's cost).
+fn best_of(scheme: CcScheme, txns: u64, rounds: u32, mode: DispatchMode) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        best = best.min(run_once(scheme, txns, mode));
+    }
+    best
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let (txns, rounds) = if args.quick {
+        (5_000u64, 2u32)
+    } else if args.full {
+        (100_000, 5)
+    } else {
+        (30_000, 3)
+    };
+    println!(
+        "dispatch_micro: read-only YCSB (theta 0.6, {TABLE_ROWS} rows), 1 worker, \
+         {txns} txns x best-of-{rounds}\n"
+    );
+
+    let mut report = Report::new(&["scheme", "enum ns/txn", "mono ns/txn", "mono/enum"]);
+    let mut rows_json = Vec::new();
+    for &scheme in &CcScheme::ALL {
+        // Warm both paths once (allocator, page faults) before timing.
+        let _ = run_once(scheme, txns / 10 + 1, DispatchMode::Enum);
+        let _ = run_once(scheme, txns / 10 + 1, DispatchMode::Mono);
+        let enum_ns = best_of(scheme, txns, rounds, DispatchMode::Enum);
+        let mono_ns = best_of(scheme, txns, rounds, DispatchMode::Mono);
+        let ratio = mono_ns / enum_ns;
+        report.row(vec![
+            scheme.name().to_string(),
+            format!("{enum_ns:.1}"),
+            format!("{mono_ns:.1}"),
+            format!("{ratio:.3}"),
+        ]);
+        rows_json.push(format!(
+            "{{\"scheme\":\"{}\",\"enum_ns_per_txn\":{enum_ns:.1},\
+             \"mono_ns_per_txn\":{mono_ns:.1},\"mono_over_enum\":{ratio:.4}}}",
+            scheme.name()
+        ));
+    }
+    report.print("enum-match shim vs monomorphized worker loop");
+
+    let json = format!(
+        "{{\"figure\":\"dispatch_micro\",\"workload\":\"ycsb_read_only\",\
+         \"theta\":0.6,\"table_rows\":{TABLE_ROWS},\"workers\":1,\
+         \"txns_per_round\":{txns},\"rounds\":{rounds},\"schemes\":[{}]}}",
+        rows_json.join(",")
+    );
+    println!("\n{json}");
+    if std::fs::create_dir_all("results").is_ok() {
+        if let Ok(mut f) = std::fs::File::create("results/dispatch_micro.json") {
+            let _ = writeln!(f, "{json}");
+            println!("  [json] results/dispatch_micro.json");
+        }
+    }
+}

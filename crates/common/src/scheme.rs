@@ -79,7 +79,7 @@ impl CcScheme {
     ];
 
     /// Is this scheme a two-phase-locking variant (vs timestamp ordering)?
-    pub fn is_two_phase_locking(self) -> bool {
+    pub const fn is_two_phase_locking(self) -> bool {
         matches!(
             self,
             CcScheme::DlDetect | CcScheme::NoWait | CcScheme::WaitDie
@@ -92,11 +92,49 @@ impl CcScheme {
     /// needs a second one before validation (handled by the engines). SILO
     /// replaces global timestamps with epoch-composed commit TIDs; TICTOC
     /// computes its commit timestamp from per-tuple `wts`/`rts` metadata.
-    pub fn needs_start_ts(self) -> bool {
+    pub const fn needs_start_ts(self) -> bool {
         !matches!(
             self,
             CcScheme::DlDetect | CcScheme::NoWait | CcScheme::Silo | CcScheme::TicToc
         )
+    }
+
+    /// Do restarted transactions keep their original timestamp? WAIT_DIE's
+    /// age-based priority depends on it (a restarted transaction must
+    /// eventually become the oldest); every other timestamped scheme
+    /// restarts with a fresh one (§2.2).
+    pub const fn reuses_ts_on_restart(self) -> bool {
+        matches!(self, CcScheme::WaitDie)
+    }
+
+    /// Does the scheme register every transaction with the engine's epoch
+    /// subsystem, independent of logging? SILO composes commit TIDs from
+    /// the epoch; TICTOC consumes it as its GC quiescence horizon. (With
+    /// logging enabled the engine additionally registers *every* scheme,
+    /// as the group-commit flush horizon.)
+    pub const fn uses_epoch(self) -> bool {
+        matches!(self, CcScheme::Silo | CcScheme::TicToc)
+    }
+
+    /// Must transactions declare and acquire their partition set at begin
+    /// (H-STORE's "know what partitions each individual transaction will
+    /// access before it begins", §2.2)?
+    pub const fn partition_locked(self) -> bool {
+        matches!(self, CcScheme::HStore)
+    }
+
+    /// Does the engine maintain a waits-for graph for this scheme
+    /// (DL_DETECT's deadlock detection, §4.2)?
+    pub const fn tracks_waits(self) -> bool {
+        matches!(self, CcScheme::DlDetect)
+    }
+
+    /// Does a point access need a post-admission index re-probe to guard
+    /// against a concurrently *committed* delete? TIMESTAMP tombstones
+    /// deleted tuples (`wts = ∞`), and H-STORE's partition ownership
+    /// excludes concurrent deleters — neither needs the probe.
+    pub const fn guards_deleted_rows(self) -> bool {
+        !matches!(self, CcScheme::Timestamp | CcScheme::HStore)
     }
 
     /// Number of timestamps allocated per (successful) transaction.

@@ -57,7 +57,7 @@ pub struct Database {
     /// Commit-window serial numbers for WAL records of schemes without a
     /// natural commit ordinal (2PL, H-STORE, OCC) — drawn *inside* the
     /// committing transaction's exclusion window, so per-key serial order
-    /// matches install order (see [`Database::wal_serial_point_csn`]).
+    /// matches install order (see [`Database::wal_commit_point_csn`]).
     pub(crate) log_csn: AtomicU64,
     /// Background epoch ticker; advancing stops when the database drops.
     _ticker: Option<EpochTicker>,
@@ -103,9 +103,7 @@ impl Database {
         };
         // Epochs drive SILO commit TIDs and TICTOC GC — and, when logging
         // is on, the group-commit horizon for *every* scheme.
-        let ticker = if (matches!(cfg.scheme, CcScheme::Silo | CcScheme::TicToc) || wal.is_some())
-            && cfg.epoch_interval_us > 0
-        {
+        let ticker = if (cfg.scheme.uses_epoch() || wal.is_some()) && cfg.epoch_interval_us > 0 {
             Some(EpochTicker::start(
                 Arc::clone(&epoch),
                 Duration::from_micros(cfg.epoch_interval_us),
@@ -620,8 +618,19 @@ impl Database {
         digest
     }
 
-    /// Create the execution context for `worker` (one per thread).
+    /// Create the execution context for `worker` (one per thread). The
+    /// context dispatches on the configured scheme at runtime
+    /// ([`crate::schemes::AnyScheme`]); use [`Database::worker_as`] to
+    /// monomorphize a single scheme instead.
     pub fn worker(self: &Arc<Self>, worker: u32) -> WorkerCtx {
+        self.worker_as::<crate::schemes::AnyScheme>(worker)
+    }
+
+    /// [`Database::worker`] monomorphized over one protocol — the
+    /// single-scheme escape hatch (no per-access dispatch, and a binary
+    /// that only names one scheme type instantiates only that one).
+    /// Panics if `P` names a different scheme than the configuration.
+    pub fn worker_as<P: crate::schemes::CcProtocol>(self: &Arc<Self>, worker: u32) -> WorkerCtx<P> {
         assert!(worker < self.cfg.workers, "worker id {worker} out of range");
         WorkerCtx::new(Arc::clone(self), worker)
     }

@@ -8,6 +8,7 @@ use abyss_common::txn::MAX_COUNTER_SLOTS;
 use abyss_common::{AbortReason, AccessOp, Key, TxnTemplate};
 use abyss_storage::{row, Schema};
 
+use crate::schemes::CcProtocol;
 use crate::worker::{TxnError, WorkerCtx};
 
 /// The column templates read-modify-write (column 0 is the primary key).
@@ -25,7 +26,7 @@ fn init_insert(schema: &Schema, data: &mut [u8], key: Key) {
 }
 
 /// Execute `tmpl` as one transaction attempt inside an active retry loop.
-fn body(t: &mut WorkerCtx, tmpl: &TxnTemplate) -> Result<(), TxnError> {
+fn body<P: CcProtocol>(t: &mut WorkerCtx<P>, tmpl: &TxnTemplate) -> Result<(), TxnError> {
     let mut counters = [0u64; MAX_COUNTER_SLOTS];
     let mut sink = 0u64;
     for a in &tmpl.accesses {
@@ -59,14 +60,17 @@ fn body(t: &mut WorkerCtx, tmpl: &TxnTemplate) -> Result<(), TxnError> {
 
 /// Run `tmpl` to commit, retrying scheduler aborts (restart in the same
 /// worker, §3.2). Returns the error only for user aborts or template bugs.
-pub fn run_template(ctx: &mut WorkerCtx, tmpl: &TxnTemplate) -> Result<(), TxnError> {
+pub fn run_template<P: CcProtocol>(
+    ctx: &mut WorkerCtx<P>,
+    tmpl: &TxnTemplate,
+) -> Result<(), TxnError> {
     ctx.run_txn(&tmpl.partitions, |t| body(t, tmpl))
 }
 
 /// [`run_template`] plus statistics bookkeeping — the benchmark driver's
 /// inner loop.
-pub fn run_to_commit(
-    ctx: &mut WorkerCtx,
+pub fn run_to_commit<P: CcProtocol>(
+    ctx: &mut WorkerCtx<P>,
     tmpl: &TxnTemplate,
     _stop: &std::sync::atomic::AtomicBool,
 ) {

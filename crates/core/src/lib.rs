@@ -59,5 +59,9 @@ pub mod worker;
 pub use config::{EngineConfig, LogConfig};
 pub use db::{Database, RecoveryReport};
 pub use epoch::{EpochManager, EpochTicker};
+pub use schemes::{AnyScheme, CcProtocol};
 pub use ts::{SharedTs, TsHandle};
-pub use worker::{run_workers, run_workers_bounded, BenchOutcome, TxnError, WorkerCtx};
+pub use worker::{
+    run_workers, run_workers_bounded, run_workers_bounded_via, BenchOutcome, DispatchMode,
+    TxnError, WorkerCtx,
+};

@@ -23,9 +23,91 @@ use abyss_common::stats::Category;
 use abyss_common::{AbortReason, CoreId, Key, RowIdx, TableId, Ts};
 use abyss_storage::Schema;
 
-use super::{ReadRef, SchemeEnv};
+use abyss_common::CcScheme;
+
+use super::{CcProtocol, ReadRef, SchemeEnv};
 use crate::park::WaitOutcome;
 use crate::txn::{DeleteEntry, InsertEntry, UndoEntry};
+use crate::worker::{TxnError, WorkerCtx};
+
+/// T/O with partition-level locking (H-Store / Smallbase model).
+pub struct HStore;
+
+impl CcProtocol for HStore {
+    super::scheme_caps!(CcScheme::HStore);
+
+    /// Sort + deduplicate the declared partition set, then acquire it in
+    /// partition order (hold-and-wait cycles impossible, §4.3).
+    fn begin(
+        env: &mut SchemeEnv<'_>,
+        partitions: &[abyss_common::PartId],
+    ) -> Result<(), AbortReason> {
+        let sorted = {
+            let mut p = partitions.to_vec();
+            p.sort_unstable();
+            p.dedup();
+            p
+        };
+        acquire_partitions(env, &sorted)
+    }
+
+    #[inline]
+    fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+        read(env, table, row)
+    }
+
+    #[inline]
+    fn write(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        row: RowIdx,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), AbortReason> {
+        write(env, table, row, f)
+    }
+
+    #[inline]
+    fn insert(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        key: Key,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), AbortReason> {
+        insert(env, table, key, f)
+    }
+
+    #[inline]
+    fn delete(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        key: Key,
+        row: RowIdx,
+    ) -> Result<(), AbortReason> {
+        delete(env, table, key, row)
+    }
+
+    #[inline]
+    fn scan(
+        ctx: &mut WorkerCtx<Self>,
+        table: TableId,
+        low: Key,
+        high: Key,
+        f: &mut dyn FnMut(Key, &Schema, &[u8]),
+    ) -> Result<usize, TxnError> {
+        ctx.scan_hstore(table, low, high, f)
+    }
+
+    fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+        // WAL commit point: the partitions are still owned.
+        env.db.wal_commit_point_csn(env.worker, env.st, env.stats);
+        commit(env);
+        Ok(())
+    }
+
+    fn abort(env: &mut SchemeEnv<'_>) {
+        abort(env);
+    }
+}
 
 /// One partition's lock state: a busy flag plus a ts-ordered wait queue.
 #[derive(Debug, Default)]
@@ -50,10 +132,7 @@ impl PartState {
 
 /// Acquire every partition in `partitions` (sorted, deduplicated by the
 /// workload generator). Called from `begin`.
-pub(crate) fn acquire_partitions(
-    env: &mut SchemeEnv<'_>,
-    partitions: &[u32],
-) -> Result<(), AbortReason> {
+fn acquire_partitions(env: &mut SchemeEnv<'_>, partitions: &[u32]) -> Result<(), AbortReason> {
     debug_assert!(
         partitions.windows(2).all(|w| w[0] < w[1]),
         "partitions must be sorted+unique"
@@ -100,7 +179,7 @@ pub(crate) fn acquire_partitions(
 }
 
 /// Release held partitions, granting each queue's oldest waiter.
-pub(crate) fn release_partitions(env: &mut SchemeEnv<'_>) {
+fn release_partitions(env: &mut SchemeEnv<'_>) {
     for p in std::mem::take(&mut env.st.parts) {
         let mut s = env.db.parts[p as usize].lock();
         if s.queue.is_empty() {
@@ -114,11 +193,7 @@ pub(crate) fn release_partitions(env: &mut SchemeEnv<'_>) {
 }
 
 /// Read in place: the owned partition is exclusive.
-pub(crate) fn read(
-    env: &mut SchemeEnv<'_>,
-    table: TableId,
-    row: RowIdx,
-) -> Result<ReadRef, AbortReason> {
+fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
     let t = &env.db.tables[table as usize];
     // SAFETY: the transaction owns every partition it touches.
     let data = unsafe { t.row(row) };
@@ -129,7 +204,7 @@ pub(crate) fn read(
 }
 
 /// Write in place with a before-image (user aborts still roll back).
-pub(crate) fn write(
+fn write(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
@@ -137,7 +212,9 @@ pub(crate) fn write(
 ) -> Result<(), AbortReason> {
     let t = &env.db.tables[table as usize];
     if !env.st.undo.iter().any(|u| u.table == table && u.row == row) {
-        let mut image = env.pool.alloc(t.row_size());
+        // Uninit is safe: `copy_row_into` fills the full row prefix and
+        // the abort path reads exactly that prefix.
+        let mut image = env.pool.alloc_uninit(t.row_size());
         // SAFETY: owned partition.
         unsafe { t.copy_row_into(row, &mut image) };
         env.st.undo.push(UndoEntry { table, row, image });
@@ -149,7 +226,7 @@ pub(crate) fn write(
 }
 
 /// Insert immediately; the partition lock covers visibility.
-pub(crate) fn insert(
+fn insert(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     key: Key,
@@ -177,7 +254,7 @@ pub(crate) fn insert(
 /// the index entries. Deleting a key this transaction itself inserted
 /// instead cancels the insert — the abort path must not re-publish a row
 /// born in the same (aborted) transaction.
-pub(crate) fn delete(
+fn delete(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     key: Key,
@@ -203,13 +280,13 @@ pub(crate) fn delete(
 }
 
 /// Commit: just hand the partitions to the next transactions in line.
-pub(crate) fn commit(env: &mut SchemeEnv<'_>) {
+fn commit(env: &mut SchemeEnv<'_>) {
     release_partitions(env);
 }
 
 /// Abort (user aborts only — H-STORE has no scheduler conflicts): restore
 /// before-images, unpublish inserts, release partitions.
-pub(crate) fn abort(env: &mut SchemeEnv<'_>) {
+fn abort(env: &mut SchemeEnv<'_>) {
     for u in std::mem::take(&mut env.st.undo).into_iter().rev() {
         let t = &env.db.tables[u.table as usize];
         // SAFETY: partitions still owned.

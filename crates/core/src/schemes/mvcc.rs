@@ -20,9 +20,84 @@ use abyss_common::stats::Category;
 use abyss_common::{AbortReason, Key, RowIdx, TableId};
 use abyss_storage::Schema;
 
-use super::{ReadRef, SchemeEnv};
+use abyss_common::CcScheme;
+
+use super::{CcProtocol, ReadRef, SchemeEnv};
 use crate::meta::{TsWaiter, Version};
 use crate::txn::{DeleteEntry, InsertEntry, ReadCopy, WriteEntry};
+use crate::worker::{TxnError, WorkerCtx};
+
+/// Multi-version timestamp ordering (version chains per tuple).
+pub struct Mvcc;
+
+impl CcProtocol for Mvcc {
+    super::scheme_caps!(CcScheme::Mvcc);
+
+    #[inline]
+    fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+        read(env, table, row)
+    }
+
+    #[inline]
+    fn write(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        row: RowIdx,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), AbortReason> {
+        write(env, table, row, f)
+    }
+
+    #[inline]
+    fn insert(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        key: Key,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), AbortReason> {
+        insert(env, table, key, f)
+    }
+
+    #[inline]
+    fn delete(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        key: Key,
+        row: RowIdx,
+    ) -> Result<(), AbortReason> {
+        delete(env, table, key, row)
+    }
+
+    /// Snapshot-bounded scan read: rows created after this snapshot are
+    /// *skipped*, not aborted on.
+    #[inline]
+    fn read_for_scan(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        row: RowIdx,
+    ) -> Result<Option<ReadRef>, AbortReason> {
+        read_visible(env, table, row)
+    }
+
+    #[inline]
+    fn scan(
+        ctx: &mut WorkerCtx<Self>,
+        table: TableId,
+        low: Key,
+        high: Key,
+        f: &mut dyn FnMut(Key, &Schema, &[u8]),
+    ) -> Result<usize, TxnError> {
+        ctx.scan_to(table, low, high, f)
+    }
+
+    fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+        commit(env)
+    }
+
+    fn abort(env: &mut SchemeEnv<'_>) {
+        abort(env);
+    }
+}
 
 /// Copy the current table row — the chain's initial version on first touch.
 fn seed<'a>(t: &'a abyss_storage::Table, row: RowIdx) -> impl FnOnce() -> Box<[u8]> + 'a {
@@ -34,11 +109,7 @@ fn seed<'a>(t: &'a abyss_storage::Table, row: RowIdx) -> impl FnOnce() -> Box<[u
 }
 
 /// MVCC read (see module docs).
-pub(crate) fn read(
-    env: &mut SchemeEnv<'_>,
-    table: TableId,
-    row: RowIdx,
-) -> Result<ReadRef, AbortReason> {
+fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
     match read_visible(env, table, row)? {
         Some(r) => Ok(r),
         // Required version was garbage-collected (or the row was created
@@ -51,7 +122,7 @@ pub(crate) fn read(
 /// this snapshot. The scan path uses this to *skip* rows created by
 /// transactions serialized after the scanner (their `wts > ts`) instead
 /// of aborting — the snapshot-bounded scan semantics.
-pub(crate) fn read_visible(
+pub(super) fn read_visible(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
@@ -115,7 +186,7 @@ pub(crate) fn read_visible(
 }
 
 /// MVCC read-modify-write (see module docs).
-pub(crate) fn write(
+fn write(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
@@ -203,7 +274,7 @@ pub(crate) fn write(
 /// what stops a delete from serializing before a scan that already
 /// observed the row), then registered as a prewrite; the index entries
 /// are withdrawn at commit.
-pub(crate) fn delete(
+fn delete(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     key: Key,
@@ -267,7 +338,7 @@ pub(crate) fn delete(
 }
 
 /// MVCC insert: buffered; the new tuple's chain starts at commit.
-pub(crate) fn insert(
+fn insert(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     key: Key,
@@ -291,7 +362,7 @@ pub(crate) fn insert(
 /// Inserts run first — they are the only fallible step (duplicate-key
 /// races) — and withdraw themselves on failure, so a failed commit leaves
 /// the transaction in its uncommitted state for the abort path.
-pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
     let ts = env.st.ts;
     let me = env.st.txn_id;
     let max_versions = env.db.cfg.mvcc_max_versions;
@@ -400,7 +471,7 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
 }
 
 /// Abort: withdraw prewrites and wake blocked readers/writers.
-pub(crate) fn abort(env: &mut SchemeEnv<'_>) {
+fn abort(env: &mut SchemeEnv<'_>) {
     let me = env.st.txn_id;
     for (table, row) in std::mem::take(&mut env.st.prewrites) {
         let t = &env.db.tables[table as usize];

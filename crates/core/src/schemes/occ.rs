@@ -19,14 +19,82 @@ use abyss_common::{AbortReason, Key, RowIdx, TableId};
 use abyss_storage::mempool::PoolBlock;
 use abyss_storage::Schema;
 
-use super::{ReadRef, SchemeEnv};
+use abyss_common::CcScheme;
+
+use super::{CcProtocol, ReadRef, SchemeEnv};
 use crate::lockword::silo;
 use crate::txn::{DeleteEntry, InsertEntry, ReadCopy, ReadEntry, WriteEntry};
+use crate::worker::{TxnError, WorkerCtx};
+
+/// Optimistic concurrency control with per-tuple (distributed) validation.
+pub struct Occ;
+
+impl CcProtocol for Occ {
+    super::scheme_caps!(CcScheme::Occ);
+
+    #[inline]
+    fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+        read(env, table, row)
+    }
+
+    #[inline]
+    fn write(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        row: RowIdx,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), AbortReason> {
+        write(env, table, row, f)
+    }
+
+    #[inline]
+    fn insert(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        key: Key,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), AbortReason> {
+        insert(env, table, key, f)
+    }
+
+    #[inline]
+    fn delete(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        key: Key,
+        row: RowIdx,
+    ) -> Result<(), AbortReason> {
+        delete(env, table, key, row)
+    }
+
+    #[inline]
+    fn scan(
+        ctx: &mut WorkerCtx<Self>,
+        table: TableId,
+        low: Key,
+        high: Key,
+        f: &mut dyn FnMut(Key, &Schema, &[u8]),
+    ) -> Result<usize, TxnError> {
+        ctx.scan_occ(table, low, high, f)
+    }
+
+    fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+        // The second (validation) timestamp — OCC's extra trip to the
+        // allocator (§5.1).
+        env.stats.ts_allocated += 1;
+        let _validation_ts = env.ts.alloc();
+        commit(env)
+    }
+
+    fn abort(env: &mut SchemeEnv<'_>) {
+        abort(env);
+    }
+}
 
 /// Bounded seqlock read: copy the row at a stable version. Shared with
 /// the SILO scheme, whose read phase is identical (the recorded `version`
 /// is a TID word there).
-pub(crate) fn stable_copy(
+fn stable_copy(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
@@ -64,7 +132,7 @@ pub(crate) fn stable_copy(
 }
 
 /// OCC read: optimistic copy + read-set entry.
-pub(crate) fn read(
+pub(super) fn read(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
@@ -94,7 +162,7 @@ pub(crate) fn read(
 }
 
 /// OCC write: read-modify-write into the private workspace.
-pub(crate) fn write(
+pub(super) fn write(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
@@ -124,7 +192,7 @@ pub(crate) fn write(
 }
 
 /// OCC insert: buffered until the write phase.
-pub(crate) fn insert(
+pub(super) fn insert(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     key: Key,
@@ -148,7 +216,7 @@ pub(crate) fn insert(
 /// (deadlock-free). Reuses the transaction's scratch vector so the hot
 /// commit path never allocates; the caller returns it via
 /// [`put_back_lock_targets`]. Shared with the SILO scheme.
-pub(crate) fn take_commit_lock_targets(env: &mut SchemeEnv<'_>) -> Vec<(TableId, RowIdx)> {
+pub(super) fn take_commit_lock_targets(env: &mut SchemeEnv<'_>) -> Vec<(TableId, RowIdx)> {
     let mut v = std::mem::take(&mut env.st.lock_scratch);
     v.clear();
     v.extend(env.st.wbuf.iter().map(|w| (w.table, w.row)));
@@ -159,13 +227,13 @@ pub(crate) fn take_commit_lock_targets(env: &mut SchemeEnv<'_>) -> Vec<(TableId,
 }
 
 /// Return the scratch lock set for reuse by the next transaction.
-pub(crate) fn put_back_lock_targets(env: &mut SchemeEnv<'_>, v: Vec<(TableId, RowIdx)>) {
+pub(super) fn put_back_lock_targets(env: &mut SchemeEnv<'_>, v: Vec<(TableId, RowIdx)>) {
     env.st.lock_scratch = v;
 }
 
 /// Latch every row in `targets` via its word. On a spin-cap abort every
 /// acquired lock has already been released. Shared with the SILO scheme.
-pub(crate) fn lock_targets(
+pub(super) fn lock_targets(
     env: &mut SchemeEnv<'_>,
     targets: &[(TableId, RowIdx)],
 ) -> Result<(), AbortReason> {
@@ -201,7 +269,7 @@ pub(crate) fn lock_targets(
 
 /// Unlock latched rows without bumping versions (validation failed;
 /// nothing was installed). Shared with SILO.
-pub(crate) fn unlock_targets(env: &mut SchemeEnv<'_>, targets: &[(TableId, RowIdx)]) {
+pub(super) fn unlock_targets(env: &mut SchemeEnv<'_>, targets: &[(TableId, RowIdx)]) {
     for &(table, row) in targets {
         let word = &env.db.row_meta(table, row).word;
         let cur = word.load(Ordering::Acquire);
@@ -214,7 +282,7 @@ pub(crate) fn unlock_targets(env: &mut SchemeEnv<'_>, targets: &[(TableId, RowId
 /// scan must still carry the version the scan saw — otherwise a structural
 /// change (insert, delete, split) touched the scanned key range and the
 /// scan may have missed a phantom. Shared with SILO.
-pub(crate) fn validate_node_set(env: &SchemeEnv<'_>) -> bool {
+pub(super) fn validate_node_set(env: &SchemeEnv<'_>) -> bool {
     env.st.node_set.iter().all(|ns| {
         env.db
             .ordered_index(ns.table)
@@ -226,7 +294,7 @@ pub(crate) fn validate_node_set(env: &SchemeEnv<'_>) -> bool {
 /// catches any interleaved change), buffer the removal until the write
 /// phase. A repeated delete of the same row is a no-op — a duplicate
 /// entry would double-release the tuple word at commit.
-pub(crate) fn delete(
+pub(super) fn delete(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     key: Key,
@@ -257,7 +325,7 @@ pub(crate) fn delete(
 
 /// Validation + write phase. The caller has already allocated the second
 /// (validation) timestamp.
-pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
     let targets = take_commit_lock_targets(env);
     let r = commit_locked(env, &targets);
     put_back_lock_targets(env, targets);
@@ -354,7 +422,7 @@ fn commit_locked(
 /// A published-but-not-yet-committed insert: table, key, fresh row, and
 /// the B+-tree landing leaf with its pre-insert version (when the table
 /// is ordered).
-pub(crate) type PublishedInsert = (
+pub(super) type PublishedInsert = (
     TableId,
     Key,
     RowIdx,
@@ -368,7 +436,7 @@ pub(crate) type PublishedInsert = (
 /// stamps them with the commit TID, OCC with version 0). On a
 /// duplicate-key race every already-applied insert of this transaction is
 /// withdrawn and the whole batch fails. Shared with the SILO scheme.
-pub(crate) fn publish_buffered_inserts(
+pub(super) fn publish_buffered_inserts(
     env: &mut SchemeEnv<'_>,
 ) -> Result<Vec<PublishedInsert>, AbortReason> {
     let inserts = std::mem::take(&mut env.st.inserts);
@@ -406,7 +474,7 @@ pub(crate) fn publish_buffered_inserts(
 /// Undo a publication that cannot commit: withdraw the index entries and
 /// release the fresh rows' words (back to the untouched version-0 state;
 /// the slots are unreachable afterwards). Shared with the SILO scheme.
-pub(crate) fn withdraw_published_inserts(env: &mut SchemeEnv<'_>, applied: &[PublishedInsert]) {
+pub(super) fn withdraw_published_inserts(env: &mut SchemeEnv<'_>, applied: &[PublishedInsert]) {
     for &(table, key, row, _) in applied {
         env.db.index_remove(table, key);
         env.db.row_meta(table, row).word.store(0, Ordering::Release);
@@ -422,7 +490,7 @@ pub(crate) fn withdraw_published_inserts(env: &mut SchemeEnv<'_>, applied: &[Pub
 /// current version here would absorb a concurrent committer's bump and
 /// admit the exact cross-insert phantom the node set exists to catch.
 /// Shared with the SILO scheme.
-pub(crate) fn refresh_own_node_set(env: &mut SchemeEnv<'_>, inserted: &[PublishedInsert]) {
+pub(super) fn refresh_own_node_set(env: &mut SchemeEnv<'_>, inserted: &[PublishedInsert]) {
     for &(table, _, _, leaf) in inserted {
         let Some((leaf, prev_version)) = leaf else {
             continue;
@@ -437,4 +505,4 @@ pub(crate) fn refresh_own_node_set(env: &mut SchemeEnv<'_>, inserted: &[Publishe
 
 /// Abort during the read phase: nothing is shared yet; buffers are dropped
 /// by the caller's state reset.
-pub(crate) fn abort(_env: &mut SchemeEnv<'_>) {}
+pub(super) fn abort(_env: &mut SchemeEnv<'_>) {}

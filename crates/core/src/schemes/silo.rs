@@ -32,59 +32,92 @@
 
 use std::sync::atomic::Ordering;
 
-use abyss_common::{AbortReason, Key, RowIdx, TableId};
+use abyss_common::{AbortReason, CcScheme, Key, RowIdx, TableId};
 use abyss_storage::Schema;
 
 use super::occ;
-use super::{ReadRef, SchemeEnv};
+use super::{CcProtocol, ReadRef, SchemeEnv};
 use crate::epoch;
 use crate::lockword::silo;
+use crate::worker::{TxnError, WorkerCtx};
 
-/// SILO read: optimistic seqlock copy + read-set TID recording (OCC's
-/// read phase, reused verbatim — the recorded `version` is the TID word).
-pub(crate) fn read(
-    env: &mut SchemeEnv<'_>,
-    table: TableId,
-    row: RowIdx,
-) -> Result<ReadRef, AbortReason> {
-    occ::read(env, table, row)
-}
+/// Epoch-based OCC (Silo, SOSP'13).
+pub struct Silo;
 
-/// SILO write: read-modify-write into the private workspace.
-pub(crate) fn write(
-    env: &mut SchemeEnv<'_>,
-    table: TableId,
-    row: RowIdx,
-    f: impl FnOnce(&Schema, &mut [u8]),
-) -> Result<(), AbortReason> {
-    occ::write(env, table, row, f)
-}
+impl CcProtocol for Silo {
+    super::scheme_caps!(CcScheme::Silo);
 
-/// SILO insert: buffered until the commit's write phase.
-pub(crate) fn insert(
-    env: &mut SchemeEnv<'_>,
-    table: TableId,
-    key: Key,
-    f: impl FnOnce(&Schema, &mut [u8]),
-) -> Result<(), AbortReason> {
-    occ::insert(env, table, key, f)
-}
+    /// SILO read: optimistic seqlock copy + read-set TID recording (OCC's
+    /// read phase, reused verbatim — the recorded `version` is the TID
+    /// word).
+    #[inline]
+    fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+        occ::read(env, table, row)
+    }
 
-/// SILO delete: observed like a read, removed during the write phase
-/// (OCC's buffered delete, shared).
-pub(crate) fn delete(
-    env: &mut SchemeEnv<'_>,
-    table: TableId,
-    key: Key,
-    row: RowIdx,
-) -> Result<(), AbortReason> {
-    occ::delete(env, table, key, row)
+    /// SILO write: read-modify-write into the private workspace.
+    #[inline]
+    fn write(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        row: RowIdx,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), AbortReason> {
+        occ::write(env, table, row, f)
+    }
+
+    /// SILO insert: buffered until the commit's write phase.
+    #[inline]
+    fn insert(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        key: Key,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), AbortReason> {
+        occ::insert(env, table, key, f)
+    }
+
+    /// SILO delete: observed like a read, removed during the write phase
+    /// (OCC's buffered delete, shared).
+    #[inline]
+    fn delete(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        key: Key,
+        row: RowIdx,
+    ) -> Result<(), AbortReason> {
+        occ::delete(env, table, key, row)
+    }
+
+    #[inline]
+    fn scan(
+        ctx: &mut WorkerCtx<Self>,
+        table: TableId,
+        low: Key,
+        high: Key,
+        f: &mut dyn FnMut(Key, &Schema, &[u8]),
+    ) -> Result<usize, TxnError> {
+        ctx.scan_occ(table, low, high, f)
+    }
+
+    /// Validation + write phase; the commit TID comes from the epoch
+    /// subsystem plus per-tuple observations (no validation timestamp).
+    fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+        let last = *env.last_tid;
+        let tid = commit(env, last)?;
+        *env.last_tid = tid;
+        Ok(())
+    }
+
+    fn abort(env: &mut SchemeEnv<'_>) {
+        occ::abort(env);
+    }
 }
 
 /// Validation + write phase. `last_tid` is the worker's previous commit
 /// TID; on success the new (strictly greater) commit TID is returned for
 /// the worker to remember.
-pub(crate) fn commit(env: &mut SchemeEnv<'_>, last_tid: u64) -> Result<u64, AbortReason> {
+fn commit(env: &mut SchemeEnv<'_>, last_tid: u64) -> Result<u64, AbortReason> {
     let targets = occ::take_commit_lock_targets(env);
     let r = commit_locked(env, &targets, last_tid);
     occ::put_back_lock_targets(env, targets);
@@ -194,10 +227,6 @@ fn commit_locked(
     }
     Ok(commit_tid)
 }
-
-/// Abort during the read phase: nothing is shared yet; buffers are dropped
-/// by the caller's state reset.
-pub(crate) fn abort(_env: &mut SchemeEnv<'_>) {}
 
 #[cfg(test)]
 mod tests {

@@ -44,56 +44,83 @@
 
 use std::sync::atomic::Ordering;
 
-use abyss_common::{AbortReason, Key, RowIdx, TableId};
+use abyss_common::{AbortReason, CcScheme, Key, RowIdx, TableId};
 use abyss_storage::Schema;
 
 use super::occ;
-use super::{ReadRef, SchemeEnv};
+use super::{CcProtocol, ReadRef, SchemeEnv};
 use crate::lockword::tictoc;
+use crate::worker::{TxnError, WorkerCtx};
 
-/// TICTOC read: optimistic seqlock copy + read-set recording of the whole
-/// `wts`/`rts` word (OCC's read phase, reused verbatim — the recorded
-/// `version` *is* the packed word).
-pub(crate) fn read(
-    env: &mut SchemeEnv<'_>,
-    table: TableId,
-    row: RowIdx,
-) -> Result<ReadRef, AbortReason> {
-    occ::read(env, table, row)
+/// Data-driven timestamp OCC (TicToc, SIGMOD'16).
+pub struct TicToc;
+
+impl CcProtocol for TicToc {
+    super::scheme_caps!(CcScheme::TicToc);
+
+    /// TICTOC read: optimistic seqlock copy + read-set recording of the
+    /// whole `wts`/`rts` word (OCC's read phase, reused verbatim — the
+    /// recorded `version` *is* the packed word).
+    #[inline]
+    fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+        occ::read(env, table, row)
+    }
+
+    /// TICTOC write: read-modify-write into the private workspace.
+    #[inline]
+    fn write(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        row: RowIdx,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), AbortReason> {
+        occ::write(env, table, row, f)
+    }
+
+    /// TICTOC insert: buffered until the commit's write phase.
+    #[inline]
+    fn insert(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        key: Key,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), AbortReason> {
+        occ::insert(env, table, key, f)
+    }
+
+    /// TICTOC delete: observed like a read, removed during the write phase.
+    #[inline]
+    fn delete(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        key: Key,
+        row: RowIdx,
+    ) -> Result<(), AbortReason> {
+        occ::delete(env, table, key, row)
+    }
+
+    #[inline]
+    fn scan(
+        ctx: &mut WorkerCtx<Self>,
+        table: TableId,
+        low: Key,
+        high: Key,
+        f: &mut dyn FnMut(Key, &Schema, &[u8]),
+    ) -> Result<usize, TxnError> {
+        ctx.scan_occ(table, low, high, f)
+    }
+
+    /// Validation + write phase (steps 2–6 of the module docs).
+    fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+        commit(env)
+    }
+
+    fn abort(env: &mut SchemeEnv<'_>) {
+        occ::abort(env);
+    }
 }
 
-/// TICTOC write: read-modify-write into the private workspace.
-pub(crate) fn write(
-    env: &mut SchemeEnv<'_>,
-    table: TableId,
-    row: RowIdx,
-    f: impl FnOnce(&Schema, &mut [u8]),
-) -> Result<(), AbortReason> {
-    occ::write(env, table, row, f)
-}
-
-/// TICTOC insert: buffered until the commit's write phase.
-pub(crate) fn insert(
-    env: &mut SchemeEnv<'_>,
-    table: TableId,
-    key: Key,
-    f: impl FnOnce(&Schema, &mut [u8]),
-) -> Result<(), AbortReason> {
-    occ::insert(env, table, key, f)
-}
-
-/// TICTOC delete: observed like a read, removed during the write phase.
-pub(crate) fn delete(
-    env: &mut SchemeEnv<'_>,
-    table: TableId,
-    key: Key,
-    row: RowIdx,
-) -> Result<(), AbortReason> {
-    occ::delete(env, table, key, row)
-}
-
-/// Validation + write phase (steps 2–6 of the module docs).
-pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
     let targets = occ::take_commit_lock_targets(env);
     let r = commit_locked(env, &targets);
     occ::put_back_lock_targets(env, targets);
@@ -212,10 +239,6 @@ fn commit_locked(
     }
     Ok(())
 }
-
-/// Abort during the read phase: nothing is shared yet; buffers are dropped
-/// by the caller's state reset.
-pub(crate) fn abort(_env: &mut SchemeEnv<'_>) {}
 
 #[cfg(test)]
 mod tests {

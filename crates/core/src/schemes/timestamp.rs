@@ -27,9 +27,73 @@ use abyss_common::stats::Category;
 use abyss_common::{AbortReason, Key, RowIdx, TableId};
 use abyss_storage::Schema;
 
-use super::{ReadRef, SchemeEnv};
+use abyss_common::CcScheme;
+
+use super::{CcProtocol, ReadRef, SchemeEnv};
 use crate::meta::TsWaiter;
 use crate::txn::{DeleteEntry, InsertEntry, ReadCopy, WriteEntry};
+use crate::worker::{TxnError, WorkerCtx};
+
+/// Basic timestamp ordering with per-tuple read/write timestamps.
+pub struct Timestamp;
+
+impl CcProtocol for Timestamp {
+    super::scheme_caps!(CcScheme::Timestamp);
+
+    #[inline]
+    fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
+        read(env, table, row)
+    }
+
+    #[inline]
+    fn write(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        row: RowIdx,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), AbortReason> {
+        write(env, table, row, f)
+    }
+
+    #[inline]
+    fn insert(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        key: Key,
+        f: impl FnOnce(&Schema, &mut [u8]),
+    ) -> Result<(), AbortReason> {
+        insert(env, table, key, f)
+    }
+
+    #[inline]
+    fn delete(
+        env: &mut SchemeEnv<'_>,
+        table: TableId,
+        key: Key,
+        row: RowIdx,
+    ) -> Result<(), AbortReason> {
+        delete(env, table, key, row)
+    }
+
+    #[inline]
+    fn scan(
+        ctx: &mut WorkerCtx<Self>,
+        table: TableId,
+        low: Key,
+        high: Key,
+        f: &mut dyn FnMut(Key, &Schema, &[u8]),
+    ) -> Result<usize, TxnError> {
+        ctx.scan_to(table, low, high, f)
+    }
+
+    fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+        commit(env)
+    }
+
+    fn abort(env: &mut SchemeEnv<'_>) {
+        abort(env);
+    }
+}
 
 /// Block until no prewrite below `ts` is pending on the tuple, or fail.
 /// Returns with the tuple latch *released*; callers re-latch and re-check.
@@ -79,11 +143,7 @@ fn wake_waiters(db: &crate::db::Database, s: &mut crate::meta::TsState) {
 }
 
 /// T/O read (see module docs).
-pub(crate) fn read(
-    env: &mut SchemeEnv<'_>,
-    table: TableId,
-    row: RowIdx,
-) -> Result<ReadRef, AbortReason> {
+fn read(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) -> Result<ReadRef, AbortReason> {
     // Read-own-write: serve from the private workspace.
     if let Some(i) = env.st.wbuf_idx(table, row) {
         let data = env.pool.alloc(env.st.wbuf[i].data.capacity());
@@ -128,7 +188,7 @@ pub(crate) fn read(
 }
 
 /// T/O read-modify-write (see module docs).
-pub(crate) fn write(
+fn write(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
@@ -177,7 +237,7 @@ pub(crate) fn write(
 /// no smaller pending prewrite — the `rts` check is what stops a delete
 /// from serializing *before* a scan that already observed the row), then
 /// registered as a prewrite. The index entries are withdrawn at commit.
-pub(crate) fn delete(
+fn delete(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     key: Key,
@@ -210,7 +270,7 @@ pub(crate) fn delete(
 }
 
 /// T/O insert: buffered; becomes visible at commit.
-pub(crate) fn insert(
+fn insert(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     key: Key,
@@ -235,7 +295,7 @@ pub(crate) fn insert(
 /// contract with [`crate::worker::WorkerCtx::commit`] is that a failed
 /// commit leaves the transaction in its uncommitted state so the normal
 /// abort path can finish the rollback.
-pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
     apply_inserts(env, AbortReason::TsOrderViolation)?;
     let ts = env.st.ts;
     // WAL commit point: inserts (the only fallible step) are published,
@@ -283,7 +343,7 @@ pub(crate) fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
 /// row reference from a pre-delete B+-tree snapshot aborts (read-too-late)
 /// instead of resurrecting the row; the leaf's `del_wts` tag then aborts
 /// scanners whose timestamp predates the delete but who arrive after it.
-pub(crate) fn apply_deletes(env: &mut SchemeEnv<'_>) {
+fn apply_deletes(env: &mut SchemeEnv<'_>) {
     let ts = env.st.ts;
     let me = env.st.txn_id;
     for d in std::mem::take(&mut env.st.deletes) {
@@ -308,7 +368,7 @@ pub(crate) fn apply_deletes(env: &mut SchemeEnv<'_>) {
 /// timestamp (`scan_rts > ts` — committing would plant a phantom behind
 /// that scan), every already-published insert is withdrawn before `fail`
 /// returns, so the caller can abort cleanly.
-pub(crate) fn apply_inserts(env: &mut SchemeEnv<'_>, fail: AbortReason) -> Result<(), AbortReason> {
+fn apply_inserts(env: &mut SchemeEnv<'_>, fail: AbortReason) -> Result<(), AbortReason> {
     let ts = env.st.ts;
     let inserts = std::mem::take(&mut env.st.inserts);
     let mut applied: Vec<(abyss_common::TableId, Key)> = Vec::new();
@@ -351,7 +411,7 @@ pub(crate) fn apply_inserts(env: &mut SchemeEnv<'_>, fail: AbortReason) -> Resul
 }
 
 /// Abort: withdraw prewrites and wake anyone waiting on them.
-pub(crate) fn abort(env: &mut SchemeEnv<'_>) {
+fn abort(env: &mut SchemeEnv<'_>) {
     let me = env.st.txn_id;
     for (table, row) in std::mem::take(&mut env.st.prewrites) {
         let mut s = env.db.row_meta(table, row).ts_state();

@@ -26,17 +26,211 @@ use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use abyss_common::stats::Category;
-use abyss_common::{AbortReason, CcScheme, Key, RowIdx, TableId};
+use abyss_common::{AbortReason, CcScheme, Key, RowIdx, TableId, TxnId};
 use abyss_storage::Schema;
 
-use super::{ReadRef, SchemeEnv};
+use super::{CcProtocol, ReadRef, SchemeEnv};
+use crate::db::Database;
 use crate::lockword::rw;
 use crate::meta::{LockMode, Owner, RowMeta, Waiter};
 use crate::park::WaitOutcome;
-use crate::txn::{DeleteEntry, HeldLock, InsertEntry, UndoEntry, GAP_ROW};
+use crate::txn::{DeleteEntry, HeldLock, InsertEntry, TxnState, UndoEntry, GAP_ROW};
+use crate::worker::{TxnError, WorkerCtx};
 
-/// Acquire `mode` on `(table, row)` under the configured 2PL variant.
-fn acquire(
+/// 2PL with non-waiting deadlock prevention (deny => abort).
+pub struct NoWait;
+/// 2PL with waits-for-graph deadlock detection.
+pub struct DlDetect;
+/// 2PL with wait-die deadlock prevention (older waits, younger dies).
+pub struct WaitDie;
+
+/// The variant-specific slice of the 2PL protocol: the grant discipline
+/// and where lock ownership lives (NO_WAIT packs it into the atomic
+/// word; the queue variants keep owner/waiter lists). Everything else —
+/// hold tracking, gap locking, undo, the shrink phase — is shared code
+/// generic over this trait. [`super::AnyScheme`] implements it by
+/// dispatching on the configured scheme.
+pub(crate) trait Variant: CcProtocol {
+    /// Acquire `mode` on the tuple (the transaction does not hold it yet;
+    /// `upgrade` means it holds S and wants X).
+    fn acquire(
+        env: &mut SchemeEnv<'_>,
+        meta: &RowMeta,
+        mode: LockMode,
+        upgrade: bool,
+    ) -> Result<(), AbortReason>;
+
+    /// Release one held lock (shrink phase, failed-insert unwind),
+    /// granting any newly compatible waiters.
+    fn release_one(db: &Database, txn: TxnId, meta: &RowMeta, mode: LockMode);
+
+    /// Install X ownership of a freshly allocated row *before* it becomes
+    /// index-reachable (insert publication).
+    fn seed_exclusive(db: &Database, st: &TxnState, meta: &RowMeta);
+}
+
+impl Variant for NoWait {
+    fn acquire(
+        _env: &mut SchemeEnv<'_>,
+        meta: &RowMeta,
+        mode: LockMode,
+        upgrade: bool,
+    ) -> Result<(), AbortReason> {
+        acquire_no_wait(meta, mode, upgrade)
+    }
+
+    fn release_one(_db: &Database, _txn: TxnId, meta: &RowMeta, mode: LockMode) {
+        match mode {
+            LockMode::Shared => {
+                meta.word.fetch_sub(1, Ordering::AcqRel);
+            }
+            LockMode::Exclusive => {
+                meta.word.store(0, Ordering::Release);
+            }
+        }
+    }
+
+    fn seed_exclusive(_db: &Database, _st: &TxnState, meta: &RowMeta) {
+        meta.word.store(rw::WRITER, Ordering::Release);
+    }
+}
+
+impl Variant for DlDetect {
+    fn acquire(
+        env: &mut SchemeEnv<'_>,
+        meta: &RowMeta,
+        mode: LockMode,
+        upgrade: bool,
+    ) -> Result<(), AbortReason> {
+        acquire_dl_detect(env, meta, mode, upgrade)
+    }
+
+    fn release_one(db: &Database, txn: TxnId, meta: &RowMeta, mode: LockMode) {
+        queue_release(db, txn, meta, mode);
+    }
+
+    fn seed_exclusive(_db: &Database, st: &TxnState, meta: &RowMeta) {
+        queue_seed(st, meta);
+    }
+}
+
+impl Variant for WaitDie {
+    fn acquire(
+        env: &mut SchemeEnv<'_>,
+        meta: &RowMeta,
+        mode: LockMode,
+        upgrade: bool,
+    ) -> Result<(), AbortReason> {
+        acquire_wait_die(env, meta, mode, upgrade)
+    }
+
+    fn release_one(db: &Database, txn: TxnId, meta: &RowMeta, mode: LockMode) {
+        queue_release(db, txn, meta, mode);
+    }
+
+    fn seed_exclusive(_db: &Database, st: &TxnState, meta: &RowMeta) {
+        queue_seed(st, meta);
+    }
+}
+
+/// Queue-variant release: drop ownership, grant newly compatible waiters.
+fn queue_release(db: &Database, txn: TxnId, meta: &RowMeta, _mode: LockMode) {
+    let mut q = meta.lock_queue();
+    q.remove_owner(txn);
+    grant_waiters(db, &mut q);
+}
+
+/// Queue-variant fresh-row ownership (the queue is necessarily empty: the
+/// row is not yet reachable).
+fn queue_seed(st: &TxnState, meta: &RowMeta) {
+    let mut q = meta.lock_queue();
+    q.owners.push(Owner {
+        txn: st.txn_id,
+        mode: LockMode::Exclusive,
+        ts: st.ts,
+    });
+}
+
+/// The shared [`CcProtocol`] surface of the three variants.
+macro_rules! twopl_protocol {
+    ($ty:ident, $scheme:expr) => {
+        impl CcProtocol for $ty {
+            super::scheme_caps!($scheme);
+
+            #[inline]
+            fn read(
+                env: &mut SchemeEnv<'_>,
+                table: TableId,
+                row: RowIdx,
+            ) -> Result<ReadRef, AbortReason> {
+                read::<Self>(env, table, row)
+            }
+
+            #[inline]
+            fn write(
+                env: &mut SchemeEnv<'_>,
+                table: TableId,
+                row: RowIdx,
+                f: impl FnOnce(&Schema, &mut [u8]),
+            ) -> Result<(), AbortReason> {
+                write::<Self>(env, table, row, f)
+            }
+
+            #[inline]
+            fn insert(
+                env: &mut SchemeEnv<'_>,
+                table: TableId,
+                key: Key,
+                f: impl FnOnce(&Schema, &mut [u8]),
+            ) -> Result<(), AbortReason> {
+                insert::<Self>(env, table, key, f)
+            }
+
+            #[inline]
+            fn delete(
+                env: &mut SchemeEnv<'_>,
+                table: TableId,
+                key: Key,
+                row: RowIdx,
+            ) -> Result<(), AbortReason> {
+                delete::<Self>(env, table, key, row)
+            }
+
+            #[inline]
+            fn scan(
+                ctx: &mut WorkerCtx<Self>,
+                table: TableId,
+                low: Key,
+                high: Key,
+                f: &mut dyn FnMut(Key, &Schema, &[u8]),
+            ) -> Result<usize, TxnError> {
+                scan_2pl::<Self>(ctx, table, low, high, f)
+            }
+
+            fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
+                // WAL commit point: every X lock is still held and the
+                // commit below cannot fail — the record is appended (and
+                // under per-commit fsync, forced) before any lock
+                // releases, so a conflicting successor can neither draw
+                // an earlier serial nor become durable without us.
+                env.db.wal_commit_point_csn(env.worker, env.st, env.stats);
+                commit::<Self>(env);
+                Ok(())
+            }
+
+            fn abort(env: &mut SchemeEnv<'_>) {
+                abort::<Self>(env);
+            }
+        }
+    };
+}
+
+twopl_protocol!(NoWait, CcScheme::NoWait);
+twopl_protocol!(DlDetect, CcScheme::DlDetect);
+twopl_protocol!(WaitDie, CcScheme::WaitDie);
+
+/// Acquire `mode` on `(table, row)` under variant `V`.
+fn acquire<V: Variant>(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
@@ -47,12 +241,7 @@ fn acquire(
     }
     let upgrade = mode == LockMode::Exclusive && env.st.holds(table, row, LockMode::Shared);
     let meta = env.db.row_meta(table, row);
-    match env.db.cfg.scheme {
-        CcScheme::NoWait => acquire_no_wait(meta, mode, upgrade)?,
-        CcScheme::DlDetect => acquire_dl_detect(env, meta, mode, upgrade)?,
-        CcScheme::WaitDie => acquire_wait_die(env, meta, mode, upgrade)?,
-        other => unreachable!("twopl::acquire with scheme {other}"),
-    }
+    V::acquire(env, meta, mode, upgrade)?;
     if upgrade {
         for h in env.st.held.iter_mut() {
             if h.table == table && h.row == row {
@@ -290,36 +479,22 @@ pub(crate) fn grant_waiters(db: &crate::db::Database, q: &mut crate::meta::LockQ
 }
 
 /// Release every held lock (commit and abort paths).
-fn release_all(env: &mut SchemeEnv<'_>) {
-    let scheme = env.db.cfg.scheme;
+fn release_all<V: Variant>(env: &mut SchemeEnv<'_>) {
+    let txn = env.st.txn_id;
     for h in std::mem::take(&mut env.st.held) {
         let meta = env.db.row_meta(h.table, h.row);
-        match scheme {
-            CcScheme::NoWait => match h.mode {
-                LockMode::Shared => {
-                    meta.word.fetch_sub(1, Ordering::AcqRel);
-                }
-                LockMode::Exclusive => {
-                    meta.word.store(0, Ordering::Release);
-                }
-            },
-            _ => {
-                let mut q = meta.lock_queue();
-                q.remove_owner(env.st.txn_id);
-                grant_waiters(env.db, &mut q);
-            }
-        }
+        V::release_one(env.db, txn, meta, h.mode);
     }
 }
 
 /// S-lock `(table, row)` without reading it — the scan path's next-key
 /// locking primitive (rows in range, the boundary row, the gap anchor).
-pub(crate) fn lock_shared(
+pub(crate) fn lock_shared<V: Variant>(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
 ) -> Result<(), AbortReason> {
-    acquire(env, table, row, LockMode::Shared)
+    acquire::<V>(env, table, row, LockMode::Shared)
 }
 
 /// The next-key lock an inserter must take before publishing `key`: the
@@ -338,7 +513,7 @@ fn gap_target(env: &SchemeEnv<'_>, table: TableId, key: Key) -> Option<RowIdx> {
 /// lock must be dropped again right after the insert is published —
 /// ARIES/IM-style instant duration. A lock the transaction already held
 /// (or upgraded) stays held to commit.
-fn acquire_gap_lock(
+fn acquire_gap_lock<V: Variant>(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
@@ -347,17 +522,17 @@ fn acquire_gap_lock(
         return Ok(None);
     }
     let upgraded = env.st.holds(table, row, LockMode::Shared);
-    acquire(env, table, row, LockMode::Exclusive)?;
+    acquire::<V>(env, table, row, LockMode::Exclusive)?;
     Ok(if upgraded { None } else { Some(row) })
 }
 
 /// 2PL read: S-lock then read in place.
-pub(crate) fn read(
+fn read<V: Variant>(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
 ) -> Result<ReadRef, AbortReason> {
-    acquire(env, table, row, LockMode::Shared)?;
+    acquire::<V>(env, table, row, LockMode::Shared)?;
     let t = &env.db.tables[table as usize];
     // SAFETY: the S lock held until commit/abort excludes writers.
     let data = unsafe { t.row(row) };
@@ -368,16 +543,18 @@ pub(crate) fn read(
 }
 
 /// 2PL write: X-lock, log the before-image, mutate in place.
-pub(crate) fn write(
+fn write<V: Variant>(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     row: RowIdx,
     f: impl FnOnce(&Schema, &mut [u8]),
 ) -> Result<(), AbortReason> {
-    acquire(env, table, row, LockMode::Exclusive)?;
+    acquire::<V>(env, table, row, LockMode::Exclusive)?;
     let t = &env.db.tables[table as usize];
     if !env.st.undo.iter().any(|u| u.table == table && u.row == row) {
-        let mut image = env.pool.alloc(t.row_size());
+        // Uninit is safe: `copy_row_into` fills the full row prefix and
+        // the abort path reads exactly that prefix.
+        let mut image = env.pool.alloc_uninit(t.row_size());
         // SAFETY: X lock held.
         unsafe { t.copy_row_into(row, &mut image) };
         env.st.undo.push(UndoEntry { table, row, image });
@@ -393,7 +570,7 @@ pub(crate) fn write(
 /// only then drop the instant-duration gap lock. A scanner protecting the
 /// target gap holds S on the successor, so the gap X conflicts — that is
 /// the phantom guard.
-pub(crate) fn insert(
+fn insert<V: Variant>(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     key: Key,
@@ -409,12 +586,12 @@ pub(crate) fn insert(
         match gap_target(env, table, key) {
             None => break None, // no ordered index: no gap to guard
             Some(gap_row) => {
-                let acquired = acquire_gap_lock(env, table, gap_row)?;
+                let acquired = acquire_gap_lock::<V>(env, table, gap_row)?;
                 if gap_target(env, table, key) == Some(gap_row) {
                     break acquired;
                 }
                 if let Some(row) = acquired {
-                    release_last_lock(env, table, row);
+                    release_last_lock::<V>(env, table, row);
                 }
                 attempts += 1;
                 if attempts > 128 {
@@ -425,7 +602,7 @@ pub(crate) fn insert(
     };
     let release_gap = |env: &mut SchemeEnv<'_>| {
         if let Some(row) = instant_gap {
-            release_last_lock(env, table, row);
+            release_last_lock::<V>(env, table, row);
         }
     };
 
@@ -443,17 +620,7 @@ pub(crate) fn insert(
 
     // Take the lock before the row becomes reachable through the index.
     let meta = env.db.row_meta(table, row);
-    match env.db.cfg.scheme {
-        CcScheme::NoWait => meta.word.store(rw::WRITER, Ordering::Release),
-        _ => {
-            let mut q = meta.lock_queue();
-            q.owners.push(Owner {
-                txn: env.st.txn_id,
-                mode: LockMode::Exclusive,
-                ts: env.st.ts,
-            });
-        }
-    }
+    V::seed_exclusive(env.db, env.st, meta);
     env.st.held.push(HeldLock {
         table,
         row,
@@ -462,7 +629,7 @@ pub(crate) fn insert(
 
     if env.db.index_insert(table, key, row).is_err() {
         // Lost an insert race on the same key: roll this slot back out.
-        release_last_lock(env, table, row);
+        release_last_lock::<V>(env, table, row);
         release_gap(env);
         return Err(AbortReason::LockConflict);
     }
@@ -481,13 +648,13 @@ pub(crate) fn insert(
 /// (while the lock is still held), so a concurrent reader either blocks on
 /// the X lock or misses the key entirely — never observes an uncommitted
 /// delete.
-pub(crate) fn delete(
+fn delete<V: Variant>(
     env: &mut SchemeEnv<'_>,
     table: TableId,
     key: Key,
     row: RowIdx,
 ) -> Result<(), AbortReason> {
-    acquire(env, table, row, LockMode::Exclusive)?;
+    acquire::<V>(env, table, row, LockMode::Exclusive)?;
     env.st.deletes.push(DeleteEntry {
         table,
         key,
@@ -498,33 +665,89 @@ pub(crate) fn delete(
 }
 
 /// Undo the lock taken by a failed insert (rare path).
-fn release_last_lock(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) {
+fn release_last_lock<V: Variant>(env: &mut SchemeEnv<'_>, table: TableId, row: RowIdx) {
     env.st.held.retain(|h| !(h.table == table && h.row == row));
     let meta = env.db.row_meta(table, row);
-    match env.db.cfg.scheme {
-        CcScheme::NoWait => meta.word.store(0, Ordering::Release),
-        _ => {
-            let mut q = meta.lock_queue();
-            q.remove_owner(env.st.txn_id);
-            grant_waiters(env.db, &mut q);
+    V::release_one(env.db, env.st.txn_id, meta, LockMode::Exclusive);
+}
+
+/// 2PL scan driver: the next-key walk described on
+/// [`crate::worker::WorkerCtx::scan`]. Only lockable protocols (the
+/// three 2PL variants, plus the runtime shim) can instantiate it.
+pub(crate) fn scan_2pl<V: Variant>(
+    ctx: &mut WorkerCtx<V>,
+    table: TableId,
+    low: Key,
+    high: Key,
+    f: &mut dyn FnMut(Key, &Schema, &[u8]),
+) -> Result<usize, TxnError> {
+    let mut count = 0usize;
+    let mut cursor = low;
+    loop {
+        let succ = ctx.db.require_ordered(table)?.successor_inclusive(cursor);
+        match succ {
+            None => {
+                // Lock the +∞ gap anchor, then confirm the tail gap is
+                // still empty (an insert may have raced the lock).
+                lock_shared::<V>(&mut ctx.env(), table, GAP_ROW).map_err(TxnError::Abort)?;
+                if ctx
+                    .db
+                    .require_ordered(table)?
+                    .successor_inclusive(cursor)
+                    .is_some()
+                {
+                    ctx.stats.scan_retries += 1;
+                    continue;
+                }
+                break;
+            }
+            Some((k, row)) => {
+                lock_shared::<V>(&mut ctx.env(), table, row).map_err(TxnError::Abort)?;
+                // Holding S on the successor freezes the gap below it;
+                // re-verify nothing slipped in (or that the row itself
+                // was deleted) before the lock landed.
+                match ctx.db.require_ordered(table)?.successor_inclusive(cursor) {
+                    Some((k2, r2)) if k2 == k && r2 == row => {
+                        if k > high {
+                            // Boundary row locked: the (last-in-range,
+                            // successor) gap is protected. Done.
+                            break;
+                        }
+                        let t = &ctx.db.tables[table as usize];
+                        // SAFETY: the S lock held to commit/abort
+                        // excludes writers.
+                        let data = unsafe { t.row(row) };
+                        f(k, t.schema(), data);
+                        count += 1;
+                        cursor = match k.checked_add(1) {
+                            Some(c) => c,
+                            None => break,
+                        };
+                    }
+                    _ => {
+                        ctx.stats.scan_retries += 1;
+                    }
+                }
+            }
         }
     }
+    Ok(count)
 }
 
 /// Commit: apply deferred deletes (X locks still held), drop before-images,
 /// release everything (the shrink phase).
-pub(crate) fn commit(env: &mut SchemeEnv<'_>) {
+fn commit<V: Variant>(env: &mut SchemeEnv<'_>) {
     for d in std::mem::take(&mut env.st.deletes) {
         if !d.applied {
             env.db.index_remove(d.table, d.key);
         }
     }
-    release_all(env);
+    release_all::<V>(env);
 }
 
 /// Abort: restore before-images, unpublish inserts, release everything.
 /// Deferred deletes never touched the indexes, so they need no undo.
-pub(crate) fn abort(env: &mut SchemeEnv<'_>) {
+fn abort<V: Variant>(env: &mut SchemeEnv<'_>) {
     // Undo in reverse order; X locks are still held so in-place writes are
     // exclusive.
     for u in std::mem::take(&mut env.st.undo).into_iter().rev() {
@@ -540,5 +763,5 @@ pub(crate) fn abort(env: &mut SchemeEnv<'_>) {
         }
     }
     env.st.deletes.clear();
-    release_all(env);
+    release_all::<V>(env);
 }

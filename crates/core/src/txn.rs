@@ -161,7 +161,7 @@ pub(crate) struct TxnState {
     /// The WAL record's serial number: within an epoch, replay applies
     /// records touching the same key in increasing `log_seq` (SILO's
     /// commit TID, a T/O scheme's timestamp, or a commit-window serial
-    /// from [`crate::db::Database::wal_serial_point_csn`]).
+    /// from [`crate::db::Database::wal_commit_point_csn`]).
     pub log_seq: u64,
 }
 

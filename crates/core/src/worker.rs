@@ -1,17 +1,27 @@
-//! Per-thread worker contexts: the public transaction API, scheme
-//! dispatch, and the multi-threaded benchmark driver.
+//! Per-thread worker contexts — the public transaction API — and the
+//! multi-threaded benchmark drivers.
+//!
+//! [`WorkerCtx`] is generic over a [`CcProtocol`] impl: the benchmark
+//! drivers instantiate it with the configured scheme's static type (via
+//! `dispatch_protocol!`, once per run), so the steady-state loop contains
+//! no scheme dispatch at all — the protocol inlines into the access
+//! path. The default type parameter, [`AnyScheme`], recovers classic
+//! enum dispatch (one match per operation) for callers that cannot name
+//! the scheme in their types; [`crate::db::Database::worker`] hands out
+//! that flavor.
 
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use abyss_common::{AbortReason, CcScheme, DbError, Key, PartId, RowIdx, RunStats, TableId, Ts};
+use abyss_common::{AbortReason, DbError, Key, PartId, RowIdx, RunStats, TableId, Ts};
 use abyss_storage::{MemPool, Schema};
 
 use crate::db::Database;
-use crate::schemes::{hstore, mvcc, occ, silo, tictoc, timestamp, twopl, ReadRef, SchemeEnv};
+use crate::schemes::{AnyScheme, CcProtocol, ReadRef, SchemeEnv};
 use crate::ts::TsHandle;
-use crate::txn::{make_txn_id, NodeSetEntry, RedoEntry, TxnState, GAP_ROW};
+use crate::txn::{make_txn_id, NodeSetEntry, RedoEntry, TxnState};
 
 /// Errors surfaced by the transaction API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +58,11 @@ impl std::error::Error for TxnError {}
 /// A per-thread execution context. Create one per worker thread with
 /// [`Database::worker`]; it is `Send` but not `Sync` (one thread at a
 /// time), mirroring the paper's one-worker-per-core model.
-pub struct WorkerCtx {
+///
+/// The type parameter is the concurrency-control protocol the context
+/// executes (see the module docs); the default, [`AnyScheme`], dispatches
+/// on the database's configured scheme at runtime.
+pub struct WorkerCtx<P: CcProtocol = AnyScheme> {
     pub(crate) db: Arc<Database>,
     pub(crate) worker: u32,
     pub(crate) ts_handle: TsHandle,
@@ -67,10 +81,18 @@ pub struct WorkerCtx {
     /// SILO: this worker's previous commit TID (epoch-composed, see
     /// [`crate::epoch`]); successive commit TIDs are strictly increasing.
     last_tid: u64,
+    /// `fn() -> P` keeps the context `Send` regardless of `P`.
+    _protocol: PhantomData<fn() -> P>,
 }
 
-impl WorkerCtx {
+impl<P: CcProtocol> WorkerCtx<P> {
     pub(crate) fn new(db: Arc<Database>, worker: u32) -> Self {
+        assert!(
+            P::STATIC_SCHEME.is_none_or(|s| s == db.cfg.scheme),
+            "protocol {:?} instantiated against a {} database",
+            P::STATIC_SCHEME,
+            db.cfg.scheme
+        );
         let ts_handle = db.ts.handle(worker);
         Self {
             db,
@@ -84,6 +106,7 @@ impl WorkerCtx {
             jitter: 0x9E37_79B9 ^ u64::from(worker) << 16 | 1,
             consec_aborts: 0,
             last_tid: 0,
+            _protocol: PhantomData,
         }
     }
 
@@ -109,13 +132,15 @@ impl WorkerCtx {
         self.last_tid
     }
 
-    fn env(&mut self) -> SchemeEnv<'_> {
+    pub(crate) fn env(&mut self) -> SchemeEnv<'_> {
         SchemeEnv {
             db: &self.db,
             st: &mut self.st,
             pool: &mut self.pool,
             worker: self.worker,
             stats: &mut self.stats,
+            ts: &mut self.ts_handle,
+            last_tid: &mut self.last_tid,
         }
     }
 
@@ -128,9 +153,9 @@ impl WorkerCtx {
         self.seq += 1;
         self.st.txn_id = make_txn_id(self.worker, self.seq);
         let scheme = self.db.cfg.scheme;
-        self.st.ts = if scheme.needs_start_ts() {
-            match (scheme, reuse_ts) {
-                (CcScheme::WaitDie, Some(ts)) => ts,
+        self.st.ts = if P::needs_ts(scheme) {
+            match reuse_ts {
+                Some(ts) if P::ts_reuse_on_restart(scheme) => ts,
                 _ => {
                     self.stats.ts_allocated += 1;
                     self.ts_handle.alloc()
@@ -139,10 +164,10 @@ impl WorkerCtx {
         } else {
             0
         };
-        if scheme == CcScheme::DlDetect {
+        if P::tracks_waits(scheme) {
             self.db.waits.set_active(self.worker, self.st.txn_id);
         }
-        if matches!(scheme, CcScheme::Silo | CcScheme::TicToc) || self.db.wal.is_some() {
+        if P::uses_epoch(scheme) || self.db.wal.is_some() {
             // Register in the current epoch (SILO: commit identity + GC;
             // TICTOC: the quiescence horizon alone; with logging on,
             // every scheme: the group-commit flush horizon — a worker
@@ -151,17 +176,9 @@ impl WorkerCtx {
             self.db.epoch.enter(self.worker);
         }
         self.in_txn = true;
-        if scheme == CcScheme::HStore {
-            let sorted = {
-                let mut p = partitions.to_vec();
-                p.sort_unstable();
-                p.dedup();
-                p
-            };
-            if let Err(r) = hstore::acquire_partitions(&mut self.env(), &sorted) {
-                self.rollback(r);
-                return Err(TxnError::Abort(r));
-            }
+        if let Err(r) = P::begin(&mut self.env(), partitions) {
+            self.rollback(r);
+            return Err(TxnError::Abort(r));
         }
         Ok(())
     }
@@ -173,19 +190,17 @@ impl WorkerCtx {
     /// through its commit-time removal; OCC/SILO bump the word; MVCC
     /// resolves after removal), so a stale row reference surfaces here as
     /// the same `KeyNotFound` a fresh probe would produce — instead of
-    /// resurrecting the dead row. TIMESTAMP needs no probe (deleted rows
-    /// are tombstoned with `wts = ∞`), and H-STORE's partition ownership
-    /// excludes concurrent deleters entirely.
+    /// resurrecting the dead row. Schemes with `GUARDS_DELETED = false`
+    /// need no probe (TIMESTAMP tombstones deleted rows with `wts = ∞`;
+    /// H-STORE's partition ownership excludes concurrent deleters).
     fn check_not_deleted(&self, table: TableId, key: Key, row: RowIdx) -> Result<(), TxnError> {
-        match self.db.cfg.scheme {
-            CcScheme::Timestamp | CcScheme::HStore => Ok(()),
-            _ => {
-                if self.db.indexes[table as usize].find(key) == Some(row) {
-                    Ok(())
-                } else {
-                    Err(TxnError::Db(DbError::KeyNotFound { table, key }))
-                }
-            }
+        if !P::guards_deleted(self.db.cfg.scheme) {
+            return Ok(());
+        }
+        if self.db.indexes[table as usize].find(key) == Some(row) {
+            Ok(())
+        } else {
+            Err(TxnError::Db(DbError::KeyNotFound { table, key }))
         }
     }
 
@@ -196,17 +211,7 @@ impl WorkerCtx {
         debug_assert!(self.in_txn, "read outside a transaction");
         let row = self.db.index_get(table, key)?;
         let len = self.db.tables[table as usize].row_size();
-        let r = match self.db.cfg.scheme {
-            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
-                twopl::read(&mut self.env(), table, row)
-            }
-            CcScheme::Timestamp => timestamp::read(&mut self.env(), table, row),
-            CcScheme::Mvcc => mvcc::read(&mut self.env(), table, row),
-            CcScheme::Occ => occ::read(&mut self.env(), table, row),
-            CcScheme::HStore => hstore::read(&mut self.env(), table, row),
-            CcScheme::Silo => silo::read(&mut self.env(), table, row),
-            CcScheme::TicToc => tictoc::read(&mut self.env(), table, row),
-        }?;
+        let r = P::read(&mut self.env(), table, row)?;
         self.check_not_deleted(table, key, row)?;
         Ok(match r {
             // SAFETY: the pointer targets the table arena; the scheme
@@ -300,17 +305,7 @@ impl WorkerCtx {
                 buf[..*len].copy_from_slice(&d[..*len]);
             }
         };
-        let res = match self.db.cfg.scheme {
-            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
-                twopl::write(&mut self.env(), table, row, wrap)
-            }
-            CcScheme::Timestamp => timestamp::write(&mut self.env(), table, row, wrap),
-            CcScheme::Mvcc => mvcc::write(&mut self.env(), table, row, wrap),
-            CcScheme::Occ => occ::write(&mut self.env(), table, row, wrap),
-            CcScheme::HStore => hstore::write(&mut self.env(), table, row, wrap),
-            CcScheme::Silo => silo::write(&mut self.env(), table, row, wrap),
-            CcScheme::TicToc => tictoc::write(&mut self.env(), table, row, wrap),
-        };
+        let res = P::write(&mut self.env(), table, row, wrap);
         match (res, cap) {
             (Ok(()), Some((buf, _))) => {
                 self.redo_put(table, key, buf);
@@ -357,17 +352,7 @@ impl WorkerCtx {
                 buf[..*len].copy_from_slice(&d[..*len]);
             }
         };
-        let res = match self.db.cfg.scheme {
-            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
-                twopl::insert(&mut self.env(), table, key, wrap)
-            }
-            CcScheme::Timestamp => timestamp::insert(&mut self.env(), table, key, wrap),
-            CcScheme::Mvcc => mvcc::insert(&mut self.env(), table, key, wrap),
-            CcScheme::Occ => occ::insert(&mut self.env(), table, key, wrap),
-            CcScheme::HStore => hstore::insert(&mut self.env(), table, key, wrap),
-            CcScheme::Silo => silo::insert(&mut self.env(), table, key, wrap),
-            CcScheme::TicToc => tictoc::insert(&mut self.env(), table, key, wrap),
-        };
+        let res = P::insert(&mut self.env(), table, key, wrap);
         match (res, cap) {
             (Ok(()), Some((buf, _))) => {
                 self.redo_put(table, key, buf);
@@ -391,18 +376,7 @@ impl WorkerCtx {
     pub fn delete(&mut self, table: TableId, key: Key) -> Result<(), TxnError> {
         debug_assert!(self.in_txn, "delete outside a transaction");
         let row = self.db.index_get(table, key)?;
-        match self.db.cfg.scheme {
-            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
-                twopl::delete(&mut self.env(), table, key, row)
-            }
-            CcScheme::Timestamp => timestamp::delete(&mut self.env(), table, key, row),
-            CcScheme::Mvcc => mvcc::delete(&mut self.env(), table, key, row),
-            CcScheme::Occ => occ::delete(&mut self.env(), table, key, row),
-            CcScheme::HStore => hstore::delete(&mut self.env(), table, key, row),
-            CcScheme::Silo => silo::delete(&mut self.env(), table, key, row),
-            CcScheme::TicToc => tictoc::delete(&mut self.env(), table, key, row),
-        }
-        .map_err(TxnError::Abort)?;
+        P::delete(&mut self.env(), table, key, row).map_err(TxnError::Abort)?;
         if self.db.wal.is_some() {
             self.redo_del(table, key);
         }
@@ -411,7 +385,8 @@ impl WorkerCtx {
 
     /// Range-scan `table` over `low..=high` (requires an ordered index),
     /// invoking `f` with each qualifying row. Returns the number of rows
-    /// observed. Phantom protection is per scheme:
+    /// observed. Phantom protection is per scheme (each protocol picks
+    /// one of the drivers below):
     ///
     /// * **2PL** — a next-key walk: each row (plus the first row beyond
     ///   `high`, or the table's +∞ gap anchor) is S-locked *before* the
@@ -436,16 +411,7 @@ impl WorkerCtx {
         debug_assert!(self.in_txn, "scan outside a transaction");
         self.db.require_ordered(table)?;
         self.stats.scans += 1;
-        match self.db.cfg.scheme {
-            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
-                self.scan_2pl(table, low, high, &mut f)
-            }
-            CcScheme::HStore => self.scan_hstore(table, low, high, &mut f),
-            CcScheme::Timestamp | CcScheme::Mvcc => self.scan_to(table, low, high, &mut f),
-            CcScheme::Occ | CcScheme::Silo | CcScheme::TicToc => {
-                self.scan_occ(table, low, high, &mut f)
-            }
-        }
+        P::scan(self, table, low, high, &mut f)
     }
 
     /// Sum one `u64` column over a key range (scan convenience).
@@ -463,75 +429,8 @@ impl WorkerCtx {
         Ok((n, sum))
     }
 
-    /// 2PL scan: the next-key walk described on [`WorkerCtx::scan`].
-    fn scan_2pl(
-        &mut self,
-        table: TableId,
-        low: Key,
-        high: Key,
-        f: &mut dyn FnMut(Key, &Schema, &[u8]),
-    ) -> Result<usize, TxnError> {
-        let mut count = 0usize;
-        let mut cursor = low;
-        loop {
-            let succ = self.db.require_ordered(table)?.successor_inclusive(cursor);
-            match succ {
-                None => {
-                    // Lock the +∞ gap anchor, then confirm the tail gap is
-                    // still empty (an insert may have raced the lock).
-                    {
-                        let mut env = self.env();
-                        twopl::lock_shared(&mut env, table, GAP_ROW).map_err(TxnError::Abort)?;
-                    }
-                    if self
-                        .db
-                        .require_ordered(table)?
-                        .successor_inclusive(cursor)
-                        .is_some()
-                    {
-                        self.stats.scan_retries += 1;
-                        continue;
-                    }
-                    break;
-                }
-                Some((k, row)) => {
-                    {
-                        let mut env = self.env();
-                        twopl::lock_shared(&mut env, table, row).map_err(TxnError::Abort)?;
-                    }
-                    // Holding S on the successor freezes the gap below it;
-                    // re-verify nothing slipped in (or that the row itself
-                    // was deleted) before the lock landed.
-                    match self.db.require_ordered(table)?.successor_inclusive(cursor) {
-                        Some((k2, r2)) if k2 == k && r2 == row => {
-                            if k > high {
-                                // Boundary row locked: the (last-in-range,
-                                // successor) gap is protected. Done.
-                                break;
-                            }
-                            let t = &self.db.tables[table as usize];
-                            // SAFETY: the S lock held to commit/abort
-                            // excludes writers.
-                            let data = unsafe { t.row(row) };
-                            f(k, t.schema(), data);
-                            count += 1;
-                            cursor = match k.checked_add(1) {
-                                Some(c) => c,
-                                None => break,
-                            };
-                        }
-                        _ => {
-                            self.stats.scan_retries += 1;
-                        }
-                    }
-                }
-            }
-        }
-        Ok(count)
-    }
-
-    /// H-STORE scan: the owned partitions make the walk exclusive.
-    fn scan_hstore(
+    /// H-STORE scan driver: the owned partitions make the walk exclusive.
+    pub(crate) fn scan_hstore(
         &mut self,
         table: TableId,
         low: Key,
@@ -549,9 +448,11 @@ impl WorkerCtx {
         Ok(sr.entries.len())
     }
 
-    /// TIMESTAMP / MVCC scan: leaf-tag the range, read per row, then
-    /// revalidate leaf versions (see [`WorkerCtx::scan`]).
-    fn scan_to(
+    /// TIMESTAMP / MVCC scan driver: leaf-tag the range, read per row
+    /// (through [`CcProtocol::read_for_scan`], so MVCC skips rows
+    /// invisible at its snapshot), then revalidate leaf versions (see
+    /// [`WorkerCtx::scan`]).
+    pub(crate) fn scan_to(
         &mut self,
         table: TableId,
         low: Key,
@@ -559,7 +460,6 @@ impl WorkerCtx {
         f: &mut dyn FnMut(Key, &Schema, &[u8]),
     ) -> Result<usize, TxnError> {
         let ts = self.st.ts;
-        let is_mvcc = self.db.cfg.scheme == CcScheme::Mvcc;
         let mut attempts = 0u32;
         // Read copies taken by an attempt that fails leaf revalidation are
         // dead; recycle them instead of letting them pile up in rbuf until
@@ -597,14 +497,7 @@ impl WorkerCtx {
             }
             let mut got: Vec<(Key, usize)> = Vec::with_capacity(entries.len());
             for &(k, row) in &entries {
-                let r = {
-                    let mut env = self.env();
-                    if is_mvcc {
-                        mvcc::read_visible(&mut env, table, row).map_err(TxnError::Abort)?
-                    } else {
-                        Some(timestamp::read(&mut env, table, row).map_err(TxnError::Abort)?)
-                    }
-                };
+                let r = P::read_for_scan(&mut self.env(), table, row).map_err(TxnError::Abort)?;
                 match r {
                     Some(ReadRef::Rbuf(i)) => got.push((k, i)),
                     Some(ReadRef::InPlace { .. }) => {
@@ -634,8 +527,9 @@ impl WorkerCtx {
         }
     }
 
-    /// OCC / SILO / TICTOC scan: record the node set, read optimistically.
-    fn scan_occ(
+    /// OCC / SILO / TICTOC scan driver: record the node set, read
+    /// optimistically.
+    pub(crate) fn scan_occ(
         &mut self,
         table: TableId,
         low: Key,
@@ -657,10 +551,7 @@ impl WorkerCtx {
         }
         let mut got: Vec<(Key, usize)> = Vec::with_capacity(entries.len());
         for &(k, row) in &entries {
-            let r = {
-                let mut env = self.env();
-                occ::read(&mut env, table, row).map_err(TxnError::Abort)?
-            };
+            let r = P::read(&mut self.env(), table, row).map_err(TxnError::Abort)?;
             match r {
                 ReadRef::Rbuf(i) => got.push((k, i)),
                 ReadRef::InPlace { .. } => unreachable!("OCC reads always copy"),
@@ -676,62 +567,12 @@ impl WorkerCtx {
     }
 
     /// Commit. May abort (OCC validation, insert races); the transaction
-    /// is fully rolled back before the error returns.
+    /// is fully rolled back before the error returns. The scheme's commit
+    /// passes its WAL commit point inside its own exclusion window (locks
+    /// still held / prewrites pending / latches validated).
     pub fn commit(&mut self) -> Result<(), TxnError> {
         debug_assert!(self.in_txn, "commit outside a transaction");
-        let result = match self.db.cfg.scheme {
-            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
-                // WAL commit point: every X lock is still held and the
-                // commit below cannot fail — the record is appended (and
-                // under per-commit fsync, forced) before any lock
-                // releases, so a conflicting successor can neither draw
-                // an earlier serial nor become durable without us.
-                self.db
-                    .wal_commit_point_csn(self.worker, &mut self.st, &mut self.stats);
-                twopl::commit(&mut self.env());
-                Ok(())
-            }
-            // T/O and MVCC serialize by their start timestamp; their WAL
-            // commit point sits inside the scheme commit, after the only
-            // fallible step (insert publication) and while every prewrite
-            // is still pending.
-            CcScheme::Timestamp => timestamp::commit(&mut self.env()),
-            CcScheme::Mvcc => mvcc::commit(&mut self.env()),
-            CcScheme::Occ => {
-                // The second (validation) timestamp — OCC's extra trip to
-                // the allocator (§5.1).
-                self.stats.ts_allocated += 1;
-                let _validation_ts = self.ts_handle.alloc();
-                occ::commit(&mut self.env())
-            }
-            CcScheme::HStore => {
-                // WAL commit point: the partitions are still owned.
-                self.db
-                    .wal_commit_point_csn(self.worker, &mut self.st, &mut self.stats);
-                hstore::commit(&mut self.env());
-                Ok(())
-            }
-            CcScheme::Silo => {
-                // No validation timestamp: the commit TID comes from the
-                // epoch subsystem plus per-tuple observations.
-                let last = self.last_tid;
-                let r = silo::commit(&mut self.env(), last);
-                match r {
-                    Ok(tid) => {
-                        self.last_tid = tid;
-                        Ok(())
-                    }
-                    Err(reason) => Err(reason),
-                }
-            }
-            CcScheme::TicToc => {
-                // No timestamp of any kind from outside: the commit
-                // timestamp is computed from the read/write sets' tuple
-                // words inside the commit itself.
-                tictoc::commit(&mut self.env())
-            }
-        };
-        match result {
+        match P::commit(&mut self.env()) {
             Ok(()) => {
                 // The redo record was appended at the scheme's WAL commit
                 // point, inside its exclusion window and before this
@@ -760,26 +601,16 @@ impl WorkerCtx {
     }
 
     fn rollback(&mut self, _reason: AbortReason) {
-        match self.db.cfg.scheme {
-            CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
-                twopl::abort(&mut self.env())
-            }
-            CcScheme::Timestamp => timestamp::abort(&mut self.env()),
-            CcScheme::Mvcc => mvcc::abort(&mut self.env()),
-            CcScheme::Occ => occ::abort(&mut self.env()),
-            CcScheme::HStore => hstore::abort(&mut self.env()),
-            CcScheme::Silo => silo::abort(&mut self.env()),
-            CcScheme::TicToc => tictoc::abort(&mut self.env()),
-        }
+        P::abort(&mut self.env());
         self.finish();
     }
 
     fn finish(&mut self) {
-        if self.db.cfg.scheme == CcScheme::DlDetect {
+        let scheme = self.db.cfg.scheme;
+        if P::tracks_waits(scheme) {
             self.db.waits.clear_active(self.worker);
         }
-        if matches!(self.db.cfg.scheme, CcScheme::Silo | CcScheme::TicToc) || self.db.wal.is_some()
-        {
+        if P::uses_epoch(scheme) || self.db.wal.is_some() {
             self.db.epoch.exit(self.worker);
         }
         self.st.reset(&mut self.pool);
@@ -792,7 +623,7 @@ impl WorkerCtx {
     pub fn run_txn<R>(
         &mut self,
         partitions: &[PartId],
-        mut body: impl FnMut(&mut WorkerCtx) -> Result<R, TxnError>,
+        mut body: impl FnMut(&mut Self) -> Result<R, TxnError>,
     ) -> Result<R, TxnError> {
         // The abort penalty escalates per retry of *this* template only.
         self.consec_aborts = 0;
@@ -864,7 +695,7 @@ impl WorkerCtx {
     }
 }
 
-impl std::fmt::Debug for WorkerCtx {
+impl<P: CcProtocol> std::fmt::Debug for WorkerCtx<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerCtx")
             .field("worker", &self.worker)
@@ -892,6 +723,18 @@ impl BenchOutcome {
 /// A per-worker transaction stream.
 type Generator = Box<dyn FnMut() -> abyss_common::TxnTemplate + Send>;
 
+/// How the benchmark drivers bind the scheme to the worker loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// One enum match per operation ([`AnyScheme`]) — the
+    /// pre-monomorphization engine's hot path, kept as the measured
+    /// baseline.
+    Enum,
+    /// The scheme's protocol monomorphized into the loop (zero dispatch
+    /// per access) — what [`run_workers`] / [`run_workers_bounded`] use.
+    Mono,
+}
+
 /// Driver epilogue when logging is on: record the durable-epoch lag the
 /// run ended with (group-commit ack latency, in epochs), then run the
 /// clean-shutdown flush (workers are joined ⇒ quiescent) and export the
@@ -914,10 +757,10 @@ fn finalize_wal(db: &Arc<Database>, stats: &mut RunStats, base: Option<abyss_sto
 /// `body` against its generator, run `control` on the spawning thread
 /// (e.g. a stop-flag timer), then join and merge every worker's stats.
 /// Both public drivers differ only in their loop-termination policy.
-fn drive_workers(
+fn drive_workers<P: CcProtocol>(
     db: &Arc<Database>,
     mut generators: Vec<Generator>,
-    body: impl Fn(&mut WorkerCtx, &mut dyn FnMut() -> abyss_common::TxnTemplate) + Sync,
+    body: impl Fn(&mut WorkerCtx<P>, &mut dyn FnMut() -> abyss_common::TxnTemplate) + Sync,
     control: impl FnOnce(),
 ) -> RunStats {
     let n = db.cfg.workers as usize;
@@ -929,7 +772,7 @@ fn drive_workers(
             let db = Arc::clone(db);
             let body = &body;
             handles.push(scope.spawn(move |_| {
-                let mut ctx = db.worker(w as u32);
+                let mut ctx = WorkerCtx::<P>::new(db, w as u32);
                 body(&mut ctx, &mut *generator);
                 ctx.stats
             }));
@@ -943,11 +786,9 @@ fn drive_workers(
     merged
 }
 
-/// Drive `db.config().workers` threads, each repeatedly fetching a
-/// transaction template from its generator and executing it to commit
-/// (retrying scheduler aborts). Statistics reset after `warmup`; the run
-/// ends after `warmup + measure`.
-pub fn run_workers(
+/// [`run_workers`] instantiated for one protocol — the single-scheme
+/// entry point for binaries that name their scheme statically.
+pub fn run_workers_typed<P: CcProtocol>(
     db: &Arc<Database>,
     generators: Vec<Generator>,
     warmup: Duration,
@@ -959,7 +800,7 @@ pub fn run_workers(
     // WAL counter snapshot at the warmup boundary, so the exported
     // flush/fsync counts match the workers' warmup-reset statistics.
     let warm_base = std::sync::Mutex::new(None);
-    let stats = drive_workers(
+    let stats = drive_workers::<P>(
         db,
         generators,
         |ctx, generator| {
@@ -994,21 +835,33 @@ pub fn run_workers(
     }
 }
 
-/// Like [`run_workers`], but each worker executes **exactly**
-/// `txns_per_worker` templates instead of running for a wall-clock window.
-/// With one worker (no cross-thread interleaving) the outcome — commit and
-/// abort counts, final database state — is a pure function of the
-/// generator seeds, which is what the seeded-replay determinism tests pin:
-/// any nondeterminism they catch is a regression in the workload
-/// generators or the engine, not scheduling noise.
-pub fn run_workers_bounded(
+/// Drive `db.config().workers` threads, each repeatedly fetching a
+/// transaction template from its generator and executing it to commit
+/// (retrying scheduler aborts). Statistics reset after `warmup`; the run
+/// ends after `warmup + measure`. The worker loop is monomorphized over
+/// the configured scheme — this call is the run's single dispatch point.
+pub fn run_workers(
+    db: &Arc<Database>,
+    generators: Vec<Generator>,
+    warmup: Duration,
+    measure: Duration,
+) -> BenchOutcome {
+    crate::schemes::dispatch_protocol!(db.cfg.scheme, P => {
+        run_workers_typed::<P>(db, generators, warmup, measure)
+    })
+}
+
+/// [`run_workers_bounded`] instantiated for one protocol — the
+/// single-scheme entry point for binaries that name their scheme
+/// statically.
+pub fn run_workers_bounded_typed<P: CcProtocol>(
     db: &Arc<Database>,
     generators: Vec<Generator>,
     txns_per_worker: u64,
 ) -> BenchOutcome {
     let never_stop = AtomicBool::new(false);
     let start = Instant::now();
-    let stats = drive_workers(
+    let stats = drive_workers::<P>(
         db,
         generators,
         |ctx, generator| {
@@ -1030,9 +883,44 @@ pub fn run_workers_bounded(
     }
 }
 
+/// Like [`run_workers`], but each worker executes **exactly**
+/// `txns_per_worker` templates instead of running for a wall-clock window.
+/// With one worker (no cross-thread interleaving) the outcome — commit and
+/// abort counts, final database state — is a pure function of the
+/// generator seeds, which is what the seeded-replay determinism tests pin:
+/// any nondeterminism they catch is a regression in the workload
+/// generators or the engine, not scheduling noise.
+pub fn run_workers_bounded(
+    db: &Arc<Database>,
+    generators: Vec<Generator>,
+    txns_per_worker: u64,
+) -> BenchOutcome {
+    run_workers_bounded_via(db, generators, txns_per_worker, DispatchMode::Mono)
+}
+
+/// [`run_workers_bounded`] with an explicit [`DispatchMode`] — the
+/// dispatch micro-comparison drives both paths over identical seeded
+/// workloads and reports the difference.
+pub fn run_workers_bounded_via(
+    db: &Arc<Database>,
+    generators: Vec<Generator>,
+    txns_per_worker: u64,
+    mode: DispatchMode,
+) -> BenchOutcome {
+    match mode {
+        DispatchMode::Enum => {
+            run_workers_bounded_typed::<AnyScheme>(db, generators, txns_per_worker)
+        }
+        DispatchMode::Mono => crate::schemes::dispatch_protocol!(db.cfg.scheme, P => {
+            run_workers_bounded_typed::<P>(db, generators, txns_per_worker)
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use abyss_common::CcScheme;
     use abyss_storage::{row, Catalog, Schema};
 
     fn db(scheme: CcScheme, workers: u32) -> Arc<Database> {
@@ -1047,9 +935,9 @@ mod tests {
         db
     }
 
-    fn smoke_single_worker(scheme: CcScheme) {
-        let db = db(scheme, 2);
-        let mut ctx = db.worker(0);
+    fn smoke_worker<P: CcProtocol>(db: &Arc<Database>) {
+        let scheme = db.scheme();
+        let mut ctx = db.worker_as::<P>(0);
         // read + update + commit
         ctx.run_txn(&[0, 1], |t| {
             let v = t.read_u64(0, 5, 1)?;
@@ -1071,7 +959,11 @@ mod tests {
         });
         assert!(matches!(r, Err(TxnError::Abort(AbortReason::UserAbort))));
         ctx.run_txn(&[0, 1], |t| {
-            assert_eq!(t.read_u64(0, 5, 1)?, 101, "user abort must roll back");
+            assert_eq!(
+                t.read_u64(0, 5, 1)?,
+                101,
+                "{scheme}: user abort must roll back"
+            );
             Ok(())
         })
         .unwrap();
@@ -1090,6 +982,15 @@ mod tests {
         })
         .unwrap();
         assert_eq!(ctx.run_txn(&[0, 1], |t| t.read_u64(0, 500, 1)).unwrap(), 42);
+    }
+
+    /// The same smoke transaction flow through the runtime shim *and* the
+    /// monomorphized protocol — both dispatch flavors must behave alike.
+    fn smoke_single_worker(scheme: CcScheme) {
+        let shim_db = db(scheme, 2);
+        smoke_worker::<AnyScheme>(&shim_db);
+        let mono_db = db(scheme, 2);
+        crate::schemes::dispatch_protocol!(scheme, P => smoke_worker::<P>(&mono_db));
     }
 
     #[test]
@@ -1135,6 +1036,67 @@ mod tests {
     #[test]
     fn single_worker_tictoc() {
         smoke_single_worker(CcScheme::TicToc);
+    }
+
+    /// The shim's hand-written scheme→scan-driver mapping must stay in
+    /// lockstep with the static impls' `CcProtocol::scan` choices: run an
+    /// identical insert/delete/scan history through both flavors and
+    /// compare what the scans observed (rows and retry accounting).
+    #[test]
+    fn shim_and_mono_scan_drivers_agree() {
+        fn scan_history<P: CcProtocol>(db: &Arc<Database>) -> (usize, u64, Vec<u64>) {
+            let scheme = db.scheme();
+            let parts: &[u32] = if scheme == CcScheme::HStore {
+                &[0]
+            } else {
+                &[]
+            };
+            let mut ctx = db.worker_as::<P>(0);
+            ctx.run_txn(parts, |t| {
+                t.insert(0, 25, |s, d| {
+                    row::set_u64(s, d, 0, 25);
+                    row::set_u64(s, d, 1, 7)
+                })
+            })
+            .unwrap();
+            ctx.run_txn(parts, |t| t.delete(0, 22)).unwrap();
+            let mut keys = Vec::new();
+            let n = ctx
+                .run_txn(parts, |t| {
+                    keys.clear();
+                    t.scan(0, 18, 27, |k, _, _| keys.push(k))
+                })
+                .unwrap();
+            (n, ctx.stats.scans, keys)
+        }
+        for scheme in CcScheme::ALL {
+            let build = || {
+                let mut cat = Catalog::new();
+                cat.add_ordered_table("t", Schema::key_plus_payload(2, 8), 100);
+                let db = Database::new(crate::config::EngineConfig::new(scheme, 1), cat).unwrap();
+                db.load_table(0, (0..40u64).filter(|k| k % 2 == 0), |s, r, k| {
+                    row::set_u64(s, r, 0, k);
+                    row::set_u64(s, r, 1, k)
+                })
+                .unwrap();
+                db
+            };
+            let shim = scan_history::<AnyScheme>(&build());
+            let mono = crate::schemes::dispatch_protocol!(scheme, P => scan_history::<P>(&build()));
+            assert_eq!(shim, mono, "{scheme}: shim and mono scans diverged");
+            assert_eq!(
+                shim.2,
+                vec![18, 20, 24, 25, 26],
+                "{scheme}: wrong scan result"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "instantiated against")]
+    fn mismatched_protocol_is_rejected() {
+        let db = db(CcScheme::NoWait, 1);
+        let _ = WorkerCtx::<crate::schemes::Silo>::new(db, 0);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Source-level guard for the monomorphized CC pipeline: the worker's
+//! access paths must contain **zero** scheme dispatch. All per-scheme
+//! behavior lives behind `CcProtocol`; the only places allowed to match
+//! on the scheme enum are the `dispatch_protocol!` macro (the per-run
+//! monomorphization point) and the `AnyScheme` runtime shim
+//! (`schemes/dispatch.rs`). A `match` on the scheme creeping back into
+//! `worker.rs` or a scheme module is exactly the regression this
+//! refactor removed — fail loudly.
+
+/// Forbidden dispatch patterns: an enum match or `matches!` on the
+/// configured scheme.
+fn dispatch_patterns(src: &str) -> Vec<&'static str> {
+    let mut hits = Vec::new();
+    for pat in [
+        "match self.db.cfg.scheme",
+        "match env.db.cfg.scheme",
+        "match db.cfg.scheme",
+        "match ctx.db.cfg.scheme",
+        "match scheme",
+        "match cfg.scheme",
+        "matches!(scheme",
+        "matches!(self.db.cfg.scheme",
+        "matches!(env.db.cfg.scheme",
+        "matches!(db.cfg.scheme",
+        "matches!(ctx.db.cfg.scheme",
+        "matches!(cfg.scheme",
+    ] {
+        if src.contains(pat) {
+            hits.push(pat);
+        }
+    }
+    hits
+}
+
+#[test]
+fn worker_access_paths_are_dispatch_free() {
+    let sources = [
+        ("worker.rs", include_str!("../crates/core/src/worker.rs")),
+        (
+            "executor.rs",
+            include_str!("../crates/core/src/executor.rs"),
+        ),
+    ];
+    for (name, src) in sources {
+        let hits = dispatch_patterns(src);
+        assert!(
+            hits.is_empty(),
+            "crates/core/src/{name} regained scheme dispatch in an access path: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn scheme_modules_are_dispatch_free() {
+    // The per-scheme modules implement exactly one protocol each; any
+    // residual enum dispatch inside them is dead weight on the
+    // monomorphized path.
+    let sources = [
+        (
+            "twopl.rs",
+            include_str!("../crates/core/src/schemes/twopl.rs"),
+        ),
+        (
+            "timestamp.rs",
+            include_str!("../crates/core/src/schemes/timestamp.rs"),
+        ),
+        (
+            "mvcc.rs",
+            include_str!("../crates/core/src/schemes/mvcc.rs"),
+        ),
+        ("occ.rs", include_str!("../crates/core/src/schemes/occ.rs")),
+        (
+            "silo.rs",
+            include_str!("../crates/core/src/schemes/silo.rs"),
+        ),
+        (
+            "tictoc.rs",
+            include_str!("../crates/core/src/schemes/tictoc.rs"),
+        ),
+        (
+            "hstore.rs",
+            include_str!("../crates/core/src/schemes/hstore.rs"),
+        ),
+    ];
+    for (name, src) in sources {
+        let hits = dispatch_patterns(src);
+        assert!(
+            hits.is_empty(),
+            "crates/core/src/schemes/{name} contains runtime scheme dispatch: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn runtime_dispatch_lives_only_in_the_shim() {
+    // Positive control: the shim is *supposed* to dispatch — if this ever
+    // goes empty the guard above is probably matching the wrong strings.
+    let shim = include_str!("../crates/core/src/schemes/dispatch.rs");
+    assert!(
+        !dispatch_patterns(shim).is_empty(),
+        "schemes/dispatch.rs no longer contains the runtime dispatch the guard patterns target"
+    );
+}

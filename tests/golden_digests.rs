@@ -149,9 +149,9 @@ fn mix_txn(ctx: &mut WorkerCtx, scheme: CcScheme, i: u64) {
                 row::set_u64(s, d, 0, 10_000 + i);
                 row::set_u64(s, d, 1, i + 3);
             })?,
-            1 if i >= 5 => t.update(TABLE, 10_000 + (i - 1), |s, d| {
-                row::set_u64(s, d, 1, i * 7)
-            })?,
+            1 if i >= 5 => {
+                t.update(TABLE, 10_000 + (i - 1), |s, d| row::set_u64(s, d, 1, i * 7))?
+            }
             2 if i >= 10 => t.delete(TABLE, 10_000 + (i - 2))?,
             3 => {
                 let low = (i * 13) % BASE_ROWS;

@@ -295,6 +295,17 @@ fn multiworker_kill_and_recover(scheme: CcScheme) {
             row::set_u64(s, r, 1, INITIAL);
         })
         .unwrap();
+        // One warm-up commit pins an epoch the first record cannot exceed:
+        // waiting for the durable epoch to reach it below guarantees the
+        // background flusher fenced at least that record before the kill
+        // (a fast run would otherwise finish before the first 1 ms fence
+        // and recover nothing).
+        let first_commit_epoch = {
+            let mut ctx = db.worker(0);
+            let r: Result<u64, TxnError> = ctx.run_txn(&[], |t| t.update_counter(TABLE, 0, 1, 1));
+            r.unwrap();
+            db.epoch_manager().current()
+        };
         crossbeam::thread::scope(|scope| {
             for w in 0..WORKERS {
                 let db = Arc::clone(&db);
@@ -310,7 +321,15 @@ fn multiworker_kill_and_recover(scheme: CcScheme) {
             }
         })
         .unwrap();
-        // Kill: drop with buffered tail records still in memory.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while db.durable_epoch().unwrap_or(0) < first_commit_epoch {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{scheme}: background flusher never fenced the first commit's epoch"
+            );
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        // Kill: drop with any post-fence tail records still in memory.
     }
     let db = {
         let mut cat = Catalog::new();
