@@ -1,0 +1,5 @@
+//! fig_latency binary — see [`abyss_bench::fig_latency`].
+
+fn main() {
+    abyss_bench::fig_latency::run();
+}

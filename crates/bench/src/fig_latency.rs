@@ -1,0 +1,211 @@
+//! fig_latency — commit/abort latency distributions across schemes.
+//!
+//! The paper reports throughput and its §3.2 time breakdown; this figure
+//! adds the axis those averages hide: the *shape* of per-attempt latency.
+//! A scheme can match another's mean while its p999 tail is an order of
+//! magnitude worse — exactly the regime where lock waits, validation
+//! retries and timestamp conflicts live.
+//!
+//! Two sections, like `fig_durability`:
+//!
+//! * **simulator** — the deterministic 1024-core point (64 under
+//!   `--quick`) per scheme × YCSB theta, with commit latency quantiles
+//!   in simulated nanoseconds;
+//! * **real engine** — a multi-threaded host run recording wall-clock
+//!   attempt latency via [`abyss_common::LatencyHisto`] in the worker
+//!   hot path, reporting both the commit and abort distributions.
+//!
+//! Output: aligned tables + machine-readable JSON printed to stdout and
+//! written to `results/fig_latency.json`. CI checks every series for
+//! quantile monotonicity (p50 ≤ p90 ≤ p99 ≤ p999 ≤ max).
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use crate::{fig_durability::engine_workers, ycsb_sim_tables, HarnessArgs, Report};
+use abyss_common::zipf::ZipfGen;
+use abyss_common::{CcScheme, LatencyHisto, TxnTemplate};
+use abyss_core::{run_workers, Database, EngineConfig};
+use abyss_sim::SimConfig;
+use abyss_storage::{Catalog, Schema};
+use abyss_workload::ycsb::{self, YcsbConfig, YcsbGen};
+
+/// The schemes compared: the two 2PL deadlock policies the paper leads
+/// with, plus the OCC pair (classic and epoch-based) whose validation
+/// aborts shape the tail differently from lock waits.
+pub const SCHEMES: [CcScheme; 4] = [
+    CcScheme::DlDetect,
+    CcScheme::NoWait,
+    CcScheme::Occ,
+    CcScheme::Silo,
+];
+
+/// The contention sweep: uniform, the paper's medium-skew point, and
+/// high skew where the tail decouples from the median.
+pub const THETAS: [f64; 3] = [0.0, 0.6, 0.8];
+
+/// One latency distribution, flattened for the report/JSON.
+struct Dist {
+    count: u64,
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    p999: u64,
+    max: u64,
+    mean: u64,
+}
+
+impl Dist {
+    fn of(h: &LatencyHisto) -> Self {
+        Self {
+            count: h.count(),
+            p50: h.p50(),
+            p90: h.p90(),
+            p99: h.p99(),
+            p999: h.p999(),
+            max: h.max(),
+            mean: h.mean(),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{},\"mean\":{}}}",
+            self.count, self.p50, self.p90, self.p99, self.p999, self.max, self.mean
+        )
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.count.to_string(),
+            self.p50.to_string(),
+            self.p90.to_string(),
+            self.p99.to_string(),
+            self.p999.to_string(),
+            self.max.to_string(),
+        ]
+    }
+}
+
+fn sim_point(scheme: CcScheme, theta: f64, cores: u32, args: &HarnessArgs) -> (Dist, Dist) {
+    let mut sim = SimConfig::new(scheme, cores);
+    args.configure(&mut sim);
+    let cfg = YcsbConfig {
+        table_rows: 20_000_000,
+        ..YcsbConfig::write_intensive(theta)
+    };
+    let gens = crate::ycsb_gens(&cfg, cores, sim.seed);
+    let r = abyss_sim::run_sim(sim, ycsb_sim_tables(), gens);
+    (
+        Dist::of(&r.stats.commit_latency),
+        Dist::of(&r.stats.abort_latency),
+    )
+}
+
+fn engine_point(scheme: CcScheme, theta: f64, args: &HarnessArgs) -> (Dist, Dist) {
+    let workers = engine_workers();
+    let rows: u64 = if args.quick { 4_000 } else { 20_000 };
+    let mut cfg = YcsbConfig {
+        table_rows: rows,
+        ..YcsbConfig::write_intensive(theta)
+    };
+    if scheme == CcScheme::HStore {
+        cfg.parts = workers;
+    }
+    let mut cat = Catalog::new();
+    cat.add_table("usertable", Schema::key_plus_payload(2, 8), rows * 2);
+    let db = Database::new(EngineConfig::new(scheme, workers), cat).expect("engine config");
+    db.load_table(ycsb::YCSB_TABLE, 0..rows, |s, r, k| {
+        abyss_storage::row::set_u64(s, r, 0, k);
+        abyss_storage::row::set_u64(s, r, 1, k ^ 0xBEEF);
+    })
+    .expect("load");
+    let zipf = ZipfGen::new(cfg.table_rows, cfg.theta);
+    let gens: Vec<Box<dyn FnMut() -> TxnTemplate + Send>> = (0..workers)
+        .map(|w| {
+            let mut g = YcsbGen::with_zipf(cfg.clone(), zipf.clone(), 0xA1 ^ (u64::from(w) << 20))
+                .for_worker(w);
+            Box::new(move || g.next_txn()) as Box<dyn FnMut() -> TxnTemplate + Send>
+        })
+        .collect();
+    let (warm, meas) = if args.quick {
+        (Duration::from_millis(40), Duration::from_millis(150))
+    } else {
+        (Duration::from_millis(150), Duration::from_millis(600))
+    };
+    let out = run_workers(&db, gens, warm, meas);
+    (
+        Dist::of(&out.stats.commit_latency),
+        Dist::of(&out.stats.abort_latency),
+    )
+}
+
+/// Run the full fig_latency experiment (parses CLI args itself).
+pub fn run() {
+    let args = HarnessArgs::parse();
+    let sim_cores: u32 = if args.quick { 64 } else { 1024 };
+
+    let headers = [
+        "scheme", "theta", "commits", "p50", "p90", "p99", "p999", "max",
+    ];
+
+    // ---- simulator (simulated ns at the paper's core count) -----------
+    let mut sim_json: Vec<String> = Vec::new();
+    let mut rep = Report::new(&headers);
+    for &scheme in &SCHEMES {
+        for &theta in &THETAS {
+            let (commit, abort) = sim_point(scheme, theta, sim_cores, &args);
+            let mut row = vec![scheme.name().to_string(), format!("{theta:.1}")];
+            row.extend(commit.cells());
+            rep.row(row);
+            sim_json.push(format!(
+                "{{\"scheme\":\"{}\",\"theta\":{theta:.1},\"commit\":{},\"abort\":{}}}",
+                scheme.name(),
+                commit.json(),
+                abort.json()
+            ));
+        }
+    }
+    rep.print(&format!(
+        "fig_latency sim — YCSB 50/50, {sim_cores} cores (commit latency, sim ns)"
+    ));
+    rep.write_csv("fig_latency_sim");
+
+    // ---- real engine (wall-clock ns) ----------------------------------
+    let mut engine_json: Vec<String> = Vec::new();
+    let mut rep = Report::new(&headers);
+    for &scheme in &SCHEMES {
+        for &theta in &THETAS {
+            let (commit, abort) = engine_point(scheme, theta, &args);
+            let mut row = vec![scheme.name().to_string(), format!("{theta:.1}")];
+            row.extend(commit.cells());
+            rep.row(row);
+            engine_json.push(format!(
+                "{{\"scheme\":\"{}\",\"theta\":{theta:.1},\"commit\":{},\"abort\":{}}}",
+                scheme.name(),
+                commit.json(),
+                abort.json()
+            ));
+        }
+    }
+    rep.print(&format!(
+        "fig_latency engine — YCSB 50/50, {} workers (commit latency, wall ns)",
+        engine_workers()
+    ));
+    rep.write_csv("fig_latency_engine");
+
+    let json = format!(
+        "{{\"figure\":\"fig_latency\",\"sim_cores\":{sim_cores},\
+         \"sim\":{{\"series\":[{}]}},\"engine\":{{\"workers\":{},\"series\":[{}]}}}}",
+        sim_json.join(","),
+        engine_workers(),
+        engine_json.join(","),
+    );
+    println!("\n{json}");
+    if std::fs::create_dir_all("results").is_ok() {
+        if let Ok(mut f) = std::fs::File::create("results/fig_latency.json") {
+            let _ = writeln!(f, "{json}");
+            println!("  [json] results/fig_latency.json");
+        }
+    }
+}

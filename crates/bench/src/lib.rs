@@ -13,6 +13,7 @@
 //!   shape in minutes instead of hours.
 
 pub mod fig_durability;
+pub mod fig_latency;
 pub mod fig_modern;
 pub mod fig_ycsbe;
 

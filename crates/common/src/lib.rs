@@ -15,6 +15,8 @@
 //! * abort/error taxonomy ([`error`]),
 //! * the six-category time breakdown used throughout the paper's evaluation
 //!   plus run-level statistics ([`stats`]),
+//! * a fixed-bucket HDR-style latency histogram for per-attempt commit and
+//!   abort latency percentiles ([`histo`]),
 //! * a deterministic, allocation-free RNG ([`rng`]) and the Gray et al.
 //!   Zipfian generator used by YCSB ([`zipf`]),
 //! * a fast FxHash-style hasher for integer keys ([`fxhash`]),
@@ -24,6 +26,7 @@
 
 pub mod error;
 pub mod fxhash;
+pub mod histo;
 pub mod ids;
 pub mod rng;
 pub mod scheme;
@@ -32,6 +35,7 @@ pub mod txn;
 pub mod zipf;
 
 pub use error::{AbortReason, DbError};
+pub use histo::LatencyHisto;
 pub use ids::{CoreId, Key, PartId, RowIdx, TableId, Ts, TxnId};
 pub use scheme::{CcScheme, TsMethod};
 pub use stats::{Category, RunStats, TimeBreakdown};

@@ -9,6 +9,7 @@ use std::fmt;
 use std::ops::{Add, AddAssign};
 
 use crate::error::AbortReason;
+use crate::histo::LatencyHisto;
 
 /// Where a slice of a worker's time went (§3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -140,8 +141,9 @@ pub struct RunStats {
     /// Committed transactions.
     pub commits: u64,
     /// Commits per workload-defined transaction tag (TPC-C: 0 = Payment,
-    /// 1 = NewOrder). Figs 16–17 plot these separately.
-    pub commits_by_tag: [u64; 4],
+    /// 1 = NewOrder). Figs 16–17 plot these separately. The final slot is
+    /// the explicit "other" bucket for tags ≥ [`RunStats::TAG_BUCKETS`].
+    pub commits_by_tag: [u64; RunStats::TAG_BUCKETS + 1],
     /// Aborts, by cause. Index order follows [`RunStats::ABORT_ORDER`].
     pub aborts: [u64; 8],
     /// Tuples accessed by committed transactions (Fig. 12's y-axis).
@@ -175,9 +177,24 @@ pub struct RunStats {
     /// Epochs between the run's final epoch and its durable epoch before
     /// the shutdown flush — the group-commit acknowledgement lag.
     pub durable_epoch_lag: u64,
+    /// Latency of committed attempts, begin → commit acknowledgement
+    /// (nanoseconds in the engine, cycles in the simulator).
+    pub commit_latency: LatencyHisto,
+    /// Latency of aborted attempts, begin → abort. Together with
+    /// [`RunStats::commit_latency`] this covers every attempt, so wasted
+    /// time under retries is visible, not just the winning attempt.
+    pub abort_latency: LatencyHisto,
 }
 
 impl RunStats {
+    /// Named per-tag commit buckets. Workload tags `0..TAG_BUCKETS` get
+    /// their own slot in [`RunStats::commits_by_tag`]; anything beyond
+    /// lands in the explicit [`RunStats::TAG_OTHER`] overflow bucket
+    /// instead of silently aliasing the last named tag.
+    pub const TAG_BUCKETS: usize = 4;
+    /// Index of the overflow bucket in [`RunStats::commits_by_tag`].
+    pub const TAG_OTHER: usize = Self::TAG_BUCKETS;
+
     /// Order of the abort-reason buckets in [`RunStats::aborts`].
     pub const ABORT_ORDER: [AbortReason; 8] = [
         AbortReason::LockConflict,
@@ -190,11 +207,20 @@ impl RunStats {
         AbortReason::UserAbort,
     ];
 
-    fn abort_idx(reason: AbortReason) -> usize {
-        Self::ABORT_ORDER
-            .iter()
-            .position(|r| *r == reason)
-            .expect("all abort reasons are in ABORT_ORDER")
+    /// Bucket of `reason` in [`RunStats::aborts`] — a constant lookup (the
+    /// abort path of every contended run hits this), kept in lock-step
+    /// with [`RunStats::ABORT_ORDER`] by a test.
+    const fn abort_idx(reason: AbortReason) -> usize {
+        match reason {
+            AbortReason::LockConflict => 0,
+            AbortReason::Deadlock => 1,
+            AbortReason::WaitDieKilled => 2,
+            AbortReason::WaitTimeout => 3,
+            AbortReason::TsOrderViolation => 4,
+            AbortReason::ValidationFail => 5,
+            AbortReason::MvccWriteConflict => 6,
+            AbortReason::UserAbort => 7,
+        }
     }
 
     /// Record one abort.
@@ -203,11 +229,23 @@ impl RunStats {
         self.aborts[Self::abort_idx(reason)] += 1;
     }
 
-    /// Record one commit of a transaction with workload tag `tag`.
+    /// Record one commit of a transaction with workload tag `tag`. Tags
+    /// beyond [`RunStats::TAG_BUCKETS`] are counted under
+    /// [`RunStats::TAG_OTHER`]; debug builds flag them so a new workload
+    /// tag widens the named buckets instead of vanishing into "other".
     #[inline]
     pub fn record_commit(&mut self, tag: u8) {
         self.commits += 1;
-        self.commits_by_tag[(tag as usize).min(3)] += 1;
+        debug_assert!(
+            (tag as usize) < Self::TAG_BUCKETS,
+            "txn tag {tag} has no named bucket — widen RunStats::TAG_BUCKETS"
+        );
+        let idx = if (tag as usize) < Self::TAG_BUCKETS {
+            tag as usize
+        } else {
+            Self::TAG_OTHER
+        };
+        self.commits_by_tag[idx] += 1;
     }
 
     /// Aborts for one reason.
@@ -261,6 +299,8 @@ impl RunStats {
         self.log_flushes += other.log_flushes;
         self.log_fsyncs += other.log_fsyncs;
         self.durable_epoch_lag = self.durable_epoch_lag.max(other.durable_epoch_lag);
+        self.commit_latency += &other.commit_latency;
+        self.abort_latency += &other.abort_latency;
     }
 }
 
@@ -333,5 +373,61 @@ mod tests {
     fn throughput_handles_empty_run() {
         let s = RunStats::default();
         assert_eq!(s.throughput_per_unit(), 0.0);
+    }
+
+    #[test]
+    fn abort_idx_matches_abort_order() {
+        // The const lookup must stay in lock-step with ABORT_ORDER.
+        for (i, r) in RunStats::ABORT_ORDER.into_iter().enumerate() {
+            let mut s = RunStats::default();
+            s.record_abort(r);
+            assert_eq!(s.aborts[i], 1, "{r:?} must land in bucket {i}");
+        }
+    }
+
+    #[test]
+    fn named_tags_get_their_own_bucket() {
+        let mut s = RunStats::default();
+        for tag in 0..RunStats::TAG_BUCKETS as u8 {
+            s.record_commit(tag);
+        }
+        for tag in 0..RunStats::TAG_BUCKETS {
+            assert_eq!(s.commits_by_tag[tag], 1);
+        }
+        assert_eq!(s.commits_by_tag[RunStats::TAG_OTHER], 0);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn overflow_tags_land_in_other_bucket() {
+        // Release semantics: an unnamed tag is counted, visibly, as
+        // "other" — never aliased into the last named bucket.
+        let mut s = RunStats::default();
+        s.record_commit(RunStats::TAG_BUCKETS as u8);
+        s.record_commit(u8::MAX);
+        assert_eq!(s.commits_by_tag[RunStats::TAG_OTHER], 2);
+        assert_eq!(s.commits_by_tag[RunStats::TAG_BUCKETS - 1], 0);
+        assert_eq!(s.commits, 2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "no named bucket")]
+    fn overflow_tag_panics_in_debug() {
+        let mut s = RunStats::default();
+        s.record_commit(RunStats::TAG_BUCKETS as u8);
+    }
+
+    #[test]
+    fn merge_combines_latency_histograms() {
+        let mut a = RunStats::default();
+        a.commit_latency.record(100);
+        a.abort_latency.record(7);
+        let mut b = RunStats::default();
+        b.commit_latency.record(200_000);
+        a.merge(&b);
+        assert_eq!(a.commit_latency.count(), 2);
+        assert_eq!(a.abort_latency.count(), 1);
+        assert!(a.commit_latency.p999() <= a.commit_latency.max());
     }
 }

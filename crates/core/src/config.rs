@@ -45,6 +45,30 @@ impl Default for LogConfig {
     }
 }
 
+/// Transaction event tracing configuration (see [`crate::obs::trace`]).
+///
+/// Disabled by default: the database then allocates no rings at all and
+/// every event site reduces to an `Option` check — the compile-out is a
+/// runtime flag rather than a cargo feature so one binary can measure
+/// both sides (the overhead guard in CI does exactly that).
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Events retained per worker (rounded up to a power of two);
+    /// overwrite-oldest beyond that.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            capacity: 4096,
+        }
+    }
+}
+
 /// Configuration for a [`crate::db::Database`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -77,6 +101,8 @@ pub struct EngineConfig {
     pub wait_cap_us: u64,
     /// Durability: per-worker redo logging with epoch group commit.
     pub log: LogConfig,
+    /// Observability: per-worker transaction event tracing.
+    pub trace: TraceConfig,
 }
 
 impl Default for EngineConfig {
@@ -92,6 +118,7 @@ impl Default for EngineConfig {
             epoch_interval_us: 40_000,
             wait_cap_us: 2_000_000,
             log: LogConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -132,6 +159,9 @@ impl EngineConfig {
         if self.log.enabled && self.log.dir.as_os_str().is_empty() {
             return Err("logging enabled without a log directory".into());
         }
+        if self.trace.enabled && self.trace.capacity == 0 {
+            return Err("tracing enabled with zero ring capacity".into());
+        }
         Ok(())
     }
 
@@ -141,6 +171,14 @@ impl EngineConfig {
         self.log.enabled = true;
         self.log.dir = dir.into();
         self.log.fsync = fsync;
+        self
+    }
+
+    /// Enable transaction event tracing with `capacity` events retained
+    /// per worker (builder-style convenience for tests and benches).
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        self.trace.enabled = true;
+        self.trace.capacity = capacity;
         self
     }
 }
@@ -170,6 +208,15 @@ mod tests {
         c.log.dir = "wal".into();
         assert!(c.validate().is_ok());
         assert_eq!(c.log.fsync, FsyncPolicy::Group);
+    }
+
+    #[test]
+    fn tracing_requires_capacity() {
+        let mut c = EngineConfig::new(CcScheme::NoWait, 1).with_tracing(0);
+        assert!(c.validate().is_err());
+        c.trace.capacity = 256;
+        assert!(c.validate().is_ok());
+        assert!(c.trace.enabled);
     }
 
     #[test]

@@ -18,6 +18,8 @@ use parking_lot::Mutex;
 use crate::config::EngineConfig;
 use crate::epoch::{EpochManager, EpochTicker};
 use crate::meta::RowMeta;
+use crate::obs::metrics::{MetricsSnapshot, TableMetrics};
+use crate::obs::trace::{TraceDump, TraceEvent, TraceEventKind, TraceSet};
 use crate::park::ParkTable;
 use crate::schemes::hstore::PartState;
 use crate::ts::SharedTs;
@@ -54,6 +56,9 @@ pub struct Database {
     pub(crate) epoch: Arc<EpochManager>,
     /// The write-ahead log (None = durability off, the paper's setting).
     pub(crate) wal: Option<Arc<WalSet>>,
+    /// Per-worker txn event rings (None = tracing off, the default; the
+    /// event sites then cost one Option check).
+    pub(crate) trace: Option<TraceSet>,
     /// Commit-window serial numbers for WAL records of schemes without a
     /// natural commit ordinal (2PL, H-STORE, OCC) — drawn *inside* the
     /// committing transaction's exclusion window, so per-key serial order
@@ -130,6 +135,10 @@ impl Database {
             ordered,
             gap_meta,
             meta,
+            trace: cfg
+                .trace
+                .enabled
+                .then(|| TraceSet::new(cfg.workers, cfg.trace.capacity)),
             cfg,
             epoch,
             wal,
@@ -176,6 +185,97 @@ impl Database {
     /// WAL counter snapshot, when logging is enabled.
     pub fn wal_stats(&self) -> Option<WalStats> {
         self.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// Is transaction event tracing enabled?
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The trace rings, when tracing is enabled.
+    pub fn trace_set(&self) -> Option<&TraceSet> {
+        self.trace.as_ref()
+    }
+
+    /// Snapshot every worker's trace ring (quiescent use: workers joined
+    /// or between transactions). `None` when tracing is off.
+    pub fn trace_dump(&self) -> Option<TraceDump> {
+        self.trace.as_ref().map(|t| t.dump())
+    }
+
+    /// Record a trace event for `worker`, timestamped now. No-op when
+    /// tracing is off.
+    #[inline]
+    pub(crate) fn trace_event(&self, worker: u32, txn: abyss_common::TxnId, kind: TraceEventKind) {
+        if let Some(t) = &self.trace {
+            t.ring(worker).record(TraceEvent {
+                t_ns: t.now_ns(),
+                txn,
+                kind,
+            });
+        }
+    }
+
+    /// [`Database::trace_event`] with an explicit timestamp (reconstructed
+    /// wait starts). No-op when tracing is off.
+    #[inline]
+    pub(crate) fn trace_event_at(
+        &self,
+        worker: u32,
+        txn: abyss_common::TxnId,
+        t_ns: u64,
+        kind: TraceEventKind,
+    ) {
+        if let Some(t) = &self.trace {
+            t.ring(worker).record(TraceEvent { t_ns, txn, kind });
+        }
+    }
+
+    /// A point-in-time [`MetricsSnapshot`] of the engine's gauges and
+    /// counters. Reads only shared state (epoch watermarks, WAL counters,
+    /// the waits-for graph, index health), so it can be scraped while a
+    /// run is in flight.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let current = self.epoch.current();
+        let safe = self.epoch.safe_epoch();
+        let wal = self.wal_stats();
+        let durable = wal.as_ref().map(|w| w.durable_epoch);
+        let tables = self
+            .catalog
+            .tables()
+            .iter()
+            .map(|def| {
+                let health = self.index_health(def.id);
+                TableMetrics {
+                    name: def.name.clone(),
+                    live_keys: health.hash_len as u64,
+                    row_slots: self.table_len(def.id),
+                    hash_max_chain: health.hash_max_chain as u64,
+                    btree_nodes: health.btree.map(|b| b.nodes),
+                    btree_height: health.btree.map(|b| b.height as u64),
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            scheme: self.cfg.scheme.name(),
+            workers: self.cfg.workers,
+            current_epoch: current,
+            safe_epoch: safe,
+            epoch_lag: current.saturating_sub(safe),
+            durable_epoch: durable,
+            durable_epoch_lag: durable.map_or(0, |d| current.saturating_sub(d)),
+            wal_backlog_bytes: self.wal.as_ref().map_or(0, |w| w.backlog_bytes()),
+            log_records: wal.as_ref().map_or(0, |w| w.records),
+            log_bytes: wal.as_ref().map_or(0, |w| w.bytes),
+            log_flushes: wal.as_ref().map_or(0, |w| w.flushes),
+            log_fsyncs: wal.as_ref().map_or(0, |w| w.fsyncs),
+            wal_failed: wal.as_ref().is_some_and(|w| w.failed),
+            waitsfor_edges: self.waits.published_edges(),
+            mempool_live_blocks: abyss_storage::mempool::live_blocks(),
+            trace_events: self.trace.as_ref().map_or(0, |t| t.total_recorded()),
+            trace_dropped: self.trace.as_ref().map_or(0, |t| t.total_overwritten()),
+            tables,
+        }
     }
 
     /// The durable epoch: every commit whose record carries an epoch `≤`
@@ -302,6 +402,14 @@ impl Database {
         let bytes = wal.append_commit(worker, st.log_epoch, st.log_seq, &ops);
         stats.log_records += 1;
         stats.log_bytes += bytes as u64;
+        self.trace_event(
+            worker,
+            st.txn_id,
+            TraceEventKind::WalSerialPoint {
+                epoch: st.log_epoch,
+                seq: st.log_seq,
+            },
+        );
     }
 
     /// Schema of `table`.

@@ -49,6 +49,7 @@ pub mod epoch;
 pub mod executor;
 pub mod lockword;
 pub mod meta;
+pub mod obs;
 pub mod park;
 pub mod schemes;
 pub mod ts;
@@ -56,9 +57,10 @@ pub mod txn;
 pub mod waitsfor;
 pub mod worker;
 
-pub use config::{EngineConfig, LogConfig};
+pub use config::{EngineConfig, LogConfig, TraceConfig};
 pub use db::{Database, RecoveryReport};
 pub use epoch::{EpochManager, EpochTicker};
+pub use obs::{MetricsSnapshot, TraceDump, TraceEvent, TraceEventKind, TxnOutcome, TxnSummary};
 pub use schemes::{AnyScheme, CcProtocol};
 pub use ts::{SharedTs, TsHandle};
 pub use worker::{

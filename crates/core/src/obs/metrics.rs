@@ -1,0 +1,383 @@
+//! The live metrics registry: a pull-model snapshot of the engine's
+//! gauges and counters, serializable to JSON and to the Prometheus text
+//! exposition format.
+//!
+//! [`crate::db::Database::metrics_snapshot`] assembles one from shared
+//! state (epoch watermarks, WAL counters, the waits-for graph, index
+//! health, the process-wide mempool gauge) — it never touches per-worker
+//! state, so it can be scraped while a run is in flight.
+
+/// Per-table index gauges (one entry per catalog table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMetrics {
+    /// Catalog table name.
+    pub name: String,
+    /// Live keys in the hash index.
+    pub live_keys: u64,
+    /// Row slots allocated in the arena (≥ live keys; aborted eager
+    /// inserts leave unreachable slots).
+    pub row_slots: u64,
+    /// Longest hash-bucket chain (load-factor health).
+    pub hash_max_chain: u64,
+    /// B+-tree node count, when the table carries an ordered index.
+    pub btree_nodes: Option<u64>,
+    /// B+-tree height, when ordered.
+    pub btree_height: Option<u64>,
+}
+
+/// A point-in-time snapshot of the engine's observable state.
+///
+/// Gauges (epoch lag, WAL backlog, waits-for edges, mempool blocks) are
+/// instantaneous and racy by nature; counters (log records/flushes) are
+/// cumulative since the database opened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The paper-style scheme name (`DL_DETECT`, `SILO`, ...).
+    pub scheme: &'static str,
+    /// Configured worker threads.
+    pub workers: u32,
+    /// The global epoch counter.
+    pub current_epoch: u64,
+    /// The quiescence horizon: every worker has observed this epoch.
+    pub safe_epoch: u64,
+    /// `current_epoch − safe_epoch` — how far stragglers lag the ticker.
+    pub epoch_lag: u64,
+    /// The durable-epoch watermark (`None` when logging is off).
+    pub durable_epoch: Option<u64>,
+    /// `current_epoch − durable_epoch` — the group-commit acknowledgement
+    /// lag, live (0 when logging is off).
+    pub durable_epoch_lag: u64,
+    /// Bytes buffered in WAL shards awaiting the next flush.
+    pub wal_backlog_bytes: u64,
+    /// WAL commit records appended since open.
+    pub log_records: u64,
+    /// WAL bytes appended since open.
+    pub log_bytes: u64,
+    /// WAL buffer drains to the OS since open.
+    pub log_flushes: u64,
+    /// WAL fsync calls since open.
+    pub log_fsyncs: u64,
+    /// A WAL write/sync failed; the durable epoch is frozen.
+    pub wal_failed: bool,
+    /// Wait-for edges currently published in the waits-for graph.
+    pub waitsfor_edges: u64,
+    /// Process-wide mempool blocks alive (cached or borrowed).
+    pub mempool_live_blocks: u64,
+    /// Trace events recorded across all rings (0 when tracing is off).
+    pub trace_events: u64,
+    /// Trace events lost to ring overwrite.
+    pub trace_dropped: u64,
+    /// Per-table index gauges.
+    pub tables: Vec<TableMetrics>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl MetricsSnapshot {
+    /// Serialize as a JSON object (hand-rolled, like the bench exports —
+    /// the repo carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"scheme\": \"{}\",\n", self.scheme));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"current_epoch\": {},\n", self.current_epoch));
+        out.push_str(&format!("  \"safe_epoch\": {},\n", self.safe_epoch));
+        out.push_str(&format!("  \"epoch_lag\": {},\n", self.epoch_lag));
+        match self.durable_epoch {
+            Some(e) => out.push_str(&format!("  \"durable_epoch\": {e},\n")),
+            None => out.push_str("  \"durable_epoch\": null,\n"),
+        }
+        out.push_str(&format!(
+            "  \"durable_epoch_lag\": {},\n",
+            self.durable_epoch_lag
+        ));
+        out.push_str(&format!(
+            "  \"wal_backlog_bytes\": {},\n",
+            self.wal_backlog_bytes
+        ));
+        out.push_str(&format!("  \"log_records\": {},\n", self.log_records));
+        out.push_str(&format!("  \"log_bytes\": {},\n", self.log_bytes));
+        out.push_str(&format!("  \"log_flushes\": {},\n", self.log_flushes));
+        out.push_str(&format!("  \"log_fsyncs\": {},\n", self.log_fsyncs));
+        out.push_str(&format!("  \"wal_failed\": {},\n", self.wal_failed));
+        out.push_str(&format!("  \"waitsfor_edges\": {},\n", self.waitsfor_edges));
+        out.push_str(&format!(
+            "  \"mempool_live_blocks\": {},\n",
+            self.mempool_live_blocks
+        ));
+        out.push_str(&format!("  \"trace_events\": {},\n", self.trace_events));
+        out.push_str(&format!("  \"trace_dropped\": {},\n", self.trace_dropped));
+        out.push_str("  \"tables\": [");
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"live_keys\": {}, \"row_slots\": {}, \"hash_max_chain\": {}, \"btree_nodes\": {}, \"btree_height\": {}}}",
+                json_escape(&t.name),
+                t.live_keys,
+                t.row_slots,
+                t.hash_max_chain,
+                t.btree_nodes.map_or("null".into(), |n| n.to_string()),
+                t.btree_height.map_or("null".into(), |n| n.to_string()),
+            ));
+        }
+        if !self.tables.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Serialize in the Prometheus text exposition format (version 0.0.4:
+    /// `# HELP` / `# TYPE` comment lines, one `name{labels} value` sample
+    /// per line) — what a `/metrics` endpoint would serve.
+    pub fn to_prometheus(&self) -> String {
+        let scheme = &[("scheme", self.scheme.to_string())][..];
+        let mut out = String::with_capacity(2048);
+        let mut gauge = |name: &str, help: &str, labels: &[(&str, String)], v: u64| {
+            out.push_str(&format!("# HELP abyss_{name} {help}\n"));
+            out.push_str(&format!("# TYPE abyss_{name} gauge\n"));
+            Self::sample(&mut out, name, labels, v);
+        };
+        gauge(
+            "workers",
+            "Configured worker threads.",
+            scheme,
+            self.workers as u64,
+        );
+        gauge(
+            "epoch_current",
+            "The global epoch counter.",
+            &[],
+            self.current_epoch,
+        );
+        gauge(
+            "epoch_safe",
+            "Quiescence horizon epoch.",
+            &[],
+            self.safe_epoch,
+        );
+        gauge(
+            "epoch_lag",
+            "current_epoch - safe_epoch.",
+            &[],
+            self.epoch_lag,
+        );
+        if let Some(e) = self.durable_epoch {
+            gauge("epoch_durable", "Durable-epoch watermark.", &[], e);
+            gauge(
+                "epoch_durable_lag",
+                "current_epoch - durable_epoch (group-commit ack lag).",
+                &[],
+                self.durable_epoch_lag,
+            );
+        }
+        gauge(
+            "wal_backlog_bytes",
+            "Bytes buffered in WAL shards awaiting flush.",
+            &[],
+            self.wal_backlog_bytes,
+        );
+        gauge(
+            "wal_failed",
+            "1 if a WAL write/sync failed (durable epoch frozen).",
+            &[],
+            self.wal_failed as u64,
+        );
+        gauge(
+            "waitsfor_edges",
+            "Wait-for edges currently published.",
+            &[],
+            self.waitsfor_edges,
+        );
+        gauge(
+            "mempool_live_blocks",
+            "Pool blocks alive process-wide.",
+            &[],
+            self.mempool_live_blocks,
+        );
+        gauge(
+            "trace_events",
+            "Trace events recorded across worker rings.",
+            &[],
+            self.trace_events,
+        );
+        gauge(
+            "trace_dropped",
+            "Trace events lost to ring overwrite.",
+            &[],
+            self.trace_dropped,
+        );
+        let mut counter = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!("# HELP abyss_{name} {help}\n"));
+            out.push_str(&format!("# TYPE abyss_{name} counter\n"));
+            Self::sample(&mut out, name, &[], v);
+        };
+        counter(
+            "wal_records_total",
+            "WAL commit records appended.",
+            self.log_records,
+        );
+        counter("wal_bytes_total", "WAL bytes appended.", self.log_bytes);
+        counter(
+            "wal_flushes_total",
+            "WAL buffer drains to the OS.",
+            self.log_flushes,
+        );
+        counter("wal_fsyncs_total", "WAL fsync calls.", self.log_fsyncs);
+        for (name, help, get) in [
+            (
+                "table_live_keys",
+                "Live keys in the hash index.",
+                (|t: &TableMetrics| Some(t.live_keys)) as fn(&TableMetrics) -> Option<u64>,
+            ),
+            (
+                "table_row_slots",
+                "Row slots allocated in the arena.",
+                |t| Some(t.row_slots),
+            ),
+            ("table_hash_max_chain", "Longest hash-bucket chain.", |t| {
+                Some(t.hash_max_chain)
+            }),
+            ("table_btree_nodes", "B+-tree nodes allocated.", |t| {
+                t.btree_nodes
+            }),
+            ("table_btree_height", "B+-tree height.", |t| t.btree_height),
+        ] {
+            if self.tables.iter().all(|t| get(t).is_none()) {
+                continue;
+            }
+            out.push_str(&format!("# HELP abyss_{name} {help}\n"));
+            out.push_str(&format!("# TYPE abyss_{name} gauge\n"));
+            for t in &self.tables {
+                if let Some(v) = get(t) {
+                    Self::sample(&mut out, name, &[("table", t.name.clone())], v);
+                }
+            }
+        }
+        out
+    }
+
+    fn sample(out: &mut String, name: &str, labels: &[(&str, String)], v: u64) {
+        out.push_str("abyss_");
+        out.push_str(name);
+        if !labels.is_empty() {
+            out.push('{');
+            for (i, (k, val)) in labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{k}=\"{}\"", json_escape(val)));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(" {v}\n"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> MetricsSnapshot {
+        MetricsSnapshot {
+            scheme: "NO_WAIT",
+            workers: 4,
+            current_epoch: 12,
+            safe_epoch: 11,
+            epoch_lag: 1,
+            durable_epoch: Some(10),
+            durable_epoch_lag: 2,
+            wal_backlog_bytes: 512,
+            log_records: 1000,
+            log_bytes: 65536,
+            log_flushes: 9,
+            log_fsyncs: 3,
+            wal_failed: false,
+            waitsfor_edges: 0,
+            mempool_live_blocks: 128,
+            trace_events: 42,
+            trace_dropped: 0,
+            tables: vec![TableMetrics {
+                name: "usertable".into(),
+                live_keys: 100,
+                row_slots: 101,
+                hash_max_chain: 3,
+                btree_nodes: Some(7),
+                btree_height: Some(2),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_has_every_field_and_balances() {
+        let j = snap().to_json();
+        for key in [
+            "\"scheme\": \"NO_WAIT\"",
+            "\"durable_epoch\": 10",
+            "\"durable_epoch_lag\": 2",
+            "\"wal_backlog_bytes\": 512",
+            "\"log_flushes\": 9",
+            "\"log_fsyncs\": 3",
+            "\"mempool_live_blocks\": 128",
+            "\"btree_nodes\": 7",
+            "\"name\": \"usertable\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in\n{j}");
+        }
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_renders_null_without_logging() {
+        let mut s = snap();
+        s.durable_epoch = None;
+        assert!(s.to_json().contains("\"durable_epoch\": null"));
+    }
+
+    #[test]
+    fn prometheus_format_is_well_formed() {
+        let p = snap().to_prometheus();
+        for line in p.lines() {
+            assert!(
+                line.starts_with("# HELP abyss_")
+                    || line.starts_with("# TYPE abyss_")
+                    || line.starts_with("abyss_"),
+                "stray line: {line}"
+            );
+        }
+        // Every sample line ends in a numeric value.
+        for line in p.lines().filter(|l| !l.starts_with('#')) {
+            let val = line.rsplit(' ').next().unwrap();
+            val.parse::<u64>()
+                .unwrap_or_else(|_| panic!("bad sample: {line}"));
+        }
+        assert!(p.contains("abyss_workers{scheme=\"NO_WAIT\"} 4"));
+        assert!(p.contains("abyss_epoch_durable_lag 2"));
+        assert!(p.contains("abyss_wal_fsyncs_total 3"));
+        assert!(p.contains("abyss_table_btree_nodes{table=\"usertable\"} 7"));
+        // TYPE comments precede their samples.
+        let type_idx = p.find("# TYPE abyss_epoch_current").unwrap();
+        let sample_idx = p.find("\nabyss_epoch_current ").unwrap();
+        assert!(type_idx < sample_idx);
+    }
+
+    #[test]
+    fn prometheus_omits_durable_epoch_without_logging() {
+        let mut s = snap();
+        s.durable_epoch = None;
+        let p = s.to_prometheus();
+        assert!(!p.contains("abyss_epoch_durable"));
+        // Counters remain (zeros are valid counter samples).
+        assert!(p.contains("abyss_wal_records_total"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Engine observability: per-worker transaction event tracing and the
+//! live metrics snapshot.
+//!
+//! Three instruments, three costs:
+//!
+//! * **Latency histograms** ([`abyss_common::LatencyHisto`], recorded by
+//!   the generic worker path in [`crate::worker`]) — always on; a few
+//!   bit operations per attempt.
+//! * **Event tracing** ([`trace`]) — off by default; when enabled via
+//!   [`crate::config::TraceConfig`], each worker appends txn lifecycle
+//!   events to a private fixed-capacity ring (overwrite-oldest). Disabled
+//!   tracing costs one `Option` check per event site.
+//! * **Metrics snapshot** ([`metrics`]) — pull-only; reading the gauges
+//!   touches shared counters but never the worker hot path.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{MetricsSnapshot, TableMetrics};
+pub use trace::{TraceDump, TraceEvent, TraceEventKind, TraceSet, TxnOutcome, TxnSummary};

@@ -1,0 +1,441 @@
+//! Lock-free per-worker transaction event tracing.
+//!
+//! Each worker owns one [`TraceRing`]: a fixed-capacity, overwrite-oldest
+//! buffer of [`TraceEvent`]s. The owning worker is the only writer
+//! (mirroring the single-writer contract of [`crate::waitsfor::WaitsFor`]
+//! slots), so recording is wait-free: one relaxed load, one slot store,
+//! one release store of the head counter. Readers ([`TraceSet::dump`])
+//! run post-run, when workers are quiescent.
+//!
+//! Tracing is off by default ([`crate::config::TraceConfig`]); when off,
+//! the [`crate::db::Database`] holds no [`TraceSet`] at all and every
+//! event site reduces to an `Option` check.
+
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use abyss_common::{AbortReason, TxnId};
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What happened (the trace event vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Transaction attempt began.
+    Begin,
+    /// First conflict of this attempt: the scheme blocked for the first
+    /// time (emitted once per attempt, timestamped at the wait's start).
+    FirstConflict,
+    /// The scheme started blocking (lock queue, partition fence, MVCC
+    /// prewrite, T/O value wait).
+    WaitStart,
+    /// The blocking wait resolved (granted, timed out, or killed — the
+    /// outcome shows up as the attempt's eventual `Commit`/`Abort`).
+    WaitEnd,
+    /// Attempt aborted, with its cause.
+    Abort(AbortReason),
+    /// Attempt committed.
+    Commit,
+    /// The WAL serial point: the redo record was stamped `(epoch, seq)`
+    /// and appended, inside the commit's exclusion window.
+    WalSerialPoint {
+        /// The record's commit epoch.
+        epoch: u64,
+        /// The record's serial within the epoch.
+        seq: u64,
+    },
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Nanoseconds since the [`TraceSet`] was created (a single origin
+    /// for all workers, so cross-worker merges sort correctly).
+    pub t_ns: u64,
+    /// The transaction attempt (fresh id per attempt — retries of one
+    /// template are separate attempts on the same worker).
+    pub txn: TxnId,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+const FILLER: TraceEvent = TraceEvent {
+    t_ns: 0,
+    txn: 0,
+    kind: TraceEventKind::Begin,
+};
+
+/// A single worker's fixed-capacity, overwrite-oldest event ring.
+pub struct TraceRing {
+    slots: Box<[UnsafeCell<TraceEvent>]>,
+    /// Events ever written (monotonic); `head % capacity` is the next
+    /// slot. `head − capacity..head` are the retained events.
+    head: AtomicU64,
+}
+
+// SAFETY: single-writer contract — only the owning worker calls
+// `record`, and `dump` requires external quiescence (workers joined).
+// The release store on `head` orders each slot write before the count
+// that publishes it.
+unsafe impl Sync for TraceRing {}
+
+impl TraceRing {
+    fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let mut slots = Vec::with_capacity(cap);
+        slots.resize_with(cap, || UnsafeCell::new(FILLER));
+        Self {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Append one event, overwriting the oldest when full. Owning worker
+    /// only (see the module docs).
+    #[inline]
+    pub fn record(&self, ev: TraceEvent) {
+        let head = self.head.load(Ordering::Relaxed);
+        let idx = head as usize & (self.slots.len() - 1);
+        // SAFETY: single writer; no concurrent reader until quiescence.
+        unsafe { *self.slots[idx].get() = ev };
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to overwrite.
+    pub fn overwritten(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// The retained events, oldest first. Quiescent use only.
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        (start..head)
+            // SAFETY: quiescent (documented contract).
+            .map(|i| unsafe { *self.slots[(i % cap) as usize].get() })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+/// One ring per worker plus the shared time origin.
+#[derive(Debug)]
+pub struct TraceSet {
+    rings: Box<[CachePadded<TraceRing>]>,
+    origin: Instant,
+}
+
+impl TraceSet {
+    /// Rings for `workers` workers, each retaining `capacity` events
+    /// (rounded up to a power of two).
+    pub fn new(workers: u32, capacity: usize) -> Self {
+        let mut rings = Vec::with_capacity(workers as usize);
+        rings.resize_with(workers as usize, || {
+            CachePadded::new(TraceRing::new(capacity))
+        });
+        Self {
+            rings: rings.into_boxed_slice(),
+            origin: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since this set's origin.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// `worker`'s ring.
+    #[inline]
+    pub fn ring(&self, worker: u32) -> &TraceRing {
+        &self.rings[worker as usize]
+    }
+
+    /// Events recorded across all rings.
+    pub fn total_recorded(&self) -> u64 {
+        self.rings.iter().map(|r| r.recorded()).sum()
+    }
+
+    /// Events lost to overwrite across all rings.
+    pub fn total_overwritten(&self) -> u64 {
+        self.rings.iter().map(|r| r.overwritten()).sum()
+    }
+
+    /// Snapshot every ring. Quiescent use only (workers joined).
+    pub fn dump(&self) -> TraceDump {
+        TraceDump {
+            workers: self
+                .rings
+                .iter()
+                .enumerate()
+                .map(|(w, r)| WorkerTrace {
+                    worker: w as u32,
+                    recorded: r.recorded(),
+                    overwritten: r.overwritten(),
+                    events: r.dump(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One worker's retained trace.
+#[derive(Debug, Clone)]
+pub struct WorkerTrace {
+    /// The worker id.
+    pub worker: u32,
+    /// Events ever recorded by this worker.
+    pub recorded: u64,
+    /// Events lost to ring overwrite.
+    pub overwritten: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+/// How a traced attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Committed (`wal` carries the serial point when logging was on).
+    Committed {
+        /// The WAL `(epoch, seq)` serial point, when logged.
+        wal: Option<(u64, u64)>,
+    },
+    /// Aborted with this cause.
+    Aborted(AbortReason),
+    /// The trace window closed mid-attempt (or the begin was overwritten).
+    Incomplete,
+}
+
+/// Per-attempt reconstruction from a [`TraceDump`].
+#[derive(Debug, Clone, Copy)]
+pub struct TxnSummary {
+    /// The attempt's transaction id.
+    pub txn: TxnId,
+    /// The worker that executed it.
+    pub worker: u32,
+    /// `Begin` timestamp (None when overwritten out of the ring).
+    pub begin_ns: Option<u64>,
+    /// Timestamp of the attempt's last retained event.
+    pub end_ns: u64,
+    /// Blocking waits observed.
+    pub waits: u32,
+    /// Total nanoseconds spent in those waits.
+    pub wait_ns: u64,
+    /// How the attempt ended.
+    pub outcome: TxnOutcome,
+}
+
+/// A post-run snapshot of every worker's ring, with timeline
+/// reconstruction helpers.
+#[derive(Debug, Clone)]
+pub struct TraceDump {
+    /// Per-worker traces, indexed by worker id.
+    pub workers: Vec<WorkerTrace>,
+}
+
+impl TraceDump {
+    /// All retained events as `(worker, event)`, sorted by timestamp —
+    /// the cross-worker interleaving.
+    pub fn events_sorted(&self) -> Vec<(u32, TraceEvent)> {
+        let mut all: Vec<(u32, TraceEvent)> = self
+            .workers
+            .iter()
+            .flat_map(|w| w.events.iter().map(|&e| (w.worker, e)))
+            .collect();
+        all.sort_by_key(|(_, e)| e.t_ns);
+        all
+    }
+
+    /// The retained events of one transaction attempt, in time order.
+    pub fn timeline(&self, txn: TxnId) -> Vec<TraceEvent> {
+        let mut evs: Vec<TraceEvent> = self
+            .workers
+            .iter()
+            .flat_map(|w| w.events.iter().filter(|e| e.txn == txn).copied())
+            .collect();
+        evs.sort_by_key(|e| e.t_ns);
+        evs
+    }
+
+    /// Reconstruct every retained attempt. Within one worker the
+    /// summaries are in execution order, so a run of `Aborted` summaries
+    /// followed by a `Committed` one *is* that template's retry chain
+    /// (each retry gets a fresh txn id on the same worker).
+    pub fn txn_summaries(&self) -> Vec<TxnSummary> {
+        let mut out = Vec::new();
+        for w in &self.workers {
+            // A worker executes attempts one at a time, so its ring is a
+            // concatenation of per-attempt segments; group by txn id to
+            // tolerate a truncated first segment.
+            let mut order: Vec<TxnId> = Vec::new();
+            let mut by_txn: HashMap<TxnId, TxnSummary> = HashMap::new();
+            // Wait starts not yet matched by an end, per txn — a WaitEnd
+            // whose start was overwritten out of the ring is dropped
+            // rather than corrupting the wait total.
+            let mut open: HashMap<TxnId, Vec<u64>> = HashMap::new();
+            for e in &w.events {
+                let s = by_txn.entry(e.txn).or_insert_with(|| {
+                    order.push(e.txn);
+                    TxnSummary {
+                        txn: e.txn,
+                        worker: w.worker,
+                        begin_ns: None,
+                        end_ns: e.t_ns,
+                        waits: 0,
+                        wait_ns: 0,
+                        outcome: TxnOutcome::Incomplete,
+                    }
+                });
+                s.end_ns = s.end_ns.max(e.t_ns);
+                match e.kind {
+                    TraceEventKind::Begin => s.begin_ns = Some(e.t_ns),
+                    TraceEventKind::WaitStart => {
+                        s.waits += 1;
+                        open.entry(e.txn).or_default().push(e.t_ns);
+                    }
+                    TraceEventKind::WaitEnd => {
+                        if let Some(start) = open.get_mut(&e.txn).and_then(Vec::pop) {
+                            s.wait_ns += e.t_ns.saturating_sub(start);
+                        }
+                    }
+                    TraceEventKind::Commit => {
+                        let wal = match s.outcome {
+                            TxnOutcome::Committed { wal } => wal,
+                            _ => None,
+                        };
+                        s.outcome = TxnOutcome::Committed { wal };
+                    }
+                    TraceEventKind::WalSerialPoint { epoch, seq } => {
+                        s.outcome = TxnOutcome::Committed {
+                            wal: Some((epoch, seq)),
+                        };
+                    }
+                    TraceEventKind::Abort(r) => s.outcome = TxnOutcome::Aborted(r),
+                    TraceEventKind::FirstConflict => {}
+                }
+            }
+            out.extend(order.into_iter().map(|t| by_txn[&t]));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, txn: TxnId, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent { t_ns, txn, kind }
+    }
+
+    #[test]
+    fn ring_retains_newest_in_order_after_wraparound() {
+        let ring = TraceRing::new(8);
+        for i in 0..20u64 {
+            ring.record(ev(i, i, TraceEventKind::Begin));
+        }
+        assert_eq!(ring.recorded(), 20);
+        assert_eq!(ring.overwritten(), 12);
+        let events = ring.dump();
+        assert_eq!(events.len(), 8);
+        // Overwrite-oldest: exactly the last 8 events, oldest first.
+        let got: Vec<u64> = events.iter().map(|e| e.t_ns).collect();
+        assert_eq!(got, (12..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn ring_below_capacity_returns_everything() {
+        let ring = TraceRing::new(8);
+        ring.record(ev(5, 1, TraceEventKind::Begin));
+        ring.record(ev(9, 1, TraceEventKind::Commit));
+        assert_eq!(ring.overwritten(), 0);
+        let events = ring.dump();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].t_ns, 5);
+        assert_eq!(events[1].t_ns, 9);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let ring = TraceRing::new(5);
+        for i in 0..8u64 {
+            ring.record(ev(i, i, TraceEventKind::Begin));
+        }
+        assert_eq!(ring.overwritten(), 0, "5 rounds up to 8 slots");
+    }
+
+    #[test]
+    fn summaries_reconstruct_waits_and_outcomes() {
+        let set = TraceSet::new(1, 64);
+        let r = set.ring(0);
+        // Attempt 1: begins, waits 30 ns, aborts.
+        r.record(ev(10, 1, TraceEventKind::Begin));
+        r.record(ev(20, 1, TraceEventKind::FirstConflict));
+        r.record(ev(20, 1, TraceEventKind::WaitStart));
+        r.record(ev(50, 1, TraceEventKind::WaitEnd));
+        r.record(ev(55, 1, TraceEventKind::Abort(AbortReason::Deadlock)));
+        // Attempt 2 (the retry): commits with a WAL serial point.
+        r.record(ev(60, 2, TraceEventKind::Begin));
+        r.record(ev(
+            70,
+            2,
+            TraceEventKind::WalSerialPoint { epoch: 3, seq: 9 },
+        ));
+        r.record(ev(72, 2, TraceEventKind::Commit));
+        let dump = set.dump();
+        let s = dump.txn_summaries();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].txn, 1);
+        assert_eq!(s[0].begin_ns, Some(10));
+        assert_eq!(s[0].waits, 1);
+        assert_eq!(s[0].wait_ns, 30);
+        assert_eq!(s[0].end_ns, 55);
+        assert_eq!(s[0].outcome, TxnOutcome::Aborted(AbortReason::Deadlock));
+        assert_eq!(s[1].outcome, TxnOutcome::Committed { wal: Some((3, 9)) });
+        assert_eq!(dump.timeline(1).len(), 5);
+        assert_eq!(dump.events_sorted().len(), 8);
+    }
+
+    #[test]
+    fn truncated_attempt_is_incomplete() {
+        let set = TraceSet::new(1, 2);
+        let r = set.ring(0);
+        r.record(ev(10, 1, TraceEventKind::Begin));
+        r.record(ev(20, 1, TraceEventKind::WaitStart));
+        r.record(ev(30, 1, TraceEventKind::WaitEnd));
+        // Begin fell out of the 2-slot ring.
+        let s = set.dump().txn_summaries();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].begin_ns, None);
+        assert_eq!(s[0].outcome, TxnOutcome::Incomplete);
+    }
+
+    #[test]
+    fn rings_are_readable_across_threads_when_quiescent() {
+        let set = std::sync::Arc::new(TraceSet::new(2, 16));
+        let s2 = std::sync::Arc::clone(&set);
+        std::thread::spawn(move || {
+            s2.ring(1).record(ev(1, 7, TraceEventKind::Begin));
+            s2.ring(1).record(ev(2, 7, TraceEventKind::Commit));
+        })
+        .join()
+        .unwrap();
+        assert_eq!(set.total_recorded(), 2);
+        assert_eq!(set.dump().timeline(7).len(), 2);
+    }
+}

@@ -19,7 +19,6 @@
 
 use std::time::{Duration, Instant};
 
-use abyss_common::stats::Category;
 use abyss_common::{AbortReason, CoreId, Key, RowIdx, TableId, Ts};
 use abyss_storage::Schema;
 
@@ -155,9 +154,7 @@ fn acquire_partitions(env: &mut SchemeEnv<'_>, partitions: &[u32]) -> Result<(),
             let started = Instant::now();
             let deadline = started + Duration::from_micros(env.db.cfg.wait_cap_us);
             let out = env.db.park.wait(env.worker, deadline);
-            env.stats
-                .breakdown
-                .record(Category::Wait, started.elapsed().as_nanos() as u64);
+            env.record_wait(started);
             if out == WaitOutcome::TimedOut {
                 let mut s = slot.lock();
                 let pos = s.queue.iter().position(|&(_, w)| w == env.worker);

@@ -71,6 +71,36 @@ pub struct SchemeEnv<'a> {
     pub(crate) last_tid: &'a mut u64,
 }
 
+impl SchemeEnv<'_> {
+    /// Close out a blocking wait that `started` opened: charge the §3.2
+    /// Wait category and, when tracing is on, emit the attempt's
+    /// `FirstConflict` (once) plus the `WaitStart`/`WaitEnd` pair — the
+    /// start back-dated by the measured duration, so cross-worker merges
+    /// place the events where the wait actually happened. Every scheme
+    /// wait site funnels through here.
+    pub(crate) fn record_wait(&mut self, started: std::time::Instant) {
+        let waited = started.elapsed().as_nanos() as u64;
+        self.stats
+            .breakdown
+            .record(abyss_common::Category::Wait, waited);
+        if self.db.trace_enabled() {
+            use crate::obs::TraceEventKind;
+            let txn = self.st.txn_id;
+            let end = self.db.trace_set().expect("tracing enabled").now_ns();
+            let start = end.saturating_sub(waited);
+            if !self.st.traced_conflict {
+                self.st.traced_conflict = true;
+                self.db
+                    .trace_event_at(self.worker, txn, start, TraceEventKind::FirstConflict);
+            }
+            self.db
+                .trace_event_at(self.worker, txn, start, TraceEventKind::WaitStart);
+            self.db
+                .trace_event_at(self.worker, txn, end, TraceEventKind::WaitEnd);
+        }
+    }
+}
+
 /// Where a read's bytes live.
 #[derive(Debug, Clone, Copy)]
 pub enum ReadRef {

@@ -16,7 +16,6 @@
 
 use std::time::{Duration, Instant};
 
-use abyss_common::stats::Category;
 use abyss_common::{AbortReason, Key, RowIdx, TableId};
 use abyss_storage::Schema;
 
@@ -173,9 +172,7 @@ pub(super) fn read_visible(
             });
         }
         let out = env.db.park.wait(env.worker, deadline);
-        env.stats
-            .breakdown
-            .record(Category::Wait, started.elapsed().as_nanos() as u64);
+        env.record_wait(started);
         if out == crate::park::WaitOutcome::TimedOut {
             let mut chain = env.db.row_meta(table, row).mvcc_chain(seed(t, row));
             chain.waiters.retain(|w| w.worker != env.worker);
@@ -232,9 +229,7 @@ fn write(
                 });
                 drop(chain);
                 let out = env.db.park.wait(env.worker, deadline);
-                env.stats
-                    .breakdown
-                    .record(Category::Wait, started.elapsed().as_nanos() as u64);
+                env.record_wait(started);
                 if out == crate::park::WaitOutcome::TimedOut {
                     let mut chain = env.db.row_meta(table, row).mvcc_chain(seed(t, row));
                     chain.waiters.retain(|w| w.worker != env.worker);
@@ -308,9 +303,7 @@ fn delete(
                 });
                 drop(chain);
                 let out = env.db.park.wait(env.worker, deadline);
-                env.stats
-                    .breakdown
-                    .record(Category::Wait, started.elapsed().as_nanos() as u64);
+                env.record_wait(started);
                 if out == crate::park::WaitOutcome::TimedOut {
                     let mut chain = env.db.row_meta(table, row).mvcc_chain(seed(t, row));
                     chain.waiters.retain(|w| w.worker != env.worker);

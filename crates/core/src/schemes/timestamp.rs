@@ -23,7 +23,6 @@
 
 use std::time::{Duration, Instant};
 
-use abyss_common::stats::Category;
 use abyss_common::{AbortReason, Key, RowIdx, TableId};
 use abyss_storage::Schema;
 
@@ -120,9 +119,7 @@ fn wait_for_prewrites(
             });
         }
         let out = env.db.park.wait(env.worker, deadline);
-        env.stats
-            .breakdown
-            .record(Category::Wait, started.elapsed().as_nanos() as u64);
+        env.record_wait(started);
         match out {
             crate::park::WaitOutcome::Granted => continue,
             crate::park::WaitOutcome::TimedOut => {

@@ -25,7 +25,6 @@
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
-use abyss_common::stats::Category;
 use abyss_common::{AbortReason, CcScheme, Key, RowIdx, TableId, TxnId};
 use abyss_storage::Schema;
 
@@ -354,9 +353,7 @@ fn acquire_dl_detect(
         .db
         .park
         .wait_with_check(env.worker, deadline, interval, || waits.detect_cycle(me));
-    env.stats
-        .breakdown
-        .record(Category::Wait, started.elapsed().as_nanos() as u64);
+    env.record_wait(started);
     env.db.waits.clear_waits(env.worker);
 
     match out {
@@ -436,9 +433,7 @@ fn acquire_wait_die(
     let started = Instant::now();
     let deadline = started + Duration::from_micros(env.db.cfg.wait_cap_us);
     let out = env.db.park.wait(env.worker, deadline);
-    env.stats
-        .breakdown
-        .record(Category::Wait, started.elapsed().as_nanos() as u64);
+    env.record_wait(started);
     match out {
         WaitOutcome::Granted => Ok(()),
         WaitOutcome::TimedOut => {

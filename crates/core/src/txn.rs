@@ -163,6 +163,8 @@ pub(crate) struct TxnState {
     /// commit TID, a T/O scheme's timestamp, or a commit-window serial
     /// from [`crate::db::Database::wal_commit_point_csn`]).
     pub log_seq: u64,
+    /// Tracing: this attempt already emitted its `FirstConflict` event.
+    pub traced_conflict: bool,
 }
 
 impl TxnState {
@@ -198,6 +200,7 @@ impl TxnState {
         }
         self.log_epoch = 0;
         self.log_seq = 0;
+        self.traced_conflict = false;
     }
 
     /// Does the transaction already hold `(table, row)` at `mode` or

@@ -98,6 +98,15 @@ impl WaitsFor {
         self.slots[worker as usize].len.store(0, Ordering::Release);
     }
 
+    /// Wait-for edges currently published across all workers — a live
+    /// contention gauge (racy by nature, like detection itself).
+    pub fn published_edges(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.len.load(Ordering::Relaxed) as u64)
+            .sum()
+    }
+
     /// DFS from `me`: does a published path of waits lead back to `me`?
     ///
     /// Run by the waiting thread itself. Lock-free, read-only, racy (see

@@ -73,6 +73,9 @@ pub struct WorkerCtx<P: CcProtocol = AnyScheme> {
     /// time recorded by the schemes).
     pub stats: RunStats,
     in_txn: bool,
+    /// When the current attempt began — the per-attempt latency clock
+    /// behind [`RunStats::commit_latency`] / [`RunStats::abort_latency`].
+    attempt_started: Instant,
     /// Cheap xorshift state for abort backoff jitter.
     jitter: u64,
     /// Consecutive scheduler aborts of the current template (drives the
@@ -103,6 +106,7 @@ impl<P: CcProtocol> WorkerCtx<P> {
             st: TxnState::default(),
             stats: RunStats::default(),
             in_txn: false,
+            attempt_started: Instant::now(),
             jitter: 0x9E37_79B9 ^ u64::from(worker) << 16 | 1,
             consec_aborts: 0,
             last_tid: 0,
@@ -151,7 +155,13 @@ impl<P: CcProtocol> WorkerCtx<P> {
     pub fn begin(&mut self, partitions: &[PartId], reuse_ts: Option<Ts>) -> Result<(), TxnError> {
         assert!(!self.in_txn, "begin() while a transaction is active");
         self.seq += 1;
+        self.attempt_started = Instant::now();
         self.st.txn_id = make_txn_id(self.worker, self.seq);
+        self.db.trace_event(
+            self.worker,
+            self.st.txn_id,
+            crate::obs::TraceEventKind::Begin,
+        );
         let scheme = self.db.cfg.scheme;
         self.st.ts = if P::needs_ts(scheme) {
             match reuse_ts {
@@ -583,6 +593,14 @@ impl<P: CcProtocol> WorkerCtx<P> {
                     self.st.redo.is_empty() || self.db.wal.is_none() || self.st.log_epoch != 0,
                     "scheme committed a write set without passing its WAL commit point"
                 );
+                self.stats
+                    .commit_latency
+                    .record(self.attempt_started.elapsed().as_nanos() as u64);
+                self.db.trace_event(
+                    self.worker,
+                    self.st.txn_id,
+                    crate::obs::TraceEventKind::Commit,
+                );
                 self.finish();
                 Ok(())
             }
@@ -600,8 +618,16 @@ impl<P: CcProtocol> WorkerCtx<P> {
         self.rollback(reason);
     }
 
-    fn rollback(&mut self, _reason: AbortReason) {
+    fn rollback(&mut self, reason: AbortReason) {
         P::abort(&mut self.env());
+        self.stats
+            .abort_latency
+            .record(self.attempt_started.elapsed().as_nanos() as u64);
+        self.db.trace_event(
+            self.worker,
+            self.st.txn_id,
+            crate::obs::TraceEventKind::Abort(reason),
+        );
         self.finish();
     }
 

@@ -107,6 +107,8 @@ pub(crate) struct TxnRun {
     pub parts_held: Vec<u32>,
     /// Useful-work cycles accumulated (drives the undo cost).
     pub work_done: Cycles,
+    /// Simulated time this attempt entered the pipeline (latency histos).
+    pub attempt_start: Cycles,
     /// Why the transaction is aborting.
     pub abort_reason: Option<AbortReason>,
     /// OCC: validation latches currently held.
@@ -139,6 +141,7 @@ impl TxnRun {
             parts: Vec::new(),
             parts_held: Vec::new(),
             work_done: 0,
+            attempt_start: 0,
             abort_reason: None,
             occ_locked: false,
             retry: false,
@@ -373,6 +376,7 @@ impl Sim {
                             c.txn.reset_for_retry(id, keep_ts);
                         }
                     }
+                    self.cores[ci].txn.attempt_start = now;
                     if scheme.needs_start_ts() && self.cores[ci].txn.ts == 0 {
                         let grant = self.ts.alloc(ci as u32, now);
                         self.cores[ci].stats.ts_allocated += 1;
@@ -460,6 +464,9 @@ impl Sim {
                     let tag = self.cores[ci].txn.tmpl.tag;
                     let c = &mut self.cores[ci];
                     c.stats.record_commit(tag);
+                    c.stats
+                        .commit_latency
+                        .record(now.saturating_sub(c.txn.attempt_start));
                     c.stats.tuples_committed += len;
                     c.txn.retry = false;
                     c.txn.ts = 0;
@@ -482,6 +489,11 @@ impl Sim {
                         .abort_reason
                         .expect("abort without a reason");
                     self.cores[ci].stats.record_abort(reason);
+                    let start = self.cores[ci].txn.attempt_start;
+                    self.cores[ci]
+                        .stats
+                        .abort_latency
+                        .record(now.saturating_sub(start));
                     self.cores[ci].phase = Phase::Fetch;
                     if reason == AbortReason::UserAbort {
                         self.cores[ci].txn.retry = false;

@@ -12,12 +12,26 @@
 //! The pool is deliberately *not* `Sync` — one pool per worker, zero
 //! cross-thread coordination, exactly as in the paper.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Smallest block class, bytes (everything is rounded up to a class).
 const MIN_CLASS: usize = 64;
 /// Number of size classes: 64, 128, ..., 64 << (NUM_CLASSES-1) = 2 MiB.
 const NUM_CLASSES: usize = 16;
 /// Initial refill batch per class.
 const INITIAL_BATCH: usize = 8;
+
+/// Process-wide count of pool blocks alive anywhere — cached in a free
+/// list, borrowed as a [`PoolBlock`], or in flight. Touched only on cold
+/// paths (refill, block drop, pool drop), never per alloc/free, so the
+/// gauge costs the hot path nothing.
+static LIVE_BLOCKS: AtomicU64 = AtomicU64::new(0);
+
+/// The process-wide mempool live-block gauge (see [`MemPool`] — one pool
+/// per worker, so a global counter is the only cross-pool view).
+pub fn live_blocks() -> u64 {
+    LIVE_BLOCKS.load(Ordering::Relaxed)
+}
 
 /// A block borrowed from a [`MemPool`]. Return it with [`MemPool::free`];
 /// dropping it without freeing simply releases the memory to the global
@@ -56,6 +70,15 @@ impl std::ops::Deref for PoolBlock {
 impl std::ops::DerefMut for PoolBlock {
     fn deref_mut(&mut self) -> &mut [u8] {
         &mut self.buf
+    }
+}
+
+impl Drop for PoolBlock {
+    fn drop(&mut self) {
+        // Only blocks released to the global allocator land here:
+        // `MemPool::free` disassembles the wrapper without running Drop,
+        // keeping its blocks on the gauge until the pool itself drops.
+        LIVE_BLOCKS.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -151,6 +174,7 @@ impl MemPool {
         let n = self.batch[class];
         self.batch[class] = (n * 2).min(4096);
         let bytes = Self::class_size(class);
+        LIVE_BLOCKS.fetch_add(n as u64, Ordering::Relaxed);
         for _ in 0..n.saturating_sub(1) {
             self.free[class].push(vec![0u8; bytes].into_boxed_slice());
             self.stats.cached += 1;
@@ -164,14 +188,27 @@ impl MemPool {
 
     /// Return a block to its free list. The contents are rezeroed lazily,
     /// on reuse (see [`MemPool::alloc`]), so dead blocks cost nothing.
-    pub fn free(&mut self, block: PoolBlock) {
+    pub fn free(&mut self, mut block: PoolBlock) {
         self.stats.cached += 1;
-        self.free[block.class].push(block.buf);
+        let buf = std::mem::take(&mut block.buf);
+        let class = block.class;
+        // The block stays alive in the free list: skip PoolBlock::Drop's
+        // gauge decrement (the pool's own Drop settles cached blocks).
+        std::mem::forget(block);
+        self.free[class].push(buf);
     }
 
     /// Allocation statistics.
     pub fn stats(&self) -> PoolStats {
         self.stats
+    }
+}
+
+impl Drop for MemPool {
+    fn drop(&mut self) {
+        // Blocks still cached in the free lists return to the global
+        // allocator with the pool; settle the live-block gauge for them.
+        LIVE_BLOCKS.fetch_sub(self.stats.cached, Ordering::Relaxed);
     }
 }
 
@@ -273,5 +310,28 @@ mod tests {
     fn oversized_allocation_panics() {
         let mut p = MemPool::new();
         let _ = p.alloc(64 << NUM_CLASSES);
+    }
+
+    #[test]
+    fn live_block_gauge_tracks_refill_and_release() {
+        // The gauge is process-global and sibling tests run concurrently,
+        // so assert with slack: it must rise by at least a refill batch
+        // while the pool lives, and settle back once everything drops.
+        let before = live_blocks();
+        let mut p = MemPool::new();
+        let a = p.alloc(64);
+        let b = p.alloc(64);
+        assert!(
+            live_blocks() + 64 >= before + INITIAL_BATCH as u64,
+            "refill must raise the gauge"
+        );
+        p.free(a); // freeing keeps the block alive (cached)
+        drop(b); // dropping releases it to the global allocator
+        drop(p); // the pool settles its cached blocks
+        let after = live_blocks();
+        assert!(
+            after <= before + 64 && before <= after + 64,
+            "gauge must settle near its start: before={before} after={after}"
+        );
     }
 }

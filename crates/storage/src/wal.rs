@@ -290,6 +290,13 @@ impl WalSet {
         }
     }
 
+    /// Bytes buffered across all shards that have not yet drained to the
+    /// OS — the live gauge of how much the next group flush will write.
+    /// Briefly locks each shard; metrics/diagnostics use, not hot paths.
+    pub fn backlog_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().buf.len() as u64).sum()
+    }
+
     /// Has a log write/sync failed? Once true, appends are dropped and
     /// the durable epoch never advances again.
     pub fn is_failed(&self) -> bool {
