@@ -1,0 +1,5 @@
+//! fig_breakdown binary — see [`abyss_bench::fig_breakdown`].
+
+fn main() {
+    abyss_bench::fig_breakdown::run();
+}

@@ -1,0 +1,265 @@
+//! fig_breakdown — the paper's "where does time go" accounting (§3.2).
+//!
+//! The stacked-bar companion to every throughput figure: each scheme's
+//! execution time attributed to the seven phases (the paper's six
+//! categories plus Logging, split out of Manager). Two sections:
+//!
+//! * **simulator** — the deterministic 1024-core point (64 under
+//!   `--quick`) per scheme, across the YCSB contention sweep and a
+//!   4-warehouse TPC-C mix whose multi-partition Payments starve
+//!   H-STORE's partition locks;
+//! * **real engine** — a multi-threaded host run with the per-worker
+//!   [`abyss_core::obs::PhaseClock`] enabled, so the same seven-phase
+//!   stack comes out of rdtsc spans instead of scheduled event costs.
+//!
+//! The qualitative story CI pins: DL_DETECT becomes wait-dominated as
+//! theta rises while the optimistic schemes (OCC/TICTOC) shift into
+//! abort, and H-STORE's useful-work fraction collapses under
+//! multi-partition load.
+//!
+//! Output: aligned tables + `results/fig_breakdown_{sim,engine}.csv`,
+//! machine-readable JSON at `results/fig_breakdown.json`, and one
+//! engine run's Prometheus exposition text at
+//! `results/fig_breakdown.prom` (CI parses the histogram lines).
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use crate::{fig_durability::engine_workers, fmt_m, tpcc_point, ycsb_point, HarnessArgs, Report};
+use abyss_common::zipf::ZipfGen;
+use abyss_common::{CcScheme, Phase, PhaseBreakdown, TxnTemplate};
+use abyss_core::{run_workers, Database, EngineConfig};
+use abyss_sim::SimConfig;
+use abyss_storage::{Catalog, Schema};
+use abyss_workload::tpcc::TpccConfig;
+use abyss_workload::ycsb::{self, YcsbConfig, YcsbGen};
+
+/// The contention sweep: uniform, the paper's medium-skew point, and
+/// high skew where thrashing/validation failure dominates.
+pub const THETAS: [f64; 3] = [0.0, 0.6, 0.8];
+
+/// One stacked bar: a scheme × workload point and its phase fractions.
+struct Stack {
+    scheme: CcScheme,
+    workload: &'static str,
+    /// YCSB skew; `None` for the TPC-C mix.
+    theta: Option<f64>,
+    txn_per_sec: f64,
+    phases: PhaseBreakdown,
+}
+
+impl Stack {
+    fn json(&self) -> String {
+        let theta = match self.theta {
+            Some(t) => format!("{t:.1}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"scheme\":\"{}\",\"workload\":\"{}\",\"theta\":{theta},\
+             \"txn_per_sec\":{:.1},\"fractions\":{{{}}}}}",
+            self.scheme.name(),
+            self.workload,
+            self.txn_per_sec,
+            Phase::ALL
+                .iter()
+                .map(|&p| format!("\"{}\":{:.4}", p.key(), self.phases.fraction(p)))
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+
+    fn cells(&self) -> Vec<String> {
+        let mut row = vec![
+            self.scheme.name().to_string(),
+            self.theta
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "-".to_string()),
+            fmt_m(self.txn_per_sec),
+        ];
+        row.extend(
+            Phase::ALL
+                .iter()
+                .map(|&p| format!("{:.0}%", self.phases.fraction(p) * 100.0)),
+        );
+        row
+    }
+}
+
+fn headers() -> Vec<&'static str> {
+    let mut h = vec!["scheme", "theta", "Mtxn/s"];
+    h.extend(["useful", "abort", "ts", "index", "wait", "mgr", "log"]);
+    h
+}
+
+fn sim_ycsb(scheme: CcScheme, theta: f64, cores: u32, args: &HarnessArgs) -> Stack {
+    let mut cfg = YcsbConfig::write_intensive(theta);
+    if scheme == CcScheme::HStore {
+        cfg.parts = cores;
+    }
+    let r = ycsb_point(SimConfig::new(scheme, cores), &cfg, args);
+    Stack {
+        scheme,
+        workload: "ycsb",
+        theta: Some(theta),
+        txn_per_sec: r.txn_per_sec(),
+        phases: r.stats.phase_ns,
+    }
+}
+
+fn sim_tpcc(scheme: CcScheme, cores: u32, args: &HarnessArgs) -> Stack {
+    // Four warehouses regardless of core count: the contended TPC-C
+    // configuration (Fig. 15's regime) where cross-warehouse Payments
+    // make most transactions multi-partition for H-STORE.
+    let cfg = TpccConfig {
+        warehouses: 4,
+        ..TpccConfig::default()
+    };
+    let r = tpcc_point(SimConfig::new(scheme, cores), &cfg, args);
+    Stack {
+        scheme,
+        workload: "tpcc_4wh",
+        theta: None,
+        txn_per_sec: r.txn_per_sec(),
+        phases: r.stats.phase_ns,
+    }
+}
+
+/// One engine run with the phase profiler on; returns the stack plus the
+/// run's Prometheus exposition (histograms + phase counters included).
+fn engine_stack(scheme: CcScheme, theta: f64, args: &HarnessArgs) -> (Stack, String) {
+    let workers = engine_workers();
+    let rows: u64 = if args.quick { 4_000 } else { 20_000 };
+    let mut cfg = YcsbConfig {
+        table_rows: rows,
+        ..YcsbConfig::write_intensive(theta)
+    };
+    if scheme == CcScheme::HStore {
+        cfg.parts = workers;
+    }
+    let mut cat = Catalog::new();
+    cat.add_table("usertable", Schema::key_plus_payload(2, 8), rows * 2);
+    let ecfg = EngineConfig::new(scheme, workers).with_breakdown();
+    let db = Database::new(ecfg, cat).expect("engine config");
+    db.load_table(ycsb::YCSB_TABLE, 0..rows, |s, r, k| {
+        abyss_storage::row::set_u64(s, r, 0, k);
+        abyss_storage::row::set_u64(s, r, 1, k ^ 0xBEEF);
+    })
+    .expect("load");
+    let zipf = ZipfGen::new(cfg.table_rows, cfg.theta);
+    let gens: Vec<Box<dyn FnMut() -> TxnTemplate + Send>> = (0..workers)
+        .map(|w| {
+            let mut g =
+                YcsbGen::with_zipf(cfg.clone(), zipf.clone(), 0xFACE ^ (u64::from(w) << 20))
+                    .for_worker(w);
+            Box::new(move || g.next_txn()) as Box<dyn FnMut() -> TxnTemplate + Send>
+        })
+        .collect();
+    let (warm, meas) = if args.quick {
+        (Duration::from_millis(40), Duration::from_millis(150))
+    } else {
+        (Duration::from_millis(150), Duration::from_millis(600))
+    };
+    let out = run_workers(&db, gens, warm, meas);
+    let prom = db
+        .metrics_snapshot()
+        .with_run_stats(&out.stats)
+        .to_prometheus();
+    let stack = Stack {
+        scheme,
+        workload: "ycsb",
+        theta: Some(theta),
+        txn_per_sec: out.stats.commits as f64 / meas.as_secs_f64(),
+        phases: out.stats.phase_ns,
+    };
+    (stack, prom)
+}
+
+/// Run the full fig_breakdown experiment (parses CLI args itself).
+pub fn run() {
+    let args = HarnessArgs::parse();
+    let sim_cores: u32 = if args.quick { 64 } else { 1024 };
+    let h = headers();
+
+    // ---- simulator ----------------------------------------------------
+    let mut sim_series: Vec<Stack> = Vec::new();
+    for &theta in &THETAS {
+        for scheme in CcScheme::ALL {
+            sim_series.push(sim_ycsb(scheme, theta, sim_cores, &args));
+        }
+    }
+    for scheme in CcScheme::ALL {
+        sim_series.push(sim_tpcc(scheme, sim_cores, &args));
+    }
+    let mut rep = Report::new(&h);
+    for s in &sim_series {
+        rep.row(s.cells());
+    }
+    rep.print(&format!(
+        "fig_breakdown sim — {sim_cores} cores, YCSB theta sweep + TPC-C 4wh (phase fractions)"
+    ));
+    rep.write_csv("fig_breakdown_sim");
+
+    // ---- real engine --------------------------------------------------
+    let mut engine_series: Vec<Stack> = Vec::new();
+    let mut prom_sample = String::new();
+    for &theta in &THETAS {
+        for scheme in CcScheme::ALL {
+            let (stack, prom) = engine_stack(scheme, theta, &args);
+            // Keep one exposition with live histograms as the artifact.
+            if scheme == CcScheme::Silo && prom.contains("abyss_commit_latency_ns_bucket") {
+                prom_sample = prom;
+            }
+            engine_series.push(stack);
+        }
+    }
+    let mut rep = Report::new(&h);
+    for s in &engine_series {
+        rep.row(s.cells());
+    }
+    rep.print(&format!(
+        "fig_breakdown engine — {} workers, rdtsc phase spans (phase fractions)",
+        engine_workers()
+    ));
+    rep.write_csv("fig_breakdown_engine");
+
+    // ---- JSON + Prometheus artifacts ----------------------------------
+    let json = format!(
+        "{{\"figure\":\"fig_breakdown\",\"phases\":[{}],\"thetas\":[{}],\
+         \"sim\":{{\"cores\":{sim_cores},\"series\":[{}]}},\
+         \"engine\":{{\"workers\":{},\"series\":[{}]}}}}",
+        Phase::ALL
+            .iter()
+            .map(|p| format!("\"{}\"", p.key()))
+            .collect::<Vec<_>>()
+            .join(","),
+        THETAS
+            .iter()
+            .map(|t| format!("{t:.1}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        sim_series
+            .iter()
+            .map(Stack::json)
+            .collect::<Vec<_>>()
+            .join(","),
+        engine_workers(),
+        engine_series
+            .iter()
+            .map(Stack::json)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    println!("\n{json}");
+    if std::fs::create_dir_all("results").is_ok() {
+        if let Ok(mut f) = std::fs::File::create("results/fig_breakdown.json") {
+            let _ = writeln!(f, "{json}");
+            println!("  [json] results/fig_breakdown.json");
+        }
+        if !prom_sample.is_empty() {
+            if let Ok(mut f) = std::fs::File::create("results/fig_breakdown.prom") {
+                let _ = f.write_all(prom_sample.as_bytes());
+                println!("  [prom] results/fig_breakdown.prom");
+            }
+        }
+    }
+}

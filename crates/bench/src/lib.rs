@@ -12,6 +12,7 @@
 //! * the default is a representative sweep that preserves every figure's
 //!   shape in minutes instead of hours.
 
+pub mod fig_breakdown;
 pub mod fig_durability;
 pub mod fig_latency;
 pub mod fig_modern;

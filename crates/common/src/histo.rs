@@ -98,6 +98,12 @@ impl LatencyHisto {
         self.max
     }
 
+    /// Sum of all recorded samples (saturating). The Prometheus exporter
+    /// emits this as the histogram's `_sum` series.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Mean sample value. 0 when empty.
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
@@ -149,6 +155,27 @@ impl LatencyHisto {
             .enumerate()
             .filter(|(_, &n)| n != 0)
             .map(|(idx, &n)| (bucket_lower_bound(idx), n))
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, cumulative_count)`,
+    /// ascending — exactly the Prometheus `_bucket{le="..."}` series (every
+    /// sample in a bucket is ≤ that bucket's upper bound, and the counts
+    /// accumulate).
+    pub fn iter_cumulative(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut cum = 0u64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(move |(idx, &n)| {
+                cum += n;
+                let upper = if idx + 1 < NUM_BUCKETS {
+                    bucket_lower_bound(idx + 1) - 1
+                } else {
+                    u64::MAX
+                };
+                (upper, cum)
+            })
     }
 }
 
@@ -329,6 +356,27 @@ mod tests {
         h.record(42);
         let merged = h.clone() + LatencyHisto::new();
         assert_eq!(merged, h);
+    }
+
+    #[test]
+    fn iter_cumulative_is_a_valid_le_series() {
+        let mut h = LatencyHisto::new();
+        let samples = [1u64, 1, 7, 100, 100_000, u64::MAX];
+        for v in samples {
+            h.record(v);
+        }
+        let series: Vec<(u64, u64)> = h.iter_cumulative().collect();
+        // Monotone in both coordinates, final cumulative = count.
+        assert!(series
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(series.last().unwrap().1, h.count());
+        // Every upper bound really bounds its bucket's samples: the
+        // cumulative count at `le` matches the sorted-oracle rank.
+        for &(le, cum) in &series {
+            let oracle = samples.iter().filter(|&&v| v <= le).count() as u64;
+            assert_eq!(cum, oracle, "le={le}");
+        }
     }
 
     #[test]

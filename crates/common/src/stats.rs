@@ -135,6 +135,203 @@ impl AddAssign for TimeBreakdown {
     }
 }
 
+/// Where a nanosecond of an *attempt* went — the wall-clock counterpart of
+/// [`Category`], extended with an explicit `Logging` phase (the paper
+/// predates durability; our WAL append is real time that would otherwise
+/// hide inside `Manager`).
+///
+/// The engine's `PhaseClock` stamps transitions at the instrumentation
+/// seams and the simulator surfaces its per-component cycle charges under
+/// the same enum, so sim and engine breakdowns are directly comparable.
+/// Unlike [`Category`] (which several schemes feed piecemeal), `phase_ns`
+/// is conservative: per attempt, the seven buckets partition the interval
+/// from `attempt_started` to commit/abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Executing application logic and operating on tuples.
+    UsefulWork,
+    /// Acquiring a unique timestamp from the allocator.
+    TsAlloc,
+    /// Index probes: hash buckets, B+-tree descent, range-scan traversal.
+    Index,
+    /// Parked on a lock or a not-yet-ready tuple value.
+    Wait,
+    /// CC bookkeeping: lock/ts-manager work, validation, commit/release.
+    Manager,
+    /// Rollback plus the wasted (non-wait) time of the aborted attempt.
+    Abort,
+    /// Serializing and appending the commit record to the WAL.
+    Logging,
+}
+
+impl Phase {
+    /// Number of phases (array size for [`PhaseBreakdown`]).
+    pub const COUNT: usize = 7;
+
+    /// All phases in display order (paper legend order, then Logging).
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::UsefulWork,
+        Phase::Abort,
+        Phase::TsAlloc,
+        Phase::Index,
+        Phase::Wait,
+        Phase::Manager,
+        Phase::Logging,
+    ];
+
+    /// Label as printed in breakdown tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::UsefulWork => "Useful Work",
+            Phase::Abort => "Abort",
+            Phase::TsAlloc => "Ts Alloc.",
+            Phase::Index => "Index",
+            Phase::Wait => "Wait",
+            Phase::Manager => "Manager",
+            Phase::Logging => "Logging",
+        }
+    }
+
+    /// Short machine-readable key (JSON / Prometheus label values).
+    pub fn key(self) -> &'static str {
+        match self {
+            Phase::UsefulWork => "useful",
+            Phase::Abort => "abort",
+            Phase::TsAlloc => "ts_alloc",
+            Phase::Index => "index",
+            Phase::Wait => "wait",
+            Phase::Manager => "manager",
+            Phase::Logging => "logging",
+        }
+    }
+
+    /// The §3.2 category this phase folds into (Logging → Manager; the
+    /// paper had no durability, so WAL time is manager overhead there).
+    pub fn legacy_category(self) -> Category {
+        match self {
+            Phase::UsefulWork => Category::UsefulWork,
+            Phase::Abort => Category::Abort,
+            Phase::TsAlloc => Category::TsAlloc,
+            Phase::Index => Category::Index,
+            Phase::Wait => Category::Wait,
+            Phase::Manager | Phase::Logging => Category::Manager,
+        }
+    }
+
+    /// Dense array index (stable across [`Phase::ALL`] reorderings).
+    pub const fn idx(self) -> usize {
+        match self {
+            Phase::UsefulWork => 0,
+            Phase::TsAlloc => 1,
+            Phase::Index => 2,
+            Phase::Wait => 3,
+            Phase::Manager => 4,
+            Phase::Abort => 5,
+            Phase::Logging => 6,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulated attempt time per [`Phase`], in nanoseconds (engine) or
+/// cycles (simulator — 1 cycle ≈ 1 ns at the modeled 1 GHz clock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    buckets: [u64; Phase::COUNT],
+}
+
+impl PhaseBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `amount` time units to `phase`.
+    #[inline]
+    pub fn record(&mut self, phase: Phase, amount: u64) {
+        self.buckets[phase.idx()] += amount;
+    }
+
+    /// Time accumulated in `phase`.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.buckets[phase.idx()]
+    }
+
+    /// Total time across all phases.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of total time in `phase` (0 if the breakdown is empty).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(phase) as f64 / total as f64
+        }
+    }
+
+    /// Normalized fractions in [`Phase::ALL`] order.
+    pub fn fractions(&self) -> [f64; Phase::COUNT] {
+        let mut out = [0.0; Phase::COUNT];
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            out[i] = self.fraction(p);
+        }
+        out
+    }
+
+    /// Serialize as a JSON object keyed by [`Phase::key`]: raw
+    /// accumulated time plus normalized fractions, the shape the
+    /// `fig_breakdown` harness and the `--breakdown` example emit.
+    pub fn to_json(&self) -> String {
+        let ns: Vec<String> = Phase::ALL
+            .iter()
+            .map(|&p| format!("\"{}\":{}", p.key(), self.get(p)))
+            .collect();
+        let frac: Vec<String> = Phase::ALL
+            .iter()
+            .map(|&p| format!("\"{}\":{:.4}", p.key(), self.fraction(p)))
+            .collect();
+        format!(
+            "{{\"ns\":{{{}}},\"fractions\":{{{}}}}}",
+            ns.join(","),
+            frac.join(",")
+        )
+    }
+
+    /// Fold into the six-category §3.2 breakdown (Logging → Manager).
+    pub fn to_legacy(&self) -> TimeBreakdown {
+        let mut out = TimeBreakdown::new();
+        for p in Phase::ALL {
+            out.record(p.legacy_category(), self.get(p));
+        }
+        out
+    }
+}
+
+impl Add for PhaseBreakdown {
+    type Output = Self;
+
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for PhaseBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        for (a, b) in self.buckets.iter_mut().zip(rhs.buckets) {
+            *a += b;
+        }
+    }
+}
+
 /// Statistics for one benchmark run (one worker, or merged over workers).
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -152,6 +349,10 @@ pub struct RunStats {
     pub elapsed: u64,
     /// Time breakdown across the six §3.2 categories.
     pub breakdown: TimeBreakdown,
+    /// Conservative per-attempt phase accounting (seven phases, includes
+    /// Logging). Empty unless the engine runs with `breakdown` enabled;
+    /// the simulator always fills it (its charges are free to attribute).
+    pub phase_ns: PhaseBreakdown,
     /// Timestamps allocated (for the Fig. 6 micro-benchmark).
     pub ts_allocated: u64,
     /// Range scans executed (committed or not).
@@ -290,6 +491,7 @@ impl RunStats {
         self.tuples_committed += other.tuples_committed;
         self.elapsed = self.elapsed.max(other.elapsed);
         self.breakdown += other.breakdown;
+        self.phase_ns += other.phase_ns;
         self.ts_allocated += other.ts_allocated;
         self.scans += other.scans;
         self.scan_retries += other.scan_retries;
@@ -416,6 +618,45 @@ mod tests {
     fn overflow_tag_panics_in_debug() {
         let mut s = RunStats::default();
         s.record_commit(RunStats::TAG_BUCKETS as u8);
+    }
+
+    #[test]
+    fn phase_fractions_sum_to_one_and_fold_to_legacy() {
+        let mut p = PhaseBreakdown::new();
+        p.record(Phase::UsefulWork, 50);
+        p.record(Phase::Wait, 30);
+        p.record(Phase::Manager, 12);
+        p.record(Phase::Logging, 8);
+        let total: f64 = p.fractions().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(p.total(), 100);
+        // Logging folds into Manager in the legacy six-category view.
+        let legacy = p.to_legacy();
+        assert_eq!(legacy.get(Category::Manager), 20);
+        assert_eq!(legacy.get(Category::UsefulWork), 50);
+        assert_eq!(legacy.total(), p.total());
+    }
+
+    #[test]
+    fn phase_idx_is_a_bijection() {
+        let mut seen = [false; Phase::COUNT];
+        for p in Phase::ALL {
+            assert!(!seen[p.idx()], "{p:?} reuses index {}", p.idx());
+            seen[p.idx()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn merge_sums_phase_ns() {
+        let mut a = RunStats::default();
+        a.phase_ns.record(Phase::Index, 5);
+        let mut b = RunStats::default();
+        b.phase_ns.record(Phase::Index, 7);
+        b.phase_ns.record(Phase::Abort, 3);
+        a.merge(&b);
+        assert_eq!(a.phase_ns.get(Phase::Index), 12);
+        assert_eq!(a.phase_ns.get(Phase::Abort), 3);
     }
 
     #[test]

@@ -103,6 +103,11 @@ pub struct EngineConfig {
     pub log: LogConfig,
     /// Observability: per-worker transaction event tracing.
     pub trace: TraceConfig,
+    /// Observability: per-phase attempt-time accounting (the paper's §3.2
+    /// "where does time go" breakdown, see `crate::obs::breakdown`). Off by
+    /// default: every phase transition then reduces to one branch, the
+    /// same runtime-flag compile-out idiom as [`TraceConfig`].
+    pub breakdown: bool,
 }
 
 impl Default for EngineConfig {
@@ -119,6 +124,7 @@ impl Default for EngineConfig {
             wait_cap_us: 2_000_000,
             log: LogConfig::default(),
             trace: TraceConfig::default(),
+            breakdown: false,
         }
     }
 }
@@ -181,6 +187,13 @@ impl EngineConfig {
         self.trace.capacity = capacity;
         self
     }
+
+    /// Enable per-phase attempt-time accounting (builder-style convenience
+    /// for tests and benches).
+    pub fn with_breakdown(mut self) -> Self {
+        self.breakdown = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +230,15 @@ mod tests {
         c.trace.capacity = 256;
         assert!(c.validate().is_ok());
         assert!(c.trace.enabled);
+    }
+
+    #[test]
+    fn breakdown_is_off_by_default_and_builder_enables_it() {
+        let c = EngineConfig::new(CcScheme::Occ, 2);
+        assert!(!c.breakdown);
+        let c = c.with_breakdown();
+        assert!(c.breakdown);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct Database {
     /// Per-worker txn event rings (None = tracing off, the default; the
     /// event sites then cost one Option check).
     pub(crate) trace: Option<TraceSet>,
+    /// Live per-phase attempt-time totals (None = breakdown off, the
+    /// default). Workers flush one relaxed add per non-zero phase per
+    /// attempt; `metrics_snapshot` reads them as gauges mid-run.
+    pub(crate) phase_acc: Option<Box<[AtomicU64]>>,
     /// Commit-window serial numbers for WAL records of schemes without a
     /// natural commit ordinal (2PL, H-STORE, OCC) — drawn *inside* the
     /// committing transaction's exclusion window, so per-key serial order
@@ -139,6 +143,11 @@ impl Database {
                 .trace
                 .enabled
                 .then(|| TraceSet::new(cfg.workers, cfg.trace.capacity)),
+            phase_acc: cfg.breakdown.then(|| {
+                (0..abyss_common::Phase::COUNT)
+                    .map(|_| AtomicU64::new(0))
+                    .collect()
+            }),
             cfg,
             epoch,
             wal,
@@ -201,6 +210,39 @@ impl Database {
     /// or between transactions). `None` when tracing is off.
     pub fn trace_dump(&self) -> Option<TraceDump> {
         self.trace.as_ref().map(|t| t.dump())
+    }
+
+    /// Is per-phase attempt-time accounting enabled?
+    pub fn breakdown_enabled(&self) -> bool {
+        self.phase_acc.is_some()
+    }
+
+    /// Fold one attempt's phase delta into the live totals. No-op when
+    /// breakdown is off (workers also skip the call via their disabled
+    /// `PhaseClock`).
+    #[inline]
+    pub(crate) fn phase_accumulate(&self, delta: &abyss_common::PhaseBreakdown) {
+        if let Some(acc) = &self.phase_acc {
+            for p in abyss_common::Phase::ALL {
+                let v = delta.get(p);
+                if v != 0 {
+                    acc[p.idx()].fetch_add(v, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Live per-phase attempt-time totals since the database was built
+    /// (nanoseconds, summed over workers and attempts). `None` when
+    /// breakdown is off.
+    pub fn phase_totals(&self) -> Option<abyss_common::PhaseBreakdown> {
+        self.phase_acc.as_ref().map(|acc| {
+            let mut out = abyss_common::PhaseBreakdown::new();
+            for p in abyss_common::Phase::ALL {
+                out.record(p, acc[p.idx()].load(Ordering::Relaxed));
+            }
+            out
+        })
     }
 
     /// Record a trace event for `worker`, timestamped now. No-op when
@@ -274,6 +316,9 @@ impl Database {
             mempool_live_blocks: abyss_storage::mempool::live_blocks(),
             trace_events: self.trace.as_ref().map_or(0, |t| t.total_recorded()),
             trace_dropped: self.trace.as_ref().map_or(0, |t| t.total_overwritten()),
+            phase_ns: self.phase_totals(),
+            commit_latency: None,
+            abort_latency: None,
             tables,
         }
     }

@@ -5,7 +5,12 @@
 //! [`crate::db::Database::metrics_snapshot`] assembles one from shared
 //! state (epoch watermarks, WAL counters, the waits-for graph, index
 //! health, the process-wide mempool gauge) — it never touches per-worker
-//! state, so it can be scraped while a run is in flight.
+//! state, so it can be scraped while a run is in flight. After a run,
+//! [`MetricsSnapshot::with_run_stats`] attaches the merged per-worker
+//! data (commit/abort latency histograms, the phase breakdown) so the
+//! exporters can serve the full picture.
+
+use abyss_common::{LatencyHisto, Phase, PhaseBreakdown, RunStats};
 
 /// Per-table index gauges (one entry per catalog table).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +72,15 @@ pub struct MetricsSnapshot {
     pub trace_events: u64,
     /// Trace events lost to ring overwrite.
     pub trace_dropped: u64,
+    /// Live per-phase attempt-time totals in nanoseconds (`None` when
+    /// breakdown accounting is off).
+    pub phase_ns: Option<PhaseBreakdown>,
+    /// Commit-latency histogram, attached by
+    /// [`MetricsSnapshot::with_run_stats`] (`None` on a bare snapshot).
+    pub commit_latency: Option<LatencyHisto>,
+    /// Abort-latency histogram, attached like
+    /// [`MetricsSnapshot::commit_latency`].
+    pub abort_latency: Option<LatencyHisto>,
     /// Per-table index gauges.
     pub tables: Vec<TableMetrics>,
 }
@@ -76,6 +90,19 @@ fn json_escape(s: &str) -> String {
 }
 
 impl MetricsSnapshot {
+    /// Attach a finished run's merged per-worker data: the commit/abort
+    /// latency histograms (exported as Prometheus histogram series) and,
+    /// when the run accounted phases, its phase breakdown (overriding the
+    /// live gauge totals with the run's warmup-reset view).
+    pub fn with_run_stats(mut self, stats: &RunStats) -> Self {
+        self.commit_latency = Some(stats.commit_latency.clone());
+        self.abort_latency = Some(stats.abort_latency.clone());
+        if stats.phase_ns.total() > 0 {
+            self.phase_ns = Some(stats.phase_ns);
+        }
+        self
+    }
+
     /// Serialize as a JSON object (hand-rolled, like the bench exports —
     /// the repo carries no serde).
     pub fn to_json(&self) -> String {
@@ -110,6 +137,36 @@ impl MetricsSnapshot {
         ));
         out.push_str(&format!("  \"trace_events\": {},\n", self.trace_events));
         out.push_str(&format!("  \"trace_dropped\": {},\n", self.trace_dropped));
+        match &self.phase_ns {
+            Some(p) => {
+                out.push_str("  \"phase_ns\": {");
+                for (i, ph) in Phase::ALL.into_iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\": {}", ph.key(), p.get(ph)));
+                }
+                out.push_str("},\n");
+            }
+            None => out.push_str("  \"phase_ns\": null,\n"),
+        }
+        for (key, h) in [
+            ("commit_latency", &self.commit_latency),
+            ("abort_latency", &self.abort_latency),
+        ] {
+            match h {
+                Some(h) => out.push_str(&format!(
+                    "  \"{key}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}},\n",
+                    h.count(),
+                    h.sum(),
+                    h.p50(),
+                    h.p99(),
+                    h.p999(),
+                    h.max(),
+                )),
+                None => out.push_str(&format!("  \"{key}\": null,\n")),
+            }
+        }
         out.push_str("  \"tables\": [");
         for (i, t) in self.tables.iter().enumerate() {
             if i > 0 {
@@ -229,6 +286,36 @@ impl MetricsSnapshot {
             self.log_flushes,
         );
         counter("wal_fsyncs_total", "WAL fsync calls.", self.log_fsyncs);
+        if let Some(p) = &self.phase_ns {
+            out.push_str(
+                "# HELP abyss_phase_ns_total Attempt time attributed to each phase (ns).\n",
+            );
+            out.push_str("# TYPE abyss_phase_ns_total counter\n");
+            for ph in Phase::ALL {
+                Self::sample(
+                    &mut out,
+                    "phase_ns_total",
+                    &[("phase", ph.key().to_string())],
+                    p.get(ph),
+                );
+            }
+        }
+        for (name, help, h) in [
+            (
+                "commit_latency_ns",
+                "Latency of committed attempts, begin to commit ack (ns).",
+                &self.commit_latency,
+            ),
+            (
+                "abort_latency_ns",
+                "Latency of aborted attempts, begin to abort (ns).",
+                &self.abort_latency,
+            ),
+        ] {
+            if let Some(h) = h {
+                Self::histogram(&mut out, name, help, h);
+            }
+        }
         for (name, help, get) in [
             (
                 "table_live_keys",
@@ -260,6 +347,21 @@ impl MetricsSnapshot {
             }
         }
         out
+    }
+
+    /// Emit one full Prometheus histogram family: cumulative
+    /// `_bucket{le="..."}` series (upper bounds from the log-linear
+    /// buckets), the mandatory `le="+Inf"` bucket, `_sum`, `_count`.
+    fn histogram(out: &mut String, name: &str, help: &str, h: &LatencyHisto) {
+        out.push_str(&format!("# HELP abyss_{name} {help}\n"));
+        out.push_str(&format!("# TYPE abyss_{name} histogram\n"));
+        let bucket = format!("{name}_bucket");
+        for (le, cum) in h.iter_cumulative() {
+            Self::sample(out, &bucket, &[("le", le.to_string())], cum);
+        }
+        Self::sample(out, &bucket, &[("le", "+Inf".to_string())], h.count());
+        Self::sample(out, &format!("{name}_sum"), &[], h.sum());
+        Self::sample(out, &format!("{name}_count"), &[], h.count());
     }
 
     fn sample(out: &mut String, name: &str, labels: &[(&str, String)], v: u64) {
@@ -302,6 +404,9 @@ mod tests {
             mempool_live_blocks: 128,
             trace_events: 42,
             trace_dropped: 0,
+            phase_ns: None,
+            commit_latency: None,
+            abort_latency: None,
             tables: vec![TableMetrics {
                 name: "usertable".into(),
                 live_keys: 100,
@@ -369,6 +474,76 @@ mod tests {
         let type_idx = p.find("# TYPE abyss_epoch_current").unwrap();
         let sample_idx = p.find("\nabyss_epoch_current ").unwrap();
         assert!(type_idx < sample_idx);
+    }
+
+    #[test]
+    fn json_renders_phase_and_latency_blocks() {
+        let mut stats = RunStats::default();
+        stats.phase_ns.record(Phase::Wait, 30);
+        stats.phase_ns.record(Phase::UsefulWork, 70);
+        stats.commit_latency.record(1_000);
+        stats.abort_latency.record(500);
+        let j = snap().with_run_stats(&stats).to_json();
+        for key in [
+            "\"phase_ns\": {",
+            "\"wait\": 30",
+            "\"useful\": 70",
+            "\"commit_latency\": {\"count\": 1,",
+            "\"abort_latency\": {\"count\": 1,",
+        ] {
+            assert!(j.contains(key), "missing {key} in\n{j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // A bare snapshot renders the same keys as nulls.
+        let bare = snap().to_json();
+        assert!(bare.contains("\"phase_ns\": null"));
+        assert!(bare.contains("\"commit_latency\": null"));
+    }
+
+    #[test]
+    fn prometheus_histograms_are_well_formed() {
+        let mut stats = RunStats::default();
+        for v in [100u64, 100, 2_000, 150_000] {
+            stats.commit_latency.record(v);
+        }
+        stats.abort_latency.record(77);
+        stats.phase_ns.record(Phase::Manager, 9);
+        let p = snap().with_run_stats(&stats).to_prometheus();
+        assert!(p.contains("# TYPE abyss_commit_latency_ns histogram"));
+        assert!(p.contains("# TYPE abyss_abort_latency_ns histogram"));
+        assert!(p.contains("abyss_phase_ns_total{phase=\"manager\"} 9"));
+        // Bucket series: cumulative, capped by the +Inf bucket = count.
+        let bucket_lines: Vec<&str> = p
+            .lines()
+            .filter(|l| l.starts_with("abyss_commit_latency_ns_bucket"))
+            .collect();
+        assert!(bucket_lines.len() >= 2, "need le buckets + +Inf:\n{p}");
+        let counts: Vec<u64> = bucket_lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert!(bucket_lines.last().unwrap().contains("le=\"+Inf\""));
+        assert_eq!(*counts.last().unwrap(), 4);
+        assert!(p.contains("abyss_commit_latency_ns_count 4"));
+        assert!(p.contains(&format!(
+            "abyss_commit_latency_ns_sum {}",
+            stats.commit_latency.sum()
+        )));
+        // The well-formedness contract of the base exporter still holds.
+        for line in p.lines() {
+            assert!(
+                line.starts_with("# HELP abyss_")
+                    || line.starts_with("# TYPE abyss_")
+                    || line.starts_with("abyss_"),
+                "stray line: {line}"
+            );
+        }
+        for line in p.lines().filter(|l| !l.starts_with('#')) {
+            let val = line.rsplit(' ').next().unwrap();
+            val.parse::<u64>()
+                .unwrap_or_else(|_| panic!("bad sample: {line}"));
+        }
     }
 
     #[test]

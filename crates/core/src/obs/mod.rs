@@ -1,7 +1,7 @@
-//! Engine observability: per-worker transaction event tracing and the
-//! live metrics snapshot.
+//! Engine observability: per-worker transaction event tracing, per-phase
+//! time accounting, and the live metrics snapshot.
 //!
-//! Three instruments, three costs:
+//! Four instruments, four costs:
 //!
 //! * **Latency histograms** ([`abyss_common::LatencyHisto`], recorded by
 //!   the generic worker path in [`crate::worker`]) — always on; a few
@@ -10,11 +10,18 @@
 //!   [`crate::config::TraceConfig`], each worker appends txn lifecycle
 //!   events to a private fixed-capacity ring (overwrite-oldest). Disabled
 //!   tracing costs one `Option` check per event site.
+//! * **Phase breakdown** ([`breakdown`]) — off by default; when enabled
+//!   via `EngineConfig::breakdown`, each worker attributes every
+//!   nanosecond of an attempt to one of the paper's §3.2 phases with a
+//!   TSC-based stopwatch. Disabled accounting costs one branch per
+//!   transition site.
 //! * **Metrics snapshot** ([`metrics`]) — pull-only; reading the gauges
 //!   touches shared counters but never the worker hot path.
 
+pub mod breakdown;
 pub mod metrics;
 pub mod trace;
 
+pub use breakdown::PhaseClock;
 pub use metrics::{MetricsSnapshot, TableMetrics};
 pub use trace::{TraceDump, TraceEvent, TraceEventKind, TraceSet, TxnOutcome, TxnSummary};

@@ -98,7 +98,7 @@ impl CcProtocol for HStore {
 
     fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
         // WAL commit point: the partitions are still owned.
-        env.db.wal_commit_point_csn(env.worker, env.st, env.stats);
+        env.wal_commit_point_csn();
         commit(env);
         Ok(())
     }

@@ -47,6 +47,7 @@ use abyss_common::{AbortReason, CcScheme, CoreId, Key, PartId, RowIdx, TableId};
 use abyss_storage::{MemPool, Schema};
 
 use crate::db::Database;
+use crate::obs::PhaseClock;
 use crate::ts::TsHandle;
 use crate::txn::TxnState;
 use crate::worker::{TxnError, WorkerCtx};
@@ -69,6 +70,8 @@ pub struct SchemeEnv<'a> {
     pub(crate) ts: &'a mut TsHandle,
     /// SILO: the worker's previous commit TID (next one must exceed it).
     pub(crate) last_tid: &'a mut u64,
+    /// The worker's per-phase stopwatch (no-op unless `cfg.breakdown`).
+    pub(crate) phases: &'a mut PhaseClock,
 }
 
 impl SchemeEnv<'_> {
@@ -83,6 +86,7 @@ impl SchemeEnv<'_> {
         self.stats
             .breakdown
             .record(abyss_common::Category::Wait, waited);
+        self.phases.note_wait(waited);
         if self.db.trace_enabled() {
             use crate::obs::TraceEventKind;
             let txn = self.st.txn_id;
@@ -98,6 +102,37 @@ impl SchemeEnv<'_> {
             self.db
                 .trace_event_at(self.worker, txn, end, TraceEventKind::WaitEnd);
         }
+    }
+
+    /// WAL commit point drawing a fresh commit sequence number — the
+    /// phase-accounted front door every scheme's commit goes through
+    /// (charged to [`abyss_common::Phase::Logging`], then back to
+    /// Manager for the rest of the commit window).
+    pub(crate) fn wal_commit_point_csn(&mut self) {
+        self.phases.set(abyss_common::Phase::Logging);
+        self.db
+            .wal_commit_point_csn(self.worker, self.st, self.stats);
+        self.phases.set(abyss_common::Phase::Manager);
+    }
+
+    /// WAL commit point at the scheme's own serial number (T/O schemes
+    /// log at their commit timestamp). Phase-accounted like
+    /// [`SchemeEnv::wal_commit_point_csn`].
+    pub(crate) fn wal_commit_point_seq(&mut self, seq: u64) {
+        self.phases.set(abyss_common::Phase::Logging);
+        self.db
+            .wal_commit_point_seq(self.worker, self.st, self.stats, seq);
+        self.phases.set(abyss_common::Phase::Manager);
+    }
+
+    /// WAL commit point at an explicit `(epoch, seq)` (SILO logs at its
+    /// epoch-composed TID). Phase-accounted like
+    /// [`SchemeEnv::wal_commit_point_csn`].
+    pub(crate) fn wal_commit_point_at(&mut self, epoch: u64, seq: u64) {
+        self.phases.set(abyss_common::Phase::Logging);
+        self.db
+            .wal_commit_point_at(self.worker, self.st, self.stats, epoch, seq);
+        self.phases.set(abyss_common::Phase::Manager);
     }
 }
 

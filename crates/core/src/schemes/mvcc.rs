@@ -405,8 +405,7 @@ fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
 
     // WAL commit point: inserts (the only fallible step) are published,
     // every prewrite is still pending — serialization is by `ts`.
-    env.db
-        .wal_commit_point_seq(env.worker, env.st, env.stats, ts);
+    env.wal_commit_point_seq(ts);
 
     for w in std::mem::take(&mut env.st.wbuf) {
         if env

@@ -379,7 +379,7 @@ fn commit_locked(
     // per-commit fsync, forced) before any latch releases, so a
     // conflicting successor can neither draw an earlier serial nor
     // become durable without us.
-    env.db.wal_commit_point_csn(env.worker, env.st, env.stats);
+    env.wal_commit_point_csn();
 
     // Nothing can fail past this point. Release the fresh rows at version
     // 0 — OCC's "never written" state — making the inserts readable.

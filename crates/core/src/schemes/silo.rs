@@ -185,8 +185,7 @@ fn commit_locked(
     // the record's serial — conflicting transactions' TIDs order exactly
     // as their installs do — and the append lands before any write lock
     // releases.
-    env.db
-        .wal_commit_point_at(env.worker, env.st, env.stats, commit_epoch, commit_tid);
+    env.wal_commit_point_at(commit_epoch, commit_tid);
 
     // Phase 4: nothing can fail now. Release the fresh rows at the commit
     // TID — every committed tuple's word carries its commit epoch (the

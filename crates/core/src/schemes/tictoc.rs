@@ -200,8 +200,7 @@ fn commit_locked(
     // serial — a later conflicting writer's cts strictly exceeds ours
     // (its cts ≥ our installed rts + 1), so replay order matches — and
     // the append lands before any write lock releases.
-    env.db
-        .wal_commit_point_seq(env.worker, env.st, env.stats, commit_ts);
+    env.wal_commit_point_seq(commit_ts);
 
     // Step 6: nothing can fail now. Every touched tuple's word is released
     // to wts = rts = ct: fresh rows become readable, deleted rows' stale

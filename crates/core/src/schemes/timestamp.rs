@@ -298,8 +298,7 @@ fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
     // WAL commit point: inserts (the only fallible step) are published,
     // every prewrite is still pending — serialization is by `ts`, and a
     // conflicting writer cannot install (or log) past our prewrites.
-    env.db
-        .wal_commit_point_seq(env.worker, env.st, env.stats, ts);
+    env.wal_commit_point_seq(ts);
     let me = env.st.txn_id;
     for w in std::mem::take(&mut env.st.wbuf) {
         // A row both written and deleted in this transaction is resolved by

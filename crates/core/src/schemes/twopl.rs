@@ -212,7 +212,7 @@ macro_rules! twopl_protocol {
                 // under per-commit fsync, forced) before any lock
                 // releases, so a conflicting successor can neither draw
                 // an earlier serial nor become durable without us.
-                env.db.wal_commit_point_csn(env.worker, env.st, env.stats);
+                env.wal_commit_point_csn();
                 commit::<Self>(env);
                 Ok(())
             }

@@ -15,10 +15,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use abyss_common::{AbortReason, DbError, Key, PartId, RowIdx, RunStats, TableId, Ts};
+use abyss_common::{AbortReason, DbError, Key, PartId, Phase, RowIdx, RunStats, TableId, Ts};
 use abyss_storage::{MemPool, Schema};
 
 use crate::db::Database;
+use crate::obs::PhaseClock;
 use crate::schemes::{AnyScheme, CcProtocol, ReadRef, SchemeEnv};
 use crate::ts::TsHandle;
 use crate::txn::{make_txn_id, NodeSetEntry, RedoEntry, TxnState};
@@ -76,6 +77,8 @@ pub struct WorkerCtx<P: CcProtocol = AnyScheme> {
     /// When the current attempt began — the per-attempt latency clock
     /// behind [`RunStats::commit_latency`] / [`RunStats::abort_latency`].
     attempt_started: Instant,
+    /// Per-phase attempt accounting (no-op unless `cfg.breakdown`).
+    phases: PhaseClock,
     /// Cheap xorshift state for abort backoff jitter.
     jitter: u64,
     /// Consecutive scheduler aborts of the current template (drives the
@@ -97,6 +100,7 @@ impl<P: CcProtocol> WorkerCtx<P> {
             db.cfg.scheme
         );
         let ts_handle = db.ts.handle(worker);
+        let phases = PhaseClock::new(db.cfg.breakdown);
         Self {
             db,
             worker,
@@ -107,6 +111,7 @@ impl<P: CcProtocol> WorkerCtx<P> {
             stats: RunStats::default(),
             in_txn: false,
             attempt_started: Instant::now(),
+            phases,
             jitter: 0x9E37_79B9 ^ u64::from(worker) << 16 | 1,
             consec_aborts: 0,
             last_tid: 0,
@@ -145,6 +150,7 @@ impl<P: CcProtocol> WorkerCtx<P> {
             stats: &mut self.stats,
             ts: &mut self.ts_handle,
             last_tid: &mut self.last_tid,
+            phases: &mut self.phases,
         }
     }
 
@@ -156,6 +162,7 @@ impl<P: CcProtocol> WorkerCtx<P> {
         assert!(!self.in_txn, "begin() while a transaction is active");
         self.seq += 1;
         self.attempt_started = Instant::now();
+        self.phases.start_attempt();
         self.st.txn_id = make_txn_id(self.worker, self.seq);
         self.db.trace_event(
             self.worker,
@@ -168,7 +175,10 @@ impl<P: CcProtocol> WorkerCtx<P> {
                 Some(ts) if P::ts_reuse_on_restart(scheme) => ts,
                 _ => {
                     self.stats.ts_allocated += 1;
-                    self.ts_handle.alloc()
+                    self.phases.set(Phase::TsAlloc);
+                    let ts = self.ts_handle.alloc();
+                    self.phases.set(Phase::Manager);
+                    ts
                 }
             }
         } else {
@@ -190,6 +200,8 @@ impl<P: CcProtocol> WorkerCtx<P> {
             self.rollback(r);
             return Err(TxnError::Abort(r));
         }
+        // Begin bookkeeping done; the application body runs next.
+        self.phases.set(Phase::UsefulWork);
         Ok(())
     }
 
@@ -219,10 +231,13 @@ impl<P: CcProtocol> WorkerCtx<P> {
     /// is the transaction's private copy.
     pub fn read(&mut self, table: TableId, key: Key) -> Result<&[u8], TxnError> {
         debug_assert!(self.in_txn, "read outside a transaction");
+        self.phases.set(Phase::Index);
         let row = self.db.index_get(table, key)?;
         let len = self.db.tables[table as usize].row_size();
+        self.phases.set(Phase::Manager);
         let r = P::read(&mut self.env(), table, row)?;
         self.check_not_deleted(table, key, row)?;
+        self.phases.set(Phase::UsefulWork);
         Ok(match r {
             // SAFETY: the pointer targets the table arena; the scheme
             // guarantees stability until commit/abort, and `&mut self`
@@ -307,7 +322,9 @@ impl<P: CcProtocol> WorkerCtx<P> {
         f: impl FnOnce(&Schema, &mut [u8]),
     ) -> Result<(), TxnError> {
         debug_assert!(self.in_txn, "update outside a transaction");
+        self.phases.set(Phase::Index);
         let row = self.db.index_get(table, key)?;
+        self.phases.set(Phase::Manager);
         let mut cap = self.log_capture_buf(table);
         let wrap = |s: &Schema, d: &mut [u8]| {
             f(s, d);
@@ -328,7 +345,9 @@ impl<P: CcProtocol> WorkerCtx<P> {
                 return Err(TxnError::Abort(r));
             }
         }
-        self.check_not_deleted(table, key, row)
+        let r = self.check_not_deleted(table, key, row);
+        self.phases.set(Phase::UsefulWork);
+        r
     }
 
     /// Atomically add `delta` to a `u64` column, returning the previous
@@ -355,6 +374,9 @@ impl<P: CcProtocol> WorkerCtx<P> {
         f: impl FnOnce(&Schema, &mut [u8]),
     ) -> Result<(), TxnError> {
         debug_assert!(self.in_txn, "insert outside a transaction");
+        // The whole insert (index publication + CC registration) counts
+        // as Manager; the user's init closure runs inside the span.
+        self.phases.set(Phase::Manager);
         let mut cap = self.log_capture_buf(table);
         let wrap = |s: &Schema, d: &mut [u8]| {
             f(s, d);
@@ -363,7 +385,7 @@ impl<P: CcProtocol> WorkerCtx<P> {
             }
         };
         let res = P::insert(&mut self.env(), table, key, wrap);
-        match (res, cap) {
+        let r = match (res, cap) {
             (Ok(()), Some((buf, _))) => {
                 self.redo_put(table, key, buf);
                 Ok(())
@@ -375,7 +397,9 @@ impl<P: CcProtocol> WorkerCtx<P> {
                 }
                 Err(TxnError::Abort(r))
             }
-        }
+        };
+        self.phases.set(Phase::UsefulWork);
+        r
     }
 
     /// Transactionally delete `key`'s row: the hash and ordered indexes
@@ -385,12 +409,16 @@ impl<P: CcProtocol> WorkerCtx<P> {
     /// the delete and apply it during their commit's write phase.
     pub fn delete(&mut self, table: TableId, key: Key) -> Result<(), TxnError> {
         debug_assert!(self.in_txn, "delete outside a transaction");
+        self.phases.set(Phase::Index);
         let row = self.db.index_get(table, key)?;
+        self.phases.set(Phase::Manager);
         P::delete(&mut self.env(), table, key, row).map_err(TxnError::Abort)?;
         if self.db.wal.is_some() {
             self.redo_del(table, key);
         }
-        self.check_not_deleted(table, key, row)
+        let r = self.check_not_deleted(table, key, row);
+        self.phases.set(Phase::UsefulWork);
+        r
     }
 
     /// Range-scan `table` over `low..=high` (requires an ordered index),
@@ -421,7 +449,12 @@ impl<P: CcProtocol> WorkerCtx<P> {
         debug_assert!(self.in_txn, "scan outside a transaction");
         self.db.require_ordered(table)?;
         self.stats.scans += 1;
-        P::scan(self, table, low, high, &mut f)
+        // The whole scan (tree walk + per-row admission) counts as Index;
+        // waits inside it are deducted by `note_wait` as usual.
+        self.phases.set(Phase::Index);
+        let r = P::scan(self, table, low, high, &mut f);
+        self.phases.set(Phase::UsefulWork);
+        r
     }
 
     /// Sum one `u64` column over a key range (scan convenience).
@@ -582,6 +615,7 @@ impl<P: CcProtocol> WorkerCtx<P> {
     /// still held / prewrites pending / latches validated).
     pub fn commit(&mut self) -> Result<(), TxnError> {
         debug_assert!(self.in_txn, "commit outside a transaction");
+        self.phases.set(Phase::Manager);
         match P::commit(&mut self.env()) {
             Ok(()) => {
                 // The redo record was appended at the scheme's WAL commit
@@ -596,6 +630,9 @@ impl<P: CcProtocol> WorkerCtx<P> {
                 self.stats
                     .commit_latency
                     .record(self.attempt_started.elapsed().as_nanos() as u64);
+                if let Some(delta) = self.phases.finish_commit(&mut self.stats) {
+                    self.db.phase_accumulate(&delta);
+                }
                 self.db.trace_event(
                     self.worker,
                     self.st.txn_id,
@@ -619,10 +656,14 @@ impl<P: CcProtocol> WorkerCtx<P> {
     }
 
     fn rollback(&mut self, reason: AbortReason) {
+        self.phases.set(Phase::Abort);
         P::abort(&mut self.env());
         self.stats
             .abort_latency
             .record(self.attempt_started.elapsed().as_nanos() as u64);
+        if let Some(delta) = self.phases.finish_abort(&mut self.stats) {
+            self.db.phase_accumulate(&delta);
+        }
         self.db.trace_event(
             self.worker,
             self.st.txn_id,

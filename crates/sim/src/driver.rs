@@ -98,10 +98,11 @@ pub fn run_sim_full(
     for c in sim.cores.iter_mut() {
         if c.parked {
             let since = c.blocked_since.max(warmup);
-            c.stats.breakdown.record(
-                abyss_common::stats::Category::Wait,
-                end.saturating_sub(since),
-            );
+            let tail = end.saturating_sub(since);
+            c.stats
+                .breakdown
+                .record(abyss_common::stats::Category::Wait, tail);
+            c.stats.phase_ns.record(abyss_common::Phase::Wait, tail);
         }
         c.stats.elapsed = measure;
         merged.merge(&c.stats);

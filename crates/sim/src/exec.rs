@@ -2,7 +2,8 @@
 //!
 //! Each simulated core runs one worker executing its queued transactions
 //! (§3.2). A core advances through `Phase`s; every phase charges cycles
-//! to one of the paper's six time categories and either schedules its next
+//! to one of the seven time phases (the paper's six §3.2 categories plus
+//! Logging, split out of Manager) and either schedules its next
 //! phase as a future event, parks (blocked on a lock / prewrite /
 //! partition / validation latch), or aborts. The scheme logic operates on
 //! the plain single-threaded structures in [`crate::db`] — in a
@@ -10,7 +11,7 @@
 //! so the schemes here are the textbook algorithms with explicit queues,
 //! which is precisely what the experiments measure.
 
-use abyss_common::stats::Category;
+use abyss_common::stats::Phase as TimePhase;
 use abyss_common::txn::MAX_COUNTER_SLOTS;
 use abyss_common::{AbortReason, AccessOp, CcScheme, Key, RunStats, Ts, TxnId, TxnTemplate};
 
@@ -305,8 +306,14 @@ impl Sim {
         }
     }
 
-    fn charge(&mut self, ci: usize, cat: Category, cycles: Cycles) {
-        self.cores[ci].stats.breakdown.record(cat, cycles);
+    /// Charge `cycles` to a time phase: the seven-phase profile
+    /// (`phase_ns` — in the simulator the unit is cycles, only the
+    /// fractions are compared against the engine) and the paper's legacy
+    /// six-category breakdown (Logging folds into Manager there).
+    fn charge(&mut self, ci: usize, phase: TimePhase, cycles: Cycles) {
+        let stats = &mut self.cores[ci].stats;
+        stats.phase_ns.record(phase, cycles);
+        stats.breakdown.record(phase.legacy_category(), cycles);
     }
 
     /// Handle a Step event.
@@ -316,7 +323,7 @@ impl Sim {
         }
         if self.cores[ci].parked {
             let waited = now.saturating_sub(self.cores[ci].blocked_since);
-            self.charge(ci, Category::Wait, waited);
+            self.charge(ci, TimePhase::Wait, waited);
             self.cores[ci].parked = false;
         }
         self.run_phases(ci, now);
@@ -335,7 +342,7 @@ impl Sim {
             }
         }
         let waited = now.saturating_sub(self.cores[ci].blocked_since);
-        self.charge(ci, Category::Wait, waited);
+        self.charge(ci, TimePhase::Wait, waited);
         let c = &mut self.cores[ci];
         c.parked = false;
         c.waiting_on = None;
@@ -380,7 +387,7 @@ impl Sim {
                     if scheme.needs_start_ts() && self.cores[ci].txn.ts == 0 {
                         let grant = self.ts.alloc(ci as u32, now);
                         self.cores[ci].stats.ts_allocated += 1;
-                        self.charge(ci, Category::TsAlloc, grant.ready_at - now);
+                        self.charge(ci, TimePhase::TsAlloc, grant.ready_at - now);
                         self.cores[ci].txn.ts = grant.ts;
                         self.cores[ci].phase = Phase::Start;
                         self.sched(ci, grant.ready_at);
@@ -415,7 +422,7 @@ impl Sim {
                         continue;
                     }
                     let cost = self.costs.index_probe();
-                    self.charge(ci, Category::Index, cost);
+                    self.charge(ci, TimePhase::Index, cost);
                     self.cores[ci].phase = Phase::AccessCc;
                     self.sched(ci, now + cost);
                     return;
@@ -440,7 +447,7 @@ impl Sim {
                         // Index publication of the new key.
                         cost += self.costs.index_probe();
                     }
-                    self.charge(ci, Category::UsefulWork, cost);
+                    self.charge(ci, TimePhase::UsefulWork, cost);
                     let t = &mut self.cores[ci].txn;
                     t.work_done += cost;
                     t.access_idx += 1;
@@ -474,7 +481,7 @@ impl Sim {
                 }
                 Phase::AbortStart => {
                     let undo = self.costs.undo_cost(self.cores[ci].txn.work_done);
-                    self.charge(ci, Category::Abort, undo);
+                    self.charge(ci, TimePhase::Abort, undo);
                     self.cores[ci].phase = Phase::AbortDone;
                     if undo == 0 {
                         continue;
@@ -501,7 +508,7 @@ impl Sim {
                         continue;
                     }
                     let penalty = self.costs.model.abort_penalty;
-                    self.charge(ci, Category::Abort, penalty);
+                    self.charge(ci, TimePhase::Abort, penalty);
                     self.sched(ci, now + penalty);
                     return;
                 }
@@ -533,7 +540,7 @@ impl Sim {
                 let t = &mut self.cores[ci].txn;
                 t.parts_held.push(p);
                 t.part_idx += 1;
-                self.charge(ci, Category::Manager, cost);
+                self.charge(ci, TimePhase::Manager, cost);
                 self.sched(ci, now + cost);
                 true
             }
@@ -546,7 +553,7 @@ impl Sim {
             }
             Some(_) => {
                 slot.enqueue(ts, txn_id, ci as u32);
-                self.charge(ci, Category::Manager, cost);
+                self.charge(ci, TimePhase::Manager, cost);
                 self.park(ci, now + cost, None, false);
                 true
             }
@@ -575,19 +582,19 @@ impl Sim {
         };
         match out {
             Out::Granted { cost, copy } => {
-                self.charge(ci, Category::Manager, cost);
+                self.charge(ci, TimePhase::Manager, cost);
                 self.cores[ci].phase = Phase::AccessWork { copy };
                 self.sched(ci, now + cost);
                 true
             }
             Out::Parked { cost, timeout, on } => {
-                self.charge(ci, Category::Manager, cost);
+                self.charge(ci, TimePhase::Manager, cost);
                 // Phase stays AccessCc: woken waiters re-run admission.
                 self.park(ci, now + cost, Some(on), timeout);
                 true
             }
             Out::Abort { cost, reason } => {
-                self.charge(ci, Category::Manager, cost);
+                self.charge(ci, TimePhase::Manager, cost);
                 self.cores[ci].txn.abort_reason = Some(reason);
                 self.cores[ci].phase = Phase::AbortStart;
                 self.sched(ci, now + cost);
@@ -1220,19 +1227,21 @@ impl Sim {
     fn commit_start(&mut self, ci: usize, now: Cycles) -> bool {
         match self.cfg.scheme {
             CcScheme::NoWait | CcScheme::DlDetect | CcScheme::WaitDie => {
-                let cost = self.costs.release_cost(self.cores[ci].txn.held.len())
-                    + self.durability_cost(ci);
-                self.charge(ci, Category::Manager, cost);
+                let release = self.costs.release_cost(self.cores[ci].txn.held.len());
+                let dur = self.durability_cost(ci);
+                self.charge(ci, TimePhase::Manager, release);
+                self.charge(ci, TimePhase::Logging, dur);
                 self.cores[ci].phase = Phase::CommitDone;
-                self.sched(ci, now + cost);
+                self.sched(ci, now + release + dur);
                 true
             }
             CcScheme::HStore => {
-                let cost = self.costs.release_cost(self.cores[ci].txn.parts_held.len())
-                    + self.durability_cost(ci);
-                self.charge(ci, Category::Manager, cost);
+                let release = self.costs.release_cost(self.cores[ci].txn.parts_held.len());
+                let dur = self.durability_cost(ci);
+                self.charge(ci, TimePhase::Manager, release);
+                self.charge(ci, TimePhase::Logging, dur);
                 self.cores[ci].phase = Phase::CommitDone;
-                self.sched(ci, now + cost);
+                self.sched(ci, now + release + dur);
                 true
             }
             CcScheme::Timestamp | CcScheme::Mvcc => {
@@ -1245,20 +1254,20 @@ impl Sim {
                         .sum();
                     (t.prewrites.len(), t.pending_inserts.len(), rows)
                 };
-                let cost = self.costs.release_cost(nw)
-                    + rows
-                    + ni as u64 * self.costs.index_probe()
-                    + self.durability_cost(ci);
-                self.charge(ci, Category::Manager, cost);
+                let cost =
+                    self.costs.release_cost(nw) + rows + ni as u64 * self.costs.index_probe();
+                let dur = self.durability_cost(ci);
+                self.charge(ci, TimePhase::Manager, cost);
+                self.charge(ci, TimePhase::Logging, dur);
                 self.cores[ci].phase = Phase::CommitDone;
-                self.sched(ci, now + cost);
+                self.sched(ci, now + cost + dur);
                 true
             }
             CcScheme::Occ => {
                 // The second timestamp (validation), then validate.
                 let grant = self.ts.alloc(ci as u32, now);
                 self.cores[ci].stats.ts_allocated += 1;
-                self.charge(ci, Category::TsAlloc, grant.ready_at - now);
+                self.charge(ci, TimePhase::TsAlloc, grant.ready_at - now);
                 self.cores[ci].phase = Phase::OccValidate;
                 self.sched(ci, grant.ready_at);
                 true
@@ -1268,7 +1277,7 @@ impl Sim {
                 // read of the read-mostly global epoch line, then the same
                 // distributed validation OCC performs.
                 let cost = self.costs.epoch_read();
-                self.charge(ci, Category::Manager, cost);
+                self.charge(ci, TimePhase::Manager, cost);
                 self.cores[ci].phase = Phase::OccValidate;
                 self.sched(ci, now + cost);
                 true
@@ -1335,7 +1344,7 @@ impl Sim {
                 .sum();
             let inserts =
                 self.cores[ci].txn.pending_inserts.len() as u64 * self.costs.index_probe();
-            let mut cost = validate + install + inserts + durability;
+            let mut cost = validate + install + inserts;
             if self.cfg.scheme == CcScheme::TicToc && !wbuf.is_empty() {
                 // TICTOC: the writes drive the computed commit timestamp
                 // past the read set's rts windows, so each pure read is
@@ -1349,11 +1358,12 @@ impl Sim {
                 cost += ext * self.costs.rts_extension();
                 self.cores[ci].stats.rts_extensions += ext;
             }
-            self.charge(ci, Category::Manager, cost);
+            self.charge(ci, TimePhase::Manager, cost);
+            self.charge(ci, TimePhase::Logging, durability);
             self.cores[ci].phase = Phase::CommitDone;
-            self.sched(ci, now + cost);
+            self.sched(ci, now + cost + durability);
         } else {
-            self.charge(ci, Category::Manager, validate);
+            self.charge(ci, TimePhase::Manager, validate);
             self.cores[ci].txn.abort_reason = Some(AbortReason::ValidationFail);
             self.cores[ci].phase = Phase::AbortStart;
             self.sched(ci, now + validate);

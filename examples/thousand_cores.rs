@@ -2,29 +2,48 @@
 //! the paper's headline experiment, on your laptop.
 //!
 //! ```sh
-//! cargo run --release --example thousand_cores [theta]
+//! cargo run --release --example thousand_cores [theta] [--breakdown]
 //! cargo run --release --example thousand_cores 0.8
+//! cargo run --release --example thousand_cores 0.8 --breakdown
 //! ```
+//!
+//! `--breakdown` switches the table to the seven-phase profile (the
+//! paper's six §3.2 categories plus Logging) and writes each scheme's
+//! stack to `results/thousand_cores_breakdown.json`.
+
+use std::io::Write as _;
 
 use abyss::common::stats::Category;
-use abyss::common::CcScheme;
+use abyss::common::{CcScheme, Phase};
 use abyss::sim::{run_sim, SimConfig, SimTable};
 use abyss::workload::ycsb::{YcsbConfig, YcsbGen};
 
 fn main() {
-    let theta: f64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("theta in [0,1)"))
-        .unwrap_or(0.6);
+    let mut theta: f64 = 0.6;
+    let mut breakdown = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--breakdown" => breakdown = true,
+            s => theta = s.parse().expect("theta in [0,1)"),
+        }
+    }
     let cores = 1024;
     println!("simulating {cores} cores, write-intensive YCSB, theta={theta}\n");
-    println!(
-        "{:<11} {:>9} {:>9}  {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
-        "scheme", "Mtxn/s", "aborts/s", "useful", "abort", "ts", "index", "wait", "mgr"
-    );
+    if breakdown {
+        println!(
+            "{:<11} {:>9} {:>9}  {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "scheme", "Mtxn/s", "aborts/s", "useful", "abort", "ts", "index", "wait", "mgr", "log"
+        );
+    } else {
+        println!(
+            "{:<11} {:>9} {:>9}  {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "scheme", "Mtxn/s", "aborts/s", "useful", "abort", "ts", "index", "wait", "mgr"
+        );
+    }
 
     let ycsb_cfg = YcsbConfig::write_intensive(theta);
     let zipf = abyss::common::zipf::ZipfGen::new(ycsb_cfg.table_rows, theta);
+    let mut stacks: Vec<(CcScheme, String)> = Vec::new();
     for scheme in CcScheme::ALL {
         let mut sim = SimConfig::new(scheme, cores);
         sim.warmup = 1_000_000;
@@ -48,19 +67,51 @@ fn main() {
             counter_init: 0,
         }];
         let r = run_sim(sim, tables, gens);
-        let b = &r.stats.breakdown;
-        println!(
-            "{:<11} {:>9.3} {:>9.3}  {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}%",
-            scheme.to_string(),
-            r.txn_per_sec() / 1e6,
-            r.aborts_per_sec() / 1e6,
-            b.fraction(Category::UsefulWork) * 100.0,
-            b.fraction(Category::Abort) * 100.0,
-            b.fraction(Category::TsAlloc) * 100.0,
-            b.fraction(Category::Index) * 100.0,
-            b.fraction(Category::Wait) * 100.0,
-            b.fraction(Category::Manager) * 100.0,
+        if breakdown {
+            let p = &r.stats.phase_ns;
+            let f: Vec<String> = Phase::ALL
+                .iter()
+                .map(|&ph| format!("{:>5.0}%", p.fraction(ph) * 100.0))
+                .collect();
+            println!(
+                "{:<11} {:>9.3} {:>9.3}  {}",
+                scheme.to_string(),
+                r.txn_per_sec() / 1e6,
+                r.aborts_per_sec() / 1e6,
+                f.join(" ")
+            );
+            stacks.push((scheme, p.to_json()));
+        } else {
+            let b = &r.stats.breakdown;
+            println!(
+                "{:<11} {:>9.3} {:>9.3}  {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}%",
+                scheme.to_string(),
+                r.txn_per_sec() / 1e6,
+                r.aborts_per_sec() / 1e6,
+                b.fraction(Category::UsefulWork) * 100.0,
+                b.fraction(Category::Abort) * 100.0,
+                b.fraction(Category::TsAlloc) * 100.0,
+                b.fraction(Category::Index) * 100.0,
+                b.fraction(Category::Wait) * 100.0,
+                b.fraction(Category::Manager) * 100.0,
+            );
+        }
+    }
+    if breakdown {
+        let json = format!(
+            "{{\"cores\":{cores},\"theta\":{theta},\"schemes\":[{}]}}",
+            stacks
+                .iter()
+                .map(|(s, j)| format!("{{\"scheme\":\"{}\",\"breakdown\":{j}}}", s.name()))
+                .collect::<Vec<_>>()
+                .join(",")
         );
+        if std::fs::create_dir_all("results").is_ok() {
+            if let Ok(mut f) = std::fs::File::create("results/thousand_cores_breakdown.json") {
+                let _ = writeln!(f, "{json}");
+                println!("\n[json] results/thousand_cores_breakdown.json");
+            }
+        }
     }
     println!("\n(the paper's conclusion: nobody survives a thousand cores unscathed)");
 }

@@ -1,6 +1,6 @@
 //! Observability acceptance + overhead guards.
 //!
-//! Three gates, run in release by the conformance CI job:
+//! Four gates, run in release by the conformance CI job:
 //!
 //! * **coverage** — every one of the nine schemes must populate the
 //!   commit/abort latency histograms from the protocol-agnostic worker
@@ -12,7 +12,11 @@
 //!   run with tracing *off* (the compile-out claim, measured);
 //! * **export** — the metrics snapshot serializes to JSON and Prometheus
 //!   text, and the trace dump reconstructs committed/aborted attempt
-//!   timelines including the WAL serial point.
+//!   timelines including the WAL serial point;
+//! * **conservation** — with the phase profiler on, every scheme's
+//!   `phase_ns` must partition attempt wall time: Σ phases ≈ Σ attempt
+//!   latencies (commit + abort histograms) within a bounded ε, and
+//!   profiler-on vs profiler-off throughput stays within 1.05x.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -149,6 +153,90 @@ fn tracing_overhead_within_guard() {
     assert!(
         ratio <= 2.0,
         "tracing-on run took {ratio:.2}x the tracing-off run (bound 2.0)"
+    );
+}
+
+/// The profiler's accounting identity, checked per scheme: with the
+/// breakdown on, the seven phase buckets must partition attempt time.
+/// Both sides measure the same window (`PhaseClock::start_attempt` and
+/// the latency stopwatch both arm at `begin`, both close at the
+/// commit/abort record), but the clock's rdtsc spans are converted
+/// through a one-shot calibration against `Instant`, so allow a
+/// proportional ε plus a constant slack for scheduling noise between
+/// the two stamps.
+#[test]
+fn phase_accounting_conserves_attempt_time() {
+    for scheme in CcScheme::ALL {
+        let cfg = ycsb_cfg(scheme);
+        let ecfg = EngineConfig::new(scheme, WORKERS).with_breakdown();
+        let (db, stats) = bounded_run(ecfg, &cfg, 400);
+        assert!(stats.commits > 0, "{scheme}: no commits");
+
+        let phase_total = stats.phase_ns.total();
+        assert!(phase_total > 0, "{scheme}: breakdown on but phase_ns empty");
+        let attempt_total = stats.commit_latency.sum() + stats.abort_latency.sum();
+        let diff = phase_total.abs_diff(attempt_total);
+        let bound = attempt_total / 10 + 2_000_000; // 10% + 2 ms slack
+        assert!(
+            diff <= bound,
+            "{scheme}: phase sum {phase_total} vs attempt time {attempt_total} \
+             differ by {diff} (bound {bound})"
+        );
+
+        // The live accumulator must agree with the merged per-worker stats.
+        let acc = db
+            .phase_totals()
+            .expect("breakdown enabled but no accumulator");
+        assert_eq!(
+            acc.total(),
+            phase_total,
+            "{scheme}: database gauge diverged from merged worker stats"
+        );
+    }
+}
+
+/// The compile-out claim for the phase profiler, measured the same way
+/// as the tracing guard: a seeded bounded run with the breakdown on
+/// must stay within 1.05x of the same run with it off (release; debug
+/// builds pay relatively more for the unoptimized span arithmetic).
+/// TIMESTAMP with a YCSB-E-style scan mix is the probe: scans and row
+/// copies give every span real work to amortize the ~10 ns TSC stamp
+/// against. (On pure sub-100 ns point ops the three stamps per access
+/// are a visible double-digit percentage — the breakdown is a profiling
+/// mode, enabled per run, not free on degenerate microbenchmarks.)
+#[test]
+fn breakdown_overhead_within_guard() {
+    let scheme = CcScheme::Timestamp;
+    let cfg = YcsbConfig {
+        scan_pct: 0.6,
+        scan_max_len: 100,
+        ..ycsb_cfg(scheme)
+    };
+    let txns: u64 = if cfg!(debug_assertions) { 1_000 } else { 5_000 };
+    let timed = |breakdown: bool| -> f64 {
+        let mut ecfg = EngineConfig::new(scheme, 1);
+        if breakdown {
+            ecfg = ecfg.with_breakdown();
+        }
+        let start = Instant::now();
+        let (_db, stats) = bounded_run(ecfg, &cfg, txns);
+        assert!(stats.commits > 0, "bounded run produced no commits");
+        start.elapsed().as_secs_f64()
+    };
+    // One throwaway run to settle caches and clocks, then interleave the
+    // modes and keep each one's best to cancel drift.
+    let _ = timed(true);
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..7 {
+        off = off.min(timed(false));
+        on = on.min(timed(true));
+    }
+    let ratio = on / off;
+    println!("breakdown overhead: off={off:.4}s on={on:.4}s ratio={ratio:.3}");
+    let bound = if cfg!(debug_assertions) { 1.5 } else { 1.05 };
+    assert!(
+        ratio <= bound,
+        "breakdown-on run took {ratio:.3}x the breakdown-off run (bound {bound})"
     );
 }
 

@@ -418,10 +418,15 @@ fn sim_and_real_agree_on_contention_direction() {
         )
         .txn_per_sec()
     };
+    // Wall-clock halves take the best of three trials: on an oversubscribed
+    // host one descheduled measurement window can otherwise flip the
+    // direction (observed flaking at ~1 in 4 with single samples).
+    let best_real =
+        |cfg: &dyn Fn() -> YcsbConfig| (0..3).map(|_| run_real(cfg())).fold(f64::MIN, f64::max);
     let sim_low = ycsb_sim(CcScheme::NoWait, threads, &low_cfg(), |_| {}).txn_per_sec();
     let sim_high = ycsb_sim(CcScheme::NoWait, threads, &high_cfg(), |_| {}).txn_per_sec();
-    let real_low = run_real(low_cfg());
-    let real_high = run_real(high_cfg());
+    let real_low = best_real(&low_cfg);
+    let real_high = best_real(&high_cfg);
     assert!(
         sim_high < sim_low && real_high < real_low,
         "both stacks must agree contention hurts: sim {sim_low:.0}→{sim_high:.0}, real {real_low:.0}→{real_high:.0}"
