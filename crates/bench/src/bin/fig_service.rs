@@ -1,0 +1,5 @@
+//! fig_service binary — see [`abyss_bench::fig_service`].
+
+fn main() {
+    abyss_bench::fig_service::run();
+}

@@ -58,6 +58,7 @@ pub struct LatencyHisto {
     count: u64,
     sum: u64,
     max: u64,
+    saturated: bool,
 }
 
 impl Default for LatencyHisto {
@@ -67,6 +68,7 @@ impl Default for LatencyHisto {
             count: 0,
             sum: 0,
             max: 0,
+            saturated: false,
         }
     }
 }
@@ -82,7 +84,13 @@ impl LatencyHisto {
     pub fn record(&mut self, v: u64) {
         self.buckets[bucket_of(v)] += 1;
         self.count += 1;
-        self.sum = self.sum.saturating_add(v);
+        match self.sum.checked_add(v) {
+            Some(s) => self.sum = s,
+            None => {
+                self.sum = u64::MAX;
+                self.saturated = true;
+            }
+        }
         if v > self.max {
             self.max = v;
         }
@@ -99,9 +107,18 @@ impl LatencyHisto {
     }
 
     /// Sum of all recorded samples (saturating). The Prometheus exporter
-    /// emits this as the histogram's `_sum` series.
+    /// emits this as the histogram's `_sum` series, unless
+    /// [`sum_saturated`](Self::sum_saturated) is set.
     pub fn sum(&self) -> u64 {
         self.sum
+    }
+
+    /// True once the `u64` sum has overflowed and pinned at `u64::MAX`.
+    /// Buckets, count, and max stay exact; only `sum` (and therefore
+    /// `mean`) is unreliable. Exporters must mark or omit a saturated
+    /// `_sum` instead of emitting the clamped value.
+    pub fn sum_saturated(&self) -> bool {
+        self.saturated
     }
 
     /// Mean sample value. 0 when empty.
@@ -185,7 +202,14 @@ impl AddAssign<&LatencyHisto> for LatencyHisto {
             *a += b;
         }
         self.count += rhs.count;
-        self.sum = self.sum.saturating_add(rhs.sum);
+        match self.sum.checked_add(rhs.sum) {
+            Some(s) => self.sum = s,
+            None => {
+                self.sum = u64::MAX;
+                self.saturated = true;
+            }
+        }
+        self.saturated |= rhs.saturated;
         self.max = self.max.max(rhs.max);
     }
 }
@@ -348,6 +372,36 @@ mod tests {
         assert_eq!(left, right);
         assert_eq!(left, all);
         assert_eq!(left.count(), 3000);
+    }
+
+    #[test]
+    fn sum_saturation_is_flagged_and_sticky() {
+        let mut h = LatencyHisto::new();
+        h.record(u64::MAX);
+        assert!(!h.sum_saturated(), "a single max sample fits exactly");
+        assert_eq!(h.sum(), u64::MAX);
+        h.record(1);
+        assert!(h.sum_saturated(), "overflow must set the flag");
+        assert_eq!(h.sum(), u64::MAX, "sum pins at MAX once saturated");
+        // Buckets/count/max stay exact past saturation.
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // Saturation survives merges in both directions.
+        let mut clean = LatencyHisto::new();
+        clean.record(7);
+        let merged = clean.clone() + h.clone();
+        assert!(merged.sum_saturated());
+        let merged = h.clone() + clean.clone();
+        assert!(merged.sum_saturated());
+        // Two large-but-unsaturated parts can saturate only at merge time.
+        let mut a = LatencyHisto::new();
+        let mut b = LatencyHisto::new();
+        a.record(u64::MAX - 1);
+        b.record(u64::MAX - 1);
+        assert!(!a.sum_saturated() && !b.sum_saturated());
+        let merged = a + b;
+        assert!(merged.sum_saturated());
+        assert_eq!(merged.sum(), u64::MAX);
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub use error::{AbortReason, DbError};
 pub use histo::LatencyHisto;
 pub use ids::{CoreId, Key, PartId, RowIdx, TableId, Ts, TxnId};
 pub use scheme::{CcScheme, TsMethod};
-pub use stats::{Category, Phase, PhaseBreakdown, RunStats, TimeBreakdown};
+pub use stats::{Category, Phase, PhaseBreakdown, Priority, RunStats, TimeBreakdown};
 pub use txn::{AccessOp, AccessSpec, KeySpec, TxnTemplate};

@@ -332,6 +332,49 @@ impl AddAssign for PhaseBreakdown {
     }
 }
 
+/// Service priority class of a submitted transaction.
+///
+/// The serving layer (`abyss-core`'s `serve` module) queues requests in two
+/// classes: `High` (latency-sensitive, dequeued preferentially) and `Low`
+/// (bulk). Stats index per-class counters by [`Priority::idx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive: dequeued preferentially, shed last.
+    High,
+    /// Bulk / best-effort: shed first under overload.
+    Low,
+}
+
+impl Priority {
+    /// Number of priority classes (array size for per-class stats).
+    pub const COUNT: usize = 2;
+
+    /// All classes in display order.
+    pub const ALL: [Priority; Priority::COUNT] = [Priority::High, Priority::Low];
+
+    /// Dense array index.
+    pub const fn idx(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Low => 1,
+        }
+    }
+
+    /// Short machine-readable key (JSON / Prometheus label values).
+    pub fn key(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Low => "low",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
 /// Statistics for one benchmark run (one worker, or merged over workers).
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -385,6 +428,13 @@ pub struct RunStats {
     /// [`RunStats::commit_latency`] this covers every attempt, so wasted
     /// time under retries is visible, not just the winning attempt.
     pub abort_latency: LatencyHisto,
+    /// Requests shed at admission by the serving layer, per priority class
+    /// (indexed by [`Priority::idx`]). Zero for closed-loop runs.
+    pub sheds: [u64; Priority::COUNT],
+    /// Queue-to-ack latency per priority class: submit → ticket resolution,
+    /// covering queueing delay plus execution (indexed by
+    /// [`Priority::idx`]). Empty for closed-loop runs.
+    pub queue_ack_latency: [LatencyHisto; Priority::COUNT],
 }
 
 impl RunStats {
@@ -503,6 +553,16 @@ impl RunStats {
         self.durable_epoch_lag = self.durable_epoch_lag.max(other.durable_epoch_lag);
         self.commit_latency += &other.commit_latency;
         self.abort_latency += &other.abort_latency;
+        for (a, b) in self.sheds.iter_mut().zip(other.sheds) {
+            *a += b;
+        }
+        for (a, b) in self
+            .queue_ack_latency
+            .iter_mut()
+            .zip(other.queue_ack_latency.iter())
+        {
+            *a += b;
+        }
     }
 }
 
@@ -657,6 +717,32 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.phase_ns.get(Phase::Index), 12);
         assert_eq!(a.phase_ns.get(Phase::Abort), 3);
+    }
+
+    #[test]
+    fn merge_sums_sheds_and_queue_latency() {
+        let mut a = RunStats::default();
+        a.sheds[Priority::Low.idx()] = 3;
+        a.queue_ack_latency[Priority::High.idx()].record(50);
+        let mut b = RunStats::default();
+        b.sheds[Priority::Low.idx()] = 4;
+        b.sheds[Priority::High.idx()] = 1;
+        b.queue_ack_latency[Priority::High.idx()].record(70);
+        b.queue_ack_latency[Priority::Low.idx()].record(900);
+        a.merge(&b);
+        assert_eq!(a.sheds, [1, 7]);
+        assert_eq!(a.queue_ack_latency[Priority::High.idx()].count(), 2);
+        assert_eq!(a.queue_ack_latency[Priority::Low.idx()].count(), 1);
+    }
+
+    #[test]
+    fn priority_idx_is_a_bijection() {
+        let mut seen = [false; Priority::COUNT];
+        for p in Priority::ALL {
+            assert!(!seen[p.idx()], "{p:?} reuses index {}", p.idx());
+            seen[p.idx()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

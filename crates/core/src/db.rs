@@ -319,6 +319,8 @@ impl Database {
             phase_ns: self.phase_totals(),
             commit_latency: None,
             abort_latency: None,
+            queue_ack_latency: None,
+            sheds: [0; abyss_common::Priority::COUNT],
             tables,
         }
     }

@@ -52,6 +52,7 @@ pub mod meta;
 pub mod obs;
 pub mod park;
 pub mod schemes;
+pub mod serve;
 pub mod ts;
 pub mod txn;
 pub mod waitsfor;
@@ -62,6 +63,10 @@ pub use db::{Database, RecoveryReport};
 pub use epoch::{EpochManager, EpochTicker};
 pub use obs::{MetricsSnapshot, TraceDump, TraceEvent, TraceEventKind, TxnOutcome, TxnSummary};
 pub use schemes::{AnyScheme, CcProtocol};
+pub use serve::{
+    CancelToken, ProcFn, ProcId, ProcRegistry, ServeConfig, SubmitError, TicketStatus, TxnService,
+    TxnTicket,
+};
 pub use ts::{SharedTs, TsHandle};
 pub use worker::{
     run_workers, run_workers_bounded, run_workers_bounded_via, BenchOutcome, DispatchMode,

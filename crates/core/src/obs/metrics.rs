@@ -10,7 +10,7 @@
 //! data (commit/abort latency histograms, the phase breakdown) so the
 //! exporters can serve the full picture.
 
-use abyss_common::{LatencyHisto, Phase, PhaseBreakdown, RunStats};
+use abyss_common::{LatencyHisto, Phase, PhaseBreakdown, Priority, RunStats};
 
 /// Per-table index gauges (one entry per catalog table).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +81,13 @@ pub struct MetricsSnapshot {
     /// Abort-latency histogram, attached like
     /// [`MetricsSnapshot::commit_latency`].
     pub abort_latency: Option<LatencyHisto>,
+    /// Queue-to-ack latency per priority class (submit → ticket
+    /// resolution), attached by [`MetricsSnapshot::with_run_stats`] from a
+    /// serving-layer run (`None` on bare snapshots and closed-loop runs).
+    pub queue_ack_latency: Option<[LatencyHisto; Priority::COUNT]>,
+    /// Requests shed at admission by the serving layer, per priority class
+    /// (indexed by [`Priority::idx`]; all zero outside serving runs).
+    pub sheds: [u64; Priority::COUNT],
     /// Per-table index gauges.
     pub tables: Vec<TableMetrics>,
 }
@@ -100,6 +107,10 @@ impl MetricsSnapshot {
         if stats.phase_ns.total() > 0 {
             self.phase_ns = Some(stats.phase_ns);
         }
+        if stats.queue_ack_latency.iter().any(|h| h.count() > 0) {
+            self.queue_ack_latency = Some(stats.queue_ack_latency.clone());
+        }
+        self.sheds = stats.sheds;
         self
     }
 
@@ -155,18 +166,35 @@ impl MetricsSnapshot {
             ("abort_latency", &self.abort_latency),
         ] {
             match h {
-                Some(h) => out.push_str(&format!(
-                    "  \"{key}\": {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}},\n",
-                    h.count(),
-                    h.sum(),
-                    h.p50(),
-                    h.p99(),
-                    h.p999(),
-                    h.max(),
-                )),
+                Some(h) => out.push_str(&format!("  \"{key}\": {},\n", Self::latency_json(h))),
                 None => out.push_str(&format!("  \"{key}\": null,\n")),
             }
         }
+        match &self.queue_ack_latency {
+            Some(qs) => {
+                out.push_str("  \"queue_ack_latency\": {");
+                for (i, p) in Priority::ALL.into_iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "\"{}\": {}",
+                        p.key(),
+                        Self::latency_json(&qs[p.idx()])
+                    ));
+                }
+                out.push_str("},\n");
+            }
+            None => out.push_str("  \"queue_ack_latency\": null,\n"),
+        }
+        out.push_str("  \"sheds\": {");
+        for (i, p) in Priority::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", p.key(), self.sheds[p.idx()]));
+        }
+        out.push_str("},\n");
         out.push_str("  \"tables\": [");
         for (i, t) in self.tables.iter().enumerate() {
             if i > 0 {
@@ -286,6 +314,16 @@ impl MetricsSnapshot {
             self.log_flushes,
         );
         counter("wal_fsyncs_total", "WAL fsync calls.", self.log_fsyncs);
+        out.push_str("# HELP abyss_shed_total Requests shed at admission by the serving layer.\n");
+        out.push_str("# TYPE abyss_shed_total counter\n");
+        for pr in Priority::ALL {
+            Self::sample(
+                &mut out,
+                "shed_total",
+                &[("priority", pr.key().to_string())],
+                self.sheds[pr.idx()],
+            );
+        }
         if let Some(p) = &self.phase_ns {
             out.push_str(
                 "# HELP abyss_phase_ns_total Attempt time attributed to each phase (ns).\n",
@@ -313,8 +351,25 @@ impl MetricsSnapshot {
             ),
         ] {
             if let Some(h) = h {
-                Self::histogram(&mut out, name, help, h);
+                Self::histogram(&mut out, name, help, &[(&[][..], h)]);
             }
+        }
+        if let Some(qs) = &self.queue_ack_latency {
+            let labels: Vec<Vec<(&str, String)>> = Priority::ALL
+                .iter()
+                .map(|p| vec![("priority", p.key().to_string())])
+                .collect();
+            let series: Vec<(&[(&str, String)], &LatencyHisto)> = Priority::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (&labels[i][..], &qs[p.idx()]))
+                .collect();
+            Self::histogram(
+                &mut out,
+                "queue_ack_latency_ns",
+                "Queue-to-ack latency of served requests, submit to ticket resolution (ns).",
+                &series,
+            );
         }
         for (name, help, get) in [
             (
@@ -349,19 +404,59 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Emit one full Prometheus histogram family: cumulative
-    /// `_bucket{le="..."}` series (upper bounds from the log-linear
-    /// buckets), the mandatory `le="+Inf"` bucket, `_sum`, `_count`.
-    fn histogram(out: &mut String, name: &str, help: &str, h: &LatencyHisto) {
+    /// One latency histogram as a compact JSON summary object. A
+    /// saturated sum is reported as `null` (plus the `sum_saturated`
+    /// flag) — never as the clamped value, which would corrupt rate math
+    /// downstream.
+    fn latency_json(h: &LatencyHisto) -> String {
+        let sum = if h.sum_saturated() {
+            "null".to_string()
+        } else {
+            h.sum().to_string()
+        };
+        format!(
+            "{{\"count\": {}, \"sum\": {}, \"sum_saturated\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+            h.count(),
+            sum,
+            h.sum_saturated(),
+            h.p50(),
+            h.p99(),
+            h.p999(),
+            h.max(),
+        )
+    }
+
+    /// Emit one full Prometheus histogram family, one series per
+    /// `(labels, histogram)` entry: cumulative `_bucket{le="..."}` lines
+    /// (upper bounds from the log-linear buckets), the mandatory
+    /// `le="+Inf"` bucket, `_sum`, `_count`. A saturated sum is *omitted*
+    /// and replaced with a `{name}_sum_saturated 1` marker sample —
+    /// `_bucket`/`_count` stay exact past saturation, only `_sum` lies.
+    fn histogram(
+        out: &mut String,
+        name: &str,
+        help: &str,
+        series: &[(&[(&str, String)], &LatencyHisto)],
+    ) {
         out.push_str(&format!("# HELP abyss_{name} {help}\n"));
         out.push_str(&format!("# TYPE abyss_{name} histogram\n"));
         let bucket = format!("{name}_bucket");
-        for (le, cum) in h.iter_cumulative() {
-            Self::sample(out, &bucket, &[("le", le.to_string())], cum);
+        for (labels, h) in series {
+            let mut with_le: Vec<(&str, String)> = labels.to_vec();
+            with_le.push(("le", String::new()));
+            for (le, cum) in h.iter_cumulative() {
+                with_le.last_mut().unwrap().1 = le.to_string();
+                Self::sample(out, &bucket, &with_le, cum);
+            }
+            with_le.last_mut().unwrap().1 = "+Inf".to_string();
+            Self::sample(out, &bucket, &with_le, h.count());
+            if h.sum_saturated() {
+                Self::sample(out, &format!("{name}_sum_saturated"), labels, 1);
+            } else {
+                Self::sample(out, &format!("{name}_sum"), labels, h.sum());
+            }
+            Self::sample(out, &format!("{name}_count"), labels, h.count());
         }
-        Self::sample(out, &bucket, &[("le", "+Inf".to_string())], h.count());
-        Self::sample(out, &format!("{name}_sum"), &[], h.sum());
-        Self::sample(out, &format!("{name}_count"), &[], h.count());
     }
 
     fn sample(out: &mut String, name: &str, labels: &[(&str, String)], v: u64) {
@@ -407,6 +502,8 @@ mod tests {
             phase_ns: None,
             commit_latency: None,
             abort_latency: None,
+            queue_ack_latency: None,
+            sheds: [0; Priority::COUNT],
             tables: vec![TableMetrics {
                 name: "usertable".into(),
                 live_keys: 100,
@@ -544,6 +641,77 @@ mod tests {
             val.parse::<u64>()
                 .unwrap_or_else(|_| panic!("bad sample: {line}"));
         }
+    }
+
+    #[test]
+    fn serving_metrics_export_per_priority() {
+        let mut stats = RunStats::default();
+        stats.sheds[Priority::High.idx()] = 2;
+        stats.sheds[Priority::Low.idx()] = 40;
+        for v in [1_000u64, 2_000, 3_000] {
+            stats.queue_ack_latency[Priority::High.idx()].record(v);
+        }
+        stats.queue_ack_latency[Priority::Low.idx()].record(90_000);
+        let s = snap().with_run_stats(&stats);
+        let j = s.to_json();
+        for key in [
+            "\"sheds\": {\"high\": 2, \"low\": 40}",
+            "\"queue_ack_latency\": {\"high\": {\"count\": 3,",
+            "\"low\": {\"count\": 1,",
+        ] {
+            assert!(j.contains(key), "missing {key} in\n{j}");
+        }
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        let p = s.to_prometheus();
+        assert!(p.contains("# TYPE abyss_queue_ack_latency_ns histogram"));
+        assert!(p.contains("abyss_shed_total{priority=\"high\"} 2"));
+        assert!(p.contains("abyss_shed_total{priority=\"low\"} 40"));
+        assert!(p.contains("abyss_queue_ack_latency_ns_count{priority=\"high\"} 3"));
+        assert!(p.contains("abyss_queue_ack_latency_ns_count{priority=\"low\"} 1"));
+        assert!(p.contains("abyss_queue_ack_latency_ns_bucket{priority=\"low\",le=\"+Inf\"} 1"));
+        // One HELP/TYPE header for the whole family, not one per series.
+        assert_eq!(
+            p.matches("# TYPE abyss_queue_ack_latency_ns histogram")
+                .count(),
+            1
+        );
+        // Bare snapshots render the shed counters (zeros) and a null block.
+        let bare = snap();
+        assert!(bare.to_json().contains("\"queue_ack_latency\": null"));
+        assert!(bare
+            .to_json()
+            .contains("\"sheds\": {\"high\": 0, \"low\": 0}"));
+        assert!(bare
+            .to_prometheus()
+            .contains("abyss_shed_total{priority=\"high\"} 0"));
+    }
+
+    #[test]
+    fn saturated_sum_is_marked_not_exported() {
+        let mut stats = RunStats::default();
+        stats.commit_latency.record(u64::MAX);
+        stats.commit_latency.record(u64::MAX);
+        assert!(stats.commit_latency.sum_saturated());
+        stats.abort_latency.record(500);
+        let s = snap().with_run_stats(&stats);
+        let j = s.to_json();
+        assert!(
+            j.contains("\"commit_latency\": {\"count\": 2, \"sum\": null, \"sum_saturated\": true"),
+            "saturated sum must render as null:\n{j}"
+        );
+        assert!(
+            j.contains("\"abort_latency\": {\"count\": 1, \"sum\": 500, \"sum_saturated\": false")
+        );
+        let p = s.to_prometheus();
+        assert!(
+            !p.contains("abyss_commit_latency_ns_sum "),
+            "saturated _sum must be omitted:\n{p}"
+        );
+        assert!(p.contains("abyss_commit_latency_ns_sum_saturated 1"));
+        assert!(p.contains("abyss_commit_latency_ns_count 2"));
+        // The unsaturated family is untouched.
+        assert!(p.contains("abyss_abort_latency_ns_sum 500"));
+        assert!(!p.contains("abyss_abort_latency_ns_sum_saturated"));
     }
 
     #[test]

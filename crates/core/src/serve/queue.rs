@@ -1,0 +1,271 @@
+//! Bounded two-priority MPSC shard queues.
+//!
+//! The service keeps one [`ShardQueue`] per CC worker: many producers push
+//! (round-robin across shards), exactly one worker pops. Each shard holds
+//! two FIFO rings — one per [`Priority`] class — under a single mutex, with
+//! condvars for "not empty" (worker side) and "not full" (blocking
+//! producers). A relaxed depth mirror lets the admission path read queue
+//! depth without taking the lock.
+//!
+//! Dequeue discipline: high-priority first, but after
+//! [`ShardQueue::pop`]'s `high_burst` consecutive high-class dequeues one
+//! low-class request is served if any is waiting — so a saturating
+//! high-class stream delays the low class by at most `high_burst`
+//! transactions per low-class dequeue, never forever.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use abyss_common::{Priority, TxnTemplate};
+
+use super::ticket::TicketInner;
+
+/// One queued submission.
+#[derive(Debug)]
+pub(crate) struct Request {
+    /// The built stored-procedure template to execute.
+    pub tmpl: TxnTemplate,
+    /// Priority class (selects the ring and the latency histogram).
+    pub prio: Priority,
+    /// When `submit` accepted the request — the queue-to-ack clock.
+    pub submitted: Instant,
+    /// Resolution cell shared with the producer's `TxnTicket`.
+    pub ticket: std::sync::Arc<TicketInner>,
+}
+
+/// Outcome of a push attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushOutcome {
+    /// Enqueued.
+    Ok,
+    /// Shard at capacity and the caller asked not to block.
+    Full,
+    /// The queue is closed (service shutting down).
+    Closed,
+}
+
+struct Shard {
+    /// One FIFO per priority class, indexed by [`Priority::idx`].
+    classes: [VecDeque<Request>; Priority::COUNT],
+    /// Consecutive high-class dequeues since the last low-class one.
+    high_streak: u32,
+    /// Closed for admission: pops drain the remainder, pushes fail.
+    closed: bool,
+}
+
+impl Shard {
+    fn len(&self) -> usize {
+        self.classes.iter().map(VecDeque::len).sum()
+    }
+
+    /// The starvation-free dequeue discipline (see module docs).
+    fn take(&mut self, high_burst: u32) -> Option<Request> {
+        let hi = Priority::High.idx();
+        let lo = Priority::Low.idx();
+        let force_low = self.high_streak >= high_burst && !self.classes[lo].is_empty();
+        if !force_low {
+            if let Some(r) = self.classes[hi].pop_front() {
+                self.high_streak += 1;
+                return Some(r);
+            }
+        }
+        if let Some(r) = self.classes[lo].pop_front() {
+            self.high_streak = 0;
+            return Some(r);
+        }
+        // force_low guarantees a low entry under the lock, so this only
+        // runs when both rings are empty.
+        None
+    }
+}
+
+/// A bounded two-priority queue feeding one worker.
+pub(crate) struct ShardQueue {
+    inner: Mutex<Shard>,
+    nonempty: Condvar,
+    nonfull: Condvar,
+    /// Relaxed mirror of the total queued count, for lock-free admission
+    /// reads. Updated under the lock, so it trails by at most one
+    /// push/pop — fine for a shed threshold.
+    depth: AtomicUsize,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    /// An open queue bounded at `capacity` requests across both classes.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shard capacity must be positive");
+        Self {
+            inner: Mutex::new(Shard {
+                classes: [VecDeque::new(), VecDeque::new()],
+                high_streak: 0,
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            nonfull: Condvar::new(),
+            depth: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    /// Approximate total queued count (both classes).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Enqueue `req`. With `block`, waits for space while the queue is
+    /// open; otherwise reports [`PushOutcome::Full`] immediately.
+    pub fn push(&self, req: Request, block: bool) -> PushOutcome {
+        let mut s = self.inner.lock().expect("shard lock");
+        loop {
+            if s.closed {
+                return PushOutcome::Closed;
+            }
+            let len = s.len();
+            if len < self.capacity {
+                s.classes[req.prio.idx()].push_back(req);
+                self.depth.store(len + 1, Ordering::Relaxed);
+                drop(s);
+                self.nonempty.notify_one();
+                return PushOutcome::Ok;
+            }
+            if !block {
+                return PushOutcome::Full;
+            }
+            s = self.nonfull.wait(s).expect("shard lock");
+        }
+    }
+
+    /// Dequeue the next request per the priority discipline. Blocks while
+    /// the queue is open and empty; returns `None` once it is closed *and*
+    /// drained — the worker's exit signal.
+    pub fn pop(&self, high_burst: u32) -> Option<Request> {
+        let mut s = self.inner.lock().expect("shard lock");
+        loop {
+            if let Some(req) = s.take(high_burst) {
+                self.depth.store(s.len(), Ordering::Relaxed);
+                drop(s);
+                self.nonfull.notify_one();
+                return Some(req);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.nonempty.wait(s).expect("shard lock");
+        }
+    }
+
+    /// Close the queue: new pushes fail, blocked producers and the worker
+    /// wake, pops drain the remainder.
+    pub fn close(&self) {
+        let mut s = self.inner.lock().expect("shard lock");
+        s.closed = true;
+        drop(s);
+        self.nonempty.notify_all();
+        self.nonfull.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn req(prio: Priority, key: u64) -> Request {
+        Request {
+            tmpl: TxnTemplate::new(vec![abyss_common::AccessSpec::fixed(
+                0,
+                key,
+                abyss_common::AccessOp::Read,
+            )]),
+            prio,
+            submitted: Instant::now(),
+            ticket: TicketInner::new(),
+        }
+    }
+
+    fn key_of(r: &Request) -> u64 {
+        match r.tmpl.accesses[0].key {
+            abyss_common::KeySpec::Fixed(k) => k,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fifo_within_class_high_first_across() {
+        let q = ShardQueue::new(16);
+        q.push(req(Priority::Low, 1), false);
+        q.push(req(Priority::Low, 2), false);
+        q.push(req(Priority::High, 3), false);
+        let order: Vec<u64> = (0..3).map(|_| key_of(&q.pop(8).unwrap())).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn high_burst_cannot_starve_low() {
+        let q = ShardQueue::new(64);
+        for k in 0..20 {
+            q.push(req(Priority::High, k), false);
+        }
+        q.push(req(Priority::Low, 100), false);
+        // With high_burst = 4, the low request surfaces after at most 4
+        // high dequeues.
+        let mut seen_low_at = None;
+        for i in 0..21 {
+            let r = q.pop(4).unwrap();
+            if r.prio == Priority::Low {
+                seen_low_at = Some(i);
+                break;
+            }
+        }
+        assert!(
+            seen_low_at.is_some_and(|i| i <= 4),
+            "low request starved: {seen_low_at:?}"
+        );
+    }
+
+    #[test]
+    fn bounded_capacity_and_nonblocking_full() {
+        let q = ShardQueue::new(2);
+        assert_eq!(q.push(req(Priority::Low, 1), false), PushOutcome::Ok);
+        assert_eq!(q.push(req(Priority::High, 2), false), PushOutcome::Ok);
+        assert_eq!(q.push(req(Priority::Low, 3), false), PushOutcome::Full);
+        assert_eq!(q.depth(), 2);
+        q.pop(8).unwrap();
+        assert_eq!(q.push(req(Priority::Low, 3), false), PushOutcome::Ok);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(ShardQueue::new(1));
+        q.push(req(Priority::Low, 1), false);
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.push(req(Priority::Low, 2), true));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(key_of(&q.pop(8).unwrap()), 1);
+        assert_eq!(h.join().unwrap(), PushOutcome::Ok);
+        assert_eq!(key_of(&q.pop(8).unwrap()), 2);
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = Arc::new(ShardQueue::new(8));
+        q.push(req(Priority::Low, 1), false);
+        q.close();
+        assert_eq!(q.push(req(Priority::Low, 2), true), PushOutcome::Closed);
+        assert!(q.pop(8).is_some(), "queued work drains after close");
+        assert!(q.pop(8).is_none(), "drained + closed means exit");
+    }
+
+    #[test]
+    fn close_wakes_blocked_worker() {
+        let q = Arc::new(ShardQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop(8));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert!(h.join().unwrap().is_none());
+    }
+}

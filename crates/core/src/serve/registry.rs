@@ -1,0 +1,126 @@
+//! The stored-procedure registry.
+//!
+//! Producers submit by name (or by the cheaper pre-resolved [`ProcId`])
+//! plus a flat `&[u64]` argument vector; the registered builder turns the
+//! arguments into a [`TxnTemplate`] on the submitting thread, so workers
+//! only ever execute — they never parse. `abyss-workload` ships builders
+//! covering the YCSB and TPC-C transaction bodies (`procs` module);
+//! anything producing a valid template can register here.
+
+use abyss_common::TxnTemplate;
+
+/// A stored-procedure body: arguments in, executable template out.
+pub type ProcFn = Box<dyn Fn(&[u64]) -> TxnTemplate + Send + Sync>;
+
+/// Pre-resolved registry slot, cheaper than a name lookup per submit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcId(u32);
+
+/// Name → builder table, fixed at service start (no registration after
+/// workers spawn, so lookups are lock-free).
+#[derive(Default)]
+pub struct ProcRegistry {
+    names: Vec<String>,
+    procs: Vec<ProcFn>,
+}
+
+impl ProcRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `proc` under `name` and return its [`ProcId`]. Panics on a
+    /// duplicate name — procedure sets are static configuration, and a
+    /// silent overwrite would misroute every later submit.
+    pub fn register(&mut self, name: impl Into<String>, proc_fn: ProcFn) -> ProcId {
+        let name = name.into();
+        assert!(
+            !self.names.contains(&name),
+            "stored procedure {name:?} registered twice"
+        );
+        let id = ProcId(self.procs.len() as u32);
+        self.names.push(name);
+        self.procs.push(proc_fn);
+        id
+    }
+
+    /// Resolve a name to its [`ProcId`].
+    pub fn id(&self, name: &str) -> Option<ProcId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| ProcId(i as u32))
+    }
+
+    /// The name registered under `id`.
+    pub fn name(&self, id: ProcId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Build the template for one submission.
+    pub fn build(&self, id: ProcId, args: &[u64]) -> TxnTemplate {
+        (self.procs[id.0 as usize])(args)
+    }
+
+    /// Registered procedure count.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+impl std::fmt::Debug for ProcRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcRegistry")
+            .field("names", &self.names)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abyss_common::{AccessOp, AccessSpec};
+
+    fn reg() -> ProcRegistry {
+        let mut r = ProcRegistry::new();
+        r.register(
+            "read_one",
+            Box::new(|args: &[u64]| {
+                TxnTemplate::new(vec![AccessSpec::fixed(0, args[0], AccessOp::Read)])
+            }),
+        );
+        r
+    }
+
+    #[test]
+    fn register_resolve_build() {
+        let r = reg();
+        let id = r.id("read_one").expect("registered");
+        assert_eq!(r.name(id), "read_one");
+        assert_eq!(r.len(), 1);
+        let tmpl = r.build(id, &[42]);
+        assert_eq!(tmpl.accesses.len(), 1);
+        assert!(r.id("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_name_panics() {
+        let mut r = reg();
+        r.register(
+            "read_one",
+            Box::new(|_| TxnTemplate::new(vec![AccessSpec::fixed(0, 0, AccessOp::Read)])),
+        );
+    }
+}

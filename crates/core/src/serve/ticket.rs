@@ -1,0 +1,171 @@
+//! Submission tickets: the acknowledgement half of the serving layer.
+//!
+//! Every accepted (or shed) submission hands the producer a [`TxnTicket`]
+//! that resolves exactly once — committed, aborted, failed, or shed. The
+//! ticket is the only channel back to the producer: the worker resolves it
+//! after executing the request, the admission path resolves it immediately
+//! when shedding, and a producer that does not care simply drops it
+//! (resolution does not require a waiter).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use abyss_common::AbortReason;
+
+/// Terminal (or pending) state of one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TicketStatus {
+    /// Queued or executing; the terminal state is not known yet.
+    Pending,
+    /// Executed and committed.
+    Committed,
+    /// Aborted non-retryably (scheduler aborts are retried inside the
+    /// worker; only user aborts surface here).
+    Aborted(AbortReason),
+    /// The stored procedure failed non-transactionally (missing key,
+    /// template bug) — rolled back, not retried.
+    Failed,
+    /// Rejected at admission by load shedding; never executed.
+    Shed,
+}
+
+impl TicketStatus {
+    /// True for every state but [`TicketStatus::Pending`].
+    pub fn is_resolved(self) -> bool {
+        !matches!(self, TicketStatus::Pending)
+    }
+}
+
+/// Shared ticket cell: the worker (or admission) resolves it, the
+/// producer waits on it. One mutex/condvar pair per request is cheap
+/// relative to transaction execution, and `std` primitives keep the
+/// serving layer free of external dependencies.
+#[derive(Debug)]
+pub(crate) struct TicketInner {
+    state: Mutex<TicketStatus>,
+    cv: Condvar,
+}
+
+impl TicketInner {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(TicketStatus::Pending),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Move the ticket to a terminal state and wake every waiter. Must be
+    /// called exactly once.
+    pub(crate) fn resolve(&self, status: TicketStatus) {
+        debug_assert!(status.is_resolved(), "resolving to Pending");
+        let mut st = self.state.lock().expect("ticket lock");
+        debug_assert!(!st.is_resolved(), "ticket resolved twice");
+        *st = status;
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to one submitted request, returned by `TxnService::submit`.
+///
+/// The ticket resolves exactly once; [`TxnTicket::wait`] blocks until it
+/// does. Dropping the ticket is fine — the request still executes and the
+/// resolution is simply unobserved.
+#[derive(Debug)]
+pub struct TxnTicket {
+    pub(crate) inner: Arc<TicketInner>,
+}
+
+impl TxnTicket {
+    /// Current status without blocking.
+    pub fn status(&self) -> TicketStatus {
+        *self.inner.state.lock().expect("ticket lock")
+    }
+
+    /// True once the request reached a terminal state.
+    pub fn is_resolved(&self) -> bool {
+        self.status().is_resolved()
+    }
+
+    /// Block until the request resolves and return the terminal status.
+    pub fn wait(&self) -> TicketStatus {
+        let mut st = self.inner.state.lock().expect("ticket lock");
+        while !st.is_resolved() {
+            st = self.inner.cv.wait(st).expect("ticket lock");
+        }
+        *st
+    }
+
+    /// Like [`TxnTicket::wait`] with a deadline: `None` if the request is
+    /// still pending after `timeout`.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<TicketStatus> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.inner.state.lock().expect("ticket lock");
+        while !st.is_resolved() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .cv_wait_timeout(st, deadline - now)
+                .expect("ticket lock");
+            st = guard;
+        }
+        Some(*st)
+    }
+
+    fn cv_wait_timeout<'a>(
+        &self,
+        guard: std::sync::MutexGuard<'a, TicketStatus>,
+        dur: Duration,
+    ) -> std::sync::LockResult<(
+        std::sync::MutexGuard<'a, TicketStatus>,
+        std::sync::WaitTimeoutResult,
+    )> {
+        self.inner.cv.wait_timeout(guard, dur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_resolves_once_and_wakes_waiters() {
+        let inner = TicketInner::new();
+        let ticket = TxnTicket {
+            inner: Arc::clone(&inner),
+        };
+        assert_eq!(ticket.status(), TicketStatus::Pending);
+        assert!(!ticket.is_resolved());
+        let h = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(Duration::from_millis(5));
+        inner.resolve(TicketStatus::Committed);
+        assert_eq!(h.join().unwrap(), TicketStatus::Committed);
+    }
+
+    #[test]
+    fn wait_timeout_reports_pending() {
+        let inner = TicketInner::new();
+        let ticket = TxnTicket {
+            inner: Arc::clone(&inner),
+        };
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(5)), None);
+        inner.resolve(TicketStatus::Shed);
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_millis(5)),
+            Some(TicketStatus::Shed)
+        );
+        assert_eq!(ticket.status(), TicketStatus::Shed);
+    }
+
+    #[test]
+    fn dropped_ticket_does_not_block_resolution() {
+        let inner = TicketInner::new();
+        let ticket = TxnTicket {
+            inner: Arc::clone(&inner),
+        };
+        drop(ticket);
+        inner.resolve(TicketStatus::Failed); // must not panic or deadlock
+    }
+}

@@ -112,7 +112,7 @@ impl<P: CcProtocol> WorkerCtx<P> {
             in_txn: false,
             attempt_started: Instant::now(),
             phases,
-            jitter: 0x9E37_79B9 ^ u64::from(worker) << 16 | 1,
+            jitter: jitter_seed(worker),
             consec_aborts: 0,
             last_tid: 0,
             _protocol: PhantomData,
@@ -743,11 +743,9 @@ impl<P: CcProtocol> WorkerCtx<P> {
     /// every concurrent writer, and no one ever commits.
     pub(crate) fn backoff(&mut self) {
         self.consec_aborts = self.consec_aborts.saturating_add(1);
-        self.jitter ^= self.jitter << 13;
-        self.jitter ^= self.jitter >> 7;
-        self.jitter ^= self.jitter << 17;
+        let jitter = self.jitter_draw();
         if self.consec_aborts <= 2 {
-            let spins = 64 + (self.jitter & 0x3FF);
+            let spins = 64 + (jitter & 0x3FF);
             for _ in 0..spins {
                 std::hint::spin_loop();
             }
@@ -757,8 +755,41 @@ impl<P: CcProtocol> WorkerCtx<P> {
         // jittered into [base/2, 1.5·base) — worst case ≈ 2.4 ms.
         let shift = (self.consec_aborts - 3).min(6);
         let base_us = 25u64 << shift;
-        let us = base_us / 2 + self.jitter % base_us;
+        let us = base_us / 2 + jitter % base_us;
         std::thread::sleep(Duration::from_micros(us));
+    }
+
+    /// Advance the xorshift64 state and return the next jitter draw.
+    /// Factored out of [`backoff`](Self::backoff) so the seeding can be
+    /// regression-tested without timing a real backoff.
+    #[inline]
+    pub(crate) fn jitter_draw(&mut self) -> u64 {
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        self.jitter
+    }
+}
+
+/// Backoff-jitter seed for `worker`: a SplitMix64 scramble of the worker
+/// id, so every worker starts its xorshift from a distinct, well-mixed,
+/// non-zero state.
+///
+/// The previous expression, `0x9E37_79B9 ^ u64::from(worker) << 16 | 1`,
+/// parsed as `(0x9E37_79B9 ^ (worker << 16)) | 1` thanks to operator
+/// precedence: seeds differed only in bits 16..16+log2(workers), so
+/// neighboring workers' xorshift streams started highly correlated and
+/// their backoff sleeps marched in near-lockstep — exactly the
+/// synchronized restart storm backoff jitter exists to break up.
+fn jitter_seed(worker: u32) -> u64 {
+    let seed =
+        abyss_common::rng::SplitMix64::new(0x9E37_79B9_7F4A_7C15 ^ u64::from(worker)).next_u64();
+    // xorshift has a single absorbing zero state; SplitMix64 emits 0 for
+    // exactly one seed, so guard it.
+    if seed == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        seed
     }
 }
 
@@ -1063,6 +1094,30 @@ mod tests {
     #[test]
     fn single_worker_no_wait() {
         smoke_single_worker(CcScheme::NoWait);
+    }
+
+    /// Regression: backoff jitter seeds must be distinct, well-mixed, and
+    /// non-zero per worker. The old seed expression differed only in a few
+    /// middle bits across workers (and not at all in the xorshift-relevant
+    /// low/high bits), so neighboring workers drew near-identical jitter
+    /// and backed off in lockstep.
+    #[test]
+    fn backoff_jitter_streams_differ_across_workers() {
+        let db = db(CcScheme::NoWait, 4);
+        let mut a = db.worker(0);
+        let mut b = db.worker(1);
+        let draws_a: Vec<u64> = (0..8).map(|_| a.jitter_draw()).collect();
+        let draws_b: Vec<u64> = (0..8).map(|_| b.jitter_draw()).collect();
+        for (i, (x, y)) in draws_a.iter().zip(&draws_b).enumerate() {
+            assert_ne!(x, y, "draw {i} identical across workers");
+            assert_ne!(*x, 0, "worker 0 draw {i} is zero (absorbing state)");
+            assert_ne!(*y, 0, "worker 1 draw {i} is zero (absorbing state)");
+        }
+        // The sleep path uses `jitter % base_us`: the *low bits* must
+        // decorrelate too, not just the full words.
+        let low_a: Vec<u64> = draws_a.iter().map(|v| v % 25).collect();
+        let low_b: Vec<u64> = draws_b.iter().map(|v| v % 25).collect();
+        assert_ne!(low_a, low_b, "low-bit jitter identical across workers");
     }
 
     #[test]

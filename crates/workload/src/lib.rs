@@ -13,7 +13,12 @@
 //! * [`tpcc`] — TPC-C restricted to Payment + NewOrder (88% of the
 //!   standard mix, §3.3), with the spec's remote-warehouse probabilities
 //!   and the 1% NewOrder user-abort rule.
+//! * [`procs`] — the same transaction bodies as stored procedures:
+//!   `fn(&[u64]) -> TxnTemplate` decoders (plus matching encoders) for the
+//!   engine's serving layer, so submitted argument vectors build the exact
+//!   templates the closed-loop generators produce.
 
+pub mod procs;
 pub mod tpcc;
 pub mod ycsb;
 

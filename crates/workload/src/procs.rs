@@ -1,0 +1,197 @@
+//! Stored-procedure argument codecs for the serving layer.
+//!
+//! The transaction service (`abyss_core::serve`) takes `(proc_name, args)`
+//! pairs where `args` is a flat `&[u64]` — the wire-friendly shape a real
+//! front end would receive. This module defines one decoder per procedure
+//! that turns such an argument vector into the exact [`TxnTemplate`] the
+//! closed-loop generators produce, plus the matching encoders so producers
+//! (benches, tests) and decoders can never drift apart.
+//!
+//! Every decoder is a plain `fn(&[u64]) -> TxnTemplate`, which coerces
+//! into the registry's boxed `ProcFn` without this crate depending on the
+//! engine. Register the whole set with [`all`]:
+//!
+//! ```ignore
+//! let mut reg = ProcRegistry::new();
+//! for (name, f) in abyss_workload::procs::all() {
+//!     reg.register(name, Box::new(f));
+//! }
+//! ```
+//!
+//! Malformed argument vectors panic: the registry's producers are in-process
+//! and encode with the functions below, so a shape mismatch is a bug, not
+//! input to tolerate.
+
+use abyss_common::{AccessOp, AccessSpec, TxnTemplate};
+
+use crate::tpcc;
+use crate::ycsb::YCSB_TABLE;
+
+/// Registry name of the YCSB read/update procedure.
+pub const PROC_YCSB_RMW: &str = "ycsb_rmw";
+/// Registry name of the TPC-C Payment procedure.
+pub const PROC_TPCC_PAYMENT: &str = "tpcc_payment";
+/// Registry name of the TPC-C NewOrder procedure.
+pub const PROC_TPCC_NEW_ORDER: &str = "tpcc_new_order";
+/// Registry name of the TPC-C OrderStatus procedure.
+pub const PROC_TPCC_ORDER_STATUS: &str = "tpcc_order_status";
+
+/// A stored-procedure decoder: flat argument vector in, template out.
+pub type ProcDecoder = fn(&[u64]) -> TxnTemplate;
+
+/// Every procedure this crate ships, as `(name, decoder)` pairs ready to
+/// register. The `fn` pointers coerce into the serving layer's boxed
+/// `ProcFn`.
+pub fn all() -> [(&'static str, ProcDecoder); 4] {
+    [
+        (PROC_YCSB_RMW, ycsb_rmw),
+        (PROC_TPCC_PAYMENT, tpcc_payment),
+        (PROC_TPCC_NEW_ORDER, tpcc_new_order),
+        (PROC_TPCC_ORDER_STATUS, tpcc_order_status),
+    ]
+}
+
+// ---------------------------------------------------------------- YCSB --
+
+/// Encode a YCSB read/update transaction: `write_mask` bit `i` makes
+/// access `i` an update (read otherwise); one key per access. At most 64
+/// accesses — the paper's transactions use 16.
+pub fn ycsb_rmw_args(write_mask: u64, keys: &[u64]) -> Vec<u64> {
+    assert!(keys.len() <= 64, "write_mask covers at most 64 accesses");
+    let mut args = Vec::with_capacity(1 + keys.len());
+    args.push(write_mask);
+    args.extend_from_slice(keys);
+    args
+}
+
+/// Decode [`ycsb_rmw_args`]: `args[0]` is the write mask, `args[1..]` the
+/// keys. Single-partition (the service's YCSB table is unpartitioned).
+pub fn ycsb_rmw(args: &[u64]) -> TxnTemplate {
+    assert!(!args.is_empty(), "ycsb_rmw needs a write mask");
+    let (mask, keys) = (args[0], &args[1..]);
+    assert!(!keys.is_empty(), "ycsb_rmw needs at least one key");
+    assert!(keys.len() <= 64, "write_mask covers at most 64 accesses");
+    let accesses = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| {
+            let op = if mask >> i & 1 == 1 {
+                AccessOp::Update
+            } else {
+                AccessOp::Read
+            };
+            AccessSpec::fixed(YCSB_TABLE, k, op)
+        })
+        .collect();
+    TxnTemplate::new(accesses)
+}
+
+// --------------------------------------------------------------- TPC-C --
+
+/// Encode Payment parameters (see [`tpcc::payment_template`]).
+pub fn tpcc_payment_args(w: u64, d: u64, cw: u64, cd: u64, c: u64, hkey: u64) -> [u64; 6] {
+    [w, d, cw, cd, c, hkey]
+}
+
+/// Decode [`tpcc_payment_args`] into the Payment template.
+pub fn tpcc_payment(args: &[u64]) -> TxnTemplate {
+    let [w, d, cw, cd, c, hkey]: [u64; 6] = args
+        .try_into()
+        .expect("tpcc_payment takes [w,d,cw,cd,c,hkey]");
+    tpcc::payment_template(w, d, cw, cd, c, hkey)
+}
+
+/// Encode NewOrder parameters: `[w, d, c, user_abort, item0, supply_w0,
+/// item1, supply_w1, ...]` (see [`tpcc::new_order_template`]).
+pub fn tpcc_new_order_args(
+    w: u64,
+    d: u64,
+    c: u64,
+    items: &[(u64, u64)],
+    user_abort: bool,
+) -> Vec<u64> {
+    let mut args = Vec::with_capacity(4 + 2 * items.len());
+    args.extend_from_slice(&[w, d, c, u64::from(user_abort)]);
+    for &(i, sw) in items {
+        args.push(i);
+        args.push(sw);
+    }
+    args
+}
+
+/// Decode [`tpcc_new_order_args`] into the NewOrder template.
+pub fn tpcc_new_order(args: &[u64]) -> TxnTemplate {
+    assert!(
+        args.len() >= 6 && args.len().is_multiple_of(2),
+        "tpcc_new_order takes [w,d,c,user_abort,(item,supply_w)+]"
+    );
+    let (w, d, c, user_abort) = (args[0], args[1], args[2], args[3] != 0);
+    let items: Vec<(u64, u64)> = args[4..].chunks_exact(2).map(|p| (p[0], p[1])).collect();
+    tpcc::new_order_template(w, d, c, &items, user_abort)
+}
+
+/// Encode OrderStatus parameters (see [`tpcc::order_status_template`]).
+pub fn tpcc_order_status_args(w: u64, d: u64, c: u64, o_guess: u64) -> [u64; 4] {
+    [w, d, c, o_guess]
+}
+
+/// Decode [`tpcc_order_status_args`] into the OrderStatus template.
+pub fn tpcc_order_status(args: &[u64]) -> TxnTemplate {
+    let [w, d, c, o_guess]: [u64; 4] = args
+        .try_into()
+        .expect("tpcc_order_status takes [w,d,c,o_guess]");
+    tpcc::order_status_template(w, d, c, o_guess)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcc::{TAG_NEW_ORDER, TAG_ORDER_STATUS, TAG_PAYMENT};
+    use abyss_common::KeySpec;
+
+    #[test]
+    fn ycsb_rmw_round_trips_mask_and_keys() {
+        let keys = [10, 20, 30, 40];
+        let args = ycsb_rmw_args(0b1010, &keys);
+        let t = ycsb_rmw(&args);
+        assert_eq!(t.len(), 4);
+        assert!(t.validate().is_ok());
+        for (i, a) in t.accesses.iter().enumerate() {
+            assert_eq!(a.key, KeySpec::Fixed(keys[i]));
+            let want_write = i == 1 || i == 3;
+            assert_eq!(a.op.is_write(), want_write, "access {i}");
+        }
+    }
+
+    #[test]
+    fn tpcc_codecs_match_the_pure_builders() {
+        let p = tpcc_payment(&tpcc_payment_args(1, 2, 3, 4, 5, 99));
+        assert_eq!(p, tpcc::payment_template(1, 2, 3, 4, 5, 99));
+        assert_eq!(p.tag, TAG_PAYMENT);
+
+        let items = [(7, 1), (8, 0), (9, 1)];
+        let n = tpcc_new_order(&tpcc_new_order_args(1, 2, 3, &items, true));
+        assert_eq!(n, tpcc::new_order_template(1, 2, 3, &items, true));
+        assert_eq!(n.tag, TAG_NEW_ORDER);
+        assert!(n.user_abort);
+
+        let o = tpcc_order_status(&tpcc_order_status_args(0, 1, 2, 3005));
+        assert_eq!(o, tpcc::order_status_template(0, 1, 2, 3005));
+        assert_eq!(o.tag, TAG_ORDER_STATUS);
+    }
+
+    #[test]
+    fn all_lists_every_proc_once() {
+        let procs = all();
+        let mut names: Vec<_> = procs.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), procs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "tpcc_payment takes")]
+    fn malformed_args_panic() {
+        tpcc_payment(&[1, 2, 3]);
+    }
+}

@@ -322,32 +322,7 @@ impl TpccGen {
         // a small window above the floor (empty ranges are valid scans —
         // they still exercise gap protection).
         let o_guess = FIRST_NEW_ORDER_ID + self.rng.next_below(64);
-
-        let accesses = vec![
-            AccessSpec::fixed(
-                TpccTable::Customer.id(),
-                keys::customer(w, d, c),
-                AccessOp::Read,
-            ),
-            AccessSpec {
-                table: TpccTable::NewOrder.id(),
-                key: KeySpec::Fixed(keys::order(w, d, FIRST_NEW_ORDER_ID)),
-                op: AccessOp::Scan { len: 64 },
-            },
-            AccessSpec {
-                table: TpccTable::OrderLine.id(),
-                key: KeySpec::Fixed(keys::order_line(w, d, o_guess, 0)),
-                op: AccessOp::Scan { len: 16 },
-            },
-        ];
-
-        TxnTemplate {
-            accesses,
-            partitions: vec![w as PartId],
-            user_abort: false,
-            logic_per_query: 1,
-            tag: TAG_ORDER_STATUS,
-        }
+        order_status_template(w, d, c, o_guess)
     }
 
     /// The Payment transaction: update W_YTD, D_YTD, the customer's
@@ -366,35 +341,7 @@ impl TpccGen {
         let c = self.rng.next_below(CUSTOMERS_PER_DISTRICT);
         let hkey = keys::history(u64::from(self.worker), self.history_seq);
         self.history_seq += 1;
-
-        let accesses = vec![
-            AccessSpec::fixed(TpccTable::Warehouse.id(), w, AccessOp::Update),
-            AccessSpec::fixed(
-                TpccTable::District.id(),
-                keys::district(w, d),
-                AccessOp::Update,
-            ),
-            AccessSpec::fixed(
-                TpccTable::Customer.id(),
-                keys::customer(cw, cd, c),
-                AccessOp::Update,
-            ),
-            AccessSpec::fixed(TpccTable::History.id(), hkey, AccessOp::Insert),
-        ];
-
-        let mut partitions = vec![w as PartId];
-        if cw != w {
-            partitions.push(cw as PartId);
-        }
-        partitions.sort_unstable();
-
-        TxnTemplate {
-            accesses,
-            partitions,
-            user_abort: false,
-            logic_per_query: 1,
-            tag: TAG_PAYMENT,
-        }
+        payment_template(w, d, cw, cd, c, hkey)
     }
 
     /// The NewOrder transaction: read WAREHOUSE and CUSTOMER, increment
@@ -405,92 +352,177 @@ impl TpccGen {
         let d = self.rng.next_below(DISTRICTS_PER_WH);
         let c = self.rng.next_below(CUSTOMERS_PER_DISTRICT);
         let ol_cnt = self.rng.next_range(5, 15);
-        let dkey = keys::district(w, d);
 
-        let mut accesses = Vec::with_capacity(6 + 3 * ol_cnt as usize);
-        accesses.push(AccessSpec::fixed(
-            TpccTable::Warehouse.id(),
-            w,
-            AccessOp::Read,
-        ));
-        accesses.push(AccessSpec {
-            table: TpccTable::District.id(),
-            key: KeySpec::Fixed(dkey),
-            op: AccessOp::UpdateCounter { slot: 0 },
-        });
-        accesses.push(AccessSpec::fixed(
-            TpccTable::Customer.id(),
-            keys::customer(w, d, c),
-            AccessOp::Read,
-        ));
-
-        let mut partitions = vec![w as PartId];
-        let mut items: Vec<u64> = Vec::with_capacity(ol_cnt as usize);
+        let mut items: Vec<(u64, u64)> = Vec::with_capacity(ol_cnt as usize);
         for _ in 0..ol_cnt {
             // Distinct items within one order, as the spec requires.
             let i = loop {
                 let i = self.rng.next_below(ITEMS);
-                if !items.contains(&i) {
+                if !items.iter().any(|&(it, _)| it == i) {
                     break i;
                 }
             };
-            items.push(i);
             let supply_w = if self.rng.chance(self.cfg.remote_item_pct) {
                 self.remote_warehouse()
             } else {
                 w
             };
-            if !partitions.contains(&(supply_w as PartId)) {
-                partitions.push(supply_w as PartId);
-            }
-            accesses.push(AccessSpec::fixed(TpccTable::Item.id(), i, AccessOp::Read));
-            accesses.push(AccessSpec::fixed(
-                TpccTable::Stock.id(),
-                keys::stock(supply_w, i),
-                AccessOp::Update,
-            ));
+            items.push((i, supply_w));
         }
+        let user_abort = self.rng.chance(self.cfg.user_abort_pct);
+        new_order_template(w, d, c, &items, user_abort)
+    }
+}
 
-        // Inserts keyed by the captured D_NEXT_O_ID (slot 0).
-        accesses.push(AccessSpec {
-            table: TpccTable::Order.id(),
-            key: KeySpec::Derived {
-                slot: 0,
-                base: dkey << 32,
-                scale: 1,
-            },
-            op: AccessOp::Insert,
-        });
-        accesses.push(AccessSpec {
+/// Build the OrderStatus template from already-drawn parameters: customer
+/// `c` in district `(w, d)`, probing the ORDER-LINE range of order
+/// `o_guess`. Pure — the randomness lives in the caller ([`TpccGen`] or a
+/// stored-procedure argument decoder).
+pub fn order_status_template(w: u64, d: u64, c: u64, o_guess: u64) -> TxnTemplate {
+    let accesses = vec![
+        AccessSpec::fixed(
+            TpccTable::Customer.id(),
+            keys::customer(w, d, c),
+            AccessOp::Read,
+        ),
+        AccessSpec {
             table: TpccTable::NewOrder.id(),
+            key: KeySpec::Fixed(keys::order(w, d, FIRST_NEW_ORDER_ID)),
+            op: AccessOp::Scan { len: 64 },
+        },
+        AccessSpec {
+            table: TpccTable::OrderLine.id(),
+            key: KeySpec::Fixed(keys::order_line(w, d, o_guess, 0)),
+            op: AccessOp::Scan { len: 16 },
+        },
+    ];
+
+    TxnTemplate {
+        accesses,
+        partitions: vec![w as PartId],
+        user_abort: false,
+        logic_per_query: 1,
+        tag: TAG_ORDER_STATUS,
+    }
+}
+
+/// Build the Payment template from already-drawn parameters: home district
+/// `(w, d)`, the paying customer `c` of district `(cw, cd)` (equal to
+/// `(w, d)` unless remote), and a pre-allocated unique HISTORY key.
+pub fn payment_template(w: u64, d: u64, cw: u64, cd: u64, c: u64, hkey: Key) -> TxnTemplate {
+    let accesses = vec![
+        AccessSpec::fixed(TpccTable::Warehouse.id(), w, AccessOp::Update),
+        AccessSpec::fixed(
+            TpccTable::District.id(),
+            keys::district(w, d),
+            AccessOp::Update,
+        ),
+        AccessSpec::fixed(
+            TpccTable::Customer.id(),
+            keys::customer(cw, cd, c),
+            AccessOp::Update,
+        ),
+        AccessSpec::fixed(TpccTable::History.id(), hkey, AccessOp::Insert),
+    ];
+
+    let mut partitions = vec![w as PartId];
+    if cw != w {
+        partitions.push(cw as PartId);
+    }
+    partitions.sort_unstable();
+
+    TxnTemplate {
+        accesses,
+        partitions,
+        user_abort: false,
+        logic_per_query: 1,
+        tag: TAG_PAYMENT,
+    }
+}
+
+/// Build the NewOrder template from already-drawn parameters: customer `c`
+/// ordering `items` (each `(item, supply_warehouse)`, distinct items) in
+/// district `(w, d)`. Insert keys derive from the captured D_NEXT_O_ID
+/// (slot 0), exactly as [`TpccGen::new_order`] produces.
+pub fn new_order_template(
+    w: u64,
+    d: u64,
+    c: u64,
+    items: &[(u64, u64)],
+    user_abort: bool,
+) -> TxnTemplate {
+    let ol_cnt = items.len() as u64;
+    let dkey = keys::district(w, d);
+
+    let mut accesses = Vec::with_capacity(6 + 3 * items.len());
+    accesses.push(AccessSpec::fixed(
+        TpccTable::Warehouse.id(),
+        w,
+        AccessOp::Read,
+    ));
+    accesses.push(AccessSpec {
+        table: TpccTable::District.id(),
+        key: KeySpec::Fixed(dkey),
+        op: AccessOp::UpdateCounter { slot: 0 },
+    });
+    accesses.push(AccessSpec::fixed(
+        TpccTable::Customer.id(),
+        keys::customer(w, d, c),
+        AccessOp::Read,
+    ));
+
+    let mut partitions = vec![w as PartId];
+    for &(i, supply_w) in items {
+        if !partitions.contains(&(supply_w as PartId)) {
+            partitions.push(supply_w as PartId);
+        }
+        accesses.push(AccessSpec::fixed(TpccTable::Item.id(), i, AccessOp::Read));
+        accesses.push(AccessSpec::fixed(
+            TpccTable::Stock.id(),
+            keys::stock(supply_w, i),
+            AccessOp::Update,
+        ));
+    }
+
+    // Inserts keyed by the captured D_NEXT_O_ID (slot 0).
+    accesses.push(AccessSpec {
+        table: TpccTable::Order.id(),
+        key: KeySpec::Derived {
+            slot: 0,
+            base: dkey << 32,
+            scale: 1,
+        },
+        op: AccessOp::Insert,
+    });
+    accesses.push(AccessSpec {
+        table: TpccTable::NewOrder.id(),
+        key: KeySpec::Derived {
+            slot: 0,
+            base: dkey << 32,
+            scale: 1,
+        },
+        op: AccessOp::Insert,
+    });
+    for ol in 0..ol_cnt {
+        accesses.push(AccessSpec {
+            table: TpccTable::OrderLine.id(),
             key: KeySpec::Derived {
                 slot: 0,
-                base: dkey << 32,
-                scale: 1,
+                base: ((dkey << 32) << 4) | ol,
+                scale: 16,
             },
             op: AccessOp::Insert,
         });
-        for ol in 0..ol_cnt {
-            accesses.push(AccessSpec {
-                table: TpccTable::OrderLine.id(),
-                key: KeySpec::Derived {
-                    slot: 0,
-                    base: ((dkey << 32) << 4) | ol,
-                    scale: 16,
-                },
-                op: AccessOp::Insert,
-            });
-        }
+    }
 
-        partitions.sort_unstable();
+    partitions.sort_unstable();
 
-        TxnTemplate {
-            accesses,
-            partitions,
-            user_abort: self.rng.chance(self.cfg.user_abort_pct),
-            logic_per_query: 1,
-            tag: TAG_NEW_ORDER,
-        }
+    TxnTemplate {
+        accesses,
+        partitions,
+        user_abort,
+        logic_per_query: 1,
+        tag: TAG_NEW_ORDER,
     }
 }
 
