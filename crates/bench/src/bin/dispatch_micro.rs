@@ -1,24 +1,37 @@
-//! Dispatch micro-comparison: the enum-match shim vs the monomorphized
-//! protocol on a read-only YCSB loop — the measured backing for the
-//! `CcProtocol` refactor's speed claim.
+//! Dispatch micro-comparison plus the hot-word padding audit — the
+//! measured backing for two structural claims:
 //!
-//! Both paths execute the *identical* seeded workload (same generator
-//! seed, same bounded transaction count, one worker — no contention, so
-//! the only difference is dispatch structure): `DispatchMode::Enum`
-//! drives `WorkerCtx<AnyScheme>` (one scheme match per operation, the
-//! pre-refactor engine's hot path); `DispatchMode::Mono` drives the
-//! statically instantiated protocol (`run_workers`' normal path). A
-//! read-only mix keeps per-access work minimal, which maximizes the
-//! relative weight of dispatch itself — the comparison is an upper bound
-//! on what monomorphization wins per access, not a macro-benchmark.
+//! 1. **Dispatch** (`dispatch` section): the enum-match shim vs the
+//!    monomorphized protocol on a read-only YCSB loop. Both paths execute
+//!    the *identical* seeded workload (same generator seed, same bounded
+//!    transaction count, one worker — no contention, so the only
+//!    difference is dispatch structure): `DispatchMode::Enum` drives
+//!    `WorkerCtx<AnyScheme>` (one scheme match per operation, the
+//!    pre-refactor engine's hot path); `DispatchMode::Mono` drives the
+//!    statically instantiated protocol (`run_workers`' normal path).
+//!    Timing is the bounded driver's start/stop-edge wall (barrier
+//!    release → last worker join), not a hand-held `Instant` pair.
 //!
-//! Prints a per-scheme table and writes `results/dispatch_micro.json`.
-//! `--quick` shrinks the iteration budget (CI smoke); `--full` grows it.
+//! 2. **Padding** (`padding_audit` section): the engine wraps its
+//!    contended hot words (2PL park-table lockwords, epoch slots, the
+//!    shared timestamp counter, waits-for heads) in
+//!    `abyss_common::Padded`. This audit measures what that buys: the
+//!    same per-thread slot hammering run twice through the harness, once
+//!    with `Padded` (128-byte-aligned slots, no false sharing) and once
+//!    with `Unpadded` (`repr(transparent)` — adjacent slots share cache
+//!    lines), reporting ns/op for each and the unpadded/padded ratio.
+//!
+//! Prints per-scheme tables and writes `results/dispatch_micro.json` in
+//! the shared envelope. `--quick` shrinks budgets (CI smoke); `--full`
+//! grows them.
 
-use std::io::Write as _;
+use std::ops::AddAssign;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use abyss_bench::harness::emit::{num, Envelope};
+use abyss_bench::harness::{self, BenchContext, BenchSpec, PinPolicy};
 use abyss_bench::{HarnessArgs, Report};
-use abyss_common::{CcScheme, TxnTemplate};
+use abyss_common::{CcScheme, PadWrap, Padded, TxnTemplate, Unpadded};
 use abyss_core::{run_workers_bounded_via, Database, DispatchMode, EngineConfig};
 use abyss_workload::ycsb::{self, YcsbConfig, YcsbGen};
 
@@ -55,8 +68,7 @@ fn best_of(scheme: CcScheme, txns: u64, rounds: u32, mode: DispatchMode) -> f64 
     best
 }
 
-fn main() {
-    let args = HarnessArgs::parse();
+fn dispatch_section(args: &HarnessArgs) -> String {
     let (txns, rounds) = if args.quick {
         (5_000u64, 2u32)
     } else if args.full {
@@ -85,24 +97,174 @@ fn main() {
             format!("{ratio:.3}"),
         ]);
         rows_json.push(format!(
-            "{{\"scheme\":\"{}\",\"enum_ns_per_txn\":{enum_ns:.1},\
-             \"mono_ns_per_txn\":{mono_ns:.1},\"mono_over_enum\":{ratio:.4}}}",
-            scheme.name()
+            "{{\"scheme\":\"{}\",\"enum_ns_per_txn\":{},\
+             \"mono_ns_per_txn\":{},\"mono_over_enum\":{}}}",
+            scheme.name(),
+            num(enum_ns),
+            num(mono_ns),
+            num(ratio),
         ));
     }
     report.print("enum-match shim vs monomorphized worker loop");
 
-    let json = format!(
-        "{{\"figure\":\"dispatch_micro\",\"workload\":\"ycsb_read_only\",\
-         \"theta\":0.6,\"table_rows\":{TABLE_ROWS},\"workers\":1,\
-         \"txns_per_round\":{txns},\"rounds\":{rounds},\"schemes\":[{}]}}",
+    format!(
+        "{{\"workload\":\"ycsb_read_only\",\"theta\":0.6,\"table_rows\":{TABLE_ROWS},\
+         \"workers\":1,\"txns_per_round\":{txns},\"rounds\":{rounds},\"schemes\":[{}]}}",
         rows_json.join(",")
-    );
-    println!("\n{json}");
-    if std::fs::create_dir_all("results").is_ok() {
-        if let Ok(mut f) = std::fs::File::create("results/dispatch_micro.json") {
-            let _ = writeln!(f, "{json}");
-            println!("  [json] results/dispatch_micro.json");
+    )
+}
+
+// ---------------------------------------------------------------------
+// Padding audit
+// ---------------------------------------------------------------------
+
+/// Per-thread op counter merged across the harness's workers.
+#[derive(Default, Clone)]
+struct Ops(u64);
+
+impl AddAssign for Ops {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+/// What a padding case hammers per iteration on its thread's slot.
+#[derive(Clone, Copy)]
+enum Pattern {
+    /// A 2PL lockword handoff: CAS 0→1 (acquire) then store 0 (release) —
+    /// the park-table / lock-table hot word.
+    Lockword,
+    /// An epoch slot: publish a monotonically rising local epoch, then
+    /// read a neighbor's slot the way the epoch advancer scans the ring.
+    EpochSlot,
+}
+
+impl Pattern {
+    fn name(self) -> &'static str {
+        match self {
+            Pattern::Lockword => "2pl_lockword",
+            Pattern::EpochSlot => "epoch_slots",
         }
     }
+}
+
+/// A bank of per-thread hot words, generic over the padding wrapper so
+/// the padded and compile-time-unpadded controls run the same code.
+struct PadAudit<P: PadWrap<AtomicU64>> {
+    slots: Vec<P>,
+    ops_per_thread: u64,
+    pattern: Pattern,
+}
+
+impl<P: PadWrap<AtomicU64>> PadAudit<P> {
+    fn new(threads: u32, ops_per_thread: u64, pattern: Pattern) -> Self {
+        Self {
+            slots: (0..threads).map(|_| P::wrap(AtomicU64::new(0))).collect(),
+            ops_per_thread,
+            pattern,
+        }
+    }
+}
+
+impl<P: PadWrap<AtomicU64>> BenchSpec for PadAudit<P> {
+    type Result = Ops;
+
+    fn run(&self, ctx: &mut BenchContext<'_>) -> Ops {
+        let mine = self.slots[ctx.thread_id as usize].get();
+        let next = self.slots[(ctx.thread_id as usize + 1) % self.slots.len()].get();
+        ctx.wait_for_start();
+        let mut done = 0u64;
+        match self.pattern {
+            Pattern::Lockword => {
+                while done < self.ops_per_thread {
+                    while mine
+                        .compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        std::hint::spin_loop();
+                    }
+                    mine.store(0, Ordering::Release);
+                    done += 1;
+                }
+            }
+            Pattern::EpochSlot => {
+                while done < self.ops_per_thread {
+                    mine.store(done, Ordering::Release);
+                    std::hint::black_box(next.load(Ordering::Acquire));
+                    done += 1;
+                }
+            }
+        }
+        Ops(done)
+    }
+}
+
+/// Best-of-N ns/op for one wrapper type.
+fn audit_case<P: PadWrap<AtomicU64>>(threads: u32, ops: u64, rounds: u32, pattern: Pattern) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let mut spec = PadAudit::<P>::new(threads, ops, pattern);
+        let out = harness::run_bounded(&mut spec, threads, PinPolicy::Compact);
+        assert_eq!(out.merged.0, u64::from(threads) * ops);
+        best = best.min(out.wall.as_nanos() as f64 / (u64::from(threads) * ops) as f64);
+    }
+    best
+}
+
+fn padding_section(args: &HarnessArgs) -> String {
+    let threads = (abyss_common::available_cores() as u32).clamp(2, 4);
+    let (ops, rounds) = if args.quick {
+        (200_000u64, 2u32)
+    } else if args.full {
+        (4_000_000, 5)
+    } else {
+        (1_000_000, 3)
+    };
+
+    let mut table = Report::new(&[
+        "hot word",
+        "padded ns/op",
+        "unpadded ns/op",
+        "unpadded/padded",
+    ]);
+    let mut cases = Vec::new();
+    for pattern in [Pattern::Lockword, Pattern::EpochSlot] {
+        let padded = audit_case::<Padded<AtomicU64>>(threads, ops, rounds, pattern);
+        let unpadded = audit_case::<Unpadded<AtomicU64>>(threads, ops, rounds, pattern);
+        let ratio = unpadded / padded;
+        table.row(vec![
+            pattern.name().to_string(),
+            format!("{padded:.1}"),
+            format!("{unpadded:.1}"),
+            format!("{ratio:.3}"),
+        ]);
+        cases.push(format!(
+            "{{\"hot_word\":\"{}\",\"padded_ns_per_op\":{},\
+             \"unpadded_ns_per_op\":{},\"unpadded_over_padded\":{}}}",
+            pattern.name(),
+            num(padded),
+            num(unpadded),
+            num(ratio),
+        ));
+    }
+    table.print(&format!(
+        "padding audit: {threads} compact-pinned threads, {ops} ops each, best-of-{rounds}"
+    ));
+
+    format!(
+        "{{\"threads\":{threads},\"ops_per_thread\":{ops},\"rounds\":{rounds},\
+         \"pin\":\"compact\",\"cases\":[{}]}}",
+        cases.join(",")
+    )
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let dispatch = dispatch_section(&args);
+    let padding = padding_section(&args);
+
+    let mut env = Envelope::new("dispatch_micro");
+    env.section("dispatch", &dispatch)
+        .section("padding_audit", &padding);
+    env.write().expect("write results/dispatch_micro.json");
 }

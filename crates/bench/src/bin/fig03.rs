@@ -7,40 +7,15 @@
 //! (relative scheme ordering, T/O dip from timestamp allocation at higher
 //! thread counts) are the comparison target, not absolute numbers.
 
-use std::time::Duration;
-
-use abyss_bench::{fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_bench::paper_figs::{emit_table, engine_ycsb_tput, scheme_tput_report, series_report};
+use abyss_bench::{fmt_m, ycsb_point, HarnessArgs};
 use abyss_common::CcScheme;
-use abyss_core::{executor, run_workers, Database, EngineConfig};
 use abyss_sim::SimConfig;
-use abyss_workload::ycsb::{self, YcsbConfig, YcsbGen};
+use abyss_workload::ycsb::YcsbConfig;
 
 /// Real-engine table size: scaled from the paper's 20M rows so a run fits
 /// in host memory; contention depends on theta, which is unchanged.
 const REAL_ROWS: u64 = 1_000_000;
-
-fn real_point(scheme: CcScheme, threads: u32, cfg: &YcsbConfig, quick: bool) -> f64 {
-    let catalog = ycsb::catalog(cfg);
-    let db = Database::new(EngineConfig::new(scheme, threads), catalog).expect("config");
-    db.load_table(ycsb::YCSB_TABLE, 0..cfg.table_rows, ycsb::init_row)
-        .expect("load");
-    let zipf = abyss_common::zipf::ZipfGen::new(cfg.table_rows, cfg.theta);
-    let gens = (0..threads)
-        .map(|w| {
-            let mut g = YcsbGen::with_zipf(cfg.clone(), zipf.clone(), 42 ^ (u64::from(w) << 20));
-            Box::new(move || g.next_txn()) as Box<dyn FnMut() -> abyss_common::TxnTemplate + Send>
-        })
-        .collect();
-    let (warm, meas) = if quick {
-        (Duration::from_millis(50), Duration::from_millis(200))
-    } else {
-        (Duration::from_millis(200), Duration::from_millis(800))
-    };
-    let out = run_workers(&db, gens, warm, meas);
-    // Keep the executor linked the same way the workers use it.
-    let _ = executor::HOT_COL;
-    out.txn_per_sec()
-}
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -56,31 +31,30 @@ fn main() {
         ..YcsbConfig::read_intensive(0.6)
     };
 
-    let mut headers = vec!["cores".to_string()];
-    headers.extend(CcScheme::NON_PARTITIONED.iter().map(|s| s.to_string()));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rep_sim = scheme_tput_report(
+        "cores",
+        threads,
+        &CcScheme::NON_PARTITIONED,
+        |n| n.to_string(),
+        |n, scheme| ycsb_point(SimConfig::new(scheme, n), &sim_cfg, &args),
+    );
+    emit_table(
+        &rep_sim,
+        "Fig 3a — Graphite-substitute simulation (Mtxn/s), YCSB read-intensive theta=0.6",
+        "fig03a_sim",
+    );
 
-    let mut rep_sim = Report::new(&headers_ref);
-    for &n in threads {
-        let mut row = vec![n.to_string()];
-        for scheme in CcScheme::NON_PARTITIONED {
-            let r = ycsb_point(SimConfig::new(scheme, n), &sim_cfg, &args);
-            row.push(fmt_m(r.txn_per_sec()));
-        }
-        rep_sim.row(row);
-    }
-    rep_sim
-        .print("Fig 3a — Graphite-substitute simulation (Mtxn/s), YCSB read-intensive theta=0.6");
-    rep_sim.write_csv("fig03a_sim");
-
-    let mut rep_real = Report::new(&headers_ref);
-    for &n in threads {
-        let mut row = vec![n.to_string()];
-        for scheme in CcScheme::NON_PARTITIONED {
-            row.push(fmt_m(real_point(scheme, n, &real_cfg, args.quick)));
-        }
-        rep_real.row(row);
-    }
-    rep_real.print("Fig 3b — Real host hardware (Mtxn/s), YCSB read-intensive theta=0.6");
-    rep_real.write_csv("fig03b_real");
+    let rep_real = series_report(
+        "cores",
+        threads,
+        &CcScheme::NON_PARTITIONED,
+        |n| n.to_string(),
+        |s| s.to_string(),
+        |n, scheme| fmt_m(engine_ycsb_tput(scheme, n, &real_cfg, args.quick)),
+    );
+    emit_table(
+        &rep_real,
+        "Fig 3b — Real host hardware (Mtxn/s), YCSB read-intensive theta=0.6",
+        "fig03b_real",
+    );
 }

@@ -6,19 +6,23 @@
 //! transactions hold ever-longer lock chains — the paper's headline 2PL
 //! bottleneck.
 
-use abyss_bench::{fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_bench::paper_figs::{emit_table, series_report};
+use abyss_bench::{fmt_m, ycsb_point, HarnessArgs};
 use abyss_common::CcScheme;
 use abyss_sim::SimConfig;
 use abyss_workload::ycsb::YcsbConfig;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let thetas = [0.0, 0.6, 0.8];
+    let thetas: &[f64] = &[0.0, 0.6, 0.8];
 
-    let mut rep = Report::new(&["cores", "theta=0", "theta=0.6", "theta=0.8"]);
-    for &n in args.sweep() {
-        let mut row = vec![n.to_string()];
-        for theta in thetas {
+    let rep = series_report(
+        "cores",
+        args.sweep(),
+        thetas,
+        |n| n.to_string(),
+        |theta| format!("theta={theta}"),
+        |n, theta| {
             let ycsb_cfg = YcsbConfig {
                 ordered_keys: true,
                 ..YcsbConfig::write_intensive(theta)
@@ -26,11 +30,12 @@ fn main() {
             let mut sim = SimConfig::new(CcScheme::DlDetect, n);
             sim.dl_detect = false; // ordered locking cannot deadlock
             sim.dl_timeout = None; // pure waiting — expose the thrashing
-            let r = ycsb_point(sim, &ycsb_cfg, &args);
-            row.push(fmt_m(r.txn_per_sec()));
-        }
-        rep.row(row);
-    }
-    rep.print("Fig 4 — Lock thrashing (Mtxn/s), ordered locking, no detection");
-    rep.write_csv("fig04");
+            fmt_m(ycsb_point(sim, &ycsb_cfg, &args).txn_per_sec())
+        },
+    );
+    emit_table(
+        &rep,
+        "Fig 4 — Lock thrashing (Mtxn/s), ordered locking, no detection",
+        "fig04",
+    );
 }

@@ -40,6 +40,9 @@ fn main() {
             format!("{:.3}", r.stats.abort_rate()),
         ]);
     }
-    rep.print("Fig 5 — DL_DETECT timeout sweep, YCSB theta=0.8, 64 cores");
-    rep.write_csv("fig05");
+    abyss_bench::paper_figs::emit_table(
+        &rep,
+        "Fig 5 — DL_DETECT timeout sweep, YCSB theta=0.8, 64 cores",
+        "fig05",
+    );
 }

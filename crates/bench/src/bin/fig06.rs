@@ -6,7 +6,8 @@
 //! at 1024 cores), batching multiplies the atomic ceiling, the hardware
 //! counter saturates at 1B ts/s, and the clock scales linearly.
 
-use abyss_bench::{HarnessArgs, Report};
+use abyss_bench::paper_figs::{emit_table, series_report};
+use abyss_bench::HarnessArgs;
 use abyss_common::TsMethod;
 use abyss_sim::cost::{BoundCosts, CostModel};
 use abyss_sim::microbench;
@@ -15,20 +16,20 @@ fn main() {
     let args = HarnessArgs::parse();
     let duration = if args.quick { 200_000 } else { 1_000_000 };
 
-    let mut headers = vec!["cores".to_string()];
-    headers.extend(TsMethod::FIG6.iter().map(|m| m.label()));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-
-    let mut rep = Report::new(&headers_ref);
-    for &n in args.sweep() {
-        let costs = BoundCosts::new(CostModel::default(), n);
-        let mut row = vec![n.to_string()];
-        for method in TsMethod::FIG6 {
-            let rate = microbench(method, n, &costs, duration);
-            row.push(format!("{:.1}", rate / 1e6));
-        }
-        rep.row(row);
-    }
-    rep.print("Fig 6 — Timestamp allocation throughput (Mts/s)");
-    rep.write_csv("fig06");
+    let rep = series_report(
+        "cores",
+        args.sweep(),
+        &TsMethod::FIG6,
+        |n| n.to_string(),
+        |m| m.label(),
+        |n, method| {
+            let costs = BoundCosts::new(CostModel::default(), n);
+            format!("{:.1}", microbench(method, n, &costs, duration) / 1e6)
+        },
+    );
+    emit_table(
+        &rep,
+        "Fig 6 — Timestamp allocation throughput (Mts/s)",
+        "fig06",
+    );
 }

@@ -6,38 +6,27 @@
 //! restarted transaction keeps drawing already-stale timestamps from its
 //! local batch and re-aborts until the batch drains.
 
-use abyss_bench::{fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_bench::paper_figs::{emit_table, series_report};
+use abyss_bench::{fmt_m, ycsb_point, HarnessArgs};
 use abyss_common::{CcScheme, TsMethod};
 use abyss_sim::SimConfig;
 use abyss_workload::ycsb::YcsbConfig;
 
 fn run_panel(args: &HarnessArgs, theta: f64, title: &str, csv: &str) {
-    let methods = [
-        TsMethod::Clock,
-        TsMethod::Hardware,
-        TsMethod::Batched { batch: 16 },
-        TsMethod::Batched { batch: 8 },
-        TsMethod::Atomic,
-        TsMethod::Mutex,
-    ];
-    let mut headers = vec!["cores".to_string()];
-    headers.extend(methods.iter().map(|m| m.label()));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-
     let ycsb_cfg = YcsbConfig::write_intensive(theta);
-    let mut rep = Report::new(&headers_ref);
-    for &n in args.sweep() {
-        let mut row = vec![n.to_string()];
-        for method in methods {
+    let rep = series_report(
+        "cores",
+        args.sweep(),
+        &TsMethod::FIG6,
+        |n| n.to_string(),
+        |m| m.label(),
+        |n, method| {
             let mut sim = SimConfig::new(CcScheme::Timestamp, n);
             sim.ts_method = method;
-            let r = ycsb_point(sim, &ycsb_cfg, args);
-            row.push(fmt_m(r.txn_per_sec()));
-        }
-        rep.row(row);
-    }
-    rep.print(title);
-    rep.write_csv(csv);
+            fmt_m(ycsb_point(sim, &ycsb_cfg, args).txn_per_sec())
+        },
+    );
+    emit_table(&rep, title, csv);
 }
 
 fn main() {

@@ -5,7 +5,8 @@
 //! cores; DL_DETECT thrashes; TIMESTAMP/MVCC overlap operations; OCC pays
 //! for aborted work. Panel (b): breakdown at 512 cores.
 
-use abyss_bench::{breakdown_cells, fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_bench::paper_figs::{breakdown_report, emit_table, scheme_tput_report};
+use abyss_bench::{ycsb_point, HarnessArgs};
 use abyss_common::CcScheme;
 use abyss_sim::SimConfig;
 use abyss_workload::ycsb::YcsbConfig;
@@ -14,38 +15,30 @@ fn main() {
     let args = HarnessArgs::parse();
     let ycsb_cfg = YcsbConfig::write_intensive(0.6);
 
-    let mut headers = vec!["cores".to_string()];
-    headers.extend(CcScheme::NON_PARTITIONED.iter().map(|s| s.to_string()));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-
-    let mut rep = Report::new(&headers_ref);
-    for &n in args.sweep() {
-        let mut row = vec![n.to_string()];
-        for scheme in CcScheme::NON_PARTITIONED {
-            let r = ycsb_point(SimConfig::new(scheme, n), &ycsb_cfg, &args);
-            row.push(fmt_m(r.txn_per_sec()));
-        }
-        rep.row(row);
-    }
-    rep.print("Fig 9a — Write-intensive YCSB, theta=0.6 (Mtxn/s)");
-    rep.write_csv("fig09a");
+    let rep = scheme_tput_report(
+        "cores",
+        args.sweep(),
+        &CcScheme::NON_PARTITIONED,
+        |n| n.to_string(),
+        |n, scheme| ycsb_point(SimConfig::new(scheme, n), &ycsb_cfg, &args),
+    );
+    emit_table(
+        &rep,
+        "Fig 9a — Write-intensive YCSB, theta=0.6 (Mtxn/s)",
+        "fig09a",
+    );
 
     let at = if args.quick {
         *args.sweep().last().unwrap()
     } else {
         512
     };
-    let mut brk = Report::new(&[
-        "scheme", "useful", "abort", "ts_alloc", "index", "wait", "manager",
-    ]);
-    for scheme in CcScheme::NON_PARTITIONED {
-        let r = ycsb_point(SimConfig::new(scheme, at), &ycsb_cfg, &args);
-        let mut row = vec![scheme.to_string()];
-        row.extend(breakdown_cells(&r));
-        brk.row(row);
-    }
-    brk.print(&format!(
-        "Fig 9b — time breakdown at {at} cores (fractions)"
-    ));
-    brk.write_csv("fig09b");
+    let brk = breakdown_report(&CcScheme::NON_PARTITIONED, |scheme| {
+        ycsb_point(SimConfig::new(scheme, at), &ycsb_cfg, &args)
+    });
+    emit_table(
+        &brk,
+        &format!("Fig 9b — time breakdown at {at} cores (fractions)"),
+        "fig09b",
+    );
 }

@@ -3,7 +3,8 @@
 //! Write-intensive YCSB, theta 0 → 0.9. Below theta ≈ 0.6 skew barely
 //! matters; above it every scheme's throughput collapses toward zero.
 
-use abyss_bench::{fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_bench::paper_figs::{emit_table, scheme_tput_report};
+use abyss_bench::{ycsb_point, HarnessArgs};
 use abyss_common::CcScheme;
 use abyss_sim::SimConfig;
 use abyss_workload::ycsb::YcsbConfig;
@@ -16,20 +17,19 @@ fn main() {
         &[0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
     };
 
-    let mut headers = vec!["theta".to_string()];
-    headers.extend(CcScheme::NON_PARTITIONED.iter().map(|s| s.to_string()));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-
-    let mut rep = Report::new(&headers_ref);
-    for &theta in thetas {
-        let ycsb_cfg = YcsbConfig::write_intensive(theta);
-        let mut row = vec![format!("{theta:.1}")];
-        for scheme in CcScheme::NON_PARTITIONED {
-            let r = ycsb_point(SimConfig::new(scheme, 64), &ycsb_cfg, &args);
-            row.push(fmt_m(r.txn_per_sec()));
-        }
-        rep.row(row);
-    }
-    rep.print("Fig 11 — contention sweep at 64 cores (Mtxn/s)");
-    rep.write_csv("fig11");
+    let rep = scheme_tput_report(
+        "theta",
+        thetas,
+        &CcScheme::NON_PARTITIONED,
+        |theta| format!("{theta:.1}"),
+        |theta, scheme| {
+            let ycsb_cfg = YcsbConfig::write_intensive(theta);
+            ycsb_point(SimConfig::new(scheme, 64), &ycsb_cfg, &args)
+        },
+    );
+    emit_table(
+        &rep,
+        "Fig 11 — contention sweep at 64 cores (Mtxn/s)",
+        "fig11",
+    );
 }

@@ -6,7 +6,8 @@
 //! access instead of sixteen); long transactions expose DL_DETECT's
 //! thrashing. Panel (b): breakdown at transaction length 1.
 
-use abyss_bench::{breakdown_cells, fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_bench::paper_figs::{breakdown_report, emit_table, series_report};
+use abyss_bench::{fmt_m, ycsb_point, HarnessArgs};
 use abyss_common::CcScheme;
 use abyss_sim::SimConfig;
 use abyss_workload::ycsb::YcsbConfig;
@@ -20,41 +21,36 @@ fn main() {
     };
     let cores = if args.quick { 64 } else { 512 };
 
-    let mut headers = vec!["reqs/txn".to_string()];
-    headers.extend(CcScheme::NON_PARTITIONED.iter().map(|s| s.to_string()));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rep = series_report(
+        "reqs/txn",
+        lengths,
+        &CcScheme::NON_PARTITIONED,
+        |len| len.to_string(),
+        |s| s.to_string(),
+        |len, scheme| {
+            let ycsb_cfg = YcsbConfig {
+                reqs_per_txn: len,
+                ..YcsbConfig::write_intensive(0.6)
+            };
+            fmt_m(ycsb_point(SimConfig::new(scheme, cores), &ycsb_cfg, &args).tuples_per_sec())
+        },
+    );
+    emit_table(
+        &rep,
+        &format!("Fig 12a — tuples/s (M) vs transaction length, {cores} cores"),
+        "fig12a",
+    );
 
-    let mut rep = Report::new(&headers_ref);
-    for &len in lengths {
-        let ycsb_cfg = YcsbConfig {
-            reqs_per_txn: len,
-            ..YcsbConfig::write_intensive(0.6)
-        };
-        let mut row = vec![len.to_string()];
-        for scheme in CcScheme::NON_PARTITIONED {
-            let r = ycsb_point(SimConfig::new(scheme, cores), &ycsb_cfg, &args);
-            row.push(fmt_m(r.tuples_per_sec()));
-        }
-        rep.row(row);
-    }
-    rep.print(&format!(
-        "Fig 12a — tuples/s (M) vs transaction length, {cores} cores"
-    ));
-    rep.write_csv("fig12a");
-
-    let mut brk = Report::new(&[
-        "scheme", "useful", "abort", "ts_alloc", "index", "wait", "manager",
-    ]);
     let one = YcsbConfig {
         reqs_per_txn: 1,
         ..YcsbConfig::write_intensive(0.6)
     };
-    for scheme in CcScheme::NON_PARTITIONED {
-        let r = ycsb_point(SimConfig::new(scheme, cores), &one, &args);
-        let mut row = vec![scheme.to_string()];
-        row.extend(breakdown_cells(&r));
-        brk.row(row);
-    }
-    brk.print("Fig 12b — time breakdown at transaction length 1 (fractions)");
-    brk.write_csv("fig12b");
+    let brk = breakdown_report(&CcScheme::NON_PARTITIONED, |scheme| {
+        ycsb_point(SimConfig::new(scheme, cores), &one, &args)
+    });
+    emit_table(
+        &brk,
+        "Fig 12b — time breakdown at transaction length 1 (fractions)",
+        "fig12b",
+    );
 }

@@ -4,7 +4,8 @@
 //! read-mostly mixes (non-blocking reads against older versions);
 //! TIMESTAMP and OCC trail from read copies.
 
-use abyss_bench::{fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_bench::paper_figs::{emit_table, scheme_tput_report};
+use abyss_bench::{ycsb_point, HarnessArgs};
 use abyss_common::CcScheme;
 use abyss_sim::SimConfig;
 use abyss_workload::ycsb::YcsbConfig;
@@ -17,24 +18,23 @@ fn main() {
         &[0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0]
     };
 
-    let mut headers = vec!["read_pct".to_string()];
-    headers.extend(CcScheme::NON_PARTITIONED.iter().map(|s| s.to_string()));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-
-    let mut rep = Report::new(&headers_ref);
-    for &read_pct in mixes {
-        let ycsb_cfg = YcsbConfig {
-            read_pct,
-            theta: 0.8,
-            ..YcsbConfig::default()
-        };
-        let mut row = vec![format!("{:.0}%", read_pct * 100.0)];
-        for scheme in CcScheme::NON_PARTITIONED {
-            let r = ycsb_point(SimConfig::new(scheme, 64), &ycsb_cfg, &args);
-            row.push(fmt_m(r.txn_per_sec()));
-        }
-        rep.row(row);
-    }
-    rep.print("Fig 13 — read/write mixture at 64 cores, theta=0.8 (Mtxn/s)");
-    rep.write_csv("fig13");
+    let rep = scheme_tput_report(
+        "read_pct",
+        mixes,
+        &CcScheme::NON_PARTITIONED,
+        |read_pct| format!("{:.0}%", read_pct * 100.0),
+        |read_pct, scheme| {
+            let ycsb_cfg = YcsbConfig {
+                read_pct,
+                theta: 0.8,
+                ..YcsbConfig::default()
+            };
+            ycsb_point(SimConfig::new(scheme, 64), &ycsb_cfg, &args)
+        },
+    );
+    emit_table(
+        &rep,
+        "Fig 13 — read/write mixture at 64 cores, theta=0.8 (Mtxn/s)",
+        "fig13",
+    );
 }

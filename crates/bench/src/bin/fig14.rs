@@ -5,7 +5,8 @@
 //! per-tuple scheme up to ~800 cores, then its timestamp allocation
 //! catches up with it.
 
-use abyss_bench::{fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_bench::paper_figs::{emit_table, scheme_tput_report};
+use abyss_bench::{ycsb_point, HarnessArgs};
 use abyss_common::CcScheme;
 use abyss_sim::SimConfig;
 use abyss_workload::ycsb::YcsbConfig;
@@ -13,14 +14,12 @@ use abyss_workload::ycsb::YcsbConfig;
 fn main() {
     let args = HarnessArgs::parse();
 
-    let mut headers = vec!["cores".to_string()];
-    headers.extend(CcScheme::ALL.iter().map(|s| s.to_string()));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-
-    let mut rep = Report::new(&headers_ref);
-    for &n in args.sweep() {
-        let mut row = vec![n.to_string()];
-        for scheme in CcScheme::ALL {
+    let rep = scheme_tput_report(
+        "cores",
+        args.sweep(),
+        &CcScheme::ALL,
+        |n| n.to_string(),
+        |n, scheme| {
             let ycsb_cfg = YcsbConfig {
                 parts: if scheme == CcScheme::HStore { n } else { 1 },
                 multi_part_pct: 0.0,
@@ -30,11 +29,12 @@ fn main() {
             if scheme == CcScheme::HStore {
                 sim.hstore_parts = n;
             }
-            let r = ycsb_point(sim, &ycsb_cfg, &args);
-            row.push(fmt_m(r.txn_per_sec()));
-        }
-        rep.row(row);
-    }
-    rep.print("Fig 14 — partitioned YCSB, single-partition txns (Mtxn/s)");
-    rep.write_csv("fig14");
+            ycsb_point(sim, &ycsb_cfg, &args)
+        },
+    );
+    emit_table(
+        &rep,
+        "Fig 14 — partitioned YCSB, single-partition txns (Mtxn/s)",
+        "fig14",
+    );
 }

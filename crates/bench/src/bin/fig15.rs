@@ -5,7 +5,8 @@
 //! distinguish); (b) 10% multi-partition transactions touching 1–16
 //! partitions across rising core counts.
 
-use abyss_bench::{fmt_m, ycsb_point, HarnessArgs, Report};
+use abyss_bench::paper_figs::{emit_table, series_report};
+use abyss_bench::{fmt_m, ycsb_point, HarnessArgs};
 use abyss_common::CcScheme;
 use abyss_sim::SimConfig;
 use abyss_workload::ycsb::YcsbConfig;
@@ -19,10 +20,13 @@ fn main() {
     } else {
         &[0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
     };
-    let mut rep_a = Report::new(&["mpt_pct", "readonly", "readwrite"]);
-    for &pct in pcts {
-        let mut row = vec![format!("{:.0}%", pct * 100.0)];
-        for read_only in [true, false] {
+    let rep_a = series_report(
+        "mpt_pct",
+        pcts,
+        &[true, false],
+        |pct| format!("{:.0}%", pct * 100.0),
+        |read_only| if read_only { "readonly" } else { "readwrite" }.to_string(),
+        |pct, read_only| {
             let ycsb_cfg = YcsbConfig {
                 parts: 64,
                 multi_part_pct: pct,
@@ -32,13 +36,14 @@ fn main() {
             };
             let mut sim = SimConfig::new(CcScheme::HStore, 64);
             sim.hstore_parts = 64;
-            let r = ycsb_point(sim, &ycsb_cfg, &args);
-            row.push(fmt_m(r.txn_per_sec()));
-        }
-        rep_a.row(row);
-    }
-    rep_a.print("Fig 15a — multi-partition % at 64 cores, H-STORE (Mtxn/s)");
-    rep_a.write_csv("fig15a");
+            fmt_m(ycsb_point(sim, &ycsb_cfg, &args).txn_per_sec())
+        },
+    );
+    emit_table(
+        &rep_a,
+        "Fig 15a — multi-partition % at 64 cores, H-STORE (Mtxn/s)",
+        "fig15a",
+    );
 
     // Panel (b): partitions per transaction across core counts.
     let ppt: &[u32] = if args.quick {
@@ -46,14 +51,14 @@ fn main() {
     } else {
         &[1, 2, 4, 8, 16]
     };
-    let mut headers = vec!["cores".to_string()];
-    headers.extend(ppt.iter().map(|p| format!("part={p}")));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut rep_b = Report::new(&headers_ref);
     let sweep: Vec<u32> = args.sweep().iter().copied().filter(|&n| n >= 16).collect();
-    for &n in &sweep {
-        let mut row = vec![n.to_string()];
-        for &p in ppt {
+    let rep_b = series_report(
+        "cores",
+        &sweep,
+        ppt,
+        |n| n.to_string(),
+        |p| format!("part={p}"),
+        |n, p| {
             let ycsb_cfg = YcsbConfig {
                 parts: n,
                 multi_part_pct: if p == 1 { 0.0 } else { 0.1 },
@@ -62,11 +67,12 @@ fn main() {
             };
             let mut sim = SimConfig::new(CcScheme::HStore, n);
             sim.hstore_parts = n;
-            let r = ycsb_point(sim, &ycsb_cfg, &args);
-            row.push(fmt_m(r.txn_per_sec()));
-        }
-        rep_b.row(row);
-    }
-    rep_b.print("Fig 15b — partitions per txn (10% MPT), H-STORE (Mtxn/s)");
-    rep_b.write_csv("fig15b");
+            fmt_m(ycsb_point(sim, &ycsb_cfg, &args).txn_per_sec())
+        },
+    );
+    emit_table(
+        &rep_b,
+        "Fig 15b — partitions per txn (10% MPT), H-STORE (Mtxn/s)",
+        "fig15b",
+    );
 }

@@ -5,10 +5,11 @@
 //! NewOrder moving (writes don't block reads); H-STORE idles all but four
 //! partitions' worth of workers.
 
-use abyss_bench::{fmt_m, tpcc_point, HarnessArgs, Report};
+use abyss_bench::paper_figs::{emit_table, tpcc_panels};
+use abyss_bench::{tpcc_point, HarnessArgs};
 use abyss_common::CcScheme;
 use abyss_sim::SimConfig;
-use abyss_workload::tpcc::{TpccConfig, TAG_NEW_ORDER, TAG_PAYMENT};
+use abyss_workload::tpcc::TpccConfig;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -18,31 +19,14 @@ fn main() {
         ..TpccConfig::default()
     };
 
-    let mut headers = vec!["cores".to_string()];
-    headers.extend(CcScheme::ALL.iter().map(|s| s.to_string()));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-
-    let mut total = Report::new(&headers_ref);
-    let mut payment = Report::new(&headers_ref);
-    let mut neworder = Report::new(&headers_ref);
-    for &n in &sweep {
-        let mut t = vec![n.to_string()];
-        let mut p = vec![n.to_string()];
-        let mut o = vec![n.to_string()];
-        for scheme in CcScheme::ALL {
-            let r = tpcc_point(SimConfig::new(scheme, n), &tpcc_cfg, &args);
-            t.push(fmt_m(r.txn_per_sec()));
-            p.push(fmt_m(r.tagged_txn_per_sec(TAG_PAYMENT)));
-            o.push(fmt_m(r.tagged_txn_per_sec(TAG_NEW_ORDER)));
-        }
-        total.row(t);
-        payment.row(p);
-        neworder.row(o);
-    }
-    total.print("Fig 16a — TPC-C 4 warehouses, Payment+NewOrder (Mtxn/s)");
-    total.write_csv("fig16a");
-    payment.print("Fig 16b — Payment only (Mtxn/s)");
-    payment.write_csv("fig16b");
-    neworder.print("Fig 16c — NewOrder only (Mtxn/s)");
-    neworder.write_csv("fig16c");
+    let (total, payment, neworder) = tpcc_panels(&sweep, &CcScheme::ALL, |n, scheme| {
+        tpcc_point(SimConfig::new(scheme, n), &tpcc_cfg, &args)
+    });
+    emit_table(
+        &total,
+        "Fig 16a — TPC-C 4 warehouses, Payment+NewOrder (Mtxn/s)",
+        "fig16a",
+    );
+    emit_table(&payment, "Fig 16b — Payment only (Mtxn/s)", "fig16b");
+    emit_table(&neworder, "Fig 16c — NewOrder only (Mtxn/s)", "fig16c");
 }

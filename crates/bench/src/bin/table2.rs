@@ -5,6 +5,7 @@
 //! dominates its lost time — the measured counterpart of the paper's
 //! qualitative table.
 
+use abyss_bench::paper_figs::emit_table;
 use abyss_bench::{fmt_m, ycsb_point, HarnessArgs, Report};
 use abyss_common::stats::Category;
 use abyss_common::CcScheme;
@@ -53,8 +54,9 @@ fn main() {
             format!("{:.2}", rh.stats.abort_rate()),
         ]);
     }
-    rep.print(&format!(
-        "Table 2 — measured bottleneck summary at {cores} cores"
-    ));
-    rep.write_csv("table2");
+    emit_table(
+        &rep,
+        &format!("Table 2 — measured bottleneck summary at {cores} cores"),
+        "table2",
+    );
 }

@@ -23,8 +23,9 @@
 //! `results/fig_breakdown.prom` (CI parses the histogram lines).
 
 use std::io::Write as _;
-use std::time::Duration;
 
+use crate::harness::emit::Envelope;
+use crate::harness::Windows;
 use crate::{fig_durability::engine_workers, fmt_m, tpcc_point, ycsb_point, HarnessArgs, Report};
 use abyss_common::zipf::ZipfGen;
 use abyss_common::{CcScheme, Phase, PhaseBreakdown, TxnTemplate};
@@ -154,12 +155,8 @@ fn engine_stack(scheme: CcScheme, theta: f64, args: &HarnessArgs) -> (Stack, Str
             Box::new(move || g.next_txn()) as Box<dyn FnMut() -> TxnTemplate + Send>
         })
         .collect();
-    let (warm, meas) = if args.quick {
-        (Duration::from_millis(40), Duration::from_millis(150))
-    } else {
-        (Duration::from_millis(150), Duration::from_millis(600))
-    };
-    let out = run_workers(&db, gens, warm, meas);
+    let w = Windows::engine(args.quick);
+    let out = run_workers(&db, gens, w.warmup, w.measure);
     let prom = db
         .metrics_snapshot()
         .with_run_stats(&out.stats)
@@ -168,7 +165,7 @@ fn engine_stack(scheme: CcScheme, theta: f64, args: &HarnessArgs) -> (Stack, Str
         scheme,
         workload: "ycsb",
         theta: Some(theta),
-        txn_per_sec: out.stats.commits as f64 / meas.as_secs_f64(),
+        txn_per_sec: out.txn_per_sec(),
         phases: out.stats.phase_ns,
     };
     (stack, prom)
@@ -222,44 +219,48 @@ pub fn run() {
     ));
     rep.write_csv("fig_breakdown_engine");
 
-    // ---- JSON + Prometheus artifacts ----------------------------------
-    let json = format!(
-        "{{\"figure\":\"fig_breakdown\",\"phases\":[{}],\"thetas\":[{}],\
-         \"sim\":{{\"cores\":{sim_cores},\"series\":[{}]}},\
-         \"engine\":{{\"workers\":{},\"series\":[{}]}}}}",
-        Phase::ALL
-            .iter()
-            .map(|p| format!("\"{}\"", p.key()))
-            .collect::<Vec<_>>()
-            .join(","),
-        THETAS
-            .iter()
-            .map(|t| format!("{t:.1}"))
-            .collect::<Vec<_>>()
-            .join(","),
-        sim_series
-            .iter()
-            .map(Stack::json)
-            .collect::<Vec<_>>()
-            .join(","),
-        engine_workers(),
-        engine_series
-            .iter()
-            .map(Stack::json)
-            .collect::<Vec<_>>()
-            .join(","),
-    );
-    println!("\n{json}");
-    if std::fs::create_dir_all("results").is_ok() {
-        if let Ok(mut f) = std::fs::File::create("results/fig_breakdown.json") {
-            let _ = writeln!(f, "{json}");
-            println!("  [json] results/fig_breakdown.json");
-        }
-        if !prom_sample.is_empty() {
-            if let Ok(mut f) = std::fs::File::create("results/fig_breakdown.prom") {
-                let _ = f.write_all(prom_sample.as_bytes());
-                println!("  [prom] results/fig_breakdown.prom");
-            }
+    // ---- JSON (shared envelope) + Prometheus artifacts ----------------
+    let phases = Phase::ALL
+        .iter()
+        .map(|p| format!("\"{}\"", p.key()))
+        .collect::<Vec<_>>()
+        .join(",");
+    let thetas = THETAS
+        .iter()
+        .map(|t| format!("{t:.1}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut env = Envelope::new("fig_breakdown");
+    env.meta_raw("phases", &format!("[{phases}]"))
+        .meta_raw("thetas", &format!("[{thetas}]"))
+        .section(
+            "sim",
+            &format!(
+                "{{\"cores\":{sim_cores},\"series\":[{}]}}",
+                sim_series
+                    .iter()
+                    .map(Stack::json)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        )
+        .section(
+            "engine",
+            &format!(
+                "{{\"workers\":{},\"series\":[{}]}}",
+                engine_workers(),
+                engine_series
+                    .iter()
+                    .map(Stack::json)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        );
+    env.write().expect("write results/fig_breakdown.json");
+    if !prom_sample.is_empty() {
+        if let Ok(mut f) = std::fs::File::create("results/fig_breakdown.prom") {
+            let _ = f.write_all(prom_sample.as_bytes());
+            println!("  [prom] results/fig_breakdown.prom");
         }
     }
 }

@@ -27,12 +27,11 @@
 //!   come from the simulator sweep, where the cost model holds the
 //!   workload fixed across modes.
 //!
-//! Output: aligned tables + machine-readable JSON printed to stdout and
-//! written to `results/fig_durability.json`.
+//! Output: aligned tables + `results/fig_durability.json` in the shared
+//! envelope (`ratios`, `sim`, and `engine` sections).
 
-use std::io::Write as _;
-use std::time::Duration;
-
+use crate::harness::emit::Envelope;
+use crate::harness::Windows;
 use crate::{fmt_m, ycsb_sim_tables, HarnessArgs, Report};
 use abyss_common::zipf::ZipfGen;
 use abyss_common::{CcScheme, TxnTemplate};
@@ -160,12 +159,8 @@ fn engine_point(scheme: CcScheme, mode: &'static str, args: &HarnessArgs) -> Eng
             Box::new(move || g.next_txn()) as Box<dyn FnMut() -> TxnTemplate + Send>
         })
         .collect();
-    let (warm, meas) = if args.quick {
-        (Duration::from_millis(40), Duration::from_millis(150))
-    } else {
-        (Duration::from_millis(150), Duration::from_millis(600))
-    };
-    let out = run_workers(&db, gens, warm, meas);
+    let w = Windows::engine(args.quick);
+    let out = run_workers(&db, gens, w.warmup, w.measure);
     let tps = out.txn_per_sec();
     let ack_latency_us = match mode {
         "group" => group_interval_us as f64,
@@ -333,28 +328,24 @@ pub fn run() {
         }),
     )
     .expect("probe db");
-    let json = format!(
-        "{{\"figure\":\"fig_durability\",\"cores\":[{}],\"ratio_basis_cores\":{},\
-         \"ts_method\":\"{}\",\"ts_method_effective\":\"{}\",\
-         \"ratios\":[{}],\"sim\":{{\"series\":[{}]}},\"engine\":{{\"workers\":{},\"series\":[{}]}}}}",
-        sweep
-            .iter()
-            .map(|n| n.to_string())
-            .collect::<Vec<_>>()
-            .join(","),
-        max_cores,
-        ts_probe.config().ts_method,
-        ts_probe.ts_method_effective(),
-        ratios.join(","),
-        sim_json.join(","),
-        engine_workers(),
-        engine_json.join(","),
-    );
-    println!("\n{json}");
-    if std::fs::create_dir_all("results").is_ok() {
-        if let Ok(mut f) = std::fs::File::create("results/fig_durability.json") {
-            let _ = writeln!(f, "{json}");
-            println!("  [json] results/fig_durability.json");
-        }
-    }
+    let cores = sweep
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut env = Envelope::new("fig_durability");
+    env.ts_method(ts_probe.config().ts_method)
+        .meta_raw("cores", &format!("[{cores}]"))
+        .meta_num("ratio_basis_cores", f64::from(max_cores))
+        .section("ratios", &format!("{{\"schemes\":[{}]}}", ratios.join(",")))
+        .section("sim", &format!("{{\"series\":[{}]}}", sim_json.join(",")))
+        .section(
+            "engine",
+            &format!(
+                "{{\"workers\":{},\"series\":[{}]}}",
+                engine_workers(),
+                engine_json.join(",")
+            ),
+        );
+    env.write().expect("write results/fig_durability.json");
 }

@@ -8,20 +8,24 @@
 //!
 //! Two sections, like `fig_durability`:
 //!
-//! * **simulator** — the deterministic 1024-core point (64 under
-//!   `--quick`) per scheme × YCSB theta, with commit latency quantiles
-//!   in simulated nanoseconds;
-//! * **real engine** — a multi-threaded host run recording wall-clock
-//!   attempt latency via [`abyss_common::LatencyHisto`] in the worker
-//!   hot path, reporting both the commit and abort distributions.
+//! * **sim** — the deterministic 1024-core point (64 under `--quick`)
+//!   per scheme × YCSB theta, with commit latency quantiles in simulated
+//!   nanoseconds;
+//! * **engine** — a multi-threaded host run recording wall-clock attempt
+//!   latency via [`abyss_common::LatencyHisto`] in the worker hot path,
+//!   reporting both the commit and abort distributions. Each point runs
+//!   [`ENGINE_REPEATS`] times and the histograms are **merged across
+//!   repeats** (`LatencyHisto`'s `AddAssign`), so the reported p999
+//!   reflects every sample taken, not just the final repeat's.
 //!
-//! Output: aligned tables + machine-readable JSON printed to stdout and
-//! written to `results/fig_latency.json`. CI checks every series for
+//! Output: aligned tables + `results/fig_latency.json` in the shared
+//! envelope. CI's `validate_results` checks every distribution for
 //! quantile monotonicity (p50 ≤ p90 ≤ p99 ≤ p999 ≤ max).
 
-use std::io::Write as _;
-use std::time::Duration;
+use std::ops::AddAssign;
 
+use crate::harness::emit::Envelope;
+use crate::harness::{self, Windows};
 use crate::{fig_durability::engine_workers, ycsb_sim_tables, HarnessArgs, Report};
 use abyss_common::zipf::ZipfGen;
 use abyss_common::{CcScheme, LatencyHisto, TxnTemplate};
@@ -43,6 +47,10 @@ pub const SCHEMES: [CcScheme; 4] = [
 /// The contention sweep: uniform, the paper's medium-skew point, and
 /// high skew where the tail decouples from the median.
 pub const THETAS: [f64; 3] = [0.0, 0.6, 0.8];
+
+/// Engine repeats per point (1 under `--quick`); distributions merge
+/// across all of them.
+pub const ENGINE_REPEATS: u32 = 3;
 
 /// One latency distribution, flattened for the report/JSON.
 struct Dist {
@@ -87,6 +95,20 @@ impl Dist {
     }
 }
 
+/// Commit + abort histograms accumulated across engine repeats.
+#[derive(Default)]
+struct HistoPair {
+    commit: LatencyHisto,
+    abort: LatencyHisto,
+}
+
+impl AddAssign for HistoPair {
+    fn add_assign(&mut self, rhs: Self) {
+        self.commit += &rhs.commit;
+        self.abort += &rhs.abort;
+    }
+}
+
 fn sim_point(scheme: CcScheme, theta: f64, cores: u32, args: &HarnessArgs) -> (Dist, Dist) {
     let mut sim = SimConfig::new(scheme, cores);
     args.configure(&mut sim);
@@ -102,6 +124,8 @@ fn sim_point(scheme: CcScheme, theta: f64, cores: u32, args: &HarnessArgs) -> (D
     )
 }
 
+/// One engine configuration point: repeats × timed runs, histograms
+/// merged across every repeat.
 fn engine_point(scheme: CcScheme, theta: f64, args: &HarnessArgs) -> (Dist, Dist) {
     let workers = engine_workers();
     let rows: u64 = if args.quick { 4_000 } else { 20_000 };
@@ -112,32 +136,37 @@ fn engine_point(scheme: CcScheme, theta: f64, args: &HarnessArgs) -> (Dist, Dist
     if scheme == CcScheme::HStore {
         cfg.parts = workers;
     }
-    let mut cat = Catalog::new();
-    cat.add_table("usertable", Schema::key_plus_payload(2, 8), rows * 2);
-    let db = Database::new(EngineConfig::new(scheme, workers), cat).expect("engine config");
-    db.load_table(ycsb::YCSB_TABLE, 0..rows, |s, r, k| {
-        abyss_storage::row::set_u64(s, r, 0, k);
-        abyss_storage::row::set_u64(s, r, 1, k ^ 0xBEEF);
-    })
-    .expect("load");
-    let zipf = ZipfGen::new(cfg.table_rows, cfg.theta);
-    let gens: Vec<Box<dyn FnMut() -> TxnTemplate + Send>> = (0..workers)
-        .map(|w| {
-            let mut g = YcsbGen::with_zipf(cfg.clone(), zipf.clone(), 0xA1 ^ (u64::from(w) << 20))
-                .for_worker(w);
-            Box::new(move || g.next_txn()) as Box<dyn FnMut() -> TxnTemplate + Send>
+    let repeats = if args.quick { 1 } else { ENGINE_REPEATS };
+    let w = Windows::engine(args.quick);
+    let (merged, _tput) = harness::repeat(repeats, |_round| {
+        let mut cat = Catalog::new();
+        cat.add_table("usertable", Schema::key_plus_payload(2, 8), rows * 2);
+        let db = Database::new(EngineConfig::new(scheme, workers), cat).expect("engine config");
+        db.load_table(ycsb::YCSB_TABLE, 0..rows, |s, r, k| {
+            abyss_storage::row::set_u64(s, r, 0, k);
+            abyss_storage::row::set_u64(s, r, 1, k ^ 0xBEEF);
         })
-        .collect();
-    let (warm, meas) = if args.quick {
-        (Duration::from_millis(40), Duration::from_millis(150))
-    } else {
-        (Duration::from_millis(150), Duration::from_millis(600))
-    };
-    let out = run_workers(&db, gens, warm, meas);
-    (
-        Dist::of(&out.stats.commit_latency),
-        Dist::of(&out.stats.abort_latency),
-    )
+        .expect("load");
+        let zipf = ZipfGen::new(cfg.table_rows, cfg.theta);
+        let gens: Vec<Box<dyn FnMut() -> TxnTemplate + Send>> = (0..workers)
+            .map(|wk| {
+                let mut g =
+                    YcsbGen::with_zipf(cfg.clone(), zipf.clone(), 0xA1 ^ (u64::from(wk) << 20))
+                        .for_worker(wk);
+                Box::new(move || g.next_txn()) as Box<dyn FnMut() -> TxnTemplate + Send>
+            })
+            .collect();
+        let out = run_workers(&db, gens, w.warmup, w.measure);
+        let tput = out.txn_per_sec();
+        (
+            HistoPair {
+                commit: out.stats.commit_latency,
+                abort: out.stats.abort_latency,
+            },
+            tput,
+        )
+    });
+    (Dist::of(&merged.commit), Dist::of(&merged.abort))
 }
 
 /// Run the full fig_latency experiment (parses CLI args itself).
@@ -171,7 +200,8 @@ pub fn run() {
     ));
     rep.write_csv("fig_latency_sim");
 
-    // ---- real engine (wall-clock ns) ----------------------------------
+    // ---- real engine (wall-clock ns, merged across repeats) -----------
+    let repeats = if args.quick { 1 } else { ENGINE_REPEATS };
     let mut engine_json: Vec<String> = Vec::new();
     let mut rep = Report::new(&headers);
     for &scheme in &SCHEMES {
@@ -189,23 +219,23 @@ pub fn run() {
         }
     }
     rep.print(&format!(
-        "fig_latency engine — YCSB 50/50, {} workers (commit latency, wall ns)",
+        "fig_latency engine — YCSB 50/50, {} workers × {repeats} repeats (commit latency, wall ns)",
         engine_workers()
     ));
     rep.write_csv("fig_latency_engine");
 
-    let json = format!(
-        "{{\"figure\":\"fig_latency\",\"sim_cores\":{sim_cores},\
-         \"sim\":{{\"series\":[{}]}},\"engine\":{{\"workers\":{},\"series\":[{}]}}}}",
-        sim_json.join(","),
-        engine_workers(),
-        engine_json.join(","),
-    );
-    println!("\n{json}");
-    if std::fs::create_dir_all("results").is_ok() {
-        if let Ok(mut f) = std::fs::File::create("results/fig_latency.json") {
-            let _ = writeln!(f, "{json}");
-            println!("  [json] results/fig_latency.json");
-        }
-    }
+    let mut env = Envelope::new("fig_latency");
+    env.meta_num("sim_cores", f64::from(sim_cores))
+        .meta_num("engine_workers", f64::from(engine_workers()))
+        .meta_num("engine_repeats", f64::from(repeats))
+        .section("sim", &format!("{{\"series\":[{}]}}", sim_json.join(",")))
+        .section(
+            "engine",
+            &format!(
+                "{{\"workers\":{},\"repeats\":{repeats},\"series\":[{}]}}",
+                engine_workers(),
+                engine_json.join(",")
+            ),
+        );
+    env.write().expect("write results/fig_latency.json");
 }

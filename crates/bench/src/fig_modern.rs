@@ -14,11 +14,10 @@
 //!   Fig. 17), Payment + NewOrder.
 //!
 //! Output: aligned tables + `results/fig_modern*.csv` like every other
-//! figure binary, plus a machine-readable JSON comparison printed to
-//! stdout and written to `results/fig_modern.json`.
+//! figure binary, plus `results/fig_modern.json` in the shared envelope
+//! (one section per workload).
 
-use std::io::Write as _;
-
+use crate::harness::emit::Envelope;
 use crate::{fmt_m, tpcc_point, ycsb_point, HarnessArgs, Report};
 use abyss_common::CcScheme;
 use abyss_sim::{SimConfig, SimReport};
@@ -113,34 +112,23 @@ pub fn run() {
     tpcc_rep.print("fig_modern b — TPC-C 1 warehouse/core, classic vs SILO/TICTOC (Mtxn/s)");
     tpcc_rep.write_csv("fig_modern_tpcc");
 
-    // ---- JSON comparison ---------------------------------------------
-    let workload_json = |name: &str, series: &[Vec<Point>]| {
+    // ---- JSON comparison (shared envelope, one section per workload) --
+    let workload_body = |series: &[Vec<Point>]| {
         let s: Vec<String> = schemes
             .iter()
             .zip(series)
             .map(|(&scheme, pts)| series_json(scheme, pts))
             .collect();
-        format!(
-            "{{\"workload\":{},\"series\":[{}]}}",
-            json_str(name),
-            s.join(",")
-        )
+        format!("{{\"series\":[{}]}}", s.join(","))
     };
-    let json = format!(
-        "{{\"figure\":\"fig_modern\",\"cores\":[{}],\"workloads\":[{},{}]}}",
-        sweep
-            .iter()
-            .map(|n| n.to_string())
-            .collect::<Vec<_>>()
-            .join(","),
-        workload_json("ycsb_theta_0.6", &ycsb_series),
-        workload_json("tpcc_wh_per_core", &tpcc_series),
-    );
-    println!("\n{json}");
-    if std::fs::create_dir_all("results").is_ok() {
-        if let Ok(mut f) = std::fs::File::create("results/fig_modern.json") {
-            let _ = writeln!(f, "{json}");
-            println!("  [json] results/fig_modern.json");
-        }
-    }
+    let cores = sweep
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut env = Envelope::new("fig_modern");
+    env.meta_raw("cores", &format!("[{cores}]"))
+        .section("ycsb_theta_0.6", &workload_body(&ycsb_series))
+        .section("tpcc_wh_per_core", &workload_body(&tpcc_series));
+    env.write().expect("write results/fig_modern.json");
 }

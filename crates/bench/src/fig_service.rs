@@ -12,23 +12,31 @@
 //! The experiment:
 //!
 //! 1. **Peak** — a closed-loop [`run_workers`] run over the same YCSB
-//!    read/update templates fixes the engine's saturation throughput.
+//!    read/update templates fixes the engine's saturation throughput
+//!    (uniform [`Windows::engine`] warmup/measure).
 //! 2. **Sweep** — an open-loop [`TxnService`] run per offered-load
-//!    fraction of that peak (under to 2× over). Producer threads pace
-//!    submissions in 1 ms ticks, 10% high- / 90% low-priority, with
-//!    non-blocking admission and depth-based shedding enabled.
+//!    fraction of that peak (under to 2× over). Producer threads are a
+//!    harness [`BenchSpec`] driven by [`harness::run_timed`]: every
+//!    producer starts on the barrier edge, paces submissions through the
+//!    harness [`Pacer`] (1 ms ticks, bounded catch-up), and stops on the
+//!    runner's stop edge — the measured wall is the flag window, not any
+//!    per-thread clock. 10% high- / 90% low-priority, non-blocking
+//!    admission, depth-based shedding enabled.
 //!
 //! Reported per point: achieved committed throughput, shed rate, and the
 //! per-priority queue-to-ack quantiles from the service's merged
-//! [`abyss_common::RunStats`]. CI asserts quantile monotonicity, zero
-//! shedding far below saturation, and nonzero shedding at 2× overload.
+//! [`abyss_common::RunStats`]. CI asserts quantile monotonicity and that
+//! the admission counters reconcile (accepted + shed + queue_full ==
+//! submitted) via `validate_results`.
 //!
-//! Output: aligned table + JSON to stdout and `results/fig_service.json`.
+//! Output: aligned table + `results/fig_service.json` in the shared
+//! envelope (one `sweep` section).
 
-use std::io::Write as _;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use crate::harness::emit::Envelope;
+use crate::harness::{self, BenchContext, BenchSpec, Pacer, PinPolicy, Windows};
 use crate::{fig_durability::engine_workers, harness_rng, HarnessArgs, Report};
 use abyss_common::rng::Xoshiro256;
 use abyss_common::{CcScheme, LatencyHisto, Priority, TxnTemplate};
@@ -57,6 +65,12 @@ const ROWS: u64 = 16 * 1024;
 const HIGH_PCT: f64 = 0.10;
 /// Producer pacing tick.
 const TICK: Duration = Duration::from_millis(1);
+/// Open-loop measured window per swept point. Longer than the closed-loop
+/// [`Windows::engine`] measure: shed-rate estimates need enough ticks
+/// past the queue's fill transient to stabilize.
+const SERVICE_MEASURE: Duration = Duration::from_millis(800);
+/// Open-loop window under `--quick`.
+const SERVICE_MEASURE_QUICK: Duration = Duration::from_millis(250);
 
 /// One latency distribution, flattened for the report/JSON.
 struct Dist {
@@ -165,12 +179,8 @@ fn closed_loop_peak(args: &HarnessArgs) -> f64 {
                 as Box<dyn FnMut() -> TxnTemplate + Send>
         })
         .collect();
-    let (warm, meas) = if args.quick {
-        (Duration::from_millis(30), Duration::from_millis(120))
-    } else {
-        (Duration::from_millis(100), Duration::from_millis(400))
-    };
-    run_workers(&db, gens, warm, meas).txn_per_sec()
+    let w = Windows::engine(args.quick);
+    run_workers(&db, gens, w.warmup, w.measure).txn_per_sec()
 }
 
 /// The stored-procedure registry the service runs: everything
@@ -183,11 +193,76 @@ pub fn registry() -> ProcRegistry {
     reg
 }
 
+/// Per-producer tally, merged across threads by the harness.
+#[derive(Default, Clone, Copy)]
+struct ProducerCounts {
+    submitted: u64,
+    queue_full: u64,
+}
+
+impl std::ops::AddAssign for ProducerCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        self.submitted += rhs.submitted;
+        self.queue_full += rhs.queue_full;
+    }
+}
+
+/// The open-loop producer pool as a harness spec: each thread paces
+/// submissions into the service until the runner's stop edge.
+/// `rate = None` submits flat-out (no pacing) — the calibration run that
+/// measures the service's own saturation throughput under the same
+/// producer CPU load the paced points experience.
+struct Producers<'a> {
+    svc: &'a TxnService,
+    ycsb: abyss_core::ProcId,
+    /// Total offered rate (submissions/sec), split evenly across threads.
+    rate: Option<f64>,
+}
+
+impl BenchSpec for Producers<'_> {
+    type Result = ProducerCounts;
+
+    fn run(&self, ctx: &mut BenchContext<'_>) -> ProducerCounts {
+        let mut rng = harness_rng(0xFACE ^ (u64::from(ctx.thread_id) << 24));
+        let mut scratch = Vec::new();
+        ctx.wait_for_start();
+        // The pacer anchors to the barrier edge: every producer's first
+        // tick boundary lands one TICK after the group released together.
+        let mut pacer = self
+            .rate
+            .map(|r| Pacer::new(r / f64::from(ctx.threads), TICK));
+        let mut out = ProducerCounts::default();
+        while ctx.is_running() {
+            let batch = match pacer.as_mut() {
+                Some(p) => p.next_batch(),
+                // Flat-out: a tick's worth back-to-back, then yield so
+                // the drain workers run.
+                None => 256,
+            };
+            for _ in 0..batch {
+                let prio = if rng.chance(HIGH_PCT) {
+                    Priority::High
+                } else {
+                    Priority::Low
+                };
+                let args = draw_args(&mut rng, &mut scratch);
+                out.submitted += 1;
+                match self.svc.submit_id(self.ycsb, &args, prio) {
+                    Ok(_) => {}
+                    Err(abyss_core::SubmitError::QueueFull) => out.queue_full += 1,
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+            if pacer.is_none() {
+                std::thread::yield_now();
+            }
+        }
+        out
+    }
+}
+
 /// One open-loop point: pace `offered` submissions/sec across `producers`
 /// threads for `measure`, then drain and collect the merged stats.
-/// `offered = None` submits flat-out (no pacing) — the calibration run
-/// that measures the service's own saturation throughput under the same
-/// producer CPU load the paced points experience.
 fn service_point(offered: Option<f64>, producers: u32, measure: Duration) -> ServicePoint {
     let workers = engine_workers();
     let db = build_db(workers);
@@ -198,85 +273,30 @@ fn service_point(offered: Option<f64>, producers: u32, measure: Duration) -> Ser
         producer_hint: producers,
         ..ServeConfig::default()
     };
-    let svc = Arc::new(TxnService::start(db, registry(), cfg));
+    let svc = TxnService::start(db, registry(), cfg);
     let ycsb = svc
         .proc_id(procs::PROC_YCSB_RMW)
         .expect("ycsb_rmw registered");
 
-    let started = Instant::now();
-    let mut counters = Vec::new();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for p in 0..producers {
-            let svc = Arc::clone(&svc);
-            let per_tick = offered.map(|r| r * TICK.as_secs_f64() / f64::from(producers));
-            handles.push(s.spawn(move || {
-                let mut rng = harness_rng(0xFACE ^ (u64::from(p) << 24));
-                let mut scratch = Vec::new();
-                // Fractional-budget pacing: accumulate per_tick each tick,
-                // submit the integer part, carry the remainder. Unpaced
-                // producers submit a full tick's worth back-to-back.
-                let mut budget = 0.0f64;
-                let mut submitted = 0u64;
-                let mut queue_full = 0u64;
-                let mut tick_end = Instant::now() + TICK;
-                while started.elapsed() < measure {
-                    match per_tick {
-                        // Bound schedule catch-up to 4 ticks' worth: an
-                        // oversleeping producer (coarse sleep granularity
-                        // on a loaded box) must not dump an unbounded
-                        // burst that measures the OS scheduler instead of
-                        // the admission controller. `submitted` counts
-                        // what was actually offered either way.
-                        Some(t) => budget = (budget + t).min(4.0 * t.max(1.0)),
-                        None => budget = 256.0,
-                    }
-                    while budget >= 1.0 {
-                        budget -= 1.0;
-                        let prio = if rng.chance(HIGH_PCT) {
-                            Priority::High
-                        } else {
-                            Priority::Low
-                        };
-                        let args = draw_args(&mut rng, &mut scratch);
-                        submitted += 1;
-                        match svc.submit_id(ycsb, &args, prio) {
-                            Ok(_) => {}
-                            Err(abyss_core::SubmitError::QueueFull) => queue_full += 1,
-                            Err(e) => panic!("unexpected submit error: {e}"),
-                        }
-                    }
-                    if per_tick.is_some() {
-                        let now = Instant::now();
-                        if now < tick_end {
-                            std::thread::sleep(tick_end - now);
-                        }
-                        tick_end += TICK;
-                    } else {
-                        // Flat-out: still yield so the drain workers run.
-                        std::thread::yield_now();
-                    }
-                }
-                (submitted, queue_full)
-            }));
-        }
-        counters = handles.into_iter().map(|h| h.join().unwrap()).collect();
-    });
+    let mut spec = Producers {
+        svc: &svc,
+        ycsb,
+        rate: offered,
+    };
+    // Producers stay unpinned: they share cores with the service's drain
+    // workers, and pinning them onto worker cores would measure
+    // placement, not admission.
+    let out = harness::run_timed(&mut spec, producers, measure, PinPolicy::None);
 
     let accepted = svc.accepted();
-    let svc = Arc::into_inner(svc).expect("producers joined");
     let stats = svc.shutdown();
-    let wall = started.elapsed().as_secs_f64();
-
-    let submitted: u64 = counters.iter().map(|c| c.0).sum();
-    let queue_full: u64 = counters.iter().map(|c| c.1).sum();
     ServicePoint {
         offered: offered.unwrap_or(0.0),
-        submitted,
+        submitted: out.merged.submitted,
         accepted,
         shed: stats.sheds.iter().sum(),
-        queue_full,
-        achieved: stats.commits as f64 / wall,
+        queue_full: out.merged.queue_full,
+        achieved: stats.commits as f64 / out.wall.as_secs_f64(),
         high: Dist::of(&stats.queue_ack_latency[Priority::High.idx()]),
         low: Dist::of(&stats.queue_ack_latency[Priority::Low.idx()]),
     }
@@ -289,9 +309,9 @@ pub fn run() {
     let producers: u32 = 2;
     let loads: &[f64] = if args.quick { &LOADS_QUICK } else { &LOADS };
     let measure = if args.quick {
-        Duration::from_millis(250)
+        SERVICE_MEASURE_QUICK
     } else {
-        Duration::from_millis(800)
+        SERVICE_MEASURE
     };
 
     println!("fig_service: calibrating closed-loop peak ({workers} workers)...");
@@ -341,20 +361,14 @@ pub fn run() {
     ));
     rep.write_csv("fig_service");
 
-    let json = format!(
-        "{{\"figure\":\"fig_service\",\"scheme\":\"{}\",\"workers\":{workers},\
-         \"producers\":{producers},\"closed_loop_peak\":{closed_peak:.0},\
-         \"service_peak\":{peak:.0},\"series\":[{}]}}",
-        SCHEME.name(),
-        series.join(",")
-    );
-    println!("\n{json}");
-    if std::fs::create_dir_all("results").is_ok() {
-        if let Ok(mut f) = std::fs::File::create("results/fig_service.json") {
-            let _ = writeln!(f, "{json}");
-            println!("  [json] results/fig_service.json");
-        }
-    }
+    let mut env = Envelope::new("fig_service");
+    env.meta_str("scheme", SCHEME.name())
+        .meta_num("workers", f64::from(workers))
+        .meta_num("producers", f64::from(producers))
+        .meta_num("closed_loop_peak", closed_peak.round())
+        .meta_num("service_peak", peak.round())
+        .section("sweep", &format!("{{\"series\":[{}]}}", series.join(",")));
+    env.write().expect("write results/fig_service.json");
 }
 
 #[cfg(test)]

@@ -13,12 +13,11 @@
 //!   B+-tree height / node count, scan retries) so index regressions show
 //!   up in the perf trajectory.
 //!
-//! Output: aligned tables, plus a machine-readable JSON comparison printed
-//! to stdout and written to `results/fig_ycsbe.json`.
+//! Output: aligned tables, plus `results/fig_ycsbe.json` in the shared
+//! envelope (`sim` and `engine` sections).
 
-use std::io::Write as _;
-use std::time::Duration;
-
+use crate::harness::emit::Envelope;
+use crate::harness::Windows;
 use crate::{fmt_m, ycsb_gens, ycsb_sim_tables, HarnessArgs, Report};
 use abyss_common::zipf::ZipfGen;
 use abyss_common::{CcScheme, RunStats, TxnTemplate};
@@ -114,12 +113,8 @@ fn engine_point(scheme: CcScheme, scan_pct: f64, args: &HarnessArgs) -> EnginePo
             Box::new(move || g.next_txn()) as Box<dyn FnMut() -> TxnTemplate + Send>
         })
         .collect();
-    let (warm, meas) = if args.quick {
-        (Duration::from_millis(40), Duration::from_millis(120))
-    } else {
-        (Duration::from_millis(150), Duration::from_millis(500))
-    };
-    let out = run_workers(&db, gens, warm, meas);
+    let w = Windows::engine(args.quick);
+    let out = run_workers(&db, gens, w.warmup, w.measure);
     let health = db.index_health(ycsb::YCSB_TABLE);
     let btree = health.btree.expect("usertable is ordered");
     let stats: &RunStats = &out.stats;
@@ -253,29 +248,29 @@ pub fn run() {
         ));
     }
 
-    // ---- JSON comparison ---------------------------------------------
-    let json = format!(
-        "{{\"figure\":\"fig_ycsbe\",\"scan_fractions\":[{}],\
-         \"sim\":{{\"cores\":[{}],\"series\":[{}]}},\
-         \"engine\":{{\"workers\":4,\"series\":[{}]}}}}",
-        SCAN_FRACTIONS
-            .iter()
-            .map(|f| f.to_string())
-            .collect::<Vec<_>>()
-            .join(","),
-        sweep
-            .iter()
-            .map(|n| n.to_string())
-            .collect::<Vec<_>>()
-            .join(","),
-        sim_json.join(","),
-        engine_json.join(","),
-    );
-    println!("\n{json}");
-    if std::fs::create_dir_all("results").is_ok() {
-        if let Ok(mut f) = std::fs::File::create("results/fig_ycsbe.json") {
-            let _ = writeln!(f, "{json}");
-            println!("  [json] results/fig_ycsbe.json");
-        }
-    }
+    // ---- JSON comparison (shared envelope) ---------------------------
+    let fractions = SCAN_FRACTIONS
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let cores = sweep
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut env = Envelope::new("fig_ycsbe");
+    env.meta_raw("scan_fractions", &format!("[{fractions}]"))
+        .section(
+            "sim",
+            &format!(
+                "{{\"cores\":[{cores}],\"series\":[{}]}}",
+                sim_json.join(",")
+            ),
+        )
+        .section(
+            "engine",
+            &format!("{{\"workers\":4,\"series\":[{}]}}", engine_json.join(",")),
+        );
+    env.write().expect("write results/fig_ycsbe.json");
 }

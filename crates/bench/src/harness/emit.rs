@@ -1,0 +1,295 @@
+//! The one JSON emitter behind every `results/*.json`.
+//!
+//! Each figure binary builds an [`Envelope`], adds its sections, and
+//! calls [`Envelope::write`]. The envelope shape is uniform across all
+//! outputs:
+//!
+//! ```json
+//! {
+//!   "figure": "fig_latency",
+//!   "meta": {
+//!     "git": "abc1234",
+//!     "ts_method_effective": "Atomic",
+//!     "host": {"cores": 8, "arch": "x86_64", "os": "linux"},
+//!     ...figure-specific meta...
+//!   },
+//!   "sections": [
+//!     {"name": "sim", ...},
+//!     {"name": "engine", ...}
+//!   ]
+//! }
+//! ```
+//!
+//! Section bodies stay figure-specific (a throughput sweep, a latency
+//! table, a padding audit); the envelope is what the CI validator
+//! ([`super::json::validate_envelope`]) checks, so every file shares
+//! provenance (`meta.git`), the effective timestamp method the engine
+//! actually ran (never the simulator-only hardware counter), and the
+//! host shape the numbers came from.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use abyss_common::TsMethod;
+
+/// Escape a string for inclusion in JSON output.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` for JSON output: finite values as-is, the rest as 0
+/// (JSON has no NaN/Infinity, and a bench emitting one is a bug better
+/// caught by the validator's monotonicity rules than by a parse error).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".into()
+    }
+}
+
+/// The label the envelope records as the timestamp method the engine
+/// actually allocated with: the configured method after hardware-counter
+/// degradation (no real hardware counter exists off the simulator, so
+/// [`TsMethod::Hardware`] runs as atomic-increment — the misreport PR 4
+/// fixed).
+pub fn effective_ts_label(method: TsMethod) -> String {
+    match method {
+        TsMethod::Hardware => TsMethod::Atomic.label(),
+        m => m.label(),
+    }
+}
+
+/// Builder for one results file in the shared envelope shape.
+pub struct Envelope {
+    figure: String,
+    /// Meta fields as (key, pre-rendered JSON value), in insertion order.
+    meta: Vec<(String, String)>,
+    /// Pre-rendered section objects, `"name"` already spliced in.
+    sections: Vec<String>,
+}
+
+impl Envelope {
+    /// Start an envelope for `figure` (also the output filename stem).
+    ///
+    /// Meta starts with the uniform keys: `git` (short commit hash, or
+    /// `"unknown"` outside a checkout), `ts_method_effective` (the
+    /// engine default, [`TsMethod::Atomic`] — override with
+    /// [`Envelope::ts_method`] if the figure configures another), and
+    /// `host`.
+    pub fn new(figure: &str) -> Self {
+        let mut e = Self {
+            figure: figure.to_string(),
+            meta: Vec::new(),
+            sections: Vec::new(),
+        };
+        e.meta_str("git", &git_short_sha());
+        e.meta_str("ts_method_effective", &effective_ts_label(TsMethod::Atomic));
+        e.meta.push(("host".into(), host_json()));
+        e
+    }
+
+    /// Record the timestamp method this figure configured; the envelope
+    /// stores the *effective* label (hardware degrades to atomic).
+    pub fn ts_method(&mut self, method: TsMethod) -> &mut Self {
+        let label = effective_ts_label(method);
+        self.set_meta("ts_method_effective", format!("\"{}\"", escape(&label)));
+        self
+    }
+
+    /// Add (or replace) a string meta field.
+    pub fn meta_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.set_meta(key, format!("\"{}\"", escape(value)));
+        self
+    }
+
+    /// Add (or replace) a numeric meta field.
+    pub fn meta_num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.set_meta(key, num(value));
+        self
+    }
+
+    /// Add (or replace) a raw JSON meta field (arrays, objects).
+    pub fn meta_raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.set_meta(key, value.to_string());
+        self
+    }
+
+    fn set_meta(&mut self, key: &str, rendered: String) {
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = rendered;
+        } else {
+            self.meta.push((key.to_string(), rendered));
+        }
+    }
+
+    /// Append a section. `body` must be a rendered JSON object (`{...}`);
+    /// the section's `"name"` is spliced in as its first field.
+    pub fn section(&mut self, name: &str, body: &str) -> &mut Self {
+        let body = body.trim();
+        assert!(
+            body.starts_with('{') && body.ends_with('}'),
+            "section body must be a JSON object, got: {}",
+            &body[..body.len().min(40)]
+        );
+        let rest = body[1..].trim_start();
+        let spliced = if rest == "}" {
+            format!("{{\"name\":\"{}\"}}", escape(name))
+        } else {
+            format!("{{\"name\":\"{}\",{}", escape(name), rest)
+        };
+        self.sections.push(spliced);
+        self
+    }
+
+    /// Render the full document.
+    pub fn to_json(&self) -> String {
+        let meta: Vec<String> = self
+            .meta
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", escape(k), v))
+            .collect();
+        format!(
+            "{{\n\"figure\":\"{}\",\n\"meta\":{{{}}},\n\"sections\":[\n{}\n]\n}}\n",
+            escape(&self.figure),
+            meta.join(","),
+            self.sections.join(",\n")
+        )
+    }
+
+    /// Write the document to `<dir>/<figure>.json`, creating `dir`.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.figure));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Write the document to `results/<figure>.json` and report the path
+    /// on stdout (the convention every figure binary follows).
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.write_to("results")?;
+        println!("wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+fn git_short_sha() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn host_json() -> String {
+    format!(
+        "{{\"cores\":{},\"arch\":\"{}\",\"os\":\"{}\"}}",
+        abyss_common::available_cores(),
+        escape(std::env::consts::ARCH),
+        escape(std::env::consts::OS),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::json::{parse, validate_envelope};
+
+    #[test]
+    fn envelope_round_trips_through_the_validator() {
+        let mut e = Envelope::new("unit_emit");
+        e.meta_num("threads", 4.0)
+            .section("sim", r#"{"points":[{"threads":1,"tput":123.5}]}"#)
+            .section("engine", "{}");
+        let doc = parse(&e.to_json()).expect("emitted JSON parses");
+        validate_envelope(&doc).expect("emitted JSON validates");
+        assert_eq!(doc.get("figure").unwrap().as_str(), Some("unit_emit"));
+        let sections = doc.get("sections").unwrap().as_arr().unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].get("name").unwrap().as_str(), Some("sim"));
+        assert_eq!(
+            sections[0].get("points").unwrap().as_arr().unwrap()[0]
+                .get("tput")
+                .unwrap()
+                .as_f64(),
+            Some(123.5)
+        );
+        assert_eq!(sections[1].get("name").unwrap().as_str(), Some("engine"));
+    }
+
+    #[test]
+    fn meta_fields_replace_not_duplicate() {
+        let mut e = Envelope::new("unit_meta");
+        e.meta_str("git", "feedface");
+        e.ts_method(TsMethod::Hardware);
+        let doc = parse(&e.to_json()).unwrap();
+        assert_eq!(
+            doc.get("meta").unwrap().get("git").unwrap().as_str(),
+            Some("feedface")
+        );
+        // Hardware degrades to the atomic label — never "HW Counter".
+        assert_eq!(
+            doc.get("meta")
+                .unwrap()
+                .get("ts_method_effective")
+                .unwrap()
+                .as_str(),
+            Some(effective_ts_label(TsMethod::Atomic).as_str())
+        );
+        let rendered = e.to_json();
+        assert_eq!(rendered.matches("\"git\"").count(), 1);
+    }
+
+    #[test]
+    fn host_meta_reports_positive_cores() {
+        let doc = parse(&Envelope::new("unit_host").section("s", "{}").to_json()).unwrap();
+        let cores = doc
+            .get("meta")
+            .unwrap()
+            .get("host")
+            .unwrap()
+            .get("cores")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(cores >= 1.0);
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_zero() {
+        assert_eq!(num(f64::NAN), "0");
+        assert_eq!(num(f64::INFINITY), "0");
+        assert_eq!(num(2.5), "2.5");
+    }
+
+    #[test]
+    fn writes_named_file_into_directory() {
+        let dir = std::env::temp_dir().join(format!("abyss_emit_test_{}", std::process::id()));
+        let mut e = Envelope::new("unit_write");
+        e.section("only", r#"{"v":1}"#);
+        let path = e.write_to(&dir).unwrap();
+        assert!(path.ends_with("unit_write.json"));
+        let doc = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        validate_envelope(&doc).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

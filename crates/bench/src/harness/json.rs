@@ -1,0 +1,541 @@
+//! Minimal JSON parser + the results-envelope validator.
+//!
+//! The workspace deliberately vendors no serde; the figure binaries
+//! hand-format their JSON through [`super::emit`]. This module is the
+//! read side: a small recursive-descent parser (objects keep insertion
+//! order; numbers are `f64`) and [`validate_envelope`], the single set
+//! of rules every `results/*.json` must pass — CI runs it via the
+//! `validate_results` binary, and the harness tests round-trip a freshly
+//! emitted envelope through it.
+//!
+//! Envelope rules:
+//!
+//! 1. top level is `{figure, meta, sections}`; `figure` is a non-empty
+//!    string;
+//! 2. `meta` carries at least `git`, `ts_method_effective` (which must
+//!    name a realizable allocator, never the simulator-only hardware
+//!    counter), and `host` with a positive `cores`;
+//! 3. `sections` is a non-empty array of objects, each with a unique
+//!    non-empty `name`;
+//! 4. everywhere in the document: an object carrying percentile keys
+//!    must be monotone (`p50 ≤ p90 ≤ p99 ≤ p999 ≤ max`, over whichever
+//!    of those keys are present), with `0 < mean ≤ max` when a `mean`
+//!    accompanies a non-empty `count`;
+//! 5. everywhere in the document: an object carrying admission counters
+//!    must reconcile (`accepted + shed + queue_full == submitted`).
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's fields, if it is one.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Arr(a) => write!(f, "[...{} items]", a.len()),
+            Value::Obj(o) => write!(f, "{{...{} fields}}", o.len()),
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry the byte offset.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number {s:?} at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "bad \\u escape")?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            // Surrogates are not expected in bench output;
+                            // map unpaired ones to the replacement char.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through untouched.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid utf-8 in string")?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// The simulator-only allocator label that must never appear as an
+/// engine run's effective method (PR 4 fixed exactly this misreport).
+const HARDWARE_LABEL: &str = "HW Counter";
+
+/// Validate a parsed `results/*.json` document against the shared
+/// envelope (see the [module docs](self) for the rules).
+pub fn validate_envelope(doc: &Value) -> Result<(), String> {
+    let figure = doc
+        .get("figure")
+        .and_then(Value::as_str)
+        .ok_or("missing top-level \"figure\" string")?;
+    if figure.is_empty() {
+        return Err("empty \"figure\" tag".into());
+    }
+    let meta = doc.get("meta").ok_or("missing \"meta\" object")?;
+    meta.as_obj().ok_or("\"meta\" is not an object")?;
+    meta.get("git")
+        .and_then(Value::as_str)
+        .ok_or("meta.git missing")?;
+    let ts = meta
+        .get("ts_method_effective")
+        .and_then(Value::as_str)
+        .ok_or("meta.ts_method_effective missing")?;
+    if ts == HARDWARE_LABEL {
+        return Err(format!(
+            "meta.ts_method_effective is {HARDWARE_LABEL:?} — the simulator-only method \
+             cannot be what the engine actually ran"
+        ));
+    }
+    let host = meta.get("host").ok_or("meta.host missing")?;
+    let cores = host
+        .get("cores")
+        .and_then(Value::as_f64)
+        .ok_or("meta.host.cores missing")?;
+    if cores < 1.0 {
+        return Err(format!("meta.host.cores = {cores}"));
+    }
+    let sections = doc
+        .get("sections")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"sections\" array")?;
+    if sections.is_empty() {
+        return Err("empty \"sections\" array".into());
+    }
+    let mut names: Vec<&str> = Vec::new();
+    for (i, s) in sections.iter().enumerate() {
+        let name = s
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(format!("sections[{i}] has no \"name\""))?;
+        if name.is_empty() {
+            return Err(format!("sections[{i}] has an empty name"));
+        }
+        if names.contains(&name) {
+            return Err(format!("duplicate section name {name:?}"));
+        }
+        names.push(name);
+    }
+    walk(doc, "$")
+}
+
+/// The percentile chain, least to greatest, as emitted by
+/// `LatencyHisto`-backed distributions.
+const PERCENTILE_CHAIN: [&str; 5] = ["p50", "p90", "p99", "p999", "max"];
+
+fn walk(v: &Value, path: &str) -> Result<(), String> {
+    match v {
+        Value::Obj(fields) => {
+            check_percentiles(v, path)?;
+            check_accounting(v, path)?;
+            for (k, child) in fields {
+                walk(child, &format!("{path}.{k}"))?;
+            }
+        }
+        Value::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                walk(child, &format!("{path}[{i}]"))?;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn check_percentiles(obj: &Value, path: &str) -> Result<(), String> {
+    let present: Vec<(&str, f64)> = PERCENTILE_CHAIN
+        .iter()
+        .filter_map(|k| obj.get(k).and_then(Value::as_f64).map(|v| (*k, v)))
+        .collect();
+    // A lone "max" (e.g. a config knob) is not a distribution; require at
+    // least two chain keys before enforcing anything.
+    if present.len() < 2 {
+        return Ok(());
+    }
+    if let Some(count) = obj.get("count").and_then(Value::as_f64) {
+        if count == 0.0 {
+            // An empty histogram may carry all-zero percentiles; nothing
+            // meaningful to check (and mean is legitimately 0).
+            return Ok(());
+        }
+    }
+    for pair in present.windows(2) {
+        let ((ka, va), (kb, vb)) = (pair[0], pair[1]);
+        if va > vb {
+            return Err(format!(
+                "{path}: percentiles not monotone: {ka}={va} > {kb}={vb}"
+            ));
+        }
+    }
+    if let (Some(mean), Some(max)) = (
+        obj.get("mean").and_then(Value::as_f64),
+        obj.get("max").and_then(Value::as_f64),
+    ) {
+        let nonempty = obj.get("count").and_then(Value::as_f64).unwrap_or(1.0) > 0.0;
+        if nonempty && !(mean > 0.0 && mean <= max) {
+            return Err(format!("{path}: mean {mean} outside (0, max={max}]"));
+        }
+    }
+    Ok(())
+}
+
+fn check_accounting(obj: &Value, path: &str) -> Result<(), String> {
+    let keys = ["submitted", "accepted", "shed", "queue_full"];
+    let vals: Vec<Option<f64>> = keys
+        .iter()
+        .map(|k| obj.get(k).and_then(Value::as_f64))
+        .collect();
+    if vals.iter().all(Option::is_none) {
+        return Ok(());
+    }
+    let [submitted, accepted, shed, queue_full] = vals[..] else {
+        unreachable!()
+    };
+    let (Some(submitted), Some(accepted), Some(shed), Some(queue_full)) =
+        (submitted, accepted, shed, queue_full)
+    else {
+        return Err(format!(
+            "{path}: partial admission counters (need all of {keys:?})"
+        ));
+    };
+    if accepted + shed + queue_full != submitted {
+        return Err(format!(
+            "{path}: admission accounting does not reconcile: \
+             {accepted} + {shed} + {queue_full} != {submitted}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v =
+            parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny"}, "d": null, "e": true}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("d"), Some(&Value::Null));
+        assert_eq!(v.get("e"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a": }"#).is_err());
+        assert!(parse(r#"{"a": 1} trailing"#).is_err());
+        assert!(parse("[1, 2,]").is_err());
+    }
+
+    fn envelope(sections: &str) -> String {
+        format!(
+            r#"{{"figure":"f","meta":{{"git":"abc","ts_method_effective":"Atomic",
+               "host":{{"cores":8}}}},"sections":[{sections}]}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_a_minimal_envelope() {
+        let doc = parse(&envelope(r#"{"name":"sim","points":[]}"#)).unwrap();
+        validate_envelope(&doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_structural_violations() {
+        for (bad, why) in [
+            (r#"{"figure":"f"}"#.to_string(), "no meta"),
+            (envelope(r#"{"points":[]}"#), "unnamed section"),
+            (
+                envelope(r#"{"name":"a"},{"name":"a"}"#),
+                "duplicate section",
+            ),
+            (
+                r#"{"figure":"f","meta":{"git":"x","ts_method_effective":"HW Counter",
+                   "host":{"cores":8}},"sections":[{"name":"a"}]}"#
+                    .to_string(),
+                "hardware label",
+            ),
+        ] {
+            let doc = parse(&bad).unwrap();
+            assert!(validate_envelope(&doc).is_err(), "accepted: {why}");
+        }
+    }
+
+    #[test]
+    fn percentile_monotonicity_is_enforced_everywhere() {
+        let good = envelope(
+            r#"{"name":"a","hist":{"count":10,"p50":1,"p90":2,"p99":3,"p999":3,"max":9,"mean":2}}"#,
+        );
+        validate_envelope(&parse(&good).unwrap()).unwrap();
+        let bad =
+            envelope(r#"{"name":"a","deep":[{"hist":{"count":10,"p50":5,"p99":3,"max":9}}]}"#);
+        let err = validate_envelope(&parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+        // Empty histograms are exempt.
+        let empty = envelope(r#"{"name":"a","hist":{"count":0,"p50":0,"p99":0,"max":0}}"#);
+        validate_envelope(&parse(&empty).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn admission_accounting_must_reconcile() {
+        let good = envelope(r#"{"name":"a","submitted":10,"accepted":7,"shed":2,"queue_full":1}"#);
+        validate_envelope(&parse(&good).unwrap()).unwrap();
+        let bad = envelope(r#"{"name":"a","submitted":10,"accepted":7,"shed":2,"queue_full":2}"#);
+        let err = validate_envelope(&parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("reconcile"), "{err}");
+        let partial = envelope(r#"{"name":"a","submitted":10,"accepted":7}"#);
+        assert!(validate_envelope(&parse(&partial).unwrap()).is_err());
+    }
+}

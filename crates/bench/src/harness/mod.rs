@@ -1,0 +1,392 @@
+//! The unified benchmark harness (shumai idiom).
+//!
+//! Every figure binary in this crate used to hand-roll its own thread
+//! spawning, warmup, measurement window, and JSON emission — so no two
+//! figures measured quite the same way, and no perf claim was comparable
+//! across PRs. This module is now the only place in `abyss-bench` that
+//! spawns threads or reads a wall clock (a source-guard test pins that),
+//! in the shape of the shumai benchmark framework:
+//!
+//! * a [`BenchSpec`] trait — `load → run → cleanup`, with per-thread
+//!   results merged via `AddAssign`;
+//! * a per-thread [`BenchContext`] carrying a ready-count start barrier
+//!   plus a running flag, so every thread starts and stops on the same
+//!   edge (no straggler is measured while its siblings still spawn);
+//! * declarative run shapes: bounded ([`run_bounded`]) and timed
+//!   ([`run_timed`]) runs, repeats with min/median/max
+//!   ([`repeat`]/[`summarize`]), and the uniform engine warmup/measure
+//!   windows ([`Windows`]) every engine-backed figure shares;
+//! * core pinning via [`abyss_common::affinity`] (round-robin and
+//!   compact placement, portable no-op fallback);
+//! * exactly one JSON emitter ([`emit::Envelope`]) producing the uniform
+//!   `{figure, meta, sections}` envelope all `results/*.json` share, and
+//!   a minimal parser + validator ([`json`]) that CI runs over every one
+//!   of them.
+//!
+//! Engine-backed figures delegate their measured loop to
+//! `abyss_core::run_workers`, which carries the same barrier +
+//! pinning discipline inside the engine crate; the harness runner below
+//! is for bench-owned threads (microbenchmarks, open-loop producers).
+
+pub mod emit;
+pub mod json;
+pub mod time;
+
+use std::ops::AddAssign;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+pub use abyss_common::{available_cores, pin_to_core, PinPolicy};
+pub use time::{Pacer, Stopwatch};
+
+/// Uniform engine warmup (full runs). Chosen as the repo-wide default in
+/// PR 9 — long enough that every scheme's caches, epoch ticker, and WAL
+/// flusher reach steady state on the small engine tables, short enough
+/// that a six-series figure still runs in seconds. Documented in
+/// DESIGN.md ("The bench harness").
+pub const ENGINE_WARMUP: Duration = Duration::from_millis(150);
+/// Uniform engine measurement window (full runs).
+pub const ENGINE_MEASURE: Duration = Duration::from_millis(600);
+/// Uniform engine warmup under `--quick` (CI smoke).
+pub const ENGINE_WARMUP_QUICK: Duration = Duration::from_millis(40);
+/// Uniform engine measurement window under `--quick`.
+pub const ENGINE_MEASURE_QUICK: Duration = Duration::from_millis(150);
+
+/// The warmup/measure pair an engine-backed figure runs with. One source
+/// of truth: before the harness, fig_latency warmed for 150 ms,
+/// fig_ycsbe for 150 ms but measured 500 ms, fig03's real panel warmed
+/// 200 ms, and fig_service's peak probe 100 ms — with no stated reason
+/// for any of the differences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Windows {
+    /// Time to run before statistics reset.
+    pub warmup: Duration,
+    /// Measured window after the reset.
+    pub measure: Duration,
+}
+
+impl Windows {
+    /// The uniform engine windows for this invocation.
+    pub fn engine(quick: bool) -> Self {
+        if quick {
+            Self {
+                warmup: ENGINE_WARMUP_QUICK,
+                measure: ENGINE_MEASURE_QUICK,
+            }
+        } else {
+            Self {
+                warmup: ENGINE_WARMUP,
+                measure: ENGINE_MEASURE,
+            }
+        }
+    }
+}
+
+/// Per-thread handle into a harness run.
+///
+/// `run` implementations do their thread-local setup first, then call
+/// [`BenchContext::wait_for_start`] exactly once; the runner releases
+/// every thread on the same edge. Timed specs loop `while
+/// ctx.is_running()`; bounded specs just run to completion.
+pub struct BenchContext<'a> {
+    /// This thread's index, `0..threads`.
+    pub thread_id: u32,
+    /// Total threads in the run.
+    pub threads: u32,
+    ready: &'a AtomicU64,
+    running: &'a AtomicBool,
+}
+
+impl BenchContext<'_> {
+    /// Report ready and spin until the runner releases the whole group.
+    pub fn wait_for_start(&self) {
+        self.ready.fetch_add(1, Ordering::AcqRel);
+        while !self.running.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// True until the runner arms the stop edge (timed runs); always true
+    /// for bounded runs.
+    #[inline]
+    pub fn is_running(&self) -> bool {
+        self.running.load(Ordering::Relaxed)
+    }
+}
+
+/// A multi-threaded benchmark in the shumai idiom: `load` once on the
+/// coordinating thread, `run` on every worker thread, `cleanup` once
+/// after the join. Per-thread results merge with `+=`.
+pub trait BenchSpec: Sync {
+    /// Per-thread result; merging must be associative and commutative
+    /// (the runner folds per-thread results in thread order, repeats
+    /// fold in repeat order).
+    type Result: Default + AddAssign + Clone + Send;
+
+    /// One-time setup before any thread spawns.
+    fn load(&mut self) {}
+
+    /// The per-thread body. Must call [`BenchContext::wait_for_start`]
+    /// after thread-local setup; timed runs must poll
+    /// [`BenchContext::is_running`].
+    fn run(&self, ctx: &mut BenchContext<'_>) -> Self::Result;
+
+    /// One-time teardown after every thread joined.
+    fn cleanup(&mut self) {}
+}
+
+/// Outcome of one harness run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<R> {
+    /// All per-thread results folded with `+=`.
+    pub merged: R,
+    /// Each thread's own result, in thread order.
+    pub per_thread: Vec<R>,
+    /// Start-edge wall: barrier release → stop edge (timed: the moment
+    /// the running flag was cleared; bounded: the last thread finishing).
+    /// Thread spawn and `load` cost are never inside the window.
+    pub wall: Duration,
+}
+
+fn run_inner<S: BenchSpec>(
+    spec: &mut S,
+    threads: u32,
+    pin: PinPolicy,
+    timed: Option<Duration>,
+) -> RunOutcome<S::Result> {
+    assert!(threads > 0, "a run needs at least one thread");
+    spec.load();
+    let ready = AtomicU64::new(0);
+    let running = AtomicBool::new(false);
+    let mut per_thread: Vec<S::Result> = Vec::with_capacity(threads as usize);
+    let mut wall = Duration::ZERO;
+    {
+        let spec: &S = spec;
+        std::thread::scope(|scope| {
+            let ready = &ready;
+            let running = &running;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        pin.apply(t, threads);
+                        let mut ctx = BenchContext {
+                            thread_id: t,
+                            threads,
+                            ready,
+                            running,
+                        };
+                        spec.run(&mut ctx)
+                    })
+                })
+                .collect();
+            while ready.load(Ordering::Acquire) < u64::from(threads) {
+                std::hint::spin_loop();
+            }
+            let clock = Stopwatch::start();
+            running.store(true, Ordering::Release);
+            if let Some(measure) = timed {
+                std::thread::sleep(measure);
+                running.store(false, Ordering::Release);
+                wall = clock.elapsed();
+            }
+            for h in handles {
+                per_thread.push(h.join().expect("bench thread panicked"));
+            }
+            if timed.is_none() {
+                wall = clock.elapsed();
+            }
+        });
+    }
+    spec.cleanup();
+    let mut merged = S::Result::default();
+    for r in &per_thread {
+        merged += r.clone();
+    }
+    RunOutcome {
+        merged,
+        per_thread,
+        wall,
+    }
+}
+
+/// Run `spec` on `threads` threads until every thread's `run` returns
+/// (fixed work per thread). The wall covers barrier release → last
+/// thread done.
+pub fn run_bounded<S: BenchSpec>(
+    spec: &mut S,
+    threads: u32,
+    pin: PinPolicy,
+) -> RunOutcome<S::Result> {
+    run_inner(spec, threads, pin, None)
+}
+
+/// Run `spec` on `threads` threads for `measure`: the runner releases
+/// the barrier, sleeps, clears the running flag, and joins. Specs must
+/// loop on [`BenchContext::is_running`].
+pub fn run_timed<S: BenchSpec>(
+    spec: &mut S,
+    threads: u32,
+    measure: Duration,
+    pin: PinPolicy,
+) -> RunOutcome<S::Result> {
+    run_inner(spec, threads, pin, Some(measure))
+}
+
+/// min/median/max over a repeat series (the declarative `repeats` knob).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepeatSummary {
+    /// Best repeat.
+    pub min: f64,
+    /// Median repeat (lower-middle for even counts).
+    pub median: f64,
+    /// Worst repeat.
+    pub max: f64,
+    /// Every repeat's metric, in run order.
+    pub runs: Vec<f64>,
+}
+
+impl RepeatSummary {
+    /// Render as a JSON object fragment.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"min\":{:.1},\"median\":{:.1},\"max\":{:.1},\"repeats\":{}}}",
+            self.min,
+            self.median,
+            self.max,
+            self.runs.len()
+        )
+    }
+}
+
+/// Summarize a repeat series. Panics on an empty series — a figure that
+/// ran zero repeats has nothing to report.
+pub fn summarize(runs: Vec<f64>) -> RepeatSummary {
+    assert!(!runs.is_empty(), "summarize() needs at least one run");
+    let mut sorted = runs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN metric"));
+    RepeatSummary {
+        min: sorted[0],
+        median: sorted[(sorted.len() - 1) / 2],
+        max: sorted[sorted.len() - 1],
+        runs,
+    }
+}
+
+/// Run `f` `repeats` times; merge every repeat's full result with `+=`
+/// (histograms keep *all* samples — reporting only the last repeat was
+/// the fig_latency p999 bug) and summarize the scalar metric each repeat
+/// returned alongside.
+pub fn repeat<R: Default + AddAssign>(
+    repeats: u32,
+    mut f: impl FnMut(u32) -> (R, f64),
+) -> (R, RepeatSummary) {
+    assert!(repeats > 0, "repeat() needs at least one repeat");
+    let mut merged = R::default();
+    let mut metrics = Vec::with_capacity(repeats as usize);
+    for i in 0..repeats {
+        let (r, metric) = f(i);
+        merged += r;
+        metrics.push(metric);
+    }
+    (merged, summarize(metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountSpec {
+        per_thread: u64,
+        loads: u32,
+        cleanups: u32,
+    }
+
+    impl BenchSpec for CountSpec {
+        type Result = u64;
+        fn load(&mut self) {
+            self.loads += 1;
+        }
+        fn run(&self, ctx: &mut BenchContext<'_>) -> u64 {
+            ctx.wait_for_start();
+            let mut n = 0;
+            for _ in 0..self.per_thread {
+                n += 1;
+            }
+            n
+        }
+        fn cleanup(&mut self) {
+            self.cleanups += 1;
+        }
+    }
+
+    #[test]
+    fn bounded_run_merges_per_thread_results() {
+        let mut spec = CountSpec {
+            per_thread: 1000,
+            loads: 0,
+            cleanups: 0,
+        };
+        let out = run_bounded(&mut spec, 4, PinPolicy::None);
+        assert_eq!(out.merged, 4000);
+        assert_eq!(out.per_thread, vec![1000; 4]);
+        assert_eq!((spec.loads, spec.cleanups), (1, 1));
+        assert!(out.wall > Duration::ZERO);
+    }
+
+    struct SpinSpec;
+    impl BenchSpec for SpinSpec {
+        type Result = u64;
+        fn run(&self, ctx: &mut BenchContext<'_>) -> u64 {
+            ctx.wait_for_start();
+            let mut n = 0;
+            while ctx.is_running() {
+                n += 1;
+                std::hint::spin_loop();
+            }
+            n
+        }
+    }
+
+    #[test]
+    fn timed_run_stops_on_the_stop_edge() {
+        let out = run_timed(&mut SpinSpec, 2, Duration::from_millis(20), PinPolicy::None);
+        assert!(out.merged > 0);
+        assert!(out.wall >= Duration::from_millis(20));
+        // The stop edge is sharp: wall is the flag window, not the joins.
+        assert!(out.wall < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn summarize_orders_min_median_max() {
+        let s = summarize(vec![3.0, 1.0, 2.0]);
+        assert_eq!((s.min, s.median, s.max), (1.0, 2.0, 3.0));
+        let s = summarize(vec![4.0, 1.0]);
+        assert_eq!((s.min, s.median, s.max), (1.0, 1.0, 4.0));
+    }
+
+    #[test]
+    fn repeat_merges_across_repeats() {
+        #[derive(Default, Clone, PartialEq, Debug)]
+        struct Samples(Vec<u32>);
+        impl AddAssign for Samples {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0.extend(rhs.0);
+            }
+        }
+        // Three repeats each contribute their histogram-like payload: the
+        // merged result must hold all of them, not just the last.
+        let (merged, summary) = repeat(3, |i| (Samples(vec![i]), f64::from(i)));
+        assert_eq!(merged, Samples(vec![0, 1, 2]));
+        assert_eq!(summary.runs, vec![0.0, 1.0, 2.0]);
+        assert_eq!(summary.median, 1.0);
+    }
+
+    #[test]
+    fn engine_windows_are_uniform() {
+        let full = Windows::engine(false);
+        assert_eq!(full.warmup, ENGINE_WARMUP);
+        assert_eq!(full.measure, ENGINE_MEASURE);
+        let quick = Windows::engine(true);
+        assert!(quick.warmup < full.warmup && quick.measure < full.measure);
+    }
+}

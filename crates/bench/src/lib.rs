@@ -18,6 +18,8 @@ pub mod fig_latency;
 pub mod fig_modern;
 pub mod fig_service;
 pub mod fig_ycsbe;
+pub mod harness;
+pub mod paper_figs;
 
 use std::io::Write as _;
 use std::path::Path;

@@ -1,0 +1,230 @@
+//! Shared driver for the paper-figure table binaries (`fig03` … `fig17`,
+//! `table2`).
+//!
+//! Every one of those binaries used to hand-roll the same four steps:
+//! build a header row of `axis + one column per series`, loop the sweep,
+//! fill cells from a simulator point, then `print` + `write_csv`. That
+//! skeleton lives here exactly once — a figure binary now declares its
+//! axis, its series, and a cell closure, and [`series_report`] does the
+//! rest. The §3.2 six-category breakdown panels (fig 8b/9b/10b/12b) share
+//! [`breakdown_report`]; the TPC-C figures (16/17) share
+//! [`tpcc_panels`]; fig 3's real-hardware panel shares
+//! [`engine_ycsb_tput`], which times through the engine's start/stop-edge
+//! drivers with the harness's uniform warmup/measure windows
+//! ([`crate::harness::Windows::engine`]) instead of its own ad-hoc
+//! 200 ms/800 ms pair.
+
+use std::time::Duration;
+
+use abyss_common::{CcScheme, PinPolicy};
+use abyss_sim::SimReport;
+use abyss_workload::ycsb::{self, YcsbConfig, YcsbGen};
+
+use crate::harness::Windows;
+use crate::{breakdown_cells, fmt_m, Report};
+
+/// Build a report whose first column is `axis` and whose remaining
+/// columns are one per entry of `series`, filling each cell from `cell`.
+///
+/// This is the shape of every throughput table in the paper: an x-axis
+/// sweep (cores, theta, transaction length, read fraction, …) against a
+/// family of lines (schemes, timestamp methods, timeouts, …).
+pub fn series_report<X: Copy, S: Copy>(
+    axis: &str,
+    xs: &[X],
+    series: &[S],
+    label_x: impl Fn(X) -> String,
+    label_s: impl Fn(S) -> String,
+    mut cell: impl FnMut(X, S) -> String,
+) -> Report {
+    let mut headers = vec![axis.to_string()];
+    headers.extend(series.iter().map(|&s| label_s(s)));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rep = Report::new(&headers_ref);
+    for &x in xs {
+        let mut row = vec![label_x(x)];
+        for &s in series {
+            row.push(cell(x, s));
+        }
+        rep.row(row);
+    }
+    rep
+}
+
+/// [`series_report`] specialized to the most common case: scheme columns
+/// whose cells are Mtxn/s from a [`SimReport`].
+pub fn scheme_tput_report<X: Copy>(
+    axis: &str,
+    xs: &[X],
+    schemes: &[CcScheme],
+    label_x: impl Fn(X) -> String,
+    mut point: impl FnMut(X, CcScheme) -> SimReport,
+) -> Report {
+    series_report(
+        axis,
+        xs,
+        schemes,
+        label_x,
+        |s| s.to_string(),
+        |x, s| fmt_m(point(x, s).txn_per_sec()),
+    )
+}
+
+/// Column headers of the §3.2 six-category breakdown panels.
+pub const BREAKDOWN_HEADERS: [&str; 7] = [
+    "scheme", "useful", "abort", "ts_alloc", "index", "wait", "manager",
+];
+
+/// One breakdown panel: a row of category fractions per scheme.
+pub fn breakdown_report(
+    schemes: &[CcScheme],
+    mut point: impl FnMut(CcScheme) -> SimReport,
+) -> Report {
+    let mut rep = Report::new(&BREAKDOWN_HEADERS);
+    for &scheme in schemes {
+        let mut row = vec![scheme.to_string()];
+        row.extend(breakdown_cells(&point(scheme)));
+        rep.row(row);
+    }
+    rep
+}
+
+/// The TPC-C figures' three panels (total, Payment-only, NewOrder-only)
+/// over a core sweep, filled from one simulator point per cell.
+pub fn tpcc_panels(
+    sweep: &[u32],
+    schemes: &[CcScheme],
+    mut point: impl FnMut(u32, CcScheme) -> SimReport,
+) -> (Report, Report, Report) {
+    use abyss_workload::tpcc::{TAG_NEW_ORDER, TAG_PAYMENT};
+    let mut headers = vec!["cores".to_string()];
+    headers.extend(schemes.iter().map(|s| s.to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut total = Report::new(&headers_ref);
+    let mut payment = Report::new(&headers_ref);
+    let mut neworder = Report::new(&headers_ref);
+    for &n in sweep {
+        let mut t = vec![n.to_string()];
+        let mut p = vec![n.to_string()];
+        let mut o = vec![n.to_string()];
+        for &scheme in schemes {
+            let r = point(n, scheme);
+            t.push(fmt_m(r.txn_per_sec()));
+            p.push(fmt_m(r.tagged_txn_per_sec(TAG_PAYMENT)));
+            o.push(fmt_m(r.tagged_txn_per_sec(TAG_NEW_ORDER)));
+        }
+        total.row(t);
+        payment.row(p);
+        neworder.row(o);
+    }
+    (total, payment, neworder)
+}
+
+/// Print a report and write its CSV — the tail every figure binary ends
+/// with.
+pub fn emit_table(rep: &Report, title: &str, csv: &str) {
+    rep.print(title);
+    rep.write_csv(csv);
+}
+
+/// One real-engine YCSB throughput point (fig 3b): load the table, run
+/// the engine's timed driver with the harness's uniform windows, return
+/// txn/s. Timing is the driver's start/stop-edge accounting — the wall
+/// is the measured window between the warm boundary and the stop flag,
+/// never a hand-held `Instant` pair out here.
+pub fn engine_ycsb_tput(scheme: CcScheme, threads: u32, cfg: &YcsbConfig, quick: bool) -> f64 {
+    use abyss_core::{run_workers, Database, EngineConfig};
+    let catalog = ycsb::catalog(cfg);
+    let db = Database::new(
+        EngineConfig::new(scheme, threads).with_pinning(PinPolicy::RoundRobin),
+        catalog,
+    )
+    .expect("config");
+    db.load_table(ycsb::YCSB_TABLE, 0..cfg.table_rows, ycsb::init_row)
+        .expect("load");
+    let zipf = abyss_common::zipf::ZipfGen::new(cfg.table_rows, cfg.theta);
+    let gens = (0..threads)
+        .map(|w| {
+            let mut g = YcsbGen::with_zipf(cfg.clone(), zipf.clone(), 42 ^ (u64::from(w) << 20));
+            Box::new(move || g.next_txn()) as Box<dyn FnMut() -> abyss_common::TxnTemplate + Send>
+        })
+        .collect();
+    let w = Windows::engine(quick);
+    let out = run_workers(&db, gens, w.warmup, w.measure);
+    out.txn_per_sec()
+}
+
+/// The uniform engine windows, for figure code that drives the engine
+/// directly.
+pub fn engine_windows(quick: bool) -> (Duration, Duration) {
+    let w = Windows::engine(quick);
+    (w.warmup, w.measure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ycsb_point, HarnessArgs};
+    use abyss_sim::SimConfig;
+
+    fn tiny_args() -> HarnessArgs {
+        HarnessArgs {
+            quick: true,
+            full: false,
+        }
+    }
+
+    #[test]
+    fn series_report_fills_every_cell() {
+        let mut calls = 0;
+        let rep = series_report(
+            "x",
+            &[1u32, 2],
+            &["a", "b", "c"],
+            |x| x.to_string(),
+            |s| s.to_string(),
+            |x, s| {
+                calls += 1;
+                format!("{x}{s}")
+            },
+        );
+        assert_eq!(calls, 6); // 2 rows × 3 series
+        drop(rep); // ragged rows would have panicked in Report::row
+    }
+
+    #[test]
+    fn breakdown_report_has_one_row_per_scheme() {
+        let args = tiny_args();
+        let cfg = YcsbConfig {
+            table_rows: 50_000,
+            ..YcsbConfig::read_only()
+        };
+        let schemes = [CcScheme::NoWait, CcScheme::Occ];
+        let mut points = 0;
+        let _ = breakdown_report(&schemes, |scheme| {
+            points += 1;
+            let mut sim = SimConfig::new(scheme, 2);
+            sim.measure = 400_000;
+            sim.warmup = 40_000;
+            ycsb_point(sim, &cfg, &args)
+        });
+        assert_eq!(points, schemes.len());
+    }
+
+    #[test]
+    fn engine_point_commits_transactions() {
+        let cfg = YcsbConfig {
+            table_rows: 10_000,
+            ..YcsbConfig::read_only()
+        };
+        let tput = engine_ycsb_tput(CcScheme::NoWait, 2, &cfg, true);
+        assert!(tput > 0.0, "engine point produced no commits");
+    }
+
+    #[test]
+    fn engine_windows_match_harness_defaults() {
+        let (w, m) = engine_windows(false);
+        assert_eq!(w, crate::harness::ENGINE_WARMUP);
+        assert_eq!(m, crate::harness::ENGINE_MEASURE);
+    }
+}

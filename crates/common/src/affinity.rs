@@ -1,0 +1,218 @@
+//! Thread→core pinning for the benchmark drivers.
+//!
+//! The paper's model is one worker per core; on real hardware the OS
+//! scheduler happily migrates an unpinned worker mid-measurement, folding
+//! cache refills and cross-core noise into whatever the figure claims to
+//! measure. [`pin_to_core`] binds the *calling thread* to one CPU via a
+//! raw `sched_setaffinity` syscall (the workspace vendors no libc), and
+//! [`PinPolicy`] names the two placements the harness offers plus the
+//! default of leaving the scheduler alone.
+//!
+//! Everything degrades to a clean no-op: on non-Linux targets, on
+//! architectures without the syscall shim, or when the requested core
+//! does not exist, [`pin_to_core`] returns `false` and the thread simply
+//! runs unpinned — a benchmark must never fail because the host is
+//! smaller than the sweep.
+
+/// How benchmark worker threads are placed on cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PinPolicy {
+    /// Leave placement to the OS scheduler (the default).
+    #[default]
+    None,
+    /// Thread `i` → core `(i * stride) % cores` with
+    /// `stride = max(1, cores / threads)`: spreads a small thread count
+    /// across the whole core space (and, on multi-socket or
+    /// cluster-of-cores parts, across the far caches).
+    RoundRobin,
+    /// Thread `i` → core `i % cores`: packs threads onto the
+    /// lowest-numbered cores so a small sweep shares one cache domain.
+    Compact,
+}
+
+impl PinPolicy {
+    /// Parse a policy name (config files, CLI flags).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(Self::None),
+            "round_robin" | "rr" => Some(Self::RoundRobin),
+            "compact" => Some(Self::Compact),
+            _ => None,
+        }
+    }
+
+    /// The policy's stable label (config echo, JSON meta).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::RoundRobin => "round_robin",
+            Self::Compact => "compact",
+        }
+    }
+
+    /// The core this policy assigns to `thread` out of `threads`, given
+    /// `cores` available cores; `None` when the policy does not pin.
+    /// Pure placement arithmetic, separated from the syscall so tests can
+    /// pin (sic) the mapping down without touching affinity masks.
+    pub fn core_for(self, thread: u32, threads: u32, cores: usize) -> Option<usize> {
+        if cores == 0 {
+            return None;
+        }
+        match self {
+            Self::None => None,
+            Self::RoundRobin => {
+                let stride = (cores / (threads.max(1) as usize)).max(1);
+                Some((thread as usize * stride) % cores)
+            }
+            Self::Compact => Some(thread as usize % cores),
+        }
+    }
+
+    /// Pin the calling thread per this policy. Returns `true` only when a
+    /// core was assigned *and* the affinity syscall succeeded.
+    pub fn apply(self, thread: u32, threads: u32) -> bool {
+        match self.core_for(thread, threads, available_cores()) {
+            Some(core) => pin_to_core(core),
+            None => false,
+        }
+    }
+}
+
+/// The host's available parallelism (1 when unknown).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Bind the calling thread to `core`. Returns `false` — leaving the
+/// thread unpinned — when the core does not exist on this host or the
+/// platform has no affinity support (see the [module docs](self)).
+pub fn pin_to_core(core: usize) -> bool {
+    if core >= available_cores() {
+        return false;
+    }
+    // One-bit CPU mask. 1024 bits matches the kernel's default cpumask
+    // width; hosts beyond that were range-checked out above anyway.
+    let mut mask = [0u64; 16];
+    let word = core / 64;
+    if word >= mask.len() {
+        return false;
+    }
+    mask[word] = 1u64 << (core % 64);
+    sched_setaffinity_raw(&mask)
+}
+
+/// `sched_setaffinity(0, size, mask)` for the current thread, x86_64.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn sched_setaffinity_raw(mask: &[u64]) -> bool {
+    let ret: i64;
+    // SAFETY: syscall 203 (sched_setaffinity) reads `size` bytes from the
+    // mask pointer and touches no other memory; rcx/r11 are clobbered by
+    // the syscall instruction itself.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203i64 => ret,
+            in("rdi") 0,
+            in("rsi") std::mem::size_of_val(mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// `sched_setaffinity(0, size, mask)` for the current thread, aarch64.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+fn sched_setaffinity_raw(mask: &[u64]) -> bool {
+    let ret: i64;
+    // SAFETY: syscall 122 (sched_setaffinity) reads `size` bytes from the
+    // mask pointer and touches no other memory.
+    unsafe {
+        std::arch::asm!(
+            "svc #0",
+            in("x8") 122i64,
+            inlateout("x0") 0i64 => ret,
+            in("x1") std::mem::size_of_val(mask),
+            in("x2") mask.as_ptr(),
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// Portable no-op fallback: report failure, never crash.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn sched_setaffinity_raw(_mask: &[u64]) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversized_core_falls_back_cleanly() {
+        // Requesting a core beyond the machine must not pin and must not
+        // panic — the thread just stays unpinned.
+        assert!(!pin_to_core(available_cores()));
+        assert!(!pin_to_core(usize::MAX));
+    }
+
+    #[test]
+    fn none_policy_never_pins() {
+        assert_eq!(PinPolicy::None.core_for(0, 8, 64), None);
+        assert!(!PinPolicy::None.apply(0, 8));
+    }
+
+    #[test]
+    fn compact_packs_low_cores() {
+        for t in 0..8 {
+            assert_eq!(PinPolicy::Compact.core_for(t, 8, 64), Some(t as usize));
+        }
+        // Oversubscription wraps instead of inventing cores.
+        assert_eq!(PinPolicy::Compact.core_for(65, 128, 64), Some(1));
+    }
+
+    #[test]
+    fn round_robin_strides_across_the_core_space() {
+        // 4 threads on 64 cores: stride 16 spreads them out.
+        let cores = 64;
+        let picks: Vec<_> = (0..4)
+            .map(|t| PinPolicy::RoundRobin.core_for(t, 4, cores).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 16, 32, 48]);
+        // More threads than cores: stride collapses to 1 and wraps.
+        assert_eq!(PinPolicy::RoundRobin.core_for(70, 128, 64), Some(6));
+    }
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for p in [PinPolicy::None, PinPolicy::RoundRobin, PinPolicy::Compact] {
+            assert_eq!(PinPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(PinPolicy::parse("rr"), Some(PinPolicy::RoundRobin));
+        assert_eq!(PinPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn pinning_to_core_zero_succeeds_on_linux() {
+        // Core 0 always exists; on supported platforms the syscall must
+        // succeed, elsewhere the fallback must report false.
+        let ok = pin_to_core(0);
+        if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            assert!(ok, "sched_setaffinity(0) failed on a supported target");
+        } else {
+            assert!(!ok);
+        }
+    }
+}

@@ -22,21 +22,28 @@
 //! * a fast FxHash-style hasher for integer keys ([`fxhash`]),
 //! * engine-agnostic transaction templates ([`txn`]) so that the same
 //!   generated workload runs unmodified on both the real engine and the
-//!   simulator.
+//!   simulator,
+//! * the repo-wide cache-line padding newtypes for contended words
+//!   ([`pad`]) and the thread→core pinning primitive + placement policies
+//!   the engine and bench harness share ([`affinity`]).
 
+pub mod affinity;
 pub mod error;
 pub mod fxhash;
 pub mod histo;
 pub mod ids;
+pub mod pad;
 pub mod rng;
 pub mod scheme;
 pub mod stats;
 pub mod txn;
 pub mod zipf;
 
+pub use affinity::{available_cores, pin_to_core, PinPolicy};
 pub use error::{AbortReason, DbError};
 pub use histo::LatencyHisto;
 pub use ids::{CoreId, Key, PartId, RowIdx, TableId, Ts, TxnId};
+pub use pad::{PadWrap, Padded, Unpadded};
 pub use scheme::{CcScheme, TsMethod};
 pub use stats::{Category, Phase, PhaseBreakdown, Priority, RunStats, TimeBreakdown};
 pub use txn::{AccessOp, AccessSpec, KeySpec, TxnTemplate};

@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use abyss_common::{CcScheme, TsMethod};
+use abyss_common::{CcScheme, PinPolicy, TsMethod};
 use abyss_storage::FsyncPolicy;
 
 /// Durability (write-ahead logging) configuration.
@@ -108,6 +108,12 @@ pub struct EngineConfig {
     /// default: every phase transition then reduces to one branch, the
     /// same runtime-flag compile-out idiom as [`TraceConfig`].
     pub breakdown: bool,
+    /// Thread→core placement for worker threads spawned by the engine
+    /// (the bench drivers in [`crate::worker`] and the serving layer's
+    /// pool). [`PinPolicy::None`] (the default) leaves placement to the
+    /// OS scheduler; pinning is best-effort — a worker whose assigned
+    /// core does not exist simply runs unpinned.
+    pub pin: PinPolicy,
 }
 
 impl Default for EngineConfig {
@@ -125,6 +131,7 @@ impl Default for EngineConfig {
             log: LogConfig::default(),
             trace: TraceConfig::default(),
             breakdown: false,
+            pin: PinPolicy::default(),
         }
     }
 }
@@ -194,6 +201,13 @@ impl EngineConfig {
         self.breakdown = true;
         self
     }
+
+    /// Pin engine worker threads per `policy` (builder-style convenience
+    /// for benches).
+    pub fn with_pinning(mut self, policy: PinPolicy) -> Self {
+        self.pin = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +252,15 @@ mod tests {
         assert!(!c.breakdown);
         let c = c.with_breakdown();
         assert!(c.breakdown);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn pinning_defaults_off_and_builder_enables_it() {
+        let c = EngineConfig::new(CcScheme::NoWait, 4);
+        assert_eq!(c.pin, PinPolicy::None);
+        let c = c.with_pinning(PinPolicy::Compact);
+        assert_eq!(c.pin, PinPolicy::Compact);
         assert!(c.validate().is_ok());
     }
 

@@ -8,11 +8,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use abyss_common::fxhash;
+use abyss_common::Padded;
 use abyss_common::{CcScheme, DbError, Key, RowIdx, TableId};
 use abyss_storage::btree::{GuardedInsert, LeafId};
 use abyss_storage::wal::{self, RecOp, WalSet, WalStats};
 use abyss_storage::{BPlusTree, BtreeHealth, Catalog, FsyncPolicy, HashIndex, Schema, Table};
-use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 
 use crate::config::EngineConfig;
@@ -48,7 +48,7 @@ pub struct Database {
     pub(crate) ts: SharedTs,
     pub(crate) park: ParkTable,
     pub(crate) waits: WaitsFor,
-    pub(crate) parts: Box<[CachePadded<Mutex<PartState>>]>,
+    pub(crate) parts: Box<[Padded<Mutex<PartState>>]>,
     /// The epoch subsystem (SILO commit TIDs, quiescence detection). Always
     /// present — it is a handful of cache lines — but the background ticker
     /// only runs for schemes that consume epochs (or when logging makes
@@ -94,9 +94,7 @@ impl Database {
         }
         let parts_n = cfg.partitions as usize;
         let mut parts = Vec::with_capacity(parts_n);
-        parts.resize_with(parts_n, || {
-            CachePadded::new(Mutex::new(PartState::default()))
-        });
+        parts.resize_with(parts_n, || Padded::new(Mutex::new(PartState::default())));
         let epoch = Arc::new(EpochManager::new(cfg.workers));
         let wal = if cfg.log.enabled {
             let set = WalSet::open(

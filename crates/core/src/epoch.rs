@@ -46,7 +46,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use abyss_common::CoreId;
-use crossbeam_utils::CachePadded;
+use abyss_common::Padded;
 
 /// Bits of a TID word holding the per-epoch sequence number.
 pub const SEQ_BITS: u32 = 40;
@@ -92,20 +92,18 @@ pub fn tid_seq(tid: u64) -> u64 {
 pub struct EpochManager {
     /// The global epoch. Written by the ticker (or tests), read by every
     /// worker — a read-mostly line, so reads stay core-local.
-    global: CachePadded<AtomicU64>,
+    global: Padded<AtomicU64>,
     /// One slot per worker: [`QUIESCENT`] or the epoch the worker entered.
-    slots: Box<[CachePadded<AtomicU64>]>,
+    slots: Box<[Padded<AtomicU64>]>,
 }
 
 impl EpochManager {
     /// A manager with `workers` registration slots, at [`FIRST_EPOCH`].
     pub fn new(workers: u32) -> Self {
         let mut slots = Vec::with_capacity(workers as usize);
-        slots.resize_with(workers as usize, || {
-            CachePadded::new(AtomicU64::new(QUIESCENT))
-        });
+        slots.resize_with(workers as usize, || Padded::new(AtomicU64::new(QUIESCENT)));
         Self {
-            global: CachePadded::new(AtomicU64::new(FIRST_EPOCH)),
+            global: Padded::new(AtomicU64::new(FIRST_EPOCH)),
             slots: slots.into_boxed_slice(),
         }
     }

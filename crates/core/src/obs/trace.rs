@@ -15,8 +15,8 @@ use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::time::Instant;
 
+use abyss_common::Padded;
 use abyss_common::{AbortReason, TxnId};
-use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What happened (the trace event vocabulary).
@@ -136,7 +136,7 @@ impl std::fmt::Debug for TraceRing {
 /// One ring per worker plus the shared time origin.
 #[derive(Debug)]
 pub struct TraceSet {
-    rings: Box<[CachePadded<TraceRing>]>,
+    rings: Box<[Padded<TraceRing>]>,
     origin: Instant,
 }
 
@@ -145,9 +145,7 @@ impl TraceSet {
     /// (rounded up to a power of two).
     pub fn new(workers: u32, capacity: usize) -> Self {
         let mut rings = Vec::with_capacity(workers as usize);
-        rings.resize_with(workers as usize, || {
-            CachePadded::new(TraceRing::new(capacity))
-        });
+        rings.resize_with(workers as usize, || Padded::new(TraceRing::new(capacity)));
         Self {
             rings: rings.into_boxed_slice(),
             origin: Instant::now(),

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
 use abyss_common::CoreId;
-use crossbeam_utils::CachePadded;
+use abyss_common::Padded;
 
 /// Flag value: not waiting.
 pub const IDLE: u32 = 0;
@@ -47,7 +47,7 @@ const OVERSUB_YIELD_EVERY: u32 = 2;
 /// One wakeup flag per worker.
 #[derive(Debug)]
 pub struct ParkTable {
-    flags: Box<[CachePadded<AtomicU32>]>,
+    flags: Box<[Padded<AtomicU32>]>,
     /// Collapse the spin ladder to early yields: set when the worker count
     /// alone oversubscribes the machine, or by the serving layer when its
     /// producer threads push the total over `available_parallelism`.
@@ -60,7 +60,7 @@ impl ParkTable {
     /// available parallelism.
     pub fn new(workers: u32) -> Self {
         let mut v = Vec::with_capacity(workers as usize);
-        v.resize_with(workers as usize, || CachePadded::new(AtomicU32::new(IDLE)));
+        v.resize_with(workers as usize, || Padded::new(AtomicU32::new(IDLE)));
         let cores = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);

@@ -108,6 +108,7 @@ impl TxnService {
             registry,
         });
         let scheme = db.scheme();
+        let pin = db.config().pin;
         let handles = (0..workers)
             .map(|w| {
                 let db = Arc::clone(&db);
@@ -115,6 +116,10 @@ impl TxnService {
                 std::thread::Builder::new()
                     .name(format!("abyss-serve-{w}"))
                     .spawn(move || {
+                        // Same placement policy as the bench drivers:
+                        // best-effort, before the worker touches any
+                        // shared state.
+                        pin.apply(w, workers);
                         crate::schemes::dispatch_protocol!(scheme, P => {
                             worker_loop::<P>(db, shared, w)
                         })

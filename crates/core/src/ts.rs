@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use abyss_common::{CoreId, Ts, TsMethod};
+use abyss_common::{CoreId, Padded, Ts, TsMethod};
 use parking_lot::Mutex;
 
 /// Bits reserved for the worker id in clock timestamps.
@@ -38,12 +38,23 @@ pub const CLOCK_MAX_WORKERS: u32 = 1 << CLOCK_WORKER_BITS;
 
 /// Shared state of a timestamp allocator; per-worker access goes through
 /// [`TsHandle`].
+///
+/// The mutable counters live on their own cache line ([`Padded`]): the
+/// allocator word is the single hottest shared word in every T/O scheme,
+/// and an unpadded counter would additionally drag whatever the enum's
+/// neighbors are into its coherence storm (the `padding_audit` section of
+/// `dispatch_micro` measures that cost).
 #[derive(Debug)]
 enum Shared {
     Mutex(Mutex<u64>),
-    Atomic(AtomicU64),
-    Batched { counter: AtomicU64, batch: u64 },
-    Clock { epoch: Instant },
+    Atomic(Padded<AtomicU64>),
+    Batched {
+        counter: Padded<AtomicU64>,
+        batch: u64,
+    },
+    Clock {
+        epoch: Instant,
+    },
 }
 
 /// A timestamp allocator shared by all workers of a database.
@@ -59,9 +70,9 @@ impl SharedTs {
     pub fn new(method: TsMethod) -> Self {
         let inner = match method {
             TsMethod::Mutex => Shared::Mutex(Mutex::new(0)),
-            TsMethod::Atomic | TsMethod::Hardware => Shared::Atomic(AtomicU64::new(0)),
+            TsMethod::Atomic | TsMethod::Hardware => Shared::Atomic(Padded::new(AtomicU64::new(0))),
             TsMethod::Batched { batch } => Shared::Batched {
-                counter: AtomicU64::new(0),
+                counter: Padded::new(AtomicU64::new(0)),
                 batch: u64::from(batch.max(1)),
             },
             TsMethod::Clock => Shared::Clock {

@@ -18,8 +18,8 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use abyss_common::Padded;
 use abyss_common::{ids::TXN_NONE, CoreId, TxnId};
-use crossbeam_utils::CachePadded;
 
 use crate::txn::worker_of;
 
@@ -52,14 +52,14 @@ impl Default for Slot {
 /// The partitioned waits-for graph.
 #[derive(Debug)]
 pub struct WaitsFor {
-    slots: Box<[CachePadded<Slot>]>,
+    slots: Box<[Padded<Slot>]>,
 }
 
 impl WaitsFor {
     /// Graph for `workers` workers.
     pub fn new(workers: u32) -> Self {
         let mut v = Vec::with_capacity(workers as usize);
-        v.resize_with(workers as usize, CachePadded::default);
+        v.resize_with(workers as usize, Padded::default);
         Self {
             slots: v.into_boxed_slice(),
         }

@@ -11,7 +11,7 @@
 //! that flavor.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -855,33 +855,62 @@ fn finalize_wal(db: &Arc<Database>, stats: &mut RunStats, base: Option<abyss_sto
 /// `body` against its generator, run `control` on the spawning thread
 /// (e.g. a stop-flag timer), then join and merge every worker's stats.
 /// Both public drivers differ only in their loop-termination policy.
+///
+/// Every worker pins itself per [`crate::config::EngineConfig::pin`],
+/// constructs its context, and then parks on a ready-count start barrier;
+/// the spawning thread releases all of them on one edge once the last
+/// worker has reported in, and only then starts `control`'s clock. Without
+/// the barrier, the first-spawned worker runs (and its warmup deadline
+/// drifts) while later siblings are still paying thread-creation and
+/// context-construction cost — stragglers then get measured mid-warmup.
+///
+/// Returns the merged stats plus the start-edge wall: barrier release →
+/// last worker finished. Bounded drivers use it directly; timed drivers
+/// derive a tighter window from their own stop timer.
 fn drive_workers<P: CcProtocol>(
     db: &Arc<Database>,
     mut generators: Vec<Generator>,
     body: impl Fn(&mut WorkerCtx<P>, &mut dyn FnMut() -> abyss_common::TxnTemplate) + Sync,
     control: impl FnOnce(),
-) -> RunStats {
+) -> (RunStats, Duration) {
     let n = db.cfg.workers as usize;
     assert_eq!(generators.len(), n, "one generator per worker required");
+    let pin = db.cfg.pin;
+    let ready = AtomicU64::new(0);
+    let running = AtomicBool::new(false);
     let mut merged = RunStats::default();
+    let mut wall = Duration::ZERO;
     crossbeam::thread::scope(|scope| {
+        let ready = &ready;
+        let running = &running;
         let mut handles = Vec::with_capacity(n);
         for (w, mut generator) in generators.drain(..).enumerate() {
             let db = Arc::clone(db);
             let body = &body;
             handles.push(scope.spawn(move |_| {
+                pin.apply(w as u32, n as u32);
                 let mut ctx = WorkerCtx::<P>::new(db, w as u32);
+                ready.fetch_add(1, Ordering::AcqRel);
+                while !running.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
                 body(&mut ctx, &mut *generator);
                 ctx.stats
             }));
         }
+        while ready.load(Ordering::Acquire) < n as u64 {
+            std::hint::spin_loop();
+        }
+        let start_edge = Instant::now();
+        running.store(true, Ordering::Release);
         control();
         for h in handles {
             merged.merge(&h.join().expect("worker panicked"));
         }
+        wall = start_edge.elapsed();
     })
     .expect("worker scope");
-    merged
+    (merged, wall)
 }
 
 /// [`run_workers`] instantiated for one protocol — the single-scheme
@@ -893,15 +922,20 @@ pub fn run_workers_typed<P: CcProtocol>(
     measure: Duration,
 ) -> BenchOutcome {
     let stop = AtomicBool::new(false);
-    let start = Instant::now();
-    let warm_deadline = start + warmup;
     // WAL counter snapshot at the warmup boundary, so the exported
     // flush/fsync counts match the workers' warmup-reset statistics.
     let warm_base = std::sync::Mutex::new(None);
-    let stats = drive_workers::<P>(
+    // The measured window as the stop timer saw it: warmup boundary →
+    // stop edge. Measured on the control thread, whose clock starts at
+    // the same barrier release the workers' warm deadlines derive from.
+    let window = std::sync::Mutex::new(Duration::ZERO);
+    let (stats, _) = drive_workers::<P>(
         db,
         generators,
         |ctx, generator| {
+            // All workers leave the barrier within one spin round, so each
+            // derives the shared warmup deadline from its own release.
+            let warm_deadline = Instant::now() + warmup;
             let mut warmed = false;
             let mut measured_start = Instant::now();
             while !stop.load(Ordering::Relaxed) {
@@ -915,22 +949,23 @@ pub fn run_workers_typed<P: CcProtocol>(
             }
             ctx.stats.elapsed = measured_start.elapsed().as_nanos() as u64;
         },
-        // Timer on the spawning thread: snapshot the WAL counters when
-        // the warmup ends, arm the stop flag when the measurement ends.
+        // Timer on the spawning thread (running only after the barrier
+        // released every worker): snapshot the WAL counters when the
+        // warmup ends, arm the stop flag when the measurement ends.
         || {
             std::thread::sleep(warmup);
+            let warm_at = Instant::now();
             *warm_base.lock().unwrap() = db.wal_stats();
             std::thread::sleep(measure);
             stop.store(true, Ordering::Relaxed);
+            *window.lock().unwrap() = warm_at.elapsed();
         },
     );
     let mut stats = stats;
     let base = warm_base.lock().unwrap().take();
     finalize_wal(db, &mut stats, base);
-    BenchOutcome {
-        stats,
-        wall: start.elapsed().saturating_sub(warmup),
-    }
+    let wall = *window.lock().unwrap();
+    BenchOutcome { stats, wall }
 }
 
 /// Drive `db.config().workers` threads, each repeatedly fetching a
@@ -958,8 +993,10 @@ pub fn run_workers_bounded_typed<P: CcProtocol>(
     txns_per_worker: u64,
 ) -> BenchOutcome {
     let never_stop = AtomicBool::new(false);
-    let start = Instant::now();
-    let stats = drive_workers::<P>(
+    // Start-edge accounting: the wall runs from the barrier release (all
+    // workers constructed and pinned) to the last worker finishing its
+    // quota — thread spawn and context construction are not measured.
+    let (stats, wall) = drive_workers::<P>(
         db,
         generators,
         |ctx, generator| {
@@ -975,10 +1012,7 @@ pub fn run_workers_bounded_typed<P: CcProtocol>(
     let mut stats = stats;
     // No warmup reset here: the whole bounded run is the window.
     finalize_wal(db, &mut stats, None);
-    BenchOutcome {
-        stats,
-        wall: start.elapsed(),
-    }
+    BenchOutcome { stats, wall }
 }
 
 /// Like [`run_workers`], but each worker executes **exactly**

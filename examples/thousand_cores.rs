@@ -9,10 +9,10 @@
 //!
 //! `--breakdown` switches the table to the seven-phase profile (the
 //! paper's six §3.2 categories plus Logging) and writes each scheme's
-//! stack to `results/thousand_cores_breakdown.json`.
+//! stack to `results/thousand_cores_breakdown.json` (shared envelope —
+//! CI's `validate_results` checks it like every other artifact).
 
-use std::io::Write as _;
-
+use abyss::bench::harness::emit::Envelope;
 use abyss::common::stats::Category;
 use abyss::common::{CcScheme, Phase};
 use abyss::sim::{run_sim, SimConfig, SimTable};
@@ -98,19 +98,22 @@ fn main() {
         }
     }
     if breakdown {
-        let json = format!(
-            "{{\"cores\":{cores},\"theta\":{theta},\"schemes\":[{}]}}",
-            stacks
-                .iter()
-                .map(|(s, j)| format!("{{\"scheme\":\"{}\",\"breakdown\":{j}}}", s.name()))
-                .collect::<Vec<_>>()
-                .join(",")
-        );
-        if std::fs::create_dir_all("results").is_ok() {
-            if let Ok(mut f) = std::fs::File::create("results/thousand_cores_breakdown.json") {
-                let _ = writeln!(f, "{json}");
-                println!("\n[json] results/thousand_cores_breakdown.json");
-            }
+        let mut env = Envelope::new("thousand_cores_breakdown");
+        env.meta_num("cores", f64::from(cores))
+            .meta_num("theta", theta)
+            .section(
+                "breakdown",
+                &format!(
+                    "{{\"schemes\":[{}]}}",
+                    stacks
+                        .iter()
+                        .map(|(s, j)| format!("{{\"scheme\":\"{}\",\"breakdown\":{j}}}", s.name()))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            );
+        if env.write().is_ok() {
+            println!("\n[json] results/thousand_cores_breakdown.json");
         }
     }
     println!("\n(the paper's conclusion: nobody survives a thousand cores unscathed)");

@@ -11,9 +11,12 @@
 //! * [`sim`] — the deterministic many-core simulator (Graphite substitute)
 //!   used to scale the evaluation to 1024 cores.
 //! * [`workload`] — YCSB and TPC-C generators.
+//! * [`bench`] — the unified benchmark harness and figure experiments
+//!   (see DESIGN.md, "The bench harness").
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map.
 
+pub use abyss_bench as bench;
 pub use abyss_common as common;
 pub use abyss_core as core;
 pub use abyss_sim as sim;

@@ -1,0 +1,172 @@
+//! Integration tests for the unified bench harness (PR 9): barrier
+//! semantics, result merging, pinning fallback, and the JSON envelope's
+//! round-trip through the validator CI runs.
+
+use std::ops::AddAssign;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use abyss_bench::harness::{
+    self, available_cores, emit::Envelope, json, pin_to_core, BenchContext, BenchSpec, PinPolicy,
+};
+
+/// Each thread records how many of its siblings had already checked in
+/// at the moment the runner released it. The runner only arms the
+/// running flag after every thread reports ready, so all of them must
+/// observe the full group — the barrier releases everyone on one edge,
+/// not thread-by-thread as they spawn.
+struct BarrierProbe {
+    observed_ready: AtomicU64,
+}
+
+impl BenchSpec for BarrierProbe {
+    type Result = u64;
+
+    fn run(&self, ctx: &mut BenchContext<'_>) -> u64 {
+        ctx.wait_for_start();
+        // Everyone is past the barrier: count the rendezvous.
+        self.observed_ready.fetch_add(1, Ordering::AcqRel);
+        let mut spins = 0u64;
+        while self.observed_ready.load(Ordering::Acquire) < u64::from(ctx.threads) {
+            std::hint::spin_loop();
+            spins += 1;
+            assert!(
+                spins < 2_000_000_000,
+                "a sibling never came out of the start barrier"
+            );
+        }
+        1
+    }
+}
+
+#[test]
+fn barrier_releases_all_threads_together() {
+    let threads = 4;
+    let mut spec = BarrierProbe {
+        observed_ready: AtomicU64::new(0),
+    };
+    let out = harness::run_bounded(&mut spec, threads, PinPolicy::None);
+    assert_eq!(out.merged, u64::from(threads));
+    assert_eq!(
+        spec.observed_ready.load(Ordering::Acquire),
+        u64::from(threads)
+    );
+}
+
+/// A deliberately structured result (sum + max) to check that the
+/// harness's fold order doesn't matter for a lawful `AddAssign`.
+#[derive(Default, Clone, Copy, Debug, PartialEq)]
+struct SumMax {
+    sum: u64,
+    max: u64,
+}
+
+impl AddAssign for SumMax {
+    fn add_assign(&mut self, rhs: Self) {
+        self.sum += rhs.sum;
+        self.max = self.max.max(rhs.max);
+    }
+}
+
+struct IdSpec;
+
+impl BenchSpec for IdSpec {
+    type Result = SumMax;
+
+    fn run(&self, ctx: &mut BenchContext<'_>) -> SumMax {
+        ctx.wait_for_start();
+        let v = u64::from(ctx.thread_id) + 1;
+        SumMax { sum: v, max: v }
+    }
+}
+
+#[test]
+fn result_merge_is_associative_and_commutative() {
+    let out = harness::run_bounded(&mut IdSpec, 6, PinPolicy::None);
+
+    // Forward fold (what the runner does), reverse fold, and a pairwise
+    // tree fold must all agree.
+    let fold = |order: &[SumMax]| {
+        let mut acc = SumMax::default();
+        for r in order {
+            acc += *r;
+        }
+        acc
+    };
+    let forward = fold(&out.per_thread);
+    let mut reversed = out.per_thread.clone();
+    reversed.reverse();
+    let backward = fold(&reversed);
+    let mut tree = SumMax::default();
+    for pair in out.per_thread.chunks(2) {
+        tree += fold(pair);
+    }
+
+    assert_eq!(out.merged, forward);
+    assert_eq!(forward, backward);
+    assert_eq!(forward, tree);
+    assert_eq!(out.merged, SumMax { sum: 21, max: 6 });
+}
+
+#[test]
+fn pinning_falls_back_cleanly_past_available_cores() {
+    // Asking for a core the host doesn't have must fail soft (return
+    // false), not crash or wedge the calling thread.
+    let beyond = available_cores() + 64;
+    assert!(!pin_to_core(beyond), "pinning to core {beyond} succeeded?");
+
+    // And a run requesting more threads than cores still completes with
+    // every thread's result accounted for: core_for wraps round-robin.
+    let threads = (available_cores() as u32 + 2).min(64);
+    let out = harness::run_bounded(&mut IdSpec, threads, PinPolicy::RoundRobin);
+    assert_eq!(out.per_thread.len(), threads as usize);
+
+    // Compact placement degrades the same way.
+    let out = harness::run_bounded(&mut IdSpec, threads, PinPolicy::Compact);
+    assert_eq!(out.per_thread.len(), threads as usize);
+}
+
+#[test]
+fn timed_runs_stop_on_the_shared_edge() {
+    struct Spin;
+    impl BenchSpec for Spin {
+        type Result = u64;
+        fn run(&self, ctx: &mut BenchContext<'_>) -> u64 {
+            ctx.wait_for_start();
+            let mut n = 0;
+            while ctx.is_running() {
+                n += 1;
+                std::hint::spin_loop();
+            }
+            n
+        }
+    }
+    let out = harness::run_timed(&mut Spin, 2, Duration::from_millis(15), PinPolicy::None);
+    assert!(out.merged > 0);
+    assert!(out.wall >= Duration::from_millis(15));
+}
+
+#[test]
+fn envelope_round_trips_through_the_validator() {
+    let mut env = Envelope::new("harness_integration");
+    env.meta_num("threads", 4.0).section(
+        "latency",
+        "{\"count\":100,\"p50\":10,\"p90\":20,\"p99\":30,\"p999\":40,\"max\":50,\"mean\":12}",
+    );
+    let text = env.to_json();
+    let doc = json::parse(&text).expect("emitter output parses");
+    json::validate_envelope(&doc).expect("emitter output validates");
+}
+
+#[test]
+fn validator_rejects_a_broken_envelope() {
+    // Same envelope with an inverted quantile pair: the validator CI
+    // runs over results/*.json must catch it.
+    let mut env = Envelope::new("harness_integration");
+    env.section(
+        "latency",
+        "{\"count\":100,\"p50\":99,\"p90\":20,\"p99\":30,\"p999\":40,\"max\":50}",
+    );
+    let doc = json::parse(&env.to_json()).expect("parses");
+    assert!(json::validate_envelope(&doc).is_err());
+}
