@@ -33,6 +33,7 @@ use abyss_bench::harness::{self, BenchContext, BenchSpec, PinPolicy};
 use abyss_bench::{HarnessArgs, Report};
 use abyss_common::{CcScheme, PadWrap, Padded, TxnTemplate, Unpadded};
 use abyss_core::{run_workers_bounded_via, Database, DispatchMode, EngineConfig};
+use abyss_storage::mempool::{arena_depth, MemPool};
 use abyss_workload::ycsb::{self, YcsbConfig, YcsbGen};
 
 const SEED: u64 = 0xD15B_A7C4_0000_0001;
@@ -258,13 +259,151 @@ fn padding_section(args: &HarnessArgs) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// NUMA arena refill
+// ---------------------------------------------------------------------
+
+/// Per-thread tally for the arena-churn spec.
+#[derive(Default, Clone, Copy)]
+struct Churn {
+    allocs: u64,
+    arena_hits: u64,
+    refilled: u64,
+}
+
+impl AddAssign for Churn {
+    fn add_assign(&mut self, rhs: Self) {
+        self.allocs += rhs.allocs;
+        self.arena_hits += rhs.arena_hits;
+        self.refilled += rhs.refilled;
+    }
+}
+
+/// Block size the churn hammers — the pool's row-copy sweet spot.
+const CHURN_BLOCK: usize = 256;
+/// Blocks allocated per pool lifecycle.
+const CHURN_BURST: usize = 64;
+
+/// Pool-lifecycle churn against the node arenas: each round builds a
+/// pool bound to one node, allocates a burst, frees it, and drops the
+/// pool — parking its cache into that node's arena, where the next
+/// same-node pool's refill recycles it. `nodes` round-robins the target:
+/// a single entry is the local steady state (arena hits every round
+/// after the first); listing every node is the interleaved pattern a
+/// non-NUMA-aware allocator produces. Single-node hosts collapse both
+/// cases to identical behavior — the figure reports the topology so the
+/// validator knows when the delta is meaningful.
+struct ArenaChurn {
+    nodes: Vec<usize>,
+    rounds: u64,
+}
+
+impl BenchSpec for ArenaChurn {
+    type Result = Churn;
+
+    fn run(&self, ctx: &mut BenchContext<'_>) -> Churn {
+        ctx.wait_for_start();
+        let mut out = Churn::default();
+        let mut blocks = Vec::with_capacity(CHURN_BURST);
+        for r in 0..self.rounds {
+            let node = self.nodes[(r as usize) % self.nodes.len()];
+            let mut pool = MemPool::new_on_node(node);
+            for _ in 0..CHURN_BURST {
+                blocks.push(pool.alloc(CHURN_BLOCK));
+            }
+            out.allocs += CHURN_BURST as u64;
+            for b in blocks.drain(..) {
+                pool.free(b);
+            }
+            let st = pool.stats();
+            out.arena_hits += st.arena_hits;
+            out.refilled += st.refilled_blocks;
+        }
+        out
+    }
+}
+
+/// Best-of-N ns/alloc for one node pattern, plus the arena hit rate:
+/// the fraction of refilled blocks recycled from the node arena rather
+/// than carved fresh (deterministic given the pattern, so any rep
+/// serves).
+fn churn_case(nodes: Vec<usize>, rounds: u64, reps: u32) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut hit_rate = 0.0;
+    for _ in 0..reps {
+        let mut spec = ArenaChurn {
+            nodes: nodes.clone(),
+            rounds,
+        };
+        let out = harness::run_bounded(&mut spec, 1, PinPolicy::Compact);
+        best = best.min(out.wall.as_nanos() as f64 / out.merged.allocs as f64);
+        hit_rate = out.merged.arena_hits as f64 / out.merged.refilled.max(1) as f64;
+    }
+    (best, hit_rate)
+}
+
+fn numa_section(args: &HarnessArgs) -> String {
+    let topo = abyss_common::numa_topology();
+    let here = abyss_common::current_node();
+    let (rounds, reps) = if args.quick {
+        (2_000u64, 2u32)
+    } else if args.full {
+        (40_000, 5)
+    } else {
+        (10_000, 3)
+    };
+    let all_nodes: Vec<usize> = (0..topo.nodes()).collect();
+
+    // Prime every node's arena once so the timed cases measure steady
+    // state, not first-touch allocation.
+    churn_case(all_nodes.clone(), 64.max(rounds / 10), 1);
+
+    let mut table = Report::new(&["pattern", "ns/alloc", "arena hit rate"]);
+    let mut cases = Vec::new();
+    let mut by_name = [0.0f64; 2];
+    for (i, (name, nodes)) in [("local", vec![here]), ("interleaved", all_nodes.clone())]
+        .into_iter()
+        .enumerate()
+    {
+        let (ns, hits) = churn_case(nodes, rounds, reps);
+        by_name[i] = ns;
+        table.row(vec![
+            name.to_string(),
+            format!("{ns:.1}"),
+            format!("{hits:.3}"),
+        ]);
+        cases.push(format!(
+            "{{\"pattern\":\"{name}\",\"ns_per_alloc\":{},\"arena_hit_rate\":{}}}",
+            num(ns),
+            num(hits),
+        ));
+    }
+    table.print(&format!(
+        "numa arena refill: {} node(s), {CHURN_BURST}x{CHURN_BLOCK}B bursts, \
+         {rounds} pool lifecycles x best-of-{reps}",
+        topo.nodes()
+    ));
+
+    format!(
+        "{{\"nodes\":{},\"current_node\":{here},\"block_size\":{CHURN_BLOCK},\
+         \"burst\":{CHURN_BURST},\"rounds\":{rounds},\"reps\":{reps},\
+         \"arena_depth_local\":{},\"interleaved_over_local\":{},\"cases\":[{}]}}",
+        topo.nodes(),
+        arena_depth(here, CHURN_BLOCK),
+        num(by_name[1] / by_name[0]),
+        cases.join(",")
+    )
+}
+
 fn main() {
     let args = HarnessArgs::parse();
     let dispatch = dispatch_section(&args);
     let padding = padding_section(&args);
+    let numa = numa_section(&args);
 
     let mut env = Envelope::new("dispatch_micro");
     env.section("dispatch", &dispatch)
-        .section("padding_audit", &padding);
+        .section("padding_audit", &padding)
+        .section("numa", &numa);
     env.write().expect("write results/dispatch_micro.json");
 }

@@ -1,0 +1,5 @@
+//! fig_regulate binary — see [`abyss_bench::fig_regulate`].
+
+fn main() {
+    abyss_bench::fig_regulate::run();
+}

@@ -11,11 +11,20 @@
 //!
 //! * `dispatch_micro` — all schemes timed on both dispatch paths with
 //!   positive costs; the padding audit covers the 2PL lockword and the
-//!   epoch slots with positive padded and unpadded costs.
+//!   epoch slots with positive padded and unpadded costs; the NUMA
+//!   arena churn hits the node arena on the same-node pattern.
 //! * `fig_modern` — SILO and TICTOC allocate **zero** global timestamps;
 //!   OCC pays the allocator (the contrast the figure is about).
+//! * `fig_regulate` — the adaptive backoff controller matches or beats
+//!   the fixed schedule for at least one OCC-family scheme in the hot
+//!   regime (theta >= 0.8) and idles at theta 0; the read-only fast
+//!   path halves OCC's timestamp allocations (begin stays, validation
+//!   goes) with a wall-clock win; the 1024-core regulated restart delay
+//!   never loses and wins >= 1% for the optimistic family. Wall-clock
+//!   margins are only enforced on non-quick (pinned) artifacts.
 //! * `fig_service` — shedding is zero at the lowest offered point and
-//!   nonzero at the highest (admission control engages past saturation).
+//!   nonzero at the highest (admission control engages past saturation);
+//!   the batched-submission probe ran both paths to commit.
 //! * `fig_breakdown` — DL_DETECT's wait fraction rises with theta in the
 //!   simulator section (the paper's headline thrashing story).
 //! * `fig_durability` — group commit keeps ≥ 80% of undurable
@@ -89,6 +98,155 @@ fn check_dispatch_micro(doc: &Value) -> Result<(), String> {
                 return Err(format!("padding_audit/{want}: non-positive {key}"));
             }
         }
+    }
+    let numa = section(doc, "numa").ok_or("missing numa section")?;
+    if num(numa, "nodes").is_none_or(|n| n < 1.0) {
+        return Err("numa: node count < 1".into());
+    }
+    let cases = numa
+        .get("cases")
+        .and_then(Value::as_arr)
+        .ok_or("numa: no cases array")?;
+    for want in ["local", "interleaved"] {
+        let case = cases
+            .iter()
+            .find(|c| c.get("pattern").and_then(Value::as_str) == Some(want))
+            .ok_or_else(|| format!("numa: missing {want} case"))?;
+        if num(case, "ns_per_alloc").is_none_or(|v| v <= 0.0) {
+            return Err(format!("numa/{want}: non-positive ns_per_alloc"));
+        }
+    }
+    // Steady-state same-node churn must recycle parked blocks out of the
+    // node arena — a zero hit rate means the arena path is dead code.
+    let local = cases
+        .iter()
+        .find(|c| c.get("pattern").and_then(Value::as_str) == Some("local"))
+        .unwrap();
+    if num(local, "arena_hit_rate").is_none_or(|v| v <= 0.0) {
+        return Err("numa/local: arena never hit".into());
+    }
+    Ok(())
+}
+
+fn check_fig_regulate(doc: &Value) -> Result<(), String> {
+    // Quick (CI-smoke) regenerations are too short for the wall-clock
+    // margin claims — hold them to the structural and deterministic
+    // checks only. The pinned artifact is a default or full run.
+    let quick = doc
+        .get("meta")
+        .and_then(|m| m.get("mode"))
+        .and_then(Value::as_str)
+        == Some("quick");
+    // --- sweep: the adaptive controller's engine-side claim ---
+    let sweep = section(doc, "sweep").ok_or("missing sweep section")?;
+    let series = sweep
+        .get("series")
+        .and_then(Value::as_arr)
+        .ok_or("sweep: no series")?;
+    if series.is_empty() {
+        return Err("sweep: empty series".into());
+    }
+    let occ_family = ["OCC", "SILO", "TICTOC"];
+    let mut hot_win = false;
+    for pt in series {
+        let scheme = pt.get("scheme").and_then(Value::as_str).unwrap_or("?");
+        let theta = num(pt, "theta").unwrap_or(-1.0);
+        let fixed = num(pt.get("fixed").ok_or("sweep point missing fixed")?, "tput").unwrap_or(0.0);
+        let adaptive = num(
+            pt.get("adaptive").ok_or("sweep point missing adaptive")?,
+            "tput",
+        )
+        .unwrap_or(0.0);
+        if fixed <= 0.0 || adaptive <= 0.0 {
+            return Err(format!("sweep/{scheme}@{theta}: zero throughput"));
+        }
+        // Uncontended guard: the controller must idle at theta 0 — a big
+        // regression there means it fires without aborts. Loose bound;
+        // the pinned artifact is held to ±2%.
+        if !quick && theta == 0.0 && adaptive < 0.85 * fixed {
+            return Err(format!(
+                "sweep/{scheme}@0: adaptive {adaptive:.0} lost >15% vs fixed {fixed:.0}"
+            ));
+        }
+        if occ_family.contains(&scheme) && theta >= 0.8 && adaptive >= fixed {
+            hot_win = true;
+        }
+    }
+    if !quick && !hot_win {
+        return Err(
+            "sweep: adaptive never matched fixed for any OCC-family scheme at theta >= 0.8".into(),
+        );
+    }
+    // --- ro_fastpath: the commit-skip mechanism and its cost ---
+    let ro = section(doc, "ro_fastpath").ok_or("missing ro_fastpath section")?;
+    let schemes = ro
+        .get("schemes")
+        .and_then(Value::as_arr)
+        .ok_or("ro_fastpath: no schemes array")?;
+    let occ = schemes
+        .iter()
+        .find(|s| s.get("scheme").and_then(Value::as_str) == Some("OCC"))
+        .ok_or("ro_fastpath: missing OCC")?;
+    // OCC pays two allocator trips per transaction (begin + validation);
+    // the fast path must drop exactly the validation one.
+    let on_ts = num(occ, "on_ts_allocated").unwrap_or(-1.0);
+    let off_ts = num(occ, "off_ts_allocated").unwrap_or(-1.0);
+    if on_ts <= 0.0 || off_ts != 2.0 * on_ts {
+        return Err(format!(
+            "ro_fastpath/OCC: expected the fast path to halve ts allocation \
+             (on {on_ts}, off {off_ts})"
+        ));
+    }
+    // The paired-median off/on ratio is the wall-clock claim: a real
+    // (if small) win for OCC, no harm for schemes that skip nothing.
+    if !quick && num(occ, "off_over_on").unwrap_or(0.0) <= 1.0 {
+        return Err("ro_fastpath/OCC: no wall-clock win from the commit-ts skip".into());
+    }
+    for s in schemes {
+        let name = s.get("scheme").and_then(Value::as_str).unwrap_or("?");
+        let on = num(s, "on_ns_per_txn").unwrap_or(0.0);
+        let off = num(s, "off_ns_per_txn").unwrap_or(0.0);
+        if on <= 0.0 || off <= 0.0 {
+            return Err(format!("ro_fastpath/{name}: non-positive ns/txn"));
+        }
+        if !quick && num(s, "off_over_on").unwrap_or(0.0) < 0.95 {
+            return Err(format!(
+                "ro_fastpath/{name}: fast path >5% slower than slow path ({on:.1} vs {off:.1})"
+            ));
+        }
+    }
+    // --- sim_1024: the deterministic 1024-core model claim ---
+    let sim = section(doc, "sim_1024").ok_or("missing sim_1024 section")?;
+    if num(sim, "cores").unwrap_or(0.0) != 1024.0 {
+        return Err("sim_1024: not run at 1024 cores".into());
+    }
+    // `regulated >= default` is structural (the fixed delay is in the
+    // candidate set); the real finding is a non-trivial margin for the
+    // optimistic family, which only appears if a *different* restart
+    // delay genuinely wins in the thrash regime.
+    let mut sim_margin = false;
+    for s in sim.get("series").and_then(Value::as_arr).unwrap_or(&[]) {
+        let name = s.get("scheme").and_then(Value::as_str).unwrap_or("?");
+        let d = num(s, "default_tput").unwrap_or(0.0);
+        let r = num(s, "regulated_tput").unwrap_or(0.0);
+        if d <= 0.0 || r <= 0.0 {
+            return Err(format!("sim_1024/{name}: zero throughput"));
+        }
+        if occ_family.contains(&name) {
+            if r < d {
+                return Err(format!(
+                    "sim_1024/{name}: regulated model lost ({r:.0} vs {d:.0})"
+                ));
+            }
+            if r >= d * 1.01 {
+                sim_margin = true;
+            }
+        }
+    }
+    if !quick && !sim_margin {
+        return Err(
+            "sim_1024: no OCC-family scheme shows a >=1% regulated win at 1024 cores".into(),
+        );
     }
     Ok(())
 }
@@ -182,6 +340,18 @@ fn check_fig_service(doc: &Value) -> Result<(), String> {
     }
     if num(last, "achieved").unwrap_or(0.0) <= 0.0 {
         return Err("overloaded service made no progress".into());
+    }
+    // Batched-submission probe: both paths must have run and committed.
+    let batch = section(doc, "batch").ok_or("missing batch section")?;
+    for key in ["single_ns_per_submit", "batch_ns_per_submit"] {
+        if num(batch, key).is_none_or(|v| v <= 0.0) {
+            return Err(format!("batch: non-positive {key}"));
+        }
+    }
+    for key in ["single_commits", "batch_commits"] {
+        if num(batch, key).is_none_or(|v| v <= 0.0) {
+            return Err(format!("batch: no commits ({key})"));
+        }
     }
     Ok(())
 }
@@ -384,6 +554,7 @@ fn main() -> ExitCode {
         let semantic = match figure {
             "dispatch_micro" => check_dispatch_micro(&doc),
             "fig_modern" => check_fig_modern(&doc),
+            "fig_regulate" => check_fig_regulate(&doc),
             "fig_service" => check_fig_service(&doc),
             "fig_breakdown" => check_fig_breakdown(&doc),
             "fig_durability" => check_fig_durability(&doc),

@@ -261,6 +261,125 @@ impl BenchSpec for Producers<'_> {
     }
 }
 
+/// Single-vs-batched submission probe: one producer pushes `total`
+/// requests either one [`TxnService::submit`] call at a time or in
+/// [`TxnService::submit_batch`] chunks, into a queue sized to absorb the
+/// whole run (no shedding, no bouncing) while the workers drain
+/// concurrently. The measured wall is the bounded runner's start→finish
+/// edge, so ns/submission isolates the producer-side cost the batch API
+/// amortizes — one shard pick, one lock acquisition, and one wakeup per
+/// chunk instead of per request.
+struct SubmitProbe<'a> {
+    svc: &'a TxnService,
+    total: u64,
+    /// Chunk size; 1 selects the single-submit path.
+    batch: usize,
+}
+
+impl BenchSpec for SubmitProbe<'_> {
+    type Result = ProducerCounts;
+
+    fn run(&self, ctx: &mut BenchContext<'_>) -> ProducerCounts {
+        let mut rng = harness_rng(0xBA7C ^ (u64::from(ctx.thread_id) << 24));
+        let mut scratch = Vec::new();
+        ctx.wait_for_start();
+        let mut out = ProducerCounts::default();
+        if self.batch <= 1 {
+            for _ in 0..self.total {
+                let args = draw_args(&mut rng, &mut scratch);
+                out.submitted += 1;
+                match self.svc.submit(procs::PROC_YCSB_RMW, &args, Priority::High) {
+                    Ok(_) => {}
+                    Err(abyss_core::SubmitError::QueueFull) => out.queue_full += 1,
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+        } else {
+            let mut remaining = self.total;
+            while remaining > 0 {
+                let n = remaining.min(self.batch as u64) as usize;
+                let argsets: Vec<Vec<u64>> =
+                    (0..n).map(|_| draw_args(&mut rng, &mut scratch)).collect();
+                let chunk: Vec<(&str, &[u64], Priority)> = argsets
+                    .iter()
+                    .map(|a| (procs::PROC_YCSB_RMW, a.as_slice(), Priority::High))
+                    .collect();
+                out.submitted += n as u64;
+                match self.svc.submit_batch(&chunk) {
+                    Ok(_) => {}
+                    Err(abyss_core::SubmitError::QueueFull) => out.queue_full += n as u64,
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+                remaining -= n as u64;
+            }
+        }
+        out
+    }
+}
+
+/// One probe run; returns (ns/submission, commits, bounced).
+fn batch_point(batch: usize, total: u64) -> (f64, u64, u64) {
+    let workers = engine_workers();
+    let db = build_db(workers);
+    let cfg = ServeConfig {
+        // Absorb the whole bounded run: shedding/backpressure would
+        // short-circuit pushes and skew the per-call cost comparison.
+        queue_capacity: total as usize + 1024,
+        shed_depth: total as usize + 1024,
+        block_on_full: false,
+        producer_hint: 1,
+        ..ServeConfig::default()
+    };
+    let svc = TxnService::start(db, registry(), cfg);
+    let mut spec = SubmitProbe {
+        svc: &svc,
+        total,
+        batch,
+    };
+    let out = harness::run_bounded(&mut spec, 1, PinPolicy::None);
+    let ns = out.wall.as_nanos() as f64 / out.merged.submitted.max(1) as f64;
+    let stats = svc.shutdown();
+    (ns, stats.commits, out.merged.queue_full)
+}
+
+/// Chunk size for the batched submission probe.
+const BATCH_SIZE: usize = 32;
+
+fn batch_section(args: &HarnessArgs) -> String {
+    let total: u64 = if args.quick { 6_000 } else { 30_000 };
+    // Warm both paths (registry, queue allocation, worker spin-up).
+    let _ = batch_point(1, total / 10 + 1);
+    let _ = batch_point(BATCH_SIZE, total / 10 + 1);
+    let (single_ns, single_commits, single_bounced) = batch_point(1, total);
+    let (batch_ns, batch_commits, batch_bounced) = batch_point(BATCH_SIZE, total);
+    let ratio = single_ns / batch_ns;
+    let mut rep = Report::new(&["path", "ns/submit", "commits", "bounced"]);
+    rep.row(vec![
+        "single".into(),
+        format!("{single_ns:.1}"),
+        single_commits.to_string(),
+        single_bounced.to_string(),
+    ]);
+    rep.row(vec![
+        format!("batch x{BATCH_SIZE}"),
+        format!("{batch_ns:.1}"),
+        batch_commits.to_string(),
+        batch_bounced.to_string(),
+    ]);
+    rep.print(&format!(
+        "submission path: {total} requests, 1 producer (single/batch = {ratio:.3})"
+    ));
+    format!(
+        "{{\"total\":{total},\"batch_size\":{BATCH_SIZE},\
+         \"single_ns_per_submit\":{},\"batch_ns_per_submit\":{},\
+         \"single_over_batch\":{},\"single_commits\":{single_commits},\
+         \"batch_commits\":{batch_commits}}}",
+        crate::harness::emit::num(single_ns),
+        crate::harness::emit::num(batch_ns),
+        crate::harness::emit::num(ratio),
+    )
+}
+
 /// One open-loop point: pace `offered` submissions/sec across `producers`
 /// threads for `measure`, then drain and collect the merged stats.
 fn service_point(offered: Option<f64>, producers: u32, measure: Duration) -> ServicePoint {
@@ -361,13 +480,16 @@ pub fn run() {
     ));
     rep.write_csv("fig_service");
 
+    let batch = batch_section(&args);
+
     let mut env = Envelope::new("fig_service");
     env.meta_str("scheme", SCHEME.name())
         .meta_num("workers", f64::from(workers))
         .meta_num("producers", f64::from(producers))
         .meta_num("closed_loop_peak", closed_peak.round())
         .meta_num("service_peak", peak.round())
-        .section("sweep", &format!("{{\"series\":[{}]}}", series.join(",")));
+        .section("sweep", &format!("{{\"series\":[{}]}}", series.join(",")))
+        .section("batch", &batch);
     env.write().expect("write results/fig_service.json");
 }
 

@@ -1,0 +1,255 @@
+//! Hardware performance counters via `perf_event_open` — best-effort.
+//!
+//! Figures that want cycles/instructions alongside their wall-clock
+//! numbers open a [`HwCounters`] pair around the measured region. The
+//! syscall is frequently unavailable (containers without
+//! `CAP_PERFMON`, `perf_event_paranoid` locked down, non-Linux hosts),
+//! so everything here degrades to `None` instead of erroring — a figure
+//! must never fail because the host hides its PMU. Like the rest of the
+//! repo's OS glue ([`abyss_common::affinity`]), the syscalls are raw:
+//! no libc binding, no new dependency.
+
+/// One open perf-event fd counting a hardware event for this thread.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    /// `PERF_TYPE_HARDWARE` generalized event ids.
+    const PERF_COUNT_HW_CPU_CYCLES: u64 = 0;
+    const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+
+    /// `perf_event_attr`, laid out as the kernel reads it. Only the
+    /// leading words matter for a plain counting event; the rest stay
+    /// zero. `size` is `PERF_ATTR_SIZE_VER0` (64) — the kernel accepts
+    /// any published size and zero-fills forward.
+    const ATTR_WORDS: usize = 8;
+    const ATTR_SIZE: u64 = 64;
+    /// Flag bits in word 5: `disabled=0` (count immediately),
+    /// `exclude_kernel` (bit 5) and `exclude_hv` (bit 6) — user cycles
+    /// only, and the unprivileged-friendly mode.
+    const ATTR_FLAGS: u64 = (1 << 5) | (1 << 6);
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_PERF_EVENT_OPEN: i64 = 298;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_PERF_EVENT_OPEN: i64 = 241;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_READ: i64 = 0;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_READ: i64 = 63;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_CLOSE: i64 = 3;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_CLOSE: i64 = 57;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall4(nr: i64, a: i64, b: i64, c: i64, d: i64) -> i64 {
+        let ret: i64;
+        // SAFETY: caller supplies arguments valid for `nr`; the syscall
+        // instruction clobbers rcx/r11 only.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a,
+                in("rsi") b,
+                in("rdx") c,
+                in("r10") d,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall4(nr: i64, a: i64, b: i64, c: i64, d: i64) -> i64 {
+        let ret: i64;
+        // SAFETY: caller supplies arguments valid for `nr`.
+        unsafe {
+            std::arch::asm!(
+                "svc #0",
+                in("x8") nr,
+                inlateout("x0") a => ret,
+                in("x1") b,
+                in("x2") c,
+                in("x3") d,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Open one counting event for the calling thread, any CPU,
+    /// standalone (no group), no flags.
+    fn open_counter(config: u64) -> Option<i32> {
+        let mut attr = [0u64; ATTR_WORDS];
+        attr[0] = ATTR_SIZE << 32; // type = PERF_TYPE_HARDWARE (0), size
+        attr[1] = config;
+        attr[5] = ATTR_FLAGS;
+        let fd = unsafe {
+            syscall5(
+                SYS_PERF_EVENT_OPEN,
+                attr.as_ptr() as i64,
+                0,  // pid: calling thread
+                -1, // cpu: any
+                -1, // group_fd: standalone
+                0,  // flags
+            )
+        };
+        (fd >= 0).then_some(fd as i32)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall5(nr: i64, a: i64, b: i64, c: i64, d: i64, e: i64) -> i64 {
+        let ret: i64;
+        // SAFETY: as syscall4, with the fifth argument in r8.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a,
+                in("rsi") b,
+                in("rdx") c,
+                in("r10") d,
+                in("r8") e,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall5(nr: i64, a: i64, b: i64, c: i64, d: i64, e: i64) -> i64 {
+        let ret: i64;
+        // SAFETY: as syscall4, with the fifth argument in x4.
+        unsafe {
+            std::arch::asm!(
+                "svc #0",
+                in("x8") nr,
+                inlateout("x0") a => ret,
+                in("x1") b,
+                in("x2") c,
+                in("x3") d,
+                in("x4") e,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    fn read_counter(fd: i32) -> Option<u64> {
+        let mut value = 0u64;
+        let n = unsafe {
+            syscall4(
+                SYS_READ,
+                i64::from(fd),
+                std::ptr::from_mut(&mut value) as i64,
+                8,
+                0,
+            )
+        };
+        (n == 8).then_some(value)
+    }
+
+    /// A cycles + instructions counter pair for the calling thread.
+    /// Construction fails (`None`) wherever the kernel refuses the
+    /// syscall — callers report "unavailable" and move on.
+    pub struct HwCounters {
+        cycles_fd: i32,
+        instrs_fd: i32,
+    }
+
+    impl HwCounters {
+        pub fn start() -> Option<Self> {
+            let cycles_fd = open_counter(PERF_COUNT_HW_CPU_CYCLES)?;
+            let Some(instrs_fd) = open_counter(PERF_COUNT_HW_INSTRUCTIONS) else {
+                unsafe { syscall4(SYS_CLOSE, i64::from(cycles_fd), 0, 0, 0) };
+                return None;
+            };
+            Some(Self {
+                cycles_fd,
+                instrs_fd,
+            })
+        }
+
+        pub fn read(&self) -> Option<(u64, u64)> {
+            Some((read_counter(self.cycles_fd)?, read_counter(self.instrs_fd)?))
+        }
+    }
+
+    impl Drop for HwCounters {
+        fn drop(&mut self) {
+            unsafe {
+                syscall4(SYS_CLOSE, i64::from(self.cycles_fd), 0, 0, 0);
+                syscall4(SYS_CLOSE, i64::from(self.instrs_fd), 0, 0, 0);
+            }
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    /// Portable stub: no PMU access off Linux/x86_64/aarch64.
+    pub struct HwCounters {}
+
+    impl HwCounters {
+        pub fn start() -> Option<Self> {
+            None
+        }
+
+        pub fn read(&self) -> Option<(u64, u64)> {
+            None
+        }
+    }
+}
+
+pub use imp::HwCounters;
+
+/// One-word availability label for figure metadata.
+pub fn hw_counters_label() -> &'static str {
+    if HwCounters::start().is_some() {
+        "available"
+    } else {
+        "unavailable"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_degrade_gracefully_or_count_forward() {
+        // Containers routinely deny perf_event_open: None is a valid
+        // outcome. When the PMU is reachable, cycles must advance across
+        // real work and reads must never error.
+        let Some(ctr) = HwCounters::start() else {
+            return;
+        };
+        let (c0, i0) = ctr.read().expect("open counter reads");
+        let mut sink = 0u64;
+        for i in 0..100_000u64 {
+            sink = sink.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(sink);
+        let (c1, i1) = ctr.read().expect("open counter reads");
+        assert!(c1 >= c0, "cycles ran backwards: {c0} -> {c1}");
+        assert!(i1 > i0, "instructions did not advance: {i0} -> {i1}");
+    }
+
+    #[test]
+    fn label_is_stable() {
+        let a = hw_counters_label();
+        let b = hw_counters_label();
+        assert_eq!(a, b);
+        assert!(a == "available" || a == "unavailable");
+    }
+}

@@ -29,6 +29,7 @@
 //! is for bench-owned threads (microbenchmarks, open-loop producers).
 
 pub mod emit;
+pub mod hw;
 pub mod json;
 pub mod time;
 

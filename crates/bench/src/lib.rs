@@ -16,6 +16,7 @@ pub mod fig_breakdown;
 pub mod fig_durability;
 pub mod fig_latency;
 pub mod fig_modern;
+pub mod fig_regulate;
 pub mod fig_service;
 pub mod fig_ycsbe;
 pub mod harness;

@@ -39,7 +39,9 @@ pub mod stats;
 pub mod txn;
 pub mod zipf;
 
-pub use affinity::{available_cores, pin_to_core, PinPolicy};
+pub use affinity::{
+    available_cores, current_cpu, current_node, numa_topology, pin_to_core, NumaTopology, PinPolicy,
+};
 pub use error::{AbortReason, DbError};
 pub use histo::LatencyHisto;
 pub use ids::{CoreId, Key, PartId, RowIdx, TableId, Ts, TxnId};

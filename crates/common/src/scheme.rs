@@ -137,6 +137,45 @@ impl CcScheme {
         !matches!(self, CcScheme::Timestamp | CcScheme::HStore)
     }
 
+    /// Multiplicative-increase gain of the adaptive backoff controller,
+    /// in percent of the current delay per unit abort rate. The optimistic
+    /// schemes burn a whole execution before discovering a conflict, so a
+    /// high abort rate is worth aggressive restraint; the T/O schemes
+    /// discover conflicts mid-flight and want moderate gains; the 2PL
+    /// variants resolve contention in the lock table itself and barely
+    /// benefit from backing off at all.
+    pub const fn backoff_gain_pct(self) -> u32 {
+        match self {
+            CcScheme::Occ | CcScheme::Silo | CcScheme::TicToc => 100,
+            CcScheme::Timestamp | CcScheme::Mvcc => 50,
+            CcScheme::HStore => 25,
+            CcScheme::DlDetect | CcScheme::NoWait | CcScheme::WaitDie => 10,
+        }
+    }
+
+    /// Ceiling of the adaptive backoff delay in microseconds. OCC-family
+    /// schemes tolerate long pauses (the delayed transaction would have
+    /// aborted at validation anyway); 2PL variants must stay responsive or
+    /// a backed-off lock holder stalls everyone queued behind it.
+    pub const fn backoff_ceiling_us(self) -> u64 {
+        match self {
+            CcScheme::Occ | CcScheme::Silo | CcScheme::TicToc => 2_000,
+            CcScheme::Timestamp | CcScheme::Mvcc => 1_000,
+            CcScheme::HStore => 500,
+            CcScheme::DlDetect | CcScheme::NoWait | CcScheme::WaitDie => 100,
+        }
+    }
+
+    /// Can a statically read-only transaction skip the scheme's
+    /// commit-time timestamp allocation? Only OCC draws a second (validation)
+    /// timestamp at commit — for a transaction with an empty write set the
+    /// validation window is empty and the allocation is pure hot-word
+    /// traffic. Every other scheme either allocates nothing at commit or
+    /// needs its commit serial regardless.
+    pub const fn ro_commit_skips_ts(self) -> bool {
+        matches!(self, CcScheme::Occ)
+    }
+
     /// Number of timestamps allocated per (successful) transaction.
     pub fn timestamps_per_txn(self) -> u32 {
         match self {

@@ -428,6 +428,15 @@ pub struct RunStats {
     /// [`RunStats::commit_latency`] this covers every attempt, so wasted
     /// time under retries is visible, not just the winning attempt.
     pub abort_latency: LatencyHisto,
+    /// Adaptive-backoff pauses taken (one per aborted attempt that waited
+    /// a nonzero delay; zero when the controller is disabled).
+    pub backoffs: u64,
+    /// Total nanoseconds requested by the adaptive backoff controller
+    /// (the delays handed to the spin/yield/sleep ladder, pre-jitter).
+    pub backoff_ns: u64,
+    /// The controller's final per-worker delay in nanoseconds — a gauge,
+    /// merged by max across workers: where the feedback loop settled.
+    pub backoff_delay_ns: u64,
     /// Requests shed at admission by the serving layer, per priority class
     /// (indexed by [`Priority::idx`]). Zero for closed-loop runs.
     pub sheds: [u64; Priority::COUNT],
@@ -551,6 +560,9 @@ impl RunStats {
         self.log_flushes += other.log_flushes;
         self.log_fsyncs += other.log_fsyncs;
         self.durable_epoch_lag = self.durable_epoch_lag.max(other.durable_epoch_lag);
+        self.backoffs += other.backoffs;
+        self.backoff_ns += other.backoff_ns;
+        self.backoff_delay_ns = self.backoff_delay_ns.max(other.backoff_delay_ns);
         self.commit_latency += &other.commit_latency;
         self.abort_latency += &other.abort_latency;
         for (a, b) in self.sheds.iter_mut().zip(other.sheds) {
@@ -743,6 +755,27 @@ mod tests {
             seen[p.idx()] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn merge_sums_backoffs_and_maxes_delay_gauge() {
+        let mut a = RunStats {
+            backoffs: 2,
+            backoff_ns: 1_000,
+            backoff_delay_ns: 500,
+            ..Default::default()
+        };
+        let b = RunStats {
+            backoffs: 3,
+            backoff_ns: 9_000,
+            backoff_delay_ns: 300,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.backoffs, 5);
+        assert_eq!(a.backoff_ns, 10_000);
+        // The settled-delay gauge takes the max, not the sum.
+        assert_eq!(a.backoff_delay_ns, 500);
     }
 
     #[test]

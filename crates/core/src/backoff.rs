@@ -1,0 +1,239 @@
+//! Adaptive contention regulation: a per-worker AIMD backoff controller.
+//!
+//! The paper's restart model (§3.2) — and this engine's default — backs an
+//! aborted transaction off by a *fixed* escalation schedule: the penalty
+//! depends only on how many times this one template has aborted in a row,
+//! not on how contended the system actually is. Under a high-theta Zipfian
+//! write mix that schedule is wrong in both directions at once: too timid
+//! while every worker is aborting (the optimistic schemes re-execute
+//! doomed transactions at full speed, burning the cycles their neighbors
+//! need to commit), and too aggressive the moment contention clears.
+//!
+//! [`BackoffCtl`] replaces the schedule with feedback. Each worker keeps a
+//! sliding window of its last [`WINDOW`] attempt outcomes and a current
+//! delay. Aborts grow the delay **multiplicatively**, scaled by the
+//! window's abort rate and a per-scheme gain ([`CcScheme::backoff_gain_pct`]
+//! — OCC-family schemes want aggressive restraint, 2PL variants barely
+//! any); commits shrink it **additively** toward zero. AIMD converges to
+//! an equilibrium where the delay tracks the contention level: zero under
+//! no contention (the theta-0 regression budget), pinned near the
+//! per-scheme ceiling under a pathological hot-key storm.
+//!
+//! The controller is pure integer state — no clocks, no RNG — so seeded
+//! single-worker replays remain bit-deterministic; jitter is applied by
+//! the worker from its own xorshift stream when the delay is *executed*,
+//! not when it is chosen.
+
+use abyss_common::CcScheme;
+
+/// Sliding-window length, in attempt outcomes.
+pub const WINDOW: u32 = 32;
+
+/// Seed step for the multiplicative increase: the first abort out of a
+/// calm window starts the delay here (1 µs) rather than at zero, which
+/// multiplication alone could never leave.
+const MIN_STEP_NS: u64 = 1_000;
+
+/// Divisor of the ceiling that sets the additive decrease step: one
+/// commit walks the delay down by `ceiling / 256` (≥ 100 ns), so a fully
+/// backed-off worker returns to zero delay within ~256 uncontended
+/// commits regardless of scheme.
+const DECAY_DIV: u64 = 256;
+
+/// Per-worker AIMD backoff controller (see the module docs).
+#[derive(Debug, Clone)]
+pub struct BackoffCtl {
+    /// Current delay in nanoseconds (the controller's whole state).
+    delay_ns: u64,
+    /// Per-scheme clamp, in nanoseconds.
+    ceiling_ns: u64,
+    /// Per-scheme multiplicative gain, percent per unit abort rate.
+    gain_pct: u64,
+    /// Ring bitset of the last [`WINDOW`] outcomes (bit set = abort).
+    outcomes: u32,
+    /// Outcomes recorded so far, saturating at [`WINDOW`].
+    recorded: u32,
+    /// Next ring position.
+    pos: u32,
+}
+
+impl BackoffCtl {
+    /// A controller with explicit gains (tests); runs start at zero delay.
+    pub fn new(gain_pct: u32, ceiling_us: u64) -> Self {
+        Self {
+            delay_ns: 0,
+            ceiling_ns: ceiling_us.saturating_mul(1_000),
+            gain_pct: u64::from(gain_pct),
+            outcomes: 0,
+            recorded: 0,
+            pos: 0,
+        }
+    }
+
+    /// The controller tuned for `scheme`'s capability gains.
+    pub fn for_scheme(scheme: CcScheme) -> Self {
+        Self::new(scheme.backoff_gain_pct(), scheme.backoff_ceiling_us())
+    }
+
+    /// Record one attempt outcome in the ring.
+    fn record(&mut self, aborted: bool) {
+        let bit = 1u32 << self.pos;
+        if aborted {
+            self.outcomes |= bit;
+        } else {
+            self.outcomes &= !bit;
+        }
+        self.pos = (self.pos + 1) % WINDOW;
+        self.recorded = (self.recorded + 1).min(WINDOW);
+    }
+
+    /// Aborts currently in the window.
+    pub fn window_aborts(&self) -> u32 {
+        self.outcomes.count_ones()
+    }
+
+    /// Outcomes currently in the window (< [`WINDOW`] until warm).
+    pub fn window_len(&self) -> u32 {
+        self.recorded
+    }
+
+    /// The current delay in nanoseconds.
+    pub fn delay_ns(&self) -> u64 {
+        self.delay_ns
+    }
+
+    /// A commit: additive decrease toward the zero floor.
+    pub fn on_commit(&mut self) {
+        self.record(false);
+        let step = (self.ceiling_ns / DECAY_DIV).max(100);
+        self.delay_ns = self.delay_ns.saturating_sub(step);
+    }
+
+    /// An abort: multiplicative increase scaled by the window's abort
+    /// rate, clamped to the ceiling. Returns the delay the worker should
+    /// execute *now* (jitter is the caller's).
+    pub fn on_abort(&mut self) -> u64 {
+        self.record(true);
+        let len = u64::from(self.recorded.max(1));
+        let aborts = u64::from(self.window_aborts());
+        let grow = self.delay_ns.max(MIN_STEP_NS) * self.gain_pct * aborts / (100 * len);
+        self.delay_ns = (self.delay_ns + grow).min(self.ceiling_ns);
+        self.delay_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive `n` outcomes with `abort_every` (0 = never abort).
+    fn drive(ctl: &mut BackoffCtl, n: u32, abort_every: u32) {
+        for i in 0..n {
+            if abort_every != 0 && i % abort_every == 0 {
+                ctl.on_abort();
+            } else {
+                ctl.on_commit();
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_floor_on_zero_aborts() {
+        let mut ctl = BackoffCtl::for_scheme(CcScheme::Occ);
+        // Pin the delay at the ceiling first.
+        for _ in 0..64 {
+            ctl.on_abort();
+        }
+        assert!(ctl.delay_ns() > 0);
+        // A window-plus of clean commits must drain it all the way to 0.
+        drive(&mut ctl, 2 * DECAY_DIV as u32, 0);
+        assert_eq!(ctl.delay_ns(), 0, "commits must decay the delay to zero");
+        // And it stays there — no residual penalty on further commits.
+        ctl.on_commit();
+        assert_eq!(ctl.delay_ns(), 0);
+    }
+
+    #[test]
+    fn clamps_to_ceiling_under_total_aborts() {
+        for scheme in CcScheme::ALL {
+            let mut ctl = BackoffCtl::for_scheme(scheme);
+            for _ in 0..256 {
+                let d = ctl.on_abort();
+                assert!(
+                    d <= scheme.backoff_ceiling_us() * 1_000,
+                    "{scheme}: delay above ceiling"
+                );
+            }
+            assert_eq!(
+                ctl.delay_ns(),
+                scheme.backoff_ceiling_us() * 1_000,
+                "{scheme}: 100% aborts must pin the delay at the ceiling"
+            );
+        }
+    }
+
+    #[test]
+    fn settled_delay_is_monotone_in_abort_rate() {
+        // Higher abort rates must settle at (weakly) higher delays.
+        let settle = |abort_every: u32| {
+            let mut ctl = BackoffCtl::for_scheme(CcScheme::Silo);
+            drive(&mut ctl, 512, abort_every);
+            ctl.delay_ns()
+        };
+        let calm = settle(0); // 0% aborts
+        let mild = settle(8); // 12.5%
+        let hot = settle(2); // 50%
+        let storm = settle(1); // 100%
+        assert_eq!(calm, 0);
+        assert!(mild <= hot, "12.5% settled above 50%: {mild} > {hot}");
+        assert!(hot <= storm, "50% settled above 100%: {hot} > {storm}");
+        assert!(storm > 0);
+    }
+
+    #[test]
+    fn gain_orders_schemes() {
+        // Same abort pattern: the OCC-family controller must back off at
+        // least as far as the 2PL one (aggressive vs minimal restraint).
+        let mut occ = BackoffCtl::for_scheme(CcScheme::Occ);
+        let mut twopl = BackoffCtl::for_scheme(CcScheme::NoWait);
+        drive(&mut occ, 128, 2);
+        drive(&mut twopl, 128, 2);
+        assert!(occ.delay_ns() >= twopl.delay_ns());
+    }
+
+    #[test]
+    fn controller_is_deterministic() {
+        // Pure integer state: identical outcome sequences produce
+        // identical delay trajectories.
+        let run = || {
+            let mut ctl = BackoffCtl::for_scheme(CcScheme::TicToc);
+            let mut trace = Vec::new();
+            for i in 0..200u32 {
+                if i % 3 == 0 {
+                    trace.push(ctl.on_abort());
+                } else {
+                    ctl.on_commit();
+                    trace.push(ctl.delay_ns());
+                }
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn window_tracks_the_last_32_outcomes() {
+        let mut ctl = BackoffCtl::new(100, 1_000);
+        for _ in 0..WINDOW {
+            ctl.on_abort();
+        }
+        assert_eq!(ctl.window_aborts(), WINDOW);
+        assert_eq!(ctl.window_len(), WINDOW);
+        for _ in 0..WINDOW {
+            ctl.on_commit();
+        }
+        // The abort history has rolled fully out of the ring.
+        assert_eq!(ctl.window_aborts(), 0);
+        assert_eq!(ctl.window_len(), WINDOW);
+    }
+}

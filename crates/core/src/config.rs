@@ -114,6 +114,17 @@ pub struct EngineConfig {
     /// OS scheduler; pinning is best-effort — a worker whose assigned
     /// core does not exist simply runs unpinned.
     pub pin: PinPolicy,
+    /// Contention regulation: replace the fixed escalation backoff with
+    /// the per-worker AIMD controller ([`crate::backoff::BackoffCtl`]),
+    /// tuned by the scheme's gain/ceiling capabilities. Off by default so
+    /// seeded replays and golden digests keep the paper's fixed schedule.
+    pub adaptive_backoff: bool,
+    /// Read-phase fast path: statically read-only templates skip undo /
+    /// redo bookkeeping they can never need (epoch registration when it
+    /// exists only for the WAL horizon, OCC's validation-timestamp
+    /// allocation). On by default — it changes no commit/abort outcomes,
+    /// only shaves allocator and timestamp traffic off read-only work.
+    pub ro_fast_path: bool,
 }
 
 impl Default for EngineConfig {
@@ -132,6 +143,8 @@ impl Default for EngineConfig {
             trace: TraceConfig::default(),
             breakdown: false,
             pin: PinPolicy::default(),
+            adaptive_backoff: false,
+            ro_fast_path: true,
         }
     }
 }
@@ -208,6 +221,20 @@ impl EngineConfig {
         self.pin = policy;
         self
     }
+
+    /// Enable the adaptive AIMD backoff controller (builder-style
+    /// convenience for benches).
+    pub fn with_adaptive_backoff(mut self) -> Self {
+        self.adaptive_backoff = true;
+        self
+    }
+
+    /// Toggle the read-only fast path (builder-style convenience; it is on
+    /// by default, so this mostly exists to switch it *off* for A/B runs).
+    pub fn with_ro_fast_path(mut self, on: bool) -> Self {
+        self.ro_fast_path = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +288,17 @@ mod tests {
         assert_eq!(c.pin, PinPolicy::None);
         let c = c.with_pinning(PinPolicy::Compact);
         assert_eq!(c.pin, PinPolicy::Compact);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn regulation_knobs_default_safe_and_builders_flip_them() {
+        let c = EngineConfig::new(CcScheme::Silo, 4);
+        assert!(!c.adaptive_backoff, "adaptive backoff must be opt-in");
+        assert!(c.ro_fast_path, "read-only fast path is on by default");
+        let c = c.with_adaptive_backoff().with_ro_fast_path(false);
+        assert!(c.adaptive_backoff);
+        assert!(!c.ro_fast_path);
         assert!(c.validate().is_ok());
     }
 

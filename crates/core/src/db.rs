@@ -126,9 +126,16 @@ impl Database {
             )),
             _ => None,
         };
+        // Oversubscription is decided against the cores the pin policy
+        // actually lets workers run on, not the machine's core count — a
+        // `compact:N` policy squeezing 8 workers onto 2 cores is
+        // oversubscribed on a 64-core host.
+        let park = ParkTable::new(cfg.workers);
+        let cores = abyss_common::available_cores();
+        park.set_early_yield(cfg.workers as usize > cfg.pin.distinct_cores(cfg.workers, cores));
         Ok(Arc::new(Self {
             ts: SharedTs::new(cfg.ts_method),
-            park: ParkTable::new(cfg.workers),
+            park,
             waits: WaitsFor::new(cfg.workers),
             parts: parts.into_boxed_slice(),
             catalog,
@@ -319,6 +326,9 @@ impl Database {
             abort_latency: None,
             queue_ack_latency: None,
             sheds: [0; abyss_common::Priority::COUNT],
+            backoffs: 0,
+            backoff_ns: 0,
+            backoff_delay_ns: 0,
             tables,
         }
     }

@@ -60,11 +60,17 @@ fn body<P: CcProtocol>(t: &mut WorkerCtx<P>, tmpl: &TxnTemplate) -> Result<(), T
 
 /// Run `tmpl` to commit, retrying scheduler aborts (restart in the same
 /// worker, §3.2). Returns the error only for user aborts or template bugs.
+///
+/// Templates whose access list is statically read-only take the read-only
+/// fast path (when `cfg.ro_fast_path` is on): the engine skips write-side
+/// bookkeeping — WAL-horizon epoch registration, OCC's validation
+/// timestamp — that a read-only transaction can never need.
 pub fn run_template<P: CcProtocol>(
     ctx: &mut WorkerCtx<P>,
     tmpl: &TxnTemplate,
 ) -> Result<(), TxnError> {
-    ctx.run_txn(&tmpl.partitions, |t| body(t, tmpl))
+    let read_only = ctx.database().config().ro_fast_path && tmpl.is_read_only();
+    ctx.run_txn_with_hint(&tmpl.partitions, read_only, |t| body(t, tmpl))
 }
 
 /// [`run_template`] plus statistics bookkeeping — the benchmark driver's

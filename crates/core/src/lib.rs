@@ -43,6 +43,7 @@
 //! assert_eq!(db.sum_column(accounts, 1), 1000);
 //! ```
 
+pub mod backoff;
 pub mod config;
 pub mod db;
 pub mod epoch;
@@ -58,6 +59,7 @@ pub mod txn;
 pub mod waitsfor;
 pub mod worker;
 
+pub use backoff::BackoffCtl;
 pub use config::{EngineConfig, LogConfig, TraceConfig};
 pub use db::{Database, RecoveryReport};
 pub use epoch::{EpochManager, EpochTicker};

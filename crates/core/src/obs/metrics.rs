@@ -88,6 +88,15 @@ pub struct MetricsSnapshot {
     /// Requests shed at admission by the serving layer, per priority class
     /// (indexed by [`Priority::idx`]; all zero outside serving runs).
     pub sheds: [u64; Priority::COUNT],
+    /// Adaptive-backoff delays executed, attached by
+    /// [`MetricsSnapshot::with_run_stats`] (0 on bare snapshots and on
+    /// runs using the fixed schedule).
+    pub backoffs: u64,
+    /// Total nanoseconds workers spent in adaptive backoff delays.
+    pub backoff_ns: u64,
+    /// Peak AIMD controller delay any worker chose during the run (ns) —
+    /// a gauge of how contended the run got.
+    pub backoff_delay_ns: u64,
     /// Per-table index gauges.
     pub tables: Vec<TableMetrics>,
 }
@@ -111,6 +120,9 @@ impl MetricsSnapshot {
             self.queue_ack_latency = Some(stats.queue_ack_latency.clone());
         }
         self.sheds = stats.sheds;
+        self.backoffs = stats.backoffs;
+        self.backoff_ns = stats.backoff_ns;
+        self.backoff_delay_ns = stats.backoff_delay_ns;
         self
     }
 
@@ -195,6 +207,12 @@ impl MetricsSnapshot {
             out.push_str(&format!("\"{}\": {}", p.key(), self.sheds[p.idx()]));
         }
         out.push_str("},\n");
+        out.push_str(&format!("  \"backoffs\": {},\n", self.backoffs));
+        out.push_str(&format!("  \"backoff_ns\": {},\n", self.backoff_ns));
+        out.push_str(&format!(
+            "  \"backoff_delay_ns\": {},\n",
+            self.backoff_delay_ns
+        ));
         out.push_str("  \"tables\": [");
         for (i, t) in self.tables.iter().enumerate() {
             if i > 0 {
@@ -297,6 +315,12 @@ impl MetricsSnapshot {
             &[],
             self.trace_dropped,
         );
+        gauge(
+            "backoff_delay_ns",
+            "Peak adaptive-backoff delay any worker chose (ns).",
+            &[],
+            self.backoff_delay_ns,
+        );
         let mut counter = |name: &str, help: &str, v: u64| {
             out.push_str(&format!("# HELP abyss_{name} {help}\n"));
             out.push_str(&format!("# TYPE abyss_{name} counter\n"));
@@ -314,6 +338,16 @@ impl MetricsSnapshot {
             self.log_flushes,
         );
         counter("wal_fsyncs_total", "WAL fsync calls.", self.log_fsyncs);
+        counter(
+            "backoffs_total",
+            "Adaptive-backoff delays executed by workers.",
+            self.backoffs,
+        );
+        counter(
+            "backoff_ns_total",
+            "Nanoseconds workers spent in adaptive backoff delays.",
+            self.backoff_ns,
+        );
         out.push_str("# HELP abyss_shed_total Requests shed at admission by the serving layer.\n");
         out.push_str("# TYPE abyss_shed_total counter\n");
         for pr in Priority::ALL {
@@ -504,6 +538,9 @@ mod tests {
             abort_latency: None,
             queue_ack_latency: None,
             sheds: [0; Priority::COUNT],
+            backoffs: 0,
+            backoff_ns: 0,
+            backoff_delay_ns: 0,
             tables: vec![TableMetrics {
                 name: "usertable".into(),
                 live_keys: 100,
@@ -684,6 +721,32 @@ mod tests {
         assert!(bare
             .to_prometheus()
             .contains("abyss_shed_total{priority=\"high\"} 0"));
+    }
+
+    #[test]
+    fn backoff_counters_export_in_both_formats() {
+        let stats = RunStats {
+            backoffs: 12,
+            backoff_ns: 34_000,
+            backoff_delay_ns: 2_000_000,
+            ..Default::default()
+        };
+        let s = snap().with_run_stats(&stats);
+        let j = s.to_json();
+        for key in [
+            "\"backoffs\": 12",
+            "\"backoff_ns\": 34000",
+            "\"backoff_delay_ns\": 2000000",
+        ] {
+            assert!(j.contains(key), "missing {key} in\n{j}");
+        }
+        let p = s.to_prometheus();
+        assert!(p.contains("abyss_backoffs_total 12"));
+        assert!(p.contains("abyss_backoff_ns_total 34000"));
+        assert!(p.contains("abyss_backoff_delay_ns 2000000"));
+        // Bare snapshots render zeros, not missing keys.
+        let bare = snap().to_json();
+        assert!(bare.contains("\"backoffs\": 0"));
     }
 
     #[test]

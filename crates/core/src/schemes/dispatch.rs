@@ -41,6 +41,9 @@ impl CcProtocol for AnyScheme {
     const ACQUIRES_PARTITIONS: bool = false;
     const TRACKS_WAITS: bool = false;
     const GUARDS_DELETED: bool = true;
+    const BACKOFF_GAIN_PCT: u32 = 0;
+    const BACKOFF_CEILING_US: u64 = 0;
+    const RO_COMMIT_SKIPS_TS: bool = false;
 
     #[inline]
     fn needs_ts(scheme: CcScheme) -> bool {
@@ -65,6 +68,21 @@ impl CcProtocol for AnyScheme {
     #[inline]
     fn guards_deleted(scheme: CcScheme) -> bool {
         scheme.guards_deleted_rows()
+    }
+
+    #[inline]
+    fn backoff_gain_pct(scheme: CcScheme) -> u32 {
+        scheme.backoff_gain_pct()
+    }
+
+    #[inline]
+    fn backoff_ceiling_us(scheme: CcScheme) -> u64 {
+        scheme.backoff_ceiling_us()
+    }
+
+    #[inline]
+    fn ro_commit_skips_ts(scheme: CcScheme) -> bool {
+        scheme.ro_commit_skips_ts()
     }
 
     fn begin(env: &mut SchemeEnv<'_>, partitions: &[PartId]) -> Result<(), AbortReason> {

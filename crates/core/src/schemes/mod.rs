@@ -184,6 +184,15 @@ pub trait CcProtocol: Sized + 'static {
     const TRACKS_WAITS: bool;
     /// Point accesses re-probe the index against committed deletes.
     const GUARDS_DELETED: bool;
+    /// Adaptive backoff: multiplicative-increase gain, percent per unit
+    /// abort rate (see [`crate::backoff::BackoffCtl`]).
+    const BACKOFF_GAIN_PCT: u32;
+    /// Adaptive backoff: per-scheme delay ceiling, microseconds.
+    const BACKOFF_CEILING_US: u64;
+    /// Read-only transactions skip the scheme's commit-time timestamp
+    /// allocation (OCC's validation ts — an empty write set has an empty
+    /// validation window).
+    const RO_COMMIT_SKIPS_TS: bool;
 
     /// Runtime-capable mirror of [`CcProtocol::NEEDS_TS`].
     #[inline(always)]
@@ -209,6 +218,21 @@ pub trait CcProtocol: Sized + 'static {
     #[inline(always)]
     fn guards_deleted(_scheme: CcScheme) -> bool {
         Self::GUARDS_DELETED
+    }
+    /// Runtime-capable mirror of [`CcProtocol::BACKOFF_GAIN_PCT`].
+    #[inline(always)]
+    fn backoff_gain_pct(_scheme: CcScheme) -> u32 {
+        Self::BACKOFF_GAIN_PCT
+    }
+    /// Runtime-capable mirror of [`CcProtocol::BACKOFF_CEILING_US`].
+    #[inline(always)]
+    fn backoff_ceiling_us(_scheme: CcScheme) -> u64 {
+        Self::BACKOFF_CEILING_US
+    }
+    /// Runtime-capable mirror of [`CcProtocol::RO_COMMIT_SKIPS_TS`].
+    #[inline(always)]
+    fn ro_commit_skips_ts(_scheme: CcScheme) -> bool {
+        Self::RO_COMMIT_SKIPS_TS
     }
 
     /// Scheme admission work at transaction begin, after the worker has
@@ -295,6 +319,9 @@ macro_rules! scheme_caps {
         const ACQUIRES_PARTITIONS: bool = $scheme.partition_locked();
         const TRACKS_WAITS: bool = $scheme.tracks_waits();
         const GUARDS_DELETED: bool = $scheme.guards_deleted_rows();
+        const BACKOFF_GAIN_PCT: u32 = $scheme.backoff_gain_pct();
+        const BACKOFF_CEILING_US: u64 = $scheme.backoff_ceiling_us();
+        const RO_COMMIT_SKIPS_TS: bool = $scheme.ro_commit_skips_ts();
     };
 }
 pub(crate) use scheme_caps;
@@ -377,12 +404,30 @@ mod tests {
                     scheme.guards_deleted_rows(),
                     "{scheme}: GUARDS_DELETED"
                 );
+                assert_eq!(
+                    P::BACKOFF_GAIN_PCT,
+                    scheme.backoff_gain_pct(),
+                    "{scheme}: BACKOFF_GAIN_PCT"
+                );
+                assert_eq!(
+                    P::BACKOFF_CEILING_US,
+                    scheme.backoff_ceiling_us(),
+                    "{scheme}: BACKOFF_CEILING_US"
+                );
+                assert_eq!(
+                    P::RO_COMMIT_SKIPS_TS,
+                    scheme.ro_commit_skips_ts(),
+                    "{scheme}: RO_COMMIT_SKIPS_TS"
+                );
                 // The shim must answer exactly like the static impl.
                 assert_eq!(AnyScheme::needs_ts(scheme), P::NEEDS_TS);
                 assert_eq!(AnyScheme::ts_reuse_on_restart(scheme), P::TS_REUSE_ON_RESTART);
                 assert_eq!(AnyScheme::uses_epoch(scheme), P::USES_EPOCH);
                 assert_eq!(AnyScheme::tracks_waits(scheme), P::TRACKS_WAITS);
                 assert_eq!(AnyScheme::guards_deleted(scheme), P::GUARDS_DELETED);
+                assert_eq!(AnyScheme::backoff_gain_pct(scheme), P::BACKOFF_GAIN_PCT);
+                assert_eq!(AnyScheme::backoff_ceiling_us(scheme), P::BACKOFF_CEILING_US);
+                assert_eq!(AnyScheme::ro_commit_skips_ts(scheme), P::RO_COMMIT_SKIPS_TS);
             });
         }
     }

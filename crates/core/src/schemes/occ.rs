@@ -80,9 +80,13 @@ impl CcProtocol for Occ {
 
     fn commit(env: &mut SchemeEnv<'_>) -> Result<(), AbortReason> {
         // The second (validation) timestamp — OCC's extra trip to the
-        // allocator (§5.1).
-        env.stats.ts_allocated += 1;
-        let _validation_ts = env.ts.alloc();
+        // allocator (§5.1). A statically read-only transaction installs
+        // nothing, so the fast path skips the trip (RO_COMMIT_SKIPS_TS):
+        // validation still runs in full against the read + node sets.
+        if !(Self::RO_COMMIT_SKIPS_TS && env.st.read_only) {
+            env.stats.ts_allocated += 1;
+            let _validation_ts = env.ts.alloc();
+        }
         commit(env)
     }
 

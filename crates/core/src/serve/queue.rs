@@ -138,6 +138,44 @@ impl ShardQueue {
         }
     }
 
+    /// Enqueue a batch of requests under one lock acquisition. With
+    /// `block`, waits for enough space for the *whole* batch while the
+    /// queue is open (all-or-nothing admission, so a batch never
+    /// interleaves with a competing batch's partial admit); otherwise
+    /// reports [`PushOutcome::Full`] immediately without enqueuing any.
+    /// One `notify_all` wakes the worker for the entire batch.
+    pub fn push_batch(&self, reqs: Vec<Request>, block: bool) -> PushOutcome {
+        if reqs.is_empty() {
+            return PushOutcome::Ok;
+        }
+        if reqs.len() > self.capacity {
+            // Could never fit even into an empty shard — blocking would
+            // deadlock the producer.
+            return PushOutcome::Full;
+        }
+        let mut s = self.inner.lock().expect("shard lock");
+        loop {
+            if s.closed {
+                return PushOutcome::Closed;
+            }
+            let len = s.len();
+            if len + reqs.len() <= self.capacity {
+                let n = reqs.len();
+                for req in reqs {
+                    s.classes[req.prio.idx()].push_back(req);
+                }
+                self.depth.store(len + n, Ordering::Relaxed);
+                drop(s);
+                self.nonempty.notify_all();
+                return PushOutcome::Ok;
+            }
+            if !block {
+                return PushOutcome::Full;
+            }
+            s = self.nonfull.wait(s).expect("shard lock");
+        }
+    }
+
     /// Dequeue the next request per the priority discipline. Blocks while
     /// the queue is open and empty; returns `None` once it is closed *and*
     /// drained — the worker's exit signal.
@@ -247,6 +285,32 @@ mod tests {
         assert_eq!(key_of(&q.pop(8).unwrap()), 1);
         assert_eq!(h.join().unwrap(), PushOutcome::Ok);
         assert_eq!(key_of(&q.pop(8).unwrap()), 2);
+    }
+
+    #[test]
+    fn batch_push_is_all_or_nothing() {
+        let q = ShardQueue::new(4);
+        q.push(req(Priority::Low, 0), false);
+        // 4 more cannot fit next to the resident one: nothing is admitted.
+        let batch: Vec<Request> = (1..5).map(|k| req(Priority::Low, k)).collect();
+        assert_eq!(q.push_batch(batch, false), PushOutcome::Full);
+        assert_eq!(q.depth(), 1);
+        // 3 fit; FIFO order within the class is preserved.
+        let batch: Vec<Request> = (1..4).map(|k| req(Priority::Low, k)).collect();
+        assert_eq!(q.push_batch(batch, false), PushOutcome::Ok);
+        assert_eq!(q.depth(), 4);
+        let order: Vec<u64> = (0..4).map(|_| key_of(&q.pop(8).unwrap())).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        // A batch larger than the whole shard is rejected even when asked
+        // to block (it could never fit).
+        let batch: Vec<Request> = (0..5).map(|k| req(Priority::Low, k)).collect();
+        assert_eq!(q.push_batch(batch, true), PushOutcome::Full);
+        // Empty batches are a no-op success.
+        assert_eq!(q.push_batch(Vec::new(), false), PushOutcome::Ok);
+        // Closed queues reject batches like singles.
+        q.close();
+        let batch = vec![req(Priority::Low, 9)];
+        assert_eq!(q.push_batch(batch, false), PushOutcome::Closed);
     }
 
     #[test]

@@ -191,6 +191,73 @@ impl TxnService {
         }
     }
 
+    /// Submit a batch of requests in one call, amortizing the per-submit
+    /// overhead: one round-robin shard pick and one queue-lock acquisition
+    /// cover the whole batch (the batch lands on a single shard, FIFO in
+    /// input order within each priority class).
+    ///
+    /// Admission control still runs per request — shed requests come back
+    /// as already-resolved [`TicketStatus::Shed`] tickets, exactly like
+    /// [`TxnService::submit`]. The returned tickets are in input order.
+    /// Errors are all-or-nothing: an unknown procedure name, a full shard
+    /// (non-blocking config), or a stopped service enqueues *nothing*.
+    pub fn submit_batch(
+        &self,
+        batch: &[(&str, &[u64], Priority)],
+    ) -> Result<Vec<TxnTicket>, SubmitError> {
+        let shared = &*self.shared;
+        if shared.stop.load(Ordering::Acquire) {
+            return Err(SubmitError::Stopped);
+        }
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Resolve every name before building anything: an unknown
+        // procedure fails the whole batch with nothing submitted.
+        let ids: Vec<ProcId> = batch
+            .iter()
+            .map(|(name, _, _)| shared.registry.id(name).ok_or(SubmitError::UnknownProc))
+            .collect::<Result<_, _>>()?;
+        // One shard pick for the whole batch — the amortization point.
+        let si = self.rr.fetch_add(1, Ordering::Relaxed) % shared.shards.len();
+        let shard = &shared.shards[si];
+        let now = Instant::now();
+        let mut tickets = Vec::with_capacity(batch.len());
+        let mut reqs = Vec::with_capacity(batch.len());
+        let mut shed = Vec::new();
+        for (id, &(_, args, prio)) in ids.into_iter().zip(batch) {
+            let inner = TicketInner::new();
+            tickets.push(TxnTicket {
+                inner: Arc::clone(&inner),
+            });
+            if self.should_shed(si, prio) {
+                shed.push((inner, prio));
+                continue;
+            }
+            reqs.push(Request {
+                tmpl: shared.registry.build(id, args),
+                prio,
+                submitted: now,
+                ticket: inner,
+            });
+        }
+        let accepted = reqs.len() as u64;
+        match shard.push_batch(reqs, shared.cfg.block_on_full) {
+            PushOutcome::Ok => {
+                shared.accepted.fetch_add(accepted, Ordering::Relaxed);
+                // Shed tickets resolve only once the rest of the batch is
+                // definitely in — an errored batch resolves nothing.
+                for (inner, prio) in shed {
+                    shared.sheds[prio.idx()].fetch_add(1, Ordering::Relaxed);
+                    inner.resolve(TicketStatus::Shed);
+                }
+                Ok(tickets)
+            }
+            PushOutcome::Full => Err(SubmitError::QueueFull),
+            PushOutcome::Closed => Err(SubmitError::Stopped),
+        }
+    }
+
     /// Admission control: shed low-class requests once the target shard's
     /// depth reaches `shed_depth` (high-class at twice that, capped by the
     /// capacity), or — low class only — once the worker's queue-to-ack p99
@@ -378,6 +445,58 @@ mod tests {
             .map(|k| row::get_u64(db.schema(0), &db.peek(0, k).unwrap(), 1))
             .sum();
         assert_eq!(total, 128);
+    }
+
+    #[test]
+    fn batched_submit_executes_all_and_preserves_order() {
+        let db = db(CcScheme::NoWait, 2);
+        let svc = TxnService::start(Arc::clone(&db), bump_registry(), ServeConfig::default());
+        // 16 batches of 8 — same effect as 128 single submits, one shard
+        // pick and one lock acquisition per batch.
+        let mut tickets = Vec::new();
+        for b in 0..16u64 {
+            let args: Vec<[u64; 1]> = (0..8).map(|i| [(b * 8 + i) % 32]).collect();
+            let batch: Vec<(&str, &[u64], Priority)> = args
+                .iter()
+                .map(|a| ("bump", &a[..], Priority::Low))
+                .collect();
+            tickets.extend(svc.submit_batch(&batch).expect("batch submit"));
+        }
+        assert_eq!(tickets.len(), 128);
+        for t in &tickets {
+            assert_eq!(t.wait(), TicketStatus::Committed);
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.commits, 128);
+        let total: u64 = (0..32)
+            .map(|k| row::get_u64(db.schema(0), &db.peek(0, k).unwrap(), 1))
+            .sum();
+        assert_eq!(total, 128);
+    }
+
+    #[test]
+    fn batched_submit_fails_whole_batch_on_unknown_proc() {
+        let db = db(CcScheme::NoWait, 1);
+        let svc = TxnService::start(Arc::clone(&db), bump_registry(), ServeConfig::default());
+        let batch: Vec<(&str, &[u64], Priority)> = vec![
+            ("bump", &[1][..], Priority::Low),
+            ("nope", &[2][..], Priority::Low),
+        ];
+        assert_eq!(
+            svc.submit_batch(&batch).unwrap_err(),
+            SubmitError::UnknownProc
+        );
+        let stats = svc.shutdown();
+        assert_eq!(stats.commits, 0, "a failed batch must enqueue nothing");
+        // Empty batches succeed trivially.
+        let db = db2();
+        let svc = TxnService::start(db, bump_registry(), ServeConfig::default());
+        assert!(svc.submit_batch(&[]).unwrap().is_empty());
+        svc.shutdown();
+    }
+
+    fn db2() -> Arc<Database> {
+        db(CcScheme::NoWait, 1)
     }
 
     #[test]

@@ -165,6 +165,11 @@ pub(crate) struct TxnState {
     pub log_seq: u64,
     /// Tracing: this attempt already emitted its `FirstConflict` event.
     pub traced_conflict: bool,
+    /// The read-only fast path is active for this attempt: the template
+    /// was statically read-only and the engine config enabled the skip
+    /// (see `EngineConfig::ro_fast_path`). Writes under this flag are a
+    /// caller bug, caught by debug assertions in the worker.
+    pub read_only: bool,
 }
 
 impl TxnState {
@@ -201,6 +206,7 @@ impl TxnState {
         self.log_epoch = 0;
         self.log_seq = 0;
         self.traced_conflict = false;
+        self.read_only = false;
     }
 
     /// Does the transaction already hold `(table, row)` at `mode` or

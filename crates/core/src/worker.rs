@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use abyss_common::{AbortReason, DbError, Key, PartId, Phase, RowIdx, RunStats, TableId, Ts};
 use abyss_storage::{MemPool, Schema};
 
+use crate::backoff::BackoffCtl;
 use crate::db::Database;
 use crate::obs::PhaseClock;
 use crate::schemes::{AnyScheme, CcProtocol, ReadRef, SchemeEnv};
@@ -84,6 +85,9 @@ pub struct WorkerCtx<P: CcProtocol = AnyScheme> {
     /// Consecutive scheduler aborts of the current template (drives the
     /// exponential abort penalty; reset on commit).
     consec_aborts: u32,
+    /// Adaptive AIMD backoff controller (`cfg.adaptive_backoff` only;
+    /// `None` keeps the paper's fixed escalation schedule bit-for-bit).
+    backoff_ctl: Option<BackoffCtl>,
     /// SILO: this worker's previous commit TID (epoch-composed, see
     /// [`crate::epoch`]); successive commit TIDs are strictly increasing.
     last_tid: u64,
@@ -101,6 +105,10 @@ impl<P: CcProtocol> WorkerCtx<P> {
         );
         let ts_handle = db.ts.handle(worker);
         let phases = PhaseClock::new(db.cfg.breakdown);
+        let backoff_ctl = db.cfg.adaptive_backoff.then(|| {
+            let scheme = db.cfg.scheme;
+            BackoffCtl::new(P::backoff_gain_pct(scheme), P::backoff_ceiling_us(scheme))
+        });
         Self {
             db,
             worker,
@@ -114,6 +122,7 @@ impl<P: CcProtocol> WorkerCtx<P> {
             phases,
             jitter: jitter_seed(worker),
             consec_aborts: 0,
+            backoff_ctl,
             last_tid: 0,
             _protocol: PhantomData,
         }
@@ -159,6 +168,20 @@ impl<P: CcProtocol> WorkerCtx<P> {
     /// it). `reuse_ts` re-installs a prior timestamp (WAIT_DIE restarts
     /// keep their age; everything else must pass `None`).
     pub fn begin(&mut self, partitions: &[PartId], reuse_ts: Option<Ts>) -> Result<(), TxnError> {
+        self.begin_inner(partitions, reuse_ts, false)
+    }
+
+    /// [`begin`](Self::begin) with the read-only fast-path flag. The flag
+    /// is per-attempt (never sticky — a stale hint on a writing
+    /// transaction would skip the WAL's epoch registration and let the
+    /// group-commit horizon fence past an unflushed record), so only the
+    /// retry loops thread it and everything else passes `false`.
+    fn begin_inner(
+        &mut self,
+        partitions: &[PartId],
+        reuse_ts: Option<Ts>,
+        read_only: bool,
+    ) -> Result<(), TxnError> {
         assert!(!self.in_txn, "begin() while a transaction is active");
         self.seq += 1;
         self.attempt_started = Instant::now();
@@ -187,12 +210,16 @@ impl<P: CcProtocol> WorkerCtx<P> {
         if P::tracks_waits(scheme) {
             self.db.waits.set_active(self.worker, self.st.txn_id);
         }
-        if P::uses_epoch(scheme) || self.db.wal.is_some() {
+        self.st.read_only = read_only;
+        if P::uses_epoch(scheme) || (self.db.wal.is_some() && !read_only) {
             // Register in the current epoch (SILO: commit identity + GC;
             // TICTOC: the quiescence horizon alone; with logging on,
             // every scheme: the group-commit flush horizon — a worker
             // stays registered from begin until after its WAL append, so
             // `safe_epoch` bounds the epochs unflushed records can carry).
+            // Read-only fast path: a transaction that statically cannot
+            // write never appends a WAL record, so when the registration
+            // exists only for the flush horizon it is skipped.
             self.db.epoch.enter(self.worker);
         }
         self.in_txn = true;
@@ -322,6 +349,10 @@ impl<P: CcProtocol> WorkerCtx<P> {
         f: impl FnOnce(&Schema, &mut [u8]),
     ) -> Result<(), TxnError> {
         debug_assert!(self.in_txn, "update outside a transaction");
+        debug_assert!(
+            !self.st.read_only,
+            "update under the read-only fast path (template mislabeled)"
+        );
         self.phases.set(Phase::Index);
         let row = self.db.index_get(table, key)?;
         self.phases.set(Phase::Manager);
@@ -374,6 +405,10 @@ impl<P: CcProtocol> WorkerCtx<P> {
         f: impl FnOnce(&Schema, &mut [u8]),
     ) -> Result<(), TxnError> {
         debug_assert!(self.in_txn, "insert outside a transaction");
+        debug_assert!(
+            !self.st.read_only,
+            "insert under the read-only fast path (template mislabeled)"
+        );
         // The whole insert (index publication + CC registration) counts
         // as Manager; the user's init closure runs inside the span.
         self.phases.set(Phase::Manager);
@@ -409,6 +444,10 @@ impl<P: CcProtocol> WorkerCtx<P> {
     /// the delete and apply it during their commit's write phase.
     pub fn delete(&mut self, table: TableId, key: Key) -> Result<(), TxnError> {
         debug_assert!(self.in_txn, "delete outside a transaction");
+        debug_assert!(
+            !self.st.read_only,
+            "delete under the read-only fast path (template mislabeled)"
+        );
         self.phases.set(Phase::Index);
         let row = self.db.index_get(table, key)?;
         self.phases.set(Phase::Manager);
@@ -677,7 +716,9 @@ impl<P: CcProtocol> WorkerCtx<P> {
         if P::tracks_waits(scheme) {
             self.db.waits.clear_active(self.worker);
         }
-        if P::uses_epoch(scheme) || self.db.wal.is_some() {
+        // Mirror of begin_inner's enter condition — evaluated before
+        // `reset` clears `read_only`, so enter/exit always pair up.
+        if P::uses_epoch(scheme) || (self.db.wal.is_some() && !self.st.read_only) {
             self.db.epoch.exit(self.worker);
         }
         self.st.reset(&mut self.pool);
@@ -690,13 +731,28 @@ impl<P: CcProtocol> WorkerCtx<P> {
     pub fn run_txn<R>(
         &mut self,
         partitions: &[PartId],
+        body: impl FnMut(&mut Self) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        self.run_txn_with_hint(partitions, false, body)
+    }
+
+    /// [`run_txn`](Self::run_txn) with a static read-only hint: `true`
+    /// promises the body performs no update/insert/delete (debug-asserted)
+    /// and lets the engine skip write-side bookkeeping the transaction can
+    /// never need — WAL-horizon epoch registration, OCC's
+    /// validation-timestamp allocation. The executor passes
+    /// `tmpl.is_read_only()` here when `cfg.ro_fast_path` is on.
+    pub fn run_txn_with_hint<R>(
+        &mut self,
+        partitions: &[PartId],
+        read_only: bool,
         mut body: impl FnMut(&mut Self) -> Result<R, TxnError>,
     ) -> Result<R, TxnError> {
         // The abort penalty escalates per retry of *this* template only.
         self.consec_aborts = 0;
         let mut reuse_ts = None;
         loop {
-            match self.begin(partitions, reuse_ts) {
+            match self.begin_inner(partitions, reuse_ts, read_only) {
                 Ok(()) => {}
                 Err(TxnError::Abort(r)) if r.is_retryable() => {
                     self.stats.record_abort(r);
@@ -708,7 +764,12 @@ impl<P: CcProtocol> WorkerCtx<P> {
             reuse_ts = Some(self.st.ts);
             match body(self) {
                 Ok(v) => match self.commit() {
-                    Ok(()) => return Ok(v),
+                    Ok(()) => {
+                        if let Some(ctl) = self.backoff_ctl.as_mut() {
+                            ctl.on_commit();
+                        }
+                        return Ok(v);
+                    }
                     Err(TxnError::Abort(r)) if r.is_retryable() => {
                         self.stats.record_abort(r);
                         self.backoff();
@@ -735,15 +796,50 @@ impl<P: CcProtocol> WorkerCtx<P> {
     /// Randomized abort penalty before a restart (the paper's
     /// restart-in-same-worker model; DBx1000's `ABORT_PENALTY` is 25 µs).
     ///
-    /// The first retry only spins briefly, but repeated aborts of the same
-    /// template escalate exponentially into real (descheduling) sleeps.
-    /// Without the escalation, hot-key restart storms under the T/O
-    /// schemes can livelock an oversubscribed host: every worker keeps
-    /// re-reading with a fresh timestamp, pushing the tuple's `rts` past
-    /// every concurrent writer, and no one ever commits.
+    /// Default (fixed) schedule: the first retry only spins briefly, but
+    /// repeated aborts of the same template escalate exponentially into
+    /// real (descheduling) sleeps. Without the escalation, hot-key restart
+    /// storms under the T/O schemes can livelock an oversubscribed host:
+    /// every worker keeps re-reading with a fresh timestamp, pushing the
+    /// tuple's `rts` past every concurrent writer, and no one ever
+    /// commits.
+    ///
+    /// With `cfg.adaptive_backoff` the delay comes from the AIMD
+    /// controller instead ([`crate::backoff`]): it tracks the worker's
+    /// windowed abort rate, so the penalty follows *system* contention
+    /// rather than one template's streak.
     pub(crate) fn backoff(&mut self) {
         self.consec_aborts = self.consec_aborts.saturating_add(1);
         let jitter = self.jitter_draw();
+        if let Some(ctl) = self.backoff_ctl.as_mut() {
+            let delay = ctl.on_abort();
+            self.stats.backoff_delay_ns = self.stats.backoff_delay_ns.max(delay);
+            if delay == 0 {
+                return;
+            }
+            self.stats.backoffs += 1;
+            // Jitter into [delay/2, 1.5·delay] so co-aborting workers
+            // don't re-collide on a synchronized retry edge.
+            let ns = delay / 2 + jitter % (delay + 1);
+            self.stats.backoff_ns += ns;
+            if ns < 4_000 {
+                // Too short for the scheduler: busy-wait it out.
+                let until = Instant::now() + Duration::from_nanos(ns);
+                while Instant::now() < until {
+                    std::hint::spin_loop();
+                }
+            } else if self.db.park.early_yield() {
+                // Oversubscribed host: hand the core to a sibling instead
+                // of descheduling for a kernel-rounded sleep.
+                let until = Instant::now() + Duration::from_nanos(ns);
+                while Instant::now() < until {
+                    std::thread::yield_now();
+                }
+            } else {
+                std::thread::sleep(Duration::from_nanos(ns));
+            }
+            return;
+        }
         if self.consec_aborts <= 2 {
             let spins = 64 + (jitter & 0x3FF);
             for _ in 0..spins {

@@ -11,8 +11,21 @@
 //!
 //! The pool is deliberately *not* `Sync` — one pool per worker, zero
 //! cross-thread coordination, exactly as in the paper.
+//!
+//! Underneath the per-worker pools sits a **per-NUMA-node arena** layer:
+//! when a pool drops (worker exit, service resize), its cached blocks are
+//! parked in the arena of the node the pool was created on, and a later
+//! pool on the *same* node refills from that arena before touching the
+//! global allocator. Refills therefore recycle node-local memory instead
+//! of pulling freshly faulted (possibly remote-interleaved) pages across
+//! the interconnect. On single-node hosts the topology detection
+//! (`abyss_common::affinity`) collapses to one arena and the layer is a
+//! plain process-wide recycler.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
 
 /// Smallest block class, bytes (everything is rounded up to a class).
 const MIN_CLASS: usize = 64;
@@ -20,6 +33,9 @@ const MIN_CLASS: usize = 64;
 const NUM_CLASSES: usize = 16;
 /// Initial refill batch per class.
 const INITIAL_BATCH: usize = 8;
+/// Blocks a node arena retains per class before overflow goes back to the
+/// global allocator — a hoard cap, not a working-set bound.
+const ARENA_CAP: usize = 4096;
 
 /// Process-wide count of pool blocks alive anywhere — cached in a free
 /// list, borrowed as a [`PoolBlock`], or in flight. Touched only on cold
@@ -87,20 +103,85 @@ impl Drop for PoolBlock {
 pub struct PoolStats {
     /// Allocations served from a free list.
     pub hits: u64,
-    /// Allocations that had to refill from the global allocator.
+    /// Allocations that had to refill (arena or global allocator).
     pub misses: u64,
-    /// Total blocks fetched from the global allocator.
+    /// Total blocks brought into the pool by refills, from the node arena
+    /// or the global allocator.
     pub refilled_blocks: u64,
+    /// Refilled blocks that were recycled out of the node arena (the
+    /// remainder were freshly allocated).
+    pub arena_hits: u64,
     /// Blocks currently cached across all free lists.
     pub cached: u64,
 }
 
-/// A per-worker block pool with dynamically resized refill batches.
+/// One NUMA node's parked-block arena: blocks dropped by pools on this
+/// node, awaiting reuse by a later pool on the same node. Cold-path only —
+/// the per-pool free lists absorb the steady state; the arena lock is
+/// taken once per refill / pool drop.
+struct NodeArena {
+    free: [Mutex<Vec<Box<[u8]>>>; NUM_CLASSES],
+}
+
+impl NodeArena {
+    fn new() -> Self {
+        Self {
+            free: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Pop up to `max` blocks of `class`.
+    fn take(&self, class: usize, max: usize) -> Vec<Box<[u8]>> {
+        let mut list = self.free[class].lock();
+        let start = list.len().saturating_sub(max);
+        list.split_off(start)
+    }
+
+    /// Park blocks of `class`; overflow beyond [`ARENA_CAP`] is released
+    /// to the global allocator (dropped — the gauge already excludes
+    /// arena-bound blocks, see [`MemPool`]'s `Drop`).
+    fn put(&self, class: usize, bufs: impl Iterator<Item = Box<[u8]>>) {
+        let mut list = self.free[class].lock();
+        for buf in bufs {
+            if list.len() < ARENA_CAP {
+                list.push(buf);
+            }
+        }
+    }
+
+    /// Blocks currently parked for `class`.
+    fn depth(&self, class: usize) -> usize {
+        self.free[class].lock().len()
+    }
+}
+
+/// The arena for `node` (clamped to the detected topology).
+fn node_arena(node: usize) -> &'static NodeArena {
+    static ARENAS: OnceLock<Vec<NodeArena>> = OnceLock::new();
+    let arenas = ARENAS.get_or_init(|| {
+        (0..abyss_common::numa_topology().nodes())
+            .map(|_| NodeArena::new())
+            .collect()
+    });
+    &arenas[node.min(arenas.len() - 1)]
+}
+
+/// Blocks parked in `node`'s arena for the class serving `size`-byte
+/// allocations (bench/test introspection).
+pub fn arena_depth(node: usize, size: usize) -> usize {
+    node_arena(node).depth(MemPool::class_for(size))
+}
+
+/// A per-worker block pool with dynamically resized refill batches,
+/// refilling from its NUMA node's arena before the global allocator.
 #[derive(Debug)]
 pub struct MemPool {
     free: [Vec<Box<[u8]>>; NUM_CLASSES],
     batch: [usize; NUM_CLASSES],
     stats: PoolStats,
+    /// The NUMA node this pool recycles through (fixed at construction —
+    /// workers are expected to be pinned, or at least sticky).
+    node: usize,
 }
 
 impl Default for MemPool {
@@ -110,13 +191,27 @@ impl Default for MemPool {
 }
 
 impl MemPool {
-    /// An empty pool; memory is fetched lazily on first use.
+    /// An empty pool on the calling thread's current NUMA node; memory is
+    /// fetched lazily on first use.
     pub fn new() -> Self {
+        Self::new_on_node(abyss_common::current_node())
+    }
+
+    /// An empty pool recycling through `node`'s arena (clamped to the
+    /// detected topology). The benches use this to contrast node-local
+    /// against cross-node refills; the engine uses [`MemPool::new`].
+    pub fn new_on_node(node: usize) -> Self {
         Self {
             free: std::array::from_fn(|_| Vec::new()),
             batch: [INITIAL_BATCH; NUM_CLASSES],
             stats: PoolStats::default(),
+            node: node.min(abyss_common::numa_topology().nodes() - 1),
         }
+    }
+
+    /// The NUMA node this pool recycles through.
+    pub fn node(&self) -> usize {
+        self.node
     }
 
     fn class_for(size: usize) -> usize {
@@ -166,24 +261,41 @@ impl MemPool {
         self.refill(class)
     }
 
-    /// Miss path shared by both allocators: fetch a doubling batch from
-    /// the global allocator (the paper's dynamic pool resizing). Fresh
-    /// blocks from here are always zeroed.
+    /// Miss path shared by both allocators: fetch a doubling batch (the
+    /// paper's dynamic pool resizing), recycled out of this pool's node
+    /// arena first, topped up from the global allocator. The block handed
+    /// back to the caller is always zeroed.
     fn refill(&mut self, class: usize) -> PoolBlock {
         self.stats.misses += 1;
         let n = self.batch[class];
         self.batch[class] = (n * 2).min(4096);
         let bytes = Self::class_size(class);
+        let recycled = node_arena(self.node).take(class, n);
+        let reused = recycled.len();
+        // Arena blocks re-enter the gauge here (they left it when their
+        // previous pool dropped); fresh blocks enter it for the first time.
         LIVE_BLOCKS.fetch_add(n as u64, Ordering::Relaxed);
-        for _ in 0..n.saturating_sub(1) {
+        // Recycled blocks keep their stale contents: the pool free lists
+        // are lazily rezeroed on the alloc hit path already.
+        self.stats.cached += reused as u64;
+        self.free[class].extend(recycled);
+        self.stats.arena_hits += reused as u64;
+        self.stats.refilled_blocks += n as u64;
+        let fresh = n - reused;
+        for _ in 0..fresh.saturating_sub(1) {
             self.free[class].push(vec![0u8; bytes].into_boxed_slice());
             self.stats.cached += 1;
         }
-        self.stats.refilled_blocks += n as u64;
-        PoolBlock {
-            buf: vec![0u8; bytes].into_boxed_slice(),
-            class,
+        if fresh > 0 {
+            return PoolBlock {
+                buf: vec![0u8; bytes].into_boxed_slice(),
+                class,
+            };
         }
+        let mut buf = self.free[class].pop().expect("refill stocked the class");
+        self.stats.cached -= 1;
+        buf.fill(0);
+        PoolBlock { buf, class }
     }
 
     /// Return a block to its free list. The contents are rezeroed lazily,
@@ -206,9 +318,17 @@ impl MemPool {
 
 impl Drop for MemPool {
     fn drop(&mut self) {
-        // Blocks still cached in the free lists return to the global
-        // allocator with the pool; settle the live-block gauge for them.
+        // Cached blocks park in this pool's node arena for the next pool
+        // on the node (overflow past the arena cap drops to the global
+        // allocator). Either way they leave the live-block gauge — a
+        // refill's `take` re-adds whatever gets recycled.
         LIVE_BLOCKS.fetch_sub(self.stats.cached, Ordering::Relaxed);
+        let arena = node_arena(self.node);
+        for (class, list) in self.free.iter_mut().enumerate() {
+            if !list.is_empty() {
+                arena.put(class, list.drain(..));
+            }
+        }
     }
 }
 
@@ -310,6 +430,56 @@ mod tests {
     fn oversized_allocation_panics() {
         let mut p = MemPool::new();
         let _ = p.alloc(64 << NUM_CLASSES);
+    }
+
+    #[test]
+    fn dropped_pool_parks_blocks_in_its_node_arena() {
+        // A class no other test touches (512 KiB) so the process-global
+        // arena cannot be perturbed by sibling tests.
+        const SZ: usize = 512 * 1024;
+        let node = 0;
+        let before = arena_depth(node, SZ);
+        let mut p = MemPool::new_on_node(node);
+        let blocks: Vec<_> = (0..4).map(|_| p.alloc(SZ)).collect();
+        for b in blocks {
+            p.free(b);
+        }
+        let cached = p.stats().cached;
+        assert!(cached >= 4);
+        drop(p);
+        assert_eq!(arena_depth(node, SZ), before + cached as usize);
+
+        // A successor pool on the same node recycles them.
+        let mut q = MemPool::new_on_node(node);
+        let b = q.alloc(SZ);
+        assert!(q.stats().arena_hits >= 1, "refill must hit the arena");
+        assert!(b.iter().all(|&x| x == 0), "recycled refill must be zeroed");
+        q.free(b);
+    }
+
+    #[test]
+    fn arena_round_trip_settles_the_gauge() {
+        const SZ: usize = 1024 * 1024;
+        let before = live_blocks();
+        let mut p = MemPool::new_on_node(0);
+        let b = p.alloc(SZ);
+        p.free(b);
+        drop(p); // parks in the arena, leaves the gauge
+        let mut q = MemPool::new_on_node(0);
+        let b = q.alloc(SZ); // take re-enters the gauge
+        q.free(b);
+        drop(q);
+        let after = live_blocks();
+        assert!(
+            after <= before + 64 && before <= after + 64,
+            "gauge must settle near its start: before={before} after={after}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_node_clamps_to_topology() {
+        let p = MemPool::new_on_node(usize::MAX);
+        assert!(p.node() < abyss_common::numa_topology().nodes());
     }
 
     #[test]

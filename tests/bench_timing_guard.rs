@@ -50,6 +50,10 @@ fn figure_sources_never_time_or_spawn_directly() {
             include_str!("../crates/bench/src/fig_modern.rs"),
         ),
         (
+            "fig_regulate.rs",
+            include_str!("../crates/bench/src/fig_regulate.rs"),
+        ),
+        (
             "fig_service.rs",
             include_str!("../crates/bench/src/fig_service.rs"),
         ),
@@ -104,6 +108,10 @@ fn figure_binaries_never_time_or_spawn_directly() {
         (
             "fig_latency.rs",
             include_str!("../crates/bench/src/bin/fig_latency.rs"),
+        ),
+        (
+            "fig_regulate.rs",
+            include_str!("../crates/bench/src/bin/fig_regulate.rs"),
         ),
         (
             "fig_service.rs",
